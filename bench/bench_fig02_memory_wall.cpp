@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 2: whole-batch GNN training hits the memory capacity wall.
+ *
+ * Sweeps (a) aggregator, (b) aggregation depth, (c) hidden size, and
+ * (d) fanout for GraphSAGE over arxiv-sim and products-sim under a
+ * 24 GB-equivalent budget (scaled, see bench_common.h), reporting the
+ * peak memory or OOM exactly as the paper's bars do.
+ */
+#include "bench_common.h"
+
+using namespace buffalo;
+
+namespace {
+
+/** One Fig. 2 configuration row. */
+struct Config
+{
+    std::string label;
+    nn::AggregatorKind aggregator;
+    int depth;
+    int hidden;
+    int fanout;
+};
+
+void
+runDataset(graph::DatasetId id)
+{
+    auto data = graph::loadDataset(id, 42);
+    bench::banner("Figure 2: the memory wall (whole-batch, 24 GB "
+                  "budget)",
+                  data);
+
+    const std::vector<Config> configs = {
+        {"(a) aggregator=mean d=2 h=128 f=10", nn::AggregatorKind::Mean,
+         2, 128, 10},
+        {"(a) aggregator=pool d=2 h=128 f=10", nn::AggregatorKind::Pool,
+         2, 128, 10},
+        {"(a) aggregator=lstm d=2 h=128 f=10", nn::AggregatorKind::Lstm,
+         2, 128, 10},
+        {"(b) lstm depth=3", nn::AggregatorKind::Lstm, 3, 128, 10},
+        {"(b) lstm depth=4", nn::AggregatorKind::Lstm, 4, 128, 10},
+        {"(c) lstm hidden=256", nn::AggregatorKind::Lstm, 2, 256, 10},
+        {"(c) lstm hidden=512", nn::AggregatorKind::Lstm, 2, 512, 10},
+        {"(d) lstm fanout=15", nn::AggregatorKind::Lstm, 2, 128, 15},
+        {"(d) lstm fanout=20", nn::AggregatorKind::Lstm, 2, 128, 20},
+    };
+
+    const std::uint64_t budget = bench::scaledBudget(data, 24.0);
+    std::printf("scaled budget: %s (= 24 GB at paper scale)\n",
+                util::formatBytes(budget).c_str());
+
+    util::Table table(
+        {"config", "peak memory", "% of budget", "status"});
+    for (const auto &config : configs) {
+        train::TrainerOptions options = bench::paperOptions(
+            data, config.aggregator, config.hidden, config.depth);
+        options.fanouts.assign(config.depth, config.fanout);
+        options.fanouts.back() = config.fanout * 2;
+
+        device::Device dev("gpu", budget);
+        auto seeds =
+            id == graph::DatasetId::Products
+                ? bench::nodeBatch(data, 8192)
+                : bench::fullBatch(data);
+        util::Rng rng(7);
+        try {
+            train::WholeBatchTrainer trainer(options, dev);
+            auto stats = trainer.trainIteration(data, seeds, rng);
+            table.addRow(
+                {config.label,
+                 util::formatBytes(stats.peak_device_bytes),
+                 util::formatPercent(
+                     static_cast<double>(stats.peak_device_bytes) /
+                     budget),
+                 "ok"});
+        } catch (const device::DeviceOom &oom) {
+            table.addRow({config.label,
+                          ">" + util::formatBytes(budget),
+                          ">100%", "OOM"});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    runDataset(graph::DatasetId::Arxiv);
+    runDataset(graph::DatasetId::Products);
+    std::printf("\npaper shape: advancing any axis (aggregator, depth,"
+                " hidden, fanout) crosses the capacity wall -> OOM\n");
+    return 0;
+}

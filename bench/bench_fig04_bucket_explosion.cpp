@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 4: the bucket-volume distribution across degree buckets.
+ *
+ * (a) A small non-power-law batch (cora-sim) has balanced buckets;
+ * (b) a power-law batch (arxiv-sim, F=10) explodes the cut-off bucket;
+ * (c) Betty's batch-level partitioning still leaves every micro-batch
+ *     with an exploded last bucket.
+ */
+#include "bench_common.h"
+
+#include "baselines/betty.h"
+#include "sampling/bucketing.h"
+
+using namespace buffalo;
+
+namespace {
+
+void
+printBuckets(const std::string &label,
+             const sampling::BucketList &buckets, std::size_t total)
+{
+    std::printf("\n-- %s --\n", label.c_str());
+    util::Table table({"degree", "volume", "% of nodes"});
+    for (const auto &bucket : buckets) {
+        table.addRow({std::to_string(bucket.degree),
+                      util::Table::count(bucket.volume()),
+                      util::formatPercent(
+                          static_cast<double>(bucket.volume()) /
+                          static_cast<double>(total))});
+    }
+    table.print();
+    const int explosion = sampling::findExplosionBucket(buckets);
+    if (explosion >= 0) {
+        std::printf("bucket explosion DETECTED at degree %llu\n",
+                    static_cast<unsigned long long>(
+                        buckets[explosion].degree));
+    } else {
+        std::printf("no bucket explosion\n");
+    }
+}
+
+sampling::SampledSubgraph
+sampleFrom(const graph::Dataset &data, std::size_t seeds, int fanout,
+           std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    sampling::NeighborSampler sampler({fanout, fanout});
+    return sampler.sample(data.graph(),
+                          bench::seedBatch(data, seeds), rng);
+}
+
+} // namespace
+
+int
+main()
+{
+    // (a) Cora: balanced buckets.
+    auto cora = graph::loadDataset(graph::DatasetId::Cora, 42);
+    bench::banner("Figure 4a: bucket volumes, Cora(-sim)", cora);
+    auto cora_sg = sampleFrom(cora, 512, 10, 3);
+    printBuckets("cora-sim, F=10",
+                 sampling::bucketizeSeeds(cora_sg),
+                 cora_sg.numSeeds());
+
+    // (b) Arxiv: the cut-off bucket explodes.
+    auto arxiv = graph::loadDataset(graph::DatasetId::Arxiv, 42);
+    bench::banner("Figure 4b: bucket volumes, OGBN-arxiv(-sim), F=10",
+                  arxiv);
+    auto arxiv_sg = sampleFrom(arxiv, 1024, 10, 3);
+    printBuckets("arxiv-sim, F=10",
+                 sampling::bucketizeSeeds(arxiv_sg),
+                 arxiv_sg.numSeeds());
+
+    // (c) Betty's micro-batches still explode.
+    bench::banner(
+        "Figure 4c: bucket volumes after Betty 2-way partitioning");
+    baselines::BettyPartitioner betty;
+    auto parts = betty.partition(arxiv_sg, 2);
+    const auto &top =
+        arxiv_sg.layerAdjacency(arxiv_sg.numLayers() - 1);
+    for (std::size_t p = 0; p < parts.size(); ++p) {
+        sampling::BucketList buckets;
+        {
+            std::map<graph::EdgeIndex, graph::NodeList> by_degree;
+            for (auto seed : parts[p])
+                by_degree[top.degree(seed)].push_back(seed);
+            for (auto &[degree, members] : by_degree)
+                buckets.push_back({degree, std::move(members)});
+        }
+        printBuckets("Betty micro-batch " + std::to_string(p),
+                     buckets, parts[p].size());
+    }
+    std::printf("\npaper shape: Betty mitigates but does not eliminate"
+                " the explosion — each micro-batch's last bucket still"
+                " dominates\n");
+    return 0;
+}

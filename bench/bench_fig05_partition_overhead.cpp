@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Figure 5: per-iteration phase time of METIS-based online
+ * partitioning vs. block generation vs. GPU compute.
+ *
+ * Shows the motivation for Buffalo: METIS-style partitioning of each
+ * batch dwarfs the actual (simulated) GPU compute time, making online
+ * partitioning infeasible for the baselines.
+ */
+#include "bench_common.h"
+
+#include "graph/coo.h"
+#include "partition/metis_like.h"
+#include "sampling/block_generator.h"
+
+using namespace buffalo;
+
+namespace {
+
+void
+runDataset(graph::DatasetId id, std::size_t num_seeds)
+{
+    auto data = graph::loadDataset(id, 42);
+    bench::banner("Figure 5: phase time of METIS-based per-iteration "
+                  "partitioning",
+                  data);
+
+    util::Rng rng(5);
+    sampling::NeighborSampler sampler({10, 25});
+    auto sg = sampler.sample(data.graph(),
+                             bench::seedBatch(data, num_seeds), rng);
+
+    // Phase 1: METIS partitioning of the *whole sampled subgraph*
+    // (the paper applies METIS-based partitioning to the batch
+    // subgraph every iteration).
+    util::StopWatch watch;
+    partition::WeightedGraph wg;
+    {
+        const graph::NodeId n =
+            static_cast<graph::NodeId>(sg.nodes().size());
+        graph::CooBuilder builder(n);
+        for (int layer = 0; layer < sg.numLayers(); ++layer) {
+            const auto &adjacency = sg.layerAdjacency(layer);
+            for (graph::NodeId u = 0; u < n; ++u)
+                for (auto nbr : adjacency.neighbors(u))
+                    builder.addUndirectedEdge(u, nbr);
+        }
+        wg = partition::WeightedGraph::fromUnweighted(
+            builder.toCsr());
+    }
+    partition::MetisLike metis;
+    auto full_assignment = metis.partition(wg, 8);
+    // Project the node partition onto the output nodes.
+    partition::Assignment assignment(sg.numSeeds());
+    for (graph::NodeId seed = 0; seed < sg.numSeeds(); ++seed)
+        assignment[seed] = full_assignment[seed];
+    const double partition_seconds = watch.seconds();
+
+    // Phase 2: block generation for the 8 micro-batches (baseline
+    // generator, as the existing systems use).
+    std::vector<graph::NodeList> parts(8);
+    for (graph::NodeId seed = 0; seed < sg.numSeeds(); ++seed)
+        parts[assignment[seed]].push_back(seed);
+
+    watch.reset();
+    sampling::BaselineBlockGenerator generator;
+    std::vector<sampling::MicroBatch> batches;
+    for (const auto &part : parts)
+        if (!part.empty())
+            batches.push_back(generator.generate(sg, part));
+    const double blockgen_seconds = watch.seconds();
+
+    // Phase 3: simulated GPU compute for all micro-batches.
+    train::TrainerOptions options = bench::paperOptions(data);
+    nn::MemoryModel model(options.model);
+    device::Device dev("gpu", bench::scaledBudget(data, 24.0) * 16);
+    double compute_seconds = 0.0;
+    for (const auto &mb : batches) {
+        compute_seconds += dev.costModel().kernelsSeconds(
+            model.microBatchFlops(mb), 64);
+        compute_seconds += dev.costModel().transferSeconds(
+            model.transferBytes(mb));
+    }
+
+    util::Table table({"phase", "seconds", "% of iteration"});
+    const double total =
+        partition_seconds + blockgen_seconds + compute_seconds;
+    auto row = [&](const char *phase, double seconds) {
+        table.addRow({phase, util::formatSeconds(seconds),
+                      util::formatPercent(seconds / total)});
+    };
+    row("METIS partitioning", partition_seconds);
+    row("block generation", blockgen_seconds);
+    row("GPU compute (simulated)", compute_seconds);
+    table.print();
+    std::printf("partitioning+preparation : compute ratio = %.1f : 1 "
+                "(paper: partitioning dominates, e.g. 33.4s vs 3.4s "
+                "on products)\n",
+                (partition_seconds + blockgen_seconds) /
+                    std::max(compute_seconds, 1e-12));
+}
+
+} // namespace
+
+int
+main()
+{
+    runDataset(graph::DatasetId::Arxiv, 1024);
+    runDataset(graph::DatasetId::Products, 2048);
+    return 0;
+}

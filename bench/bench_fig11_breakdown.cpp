@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 11: end-to-end execution time breakdown, Betty vs. Buffalo,
+ * across all datasets — including OGBN-papers(-sim), where Betty fails
+ * on zero-in-edge nodes ("no data" in the paper's figure).
+ *
+ * Phases: Buffalo scheduling, REG construction, METIS partition,
+ * connection check, block construction, data loading, GPU compute.
+ */
+#include "bench_common.h"
+
+#include "baselines/betty.h"
+
+using namespace buffalo;
+
+namespace {
+
+const char *const kPhases[] = {
+    "sampling",
+    train::kPhaseScheduling,
+    train::kPhaseReg,
+    train::kPhaseMetis,
+    sampling::kPhaseConnectionCheck,
+    sampling::kPhaseBlockConstruction,
+    train::kPhaseDataLoading,
+    train::kPhaseGpuCompute,
+};
+
+void
+printBreakdown(const std::string &system,
+               const train::IterationStats &stats, util::Table &table)
+{
+    std::vector<std::string> row{system};
+    for (const char *phase : kPhases)
+        row.push_back(util::formatSeconds(stats.phases.get(phase)));
+    row.push_back(util::formatSeconds(stats.endToEndSeconds()));
+    table.addRow(std::move(row));
+}
+
+void
+runDataset(graph::DatasetId id, std::size_t num_seeds, int betty_k)
+{
+    auto data = graph::loadDataset(id, 42);
+    bench::banner("Figure 11: execution breakdown", data);
+    const auto seeds = bench::seedBatch(data, num_seeds);
+
+    util::Table table({"system", "sampling", "scheduling", "REG",
+                       "METIS", "conn check", "block constr",
+                       "data load", "GPU compute", "total"});
+
+    double betty_total = -1.0, buffalo_total = -1.0;
+
+    // Betty.
+    {
+        train::TrainerOptions options = bench::paperOptions(data);
+        device::Device dev("gpu", bench::scaledBudget(data, 24.0));
+        util::Rng rng(13);
+        try {
+            train::BettyTrainer trainer(options, dev, betty_k);
+            auto stats = trainer.trainIteration(data, seeds, rng);
+            printBreakdown("Betty", stats, table);
+            betty_total = stats.endToEndSeconds();
+        } catch (const baselines::BettyUnsupported &e) {
+            table.addRow({"Betty", "-", "-", "-", "-", "-", "-",
+                          "-", "-",
+                          "no data (zero-in-edge nodes)"});
+        } catch (const device::DeviceOom &) {
+            table.addRow({"Betty", "-", "-", "-", "-", "-", "-",
+                          "-", "-", "OOM"});
+        }
+    }
+
+    // Buffalo.
+    {
+        train::TrainerOptions options = bench::paperOptions(data);
+        device::Device dev("gpu", bench::scaledBudget(data, 24.0));
+        util::Rng rng(13);
+        train::BuffaloTrainer trainer(options, dev);
+        auto stats = trainer.trainIteration(data, seeds, rng);
+        printBreakdown("Buffalo", stats, table);
+        buffalo_total = stats.endToEndSeconds();
+    }
+    table.print();
+    if (betty_total > 0 && buffalo_total > 0) {
+        std::printf("Buffalo end-to-end reduction vs Betty: %s "
+                    "(paper average: 70.9%%)\n",
+                    util::formatPercent(1.0 -
+                                        buffalo_total / betty_total)
+                        .c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    runDataset(graph::DatasetId::Cora, 512, 2);
+    runDataset(graph::DatasetId::Pubmed, 512, 2);
+    runDataset(graph::DatasetId::Reddit, 768, 4);
+    runDataset(graph::DatasetId::Arxiv, 1024, 4);
+    runDataset(graph::DatasetId::Products, 2048, 8);
+    runDataset(graph::DatasetId::Papers, 2048, 8);
+    std::printf("\npaper shape: Betty's REG+METIS dominates on large "
+                "graphs (46.8%% of end-to-end on average); Buffalo "
+                "replaces it with near-free bucket scheduling; Betty "
+                "has no data on OGBN-papers\n");
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Figure 13: Buffalo breaks the memory wall of Figure 2.
+ *
+ * The same configurations that OOM'd under whole-batch training now
+ * run under the identical 24 GB-equivalent budget, with the scheduler
+ * choosing the number of micro-batches (the paper annotates each bar
+ * with that count, e.g. 15 micro-batches for LSTM).
+ */
+#include "bench_common.h"
+
+using namespace buffalo;
+
+namespace {
+
+struct Config
+{
+    std::string label;
+    nn::AggregatorKind aggregator;
+    int depth;
+    int hidden;
+    int fanout;
+    bool arxiv_only = false;
+};
+
+void
+runDataset(graph::DatasetId id)
+{
+    auto data = graph::loadDataset(id, 42);
+    bench::banner("Figure 13: Buffalo breaks the memory wall", data);
+
+    const std::vector<Config> configs = {
+        {"mean d=2 h=128 f=10", nn::AggregatorKind::Mean, 2, 128, 10},
+        {"pool d=2 h=128 f=10", nn::AggregatorKind::Pool, 2, 128, 10},
+        {"lstm d=2 h=128 f=10", nn::AggregatorKind::Lstm, 2, 128, 10},
+        // The depth sweep runs on arxiv only: at products-sim's scale
+        // a 3-4 hop cone covers nearly the whole graph, which blows
+        // the single-core simulation budget (see DESIGN.md).
+        {"lstm depth=3", nn::AggregatorKind::Lstm, 3, 128, 10, true},
+        {"lstm depth=4", nn::AggregatorKind::Lstm, 4, 128, 10, true},
+        {"lstm hidden=256", nn::AggregatorKind::Lstm, 2, 256, 10},
+        {"lstm hidden=512", nn::AggregatorKind::Lstm, 2, 512, 10},
+        {"lstm fanout=15", nn::AggregatorKind::Lstm, 2, 128, 15},
+        {"lstm fanout=20", nn::AggregatorKind::Lstm, 2, 128, 20},
+        // fanout=800 = effectively full neighborhoods (paper: "we
+        // achieve this while also increasing the fanout to 20 and 800
+        // using 2 and 13 micro-batches"). arxiv-only for tractability.
+        {"lstm fanout=800 (full)", nn::AggregatorKind::Lstm, 2, 128,
+         800, true},
+    };
+
+    const std::uint64_t budget = bench::scaledBudget(data, 24.0);
+    std::printf("scaled budget: %s (= 24 GB at paper scale)\n",
+                util::formatBytes(budget).c_str());
+
+    util::Table table({"config", "#micro-batches", "peak memory",
+                       "% of budget", "status"});
+    for (const auto &config : configs) {
+        if (config.arxiv_only && id != graph::DatasetId::Arxiv)
+            continue;
+        train::TrainerOptions options = bench::paperOptions(
+            data, config.aggregator, config.hidden, config.depth);
+        options.fanouts.assign(config.depth, config.fanout);
+        options.fanouts.back() = std::min(config.fanout * 2, 800);
+
+        device::Device dev("gpu", budget);
+        auto seeds =
+            id == graph::DatasetId::Products
+                ? bench::nodeBatch(data, 8192)
+                : bench::fullBatch(data);
+        util::Rng rng(7);
+        try {
+            train::BuffaloTrainer trainer(options, dev);
+            auto stats = trainer.trainIteration(data, seeds, rng);
+            table.addRow(
+                {config.label,
+                 std::to_string(stats.num_micro_batches),
+                 util::formatBytes(stats.peak_device_bytes),
+                 util::formatPercent(
+                     static_cast<double>(stats.peak_device_bytes) /
+                     budget),
+                 "ok"});
+        } catch (const Error &) {
+            table.addRow({config.label, "-", "-", "-", "infeasible"});
+        }
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    runDataset(graph::DatasetId::Arxiv);
+    runDataset(graph::DatasetId::Products);
+    std::printf("\npaper shape: every Figure 2 OOM becomes 'ok' with "
+                "a finite micro-batch count; heavier configs need "
+                "more micro-batches\n");
+    return 0;
+}

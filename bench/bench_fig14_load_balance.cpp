@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 14: memory consumption of each micro-batch after Buffalo.
+ *
+ * The paper reports 4-6% spread across micro-batches (arxiv split 4
+ * ways, products 12, papers 8). We schedule to approximately those
+ * micro-batch counts by shrinking the budget, then report each
+ * micro-batch's modeled memory and the spread.
+ */
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "core/micro_batch_generator.h"
+#include "core/scheduler.h"
+
+using namespace buffalo;
+
+namespace {
+
+void
+runDataset(graph::DatasetId id, std::size_t num_seeds,
+           int target_micro_batches)
+{
+    auto data = graph::loadDataset(id, 42);
+    bench::banner("Figure 14: per-micro-batch memory balance", data);
+
+    train::TrainerOptions options = bench::paperOptions(data);
+    nn::MemoryModel model(options.model);
+
+    util::Rng rng(19);
+    sampling::NeighborSampler sampler(options.fanouts);
+    auto sg = sampler.sample(data.graph(),
+                             bench::seedBatch(data, num_seeds), rng);
+
+    // Find a budget that yields roughly the target micro-batch count
+    // by bisection over raw bytes.
+    core::ScheduleResult schedule;
+    double lo = static_cast<double>(util::mib(8));
+    double hi = static_cast<double>(util::gib(16));
+    for (int iter = 0; iter < 30; ++iter) {
+        const double mid = std::sqrt(lo * hi);
+        core::SchedulerOptions sched;
+        sched.mem_constraint = static_cast<std::uint64_t>(mid);
+        core::BuffaloScheduler scheduler(
+            model, data.spec().paper_avg_coefficient, sched);
+        try {
+            schedule = scheduler.schedule(sg);
+        } catch (const Error &) {
+            lo = mid;
+            continue;
+        }
+        if (schedule.num_groups > target_micro_batches)
+            lo = mid;
+        else if (schedule.num_groups < target_micro_batches)
+            hi = mid;
+        else
+            break;
+    }
+
+    core::MicroBatchGenerator generator;
+    auto batches = generator.generate(sg, schedule.groups);
+
+    util::Table table({"micro-batch", "modeled memory", "est (Eq. 2)",
+                       "outputs", "inputs"});
+    std::vector<double> costs;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        const double bytes =
+            static_cast<double>(model.microBatchBytes(batches[i]));
+        costs.push_back(bytes);
+        table.addRow(
+            {std::to_string(i),
+             util::formatBytes(static_cast<std::uint64_t>(bytes)),
+             util::formatBytes(schedule.groups[i].est_bytes),
+             util::Table::count(batches[i].outputNodes().size()),
+             util::Table::count(batches[i].inputNodes().size())});
+    }
+    table.print();
+
+    auto stats = util::SummaryStats::of(costs);
+    std::printf("micro-batches: %d, memory spread (max-min)/max = %s "
+                "(paper: 4-6%%)\n",
+                schedule.num_groups,
+                util::formatPercent((stats.max - stats.min) /
+                                    stats.max)
+                    .c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    runDataset(graph::DatasetId::Arxiv, 1024, 4);
+    runDataset(graph::DatasetId::Products, 2048, 12);
+    runDataset(graph::DatasetId::Papers, 2048, 8);
+    return 0;
+}

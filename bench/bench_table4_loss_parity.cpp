@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Table IV: training loss of DGL-style whole-batch training vs.
+ * Buffalo micro-batch training, GraphSAGE and GAT, across datasets.
+ *
+ * Whole-batch runs under the scaled 24 GB budget and OOMs on the
+ * large datasets (the paper's "OOM" cells); Buffalo trains everywhere
+ * and its loss matches whole-batch wherever both run.
+ */
+#include "bench_common.h"
+
+using namespace buffalo;
+
+namespace {
+
+struct Cell
+{
+    std::string text;
+    double loss = -1.0;
+};
+
+Cell
+runSystem(const graph::Dataset &data, train::ModelKind kind,
+          bool buffalo, std::size_t batch_size, int epochs)
+{
+    train::TrainerOptions options;
+    options.model_kind = kind;
+    options.model.aggregator = kind == train::ModelKind::Sage
+                                   ? nn::AggregatorKind::Lstm
+                                   : nn::AggregatorKind::Mean;
+    options.model.num_layers = 2;
+    options.model.feature_dim = data.featureDim();
+    options.model.hidden_dim = 16;
+    options.model.num_classes = data.numClasses();
+    options.fanouts = {5, 10};
+    options.learning_rate = 5e-3;
+    options.mode = train::ExecutionMode::Numeric;
+    options.seed = 88;
+
+    const std::uint64_t budget = bench::scaledBudget(data, 24.0);
+    device::Device dev("gpu", std::max<std::uint64_t>(
+                                  budget, util::mib(2)));
+    util::Rng rng(51);
+    try {
+        std::unique_ptr<train::TrainerBase> trainer;
+        if (buffalo) {
+            trainer = std::make_unique<train::BuffaloTrainer>(options,
+                                                              dev);
+        } else {
+            trainer = std::make_unique<train::WholeBatchTrainer>(
+                options, dev);
+        }
+        auto curve = train::runTraining(*trainer, data, epochs,
+                                        batch_size, rng);
+        Cell cell;
+        cell.loss = curve.back().mean_loss;
+        cell.text = util::Table::num(cell.loss, 4);
+        return cell;
+    } catch (const device::DeviceOom &) {
+        return {"OOM", -1.0};
+    } catch (const Error &) {
+        return {"infeasible", -1.0};
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Table IV: training loss, DGL(-like) vs. Buffalo "
+                  "(numeric, scaled budget)");
+    util::Table table({"dataset", "model", "DGL-like / loss",
+                       "Buffalo / loss", "parity"});
+    for (auto id : graph::allDatasetIds()) {
+        // GAT only on the small datasets, as in the paper's table.
+        const bool small = id == graph::DatasetId::Cora ||
+                           id == graph::DatasetId::Pubmed ||
+                           id == graph::DatasetId::Arxiv;
+        auto data = graph::loadDataset(id, 42, 0.25);
+        for (auto kind : {train::ModelKind::Sage,
+                          train::ModelKind::Gat}) {
+            if (kind == train::ModelKind::Gat && !small)
+                continue;
+            const int epochs = 3;
+            const std::size_t batch =
+                std::min<std::size_t>(1024,
+                                      data.trainNodes().size());
+            Cell whole = runSystem(data, kind, false, batch, epochs);
+            Cell buffalo = runSystem(data, kind, true, batch, epochs);
+            std::string parity = "-";
+            if (whole.loss >= 0 && buffalo.loss >= 0) {
+                parity = std::abs(whole.loss - buffalo.loss) <
+                                 5e-3 * std::max(1.0, whole.loss)
+                             ? "MATCH"
+                             : "DIFFERS";
+            } else if (whole.loss < 0 && buffalo.loss >= 0) {
+                parity = "Buffalo only";
+            }
+            table.addRow({data.name(), modelKindName(kind),
+                          whole.text, buffalo.text, parity});
+        }
+    }
+    table.print();
+    std::printf("paper shape: wherever DGL fits, losses are "
+                "statistically identical; on the large datasets DGL "
+                "OOMs while Buffalo still trains\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Bringing your own graph: build a graph with the public CooBuilder /
+ * generator APIs, wrap it as a Dataset, and train a multi-head GAT
+ * under a Buffalo memory budget.
+ */
+#include <cstdio>
+
+#include "device/device.h"
+#include "graph/coo.h"
+#include "graph/datasets.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "train/experiment.h"
+#include "train/trainer.h"
+#include "util/format.h"
+
+using namespace buffalo;
+
+int
+main()
+{
+    // 1. Build a graph. Here: an RMAT web-style graph plus a few
+    //    hand-added edges to show the builder API; in a real program
+    //    this is where your edges come from.
+    util::Rng rng(11);
+    graph::CsrGraph base =
+        graph::generateRmat(4096, 40000, 0.5, 0.2, 0.2, rng);
+    graph::CooBuilder builder(base.numNodes());
+    for (graph::NodeId u = 0; u < base.numNodes(); ++u)
+        for (graph::NodeId v : base.neighbors(u))
+            builder.addEdge(v, u);
+    builder.addUndirectedEdge(0, 1); // your own edges go here
+    graph::CsrGraph g = builder.toCsr();
+
+    // 2. Label it (here: 6 communities by id range, smoothed by the
+    //    graph structure in a real pipeline).
+    std::vector<std::int32_t> labels(g.numNodes());
+    for (graph::NodeId u = 0; u < g.numNodes(); ++u)
+        labels[u] = static_cast<std::int32_t>(u * 6 / g.numNodes());
+
+    // 3. Measure the clustering coefficient Buffalo's estimator needs.
+    const double coefficient =
+        graph::sampledClusteringCoefficient(g, 500, rng);
+
+    // 4. Wrap as a Dataset.
+    graph::Dataset data = graph::makeDataset(
+        "my-web-graph", std::move(g), std::move(labels),
+        /*num_classes=*/6, /*feature_dim=*/48, coefficient);
+    std::printf("custom dataset '%s': %u nodes, %llu edges, "
+                "clustering %.3f\n",
+                data.name().c_str(), data.graph().numNodes(),
+                static_cast<unsigned long long>(
+                    data.graph().numEdges()),
+                coefficient);
+
+    // 5. Train a 2-head GAT under a small budget.
+    train::TrainerOptions options;
+    options.model_kind = train::ModelKind::Gat;
+    options.model.num_layers = 2;
+    options.model.feature_dim = data.featureDim();
+    options.model.hidden_dim = 32;
+    options.model.num_classes = 6;
+    options.model.num_heads = 2;
+    options.fanouts = {5, 10};
+    options.learning_rate = 5e-3;
+
+    device::Device gpu("gpu:0", util::mib(16));
+    train::BuffaloTrainer trainer(options, gpu);
+
+    util::Rng train_rng(13);
+    auto curve = train::runTraining(trainer, data, /*epochs=*/5,
+                                    /*batch_size=*/128, train_rng);
+    for (std::size_t epoch = 0; epoch < curve.size(); ++epoch) {
+        std::printf("epoch %zu: loss %.4f accuracy %.3f\n", epoch,
+                    curve[epoch].mean_loss, curve[epoch].accuracy);
+    }
+    std::printf("a GAT on your own graph, trained inside %s.\n",
+                util::formatBytes(gpu.allocator().capacity()).c_str());
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Capacity planning with the Buffalo scheduler — no training needed.
+ *
+ * Given a model configuration and a batch, this example asks the
+ * scheduler what plan it would produce under a ladder of GPU budgets:
+ * how many micro-batches, how balanced, and how much headroom. This is
+ * the "can I afford this model on this GPU?" workflow the paper's
+ * Fig. 15 sweep automates.
+ */
+#include <cstdio>
+
+#include "core/micro_batch_generator.h"
+#include "core/scheduler.h"
+#include "graph/datasets.h"
+#include "sampling/sampled_subgraph.h"
+#include "util/format.h"
+#include "util/table.h"
+
+using namespace buffalo;
+
+int
+main()
+{
+    graph::Dataset data =
+        graph::loadDataset(graph::DatasetId::Products, 42, 0.5);
+    std::printf("planning for %s (%u nodes, avg degree %.1f)\n",
+                data.name().c_str(), data.graph().numNodes(),
+                static_cast<double>(data.graph().numEdges()) /
+                    data.graph().numNodes());
+
+    // The model we would like to train.
+    nn::ModelConfig config;
+    config.aggregator = nn::AggregatorKind::Lstm;
+    config.num_layers = 2;
+    config.feature_dim = data.featureDim();
+    config.hidden_dim = 64;
+    config.num_classes = data.numClasses();
+    nn::MemoryModel model(config);
+
+    // One representative batch.
+    util::Rng rng(3);
+    sampling::NeighborSampler sampler({10, 25});
+    graph::NodeList seeds(data.trainNodes().begin(),
+                          data.trainNodes().begin() +
+                              std::min<std::size_t>(
+                                  1024, data.trainNodes().size()));
+    auto sg = sampler.sample(data.graph(), seeds, rng);
+    std::printf("batch: %zu seeds -> %zu sampled nodes\n",
+                seeds.size(), sg.nodes().size());
+
+    util::Table table({"budget", "micro-batches", "max group est",
+                       "balance (max/min)", "headroom",
+                       "plan time"});
+    core::MicroBatchGenerator generator;
+    for (double mb : {16.0, 32.0, 64.0, 128.0, 256.0, 512.0}) {
+        core::SchedulerOptions options;
+        options.mem_constraint = util::mib(mb);
+        options.reserved_bytes =
+            model.weightBytes() + model.optimizerBytes();
+        core::BuffaloScheduler scheduler(
+            model, data.spec().paper_avg_coefficient, options);
+        try {
+            auto plan = scheduler.schedule(sg);
+            std::uint64_t max_est = 0, min_est = UINT64_MAX;
+            for (const auto &group : plan.groups) {
+                max_est = std::max(max_est, group.est_bytes);
+                min_est = std::min(min_est, group.est_bytes);
+            }
+            table.addRow(
+                {util::formatBytes(options.mem_constraint),
+                 std::to_string(plan.num_groups),
+                 util::formatBytes(max_est),
+                 util::Table::num(static_cast<double>(max_est) /
+                                      std::max<std::uint64_t>(min_est,
+                                                              1),
+                                  2),
+                 util::formatPercent(
+                     1.0 - static_cast<double>(max_est) /
+                               options.mem_constraint),
+                 util::formatSeconds(plan.schedule_seconds)});
+        } catch (const Error &) {
+            table.addRow({util::formatBytes(options.mem_constraint),
+                          "-", "-", "-", "-", "infeasible"});
+        }
+    }
+    table.print();
+    std::printf("\nreading the table: pick the smallest budget whose "
+                "plan time and micro-batch count you can live with — "
+                "every plan is memory-safe by construction.\n");
+    return 0;
+}

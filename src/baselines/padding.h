@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Padding-based memory accounting (paper §II-C): the PyG-flavored
+ * baseline pads every destination's neighbor list to the maximum
+ * sampled degree of its block instead of degree-bucketing, wasting
+ * memory and compute on the padding.
+ */
+#pragma once
+
+#include "nn/memory_model.h"
+#include "sampling/block.h"
+
+namespace buffalo::baselines {
+
+/**
+ * Activation bytes of @p mb when every destination is padded to its
+ * block's maximum sampled degree (no degree bucketing).
+ */
+std::uint64_t paddedMicroBatchBytes(const nn::MemoryModel &model,
+                                    const sampling::MicroBatch &mb);
+
+/** Forward+backward FLOPs under the same padding scheme. */
+double paddedMicroBatchFlops(const nn::MemoryModel &model,
+                             const sampling::MicroBatch &mb);
+
+} // namespace buffalo::baselines

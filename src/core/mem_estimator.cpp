@@ -1,0 +1,107 @@
+#include "core/mem_estimator.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace buffalo::core {
+
+BucketMemEstimator::BucketMemEstimator(const nn::MemoryModel &model,
+                                       const SampledSubgraph &sg)
+    : model_(model), sg_(sg)
+{
+    checkArgument(model.config().num_layers == sg.numLayers(),
+                  "BucketMemEstimator: model depth != sampled depth");
+}
+
+BucketMemInfo
+BucketMemEstimator::estimateBucket(const DegreeBucket &bucket) const
+{
+    BucketMemInfo info;
+    info.bucket = bucket;
+    info.outputs = bucket.volume();
+    info.degree = static_cast<double>(bucket.degree);
+
+    // Walk the bucket's dependency cone top-down over the sampled
+    // adjacency, counting destinations and message edges per layer.
+    const int num_layers = sg_.numLayers();
+    std::vector<char> seen(sg_.nodes().size(), 0);
+    NodeList frontier = bucket.members;
+    for (sampling::NodeId v : frontier)
+        seen[v] = 1;
+
+    std::uint64_t est = 0;
+    for (int layer = num_layers - 1; layer >= 0; --layer) {
+        const auto &adjacency = sg_.layerAdjacency(layer);
+        std::uint64_t edges = 0;
+        NodeList next = frontier;
+        for (sampling::NodeId v : frontier) {
+            auto nbrs = adjacency.neighbors(v);
+            edges += nbrs.size();
+            for (sampling::NodeId u : nbrs) {
+                if (!seen[u]) {
+                    seen[u] = 1;
+                    next.push_back(u);
+                }
+            }
+        }
+        est += model_.layerActivationBytesFromCounts(
+            layer, frontier.size(), edges, next.size());
+        frontier = std::move(next);
+    }
+    info.inputs = frontier.size();
+    est += model_.inputFeatureBytes(info.inputs);
+    // Output logits + their gradient.
+    est += static_cast<std::uint64_t>(
+        2.0 * static_cast<double>(info.outputs) *
+        model_.config().num_classes * 4.0);
+    info.est_bytes = est;
+    return info;
+}
+
+std::vector<BucketMemInfo>
+BucketMemEstimator::estimate(const BucketList &buckets) const
+{
+    std::vector<BucketMemInfo> infos;
+    infos.reserve(buckets.size());
+    for (const auto &bucket : buckets)
+        infos.push_back(estimateBucket(bucket));
+    return infos;
+}
+
+RedundancyAwareMemEstimator::RedundancyAwareMemEstimator(
+    double clustering_coefficient)
+    : c_(std::max(clustering_coefficient, 1e-3))
+{
+}
+
+double
+RedundancyAwareMemEstimator::groupingRatio(
+    const BucketMemInfo &info) const
+{
+    if (info.outputs == 0 || info.degree <= 0.0)
+        return 1.0;
+    const double ratio =
+        static_cast<double>(info.inputs) /
+        (static_cast<double>(info.outputs) * info.degree * c_);
+    return std::min(1.0, ratio);
+}
+
+std::uint64_t
+RedundancyAwareMemEstimator::estimateGroup(
+    const std::vector<const BucketMemInfo *> &group) const
+{
+    double total = 0.0;
+    std::uint64_t largest = 0;
+    for (const BucketMemInfo *info : group) {
+        total += static_cast<double>(info->est_bytes) *
+                 groupingRatio(*info);
+        largest = std::max(largest, info->est_bytes);
+    }
+    // Eq. 2 discounts each member for cross-member redundancy, but
+    // per-bucket estimates are already deduplicated within their own
+    // cone — a group can never cost less than its heaviest member.
+    return std::max(static_cast<std::uint64_t>(total), largest);
+}
+
+} // namespace buffalo::core

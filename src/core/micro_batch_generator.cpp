@@ -1,0 +1,34 @@
+#include "core/micro_batch_generator.h"
+
+namespace buffalo::core {
+
+MicroBatchGenerator::MicroBatchGenerator(
+    std::unique_ptr<sampling::BlockGenerator> generator)
+    : generator_(std::move(generator))
+{
+    if (!generator_)
+        generator_ = std::make_unique<sampling::FastBlockGenerator>();
+}
+
+sampling::MicroBatch
+MicroBatchGenerator::generateOne(const SampledSubgraph &sg,
+                                 const BucketGroup &group,
+                                 util::PhaseTimer *timer) const
+{
+    return generator_->generate(sg, group.outputSeeds(), timer);
+}
+
+std::vector<sampling::MicroBatch>
+MicroBatchGenerator::generate(
+    const SampledSubgraph &sg,
+    const std::vector<BucketGroup> &groups,
+    util::PhaseTimer *timer) const
+{
+    std::vector<sampling::MicroBatch> batches;
+    batches.reserve(groups.size());
+    for (const auto &group : groups)
+        batches.push_back(generateOne(sg, group, timer));
+    return batches;
+}
+
+} // namespace buffalo::core

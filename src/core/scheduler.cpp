@@ -1,0 +1,185 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace buffalo::core {
+
+BuffaloScheduler::BuffaloScheduler(const nn::MemoryModel &model,
+                                   double clustering_coefficient,
+                                   const SchedulerOptions &options)
+    : model_(model), redundancy_estimator_(clustering_coefficient),
+      // A vanishing C drives every grouping ratio to 1, i.e. plain
+      // linear summation (the ablation baseline).
+      linear_estimator_(0.0), options_(options)
+{
+    checkArgument(options_.mem_constraint > 0,
+                  "BuffaloScheduler: mem_constraint must be set");
+    checkArgument(options_.max_groups >= 1,
+                  "BuffaloScheduler: max_groups must be >= 1");
+    checkArgument(options_.safety_factor > 0.0 &&
+                      options_.safety_factor <= 1.0,
+                  "BuffaloScheduler: safety_factor must be in (0, 1]");
+}
+
+ScheduleResult
+BuffaloScheduler::schedule(const SampledSubgraph &sg) const
+{
+    util::StopWatch watch;
+    const RedundancyAwareMemEstimator &estimator =
+        options_.redundancy_aware ? redundancy_estimator_
+                                  : linear_estimator_;
+
+    // Line 1: degree-bucket the output layer.
+    BucketList buckets = sampling::bucketizeSeeds(sg);
+    BucketMemEstimator bucket_estimator(model_, sg);
+    std::vector<BucketMemInfo> base_infos =
+        bucket_estimator.estimate(buckets);
+
+    // Explosion detection happens once on the un-split bucket list.
+    int explosion_index = sampling::findExplosionBucket(
+        buckets, options_.explosion_threshold);
+    if (explosion_index < 0 && options_.enable_split) {
+        // Memory-driven fallback: when the heaviest bucket alone
+        // cannot fit the budget, it must be split regardless of the
+        // volume distribution (e.g. when the graph's average degree
+        // exceeds the fanout, *all* seeds collapse into the single
+        // cut-off bucket).
+        std::size_t heaviest = 0;
+        for (std::size_t b = 1; b < base_infos.size(); ++b)
+            if (base_infos[b].est_bytes >
+                base_infos[heaviest].est_bytes)
+                heaviest = b;
+        if (!base_infos.empty() &&
+            base_infos[heaviest].est_bytes + options_.reserved_bytes >
+                options_.mem_constraint) {
+            explosion_index = static_cast<int>(heaviest);
+        }
+    }
+
+    ScheduleResult result;
+    result.explosion_detected =
+        options_.enable_split && explosion_index >= 0;
+
+    // The scheduler packs against a slightly reduced budget so
+    // estimation error and allocator transients cannot push execution
+    // over the real capacity.
+    const std::uint64_t activation_budget =
+        options_.mem_constraint > options_.reserved_bytes
+            ? static_cast<std::uint64_t>(
+                  (options_.mem_constraint - options_.reserved_bytes) *
+                  options_.safety_factor)
+            : 0;
+
+    // Algorithm 3 increments K by one per failed attempt. Re-pricing
+    // the split micro-buckets costs a cone walk per attempt, so we
+    // jump-start at a lower bound no feasible plan can beat: the sum
+    // of redundancy-discounted bucket estimates divided by the
+    // activation budget (perfect packing of discounted items). The
+    // loop then proceeds K, K+1, ... exactly as in the paper.
+    int k_start = 1;
+    if (activation_budget > 0) {
+        double discounted_total = 0.0;
+        for (const auto &info : base_infos) {
+            discounted_total += static_cast<double>(info.est_bytes) *
+                                estimator.groupingRatio(info);
+        }
+        k_start = std::max(
+            1, static_cast<int>(discounted_total /
+                                static_cast<double>(
+                                    activation_budget)));
+    }
+
+    for (int k = k_start; k <= options_.max_groups; ++k) {
+        // Lines 4-5: split the explosion bucket into K micro-buckets.
+        std::vector<BucketMemInfo> infos;
+        if (result.explosion_detected && k > 1) {
+            infos.reserve(base_infos.size() + k - 1);
+            for (std::size_t b = 0; b < base_infos.size(); ++b) {
+                if (static_cast<int>(b) == explosion_index)
+                    continue;
+                infos.push_back(base_infos[b]);
+            }
+            for (const DegreeBucket &micro : splitExplosionBucket(
+                     buckets[explosion_index], k)) {
+                infos.push_back(
+                    bucket_estimator.estimateBucket(micro));
+            }
+        } else {
+            infos = base_infos;
+        }
+
+        // Generalized split (extension beyond Algorithm 3, see
+        // DESIGN.md): any *other* bucket whose standalone estimate
+        // exceeds the budget is atomic and would make every K fail,
+        // so it is split into just enough micro-buckets to fit. This
+        // matters at small scales/budgets where non-cut-off buckets
+        // can individually outgrow the device.
+        if (options_.enable_split && activation_budget > 0) {
+            std::vector<BucketMemInfo> expanded;
+            expanded.reserve(infos.size());
+            for (auto &info : infos) {
+                if (info.est_bytes <= activation_budget ||
+                    info.bucket.volume() <= 1) {
+                    expanded.push_back(std::move(info));
+                    continue;
+                }
+                std::vector<DegreeBucket> pending = {info.bucket};
+                for (int round = 0;
+                     round < 8 && !pending.empty(); ++round) {
+                    std::vector<DegreeBucket> next;
+                    for (const auto &piece : pending) {
+                        BucketMemInfo piece_info =
+                            bucket_estimator.estimateBucket(piece);
+                        if (piece_info.est_bytes <=
+                                activation_budget ||
+                            piece.volume() <= 1) {
+                            expanded.push_back(
+                                std::move(piece_info));
+                            continue;
+                        }
+                        const int pieces = std::min<std::uint64_t>(
+                            piece.volume(),
+                            piece_info.est_bytes /
+                                    std::max<std::uint64_t>(
+                                        activation_budget / 2, 1) +
+                                2);
+                        for (auto &micro :
+                             splitExplosionBucket(piece, pieces))
+                            next.push_back(std::move(micro));
+                    }
+                    pending = std::move(next);
+                }
+                for (const auto &piece : pending)
+                    expanded.push_back(
+                        bucket_estimator.estimateBucket(piece));
+            }
+            infos = std::move(expanded);
+        }
+
+        // Line 6: memory-balanced grouping.
+        GroupingResult grouping = memBalancedGrouping(
+            infos, k, options_.reserved_bytes + activation_budget,
+            estimator, options_.reserved_bytes, options_.policy);
+        if (grouping.success) {
+            result.num_groups =
+                static_cast<int>(grouping.groups.size());
+            result.groups = std::move(grouping.groups);
+            result.single_group = k == 1;
+            result.schedule_seconds = watch.seconds();
+            BUFFALO_LOG_INFO("scheduler")
+                << "K=" << result.num_groups << " groups (explosion="
+                << result.explosion_detected << ") in "
+                << result.schedule_seconds << "s";
+            return result;
+        }
+    }
+    throw InvalidArgument(
+        "BuffaloScheduler: batch cannot satisfy the memory constraint "
+        "even with max_groups micro-batches");
+}
+
+} // namespace buffalo::core

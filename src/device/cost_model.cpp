@@ -1,0 +1,47 @@
+#include "device/cost_model.h"
+
+#include "util/errors.h"
+
+namespace buffalo::device {
+
+double
+CostModel::kernelSeconds(double flops) const
+{
+    checkArgument(flops >= 0, "CostModel::kernelSeconds: negative flops");
+    const double effective =
+        params_.flops_per_second * params_.gnn_efficiency;
+    return params_.kernel_launch_seconds + flops / effective;
+}
+
+double
+CostModel::kernelsSeconds(double flops, std::uint64_t kernel_count) const
+{
+    const double effective =
+        params_.flops_per_second * params_.gnn_efficiency;
+    return static_cast<double>(kernel_count) *
+               params_.kernel_launch_seconds +
+           flops / effective;
+}
+
+double
+CostModel::transferSeconds(std::uint64_t bytes) const
+{
+    return params_.transfer_latency_seconds +
+           static_cast<double>(bytes) /
+               params_.transfer_bytes_per_second;
+}
+
+double
+CostModel::allReduceSeconds(std::uint64_t bytes, int devices) const
+{
+    checkArgument(devices >= 1,
+                  "CostModel::allReduceSeconds: need >= 1 device");
+    if (devices == 1)
+        return 0.0;
+    const double n = static_cast<double>(devices);
+    const double moved = 2.0 * (n - 1.0) / n * static_cast<double>(bytes);
+    return params_.transfer_latency_seconds +
+           moved / params_.p2p_bytes_per_second;
+}
+
+} // namespace buffalo::device

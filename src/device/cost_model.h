@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analytic timing model — the compute half of the simulated GPU.
+ *
+ * Host-side phases (partitioning, scheduling, block generation) run for
+ * real and are measured with wall clocks; only the accelerator-side work
+ * (kernels, PCIe transfers) is charged through this model. Defaults are
+ * calibrated to the paper's RTX 6000 testbed. The figures the model
+ * feeds compare *relative* times, which are insensitive to the absolute
+ * constants (see DESIGN.md, "Substitutions").
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace buffalo::device {
+
+/** Tunable hardware constants of the simulated accelerator. */
+struct CostModelParams
+{
+    /** Sustained fp32 throughput, FLOP/s (RTX 6000 ~ 16.3 TFLOPS). */
+    double flops_per_second = 16.3e12;
+    /** Effective host->device bandwidth, bytes/s (PCIe 3.0 x16). */
+    double transfer_bytes_per_second = 12.0e9;
+    /** Fixed kernel-launch overhead, seconds. */
+    double kernel_launch_seconds = 10e-6;
+    /** Fixed per-transfer latency, seconds. */
+    double transfer_latency_seconds = 20e-6;
+    /** Achieved fraction of peak FLOPs for irregular GNN kernels. */
+    double gnn_efficiency = 0.25;
+    /** Device->device bandwidth for multi-GPU collectives (PCIe P2P). */
+    double p2p_bytes_per_second = 10.0e9;
+};
+
+/** Converts work (FLOPs, bytes) into simulated accelerator seconds. */
+class CostModel
+{
+  public:
+    CostModel() = default;
+    explicit CostModel(const CostModelParams &params) : params_(params) {}
+
+    const CostModelParams &params() const { return params_; }
+
+    /** Seconds for one kernel performing @p flops fp32 operations. */
+    double kernelSeconds(double flops) const;
+
+    /** Seconds for @p kernel_count back-to-back kernels of @p flops. */
+    double kernelsSeconds(double flops, std::uint64_t kernel_count) const;
+
+    /** Seconds to move @p bytes host->device (or back). */
+    double transferSeconds(std::uint64_t bytes) const;
+
+    /**
+     * Seconds for a ring all-reduce of @p bytes across @p devices
+     * (2(n-1)/n * bytes over the slowest link).
+     */
+    double allReduceSeconds(std::uint64_t bytes, int devices) const;
+
+  private:
+    CostModelParams params_;
+};
+
+} // namespace buffalo::device

@@ -1,0 +1,62 @@
+#include "device/device.h"
+
+#include "util/errors.h"
+
+namespace buffalo::device {
+
+Device::Device(std::string name, std::uint64_t capacity_bytes)
+    : name_(std::move(name)), allocator_(capacity_bytes)
+{
+}
+
+Device::Device(std::string name, std::uint64_t capacity_bytes,
+               const CostModelParams &params)
+    : name_(std::move(name)), allocator_(capacity_bytes),
+      cost_model_(params)
+{
+}
+
+void
+Device::chargeCompute(double flops, std::uint64_t kernel_count)
+{
+    compute_seconds_ += cost_model_.kernelsSeconds(flops, kernel_count);
+}
+
+void
+Device::chargeTransfer(std::uint64_t bytes)
+{
+    transfer_seconds_ += cost_model_.transferSeconds(bytes);
+}
+
+void
+Device::chargeComputeSeconds(double seconds)
+{
+    checkArgument(seconds >= 0,
+                  "Device::chargeComputeSeconds: negative time");
+    compute_seconds_ += seconds;
+}
+
+void
+Device::resetClocks()
+{
+    compute_seconds_ = 0.0;
+    transfer_seconds_ = 0.0;
+}
+
+DeviceGroup::DeviceGroup(int count, std::uint64_t capacity_bytes_each,
+                         const CostModelParams &params)
+{
+    checkArgument(count >= 1, "DeviceGroup: need at least one device");
+    for (int i = 0; i < count; ++i) {
+        devices_.push_back(std::make_unique<Device>(
+            "gpu:" + std::to_string(i), capacity_bytes_each, params));
+    }
+}
+
+double
+DeviceGroup::allReduceSeconds(std::uint64_t bytes) const
+{
+    return devices_.front()->costModel().allReduceSeconds(bytes, size());
+}
+
+} // namespace buffalo::device

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The simulated accelerator: a named pairing of DeviceAllocator (memory)
+ * and CostModel (time) plus an accumulating simulated clock. Substitutes
+ * for the paper's RTX 6000 / A100 GPUs (see DESIGN.md).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/cost_model.h"
+#include "device/memory.h"
+
+namespace buffalo::device {
+
+/** One simulated accelerator with its own memory and clock. */
+class Device
+{
+  public:
+    /** Creates a device with @p capacity_bytes and default cost model. */
+    Device(std::string name, std::uint64_t capacity_bytes);
+
+    /** Creates a device with an explicit cost model. */
+    Device(std::string name, std::uint64_t capacity_bytes,
+           const CostModelParams &params);
+
+    const std::string &name() const { return name_; }
+
+    /** Allocation observer to pass when allocating "on this device". */
+    DeviceAllocator &allocator() { return allocator_; }
+    const DeviceAllocator &allocator() const { return allocator_; }
+
+    const CostModel &costModel() const { return cost_model_; }
+
+    /** Charges @p flops of kernel work to the compute clock. */
+    void chargeCompute(double flops, std::uint64_t kernel_count = 1);
+
+    /** Charges a host->device transfer of @p bytes. */
+    void chargeTransfer(std::uint64_t bytes);
+
+    /** Charges arbitrary simulated seconds to the compute clock. */
+    void chargeComputeSeconds(double seconds);
+
+    /** Accumulated simulated kernel time, seconds. */
+    double computeSeconds() const { return compute_seconds_; }
+
+    /** Accumulated simulated transfer time, seconds. */
+    double transferSeconds() const { return transfer_seconds_; }
+
+    /** computeSeconds() + transferSeconds(). */
+    double totalSeconds() const
+    {
+        return compute_seconds_ + transfer_seconds_;
+    }
+
+    /** Zeroes both clocks (memory watermark is separate; see allocator). */
+    void resetClocks();
+
+  private:
+    std::string name_;
+    DeviceAllocator allocator_;
+    CostModel cost_model_;
+    double compute_seconds_ = 0.0;
+    double transfer_seconds_ = 0.0;
+};
+
+/**
+ * A set of identical devices for simulated data-parallel training
+ * (paper §V-G), with an all-reduce time model over the P2P link.
+ */
+class DeviceGroup
+{
+  public:
+    /** Creates @p count devices named "<prefix>:<i>". */
+    DeviceGroup(int count, std::uint64_t capacity_bytes_each,
+                const CostModelParams &params = {});
+
+    int size() const { return static_cast<int>(devices_.size()); }
+
+    Device &device(int i) { return *devices_.at(i); }
+    const Device &device(int i) const { return *devices_.at(i); }
+
+    /** Simulated seconds for one gradient all-reduce of @p bytes. */
+    double allReduceSeconds(std::uint64_t bytes) const;
+
+  private:
+    std::vector<std::unique_ptr<Device>> devices_;
+};
+
+} // namespace buffalo::device

@@ -1,0 +1,50 @@
+#include "device/memory.h"
+
+#include "util/format.h"
+
+namespace buffalo::device {
+
+DeviceOom::DeviceOom(std::uint64_t requested, std::uint64_t in_use,
+                     std::uint64_t capacity)
+    : Error("device out of memory: requested " +
+            util::formatBytes(requested) + " with " +
+            util::formatBytes(in_use) + " in use of " +
+            util::formatBytes(capacity) + " capacity"),
+      requested_(requested), in_use_(in_use), capacity_(capacity)
+{
+}
+
+DeviceAllocator::DeviceAllocator(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes)
+{
+}
+
+void
+DeviceAllocator::onAllocate(std::uint64_t bytes)
+{
+    if (in_use_ + bytes > capacity_) {
+        ++oom_count_;
+        throw DeviceOom(bytes, in_use_, capacity_);
+    }
+    in_use_ += bytes;
+    if (in_use_ > peak_)
+        peak_ = in_use_;
+}
+
+void
+DeviceAllocator::onFree(std::uint64_t bytes)
+{
+    checkInternal(bytes <= in_use_,
+                  "DeviceAllocator::onFree: freeing more than in use");
+    in_use_ -= bytes;
+}
+
+void
+DeviceAllocator::setCapacity(std::uint64_t capacity_bytes)
+{
+    checkArgument(capacity_bytes >= in_use_,
+                  "DeviceAllocator::setCapacity: capacity below usage");
+    capacity_ = capacity_bytes;
+}
+
+} // namespace buffalo::device

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Capacity-limited tracking allocator — the memory half of the simulated
+ * GPU. It observes every tensor allocation charged to the device, refuses
+ * allocations past the configured capacity by throwing DeviceOom (exactly
+ * how the paper's baselines fail in Figs. 2 and 10 / Table IV), and keeps
+ * the peak watermark the evaluation reports as "CUDA memory cost".
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/tensor.h"
+#include "util/errors.h"
+
+namespace buffalo::device {
+
+/** Thrown when an allocation would exceed the device memory capacity. */
+class DeviceOom : public Error
+{
+  public:
+    DeviceOom(std::uint64_t requested, std::uint64_t in_use,
+              std::uint64_t capacity);
+
+    std::uint64_t requested() const { return requested_; }
+    std::uint64_t inUse() const { return in_use_; }
+    std::uint64_t capacity() const { return capacity_; }
+
+  private:
+    std::uint64_t requested_;
+    std::uint64_t in_use_;
+    std::uint64_t capacity_;
+};
+
+/**
+ * Tracking allocator with a hard byte capacity.
+ *
+ * Thread-compatible, not thread-safe: the training loop is single-
+ * threaded per device, matching one CUDA stream.
+ */
+class DeviceAllocator : public tensor::AllocationObserver
+{
+  public:
+    /** Creates an allocator with @p capacity_bytes of "device" memory. */
+    explicit DeviceAllocator(std::uint64_t capacity_bytes);
+
+    void onAllocate(std::uint64_t bytes) override;
+    void onFree(std::uint64_t bytes) override;
+
+    /** Live bytes right now. */
+    std::uint64_t bytesInUse() const { return in_use_; }
+
+    /** High-water mark since construction or resetPeak(). */
+    std::uint64_t peakBytes() const { return peak_; }
+
+    /** Configured capacity. */
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Changes the capacity (must be >= bytesInUse()). */
+    void setCapacity(std::uint64_t capacity_bytes);
+
+    /** Resets the peak watermark to the current usage. */
+    void resetPeak() { peak_ = in_use_; }
+
+    /** Count of allocation refusals (OOMs thrown). */
+    std::uint64_t oomCount() const { return oom_count_; }
+
+  private:
+    std::uint64_t capacity_;
+    std::uint64_t in_use_ = 0;
+    std::uint64_t peak_ = 0;
+    std::uint64_t oom_count_ = 0;
+};
+
+} // namespace buffalo::device

@@ -1,0 +1,64 @@
+#include "graph/coo.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace buffalo::graph {
+
+CooBuilder::CooBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+void
+CooBuilder::addEdge(NodeId src, NodeId dst)
+{
+    checkArgument(src < num_nodes_ && dst < num_nodes_,
+                  "CooBuilder::addEdge: node id out of range");
+    edges_.push_back({src, dst});
+}
+
+void
+CooBuilder::addUndirectedEdge(NodeId u, NodeId v)
+{
+    addEdge(u, v);
+    addEdge(v, u);
+}
+
+void
+CooBuilder::reserve(EdgeIndex count)
+{
+    edges_.reserve(count);
+}
+
+CsrGraph
+CooBuilder::toCsr(bool dedup, bool drop_self_loops) const
+{
+    // Sort by (dst, src) so rows of the in-CSR come out sorted.
+    std::vector<Edge> sorted = edges_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Edge &a, const Edge &b) {
+                  return a.dst != b.dst ? a.dst < b.dst : a.src < b.src;
+              });
+
+    std::vector<EdgeIndex> offsets(
+        static_cast<std::size_t>(num_nodes_) + 1, 0);
+    std::vector<NodeId> targets;
+    targets.reserve(sorted.size());
+
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const Edge &e = sorted[i];
+        if (drop_self_loops && e.src == e.dst)
+            continue;
+        if (dedup && i > 0 && sorted[i - 1].src == e.src &&
+            sorted[i - 1].dst == e.dst) {
+            continue;
+        }
+        targets.push_back(e.src);
+        ++offsets[e.dst + 1];
+    }
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+        offsets[i] += offsets[i - 1];
+
+    return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+} // namespace buffalo::graph

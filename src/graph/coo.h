@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Coordinate-format edge-list builder that compiles into CsrGraph.
+ */
+#pragma once
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace buffalo::graph {
+
+/** Mutable edge accumulator; finalize with toCsr(). */
+class CooBuilder
+{
+  public:
+    /** Creates a builder for a graph with @p num_nodes nodes. */
+    explicit CooBuilder(NodeId num_nodes);
+
+    /** Adds the directed edge src -> dst. Ids must be < numNodes(). */
+    void addEdge(NodeId src, NodeId dst);
+
+    /** Adds src -> dst and dst -> src. */
+    void addUndirectedEdge(NodeId u, NodeId v);
+
+    /** Number of edges added so far. */
+    EdgeIndex numEdges() const { return edges_.size(); }
+
+    /** Node count this builder was created with. */
+    NodeId numNodes() const { return num_nodes_; }
+
+    /** Reserves space for @p count edges. */
+    void reserve(EdgeIndex count);
+
+    /**
+     * Compiles the accumulated edges into in-CSR form: row `dst` lists
+     * each edge's `src`. Rows are sorted; duplicates removed if
+     * @p dedup. Self-loops dropped if @p drop_self_loops.
+     */
+    CsrGraph toCsr(bool dedup = true, bool drop_self_loops = true) const;
+
+  private:
+    NodeId num_nodes_;
+    std::vector<Edge> edges_;
+};
+
+} // namespace buffalo::graph

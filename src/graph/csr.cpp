@@ -1,0 +1,101 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace buffalo::graph {
+
+CsrGraph::CsrGraph() : offsets_{0} {}
+
+CsrGraph::CsrGraph(std::vector<EdgeIndex> offsets,
+                   std::vector<NodeId> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets))
+{
+    checkArgument(!offsets_.empty() && offsets_.front() == 0,
+                  "CsrGraph: offsets must start at 0");
+    checkArgument(offsets_.back() == targets_.size(),
+                  "CsrGraph: last offset must equal number of targets");
+    const NodeId n = numNodes();
+    for (std::size_t i = 1; i < offsets_.size(); ++i) {
+        checkArgument(offsets_[i - 1] <= offsets_[i],
+                      "CsrGraph: offsets must be non-decreasing");
+    }
+    for (std::size_t row = 0; row + 1 < offsets_.size(); ++row) {
+        for (EdgeIndex e = offsets_[row]; e < offsets_[row + 1]; ++e) {
+            checkArgument(targets_[e] < n,
+                          "CsrGraph: target id out of range");
+            if (e > offsets_[row] && targets_[e - 1] > targets_[e])
+                rows_sorted_ = false;
+        }
+    }
+}
+
+bool
+CsrGraph::hasEdge(NodeId dst, NodeId src) const
+{
+    auto row = neighbors(dst);
+    if (rows_sorted_)
+        return std::binary_search(row.begin(), row.end(), src);
+    return std::find(row.begin(), row.end(), src) != row.end();
+}
+
+CsrGraph
+CsrGraph::reversed() const
+{
+    const NodeId n = numNodes();
+    std::vector<EdgeIndex> rev_offsets(n + 1, 0);
+    for (NodeId neighbor : targets_)
+        ++rev_offsets[neighbor + 1];
+    for (NodeId u = 0; u < n; ++u)
+        rev_offsets[u + 1] += rev_offsets[u];
+
+    std::vector<NodeId> rev_targets(targets_.size());
+    std::vector<EdgeIndex> cursor(rev_offsets.begin(),
+                                  rev_offsets.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v : neighbors(u))
+            rev_targets[cursor[v]++] = u;
+    }
+    return CsrGraph(std::move(rev_offsets), std::move(rev_targets));
+}
+
+std::vector<EdgeIndex>
+CsrGraph::degreeVector() const
+{
+    const NodeId n = numNodes();
+    std::vector<EdgeIndex> degrees(n);
+    for (NodeId u = 0; u < n; ++u)
+        degrees[u] = degree(u);
+    return degrees;
+}
+
+EdgeIndex
+CsrGraph::maxDegree() const
+{
+    EdgeIndex best = 0;
+    const NodeId n = numNodes();
+    for (NodeId u = 0; u < n; ++u)
+        best = std::max(best, degree(u));
+    return best;
+}
+
+NodeId
+CsrGraph::countZeroDegreeNodes() const
+{
+    NodeId count = 0;
+    const NodeId n = numNodes();
+    for (NodeId u = 0; u < n; ++u)
+        if (degree(u) == 0)
+            ++count;
+    return count;
+}
+
+std::uint64_t
+CsrGraph::memoryBytes() const
+{
+    return offsets_.size() * sizeof(EdgeIndex) +
+           targets_.size() * sizeof(NodeId);
+}
+
+} // namespace buffalo::graph

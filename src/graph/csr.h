@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Compressed Sparse Row graph — the core immutable graph container.
+ *
+ * The in-neighbor orientation matters for GNNs: message passing aggregates
+ * over a node's *in*-neighbors, so most of the pipeline stores graphs in
+ * in-CSR form (row u lists the sources of edges into u). reversed() flips
+ * orientation when the out view is needed.
+ */
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace buffalo::graph {
+
+/** Immutable CSR adjacency structure. */
+class CsrGraph
+{
+  public:
+    /** Constructs an empty graph with zero nodes. */
+    CsrGraph();
+
+    /**
+     * Constructs from raw CSR arrays.
+     *
+     * @param offsets Row offsets; size numNodes()+1, non-decreasing,
+     *                offsets.front()==0, offsets.back()==targets.size().
+     * @param targets Column indices (neighbor ids), each < numNodes().
+     */
+    CsrGraph(std::vector<EdgeIndex> offsets, std::vector<NodeId> targets);
+
+    /** Number of nodes. */
+    NodeId numNodes() const
+    {
+        return static_cast<NodeId>(offsets_.size() - 1);
+    }
+
+    /** Number of (directed) edges. */
+    EdgeIndex numEdges() const { return targets_.size(); }
+
+    /** Degree of @p node (length of its CSR row). */
+    EdgeIndex
+    degree(NodeId node) const
+    {
+        return offsets_[node + 1] - offsets_[node];
+    }
+
+    /** Neighbors of @p node, as a contiguous span. */
+    std::span<const NodeId>
+    neighbors(NodeId node) const
+    {
+        return {targets_.data() + offsets_[node],
+                targets_.data() + offsets_[node + 1]};
+    }
+
+    /** Raw row-offset array (size numNodes()+1). */
+    const std::vector<EdgeIndex> &offsets() const { return offsets_; }
+
+    /** Raw column-index array (size numEdges()). */
+    const std::vector<NodeId> &targets() const { return targets_; }
+
+    /** True if @p src appears in @p dst's row. O(log degree) if sorted. */
+    bool hasEdge(NodeId dst, NodeId src) const;
+
+    /** True if every row's neighbor list is sorted ascending. */
+    bool rowsSorted() const { return rows_sorted_; }
+
+    /** Returns the graph with all edges reversed. O(V+E). */
+    CsrGraph reversed() const;
+
+    /** Degree of every node (copy of row lengths). */
+    std::vector<EdgeIndex> degreeVector() const;
+
+    /** Maximum row degree; 0 for an empty graph. */
+    EdgeIndex maxDegree() const;
+
+    /** Number of nodes whose row is empty (zero in-edges). */
+    NodeId countZeroDegreeNodes() const;
+
+    /** Approximate heap bytes held by the CSR arrays. */
+    std::uint64_t memoryBytes() const;
+
+  private:
+    std::vector<EdgeIndex> offsets_;
+    std::vector<NodeId> targets_;
+    bool rows_sorted_ = true;
+};
+
+} // namespace buffalo::graph

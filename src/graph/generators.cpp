@@ -1,0 +1,284 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "graph/coo.h"
+#include "util/errors.h"
+
+namespace buffalo::graph {
+
+namespace {
+
+/** Rounds up to the next power of two (>= 1). */
+NodeId
+nextPowerOfTwo(NodeId x)
+{
+    NodeId p = 1;
+    while (p < x)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+CsrGraph
+generateBarabasiAlbert(NodeId num_nodes, NodeId edges_per_node,
+                       util::Rng &rng)
+{
+    checkArgument(edges_per_node >= 1,
+                  "generateBarabasiAlbert: need edges_per_node >= 1");
+    checkArgument(num_nodes > edges_per_node,
+                  "generateBarabasiAlbert: need num_nodes > edges_per_node");
+
+    CooBuilder builder(num_nodes);
+    // repeated-node list: node id appears once per incident edge end,
+    // so sampling uniformly from it is degree-proportional sampling.
+    std::vector<NodeId> ends;
+    ends.reserve(static_cast<std::size_t>(num_nodes) * edges_per_node * 2);
+
+    const NodeId seed_size = edges_per_node + 1;
+    for (NodeId u = 0; u < seed_size; ++u) {
+        for (NodeId v = u + 1; v < seed_size; ++v) {
+            builder.addUndirectedEdge(u, v);
+            ends.push_back(u);
+            ends.push_back(v);
+        }
+    }
+
+    std::unordered_set<NodeId> chosen;
+    for (NodeId u = seed_size; u < num_nodes; ++u) {
+        chosen.clear();
+        while (chosen.size() < edges_per_node) {
+            NodeId target = ends[rng.nextBounded(ends.size())];
+            if (target != u)
+                chosen.insert(target);
+        }
+        for (NodeId target : chosen) {
+            builder.addUndirectedEdge(u, target);
+            ends.push_back(u);
+            ends.push_back(target);
+        }
+    }
+    return builder.toCsr();
+}
+
+CsrGraph
+generateErdosRenyi(NodeId num_nodes, double edge_probability,
+                   util::Rng &rng)
+{
+    checkArgument(edge_probability >= 0.0 && edge_probability <= 1.0,
+                  "generateErdosRenyi: probability must be in [0, 1]");
+    CooBuilder builder(num_nodes);
+    if (edge_probability <= 0.0 || num_nodes < 2)
+        return builder.toCsr();
+
+    // Geometric skipping over the upper triangle: O(expected edges).
+    const double log_q = std::log(1.0 - edge_probability);
+    const std::uint64_t total_pairs =
+        static_cast<std::uint64_t>(num_nodes) * (num_nodes - 1) / 2;
+    std::uint64_t index = 0;
+    while (true) {
+        const double r = std::max(rng.nextDouble(), 1e-300);
+        if (edge_probability >= 1.0) {
+            // Every pair present.
+            if (index >= total_pairs)
+                break;
+        } else {
+            const std::uint64_t skip = static_cast<std::uint64_t>(
+                std::floor(std::log(r) / log_q));
+            index += skip;
+            if (index >= total_pairs)
+                break;
+        }
+        // Decode the linear pair index into (u, v) with u < v.
+        const double ui =
+            (std::sqrt(8.0 * static_cast<double>(index) + 1.0) - 1.0) / 2.0;
+        NodeId u = static_cast<NodeId>(ui);
+        // Adjust for floating error.
+        while (static_cast<std::uint64_t>(u + 1) * (u + 2) / 2 <= index)
+            ++u;
+        while (static_cast<std::uint64_t>(u) * (u + 1) / 2 > index)
+            --u;
+        const NodeId v = static_cast<NodeId>(
+            index - static_cast<std::uint64_t>(u) * (u + 1) / 2);
+        // Here u >= v by construction of the triangular indexing; map to
+        // a pair with distinct endpoints u+1 > v.
+        builder.addUndirectedEdge(u + 1, v);
+        ++index;
+    }
+    return builder.toCsr();
+}
+
+CsrGraph
+generateWattsStrogatz(NodeId num_nodes, NodeId neighbors_each_side,
+                      double rewire_probability, util::Rng &rng)
+{
+    checkArgument(num_nodes > 2 * neighbors_each_side,
+                  "generateWattsStrogatz: ring too small for k");
+    CooBuilder builder(num_nodes);
+    for (NodeId u = 0; u < num_nodes; ++u) {
+        for (NodeId k = 1; k <= neighbors_each_side; ++k) {
+            NodeId v = (u + k) % num_nodes;
+            if (rng.nextBernoulli(rewire_probability)) {
+                // Rewire to a uniform non-self target.
+                NodeId w;
+                do {
+                    w = static_cast<NodeId>(rng.nextBounded(num_nodes));
+                } while (w == u);
+                v = w;
+            }
+            builder.addUndirectedEdge(u, v);
+        }
+    }
+    return builder.toCsr();
+}
+
+CsrGraph
+generateRmat(NodeId num_nodes, EdgeIndex num_edges, double a, double b,
+             double c, util::Rng &rng)
+{
+    checkArgument(a > 0 && b >= 0 && c >= 0 && a + b + c < 1.0,
+                  "generateRmat: quadrant probabilities must be valid");
+    const NodeId n = nextPowerOfTwo(num_nodes);
+    CooBuilder builder(n);
+    builder.reserve(num_edges * 2);
+
+    int levels = 0;
+    while ((NodeId(1) << levels) < n)
+        ++levels;
+
+    for (EdgeIndex e = 0; e < num_edges; ++e) {
+        NodeId src = 0, dst = 0;
+        for (int level = 0; level < levels; ++level) {
+            const double r = rng.nextDouble();
+            src <<= 1;
+            dst <<= 1;
+            if (r < a) {
+                // top-left quadrant: no bits set
+            } else if (r < a + b) {
+                dst |= 1;
+            } else if (r < a + b + c) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        if (src != dst)
+            builder.addUndirectedEdge(src, dst);
+    }
+    return builder.toCsr();
+}
+
+CsrGraph
+generateCommunityPowerLaw(NodeId num_nodes, NodeId community_size,
+                          double intra_probability,
+                          NodeId inter_edges_per_node, util::Rng &rng)
+{
+    checkArgument(community_size >= 2,
+                  "generateCommunityPowerLaw: community_size >= 2");
+    checkArgument(intra_probability >= 0.0 && intra_probability <= 1.0,
+                  "generateCommunityPowerLaw: bad intra probability");
+    checkArgument(num_nodes > community_size,
+                  "generateCommunityPowerLaw: too few nodes");
+
+    CooBuilder builder(num_nodes);
+
+    // Dense intra-community edges (triangle factories).
+    for (NodeId base = 0; base < num_nodes; base += community_size) {
+        const NodeId hi =
+            std::min<NodeId>(num_nodes, base + community_size);
+        for (NodeId u = base; u < hi; ++u)
+            for (NodeId v = u + 1; v < hi; ++v)
+                if (rng.nextBernoulli(intra_probability))
+                    builder.addUndirectedEdge(u, v);
+    }
+
+    // Preferential-attachment cross edges (heavy hub tail). The PA
+    // pool holds only *cross-edge* endpoints so the rich-get-richer
+    // loop compounds instead of being diluted by the uniform
+    // intra-community degrees.
+    std::vector<NodeId> cross_ends;
+    std::unordered_set<NodeId> chosen;
+    for (NodeId u = 0; u < num_nodes; ++u) {
+        chosen.clear();
+        for (NodeId k = 0; k < inter_edges_per_node; ++k) {
+            NodeId target;
+            int attempts = 0;
+            do {
+                target = cross_ends.empty()
+                             ? static_cast<NodeId>(
+                                   rng.nextBounded(num_nodes))
+                             : cross_ends[rng.nextBounded(
+                                   cross_ends.size())];
+            } while ((target == u || chosen.count(target)) &&
+                     ++attempts < 16);
+            if (target == u || chosen.count(target))
+                continue;
+            chosen.insert(target);
+            builder.addUndirectedEdge(u, target);
+            cross_ends.push_back(u);
+            cross_ends.push_back(target);
+        }
+    }
+    return builder.toCsr();
+}
+
+CsrGraph
+generatePowerLawCluster(NodeId num_nodes, NodeId edges_per_node,
+                        double triad_probability, util::Rng &rng)
+{
+    checkArgument(edges_per_node >= 1,
+                  "generatePowerLawCluster: need edges_per_node >= 1");
+    checkArgument(num_nodes > edges_per_node,
+                  "generatePowerLawCluster: num_nodes too small");
+    checkArgument(triad_probability >= 0.0 && triad_probability <= 1.0,
+                  "generatePowerLawCluster: probability must be in [0, 1]");
+
+    CooBuilder builder(num_nodes);
+    std::vector<NodeId> ends;
+    // adjacency (small per-node lists) for triad formation lookups.
+    std::vector<std::vector<NodeId>> adjacency(num_nodes);
+
+    auto connect = [&](NodeId u, NodeId v) {
+        builder.addUndirectedEdge(u, v);
+        adjacency[u].push_back(v);
+        adjacency[v].push_back(u);
+        ends.push_back(u);
+        ends.push_back(v);
+    };
+
+    const NodeId seed_size = edges_per_node + 1;
+    for (NodeId u = 0; u < seed_size; ++u)
+        for (NodeId v = u + 1; v < seed_size; ++v)
+            connect(u, v);
+
+    for (NodeId u = seed_size; u < num_nodes; ++u) {
+        NodeId previous_target = 0;
+        bool have_previous = false;
+        std::unordered_set<NodeId> chosen;
+        while (chosen.size() < edges_per_node) {
+            NodeId target;
+            if (have_previous && rng.nextBernoulli(triad_probability) &&
+                !adjacency[previous_target].empty()) {
+                // Triad formation: close a triangle with a neighbor of
+                // the previous preferential-attachment target.
+                const auto &nbrs = adjacency[previous_target];
+                target = nbrs[rng.nextBounded(nbrs.size())];
+            } else {
+                target = ends[rng.nextBounded(ends.size())];
+            }
+            if (target == u || chosen.count(target))
+                continue;
+            chosen.insert(target);
+            connect(u, target);
+            previous_target = target;
+            have_previous = true;
+        }
+    }
+    return builder.toCsr();
+}
+
+} // namespace buffalo::graph

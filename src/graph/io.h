@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Graph and dataset (de)serialization.
+ *
+ * Two formats:
+ *  - *Edge-list text*: one "src dst" pair per line ('#' comments,
+ *    blank lines ignored) — the format real datasets (SNAP, OGB
+ *    exports) commonly ship in, so users can feed their own graphs to
+ *    the trainers via makeDataset.
+ *  - *Binary dataset bundle*: a single versioned file holding the CSR
+ *    arrays, labels, and metadata of a Dataset, for fast reload of
+ *    generated or imported datasets.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.h"
+#include "graph/datasets.h"
+
+namespace buffalo::graph {
+
+/**
+ * Parses an edge-list text stream into an in-CSR graph.
+ *
+ * @param symmetrize Add the reverse of every edge (undirected input).
+ * @param num_nodes Node count; 0 derives it as max id + 1.
+ * @throws InvalidArgument on malformed lines or out-of-range ids.
+ */
+CsrGraph readEdgeList(std::istream &in, bool symmetrize = true,
+                      NodeId num_nodes = 0);
+
+/** readEdgeList from a file path; throws NotFound if unreadable. */
+CsrGraph readEdgeListFile(const std::string &path,
+                          bool symmetrize = true, NodeId num_nodes = 0);
+
+/** Writes "src dst" lines for every directed CSR edge. */
+void writeEdgeList(std::ostream &out, const CsrGraph &graph);
+
+/** writeEdgeList to a file path; throws Error if unwritable. */
+void writeEdgeListFile(const std::string &path, const CsrGraph &graph);
+
+/**
+ * Serializes a Dataset (graph + labels + metadata) to a versioned
+ * binary stream. Features are regenerated from the stored seed on
+ * load, so the bundle stays small.
+ */
+void saveDataset(std::ostream &out, const Dataset &dataset);
+
+/** saveDataset to a file path. */
+void saveDatasetFile(const std::string &path, const Dataset &dataset);
+
+/** Reads a dataset bundle written by saveDataset. */
+Dataset loadDatasetBundle(std::istream &in);
+
+/** loadDatasetBundle from a file path; throws NotFound if missing. */
+Dataset loadDatasetBundleFile(const std::string &path);
+
+} // namespace buffalo::graph

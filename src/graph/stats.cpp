@@ -1,0 +1,109 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace buffalo::graph {
+
+double
+averageDegree(const CsrGraph &graph)
+{
+    if (graph.numNodes() == 0)
+        return 0.0;
+    return static_cast<double>(graph.numEdges()) /
+           static_cast<double>(graph.numNodes());
+}
+
+double
+localClusteringCoefficient(const CsrGraph &graph, NodeId node)
+{
+    auto row = graph.neighbors(node);
+    // Unique neighbors, excluding the node itself.
+    std::vector<NodeId> nbrs(row.begin(), row.end());
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+    nbrs.erase(std::remove(nbrs.begin(), nbrs.end(), node), nbrs.end());
+    const std::size_t k = nbrs.size();
+    if (k < 2)
+        return 0.0;
+
+    std::size_t links = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = i + 1; j < k; ++j) {
+            if (graph.hasEdge(nbrs[i], nbrs[j]) ||
+                graph.hasEdge(nbrs[j], nbrs[i])) {
+                ++links;
+            }
+        }
+    }
+    return 2.0 * static_cast<double>(links) /
+           (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+double
+averageClusteringCoefficient(const CsrGraph &graph)
+{
+    const NodeId n = graph.numNodes();
+    if (n == 0)
+        return 0.0;
+    double sum = 0.0;
+    for (NodeId u = 0; u < n; ++u)
+        sum += localClusteringCoefficient(graph, u);
+    return sum / static_cast<double>(n);
+}
+
+double
+sampledClusteringCoefficient(const CsrGraph &graph,
+                             std::size_t num_samples, util::Rng &rng)
+{
+    const NodeId n = graph.numNodes();
+    if (n == 0)
+        return 0.0;
+    if (num_samples >= n)
+        return averageClusteringCoefficient(graph);
+    auto picks = rng.sampleWithoutReplacement(n, num_samples);
+    double sum = 0.0;
+    for (auto pick : picks)
+        sum += localClusteringCoefficient(graph,
+                                          static_cast<NodeId>(pick));
+    return sum / static_cast<double>(num_samples);
+}
+
+PowerLawFit
+fitPowerLaw(const CsrGraph &graph, EdgeIndex dmin)
+{
+    PowerLawFit fit;
+    const double avg = averageDegree(graph);
+    if (dmin == 0) {
+        // Auto: fit the tail, not the bulk around the mean degree.
+        dmin = static_cast<EdgeIndex>(std::ceil(1.5 * avg));
+    }
+    fit.dmin = std::max<EdgeIndex>(dmin, 2);
+
+    const NodeId n = graph.numNodes();
+    double log_sum = 0.0;
+    std::size_t tail = 0;
+    EdgeIndex max_degree = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        const EdgeIndex d = graph.degree(u);
+        max_degree = std::max(max_degree, d);
+        if (d >= fit.dmin) {
+            log_sum += std::log(static_cast<double>(d) /
+                                (static_cast<double>(fit.dmin) - 0.5));
+            ++tail;
+        }
+    }
+    fit.tail_size = tail;
+    const std::size_t min_tail =
+        std::max<std::size_t>(10, n / 200);
+    if (tail == 0 || log_sum <= 0.0)
+        return fit;
+    fit.alpha = 1.0 + static_cast<double>(tail) / log_sum;
+
+    fit.is_power_law = fit.alpha > 1.5 && fit.alpha < 5.0 &&
+                       tail >= min_tail && avg > 0.0 &&
+                       static_cast<double>(max_degree) >= 8.0 * avg;
+    return fit;
+}
+
+} // namespace buffalo::graph

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Graph statistics: average degree, clustering coefficient, and power-law
+ * tail detection. These feed both Table II and Buffalo's redundancy-aware
+ * memory estimator (the average clustering coefficient C of Eq. 1).
+ */
+#pragma once
+
+#include "graph/csr.h"
+#include "util/rng.h"
+
+namespace buffalo::graph {
+
+/** Mean row degree of the graph. */
+double averageDegree(const CsrGraph &graph);
+
+/**
+ * Local clustering coefficient of @p node: the fraction of pairs of its
+ * neighbors that are themselves connected. Treats the graph as
+ * undirected (an edge in either direction counts). 0 for degree < 2.
+ */
+double localClusteringCoefficient(const CsrGraph &graph, NodeId node);
+
+/**
+ * Average clustering coefficient over all nodes (exact; O(sum d^2 log d)).
+ * Suitable for graphs up to a few hundred thousand edges.
+ */
+double averageClusteringCoefficient(const CsrGraph &graph);
+
+/**
+ * Sampled estimate of the average clustering coefficient using
+ * @p num_samples uniformly chosen nodes. This is what the paper calls
+ * "offline graph analysis" — cheap even for billion-scale-shaped inputs.
+ */
+double sampledClusteringCoefficient(const CsrGraph &graph,
+                                    std::size_t num_samples,
+                                    util::Rng &rng);
+
+/** Result of fitting a discrete power law to the degree tail. */
+struct PowerLawFit
+{
+    /** MLE exponent alpha of p(d) ~ d^-alpha for d >= dmin. */
+    double alpha = 0.0;
+    /** Smallest degree included in the fit. */
+    EdgeIndex dmin = 1;
+    /** Number of nodes in the fitted tail. */
+    std::size_t tail_size = 0;
+    /** Heuristic verdict: long-tailed enough to bucket-explode. */
+    bool is_power_law = false;
+};
+
+/**
+ * Fits a discrete power law to the degree *tail* via the standard
+ * continuous-approximation MLE, alpha = 1 + n / sum ln(d_i / (dmin - 1/2)).
+ *
+ * @param dmin Smallest degree included; 0 selects it automatically as
+ *        1.5x the average degree, so the fit sees the tail rather than
+ *        the bulk (community graphs concentrate mass near the mean).
+ *
+ * The is_power_law verdict requires alpha in (1.5, 5.0), a non-trivial
+ * tail, and a max degree at least 8x the average — the regime where
+ * degree-F buckets explode.
+ */
+PowerLawFit fitPowerLaw(const CsrGraph &graph, EdgeIndex dmin = 0);
+
+} // namespace buffalo::graph

@@ -1,0 +1,44 @@
+#include "graph/subgraph.h"
+
+#include "graph/coo.h"
+#include "util/errors.h"
+
+namespace buffalo::graph {
+
+NodeId
+Subgraph::local(NodeId parent_id) const
+{
+    auto it = to_local.find(parent_id);
+    checkArgument(it != to_local.end(),
+                  "Subgraph::local: node not in subgraph");
+    return it->second;
+}
+
+Subgraph
+inducedSubgraph(const CsrGraph &parent, const NodeList &nodes)
+{
+    Subgraph sub;
+    sub.originals = nodes;
+    sub.to_local.reserve(nodes.size());
+    for (NodeId i = 0; i < nodes.size(); ++i) {
+        checkArgument(nodes[i] < parent.numNodes(),
+                      "inducedSubgraph: node id out of range");
+        const bool inserted =
+            sub.to_local.emplace(nodes[i], i).second;
+        checkArgument(inserted, "inducedSubgraph: duplicate node id");
+    }
+
+    CooBuilder builder(static_cast<NodeId>(nodes.size()));
+    for (NodeId new_dst = 0; new_dst < nodes.size(); ++new_dst) {
+        for (NodeId src : parent.neighbors(nodes[new_dst])) {
+            auto it = sub.to_local.find(src);
+            if (it != sub.to_local.end())
+                builder.addEdge(it->second, new_dst);
+        }
+    }
+    // Parent rows are already deduplicated; keep self-loop behaviour.
+    sub.graph = builder.toCsr(/*dedup=*/false, /*drop_self_loops=*/false);
+    return sub;
+}
+
+} // namespace buffalo::graph

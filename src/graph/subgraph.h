@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Induced-subgraph extraction with old<->new id mappings, used when a
+ * sampled batch or a micro-batch is materialized as its own graph.
+ */
+#pragma once
+
+#include <unordered_map>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace buffalo::graph {
+
+/** A subgraph plus the mapping between its ids and the parent's. */
+struct Subgraph
+{
+    /** The induced graph, nodes renumbered 0..n-1. */
+    CsrGraph graph;
+    /** originals[new_id] == id of that node in the parent graph. */
+    NodeList originals;
+    /** parent id -> new id. */
+    std::unordered_map<NodeId, NodeId> to_local;
+
+    /** Convenience: local id for @p parent_id (must exist). */
+    NodeId local(NodeId parent_id) const;
+    /** Convenience: parent id for @p local_id. */
+    NodeId parent(NodeId local_id) const { return originals[local_id]; }
+};
+
+/**
+ * Extracts the subgraph induced by @p nodes: keeps every edge of
+ * @p parent whose endpoints are both in @p nodes. Duplicate ids in
+ * @p nodes are an error.
+ */
+Subgraph inducedSubgraph(const CsrGraph &parent, const NodeList &nodes);
+
+} // namespace buffalo::graph

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental identifier types shared by the graph subsystem.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace buffalo::graph {
+
+/** Node identifier. 32 bits covers every simulated dataset. */
+using NodeId = std::uint32_t;
+
+/** Edge count / CSR offset type. */
+using EdgeIndex = std::uint64_t;
+
+/** A directed edge src -> dst. */
+struct Edge
+{
+    NodeId src;
+    NodeId dst;
+
+    bool
+    operator==(const Edge &other) const
+    {
+        return src == other.src && dst == other.dst;
+    }
+
+    bool
+    operator<(const Edge &other) const
+    {
+        return src != other.src ? src < other.src : dst < other.dst;
+    }
+};
+
+/** A list of node identifiers. */
+using NodeList = std::vector<NodeId>;
+
+} // namespace buffalo::graph

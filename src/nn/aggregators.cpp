@@ -1,0 +1,399 @@
+#include "nn/aggregators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/ops.h"
+#include "util/errors.h"
+
+namespace buffalo::nn {
+
+namespace ops = buffalo::tensor;
+
+namespace {
+
+void
+checkBucketShape(const Tensor &neighbor_feats, std::size_t n,
+                 std::size_t d, std::size_t dim)
+{
+    checkArgument(d >= 1, "Aggregator: bucket degree must be >= 1");
+    checkArgument(neighbor_feats.rows() == n * d &&
+                      neighbor_feats.cols() == dim,
+                  "Aggregator: neighbor features must be (n*d) x dim");
+}
+
+/** Mean (and sqrt-normalized GCN-style) aggregation. */
+class MeanAggregator : public Aggregator
+{
+  public:
+    MeanAggregator(std::size_t dim, bool sqrt_norm)
+        : dim_(dim), sqrt_norm_(sqrt_norm) {}
+
+    struct Cache : AggregatorCache
+    {
+        std::size_t n = 0, d = 0;
+        float norm = 1.0f;
+        std::uint64_t bytes() const override { return 0; }
+    };
+
+    std::size_t dim() const override { return dim_; }
+
+    Tensor
+    forward(const Tensor &neighbor_feats, std::size_t n, std::size_t d,
+            std::unique_ptr<AggregatorCache> &cache,
+            AllocationObserver *observer) override
+    {
+        checkBucketShape(neighbor_feats, n, d, dim_);
+        auto c = std::make_unique<Cache>();
+        c->n = n;
+        c->d = d;
+        c->norm = sqrt_norm_
+                      ? 1.0f / std::sqrt(static_cast<float>(d))
+                      : 1.0f / static_cast<float>(d);
+        Tensor out = Tensor::zeros(n, dim_, observer);
+        for (std::size_t v = 0; v < n; ++v) {
+            float *dst = out.data() + v * dim_;
+            for (std::size_t t = 0; t < d; ++t) {
+                const float *src =
+                    neighbor_feats.data() + (v * d + t) * dim_;
+                for (std::size_t j = 0; j < dim_; ++j)
+                    dst[j] += src[j];
+            }
+            for (std::size_t j = 0; j < dim_; ++j)
+                dst[j] *= c->norm;
+        }
+        cache = std::move(c);
+        return out;
+    }
+
+    Tensor
+    backward(const AggregatorCache &cache_base, const Tensor &grad_output,
+             AllocationObserver *observer) override
+    {
+        const auto &cache = static_cast<const Cache &>(cache_base);
+        Tensor grad_in =
+            Tensor::zeros(cache.n * cache.d, dim_, observer);
+        for (std::size_t v = 0; v < cache.n; ++v) {
+            const float *src = grad_output.data() + v * dim_;
+            for (std::size_t t = 0; t < cache.d; ++t) {
+                float *dst =
+                    grad_in.data() + (v * cache.d + t) * dim_;
+                for (std::size_t j = 0; j < dim_; ++j)
+                    dst[j] = src[j] * cache.norm;
+            }
+        }
+        return grad_in;
+    }
+
+    double
+    flops(std::size_t n, std::size_t d) const override
+    {
+        // forward sum + backward broadcast.
+        return 2.0 * static_cast<double>(n) * static_cast<double>(d) *
+               static_cast<double>(dim_);
+    }
+
+    AggregatorKind
+    kind() const override
+    {
+        return sqrt_norm_ ? AggregatorKind::Gcn : AggregatorKind::Mean;
+    }
+
+    std::vector<Parameter *> parameters() override { return {}; }
+
+  private:
+    std::size_t dim_;
+    bool sqrt_norm_;
+};
+
+/** Max-pool over per-neighbor Linear + ReLU (GraphSAGE-pool). */
+class PoolAggregator : public Aggregator
+{
+  public:
+    PoolAggregator(const std::string &name, std::size_t dim,
+                   util::Rng &rng, AllocationObserver *observer)
+        : dim_(dim), linear_(name + ".pool", dim, dim, rng, observer) {}
+
+    struct Cache : AggregatorCache
+    {
+        std::size_t n = 0, d = 0;
+        Linear::Cache linear_cache;
+        Tensor pre_activation; ///< (n*d) x dim, pre-ReLU
+        Tensor activated;      ///< (n*d) x dim, post-ReLU
+        std::vector<std::uint32_t> argmax; ///< n*dim winning row ids
+
+        std::uint64_t
+        bytes() const override
+        {
+            return pre_activation.bytes() + activated.bytes() +
+                   argmax.size() * sizeof(std::uint32_t);
+        }
+    };
+
+    std::size_t dim() const override { return dim_; }
+
+    Tensor
+    forward(const Tensor &neighbor_feats, std::size_t n, std::size_t d,
+            std::unique_ptr<AggregatorCache> &cache,
+            AllocationObserver *observer) override
+    {
+        checkBucketShape(neighbor_feats, n, d, dim_);
+        auto c = std::make_unique<Cache>();
+        c->n = n;
+        c->d = d;
+        c->pre_activation =
+            linear_.forward(neighbor_feats, c->linear_cache, observer);
+        c->activated = ops::relu(c->pre_activation, observer);
+        c->argmax.assign(n * dim_, 0);
+
+        Tensor out = Tensor::full(n, dim_,
+                                  -std::numeric_limits<float>::infinity(),
+                                  observer);
+        for (std::size_t v = 0; v < n; ++v) {
+            float *dst = out.data() + v * dim_;
+            for (std::size_t t = 0; t < d; ++t) {
+                const std::size_t row = v * d + t;
+                const float *src = c->activated.data() + row * dim_;
+                for (std::size_t j = 0; j < dim_; ++j) {
+                    if (src[j] > dst[j]) {
+                        dst[j] = src[j];
+                        c->argmax[v * dim_ + j] =
+                            static_cast<std::uint32_t>(row);
+                    }
+                }
+            }
+        }
+        cache = std::move(c);
+        return out;
+    }
+
+    Tensor
+    backward(const AggregatorCache &cache_base, const Tensor &grad_output,
+             AllocationObserver *observer) override
+    {
+        const auto &cache = static_cast<const Cache &>(cache_base);
+        Tensor grad_act =
+            Tensor::zeros(cache.n * cache.d, dim_, observer);
+        for (std::size_t v = 0; v < cache.n; ++v) {
+            const float *src = grad_output.data() + v * dim_;
+            for (std::size_t j = 0; j < dim_; ++j) {
+                const std::uint32_t row = cache.argmax[v * dim_ + j];
+                grad_act.data()[row * dim_ + j] += src[j];
+            }
+        }
+        Tensor grad_pre =
+            ops::reluBackward(grad_act, cache.pre_activation, observer);
+        return linear_.backward(cache.linear_cache, grad_pre, observer);
+    }
+
+    double
+    flops(std::size_t n, std::size_t d) const override
+    {
+        const double nd = static_cast<double>(n * d);
+        const double f = static_cast<double>(dim_);
+        // linear fwd+bwd (3 matmuls) + relu + max.
+        return 6.0 * nd * f * f + 4.0 * nd * f;
+    }
+
+    AggregatorKind kind() const override { return AggregatorKind::Pool; }
+
+    std::vector<Parameter *>
+    parameters() override
+    {
+        return linear_.parameters();
+    }
+
+  private:
+    std::size_t dim_;
+    Linear linear_;
+};
+
+/** LSTM over the neighbor sequence (GraphSAGE-LSTM). */
+class LstmAggregator : public Aggregator
+{
+  public:
+    LstmAggregator(const std::string &name, std::size_t dim,
+                   util::Rng &rng, AllocationObserver *observer)
+        : dim_(dim), cell_(name + ".lstm", dim, dim, rng, observer) {}
+
+    struct Cache : AggregatorCache
+    {
+        std::size_t n = 0, d = 0;
+        std::vector<LstmCell::StepCache> steps;
+
+        std::uint64_t
+        bytes() const override
+        {
+            std::uint64_t total = 0;
+            for (const auto &step : steps)
+                total += step.bytes();
+            return total;
+        }
+    };
+
+    std::size_t dim() const override { return dim_; }
+
+    Tensor
+    forward(const Tensor &neighbor_feats, std::size_t n, std::size_t d,
+            std::unique_ptr<AggregatorCache> &cache,
+            AllocationObserver *observer) override
+    {
+        checkBucketShape(neighbor_feats, n, d, dim_);
+        auto c = std::make_unique<Cache>();
+        c->n = n;
+        c->d = d;
+        c->steps.resize(d);
+
+        Tensor h = Tensor::zeros(n, dim_, observer);
+        Tensor state = Tensor::zeros(n, dim_, observer);
+        for (std::size_t t = 0; t < d; ++t) {
+            // x_t: row v*d + t of the node-major layout, for each v.
+            Tensor x_t = Tensor::zeros(n, dim_, observer);
+            for (std::size_t v = 0; v < n; ++v) {
+                const float *src =
+                    neighbor_feats.data() + (v * d + t) * dim_;
+                std::copy(src, src + dim_, x_t.data() + v * dim_);
+            }
+            auto [h_next, c_next] =
+                cell_.step(x_t, h, state, c->steps[t], observer);
+            h = std::move(h_next);
+            state = std::move(c_next);
+        }
+        cache = std::move(c);
+        return h;
+    }
+
+    Tensor
+    backward(const AggregatorCache &cache_base, const Tensor &grad_output,
+             AllocationObserver *observer) override
+    {
+        const auto &cache = static_cast<const Cache &>(cache_base);
+        Tensor grad_in =
+            Tensor::zeros(cache.n * cache.d, dim_, observer);
+        Tensor dh = grad_output.clone(observer);
+        Tensor dc =
+            Tensor::zeros(grad_output.rows(), dim_, observer);
+        for (std::size_t t = cache.d; t-- > 0;) {
+            auto grads =
+                cell_.stepBackward(cache.steps[t], dh, dc, observer);
+            for (std::size_t v = 0; v < cache.n; ++v) {
+                const float *src = grads.dx.data() + v * dim_;
+                float *dst =
+                    grad_in.data() + (v * cache.d + t) * dim_;
+                std::copy(src, src + dim_, dst);
+            }
+            dh = std::move(grads.dh_prev);
+            dc = std::move(grads.dc_prev);
+        }
+        return grad_in;
+    }
+
+    double
+    flops(std::size_t n, std::size_t d) const override
+    {
+        const double f = static_cast<double>(dim_);
+        // Per step: fwd 2 matmuls (f x 4f) = 16 n f^2; bwd ~2x.
+        return 48.0 * static_cast<double>(n) * static_cast<double>(d) *
+               f * f;
+    }
+
+    AggregatorKind kind() const override { return AggregatorKind::Lstm; }
+
+    std::vector<Parameter *>
+    parameters() override
+    {
+        return cell_.parameters();
+    }
+
+  private:
+    std::size_t dim_;
+    LstmCell cell_;
+};
+
+} // namespace
+
+const char *
+modelArchName(ModelArch arch)
+{
+    switch (arch) {
+      case ModelArch::Sage: return "sage";
+      case ModelArch::Gcn: return "gcn";
+      case ModelArch::Gat: return "gat";
+    }
+    return "?";
+}
+
+const char *
+aggregatorName(AggregatorKind kind)
+{
+    switch (kind) {
+      case AggregatorKind::Mean: return "mean";
+      case AggregatorKind::Pool: return "pool";
+      case AggregatorKind::Lstm: return "lstm";
+      case AggregatorKind::Gcn: return "gcn";
+    }
+    return "?";
+}
+
+AggregatorKind
+aggregatorFromName(const std::string &name)
+{
+    if (name == "mean")
+        return AggregatorKind::Mean;
+    if (name == "pool")
+        return AggregatorKind::Pool;
+    if (name == "lstm")
+        return AggregatorKind::Lstm;
+    if (name == "gcn")
+        return AggregatorKind::Gcn;
+    throw InvalidArgument("aggregatorFromName: unknown aggregator '" +
+                          name + "'");
+}
+
+std::unique_ptr<Aggregator>
+makeAggregator(AggregatorKind kind, const std::string &name,
+               std::size_t dim, util::Rng &rng,
+               AllocationObserver *observer)
+{
+    switch (kind) {
+      case AggregatorKind::Mean:
+        return std::make_unique<MeanAggregator>(dim, false);
+      case AggregatorKind::Gcn:
+        return std::make_unique<MeanAggregator>(dim, true);
+      case AggregatorKind::Pool:
+        return std::make_unique<PoolAggregator>(name, dim, rng,
+                                                observer);
+      case AggregatorKind::Lstm:
+        return std::make_unique<LstmAggregator>(name, dim, rng,
+                                                observer);
+    }
+    throw InvalidArgument("makeAggregator: unknown aggregator kind");
+}
+
+double
+aggregatorCacheFloatsPerEdge(AggregatorKind kind, std::size_t dim)
+{
+    const double f = static_cast<double>(dim);
+    switch (kind) {
+      case AggregatorKind::Mean:
+      case AggregatorKind::Gcn:
+        // The gathered neighbor tensor is transient (freed after the
+        // aggregation kernel) and the backward pass materializes a
+        // same-sized gradient transient; together they contribute
+        // roughly one float per edge to the peak.
+        return 1.0 * f;
+      case AggregatorKind::Pool:
+        // gathered feats (transient) + pre-activation +
+        // post-activation (cached) + backward transients (activation
+        // gradient, pre-activation gradient, linear input gradient).
+        return 5.0 * f;
+      case AggregatorKind::Lstm:
+        // gathered feats + per-step cache: x, h_prev, c_prev, 4 gates,
+        // c, tanh_c -> 9 state tensors of width f per edge.
+        return 10.0 * f;
+    }
+    return f;
+}
+
+} // namespace buffalo::nn

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Degree-bucketed neighborhood aggregators.
+ *
+ * An aggregator consumes the gathered neighbor features of one degree
+ * bucket — n nodes of identical sampled degree d, laid out as an
+ * (n*d) x in_dim tensor with each node's d neighbor rows consecutive —
+ * and produces one n x in_dim embedding. Fixed d per call is exactly
+ * what degree bucketing buys: no zero padding, dense kernels.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "nn/config.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/parameter.h"
+
+namespace buffalo::nn {
+
+/** Opaque per-call activation cache (concrete type per aggregator). */
+struct AggregatorCache
+{
+    virtual ~AggregatorCache() = default;
+
+    /** Activation bytes this cache pins until backward. */
+    virtual std::uint64_t bytes() const = 0;
+};
+
+/** Strategy interface; one instance per GNN layer. */
+class Aggregator : public Module
+{
+  public:
+    /** Input (and output) feature width. */
+    virtual std::size_t dim() const = 0;
+
+    /**
+     * Aggregates one degree bucket.
+     * @param neighbor_feats (n*d) x dim(), node-major.
+     * @param n number of nodes in the bucket.
+     * @param d the bucket degree (>= 1).
+     * @return n x dim() aggregated embeddings; @p cache receives the
+     *         state backward() needs.
+     */
+    virtual Tensor forward(const Tensor &neighbor_feats, std::size_t n,
+                           std::size_t d,
+                           std::unique_ptr<AggregatorCache> &cache,
+                           AllocationObserver *observer = nullptr) = 0;
+
+    /**
+     * Backward for one bucket: returns the gradient w.r.t.
+     * neighbor_feats ((n*d) x dim()); accumulates parameter grads.
+     */
+    virtual Tensor backward(const AggregatorCache &cache,
+                            const Tensor &grad_output,
+                            AllocationObserver *observer = nullptr) = 0;
+
+    /** Forward+backward FLOPs for a bucket of n nodes, degree d. */
+    virtual double flops(std::size_t n, std::size_t d) const = 0;
+
+    /** The aggregator family. */
+    virtual AggregatorKind kind() const = 0;
+};
+
+/**
+ * Creates an aggregator of @p kind over @p dim features. LSTM state and
+ * pool width equal @p dim (matching DGL's SAGEConv conventions).
+ */
+std::unique_ptr<Aggregator> makeAggregator(
+    AggregatorKind kind, const std::string &name, std::size_t dim,
+    util::Rng &rng, AllocationObserver *observer = nullptr);
+
+/**
+ * Activation floats cached per message edge during the forward pass of
+ * an aggregator of @p kind over @p dim features. The shared constant
+ * behind both the device-side memory charging and Buffalo's
+ * BucketMemEstimator (see nn/memory_model.h).
+ */
+double aggregatorCacheFloatsPerEdge(AggregatorKind kind,
+                                    std::size_t dim);
+
+} // namespace buffalo::nn

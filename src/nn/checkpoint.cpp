@@ -1,0 +1,136 @@
+#include "nn/checkpoint.h"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "util/errors.h"
+
+namespace buffalo::nn {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'U', 'F', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void
+writePod(std::ostream &out, const T &value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    checkArgument(static_cast<bool>(in), "checkpoint: truncated");
+    return value;
+}
+
+} // namespace
+
+void
+saveCheckpoint(std::ostream &out, Module &module)
+{
+    const auto params = module.parameters();
+    out.write(kMagic, sizeof(kMagic));
+    writePod(out, kVersion);
+    writePod<std::uint64_t>(out, params.size());
+    for (Parameter *param : params) {
+        const std::string &name = param->name();
+        writePod<std::uint64_t>(out, name.size());
+        out.write(name.data(),
+                  static_cast<std::streamsize>(name.size()));
+        writePod<std::uint64_t>(out, param->value().rows());
+        writePod<std::uint64_t>(out, param->value().cols());
+        out.write(reinterpret_cast<const char *>(
+                      param->value().data()),
+                  static_cast<std::streamsize>(
+                      param->value().size() * sizeof(float)));
+    }
+    checkArgument(static_cast<bool>(out),
+                  "saveCheckpoint: stream write failed");
+}
+
+void
+saveCheckpointFile(const std::string &path, Module &module)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw Error("saveCheckpointFile: cannot open '" + path + "'");
+    saveCheckpoint(out, module);
+}
+
+void
+loadCheckpoint(std::istream &in, Module &module)
+{
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    checkArgument(static_cast<bool>(in) && magic[0] == 'B' &&
+                      magic[1] == 'U' && magic[2] == 'F' &&
+                      magic[3] == 'C',
+                  "checkpoint: bad magic");
+    const auto version = readPod<std::uint32_t>(in);
+    checkArgument(version == kVersion,
+                  "checkpoint: unsupported version");
+    const auto count = readPod<std::uint64_t>(in);
+
+    struct Entry
+    {
+        std::uint64_t rows, cols;
+        std::vector<float> values;
+    };
+    std::map<std::string, Entry> entries;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const auto name_size = readPod<std::uint64_t>(in);
+        checkArgument(name_size < 4096,
+                      "checkpoint: implausible name length");
+        std::string name(name_size, '\0');
+        in.read(name.data(),
+                static_cast<std::streamsize>(name_size));
+        Entry entry;
+        entry.rows = readPod<std::uint64_t>(in);
+        entry.cols = readPod<std::uint64_t>(in);
+        checkArgument(entry.rows * entry.cols < (1ull << 32),
+                      "checkpoint: implausible tensor size");
+        entry.values.resize(entry.rows * entry.cols);
+        in.read(reinterpret_cast<char *>(entry.values.data()),
+                static_cast<std::streamsize>(entry.values.size() *
+                                             sizeof(float)));
+        checkArgument(static_cast<bool>(in),
+                      "checkpoint: truncated tensor");
+        const bool inserted =
+            entries.emplace(std::move(name), std::move(entry)).second;
+        checkArgument(inserted, "checkpoint: duplicate parameter");
+    }
+
+    for (Parameter *param : module.parameters()) {
+        auto it = entries.find(param->name());
+        checkArgument(it != entries.end(),
+                      "checkpoint: missing parameter '" +
+                          param->name() + "'");
+        const Entry &entry = it->second;
+        checkArgument(entry.rows == param->value().rows() &&
+                          entry.cols == param->value().cols(),
+                      "checkpoint: shape mismatch for '" +
+                          param->name() + "'");
+        std::copy(entry.values.begin(), entry.values.end(),
+                  param->value().data());
+    }
+}
+
+void
+loadCheckpointFile(const std::string &path, Module &module)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw NotFound("loadCheckpointFile: cannot open '" + path +
+                       "'");
+    loadCheckpoint(in, module);
+}
+
+} // namespace buffalo::nn

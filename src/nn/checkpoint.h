@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Parameter checkpointing: save/restore every parameter of a Module to
+ * a versioned binary stream, keyed by parameter name so checkpoints
+ * survive reorderings but reject shape or architecture mismatches.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace buffalo::nn {
+
+/** Writes all of @p module's parameters (values only) to @p out. */
+void saveCheckpoint(std::ostream &out, Module &module);
+
+/** saveCheckpoint to a file path. */
+void saveCheckpointFile(const std::string &path, Module &module);
+
+/**
+ * Restores parameters saved by saveCheckpoint into @p module.
+ * Parameters are matched by name; every parameter of @p module must be
+ * present with identical shape.
+ * @throws InvalidArgument on magic/version/name/shape mismatch.
+ */
+void loadCheckpoint(std::istream &in, Module &module);
+
+/** loadCheckpoint from a file path; throws NotFound if missing. */
+void loadCheckpointFile(const std::string &path, Module &module);
+
+} // namespace buffalo::nn

@@ -1,0 +1,288 @@
+#include "nn/gat_model.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "util/errors.h"
+
+namespace buffalo::nn {
+
+namespace ops = buffalo::tensor;
+
+GatModel::GatModel(const ModelConfig &config, std::uint64_t seed,
+                   AllocationObserver *param_observer)
+    : config_([&] {
+          ModelConfig fixed = config;
+          fixed.arch = ModelArch::Gat;
+          return fixed;
+      }()),
+      memory_model_(config_)
+{
+    config_.validate();
+    checkArgument(config_.hidden_dim % config_.num_heads == 0,
+                  "GatModel: hidden_dim must divide num_heads");
+    checkArgument(config_.num_classes % config_.num_heads == 0 ||
+                      config_.num_heads == 1,
+                  "GatModel: num_classes must divide num_heads");
+
+    util::Rng rng(seed);
+    w_.resize(config_.num_layers);
+    a_src_.resize(config_.num_layers);
+    a_dst_.resize(config_.num_layers);
+    for (int layer = 0; layer < config_.num_layers; ++layer) {
+        const std::size_t in = config_.layerInDim(layer);
+        const std::size_t hd = headDim(layer);
+        for (int head = 0; head < config_.num_heads; ++head) {
+            const std::string tag = "gat." + std::to_string(layer) +
+                                    ".h" + std::to_string(head);
+            w_[layer].emplace_back(tag + ".w", in, hd, param_observer);
+            ops::fillXavier(w_[layer].back().value(), rng);
+            a_src_[layer].emplace_back(tag + ".a_src", 1, hd,
+                                       param_observer);
+            ops::fillUniform(a_src_[layer].back().value(), 0.1f, rng);
+            a_dst_[layer].emplace_back(tag + ".a_dst", 1, hd,
+                                       param_observer);
+            ops::fillUniform(a_dst_[layer].back().value(), 0.1f, rng);
+        }
+    }
+}
+
+std::size_t
+GatModel::headDim(int layer) const
+{
+    return static_cast<std::size_t>(config_.layerOutDim(layer)) /
+           config_.num_heads;
+}
+
+std::uint64_t
+GatModel::ForwardCache::bytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers) {
+        total += layer.input.bytes() + layer.pre_activation.bytes();
+        for (const auto &hw : layer.hw)
+            total += hw.bytes();
+        for (const auto &bucket : layer.head_states)
+            for (const auto &head : bucket)
+                total += head.alpha.bytes() + head.pre_lrelu.bytes();
+    }
+    return total;
+}
+
+Tensor
+GatModel::forward(const sampling::MicroBatch &mb,
+                  const Tensor &input_features, ForwardCache &cache,
+                  AllocationObserver *observer)
+{
+    checkArgument(mb.numLayers() == config_.num_layers,
+                  "GatModel::forward: block count != num_layers");
+    cache.layers.clear();
+    cache.layers.resize(config_.num_layers);
+
+    Tensor x = input_features;
+    for (int layer = 0; layer < config_.num_layers; ++layer) {
+        const sampling::Block &block = mb.blocks[layer];
+        checkArgument(x.rows() == block.numSrc(),
+                      "GatModel::forward: feature/block row mismatch");
+        auto &state = cache.layers[layer];
+        state.block = &block;
+        state.input = x;
+        state.buckets = sampling::bucketizeBlock(block);
+
+        const std::size_t hd = headDim(layer);
+        const std::size_t out = config_.layerOutDim(layer);
+        Tensor output = Tensor::zeros(block.numDst(), out, observer);
+
+        for (int head = 0; head < config_.num_heads; ++head)
+            state.hw.push_back(ops::matmul(
+                x, w_[layer][head].value(), observer));
+
+        state.head_states.resize(state.buckets.size());
+        for (std::size_t b = 0; b < state.buckets.size(); ++b) {
+            const auto &bucket = state.buckets[b];
+            const std::size_t n = bucket.members.size();
+            const std::size_t d = bucket.degree;
+            auto &head_states = state.head_states[b];
+            head_states.resize(config_.num_heads);
+
+            for (int head = 0; head < config_.num_heads; ++head) {
+                const Tensor &hw = state.hw[head];
+                const float *asv = a_src_[layer][head].value().data();
+                const float *adv = a_dst_[layer][head].value().data();
+                auto &hs = head_states[head];
+                hs.pre_lrelu = Tensor::zeros(n, d + 1, observer);
+                hs.alpha = Tensor::zeros(n, d + 1, observer);
+
+                for (std::size_t i = 0; i < n; ++i) {
+                    const sampling::NodeId v = bucket.members[i];
+                    auto nbrs = block.neighborList(v);
+                    // Participant t: self at t = d, neighbors at 0..d-1.
+                    float dst_score = 0.0f;
+                    const float *hv = hw.data() + v * hd;
+                    for (std::size_t j = 0; j < hd; ++j)
+                        dst_score += adv[j] * hv[j];
+
+                    float *pre = hs.pre_lrelu.data() + i * (d + 1);
+                    for (std::size_t t = 0; t <= d; ++t) {
+                        const sampling::NodeId u =
+                            t < d ? nbrs[t] : v;
+                        const float *hu = hw.data() + u * hd;
+                        float src_score = 0.0f;
+                        for (std::size_t j = 0; j < hd; ++j)
+                            src_score += asv[j] * hu[j];
+                        pre[t] = dst_score + src_score;
+                    }
+                    // LeakyReLU + softmax over the d+1 participants.
+                    float *alpha = hs.alpha.data() + i * (d + 1);
+                    float row_max =
+                        -std::numeric_limits<float>::infinity();
+                    for (std::size_t t = 0; t <= d; ++t) {
+                        const float e = pre[t] > 0
+                                            ? pre[t]
+                                            : kLeakySlope * pre[t];
+                        alpha[t] = e;
+                        row_max = std::max(row_max, e);
+                    }
+                    float z = 0.0f;
+                    for (std::size_t t = 0; t <= d; ++t) {
+                        alpha[t] = std::exp(alpha[t] - row_max);
+                        z += alpha[t];
+                    }
+                    for (std::size_t t = 0; t <= d; ++t)
+                        alpha[t] /= z;
+
+                    // Weighted sum into the head's column slice.
+                    float *dst = output.data() + v * out + head * hd;
+                    for (std::size_t t = 0; t <= d; ++t) {
+                        const sampling::NodeId u =
+                            t < d ? nbrs[t] : v;
+                        const float *hu = hw.data() + u * hd;
+                        for (std::size_t j = 0; j < hd; ++j)
+                            dst[j] += alpha[t] * hu[j];
+                    }
+                }
+            }
+        }
+
+        if (layer + 1 < config_.num_layers) {
+            state.pre_activation = output;
+            x = ops::relu(output, observer);
+        } else {
+            x = output;
+        }
+    }
+    return x;
+}
+
+void
+GatModel::backward(const ForwardCache &cache, const Tensor &grad_logits,
+                   AllocationObserver *observer)
+{
+    Tensor grad = grad_logits;
+    for (int layer = config_.num_layers - 1; layer >= 0; --layer) {
+        const auto &state = cache.layers[layer];
+        const std::size_t hd = headDim(layer);
+        const std::size_t out = config_.layerOutDim(layer);
+        const std::size_t num_src = state.input.rows();
+
+        if (layer + 1 < config_.num_layers)
+            grad = ops::reluBackward(grad, state.pre_activation,
+                                     observer);
+
+        // Accumulate per-head dHW, then push through W to dX.
+        Tensor grad_x = Tensor::zeros(num_src,
+                                      config_.layerInDim(layer),
+                                      observer);
+        for (int head = 0; head < config_.num_heads; ++head) {
+            const Tensor &hw = state.hw[head];
+            Tensor dhw = Tensor::zeros(num_src, hd, observer);
+            float *das =
+                a_src_[layer][head].grad().data();
+            float *dad =
+                a_dst_[layer][head].grad().data();
+            const float *asv = a_src_[layer][head].value().data();
+            const float *adv = a_dst_[layer][head].value().data();
+
+            for (std::size_t b = 0; b < state.buckets.size(); ++b) {
+                const auto &bucket = state.buckets[b];
+                const auto &hs = state.head_states[b][head];
+                const std::size_t n = bucket.members.size();
+                const std::size_t d = bucket.degree;
+
+                for (std::size_t i = 0; i < n; ++i) {
+                    const sampling::NodeId v = bucket.members[i];
+                    auto nbrs = state.block->neighborList(v);
+                    const float *gout =
+                        grad.data() + v * out + head * hd;
+                    const float *alpha =
+                        hs.alpha.data() + i * (d + 1);
+                    const float *pre =
+                        hs.pre_lrelu.data() + i * (d + 1);
+
+                    // dalpha_t = gout . hw_u ; dhw_u += alpha_t * gout
+                    std::vector<float> dalpha(d + 1, 0.0f);
+                    for (std::size_t t = 0; t <= d; ++t) {
+                        const sampling::NodeId u =
+                            t < d ? nbrs[t] : v;
+                        const float *hu = hw.data() + u * hd;
+                        float *du = dhw.data() + u * hd;
+                        float dot = 0.0f;
+                        for (std::size_t j = 0; j < hd; ++j) {
+                            dot += gout[j] * hu[j];
+                            du[j] += alpha[t] * gout[j];
+                        }
+                        dalpha[t] = dot;
+                    }
+                    // Softmax backward.
+                    float inner = 0.0f;
+                    for (std::size_t t = 0; t <= d; ++t)
+                        inner += alpha[t] * dalpha[t];
+                    for (std::size_t t = 0; t <= d; ++t) {
+                        float de =
+                            alpha[t] * (dalpha[t] - inner);
+                        // LeakyReLU backward.
+                        if (pre[t] <= 0.0f)
+                            de *= kLeakySlope;
+                        // e = a_dst.hw_v + a_src.hw_u
+                        const sampling::NodeId u =
+                            t < d ? nbrs[t] : v;
+                        const float *hv = hw.data() + v * hd;
+                        const float *hu = hw.data() + u * hd;
+                        float *dv = dhw.data() + v * hd;
+                        float *du = dhw.data() + u * hd;
+                        for (std::size_t j = 0; j < hd; ++j) {
+                            dad[j] += de * hv[j];
+                            dv[j] += de * adv[j];
+                            das[j] += de * hu[j];
+                            du[j] += de * asv[j];
+                        }
+                    }
+                }
+            }
+            // dW += X^T dHW ; dX += dHW W^T.
+            w_[layer][head].accumulateGrad(
+                ops::matmulTransposeA(state.input, dhw, observer));
+            ops::addInPlace(
+                grad_x, ops::matmulTransposeB(
+                            dhw, w_[layer][head].value(), observer));
+        }
+        grad = std::move(grad_x);
+    }
+}
+
+std::vector<Parameter *>
+GatModel::parameters()
+{
+    std::vector<Parameter *> params;
+    for (int layer = 0; layer < config_.num_layers; ++layer) {
+        for (int head = 0; head < config_.num_heads; ++head) {
+            params.push_back(&w_[layer][head]);
+            params.push_back(&a_src_[layer][head]);
+            params.push_back(&a_dst_[layer][head]);
+        }
+    }
+    return params;
+}
+
+} // namespace buffalo::nn

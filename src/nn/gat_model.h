@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Graph Attention Network (GAT) with degree-bucketed attention.
+ *
+ * Per layer and head: e_{vu} = LeakyReLU(a_dst . Wh_v + a_src . Wh_u)
+ * over the sampled neighbors u of v plus v itself (self edge), softmax
+ * over that set, output = sum of attention-weighted Wh_u. Heads are
+ * concatenated. Degree bucketing keeps the attention matrices dense
+ * (n x (d+1)) with no padding.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/config.h"
+#include "nn/memory_model.h"
+#include "nn/parameter.h"
+#include "sampling/block.h"
+#include "sampling/bucketing.h"
+#include "util/rng.h"
+
+namespace buffalo::nn {
+
+/** Multi-layer, multi-head GAT over micro-batch blocks. */
+class GatModel : public Module
+{
+  public:
+    GatModel(const ModelConfig &config, std::uint64_t seed,
+             AllocationObserver *param_observer = nullptr);
+
+    /** Per-forward activation state. */
+    struct ForwardCache
+    {
+        struct HeadBucketState
+        {
+            Tensor alpha;     ///< n x (d+1) attention weights
+            Tensor pre_lrelu; ///< n x (d+1) scores before LeakyReLU
+        };
+        struct LayerState
+        {
+            /** The block this layer ran over (owned by the caller's
+             *  MicroBatch, which must outlive the cache). */
+            const sampling::Block *block = nullptr;
+            Tensor input; ///< numSrc x in_dim
+            std::vector<Tensor> hw; ///< per head: numSrc x head_dim
+            sampling::BucketList buckets;
+            /** [bucket][head]. */
+            std::vector<std::vector<HeadBucketState>> head_states;
+            Tensor pre_activation; ///< hidden layers only
+        };
+        std::vector<LayerState> layers;
+
+        std::uint64_t bytes() const;
+    };
+
+    /** Forward pass; returns logits (numOutput x num_classes). */
+    Tensor forward(const sampling::MicroBatch &mb,
+                   const Tensor &input_features, ForwardCache &cache,
+                   AllocationObserver *observer = nullptr);
+
+    /** Backward pass; accumulates parameter gradients. */
+    void backward(const ForwardCache &cache, const Tensor &grad_logits,
+                  AllocationObserver *observer = nullptr);
+
+    const ModelConfig &config() const { return config_; }
+    const MemoryModel &memoryModel() const { return memory_model_; }
+
+    std::vector<Parameter *> parameters() override;
+
+  private:
+    /** Width of one head's output at @p layer. */
+    std::size_t headDim(int layer) const;
+
+    ModelConfig config_;
+    MemoryModel memory_model_;
+    /** [layer][head] weight in_dim x head_dim. */
+    std::vector<std::vector<Parameter>> w_;
+    /** [layer][head] attention vectors, 1 x head_dim each. */
+    std::vector<std::vector<Parameter>> a_src_;
+    std::vector<std::vector<Parameter>> a_dst_;
+
+    static constexpr float kLeakySlope = 0.2f;
+};
+
+} // namespace buffalo::nn

@@ -1,0 +1,150 @@
+#include "nn/gcn_model.h"
+
+#include <cstring>
+
+#include "tensor/ops.h"
+#include "util/errors.h"
+
+namespace buffalo::nn {
+
+namespace ops = buffalo::tensor;
+
+GcnModel::GcnModel(const ModelConfig &config, std::uint64_t seed,
+                   AllocationObserver *param_observer)
+    : config_([&] {
+          ModelConfig fixed = config;
+          fixed.arch = ModelArch::Gcn;
+          return fixed;
+      }()),
+      memory_model_(config_)
+{
+    config_.validate();
+    util::Rng rng(seed);
+    for (int layer = 0; layer < config_.num_layers; ++layer) {
+        updates_.push_back(std::make_unique<Linear>(
+            "gcn." + std::to_string(layer) + ".update",
+            config_.layerInDim(layer), config_.layerOutDim(layer),
+            rng, param_observer));
+    }
+}
+
+Tensor
+GcnModel::forward(const sampling::MicroBatch &mb,
+                  const Tensor &input_features, ForwardCache &cache,
+                  AllocationObserver *observer)
+{
+    checkArgument(mb.numLayers() == config_.num_layers,
+                  "GcnModel::forward: block count != num_layers");
+    cache.layers.clear();
+    cache.layers.resize(config_.num_layers);
+
+    Tensor x = input_features;
+    for (int layer = 0; layer < config_.num_layers; ++layer) {
+        const sampling::Block &block = mb.blocks[layer];
+        checkArgument(x.rows() == block.numSrc(),
+                      "GcnModel::forward: feature/block row mismatch");
+        auto &state = cache.layers[layer];
+        state.input = x;
+
+        const std::size_t in = config_.layerInDim(layer);
+        Tensor aggregated =
+            Tensor::zeros(block.numDst(), in, observer);
+
+        for (auto &bucket : sampling::bucketizeBlock(block)) {
+            ForwardCache::BucketState bucket_state;
+            bucket_state.bucket = bucket;
+            const std::size_t n = bucket.members.size();
+            const std::size_t width = bucket.degree + 1; // + self
+            auto &indices = bucket_state.gather_indices;
+            indices.reserve(n * width);
+            for (sampling::NodeId dst : bucket.members) {
+                indices.push_back(dst); // self (dst prefix of srcs)
+                for (sampling::NodeId src : block.neighborList(dst))
+                    indices.push_back(src);
+            }
+            Tensor gathered = ops::gatherRows(x, indices, observer);
+            // Mean over the (d+1)-row groups.
+            const float norm = 1.0f / static_cast<float>(width);
+            for (std::size_t i = 0; i < n; ++i) {
+                float *dst_row =
+                    aggregated.data() + bucket.members[i] * in;
+                for (std::size_t t = 0; t < width; ++t) {
+                    const float *src_row =
+                        gathered.data() + (i * width + t) * in;
+                    for (std::size_t j = 0; j < in; ++j)
+                        dst_row[j] += src_row[j] * norm;
+                }
+            }
+            state.buckets.push_back(std::move(bucket_state));
+        }
+
+        Tensor out = updates_[layer]->forward(
+            aggregated, state.linear_cache, observer);
+        if (layer + 1 < config_.num_layers) {
+            state.pre_activation = out;
+            x = ops::relu(out, observer);
+        } else {
+            x = out;
+        }
+    }
+    return x;
+}
+
+void
+GcnModel::backward(const ForwardCache &cache, const Tensor &grad_logits,
+                   AllocationObserver *observer)
+{
+    checkArgument(cache.layers.size() ==
+                      static_cast<std::size_t>(config_.num_layers),
+                  "GcnModel::backward: stale cache");
+    Tensor grad = grad_logits;
+    for (int layer = config_.num_layers - 1; layer >= 0; --layer) {
+        const auto &state = cache.layers[layer];
+        const std::size_t in = config_.layerInDim(layer);
+
+        if (layer + 1 < config_.num_layers)
+            grad = ops::reluBackward(grad, state.pre_activation,
+                                     observer);
+
+        Tensor grad_agg = updates_[layer]->backward(
+            state.linear_cache, grad, observer);
+
+        Tensor grad_x =
+            Tensor::zeros(state.input.rows(), in, observer);
+        for (const auto &bucket_state : state.buckets) {
+            const auto &bucket = bucket_state.bucket;
+            const std::size_t n = bucket.members.size();
+            const std::size_t width = bucket.degree + 1;
+            const float norm = 1.0f / static_cast<float>(width);
+            // Distribute each member's gradient over its (d+1)
+            // gathered rows, then scatter-add into the inputs.
+            Tensor grad_gathered =
+                Tensor::zeros(n * width, in, observer);
+            for (std::size_t i = 0; i < n; ++i) {
+                const float *src_row =
+                    grad_agg.data() + bucket.members[i] * in;
+                for (std::size_t t = 0; t < width; ++t) {
+                    float *dst_row =
+                        grad_gathered.data() + (i * width + t) * in;
+                    for (std::size_t j = 0; j < in; ++j)
+                        dst_row[j] = src_row[j] * norm;
+                }
+            }
+            ops::scatterAddRows(grad_x, grad_gathered,
+                                bucket_state.gather_indices);
+        }
+        grad = std::move(grad_x);
+    }
+}
+
+std::vector<Parameter *>
+GcnModel::parameters()
+{
+    std::vector<Parameter *> params;
+    for (auto &update : updates_)
+        for (Parameter *p : update->parameters())
+            params.push_back(p);
+    return params;
+}
+
+} // namespace buffalo::nn

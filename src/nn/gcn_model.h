@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain GCN (Kipf & Welling style) with degree-bucketed execution:
+ * h'_v = act( W . mean(h_u : u in N(v) U {v}) + b ). The mean over
+ * the node and its sampled neighbors approximates the normalized
+ * adjacency; degree bucketing keeps the mean kernels fixed-shape.
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/config.h"
+#include "nn/linear.h"
+#include "nn/memory_model.h"
+#include "sampling/block.h"
+#include "sampling/bucketing.h"
+
+namespace buffalo::nn {
+
+/** Multi-layer GCN over micro-batch blocks. */
+class GcnModel : public Module
+{
+  public:
+    GcnModel(const ModelConfig &config, std::uint64_t seed,
+             AllocationObserver *param_observer = nullptr);
+
+    /** Per-forward activation state. */
+    struct ForwardCache
+    {
+        struct BucketState
+        {
+            sampling::DegreeBucket bucket;
+            /** Gather indices: per member, self followed by its
+             *  neighbors ((d+1) rows each). */
+            std::vector<std::uint32_t> gather_indices;
+        };
+        struct LayerState
+        {
+            Tensor input;
+            std::vector<BucketState> buckets;
+            Linear::Cache linear_cache;
+            Tensor pre_activation;
+        };
+        std::vector<LayerState> layers;
+    };
+
+    /** Forward pass; returns logits (numOutput x num_classes). */
+    Tensor forward(const sampling::MicroBatch &mb,
+                   const Tensor &input_features, ForwardCache &cache,
+                   AllocationObserver *observer = nullptr);
+
+    /** Backward pass; accumulates parameter gradients. */
+    void backward(const ForwardCache &cache, const Tensor &grad_logits,
+                  AllocationObserver *observer = nullptr);
+
+    const ModelConfig &config() const { return config_; }
+    const MemoryModel &memoryModel() const { return memory_model_; }
+
+    std::vector<Parameter *> parameters() override;
+
+  private:
+    ModelConfig config_;
+    MemoryModel memory_model_;
+    std::vector<std::unique_ptr<Linear>> updates_;
+};
+
+} // namespace buffalo::nn

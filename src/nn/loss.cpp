@@ -1,0 +1,65 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/errors.h"
+
+namespace buffalo::nn {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits,
+                    const std::vector<std::int32_t> &labels,
+                    std::size_t denominator,
+                    AllocationObserver *observer)
+{
+    checkArgument(labels.size() == logits.rows(),
+                  "softmaxCrossEntropy: one label per row required");
+    const std::size_t n = logits.rows();
+    const std::size_t k = logits.cols();
+    const double denom =
+        denominator == 0 ? static_cast<double>(n)
+                         : static_cast<double>(denominator);
+    checkArgument(denom > 0, "softmaxCrossEntropy: empty input");
+
+    LossResult result;
+    result.grad_logits = Tensor::zeros(n, k, observer);
+
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+        const std::int32_t label = labels[r];
+        checkArgument(label >= 0 &&
+                          static_cast<std::size_t>(label) < k,
+                      "softmaxCrossEntropy: label out of range");
+        const float *row = logits.data() + r * k;
+
+        float row_max = row[0];
+        std::size_t argmax = 0;
+        for (std::size_t j = 1; j < k; ++j) {
+            if (row[j] > row_max) {
+                row_max = row[j];
+                argmax = j;
+            }
+        }
+        if (argmax == static_cast<std::size_t>(label))
+            ++result.correct;
+
+        double z = 0.0;
+        for (std::size_t j = 0; j < k; ++j)
+            z += std::exp(static_cast<double>(row[j] - row_max));
+        const double log_z = std::log(z) + row_max;
+        total -= static_cast<double>(row[label]) - log_z;
+
+        float *grad = result.grad_logits.data() + r * k;
+        for (std::size_t j = 0; j < k; ++j) {
+            const double p =
+                std::exp(static_cast<double>(row[j]) - log_z);
+            grad[j] = static_cast<float>(p / denom);
+        }
+        grad[label] -= static_cast<float>(1.0 / denom);
+    }
+    result.loss = total / denom;
+    return result;
+}
+
+} // namespace buffalo::nn

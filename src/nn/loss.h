@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Softmax cross-entropy loss for node classification.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace buffalo::nn {
+
+using tensor::AllocationObserver;
+using tensor::Tensor;
+
+/** Output of a loss evaluation. */
+struct LossResult
+{
+    /** Mean (or sum, see below) cross-entropy over the rows. */
+    double loss = 0.0;
+    /** Gradient w.r.t. the logits, same shape. */
+    Tensor grad_logits;
+    /** Rows whose argmax matched the label. */
+    std::size_t correct = 0;
+};
+
+/**
+ * Softmax cross-entropy.
+ *
+ * @param logits     n x num_classes.
+ * @param labels     n labels in [0, num_classes).
+ * @param denominator The gradient (and reported loss) are divided by
+ *        this count instead of n. Micro-batch training passes the
+ *        *whole batch* size here so that accumulated micro-batch
+ *        gradients sum to exactly the whole-batch gradient (Algorithm 2
+ *        equivalence). Pass 0 to use n.
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<std::int32_t> &labels,
+                               std::size_t denominator = 0,
+                               AllocationObserver *observer = nullptr);
+
+} // namespace buffalo::nn

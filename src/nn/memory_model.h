@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Closed-form memory and FLOP model of GNN training.
+ *
+ * This is the single source of truth shared by (a) the cost-model
+ * execution mode, which charges the simulated device without running
+ * numeric kernels, and (b) Buffalo's BucketMemEstimator (core), whose
+ * per-bucket estimates feed MemBalancedGrouping. Keeping both on one
+ * formula is what makes Table III's estimation error come from the
+ * *redundancy* approximation, not from kernel bookkeeping mismatches.
+ */
+#pragma once
+
+#include "nn/config.h"
+#include "sampling/block.h"
+#include "sampling/bucketing.h"
+
+namespace buffalo::nn {
+
+/** Analytic memory/FLOP accounting for one ModelConfig. */
+class MemoryModel
+{
+  public:
+    explicit MemoryModel(const ModelConfig &config);
+
+    const ModelConfig &config() const { return config_; }
+
+    /**
+     * Activation bytes pinned by one degree bucket at layer @p layer:
+     * gathered neighbor features, aggregator caches, and the bucket's
+     * share of the update (concat + pre-activation) state.
+     * @param n bucket volume (number of destination nodes).
+     * @param d bucket degree.
+     */
+    std::uint64_t bucketActivationBytes(int layer, std::uint64_t n,
+                                        std::uint64_t d) const;
+
+    /**
+     * Same accounting from raw per-layer counts: @p dst destination
+     * nodes receiving @p edges total messages from @p src input nodes
+     * (src covers the backward pass's input-gradient buffer). Used by
+     * Buffalo's analytical estimator, which knows cone-level counts
+     * rather than per-degree buckets.
+     */
+    std::uint64_t layerActivationBytesFromCounts(
+        int layer, std::uint64_t dst, std::uint64_t edges,
+        std::uint64_t src) const;
+
+    /** Activation bytes of a whole block (all of its buckets). */
+    std::uint64_t blockActivationBytes(const sampling::Block &block,
+                                       int layer) const;
+
+    /**
+     * Peak training bytes of a micro-batch: input features + per-layer
+     * activations held for backward + output-layer gradients.
+     */
+    std::uint64_t microBatchBytes(const sampling::MicroBatch &mb) const;
+
+    /** Bytes of raw input features for @p num_inputs nodes. */
+    std::uint64_t inputFeatureBytes(std::uint64_t num_inputs) const;
+
+    /** Model weights + gradients, bytes. */
+    std::uint64_t weightBytes() const;
+
+    /** Adam optimizer state bytes (2x weights). */
+    std::uint64_t optimizerBytes() const;
+
+    /** Forward+backward FLOPs for one bucket at @p layer. */
+    double bucketFlops(int layer, std::uint64_t n, std::uint64_t d) const;
+
+    /** Forward+backward FLOPs for a whole micro-batch. */
+    double microBatchFlops(const sampling::MicroBatch &mb) const;
+
+    /**
+     * Host->device transfer bytes for a micro-batch: block structure +
+     * input features + labels.
+     */
+    std::uint64_t transferBytes(const sampling::MicroBatch &mb) const;
+
+  private:
+    /** Trainable floats in the model (weights only). */
+    double parameterFloats() const;
+
+    ModelConfig config_;
+};
+
+} // namespace buffalo::nn

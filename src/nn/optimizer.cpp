@@ -1,0 +1,104 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace buffalo::nn {
+
+Sgd::Sgd(std::vector<Parameter *> params, double learning_rate,
+         double momentum, AllocationObserver *observer)
+    : Optimizer(std::move(params)), lr_(learning_rate),
+      momentum_(momentum)
+{
+    if (momentum_ != 0.0) {
+        velocity_.reserve(params_.size());
+        for (Parameter *param : params_)
+            velocity_.push_back(Tensor::zeros(param->value().rows(),
+                                              param->value().cols(),
+                                              observer));
+    }
+}
+
+void
+Sgd::step()
+{
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+        Tensor &value = params_[p]->value();
+        Tensor &grad = params_[p]->grad();
+        if (momentum_ != 0.0) {
+            Tensor &vel = velocity_[p];
+            for (std::size_t k = 0; k < value.size(); ++k) {
+                vel.data()[k] = static_cast<float>(
+                    momentum_ * vel.data()[k] + grad.data()[k]);
+                value.data()[k] -=
+                    static_cast<float>(lr_) * vel.data()[k];
+            }
+        } else {
+            for (std::size_t k = 0; k < value.size(); ++k)
+                value.data()[k] -=
+                    static_cast<float>(lr_) * grad.data()[k];
+        }
+        params_[p]->zeroGrad();
+    }
+}
+
+std::uint64_t
+Sgd::stateBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Tensor &vel : velocity_)
+        total += vel.bytes();
+    return total;
+}
+
+Adam::Adam(std::vector<Parameter *> params, double learning_rate,
+           double beta1, double beta2, double eps,
+           AllocationObserver *observer)
+    : Optimizer(std::move(params)), lr_(learning_rate), beta1_(beta1),
+      beta2_(beta2), eps_(eps)
+{
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Parameter *param : params_) {
+        m_.push_back(Tensor::zeros(param->value().rows(),
+                                   param->value().cols(), observer));
+        v_.push_back(Tensor::zeros(param->value().rows(),
+                                   param->value().cols(), observer));
+    }
+}
+
+void
+Adam::step()
+{
+    ++step_count_;
+    const double bc1 = 1.0 - std::pow(beta1_, step_count_);
+    const double bc2 = 1.0 - std::pow(beta2_, step_count_);
+    for (std::size_t p = 0; p < params_.size(); ++p) {
+        Tensor &value = params_[p]->value();
+        Tensor &grad = params_[p]->grad();
+        Tensor &m = m_[p];
+        Tensor &v = v_[p];
+        for (std::size_t k = 0; k < value.size(); ++k) {
+            const double g = grad.data()[k];
+            m.data()[k] = static_cast<float>(
+                beta1_ * m.data()[k] + (1.0 - beta1_) * g);
+            v.data()[k] = static_cast<float>(
+                beta2_ * v.data()[k] + (1.0 - beta2_) * g * g);
+            const double m_hat = m.data()[k] / bc1;
+            const double v_hat = v.data()[k] / bc2;
+            value.data()[k] -= static_cast<float>(
+                lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+        }
+        params_[p]->zeroGrad();
+    }
+}
+
+std::uint64_t
+Adam::stateBytes() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t p = 0; p < m_.size(); ++p)
+        total += m_[p].bytes() + v_[p].bytes();
+    return total;
+}
+
+} // namespace buffalo::nn

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Optimizers over a parameter set: SGD (with momentum) and Adam.
+ *
+ * Optimizer state lives under the same allocation observer as the
+ * parameters, so the device memory model accounts for it exactly the
+ * way real GPU training does (Adam doubles the weight footprint).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace buffalo::nn {
+
+/** Base optimizer over an externally-owned parameter list. */
+class Optimizer
+{
+  public:
+    explicit Optimizer(std::vector<Parameter *> params)
+        : params_(std::move(params)) {}
+
+    virtual ~Optimizer() = default;
+
+    /** Applies one update from the accumulated grads, then zeroes them. */
+    virtual void step() = 0;
+
+    /** Bytes of optimizer state (momenta etc.). */
+    virtual std::uint64_t stateBytes() const = 0;
+
+    /** The parameters being optimized. */
+    const std::vector<Parameter *> &parameters() const { return params_; }
+
+  protected:
+    std::vector<Parameter *> params_;
+};
+
+/** Plain SGD with optional momentum. */
+class Sgd : public Optimizer
+{
+  public:
+    Sgd(std::vector<Parameter *> params, double learning_rate,
+        double momentum = 0.0, AllocationObserver *observer = nullptr);
+
+    void step() override;
+    std::uint64_t stateBytes() const override;
+
+  private:
+    double lr_;
+    double momentum_;
+    std::vector<Tensor> velocity_;
+};
+
+/** Adam (Kingma & Ba) with bias correction. */
+class Adam : public Optimizer
+{
+  public:
+    Adam(std::vector<Parameter *> params, double learning_rate,
+         double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8,
+         AllocationObserver *observer = nullptr);
+
+    void step() override;
+    std::uint64_t stateBytes() const override;
+
+  private:
+    double lr_, beta1_, beta2_, eps_;
+    long step_count_ = 0;
+    std::vector<Tensor> m_;
+    std::vector<Tensor> v_;
+};
+
+} // namespace buffalo::nn

@@ -1,0 +1,49 @@
+#include "nn/parameter.h"
+
+#include "tensor/ops.h"
+
+namespace buffalo::nn {
+
+Parameter::Parameter(std::string name, std::size_t rows,
+                     std::size_t cols, AllocationObserver *observer)
+    : name_(std::move(name)),
+      value_(Tensor::zeros(rows, cols, observer)),
+      grad_(Tensor::zeros(rows, cols, observer))
+{
+}
+
+void
+Parameter::accumulateGrad(const Tensor &delta)
+{
+    tensor::addInPlace(grad_, delta);
+}
+
+void
+Parameter::zeroGrad()
+{
+    tensor::fill(grad_, 0.0f);
+}
+
+std::uint64_t
+Parameter::bytes() const
+{
+    return value_.bytes() + grad_.bytes();
+}
+
+void
+Module::zeroGrad()
+{
+    for (Parameter *param : parameters())
+        param->zeroGrad();
+}
+
+std::uint64_t
+Module::parameterBytes()
+{
+    std::uint64_t total = 0;
+    for (Parameter *param : parameters())
+        total += param->bytes();
+    return total;
+}
+
+} // namespace buffalo::nn

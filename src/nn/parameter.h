@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trainable parameters with accumulating gradients.
+ *
+ * Gradient accumulation across micro-batches is the mechanism that makes
+ * Buffalo's micro-batch training mathematically identical to whole-batch
+ * training (paper Algorithm 2, line 12): each micro-batch's backward
+ * pass adds into Parameter::grad and the optimizer steps once per batch.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace buffalo::nn {
+
+using tensor::AllocationObserver;
+using tensor::Tensor;
+
+/** One trainable tensor and its accumulated gradient. */
+class Parameter
+{
+  public:
+    Parameter() = default;
+
+    /** Creates a named parameter of rows x cols, gradient zeroed. */
+    Parameter(std::string name, std::size_t rows, std::size_t cols,
+              AllocationObserver *observer = nullptr);
+
+    const std::string &name() const { return name_; }
+
+    Tensor &value() { return value_; }
+    const Tensor &value() const { return value_; }
+
+    Tensor &grad() { return grad_; }
+    const Tensor &grad() const { return grad_; }
+
+    /** Adds @p delta into the accumulated gradient. */
+    void accumulateGrad(const Tensor &delta);
+
+    /** Zeroes the accumulated gradient. */
+    void zeroGrad();
+
+    /** Bytes held by value + grad. */
+    std::uint64_t bytes() const;
+
+  private:
+    std::string name_;
+    Tensor value_;
+    Tensor grad_;
+};
+
+/** Anything owning parameters (layers, aggregators, models). */
+class Module
+{
+  public:
+    virtual ~Module() = default;
+
+    /** All trainable parameters, in a stable order. */
+    virtual std::vector<Parameter *> parameters() = 0;
+
+    /** Zeroes every parameter gradient. */
+    void zeroGrad();
+
+    /** Total bytes of values + grads. */
+    std::uint64_t parameterBytes();
+};
+
+} // namespace buffalo::nn

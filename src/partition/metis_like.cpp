@@ -1,0 +1,294 @@
+#include "partition/metis_like.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/errors.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace buffalo::partition {
+
+namespace {
+
+/** One coarsening level: the coarse graph + fine->coarse projection. */
+struct Level
+{
+    WeightedGraph wg;
+    /** For the *finer* graph: fine node -> coarse node id. */
+    std::vector<NodeId> coarse_of;
+};
+
+/**
+ * Heavy-edge matching: each unmatched node pairs with its unmatched
+ * neighbor of maximum edge weight. Returns fine->coarse map and the
+ * number of coarse nodes.
+ */
+std::pair<std::vector<NodeId>, NodeId>
+heavyEdgeMatching(const WeightedGraph &wg, util::Rng &rng)
+{
+    const NodeId n = wg.numNodes();
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    constexpr NodeId kUnmatched = static_cast<NodeId>(-1);
+    std::vector<NodeId> match(n, kUnmatched);
+    for (NodeId u : order) {
+        if (match[u] != kUnmatched)
+            continue;
+        NodeId best = kUnmatched;
+        std::uint32_t best_weight = 0;
+        const auto &offsets = wg.graph.offsets();
+        for (EdgeIndex e = offsets[u]; e < offsets[u + 1]; ++e) {
+            const NodeId v = wg.graph.targets()[e];
+            if (v == u || match[v] != kUnmatched)
+                continue;
+            if (wg.edge_weights[e] > best_weight) {
+                best_weight = wg.edge_weights[e];
+                best = v;
+            }
+        }
+        if (best == kUnmatched) {
+            match[u] = u;
+        } else {
+            match[u] = best;
+            match[best] = u;
+        }
+    }
+
+    std::vector<NodeId> coarse_of(n, kUnmatched);
+    NodeId next = 0;
+    for (NodeId u = 0; u < n; ++u) {
+        if (coarse_of[u] != kUnmatched)
+            continue;
+        coarse_of[u] = next;
+        if (match[u] != u)
+            coarse_of[match[u]] = next;
+        ++next;
+    }
+    return {std::move(coarse_of), next};
+}
+
+/** Builds the coarse weighted graph under @p coarse_of. */
+WeightedGraph
+buildCoarseGraph(const WeightedGraph &fine,
+                 const std::vector<NodeId> &coarse_of,
+                 NodeId coarse_count)
+{
+    WeightedGraph coarse;
+    coarse.node_weights.assign(coarse_count, 0);
+    for (NodeId u = 0; u < fine.numNodes(); ++u)
+        coarse.node_weights[coarse_of[u]] += fine.node_weights[u];
+
+    // Accumulate merged edges per coarse row.
+    std::vector<std::unordered_map<NodeId, std::uint32_t>> rows(
+        coarse_count);
+    const auto &offsets = fine.graph.offsets();
+    for (NodeId u = 0; u < fine.numNodes(); ++u) {
+        const NodeId cu = coarse_of[u];
+        for (EdgeIndex e = offsets[u]; e < offsets[u + 1]; ++e) {
+            const NodeId cv = coarse_of[fine.graph.targets()[e]];
+            if (cu == cv)
+                continue;
+            rows[cu][cv] += fine.edge_weights[e];
+        }
+    }
+
+    std::vector<EdgeIndex> coarse_offsets(
+        static_cast<std::size_t>(coarse_count) + 1, 0);
+    std::vector<NodeId> targets;
+    for (NodeId cu = 0; cu < coarse_count; ++cu) {
+        for (const auto &[cv, w] : rows[cu]) {
+            targets.push_back(cv);
+            coarse.edge_weights.push_back(w);
+        }
+        coarse_offsets[cu + 1] = targets.size();
+    }
+    coarse.graph =
+        CsrGraph(std::move(coarse_offsets), std::move(targets));
+    return coarse;
+}
+
+/** Greedy region-growing initial K-way partition. */
+Assignment
+initialPartition(const WeightedGraph &wg, int num_parts,
+                 util::Rng &rng)
+{
+    const NodeId n = wg.numNodes();
+    Assignment assignment(n, -1);
+    if (num_parts == 1) {
+        std::fill(assignment.begin(), assignment.end(), 0);
+        return assignment;
+    }
+    const double ideal = static_cast<double>(wg.totalNodeWeight()) /
+                         num_parts;
+
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::size_t seed_cursor = 0;
+
+    std::vector<NodeId> frontier;
+    for (int part = 0; part < num_parts - 1; ++part) {
+        double weight = 0.0;
+        frontier.clear();
+        while (weight < ideal) {
+            NodeId next = static_cast<NodeId>(-1);
+            if (!frontier.empty()) {
+                next = frontier.back();
+                frontier.pop_back();
+                if (assignment[next] != -1)
+                    continue;
+            } else {
+                while (seed_cursor < order.size() &&
+                       assignment[order[seed_cursor]] != -1) {
+                    ++seed_cursor;
+                }
+                if (seed_cursor >= order.size())
+                    break;
+                next = order[seed_cursor];
+            }
+            assignment[next] = part;
+            weight += wg.node_weights[next];
+            for (NodeId v : wg.graph.neighbors(next))
+                if (assignment[v] == -1)
+                    frontier.push_back(v);
+        }
+    }
+    for (NodeId u = 0; u < n; ++u)
+        if (assignment[u] == -1)
+            assignment[u] = num_parts - 1;
+    return assignment;
+}
+
+/** One boundary KL/FM refinement pass; returns number of moves. */
+std::size_t
+refinePass(const WeightedGraph &wg, Assignment &assignment,
+           int num_parts, double max_part_weight,
+           std::vector<double> &part_weight, util::Rng &rng)
+{
+    const NodeId n = wg.numNodes();
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    std::vector<double> link(num_parts, 0.0);
+    std::size_t moves = 0;
+    const auto &offsets = wg.graph.offsets();
+    for (NodeId u : order) {
+        const int from = assignment[u];
+        std::fill(link.begin(), link.end(), 0.0);
+        bool boundary = false;
+        for (EdgeIndex e = offsets[u]; e < offsets[u + 1]; ++e) {
+            const NodeId v = wg.graph.targets()[e];
+            link[assignment[v]] += wg.edge_weights[e];
+            if (assignment[v] != from)
+                boundary = true;
+        }
+        if (!boundary)
+            continue;
+        int best = from;
+        double best_gain = 0.0;
+        for (int part = 0; part < num_parts; ++part) {
+            if (part == from)
+                continue;
+            if (part_weight[part] + wg.node_weights[u] >
+                max_part_weight) {
+                continue;
+            }
+            const double gain = link[part] - link[from];
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = part;
+            }
+        }
+        if (best != from) {
+            assignment[u] = best;
+            part_weight[from] -= wg.node_weights[u];
+            part_weight[best] += wg.node_weights[u];
+            ++moves;
+        }
+    }
+    return moves;
+}
+
+void
+refine(const WeightedGraph &wg, Assignment &assignment, int num_parts,
+       const MetisLikeOptions &options, util::Rng &rng)
+{
+    const double ideal = static_cast<double>(wg.totalNodeWeight()) /
+                         num_parts;
+    const double max_part_weight = ideal * options.balance_factor + 1.0;
+    std::vector<double> part_weight(num_parts, 0.0);
+    for (NodeId u = 0; u < wg.numNodes(); ++u)
+        part_weight[assignment[u]] += wg.node_weights[u];
+
+    for (int pass = 0; pass < options.refine_passes; ++pass) {
+        if (refinePass(wg, assignment, num_parts, max_part_weight,
+                       part_weight, rng) == 0) {
+            break;
+        }
+    }
+}
+
+} // namespace
+
+Assignment
+MetisLike::partition(const WeightedGraph &wg, int num_parts)
+{
+    checkArgument(num_parts >= 1, "MetisLike: need >= 1 part");
+    wg.validate();
+    stats_ = Stats{};
+    util::Rng rng(options_.seed);
+
+    if (wg.numNodes() == 0)
+        return {};
+    if (num_parts == 1)
+        return Assignment(wg.numNodes(), 0);
+
+    // Phase 1: coarsen.
+    std::vector<Level> levels;
+    const WeightedGraph *current = &wg;
+    for (int depth = 0; depth < options_.max_levels &&
+                        current->numNodes() > options_.coarsen_target;
+         ++depth) {
+        auto [coarse_of, coarse_count] =
+            heavyEdgeMatching(*current, rng);
+        // Stalled coarsening (e.g. star graphs) -> stop.
+        if (coarse_count >= current->numNodes() * 0.95)
+            break;
+        Level level;
+        level.coarse_of = std::move(coarse_of);
+        level.wg =
+            buildCoarseGraph(*current, level.coarse_of, coarse_count);
+        levels.push_back(std::move(level));
+        current = &levels.back().wg;
+    }
+    stats_.levels = static_cast<int>(levels.size());
+
+    // Phase 2: initial partition of the coarsest graph.
+    Assignment assignment = initialPartition(*current, num_parts, rng);
+    refine(*current, assignment, num_parts, options_, rng);
+
+    // Phase 3: uncoarsen + refine.
+    for (std::size_t depth = levels.size(); depth-- > 0;) {
+        const WeightedGraph &finer =
+            depth == 0 ? wg : levels[depth - 1].wg;
+        Assignment fine_assignment(finer.numNodes());
+        for (NodeId u = 0; u < finer.numNodes(); ++u)
+            fine_assignment[u] = assignment[levels[depth].coarse_of[u]];
+        assignment = std::move(fine_assignment);
+        refine(finer, assignment, num_parts, options_, rng);
+    }
+
+    stats_.edge_cut = edgeCutWeight(wg, assignment);
+    stats_.balance = balanceFactor(wg, assignment, num_parts);
+    BUFFALO_LOG_DEBUG("metis-like")
+        << "k=" << num_parts << " levels=" << stats_.levels
+        << " cut=" << stats_.edge_cut << " balance=" << stats_.balance;
+    return assignment;
+}
+
+} // namespace buffalo::partition

@@ -1,0 +1,38 @@
+#include "partition/partitioner.h"
+
+#include "util/errors.h"
+
+namespace buffalo::partition {
+
+Assignment
+RandomPartitioner::partition(const WeightedGraph &wg, int num_parts)
+{
+    checkArgument(num_parts >= 1,
+                  "RandomPartitioner: need >= 1 part");
+    const NodeId n = wg.numNodes();
+    // Evenly random: shuffle node ids, deal them round-robin.
+    std::vector<NodeId> order(n);
+    for (NodeId u = 0; u < n; ++u)
+        order[u] = u;
+    rng_.shuffle(order);
+    Assignment assignment(n, 0);
+    for (NodeId i = 0; i < n; ++i)
+        assignment[order[i]] = static_cast<int>(i % num_parts);
+    return assignment;
+}
+
+Assignment
+RangePartitioner::partition(const WeightedGraph &wg, int num_parts)
+{
+    checkArgument(num_parts >= 1, "RangePartitioner: need >= 1 part");
+    const NodeId n = wg.numNodes();
+    Assignment assignment(n, 0);
+    if (n == 0)
+        return assignment;
+    const NodeId chunk = (n + num_parts - 1) / num_parts;
+    for (NodeId u = 0; u < n; ++u)
+        assignment[u] = static_cast<int>(u / chunk);
+    return assignment;
+}
+
+} // namespace buffalo::partition

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Batch-level partitioning strategies compared in paper Fig. 16:
+ * Random and Range split the 1-D space of output nodes; MetisLike (see
+ * metis_like.h) partitions the graph structure. Buffalo's bucket-level
+ * partitioning lives in src/core and is not a Partitioner — that
+ * asymmetry is the point of the paper.
+ */
+#pragma once
+
+#include <string>
+
+#include "partition/weighted_graph.h"
+#include "util/rng.h"
+
+namespace buffalo::partition {
+
+/** Strategy interface: split a weighted graph into K parts. */
+class Partitioner
+{
+  public:
+    virtual ~Partitioner() = default;
+
+    /** Returns a part id in [0, num_parts) for every node. */
+    virtual Assignment partition(const WeightedGraph &wg,
+                                 int num_parts) = 0;
+
+    /** Strategy name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Evenly-sized random assignment (paper Fig. 16 "Random"). */
+class RandomPartitioner : public Partitioner
+{
+  public:
+    explicit RandomPartitioner(std::uint64_t seed) : rng_(seed) {}
+
+    Assignment partition(const WeightedGraph &wg,
+                         int num_parts) override;
+
+    std::string name() const override { return "random"; }
+
+  private:
+    util::Rng rng_;
+};
+
+/** Contiguous index-range assignment (paper Fig. 16 "Range"). */
+class RangePartitioner : public Partitioner
+{
+  public:
+    Assignment partition(const WeightedGraph &wg,
+                         int num_parts) override;
+
+    std::string name() const override { return "range"; }
+};
+
+} // namespace buffalo::partition

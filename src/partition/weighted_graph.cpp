@@ -1,0 +1,72 @@
+#include "partition/weighted_graph.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace buffalo::partition {
+
+WeightedGraph
+WeightedGraph::fromUnweighted(CsrGraph graph)
+{
+    WeightedGraph wg;
+    wg.node_weights.assign(graph.numNodes(), 1);
+    wg.edge_weights.assign(graph.numEdges(), 1);
+    wg.graph = std::move(graph);
+    return wg;
+}
+
+std::uint64_t
+WeightedGraph::totalNodeWeight() const
+{
+    std::uint64_t total = 0;
+    for (auto w : node_weights)
+        total += w;
+    return total;
+}
+
+void
+WeightedGraph::validate() const
+{
+    checkArgument(node_weights.size() == graph.numNodes(),
+                  "WeightedGraph: node weight count mismatch");
+    checkArgument(edge_weights.size() == graph.numEdges(),
+                  "WeightedGraph: edge weight count mismatch");
+}
+
+std::uint64_t
+edgeCutWeight(const WeightedGraph &wg, const Assignment &assignment)
+{
+    checkArgument(assignment.size() == wg.numNodes(),
+                  "edgeCutWeight: assignment size mismatch");
+    std::uint64_t cut = 0;
+    const NodeId n = wg.numNodes();
+    for (NodeId u = 0; u < n; ++u) {
+        const auto &offsets = wg.graph.offsets();
+        for (EdgeIndex e = offsets[u]; e < offsets[u + 1]; ++e) {
+            const NodeId v = wg.graph.targets()[e];
+            if (assignment[u] != assignment[v])
+                cut += wg.edge_weights[e];
+        }
+    }
+    // Symmetric graphs count each crossing twice.
+    return cut / 2;
+}
+
+double
+balanceFactor(const WeightedGraph &wg, const Assignment &assignment,
+              int num_parts)
+{
+    checkArgument(num_parts >= 1, "balanceFactor: need >= 1 part");
+    std::vector<std::uint64_t> part_weight(num_parts, 0);
+    for (NodeId u = 0; u < wg.numNodes(); ++u)
+        part_weight[assignment[u]] += wg.node_weights[u];
+    const std::uint64_t max_weight =
+        *std::max_element(part_weight.begin(), part_weight.end());
+    const double ideal = static_cast<double>(wg.totalNodeWeight()) /
+                         static_cast<double>(num_parts);
+    return ideal == 0.0 ? 1.0
+                        : static_cast<double>(max_weight) / ideal;
+}
+
+} // namespace buffalo::partition

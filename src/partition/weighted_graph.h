@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Node- and edge-weighted graph used by the multilevel partitioner and
+ * by Betty's redundancy-embedded graph (REG).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace buffalo::partition {
+
+using graph::CsrGraph;
+using graph::EdgeIndex;
+using graph::NodeId;
+
+/** CSR graph with integer node weights and edge weights. */
+struct WeightedGraph
+{
+    CsrGraph graph;
+    /** One weight per node; defaults to 1. */
+    std::vector<std::uint32_t> node_weights;
+    /** One weight per CSR edge (aligned with graph.targets()). */
+    std::vector<std::uint32_t> edge_weights;
+
+    /** Wraps an unweighted graph with unit weights. */
+    static WeightedGraph fromUnweighted(CsrGraph graph);
+
+    NodeId numNodes() const { return graph.numNodes(); }
+    EdgeIndex numEdges() const { return graph.numEdges(); }
+
+    /** Sum of all node weights. */
+    std::uint64_t totalNodeWeight() const;
+
+    /** Throws if weight array sizes disagree with the graph. */
+    void validate() const;
+};
+
+/** A K-way assignment: part id per node. */
+using Assignment = std::vector<int>;
+
+/** Sum of edge weights crossing parts (each undirected edge once if the
+ *  graph is symmetric, since both directions are counted and halved). */
+std::uint64_t edgeCutWeight(const WeightedGraph &wg,
+                            const Assignment &assignment);
+
+/** max part weight / ideal part weight; 1.0 is perfectly balanced. */
+double balanceFactor(const WeightedGraph &wg,
+                     const Assignment &assignment, int num_parts);
+
+} // namespace buffalo::partition

@@ -1,0 +1,90 @@
+#include "sampling/block.h"
+
+#include "util/errors.h"
+
+namespace buffalo::sampling {
+
+std::uint64_t
+Block::structureBytes() const
+{
+    return src_nodes.size() * sizeof(NodeId) +
+           offsets.size() * sizeof(EdgeIndex) +
+           neighbors.size() * sizeof(NodeId);
+}
+
+void
+Block::validate() const
+{
+    checkInternal(num_dst <= src_nodes.size(),
+                  "Block: destination prefix exceeds src_nodes");
+    checkInternal(offsets.size() ==
+                      static_cast<std::size_t>(num_dst) + 1,
+                  "Block: offsets size must be num_dst + 1");
+    checkInternal(offsets.empty() || offsets.front() == 0,
+                  "Block: offsets must start at 0");
+    checkInternal(offsets.empty() || offsets.back() == neighbors.size(),
+                  "Block: last offset must equal neighbor count");
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+        checkInternal(offsets[i - 1] <= offsets[i],
+                      "Block: offsets must be non-decreasing");
+    for (NodeId local : neighbors)
+        checkInternal(local < src_nodes.size(),
+                      "Block: neighbor index out of range");
+}
+
+NodeList
+MicroBatch::outputNodes() const
+{
+    checkInternal(!blocks.empty(), "MicroBatch: no blocks");
+    const Block &top = blocks.back();
+    return NodeList(top.src_nodes.begin(),
+                    top.src_nodes.begin() + top.num_dst);
+}
+
+const NodeList &
+MicroBatch::inputNodes() const
+{
+    checkInternal(!blocks.empty(), "MicroBatch: no blocks");
+    return blocks.front().src_nodes;
+}
+
+std::uint64_t
+MicroBatch::structureBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Block &block : blocks)
+        total += block.structureBytes();
+    return total;
+}
+
+std::uint64_t
+MicroBatch::totalNodeCount() const
+{
+    std::uint64_t total = 0;
+    for (const Block &block : blocks)
+        total += block.numSrc();
+    return total;
+}
+
+void
+MicroBatch::validateChain() const
+{
+    for (const Block &block : blocks)
+        block.validate();
+    for (std::size_t l = 0; l + 1 < blocks.size(); ++l) {
+        const Block &lower = blocks[l];
+        const Block &upper = blocks[l + 1];
+        checkInternal(upper.src_nodes.size() <= lower.src_nodes.size(),
+                      "MicroBatch: upper layer wider than lower");
+        // The upper layer's inputs must be exactly the lower layer's
+        // destination prefix.
+        checkInternal(lower.num_dst == upper.src_nodes.size(),
+                      "MicroBatch: layer chaining size mismatch");
+        for (NodeId i = 0; i < upper.src_nodes.size(); ++i) {
+            checkInternal(upper.src_nodes[i] == lower.src_nodes[i],
+                          "MicroBatch: layer chaining id mismatch");
+        }
+    }
+}
+
+} // namespace buffalo::sampling

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Block (message-flow-graph) representation.
+ *
+ * A block summarizes the connectivity of one GNN layer for a micro-batch:
+ * a bipartite graph from input (source) nodes to output (destination)
+ * nodes, with neighbor lists stored in CSR over local source indices.
+ * Bundling connectivity per layer into a single object is what enables
+ * one-shot data transfer to the device (paper §I, problem 4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace buffalo::sampling {
+
+using graph::EdgeIndex;
+using graph::NodeId;
+using graph::NodeList;
+
+/** One layer's bipartite message graph. */
+struct Block
+{
+    /**
+     * Global ids of the input nodes. The first dstNodes().size() entries
+     * are exactly the destination nodes (standard MFG convention: outputs
+     * are a prefix of inputs so self-features need no second gather).
+     */
+    NodeList src_nodes;
+
+    /** Number of destination (output) nodes; prefix length of src_nodes. */
+    NodeId num_dst = 0;
+
+    /** CSR row offsets over destinations; size num_dst + 1. */
+    std::vector<EdgeIndex> offsets;
+
+    /**
+     * Sampled in-neighbors of each destination as *local* indices into
+     * src_nodes.
+     */
+    std::vector<NodeId> neighbors;
+
+    /** Number of input nodes. */
+    NodeId numSrc() const { return static_cast<NodeId>(src_nodes.size()); }
+
+    /** Number of output nodes. */
+    NodeId numDst() const { return num_dst; }
+
+    /** Number of message edges. */
+    EdgeIndex numEdges() const { return neighbors.size(); }
+
+    /** Sampled in-degree of destination @p dst (local index). */
+    EdgeIndex
+    degree(NodeId dst) const
+    {
+        return offsets[dst + 1] - offsets[dst];
+    }
+
+    /** Neighbor list (local src indices) of destination @p dst. */
+    std::span<const NodeId>
+    neighborList(NodeId dst) const
+    {
+        return {neighbors.data() + offsets[dst],
+                neighbors.data() + offsets[dst + 1]};
+    }
+
+    /** Global id of destination @p dst. */
+    NodeId dstGlobal(NodeId dst) const { return src_nodes[dst]; }
+
+    /** Structure bytes (ids + offsets), i.e. transfer payload size. */
+    std::uint64_t structureBytes() const;
+
+    /** Throws InternalError if any invariant is violated. */
+    void validate() const;
+};
+
+/**
+ * Blocks for all L layers of a micro-batch, input layer first:
+ * blocks[0] consumes raw features, blocks[L-1] produces the outputs.
+ * Invariant: blocks[l].src_nodes == blocks[l+1] would be wrong — the
+ * chain runs the other way: blocks[l+1].src_nodes == blocks[l]'s
+ * destination prefix. validateChain() checks it.
+ */
+struct MicroBatch
+{
+    std::vector<Block> blocks;
+
+    /** Output nodes of the whole micro-batch (top block dst prefix). */
+    NodeList outputNodes() const;
+
+    /** Input nodes whose raw features must be loaded (bottom block). */
+    const NodeList &inputNodes() const;
+
+    /** Number of GNN layers. */
+    int numLayers() const { return static_cast<int>(blocks.size()); }
+
+    /** Total structure bytes across layers. */
+    std::uint64_t structureBytes() const;
+
+    /** Sum of node counts across all blocks (for Fig. 16's metric). */
+    std::uint64_t totalNodeCount() const;
+
+    /** Validates each block and the inter-layer chaining invariant. */
+    void validateChain() const;
+};
+
+} // namespace buffalo::sampling

@@ -1,0 +1,206 @@
+#include "sampling/block_generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/errors.h"
+
+namespace buffalo::sampling {
+
+namespace {
+
+/**
+ * Assembles one Block from per-destination neighbor rows given in
+ * subgraph-local ids. @p dst_locals become the destination prefix; new
+ * sources are appended in first-seen order. The returned block's
+ * src_nodes hold *subgraph-local* ids; the caller translates to global
+ * ids at the end.
+ */
+Block
+assembleBlock(const NodeList &dst_locals,
+              const std::vector<NodeList> &rows)
+{
+    Block block;
+    block.num_dst = static_cast<NodeId>(dst_locals.size());
+    block.src_nodes = dst_locals;
+    block.offsets.resize(dst_locals.size() + 1, 0);
+
+    std::unordered_map<NodeId, NodeId> to_block;
+    to_block.reserve(dst_locals.size() * 2);
+    for (NodeId i = 0; i < dst_locals.size(); ++i)
+        to_block.emplace(dst_locals[i], i);
+
+    EdgeIndex total = 0;
+    for (const auto &row : rows)
+        total += row.size();
+    block.neighbors.reserve(total);
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        for (NodeId nbr : rows[i]) {
+            auto [it, inserted] = to_block.emplace(
+                nbr, static_cast<NodeId>(block.src_nodes.size()));
+            if (inserted)
+                block.src_nodes.push_back(nbr);
+            block.neighbors.push_back(it->second);
+        }
+        block.offsets[i + 1] = block.neighbors.size();
+    }
+    return block;
+}
+
+/** Translates block.src_nodes from subgraph-local ids to global ids. */
+void
+translateToGlobal(MicroBatch &mb, const SampledSubgraph &sg)
+{
+    for (Block &block : mb.blocks)
+        for (NodeId &id : block.src_nodes)
+            id = sg.globalId(id);
+}
+
+void
+checkOutputs(const SampledSubgraph &sg, const NodeList &output_locals)
+{
+    for (NodeId local : output_locals)
+        checkArgument(local < sg.numSeeds(),
+                      "BlockGenerator: output id is not a seed");
+}
+
+void
+charge(util::PhaseTimer *timer, const char *phase,
+       util::StopWatch &watch)
+{
+    if (timer)
+        timer->add(phase, watch.seconds());
+    watch.reset();
+}
+
+} // namespace
+
+FastBlockGenerator::FastBlockGenerator(util::ThreadPool *pool)
+    : pool_(pool)
+{
+}
+
+MicroBatch
+FastBlockGenerator::generate(const SampledSubgraph &sg,
+                             const NodeList &output_locals,
+                             util::PhaseTimer *timer) const
+{
+    checkOutputs(sg, output_locals);
+    util::ThreadPool &pool =
+        pool_ ? *pool_ : util::ThreadPool::global();
+
+    MicroBatch mb;
+    mb.blocks.resize(sg.numLayers());
+
+    util::StopWatch watch;
+    NodeList dst = output_locals;
+    for (int layer = sg.numLayers() - 1; layer >= 0; --layer) {
+        const CsrGraph &adjacency = sg.layerAdjacency(layer);
+
+        // Connection check (paper §IV-E): neighbor tracking is a
+        // single contiguous CSR-row read per destination — no
+        // rechecking against the parent graph. The offsets (degree
+        // prefix sums) are computed in parallel at the node level when
+        // more than one worker is available; one core runs the loop
+        // directly since fan-out overhead would dominate.
+        Block &block = mb.blocks[layer];
+        block.num_dst = static_cast<NodeId>(dst.size());
+        block.offsets.resize(dst.size() + 1, 0);
+        if (pool.size() > 1 && dst.size() > 4096) {
+            pool.parallelFor(0, dst.size(), [&](std::size_t i) {
+                block.offsets[i + 1] = adjacency.degree(dst[i]);
+            });
+        } else {
+            for (std::size_t i = 0; i < dst.size(); ++i)
+                block.offsets[i + 1] = adjacency.degree(dst[i]);
+        }
+        for (std::size_t i = 0; i < dst.size(); ++i)
+            block.offsets[i + 1] += block.offsets[i];
+        charge(timer, kPhaseConnectionCheck, watch);
+
+        // Block construction: append new sources in first-seen order
+        // while streaming the CSR rows straight into the block.
+        block.src_nodes = dst;
+        std::unordered_map<NodeId, NodeId> to_block;
+        to_block.reserve(dst.size() * 2);
+        for (NodeId i = 0; i < dst.size(); ++i)
+            to_block.emplace(dst[i], i);
+        block.neighbors.reserve(block.offsets.back());
+        for (std::size_t i = 0; i < dst.size(); ++i) {
+            for (NodeId nbr : adjacency.neighbors(dst[i])) {
+                auto [it, inserted] = to_block.emplace(
+                    nbr,
+                    static_cast<NodeId>(block.src_nodes.size()));
+                if (inserted)
+                    block.src_nodes.push_back(nbr);
+                block.neighbors.push_back(it->second);
+            }
+        }
+        dst = block.src_nodes; // subgraph-local ids
+        charge(timer, kPhaseBlockConstruction, watch);
+    }
+    translateToGlobal(mb, sg);
+    charge(timer, kPhaseBlockConstruction, watch);
+    return mb;
+}
+
+MicroBatch
+BaselineBlockGenerator::generate(const SampledSubgraph &sg,
+                                 const NodeList &output_locals,
+                                 util::PhaseTimer *timer) const
+{
+    checkOutputs(sg, output_locals);
+    const CsrGraph &parent = sg.parent();
+
+    MicroBatch mb;
+    mb.blocks.resize(sg.numLayers());
+
+    util::StopWatch watch;
+    NodeList dst = output_locals;
+    for (int layer = sg.numLayers() - 1; layer >= 0; --layer) {
+        const CsrGraph &adjacency = sg.layerAdjacency(layer);
+
+        // Repeated connection check (the redundant work Buffalo's
+        // fast path avoids, paper §III/§IV-E): the baseline does not
+        // keep per-node sampled rows, so for every micro-batch it
+        // re-derives this layer's dependency structure — materializing
+        // the micro-batch cone's sampled-edge set, then walking each
+        // destination's FULL parent-graph neighbor list and probing
+        // which of those edges sampling selected.
+        std::unordered_set<std::uint64_t> sampled_edges;
+        for (NodeId u : dst) {
+            for (NodeId v : adjacency.neighbors(u)) {
+                sampled_edges.insert(
+                    (static_cast<std::uint64_t>(u) << 32) | v);
+            }
+        }
+
+        std::vector<NodeList> rows(dst.size());
+        for (std::size_t i = 0; i < dst.size(); ++i) {
+            const NodeId global = sg.globalId(dst[i]);
+            NodeList &row = rows[i];
+            for (NodeId parent_nbr : parent.neighbors(global)) {
+                const NodeId local = sg.tryLocalId(parent_nbr);
+                if (local == static_cast<NodeId>(-1))
+                    continue; // neighbor not in the batch at all
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(dst[i]) << 32) |
+                    local;
+                if (sampled_edges.count(key))
+                    row.push_back(local);
+            }
+        }
+        charge(timer, kPhaseConnectionCheck, watch);
+
+        mb.blocks[layer] = assembleBlock(dst, rows);
+        dst = mb.blocks[layer].src_nodes;
+        charge(timer, kPhaseBlockConstruction, watch);
+    }
+    translateToGlobal(mb, sg);
+    charge(timer, kPhaseBlockConstruction, watch);
+    return mb;
+}
+
+} // namespace buffalo::sampling

@@ -1,0 +1,72 @@
+#include "sampling/bucketing.h"
+
+#include <algorithm>
+#include <map>
+
+namespace buffalo::sampling {
+
+namespace {
+
+BucketList
+bucketsFromDegrees(const std::vector<EdgeIndex> &degrees,
+                   const NodeList &ids)
+{
+    std::map<EdgeIndex, NodeList> by_degree;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+        by_degree[degrees[i]].push_back(ids[i]);
+
+    BucketList buckets;
+    buckets.reserve(by_degree.size());
+    for (auto &[degree, members] : by_degree)
+        buckets.push_back({degree, std::move(members)});
+    return buckets;
+}
+
+} // namespace
+
+BucketList
+bucketizeBlock(const Block &block)
+{
+    std::vector<EdgeIndex> degrees(block.numDst());
+    NodeList ids(block.numDst());
+    for (NodeId dst = 0; dst < block.numDst(); ++dst) {
+        degrees[dst] = block.degree(dst);
+        ids[dst] = dst;
+    }
+    return bucketsFromDegrees(degrees, ids);
+}
+
+BucketList
+bucketizeSeeds(const SampledSubgraph &sg)
+{
+    const CsrGraph &top =
+        sg.layerAdjacency(sg.numLayers() - 1);
+    std::vector<EdgeIndex> degrees(sg.numSeeds());
+    NodeList ids(sg.numSeeds());
+    for (NodeId seed = 0; seed < sg.numSeeds(); ++seed) {
+        degrees[seed] = top.degree(seed);
+        ids[seed] = seed;
+    }
+    return bucketsFromDegrees(degrees, ids);
+}
+
+int
+findExplosionBucket(const BucketList &buckets, double threshold)
+{
+    if (buckets.size() < 2)
+        return -1;
+    // The cut-off bucket is the highest-degree one.
+    const std::size_t last = buckets.size() - 1;
+    double other_total = 0.0;
+    for (std::size_t i = 0; i < last; ++i)
+        other_total += buckets[i].volume();
+    const double other_mean =
+        other_total / static_cast<double>(last);
+    if (static_cast<double>(buckets[last].volume()) >
+        threshold * other_mean) {
+        return static_cast<int>(last);
+    }
+    return -1;
+}
+
+} // namespace buffalo::sampling

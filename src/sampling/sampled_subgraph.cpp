@@ -1,0 +1,135 @@
+#include "sampling/sampled_subgraph.h"
+
+#include <algorithm>
+
+#include "util/errors.h"
+
+namespace buffalo::sampling {
+
+NodeId
+SampledSubgraph::localId(NodeId global) const
+{
+    auto it = to_local_.find(global);
+    if (it == to_local_.end())
+        throw NotFound("SampledSubgraph::localId: node not in batch");
+    return it->second;
+}
+
+NodeId
+SampledSubgraph::tryLocalId(NodeId global) const
+{
+    auto it = to_local_.find(global);
+    return it == to_local_.end() ? static_cast<NodeId>(-1)
+                                 : it->second;
+}
+
+const CsrGraph &
+SampledSubgraph::layerAdjacency(int layer) const
+{
+    checkArgument(layer >= 0 && layer < numLayers(),
+                  "SampledSubgraph::layerAdjacency: bad layer index");
+    return layers_[layer];
+}
+
+std::uint64_t
+SampledSubgraph::memoryBytes() const
+{
+    std::uint64_t total = nodes_.size() * sizeof(NodeId);
+    for (const auto &layer : layers_)
+        total += layer.memoryBytes();
+    return total;
+}
+
+NeighborSampler::NeighborSampler(std::vector<int> fanouts)
+    : fanouts_(std::move(fanouts))
+{
+    checkArgument(!fanouts_.empty(),
+                  "NeighborSampler: need at least one layer");
+    for (int f : fanouts_)
+        checkArgument(f >= 1, "NeighborSampler: fanouts must be >= 1");
+}
+
+SampledSubgraph
+NeighborSampler::sample(const CsrGraph &graph, const NodeList &seeds,
+                        util::Rng &rng) const
+{
+    SampledSubgraph sg;
+    sg.parent_ = &graph;
+    sg.fanouts_ = fanouts_;
+    sg.num_seeds_ = static_cast<NodeId>(seeds.size());
+
+    sg.nodes_ = seeds;
+    sg.to_local_.reserve(seeds.size() * 2);
+    for (NodeId i = 0; i < seeds.size(); ++i) {
+        checkArgument(seeds[i] < graph.numNodes(),
+                      "NeighborSampler::sample: seed out of range");
+        const bool inserted = sg.to_local_.emplace(seeds[i], i).second;
+        checkArgument(inserted,
+                      "NeighborSampler::sample: duplicate seed");
+    }
+
+    const int num_layers = numLayers();
+    // Sampled rows per layer, keyed by local dst id, neighbors as
+    // *global* ids (converted to local once the union is complete).
+    std::vector<std::vector<NodeList>> layer_rows(num_layers);
+
+    // frontier = local ids that are destinations at the current layer.
+    NodeId frontier_end = sg.num_seeds_;
+    std::vector<NodeId> sample_buffer;
+    for (int layer = num_layers - 1; layer >= 0; --layer) {
+        const int fanout = fanouts_[layer];
+        auto &rows = layer_rows[layer];
+        rows.resize(frontier_end);
+        const NodeId union_before =
+            static_cast<NodeId>(sg.nodes_.size());
+
+        for (NodeId local = 0; local < frontier_end; ++local) {
+            const NodeId global = sg.nodes_[local];
+            auto nbrs = graph.neighbors(global);
+            NodeList &row = rows[local];
+            if (nbrs.size() <=
+                static_cast<std::size_t>(fanout)) {
+                row.assign(nbrs.begin(), nbrs.end());
+            } else {
+                auto picks = rng.sampleWithoutReplacement(
+                    nbrs.size(), static_cast<std::uint64_t>(fanout));
+                row.reserve(fanout);
+                for (auto pick : picks)
+                    row.push_back(nbrs[pick]);
+            }
+            for (NodeId nbr : row) {
+                auto [it, inserted] = sg.to_local_.emplace(
+                    nbr, static_cast<NodeId>(sg.nodes_.size()));
+                if (inserted)
+                    sg.nodes_.push_back(nbr);
+            }
+        }
+        (void)union_before;
+        frontier_end = static_cast<NodeId>(sg.nodes_.size());
+    }
+
+    // Compile each layer's rows into a CSR over the final union size.
+    const NodeId n = static_cast<NodeId>(sg.nodes_.size());
+    sg.layers_.reserve(num_layers);
+    for (int layer = 0; layer < num_layers; ++layer) {
+        const auto &rows = layer_rows[layer];
+        std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1,
+                                       0);
+        EdgeIndex total = 0;
+        for (std::size_t local = 0; local < rows.size(); ++local)
+            total += rows[local].size();
+        std::vector<NodeId> targets;
+        targets.reserve(total);
+        for (NodeId local = 0; local < n; ++local) {
+            if (local < rows.size()) {
+                for (NodeId global : rows[local])
+                    targets.push_back(sg.to_local_.at(global));
+            }
+            offsets[local + 1] = targets.size();
+        }
+        sg.layers_.emplace_back(std::move(offsets), std::move(targets));
+    }
+    return sg;
+}
+
+} // namespace buffalo::sampling

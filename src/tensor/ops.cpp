@@ -1,0 +1,323 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/errors.h"
+
+namespace buffalo::tensor {
+
+namespace {
+
+void
+checkSameShape(const Tensor &a, const Tensor &b, const char *op)
+{
+    checkArgument(a.rows() == b.rows() && a.cols() == b.cols(),
+                  std::string(op) + ": shape mismatch");
+}
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b, AllocationObserver *observer)
+{
+    checkArgument(a.cols() == b.rows(), "matmul: inner dims must match");
+    Tensor c = Tensor::zeros(a.rows(), b.cols(), observer);
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    // i-k-j loop order keeps the inner loop contiguous in B and C.
+    for (std::size_t i = 0; i < m; ++i) {
+        float *crow = c.data() + i * n;
+        const float *arow = a.data() + i * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.data() + kk * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposeA(const Tensor &a, const Tensor &b,
+                 AllocationObserver *observer)
+{
+    checkArgument(a.rows() == b.rows(),
+                  "matmulTransposeA: row counts must match");
+    Tensor c = Tensor::zeros(a.cols(), b.cols(), observer);
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const float *arow = a.data() + kk * m;
+        const float *brow = b.data() + kk * n;
+        for (std::size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposeB(const Tensor &a, const Tensor &b,
+                 AllocationObserver *observer)
+{
+    checkArgument(a.cols() == b.cols(),
+                  "matmulTransposeB: col counts must match");
+    Tensor c = Tensor::zeros(a.rows(), b.rows(), observer);
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = b.data() + j * k;
+            float dot = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                dot += arow[kk] * brow[kk];
+            crow[j] = dot;
+        }
+    }
+    return c;
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b, AllocationObserver *observer)
+{
+    checkSameShape(a, b, "add");
+    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] + b.data()[i];
+    return c;
+}
+
+Tensor
+subtract(const Tensor &a, const Tensor &b, AllocationObserver *observer)
+{
+    checkSameShape(a, b, "subtract");
+    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] - b.data()[i];
+    return c;
+}
+
+Tensor
+multiply(const Tensor &a, const Tensor &b, AllocationObserver *observer)
+{
+    checkSameShape(a, b, "multiply");
+    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] * b.data()[i];
+    return c;
+}
+
+Tensor
+scale(const Tensor &a, float s, AllocationObserver *observer)
+{
+    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = a.data()[i] * s;
+    return c;
+}
+
+void
+addInPlace(Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "addInPlace");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] += b.data()[i];
+}
+
+void
+scaleInPlace(Tensor &a, float s)
+{
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] *= s;
+}
+
+void
+fill(Tensor &a, float value)
+{
+    std::fill(a.data(), a.data() + a.size(), value);
+}
+
+Tensor
+addRowBroadcast(const Tensor &a, const Tensor &bias,
+                AllocationObserver *observer)
+{
+    checkArgument(bias.rows() == 1 && bias.cols() == a.cols(),
+                  "addRowBroadcast: bias must be 1 x cols");
+    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c.at(i, j) = a.at(i, j) + bias.at(0, j);
+    return c;
+}
+
+Tensor
+columnSum(const Tensor &a, AllocationObserver *observer)
+{
+    Tensor c = Tensor::zeros(1, a.cols(), observer);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            c.at(0, j) += a.at(i, j);
+    return c;
+}
+
+Tensor
+relu(const Tensor &a, AllocationObserver *observer)
+{
+    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = std::max(0.0f, a.data()[i]);
+    return c;
+}
+
+Tensor
+reluBackward(const Tensor &grad, const Tensor &pre_activation,
+             AllocationObserver *observer)
+{
+    checkSameShape(grad, pre_activation, "reluBackward");
+    Tensor c = Tensor::zeros(grad.rows(), grad.cols(), observer);
+    for (std::size_t i = 0; i < grad.size(); ++i)
+        c.data()[i] =
+            pre_activation.data()[i] > 0.0f ? grad.data()[i] : 0.0f;
+    return c;
+}
+
+Tensor
+sigmoid(const Tensor &a, AllocationObserver *observer)
+{
+    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+    return c;
+}
+
+Tensor
+tanh(const Tensor &a, AllocationObserver *observer)
+{
+    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        c.data()[i] = std::tanh(a.data()[i]);
+    return c;
+}
+
+Tensor
+concatColumns(const Tensor &a, const Tensor &b,
+              AllocationObserver *observer)
+{
+    checkArgument(a.rows() == b.rows(),
+                  "concatColumns: row counts must match");
+    Tensor c = Tensor::zeros(a.rows(), a.cols() + b.cols(), observer);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        std::memcpy(c.data() + i * c.cols(), a.data() + i * a.cols(),
+                    a.cols() * sizeof(float));
+        std::memcpy(c.data() + i * c.cols() + a.cols(),
+                    b.data() + i * b.cols(), b.cols() * sizeof(float));
+    }
+    return c;
+}
+
+Tensor
+sliceColumns(const Tensor &a, std::size_t begin, std::size_t end,
+             AllocationObserver *observer)
+{
+    checkArgument(begin <= end && end <= a.cols(),
+                  "sliceColumns: invalid column range");
+    Tensor c = Tensor::zeros(a.rows(), end - begin, observer);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        std::memcpy(c.data() + i * c.cols(),
+                    a.data() + i * a.cols() + begin,
+                    c.cols() * sizeof(float));
+    return c;
+}
+
+Tensor
+gatherRows(const Tensor &a, const std::vector<std::uint32_t> &indices,
+           AllocationObserver *observer)
+{
+    Tensor c = Tensor::zeros(indices.size(), a.cols(), observer);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        checkArgument(indices[i] < a.rows(),
+                      "gatherRows: index out of range");
+        std::memcpy(c.data() + i * c.cols(),
+                    a.data() + indices[i] * a.cols(),
+                    a.cols() * sizeof(float));
+    }
+    return c;
+}
+
+void
+scatterAddRows(Tensor &out, const Tensor &a,
+               const std::vector<std::uint32_t> &indices)
+{
+    checkArgument(indices.size() == a.rows(),
+                  "scatterAddRows: need one index per input row");
+    checkArgument(out.cols() == a.cols(),
+                  "scatterAddRows: column counts must match");
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        checkArgument(indices[i] < out.rows(),
+                      "scatterAddRows: index out of range");
+        float *dst = out.data() + indices[i] * out.cols();
+        const float *src = a.data() + i * a.cols();
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            dst[j] += src[j];
+    }
+}
+
+void
+fillUniform(Tensor &a, float range, util::Rng &rng)
+{
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a.data()[i] =
+            static_cast<float>((rng.nextDouble() * 2.0 - 1.0) * range);
+}
+
+void
+fillXavier(Tensor &a, util::Rng &rng)
+{
+    const double fan_in = static_cast<double>(a.rows());
+    const double fan_out = static_cast<double>(a.cols());
+    const float range =
+        static_cast<float>(std::sqrt(6.0 / (fan_in + fan_out)));
+    fillUniform(a, range, rng);
+}
+
+double
+sum(const Tensor &a)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total += a.data()[i];
+    return total;
+}
+
+double
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    checkSameShape(a, b, "maxAbsDiff");
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        best = std::max(
+            best, std::abs(static_cast<double>(a.data()[i]) -
+                           static_cast<double>(b.data()[i])));
+    return best;
+}
+
+double
+frobeniusNorm(const Tensor &a)
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        total += static_cast<double>(a.data()[i]) *
+                 static_cast<double>(a.data()[i]);
+    return std::sqrt(total);
+}
+
+} // namespace buffalo::tensor

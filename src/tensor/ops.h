@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Dense linear-algebra kernels over Tensor. All outputs are allocated
+ * under @p observer so the simulated device can account for them — these
+ * are the "CUDA kernels" of the reproduction.
+ */
+#pragma once
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace buffalo::tensor {
+
+/** C = A * B. A is m x k, B is k x n. */
+Tensor matmul(const Tensor &a, const Tensor &b,
+              AllocationObserver *observer = nullptr);
+
+/** C = A^T * B. A is k x m, B is k x n -> C is m x n. */
+Tensor matmulTransposeA(const Tensor &a, const Tensor &b,
+                        AllocationObserver *observer = nullptr);
+
+/** C = A * B^T. A is m x k, B is n x k -> C is m x n. */
+Tensor matmulTransposeB(const Tensor &a, const Tensor &b,
+                        AllocationObserver *observer = nullptr);
+
+/** C = A + B (same shape). */
+Tensor add(const Tensor &a, const Tensor &b,
+           AllocationObserver *observer = nullptr);
+
+/** C = A - B (same shape). */
+Tensor subtract(const Tensor &a, const Tensor &b,
+                AllocationObserver *observer = nullptr);
+
+/** C = A ⊙ B, elementwise product (same shape). */
+Tensor multiply(const Tensor &a, const Tensor &b,
+                AllocationObserver *observer = nullptr);
+
+/** C = s * A. */
+Tensor scale(const Tensor &a, float s,
+             AllocationObserver *observer = nullptr);
+
+/** In place: a += b (same shape). */
+void addInPlace(Tensor &a, const Tensor &b);
+
+/** In place: a *= s. */
+void scaleInPlace(Tensor &a, float s);
+
+/** In place: sets every element to @p value. */
+void fill(Tensor &a, float value);
+
+/** C = A with bias (1 x cols) added to each row. */
+Tensor addRowBroadcast(const Tensor &a, const Tensor &bias,
+                       AllocationObserver *observer = nullptr);
+
+/** Column-wise sum -> 1 x cols. */
+Tensor columnSum(const Tensor &a, AllocationObserver *observer = nullptr);
+
+/** ReLU forward. */
+Tensor relu(const Tensor &a, AllocationObserver *observer = nullptr);
+
+/** ReLU backward: grad ⊙ (pre > 0). */
+Tensor reluBackward(const Tensor &grad, const Tensor &pre_activation,
+                    AllocationObserver *observer = nullptr);
+
+/** Elementwise logistic sigmoid. */
+Tensor sigmoid(const Tensor &a, AllocationObserver *observer = nullptr);
+
+/** Elementwise tanh. */
+Tensor tanh(const Tensor &a, AllocationObserver *observer = nullptr);
+
+/** Concatenates two tensors with equal row counts along columns. */
+Tensor concatColumns(const Tensor &a, const Tensor &b,
+                     AllocationObserver *observer = nullptr);
+
+/** Splits columns [begin, end) into a new tensor. */
+Tensor sliceColumns(const Tensor &a, std::size_t begin, std::size_t end,
+                    AllocationObserver *observer = nullptr);
+
+/** Gathers rows of @p a by @p indices into a new tensor. */
+Tensor gatherRows(const Tensor &a,
+                  const std::vector<std::uint32_t> &indices,
+                  AllocationObserver *observer = nullptr);
+
+/** Scatter-add: out.row(indices[i]) += a.row(i). Modifies @p out. */
+void scatterAddRows(Tensor &out, const Tensor &a,
+                    const std::vector<std::uint32_t> &indices);
+
+/** Fills with uniform values in [-range, range]. */
+void fillUniform(Tensor &a, float range, util::Rng &rng);
+
+/** Glorot/Xavier uniform initialization for a fan_in x fan_out weight. */
+void fillXavier(Tensor &a, util::Rng &rng);
+
+/** Sum of all elements. */
+double sum(const Tensor &a);
+
+/** Max absolute difference between two same-shaped tensors. */
+double maxAbsDiff(const Tensor &a, const Tensor &b);
+
+/** Frobenius norm. */
+double frobeniusNorm(const Tensor &a);
+
+} // namespace buffalo::tensor

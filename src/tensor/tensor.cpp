@@ -1,0 +1,136 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/errors.h"
+
+namespace buffalo::tensor {
+
+/** Owning float buffer that reports its lifetime to an observer. */
+struct Tensor::Storage
+{
+    Storage(std::size_t count, AllocationObserver *obs)
+        : bytes(count * sizeof(float)), observer(obs)
+    {
+        // Observer may throw (device OOM); allocate only if accepted.
+        if (observer)
+            observer->onAllocate(bytes);
+        try {
+            values.assign(count, 0.0f);
+        } catch (...) {
+            if (observer)
+                observer->onFree(bytes);
+            throw;
+        }
+    }
+
+    ~Storage()
+    {
+        if (observer)
+            observer->onFree(bytes);
+    }
+
+    Storage(const Storage &) = delete;
+    Storage &operator=(const Storage &) = delete;
+
+    std::vector<float> values;
+    std::uint64_t bytes;
+    AllocationObserver *observer;
+};
+
+Tensor::Tensor(std::size_t rows, std::size_t cols,
+               std::shared_ptr<Storage> storage)
+    : rows_(rows), cols_(cols), storage_(std::move(storage))
+{
+}
+
+Tensor
+Tensor::zeros(std::size_t rows, std::size_t cols,
+              AllocationObserver *observer)
+{
+    auto storage = std::make_shared<Storage>(rows * cols, observer);
+    return Tensor(rows, cols, std::move(storage));
+}
+
+Tensor
+Tensor::full(std::size_t rows, std::size_t cols, float value,
+             AllocationObserver *observer)
+{
+    Tensor t = zeros(rows, cols, observer);
+    std::fill(t.data(), t.data() + t.size(), value);
+    return t;
+}
+
+Tensor
+Tensor::fromVector(const std::vector<float> &values,
+                   AllocationObserver *observer)
+{
+    return fromValues(1, values.size(), values, observer);
+}
+
+Tensor
+Tensor::fromValues(std::size_t rows, std::size_t cols,
+                   const std::vector<float> &values,
+                   AllocationObserver *observer)
+{
+    checkArgument(values.size() == rows * cols,
+                  "Tensor::fromValues: value count must equal rows*cols");
+    Tensor t = zeros(rows, cols, observer);
+    if (!values.empty())
+        std::memcpy(t.data(), values.data(),
+                    values.size() * sizeof(float));
+    return t;
+}
+
+float *
+Tensor::data()
+{
+    return storage_ ? storage_->values.data() : nullptr;
+}
+
+const float *
+Tensor::data() const
+{
+    return storage_ ? storage_->values.data() : nullptr;
+}
+
+std::span<float>
+Tensor::row(std::size_t r)
+{
+    checkArgument(r < rows_, "Tensor::row: row index out of range");
+    return {data() + r * cols_, cols_};
+}
+
+std::span<const float>
+Tensor::row(std::size_t r) const
+{
+    checkArgument(r < rows_, "Tensor::row: row index out of range");
+    return {data() + r * cols_, cols_};
+}
+
+Tensor
+Tensor::clone(AllocationObserver *observer) const
+{
+    if (!storage_)
+        return Tensor();
+    if (!observer)
+        observer = storage_->observer;
+    Tensor copy = zeros(rows_, cols_, observer);
+    std::memcpy(copy.data(), data(), size() * sizeof(float));
+    return copy;
+}
+
+bool
+Tensor::sharesStorageWith(const Tensor &other) const
+{
+    return storage_ && storage_ == other.storage_;
+}
+
+AllocationObserver *
+Tensor::observer() const
+{
+    return storage_ ? storage_->observer : nullptr;
+}
+
+} // namespace buffalo::tensor

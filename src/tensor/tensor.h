@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Dense float32 matrix type with pluggable allocation observation.
+ *
+ * Every tensor allocation/free can be observed by an AllocationObserver.
+ * The simulated device (src/device) installs an observer that enforces a
+ * GPU-style memory capacity and raises OOM — this is how the whole-batch
+ * baselines reproduce the paper's OOM columns without real CUDA memory.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace buffalo::tensor {
+
+/** Receives allocation events; implementations may throw to refuse. */
+class AllocationObserver
+{
+  public:
+    virtual ~AllocationObserver() = default;
+
+    /**
+     * Called before @p bytes become live. May throw (e.g. device OOM),
+     * in which case the allocation does not happen.
+     */
+    virtual void onAllocate(std::uint64_t bytes) = 0;
+
+    /** Called when @p bytes previously allocated are released. */
+    virtual void onFree(std::uint64_t bytes) = 0;
+};
+
+/**
+ * A 2-D row-major float tensor. Copies share storage (shallow); use
+ * clone() for a deep copy. A 1-D vector is a 1 x n tensor.
+ */
+class Tensor
+{
+  public:
+    /** An empty 0 x 0 tensor. */
+    Tensor() = default;
+
+    /** Allocates rows x cols zero-initialized floats. */
+    static Tensor zeros(std::size_t rows, std::size_t cols,
+                        AllocationObserver *observer = nullptr);
+
+    /** Allocates and fills with @p value. */
+    static Tensor full(std::size_t rows, std::size_t cols, float value,
+                       AllocationObserver *observer = nullptr);
+
+    /** Builds a 1 x values.size() tensor from @p values. */
+    static Tensor fromVector(const std::vector<float> &values,
+                             AllocationObserver *observer = nullptr);
+
+    /** Builds rows x cols from row-major @p values. */
+    static Tensor fromValues(std::size_t rows, std::size_t cols,
+                             const std::vector<float> &values,
+                             AllocationObserver *observer = nullptr);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t size() const { return rows_ * cols_; }
+    bool empty() const { return size() == 0; }
+
+    /** Bytes of float storage this tensor holds. */
+    std::uint64_t bytes() const { return size() * sizeof(float); }
+
+    /** Element access (row, col); bounds-checked in debug builds. */
+    float &
+    at(std::size_t r, std::size_t c)
+    {
+        return data()[r * cols_ + c];
+    }
+    float
+    at(std::size_t r, std::size_t c) const
+    {
+        return data()[r * cols_ + c];
+    }
+
+    /** Raw row-major data pointer (null when empty). */
+    float *data();
+    const float *data() const;
+
+    /** Row @p r as a span of cols() floats. */
+    std::span<float> row(std::size_t r);
+    std::span<const float> row(std::size_t r) const;
+
+    /** Deep copy, allocated under @p observer (or this one's). */
+    Tensor clone(AllocationObserver *observer = nullptr) const;
+
+    /** True if both tensors share the same storage. */
+    bool sharesStorageWith(const Tensor &other) const;
+
+    /** The observer this tensor's storage is charged to (may be null). */
+    AllocationObserver *observer() const;
+
+  private:
+    struct Storage;
+
+    Tensor(std::size_t rows, std::size_t cols,
+           std::shared_ptr<Storage> storage);
+
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::shared_ptr<Storage> storage_;
+};
+
+} // namespace buffalo::tensor

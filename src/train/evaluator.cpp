@@ -1,0 +1,67 @@
+#include "train/evaluator.h"
+
+#include "core/micro_batch_generator.h"
+#include "core/scheduler.h"
+#include "nn/loss.h"
+#include "train/feature_loader.h"
+#include "util/errors.h"
+
+namespace buffalo::train {
+
+EvalStats
+evaluate(GnnModel &model, const graph::Dataset &dataset,
+         const graph::NodeList &nodes, const std::vector<int> &fanouts,
+         device::Device &device, util::Rng &rng)
+{
+    checkArgument(!nodes.empty(), "evaluate: empty node set");
+    EvalStats stats;
+    device.allocator().resetPeak();
+
+    sampling::NeighborSampler sampler(fanouts);
+    auto sg = sampler.sample(dataset.graph(), nodes, rng);
+
+    // Forward-only passes pin no backward caches, so roughly half the
+    // training budget suffices per micro-batch; reuse the scheduler
+    // with the full budget for simplicity (still conservative).
+    core::SchedulerOptions options;
+    options.mem_constraint = device.allocator().capacity();
+    options.reserved_bytes = device.allocator().bytesInUse();
+    core::BuffaloScheduler scheduler(
+        model.memoryModel(), dataset.spec().paper_avg_coefficient,
+        options);
+    auto schedule = scheduler.schedule(sg);
+    stats.micro_batches = schedule.num_groups;
+
+    core::MicroBatchGenerator generator;
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (const auto &group : schedule.groups) {
+        auto mb = generator.generateOne(sg, group);
+        nn::Tensor feats = loadFeatures(dataset, mb.inputNodes(),
+                                        &device.allocator());
+        nn::Tensor logits =
+            model.forward(mb, feats, &device.allocator());
+        model.clearCache(); // inference: no backward pass
+        auto labels = gatherLabels(dataset, mb.outputNodes());
+        auto result = nn::softmaxCrossEntropy(logits, labels, 0,
+                                              &device.allocator());
+        loss_sum += result.loss * labels.size();
+        correct += result.correct;
+        stats.nodes += labels.size();
+    }
+    stats.loss = loss_sum / static_cast<double>(stats.nodes);
+    stats.accuracy =
+        static_cast<double>(correct) / static_cast<double>(stats.nodes);
+    stats.peak_device_bytes = device.allocator().peakBytes();
+    return stats;
+}
+
+EvalStats
+evaluate(TrainerBase &trainer, const graph::Dataset &dataset,
+         const graph::NodeList &nodes, util::Rng &rng)
+{
+    return evaluate(trainer.model(), dataset, nodes,
+                    trainer.options().fanouts, trainer.device(), rng);
+}
+
+} // namespace buffalo::train

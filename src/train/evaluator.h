@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Model evaluation (inference): loss and top-1 accuracy of a trained
+ * model over a node set, computed in micro-batches under the same
+ * device budget as training — evaluation must not OOM either.
+ *
+ * Evaluation uses sampled neighborhoods like training (the standard
+ * GraphSAGE inductive protocol); pass fanouts larger than the max
+ * degree for full-neighborhood inference.
+ */
+#pragma once
+
+#include "device/device.h"
+#include "graph/datasets.h"
+#include "train/model_adapter.h"
+#include "train/trainer.h"
+#include "util/rng.h"
+
+namespace buffalo::train {
+
+/** Evaluation outcome over a node set. */
+struct EvalStats
+{
+    double loss = 0.0;
+    double accuracy = 0.0;
+    std::size_t nodes = 0;
+    int micro_batches = 0;
+    std::uint64_t peak_device_bytes = 0;
+};
+
+/**
+ * Evaluates @p model on @p nodes, splitting the batch into
+ * budget-safe micro-batches with the Buffalo scheduler. Numeric
+ * forward only — no gradients, caches dropped per micro-batch.
+ */
+EvalStats evaluate(GnnModel &model, const graph::Dataset &dataset,
+                   const graph::NodeList &nodes,
+                   const std::vector<int> &fanouts,
+                   device::Device &device, util::Rng &rng);
+
+/**
+ * Convenience: evaluates @p trainer's model with the trainer's own
+ * fanouts and device.
+ */
+EvalStats evaluate(TrainerBase &trainer, const graph::Dataset &dataset,
+                   const graph::NodeList &nodes, util::Rng &rng);
+
+} // namespace buffalo::train

@@ -1,0 +1,126 @@
+#include "train/experiment.h"
+
+#include <algorithm>
+
+#include "nn/memory_model.h"
+#include "sampling/bucketing.h"
+#include "util/errors.h"
+
+namespace buffalo::train {
+
+std::vector<NodeList>
+makeBatches(const NodeList &nodes, std::size_t batch_size,
+            util::Rng &rng)
+{
+    checkArgument(batch_size >= 1, "makeBatches: batch_size >= 1");
+    NodeList shuffled = nodes;
+    rng.shuffle(shuffled);
+    std::vector<NodeList> batches;
+    for (std::size_t begin = 0; begin < shuffled.size();
+         begin += batch_size) {
+        const std::size_t end =
+            std::min(shuffled.size(), begin + batch_size);
+        batches.emplace_back(shuffled.begin() + begin,
+                             shuffled.begin() + end);
+    }
+    return batches;
+}
+
+std::vector<EpochStats>
+runTraining(TrainerBase &trainer, const graph::Dataset &dataset,
+            int epochs, std::size_t batch_size, util::Rng &rng)
+{
+    std::vector<EpochStats> results;
+    results.reserve(epochs);
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        EpochStats stats;
+        double loss_sum = 0.0;
+        std::size_t correct = 0, outputs = 0;
+        const auto batches =
+            makeBatches(dataset.trainNodes(), batch_size, rng);
+        for (const NodeList &batch : batches) {
+            IterationStats iter =
+                trainer.trainIteration(dataset, batch, rng);
+            loss_sum += iter.loss;
+            correct += iter.correct;
+            outputs += iter.num_outputs;
+            stats.epoch_seconds += iter.endToEndSeconds();
+        }
+        stats.mean_loss =
+            batches.empty() ? 0.0 : loss_sum / batches.size();
+        stats.accuracy =
+            outputs == 0
+                ? 0.0
+                : static_cast<double>(correct) / outputs;
+        results.push_back(stats);
+    }
+    return results;
+}
+
+MultiGpuStats
+runBuffaloDataParallel(const graph::Dataset &dataset,
+                       const TrainerOptions &options,
+                       device::DeviceGroup &devices,
+                       const NodeList &seeds, util::Rng &rng)
+{
+    checkArgument(options.mode == ExecutionMode::CostModel,
+                  "runBuffaloDataParallel: cost-model execution only");
+    MultiGpuStats result;
+
+    // Schedule once against one device's budget (devices are uniform),
+    // then deal the micro-batches round-robin.
+    device::Device &lead = devices.device(0);
+    BuffaloTrainer probe(options, lead);
+
+    // Host side: sampling + scheduling + block generation run once.
+    util::PhaseTimer host_phases;
+    sampling::NeighborSampler sampler(options.fanouts);
+    sampling::SampledSubgraph sg = [&] {
+        util::PhaseTimer::Scope scope(host_phases, "sampling");
+        return sampler.sample(dataset.graph(), seeds, rng);
+    }();
+
+    core::SchedulerOptions sched_options = options.scheduler;
+    if (sched_options.mem_constraint == 0)
+        sched_options.mem_constraint = lead.allocator().capacity();
+    sched_options.reserved_bytes = probe.staticBytes();
+
+    core::BuffaloScheduler scheduler(
+        probe.model().memoryModel(),
+        dataset.spec().paper_avg_coefficient, sched_options);
+    core::ScheduleResult schedule = scheduler.schedule(sg);
+    host_phases.add(kPhaseScheduling, schedule.schedule_seconds);
+
+    core::MicroBatchGenerator generator;
+    std::vector<sampling::MicroBatch> micro_batches =
+        generator.generate(sg, schedule.groups, &host_phases);
+    result.num_micro_batches =
+        static_cast<int>(micro_batches.size());
+
+    // Device side: per-device simulated compute + transfer.
+    const nn::MemoryModel &mm = probe.model().memoryModel();
+    std::vector<double> device_seconds(devices.size(), 0.0);
+    for (std::size_t i = 0; i < micro_batches.size(); ++i) {
+        const auto &mb = micro_batches[i];
+        const int dev = static_cast<int>(i % devices.size());
+        const auto &cm = devices.device(dev).costModel();
+        std::uint64_t launches = 0;
+        for (const auto &block : mb.blocks)
+            launches += sampling::bucketizeBlock(block).size() * 4 + 4;
+        device_seconds[dev] +=
+            cm.transferSeconds(mm.transferBytes(mb)) +
+            cm.kernelsSeconds(mm.microBatchFlops(mb), launches);
+    }
+
+    result.host_seconds = host_phases.total();
+    result.device_seconds = *std::max_element(device_seconds.begin(),
+                                              device_seconds.end());
+    result.allreduce_seconds =
+        devices.allReduceSeconds(mm.weightBytes() / 2);
+    result.iteration_seconds = result.host_seconds +
+                               result.device_seconds +
+                               result.allreduce_seconds;
+    return result;
+}
+
+} // namespace buffalo::train

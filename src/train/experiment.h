@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Experiment drivers shared by the bench binaries and examples:
+ * epoch-level convergence runs (Fig. 17, Table IV) and simulated
+ * data-parallel multi-GPU training (paper §V-G).
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "train/trainer.h"
+
+namespace buffalo::train {
+
+/** Splits @p nodes into shuffled batches of @p batch_size. */
+std::vector<NodeList> makeBatches(const NodeList &nodes,
+                                  std::size_t batch_size,
+                                  util::Rng &rng);
+
+/** One epoch's aggregate result. */
+struct EpochStats
+{
+    double mean_loss = 0.0;
+    double accuracy = 0.0;
+    double epoch_seconds = 0.0;
+};
+
+/**
+ * Trains @p trainer for @p epochs over the dataset's train nodes.
+ * @return per-epoch stats, in order.
+ */
+std::vector<EpochStats> runTraining(TrainerBase &trainer,
+                                    const graph::Dataset &dataset,
+                                    int epochs, std::size_t batch_size,
+                                    util::Rng &rng);
+
+/** Result of one simulated data-parallel iteration (paper §V-G). */
+struct MultiGpuStats
+{
+    /** End-to-end seconds: host phases + slowest device + all-reduce. */
+    double iteration_seconds = 0.0;
+    /** The host-side share (scheduling + block generation). */
+    double host_seconds = 0.0;
+    /** Max over devices of their compute+transfer time. */
+    double device_seconds = 0.0;
+    /** Gradient all-reduce seconds. */
+    double allreduce_seconds = 0.0;
+    int num_micro_batches = 0;
+};
+
+/**
+ * One Buffalo iteration executed data-parallel across @p devices:
+ * micro-batches are scheduled once against the per-device budget, dealt
+ * round-robin to the devices, and gradients all-reduced once.
+ * Cost-model execution only.
+ */
+MultiGpuStats runBuffaloDataParallel(const graph::Dataset &dataset,
+                                     const TrainerOptions &options,
+                                     device::DeviceGroup &devices,
+                                     const NodeList &seeds,
+                                     util::Rng &rng);
+
+} // namespace buffalo::train

@@ -1,0 +1,26 @@
+#include "train/feature_loader.h"
+
+namespace buffalo::train {
+
+tensor::Tensor
+loadFeatures(const graph::Dataset &dataset, const graph::NodeList &nodes,
+             tensor::AllocationObserver *observer)
+{
+    tensor::Tensor feats = tensor::Tensor::zeros(
+        nodes.size(), dataset.featureDim(), observer);
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        dataset.fillFeatures(nodes[i], feats.row(i));
+    return feats;
+}
+
+std::vector<std::int32_t>
+gatherLabels(const graph::Dataset &dataset,
+             const graph::NodeList &nodes)
+{
+    std::vector<std::int32_t> labels(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        labels[i] = dataset.labels()[nodes[i]];
+    return labels;
+}
+
+} // namespace buffalo::train

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Host-side feature materialization for micro-batch input nodes.
+ */
+#pragma once
+
+#include "graph/datasets.h"
+#include "tensor/tensor.h"
+
+namespace buffalo::train {
+
+/**
+ * Builds the input-feature tensor (|nodes| x featureDim()) for
+ * @p nodes, allocated under @p observer (pass the device allocator to
+ * model "features resident on the GPU").
+ */
+tensor::Tensor loadFeatures(const graph::Dataset &dataset,
+                            const graph::NodeList &nodes,
+                            tensor::AllocationObserver *observer =
+                                nullptr);
+
+/** Gathers the labels of @p nodes. */
+std::vector<std::int32_t> gatherLabels(const graph::Dataset &dataset,
+                                       const graph::NodeList &nodes);
+
+} // namespace buffalo::train

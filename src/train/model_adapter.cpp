@@ -1,0 +1,157 @@
+#include "train/model_adapter.h"
+
+#include "nn/gat_model.h"
+#include "nn/gcn_model.h"
+#include "nn/sage_model.h"
+#include "util/errors.h"
+
+namespace buffalo::train {
+
+namespace {
+
+class SageAdapter : public GnnModel
+{
+  public:
+    SageAdapter(const nn::ModelConfig &config, std::uint64_t seed,
+                nn::AllocationObserver *param_observer)
+        : model_(config, seed, param_observer) {}
+
+    nn::Tensor
+    forward(const sampling::MicroBatch &mb,
+            const nn::Tensor &input_features,
+            nn::AllocationObserver *observer) override
+    {
+        return model_.forward(mb, input_features, cache_, observer);
+    }
+
+    void
+    backward(const nn::Tensor &grad_logits,
+             nn::AllocationObserver *observer) override
+    {
+        model_.backward(cache_, grad_logits, observer);
+        clearCache();
+    }
+
+    void clearCache() override { cache_ = {}; }
+
+    nn::Module &module() override { return model_; }
+
+    const nn::MemoryModel &
+    memoryModel() const override
+    {
+        return model_.memoryModel();
+    }
+
+  private:
+    nn::SageModel model_;
+    nn::SageModel::ForwardCache cache_;
+};
+
+class GcnAdapter : public GnnModel
+{
+  public:
+    GcnAdapter(const nn::ModelConfig &config, std::uint64_t seed,
+               nn::AllocationObserver *param_observer)
+        : model_(config, seed, param_observer) {}
+
+    nn::Tensor
+    forward(const sampling::MicroBatch &mb,
+            const nn::Tensor &input_features,
+            nn::AllocationObserver *observer) override
+    {
+        return model_.forward(mb, input_features, cache_, observer);
+    }
+
+    void
+    backward(const nn::Tensor &grad_logits,
+             nn::AllocationObserver *observer) override
+    {
+        model_.backward(cache_, grad_logits, observer);
+        clearCache();
+    }
+
+    void clearCache() override { cache_ = {}; }
+
+    nn::Module &module() override { return model_; }
+
+    const nn::MemoryModel &
+    memoryModel() const override
+    {
+        return model_.memoryModel();
+    }
+
+  private:
+    nn::GcnModel model_;
+    nn::GcnModel::ForwardCache cache_;
+};
+
+class GatAdapter : public GnnModel
+{
+  public:
+    GatAdapter(const nn::ModelConfig &config, std::uint64_t seed,
+               nn::AllocationObserver *param_observer)
+        : model_(config, seed, param_observer) {}
+
+    nn::Tensor
+    forward(const sampling::MicroBatch &mb,
+            const nn::Tensor &input_features,
+            nn::AllocationObserver *observer) override
+    {
+        return model_.forward(mb, input_features, cache_, observer);
+    }
+
+    void
+    backward(const nn::Tensor &grad_logits,
+             nn::AllocationObserver *observer) override
+    {
+        model_.backward(cache_, grad_logits, observer);
+        clearCache();
+    }
+
+    void clearCache() override { cache_ = {}; }
+
+    nn::Module &module() override { return model_; }
+
+    const nn::MemoryModel &
+    memoryModel() const override
+    {
+        return model_.memoryModel();
+    }
+
+  private:
+    nn::GatModel model_;
+    nn::GatModel::ForwardCache cache_;
+};
+
+} // namespace
+
+const char *
+modelKindName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::Sage: return "GraphSAGE";
+      case ModelKind::Gat: return "GAT";
+      case ModelKind::Gcn: return "GCN";
+    }
+    return "?";
+}
+
+std::unique_ptr<GnnModel>
+makeModel(ModelKind kind, const nn::ModelConfig &config,
+          std::uint64_t seed, nn::AllocationObserver *param_observer)
+{
+    switch (kind) {
+      case ModelKind::Sage:
+        return std::make_unique<SageAdapter>(config, seed,
+                                             param_observer);
+      case ModelKind::Gat:
+        return std::make_unique<GatAdapter>(config, seed,
+                                            param_observer);
+      case ModelKind::Gcn:
+        return std::make_unique<GcnAdapter>(config, seed,
+                                            param_observer);
+    }
+    throw InvalidArgument("makeModel: unknown model kind");
+}
+
+} // namespace buffalo::train

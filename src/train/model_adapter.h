@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A uniform handle over the concrete GNN models (GraphSAGE, GAT) so the
+ * trainers and benches can switch architectures by configuration.
+ */
+#pragma once
+
+#include <memory>
+
+#include "nn/config.h"
+#include "nn/memory_model.h"
+#include "nn/parameter.h"
+#include "sampling/block.h"
+
+namespace buffalo::train {
+
+/** Which architecture to instantiate. */
+enum class ModelKind { Sage, Gat, Gcn };
+
+/** Printable name of @p kind. */
+const char *modelKindName(ModelKind kind);
+
+/** Architecture-agnostic training handle. */
+class GnnModel
+{
+  public:
+    virtual ~GnnModel() = default;
+
+    /**
+     * Forward pass; the activation cache is held internally until the
+     * matching backward() (one in flight at a time).
+     */
+    virtual nn::Tensor forward(const sampling::MicroBatch &mb,
+                               const nn::Tensor &input_features,
+                               nn::AllocationObserver *observer) = 0;
+
+    /** Backward for the last forward(); releases the cache. */
+    virtual void backward(const nn::Tensor &grad_logits,
+                          nn::AllocationObserver *observer) = 0;
+
+    /** Drops any held activation cache without a backward pass. */
+    virtual void clearCache() = 0;
+
+    /** The parameter owner (for zeroGrad / optimizers). */
+    virtual nn::Module &module() = 0;
+
+    /** The shared analytic cost model. */
+    virtual const nn::MemoryModel &memoryModel() const = 0;
+};
+
+/** Instantiates @p kind with the given config and seed. */
+std::unique_ptr<GnnModel> makeModel(
+    ModelKind kind, const nn::ModelConfig &config, std::uint64_t seed,
+    nn::AllocationObserver *param_observer = nullptr);
+
+} // namespace buffalo::train

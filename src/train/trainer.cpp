@@ -1,0 +1,334 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "baselines/padding.h"
+#include "nn/loss.h"
+#include "sampling/bucketing.h"
+#include "train/feature_loader.h"
+#include "util/errors.h"
+#include "util/logging.h"
+
+namespace buffalo::train {
+
+namespace {
+
+/** Kernel launches a micro-batch incurs (per-bucket kernel batches). */
+std::uint64_t
+kernelLaunchCount(const sampling::MicroBatch &mb)
+{
+    std::uint64_t launches = 0;
+    for (const auto &block : mb.blocks) {
+        const auto buckets = sampling::bucketizeBlock(block);
+        // Per bucket: gather, aggregate fwd, aggregate bwd, scatter.
+        launches += buckets.size() * 4;
+        // Per layer: update matmul fwd + 2 bwd + activation.
+        launches += 4;
+    }
+    return launches;
+}
+
+} // namespace
+
+TrainerBase::TrainerBase(const TrainerOptions &options,
+                         device::Device &device)
+    : options_(options), device_(device)
+{
+    options_.model.validate();
+    checkArgument(options_.fanouts.size() ==
+                      static_cast<std::size_t>(options_.model.num_layers),
+                  "TrainerBase: fanouts must match model depth");
+
+    // Numeric mode keeps weights/optimizer state under the device
+    // allocator for byte-exact accounting; cost-model mode charges the
+    // same bytes logically so OOM behaviour matches.
+    nn::AllocationObserver *param_observer =
+        options_.mode == ExecutionMode::Numeric ? &device_.allocator()
+                                                : nullptr;
+    model_ = makeModel(options_.model_kind, options_.model,
+                       options_.seed, param_observer);
+    optimizer_ = std::make_unique<nn::Adam>(
+        model_->module().parameters(), options_.learning_rate, 0.9,
+        0.999, 1e-8, param_observer);
+
+    const nn::MemoryModel &mm = model_->memoryModel();
+    static_bytes_ = mm.weightBytes() + mm.optimizerBytes();
+    if (options_.mode == ExecutionMode::CostModel) {
+        device_.allocator().onAllocate(static_bytes_);
+        static_bytes_charged_ = true;
+    }
+}
+
+TrainerBase::~TrainerBase()
+{
+    if (static_bytes_charged_)
+        device_.allocator().onFree(static_bytes_);
+}
+
+sampling::SampledSubgraph
+TrainerBase::sampleBatch(const graph::Dataset &dataset,
+                         const NodeList &seeds, util::Rng &rng,
+                         util::PhaseTimer &phases) const
+{
+    util::PhaseTimer::Scope scope(phases, "sampling");
+    sampling::NeighborSampler sampler(options_.fanouts);
+    return sampler.sample(dataset.graph(), seeds, rng);
+}
+
+double
+TrainerBase::processMicroBatch(const sampling::MicroBatch &mb,
+                               const graph::Dataset &dataset,
+                               std::size_t batch_output_count,
+                               IterationStats &stats,
+                               std::uint64_t extra_padding_bytes,
+                               double extra_padding_flops)
+{
+    const nn::MemoryModel &mm = model_->memoryModel();
+    device::DeviceAllocator &allocator = device_.allocator();
+
+    // --- Data loading: host feature fill + simulated PCIe transfer.
+    const std::uint64_t transfer_bytes = mm.transferBytes(mb);
+    const double transfer_seconds =
+        device_.costModel().transferSeconds(transfer_bytes);
+    device_.chargeTransfer(transfer_bytes);
+
+    const double flops =
+        mm.microBatchFlops(mb) + extra_padding_flops;
+    const std::uint64_t launches = kernelLaunchCount(mb);
+    const double compute_seconds =
+        device_.costModel().kernelsSeconds(flops, launches);
+
+    if (options_.mode == ExecutionMode::CostModel) {
+        stats.phases.add(kPhaseDataLoading, transfer_seconds);
+        device_.chargeComputeSeconds(compute_seconds);
+        stats.phases.add(kPhaseGpuCompute, compute_seconds);
+        // Logical allocation exercises the capacity/peak machinery.
+        const std::uint64_t bytes =
+            mm.microBatchBytes(mb) + extra_padding_bytes;
+        allocator.onAllocate(bytes);
+        allocator.onFree(bytes);
+        stats.total_block_nodes += mb.totalNodeCount();
+        stats.num_outputs += mb.outputNodes().size();
+        return transfer_seconds + compute_seconds;
+    }
+
+    // --- Numeric execution under the tracking allocator.
+    util::StopWatch watch;
+    nn::Tensor feats =
+        loadFeatures(dataset, mb.inputNodes(), &allocator);
+    stats.phases.add(kPhaseDataLoading,
+                     watch.seconds() + transfer_seconds);
+
+    std::optional<tensor::Tensor> padding_ballast;
+    if (extra_padding_bytes > 0) {
+        padding_ballast = tensor::Tensor::zeros(
+            extra_padding_bytes / sizeof(float), 1, &allocator);
+    }
+
+    nn::Tensor logits = model_->forward(mb, feats, &allocator);
+    const NodeList outputs = mb.outputNodes();
+    auto labels = gatherLabels(dataset, outputs);
+    nn::LossResult loss_result = nn::softmaxCrossEntropy(
+        logits, labels, batch_output_count, &allocator);
+    model_->backward(loss_result.grad_logits, &allocator);
+
+    device_.chargeComputeSeconds(compute_seconds);
+    stats.phases.add(kPhaseGpuCompute, compute_seconds);
+
+    stats.loss += loss_result.loss;
+    stats.correct += loss_result.correct;
+    stats.num_outputs += outputs.size();
+    stats.total_block_nodes += mb.totalNodeCount();
+    return transfer_seconds + compute_seconds;
+}
+
+void
+TrainerBase::optimizerStep(IterationStats &stats)
+{
+    if (options_.mode == ExecutionMode::Numeric)
+        optimizer_->step();
+    // Optimizer kernel time: ~4 FLOPs per parameter element.
+    const double flops =
+        static_cast<double>(model_->memoryModel().weightBytes()) / 4.0 *
+        4.0;
+    const double seconds = device_.costModel().kernelsSeconds(flops, 2);
+    device_.chargeComputeSeconds(seconds);
+    stats.phases.add(kPhaseGpuCompute, seconds);
+}
+
+// ---------------------------------------------------------------------
+// WholeBatchTrainer (Algorithm 1)
+
+WholeBatchTrainer::WholeBatchTrainer(const TrainerOptions &options,
+                                     device::Device &device,
+                                     bool padding_based)
+    : TrainerBase(options, device), padding_based_(padding_based)
+{
+}
+
+IterationStats
+WholeBatchTrainer::trainIteration(const graph::Dataset &dataset,
+                                  const NodeList &seeds, util::Rng &rng)
+{
+    IterationStats stats;
+    device_.allocator().resetPeak();
+
+    auto sg = sampleBatch(dataset, seeds, rng, stats.phases);
+
+    NodeList all_seeds(sg.numSeeds());
+    for (graph::NodeId i = 0; i < sg.numSeeds(); ++i)
+        all_seeds[i] = i;
+    sampling::MicroBatch mb =
+        generator_.generate(sg, all_seeds, &stats.phases);
+
+    std::uint64_t padding_bytes = 0;
+    double padding_flops = 0.0;
+    if (padding_based_) {
+        const nn::MemoryModel &mm = model_->memoryModel();
+        const std::uint64_t padded =
+            baselines::paddedMicroBatchBytes(mm, mb);
+        const std::uint64_t bucketed = mm.microBatchBytes(mb);
+        padding_bytes = padded > bucketed ? padded - bucketed : 0;
+        const double padded_flops =
+            baselines::paddedMicroBatchFlops(mm, mb);
+        const double bucketed_flops = mm.microBatchFlops(mb);
+        padding_flops = std::max(0.0, padded_flops - bucketed_flops);
+    }
+
+    processMicroBatch(mb, dataset, seeds.size(), stats, padding_bytes,
+                      padding_flops);
+    optimizerStep(stats);
+
+    stats.num_micro_batches = 1;
+    stats.peak_device_bytes = device_.allocator().peakBytes();
+    return stats;
+}
+
+// ---------------------------------------------------------------------
+// BuffaloTrainer (Algorithms 2 + 3)
+
+BuffaloTrainer::BuffaloTrainer(const TrainerOptions &options,
+                               device::Device &device)
+    : TrainerBase(options, device)
+{
+}
+
+IterationStats
+BuffaloTrainer::trainIteration(const graph::Dataset &dataset,
+                               const NodeList &seeds, util::Rng &rng)
+{
+    util::PhaseTimer sampling_phases;
+    auto sg = sampleBatch(dataset, seeds, rng, sampling_phases);
+
+    core::SchedulerOptions sched_options = options_.scheduler;
+    if (sched_options.mem_constraint == 0)
+        sched_options.mem_constraint = device_.allocator().capacity();
+    sched_options.reserved_bytes = static_bytes_;
+
+    // Estimation error can make a scheduled group overflow during
+    // execution; on OOM the iteration restarts with a tighter safety
+    // factor (accumulated gradients are discarded first, so the
+    // retried iteration is still exact).
+    constexpr int kMaxAttempts = 4;
+    for (int attempt = 0;; ++attempt) {
+        IterationStats stats;
+        stats.phases.merge(sampling_phases);
+        device_.allocator().resetPeak();
+        try {
+            // Line 1 of Algorithm 2: the Buffalo Scheduler.
+            core::BuffaloScheduler scheduler(
+                model_->memoryModel(),
+                dataset.spec().paper_avg_coefficient, sched_options);
+            last_schedule_ = scheduler.schedule(sg);
+            stats.phases.add(kPhaseScheduling,
+                             last_schedule_.schedule_seconds);
+
+            // Lines 3-12: per bucket group, generate and train.
+            std::vector<double> prep_seconds, device_seconds;
+            for (const core::BucketGroup &group :
+                 last_schedule_.groups) {
+                util::StopWatch prep_watch;
+                sampling::MicroBatch mb =
+                    generator_.generateOne(sg, group, &stats.phases);
+                prep_seconds.push_back(prep_watch.seconds());
+                device_seconds.push_back(processMicroBatch(
+                    mb, dataset, seeds.size(), stats));
+            }
+            optimizerStep(stats);
+
+            // Pipelining extension: preparation of micro-batch k+1
+            // can overlap device execution of micro-batch k.
+            double overlapped = prep_seconds.empty()
+                                    ? 0.0
+                                    : prep_seconds.front();
+            for (std::size_t i = 0; i + 1 < prep_seconds.size(); ++i)
+                overlapped += std::max(prep_seconds[i + 1],
+                                       device_seconds[i]);
+            if (!device_seconds.empty())
+                overlapped += device_seconds.back();
+            double serial = 0.0;
+            for (std::size_t i = 0; i < prep_seconds.size(); ++i)
+                serial += prep_seconds[i] + device_seconds[i];
+            stats.pipelined_seconds =
+                stats.phases.total() - serial + overlapped;
+
+            stats.num_micro_batches = last_schedule_.num_groups;
+            stats.peak_device_bytes =
+                device_.allocator().peakBytes();
+            return stats;
+        } catch (const device::DeviceOom &) {
+            if (attempt + 1 >= kMaxAttempts)
+                throw;
+            model_->clearCache();
+            if (options_.mode == ExecutionMode::Numeric)
+                model_->module().zeroGrad();
+            sched_options.safety_factor *= 0.7;
+            BUFFALO_LOG_WARN("buffalo-trainer")
+                << "micro-batch overflowed the device; rescheduling "
+                   "with safety factor "
+                << sched_options.safety_factor;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// BettyTrainer
+
+BettyTrainer::BettyTrainer(const TrainerOptions &options,
+                           device::Device &device,
+                           int num_micro_batches)
+    : TrainerBase(options, device),
+      num_micro_batches_(num_micro_batches)
+{
+    checkArgument(num_micro_batches_ >= 1,
+                  "BettyTrainer: need >= 1 micro batch");
+}
+
+IterationStats
+BettyTrainer::trainIteration(const graph::Dataset &dataset,
+                             const NodeList &seeds, util::Rng &rng)
+{
+    IterationStats stats;
+    device_.allocator().resetPeak();
+
+    auto sg = sampleBatch(dataset, seeds, rng, stats.phases);
+
+    auto parts = partitioner_.partition(sg, num_micro_batches_);
+    stats.phases.add(kPhaseReg,
+                     partitioner_.lastPhases().reg_construction_seconds);
+    stats.phases.add(kPhaseMetis,
+                     partitioner_.lastPhases().metis_seconds);
+
+    for (const NodeList &part : parts) {
+        sampling::MicroBatch mb =
+            generator_.generate(sg, part, &stats.phases);
+        processMicroBatch(mb, dataset, seeds.size(), stats);
+    }
+    optimizerStep(stats);
+
+    stats.num_micro_batches = static_cast<int>(parts.size());
+    stats.peak_device_bytes = device_.allocator().peakBytes();
+    return stats;
+}
+
+} // namespace buffalo::train

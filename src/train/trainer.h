@@ -1,0 +1,217 @@
+/**
+ * @file
+ * End-to-end training iteration pipelines:
+ *
+ *  - WholeBatchTrainer — paper Algorithm 1 (DGL-like whole-batch degree
+ *    bucketing; optional PyG-like padding accounting). OOMs when the
+ *    batch exceeds the device budget.
+ *  - BuffaloTrainer — paper Algorithm 2: Buffalo scheduling, fast block
+ *    generation, per-micro-batch forward/backward with gradient
+ *    accumulation, one optimizer step per batch.
+ *  - BettyTrainer — REG construction + METIS partitioning + baseline
+ *    block generation, per the Betty pipeline Buffalo is compared to.
+ *
+ * Two execution fidelities (DESIGN.md): Numeric runs real kernels under
+ * the device's tracking allocator; CostModel walks identical scheduling
+ * and blocking code but charges analytic bytes/FLOPs, so paper-scale
+ * shapes finish quickly on one CPU core. Device-side time is always
+ * simulated via the device cost model; host-side phases are measured.
+ */
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "baselines/betty.h"
+#include "core/micro_batch_generator.h"
+#include "core/scheduler.h"
+#include "device/device.h"
+#include "graph/datasets.h"
+#include "nn/optimizer.h"
+#include "sampling/block_generator.h"
+#include "sampling/sampled_subgraph.h"
+#include "train/model_adapter.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace buffalo::train {
+
+using graph::NodeList;
+
+/** Phase labels shared with Fig. 5 / Fig. 11 benches. */
+inline constexpr const char *kPhaseScheduling = "buffalo scheduling";
+inline constexpr const char *kPhaseReg = "REG construction";
+inline constexpr const char *kPhaseMetis = "METIS partition";
+inline constexpr const char *kPhaseDataLoading = "data loading";
+inline constexpr const char *kPhaseGpuCompute = "GPU compute";
+
+/** Numeric = real kernels; CostModel = analytic charging only. */
+enum class ExecutionMode { Numeric, CostModel };
+
+/** Configuration shared by all trainers. */
+struct TrainerOptions
+{
+    nn::ModelConfig model;
+    ModelKind model_kind = ModelKind::Sage;
+    /** Per-layer fanouts, input-most first; size == model.num_layers. */
+    std::vector<int> fanouts;
+    ExecutionMode mode = ExecutionMode::Numeric;
+    double learning_rate = 3e-3;
+    std::uint64_t seed = 42;
+    /** Scheduler knobs (BuffaloTrainer only); mem_constraint defaults
+     *  to the device capacity when 0. */
+    core::SchedulerOptions scheduler;
+};
+
+/** Outcome of one training iteration. */
+struct IterationStats
+{
+    util::PhaseTimer phases;
+    /** Whole-batch loss (valid only in Numeric mode). */
+    double loss = 0.0;
+    /** Correct top-1 predictions (Numeric mode). */
+    std::size_t correct = 0;
+    /** Output (seed) nodes processed. */
+    std::size_t num_outputs = 0;
+    int num_micro_batches = 1;
+    /** Device allocator watermark during the iteration. */
+    std::uint64_t peak_device_bytes = 0;
+    /** Sum of block node counts across micro-batches (Fig. 16). */
+    std::uint64_t total_block_nodes = 0;
+    /**
+     * Simulated end-to-end seconds if micro-batch preparation were
+     * pipelined with device execution (prepare batch k+1 while the
+     * device runs batch k) — an extension beyond the paper, which
+     * identifies non-overlapped preparation as the §V-G bottleneck.
+     * Zero for trainers that do not compute it.
+     */
+    double pipelined_seconds = 0.0;
+
+    /** Sum of all phase times (host-measured + simulated device). */
+    double endToEndSeconds() const { return phases.total(); }
+};
+
+/** Common machinery of the three pipelines. */
+class TrainerBase
+{
+  public:
+    TrainerBase(const TrainerOptions &options, device::Device &device);
+    virtual ~TrainerBase();
+
+    TrainerBase(const TrainerBase &) = delete;
+    TrainerBase &operator=(const TrainerBase &) = delete;
+
+    /** Runs one training iteration over @p seeds (global node ids). */
+    virtual IterationStats trainIteration(const graph::Dataset &dataset,
+                                          const NodeList &seeds,
+                                          util::Rng &rng) = 0;
+
+    GnnModel &model() { return *model_; }
+    device::Device &device() { return device_; }
+    const TrainerOptions &options() const { return options_; }
+
+    /** Weights + grads + optimizer state, bytes. */
+    std::uint64_t staticBytes() const { return static_bytes_; }
+
+  protected:
+    /** Samples the batch subgraph for @p seeds ("sampling" phase). */
+    sampling::SampledSubgraph sampleBatch(const graph::Dataset &dataset,
+                                          const NodeList &seeds,
+                                          util::Rng &rng,
+                                          util::PhaseTimer &phases) const;
+
+    /**
+     * Transfers, computes, and backpropagates one micro-batch;
+     * gradients accumulate in the model parameters.
+     * @param batch_output_count Denominator for the loss so micro-batch
+     *        gradients sum to the whole-batch gradient.
+     * @param extra_padding_bytes Additional activation bytes charged
+     *        during compute (PyG-like padding accounting).
+     * @return Simulated device seconds (transfer + kernels) charged
+     *         for this micro-batch.
+     */
+    double processMicroBatch(const sampling::MicroBatch &mb,
+                             const graph::Dataset &dataset,
+                             std::size_t batch_output_count,
+                             IterationStats &stats,
+                             std::uint64_t extra_padding_bytes = 0,
+                             double extra_padding_flops = 0.0);
+
+    /** Applies the optimizer step ("GPU compute" charged). */
+    void optimizerStep(IterationStats &stats);
+
+    TrainerOptions options_;
+    device::Device &device_;
+    std::unique_ptr<GnnModel> model_;
+    std::unique_ptr<nn::Optimizer> optimizer_;
+    std::uint64_t static_bytes_ = 0;
+    bool static_bytes_charged_ = false;
+};
+
+/** Paper Algorithm 1: one block chain for the whole batch. */
+class WholeBatchTrainer : public TrainerBase
+{
+  public:
+    /**
+     * @param padding_based PyG-like accounting: destinations padded to
+     *        the block max degree instead of degree-bucketed.
+     */
+    WholeBatchTrainer(const TrainerOptions &options,
+                      device::Device &device,
+                      bool padding_based = false);
+
+    IterationStats trainIteration(const graph::Dataset &dataset,
+                                  const NodeList &seeds,
+                                  util::Rng &rng) override;
+
+  private:
+    bool padding_based_;
+    sampling::FastBlockGenerator generator_;
+};
+
+/** Paper Algorithm 2: Buffalo scheduling + micro-batch training. */
+class BuffaloTrainer : public TrainerBase
+{
+  public:
+    BuffaloTrainer(const TrainerOptions &options,
+                   device::Device &device);
+
+    IterationStats trainIteration(const graph::Dataset &dataset,
+                                  const NodeList &seeds,
+                                  util::Rng &rng) override;
+
+    /** The scheduler's decision on the most recent iteration. */
+    const core::ScheduleResult &lastSchedule() const
+    {
+        return last_schedule_;
+    }
+
+  private:
+    core::MicroBatchGenerator generator_;
+    core::ScheduleResult last_schedule_;
+};
+
+/** Betty: REG + METIS partitioning + baseline block generation. */
+class BettyTrainer : public TrainerBase
+{
+  public:
+    /**
+     * @param num_micro_batches Fixed partition count (Betty sweeps
+     *        this externally in the paper's figures).
+     */
+    BettyTrainer(const TrainerOptions &options, device::Device &device,
+                 int num_micro_batches);
+
+    IterationStats trainIteration(const graph::Dataset &dataset,
+                                  const NodeList &seeds,
+                                  util::Rng &rng) override;
+
+    int numMicroBatches() const { return num_micro_batches_; }
+
+  private:
+    int num_micro_batches_;
+    baselines::BettyPartitioner partitioner_;
+    sampling::BaselineBlockGenerator generator_;
+};
+
+} // namespace buffalo::train

@@ -1,0 +1,92 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/errors.h"
+
+namespace buffalo::util {
+
+Flags::Flags(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(std::move(arg));
+            continue;
+        }
+        std::string body = arg.substr(2);
+        checkArgument(!body.empty(), "Flags: bare '--' not allowed");
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            values_[body.substr(0, eq)] = body.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values_[body] = argv[++i];
+        } else {
+            values_[body] = ""; // boolean flag
+        }
+    }
+}
+
+bool
+Flags::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+Flags::getString(const std::string &name,
+                 const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Flags::getInt(const std::string &name, std::int64_t fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const long long value = std::strtoll(it->second.c_str(), &end, 10);
+    checkArgument(end && *end == '\0' && !it->second.empty(),
+                  "Flags: --" + name + " expects an integer, got '" +
+                      it->second + "'");
+    return value;
+}
+
+double
+Flags::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    checkArgument(end && *end == '\0' && !it->second.empty(),
+                  "Flags: --" + name + " expects a number, got '" +
+                      it->second + "'");
+    return value;
+}
+
+bool
+Flags::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    return it->second.empty() || it->second == "true" ||
+           it->second == "1";
+}
+
+void
+Flags::checkKnown(const std::set<std::string> &known) const
+{
+    for (const auto &[name, value] : values_) {
+        checkArgument(known.count(name) > 0,
+                      "Flags: unknown flag --" + name);
+    }
+}
+
+} // namespace buffalo::util

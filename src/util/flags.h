@@ -1,0 +1,58 @@
+/**
+ * @file
+ * A small command-line flag parser for the tools: supports
+ * "--name value", "--name=value", and boolean "--name" forms, with
+ * typed accessors and an unknown-flag check.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace buffalo::util {
+
+/** Parsed command-line flags. */
+class Flags
+{
+  public:
+    /** Parses argv; throws InvalidArgument on malformed flags. */
+    Flags(int argc, const char *const *argv);
+
+    /** True if --name was given (with or without a value). */
+    bool has(const std::string &name) const;
+
+    /** String value of --name, or @p fallback. */
+    std::string getString(const std::string &name,
+                          const std::string &fallback = "") const;
+
+    /** Integer value of --name, or @p fallback. */
+    std::int64_t getInt(const std::string &name,
+                        std::int64_t fallback) const;
+
+    /** Double value of --name, or @p fallback. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Boolean: present without value, or "true"/"1". */
+    bool getBool(const std::string &name, bool fallback = false) const;
+
+    /** Positional (non-flag) arguments, in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /**
+     * Throws InvalidArgument listing any flag not in @p known
+     * (use after all get* calls to catch typos).
+     */
+    void checkKnown(const std::set<std::string> &known) const;
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace buffalo::util

@@ -1,0 +1,47 @@
+#include "util/format.h"
+
+#include <cstdio>
+
+namespace buffalo::util {
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    int unit = 0;
+    while (value >= 1024.0 && unit < 4) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buf[64];
+    if (unit == 0)
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[64];
+    if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    return buf;
+}
+
+} // namespace buffalo::util

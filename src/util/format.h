@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Small string-formatting helpers (byte sizes, percentages, durations).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace buffalo::util {
+
+/** Formats a byte count as a human-readable string, e.g. "13.68 GB". */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Formats a fraction (0..1) as a percentage string, e.g. "70.9%". */
+std::string formatPercent(double fraction, int precision = 1);
+
+/** Formats seconds adaptively (us / ms / s). */
+std::string formatSeconds(double seconds);
+
+/** Gibibytes -> bytes. */
+constexpr std::uint64_t
+gib(double gigabytes)
+{
+    return static_cast<std::uint64_t>(gigabytes * 1024.0 * 1024.0 * 1024.0);
+}
+
+/** Mebibytes -> bytes. */
+constexpr std::uint64_t
+mib(double megabytes)
+{
+    return static_cast<std::uint64_t>(megabytes * 1024.0 * 1024.0);
+}
+
+} // namespace buffalo::util

@@ -1,0 +1,117 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/errors.h"
+#include "util/table.h"
+
+namespace buffalo::util {
+
+Histogram
+Histogram::linear(double max_value, std::size_t num_bins)
+{
+    checkArgument(max_value > 0 && num_bins > 0,
+                  "Histogram::linear: need positive range and bins");
+    Histogram h;
+    const double width = max_value / static_cast<double>(num_bins);
+    for (std::size_t i = 0; i < num_bins; ++i)
+        h.bins_.push_back({i * width, (i + 1) * width, 0});
+    return h;
+}
+
+Histogram
+Histogram::logarithmic(double max_value, double base)
+{
+    checkArgument(max_value >= 1 && base > 1,
+                  "Histogram::logarithmic: need max >= 1 and base > 1");
+    Histogram h;
+    h.bins_.push_back({0.0, 1.0, 0});
+    double lo = 1.0;
+    while (lo < max_value) {
+        double hi = lo * base;
+        h.bins_.push_back({lo, hi, 0});
+        lo = hi;
+    }
+    return h;
+}
+
+std::size_t
+Histogram::binIndex(double value) const
+{
+    // Bins are contiguous and sorted; binary-search the upper edge.
+    std::size_t lo = 0, hi = bins_.size() - 1;
+    if (value >= bins_.back().lo)
+        return bins_.size() - 1;
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (value < bins_[mid].hi)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+void
+Histogram::add(double value)
+{
+    addWeighted(value, 1);
+}
+
+void
+Histogram::addWeighted(double value, std::uint64_t weight)
+{
+    if (value < 0)
+        value = 0;
+    bins_[binIndex(value)].count += weight;
+    total_ += weight;
+    sum_ += value * static_cast<double>(weight);
+}
+
+double
+Histogram::mean() const
+{
+    return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 0;
+    for (const auto &bin : bins_)
+        peak = std::max(peak, bin.count);
+    std::ostringstream out;
+    for (const auto &bin : bins_) {
+        const std::size_t bar =
+            peak == 0 ? 0
+                      : static_cast<std::size_t>(
+                            static_cast<double>(bin.count) * width / peak);
+        out << "[" << Table::num(bin.lo, 0) << ", "
+            << Table::num(bin.hi, 0) << ")  "
+            << std::string(bar, '#') << " " << bin.count << "\n";
+    }
+    return out.str();
+}
+
+SummaryStats
+SummaryStats::of(const std::vector<double> &values)
+{
+    SummaryStats stats;
+    if (values.empty())
+        return stats;
+    stats.min = *std::min_element(values.begin(), values.end());
+    stats.max = *std::max_element(values.begin(), values.end());
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    stats.mean = sum / values.size();
+    double var = 0.0;
+    for (double v : values)
+        var += (v - stats.mean) * (v - stats.mean);
+    stats.stddev = std::sqrt(var / values.size());
+    return stats;
+}
+
+} // namespace buffalo::util

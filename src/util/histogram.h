@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Histograms for degree-distribution analysis (Fig. 1, Fig. 4) including
+ * logarithmic binning for power-law tails.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace buffalo::util {
+
+/** One bin of a histogram: [lo, hi) with an occurrence count. */
+struct HistogramBin
+{
+    double lo;
+    double hi;
+    std::uint64_t count;
+};
+
+/** Fixed-bin histogram over non-negative values. */
+class Histogram
+{
+  public:
+    /**
+     * Creates a linear histogram with @p num_bins equal-width bins over
+     * [0, max_value). Values >= max_value fall into the last bin.
+     */
+    static Histogram linear(double max_value, std::size_t num_bins);
+
+    /**
+     * Creates a logarithmic histogram whose bin edges grow by @p base
+     * starting at 1: [0,1), [1,base), [base,base^2), ...
+     */
+    static Histogram logarithmic(double max_value, double base = 2.0);
+
+    /** Records one observation. */
+    void add(double value);
+
+    /** Records @p weight observations of @p value. */
+    void addWeighted(double value, std::uint64_t weight);
+
+    /** Bin list (immutable view). */
+    const std::vector<HistogramBin> &bins() const { return bins_; }
+
+    /** Total number of observations. */
+    std::uint64_t total() const { return total_; }
+
+    /** Mean of all observations. */
+    double mean() const;
+
+    /** ASCII bar-chart rendering, @p width columns wide. */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    Histogram() = default;
+    std::size_t binIndex(double value) const;
+
+    std::vector<HistogramBin> bins_;
+    std::uint64_t total_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Simple descriptive statistics over a sample. */
+struct SummaryStats
+{
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+
+    /** Computes stats for @p values; all zero when empty. */
+    static SummaryStats of(const std::vector<double> &values);
+};
+
+} // namespace buffalo::util

@@ -1,0 +1,49 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace buffalo::util {
+
+namespace {
+
+std::atomic<LogLevel> global_level{LogLevel::Warn};
+std::mutex log_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level.store(level, std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &tag,
+           const std::string &message)
+{
+    std::lock_guard<std::mutex> guard(log_mutex);
+    std::fprintf(stderr, "[%s] %s: %s\n", levelName(level), tag.c_str(),
+                 message.c_str());
+}
+
+} // namespace buffalo::util

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal leveled logging used across Buffalo.
+ *
+ * The logger writes to stderr so that bench output (tables and series on
+ * stdout) stays machine-readable. The global level can be raised to silence
+ * progress chatter in tests.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace buffalo::util {
+
+/** Severity of a log record, ordered from chattiest to most severe. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Returns the current global log threshold. */
+LogLevel logLevel();
+
+/** Sets the global log threshold; records below it are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Emits one log record at @p level with component tag @p tag. */
+void logMessage(LogLevel level, const std::string &tag,
+                const std::string &message);
+
+/**
+ * Stream-style log record builder; emits on destruction.
+ *
+ * Usage: LogStream(LogLevel::Info, "scheduler") << "K=" << k;
+ */
+class LogStream
+{
+  public:
+    LogStream(LogLevel level, std::string tag)
+        : level_(level), tag_(std::move(tag)) {}
+
+    LogStream(const LogStream &) = delete;
+    LogStream &operator=(const LogStream &) = delete;
+
+    ~LogStream()
+    {
+        if (level_ >= logLevel())
+            logMessage(level_, tag_, stream_.str());
+    }
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::string tag_;
+    std::ostringstream stream_;
+};
+
+} // namespace buffalo::util
+
+#define BUFFALO_LOG_DEBUG(tag) \
+    ::buffalo::util::LogStream(::buffalo::util::LogLevel::Debug, tag)
+#define BUFFALO_LOG_INFO(tag) \
+    ::buffalo::util::LogStream(::buffalo::util::LogLevel::Info, tag)
+#define BUFFALO_LOG_WARN(tag) \
+    ::buffalo::util::LogStream(::buffalo::util::LogLevel::Warn, tag)
+#define BUFFALO_LOG_ERROR(tag) \
+    ::buffalo::util::LogStream(::buffalo::util::LogLevel::Error, tag)

@@ -1,0 +1,87 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/errors.h"
+
+namespace buffalo::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    checkArgument(!headers_.empty(), "Table: need at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    checkArgument(cells.size() == headers_.size(),
+                  "Table::addRow: cell count does not match header count");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row,
+                          std::ostringstream &out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << "| " << row[c]
+                << std::string(widths[c] - row[c].size() + 1, ' ');
+        }
+        out << "|\n";
+    };
+
+    std::ostringstream out;
+    render_row(headers_, out);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        out << "|" << std::string(widths[c] + 2, '-');
+    out << "|\n";
+    for (const auto &row : rows_)
+        render_row(row, out);
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    const std::string text = render();
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+Table::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+Table::count(long long value)
+{
+    std::string digits = std::to_string(value < 0 ? -value : value);
+    std::string out;
+    int pos = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it, ++pos) {
+        if (pos > 0 && pos % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+    }
+    if (value < 0)
+        out.push_back('-');
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace buffalo::util

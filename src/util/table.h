@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table formatter used by the bench binaries to print the
+ * rows the paper's tables and figure series report.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace buffalo::util {
+
+/** Builds and renders an aligned ASCII table. */
+class Table
+{
+  public:
+    /** Creates a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Renders the table with a header separator line. */
+    std::string render() const;
+
+    /** Renders and writes to stdout. */
+    void print() const;
+
+    /** Formats a double with @p precision fractional digits. */
+    static std::string num(double value, int precision = 2);
+
+    /** Formats an integer with thousands separators. */
+    static std::string count(long long value);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace buffalo::util

@@ -1,0 +1,129 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace buffalo::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+{
+    if (num_threads == 0) {
+        num_threads = std::max<std::size_t>(
+            1, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stopping_ = true;
+    }
+    task_available_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        tasks_.push(std::move(task));
+        ++in_flight_;
+    }
+    task_available_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_available_.wait(
+                lock, [this] { return stopping_ || !tasks_.empty(); });
+            if (stopping_ && tasks_.empty())
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            if (--in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (begin >= end)
+        return;
+    const std::size_t count = end - begin;
+    const std::size_t chunks = std::min(count, size() * 4);
+    const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::atomic<std::size_t> remaining{0};
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    std::size_t launched = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t lo = begin + c * chunk_size;
+        if (lo >= end)
+            break;
+        const std::size_t hi = std::min(end, lo + chunk_size);
+        ++launched;
+        remaining.fetch_add(1, std::memory_order_relaxed);
+        submit([&, lo, hi] {
+            try {
+                for (std::size_t i = lo; i < hi; ++i)
+                    body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> guard(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> guard(done_mutex);
+                done_cv.notify_all();
+            }
+        });
+    }
+
+    if (launched > 0) {
+        std::unique_lock<std::mutex> lock(done_mutex);
+        done_cv.wait(lock, [&] {
+            return remaining.load(std::memory_order_acquire) == 0;
+        });
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace buffalo::util

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A fixed-size thread pool with a blocking parallel-for, used by the fast
+ * block generator (node-level parallel neighbor tracking, paper §IV-E).
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace buffalo::util {
+
+/** Fixed-size worker pool; tasks are std::function<void()>. */
+class ThreadPool
+{
+  public:
+    /**
+     * Creates a pool with @p num_threads workers. Zero selects the
+     * hardware concurrency (at least 1).
+     */
+    explicit ThreadPool(std::size_t num_threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /** Enqueues a task for asynchronous execution. */
+    void submit(std::function<void()> task);
+
+    /** Blocks until every submitted task has finished. */
+    void wait();
+
+    /**
+     * Runs body(i) for i in [begin, end), splitting the range into
+     * roughly equal chunks across the workers, and blocks until done.
+     * Exceptions thrown by @p body propagate (the first one rethrown).
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body);
+
+    /** Returns a process-wide shared pool (lazily constructed). */
+    static ThreadPool &global();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable task_available_;
+    std::condition_variable all_done_;
+    std::size_t in_flight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace buffalo::util

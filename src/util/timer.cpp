@@ -1,0 +1,44 @@
+#include "util/timer.h"
+
+namespace buffalo::util {
+
+void
+PhaseTimer::add(const std::string &phase, double seconds)
+{
+    auto [it, inserted] = seconds_.try_emplace(phase, 0.0);
+    if (inserted)
+        order_.push_back(phase);
+    it->second += seconds;
+}
+
+double
+PhaseTimer::get(const std::string &phase) const
+{
+    auto it = seconds_.find(phase);
+    return it == seconds_.end() ? 0.0 : it->second;
+}
+
+double
+PhaseTimer::total() const
+{
+    double sum = 0.0;
+    for (const auto &[name, secs] : seconds_)
+        sum += secs;
+    return sum;
+}
+
+void
+PhaseTimer::clear()
+{
+    seconds_.clear();
+    order_.clear();
+}
+
+void
+PhaseTimer::merge(const PhaseTimer &other)
+{
+    for (const auto &phase : other.order_)
+        add(phase, other.get(phase));
+}
+
+} // namespace buffalo::util

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests for degree bucketing and bucket-explosion detection — the
+ * phenomenon at the heart of the paper (§II-C, §III).
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+#include "sampling/block_generator.h"
+#include "sampling/bucketing.h"
+#include "util/rng.h"
+
+namespace buffalo::sampling {
+namespace {
+
+TEST(Bucketize, GroupsByExactDegree)
+{
+    // Hand-built block: degrees 0, 1, 1, 3.
+    Block block;
+    block.src_nodes = {10, 11, 12, 13, 20, 21, 22};
+    block.num_dst = 4;
+    block.offsets = {0, 0, 1, 2, 5};
+    block.neighbors = {4, 5, 4, 5, 6};
+    block.validate();
+
+    BucketList buckets = bucketizeBlock(block);
+    ASSERT_EQ(buckets.size(), 3u);
+    EXPECT_EQ(buckets[0].degree, 0u);
+    EXPECT_EQ(buckets[0].members, NodeList{0});
+    EXPECT_EQ(buckets[1].degree, 1u);
+    EXPECT_EQ(buckets[1].members, (NodeList{1, 2}));
+    EXPECT_EQ(buckets[2].degree, 3u);
+    EXPECT_EQ(buckets[2].members, NodeList{3});
+}
+
+TEST(Bucketize, BucketsCoverAllDestinations)
+{
+    util::Rng rng(1);
+    auto g = graph::generateBarabasiAlbert(500, 5, rng);
+    NeighborSampler sampler({6, 12});
+    NodeList seeds;
+    for (NodeId i = 0; i < 60; ++i)
+        seeds.push_back(i * 2);
+    SampledSubgraph sg = sampler.sample(g, seeds, rng);
+
+    BucketList buckets = bucketizeSeeds(sg);
+    std::size_t covered = 0;
+    std::vector<char> seen(sg.numSeeds(), 0);
+    for (const auto &bucket : buckets) {
+        for (NodeId member : bucket.members) {
+            ASSERT_LT(member, sg.numSeeds());
+            ASSERT_FALSE(seen[member]) << "seed in two buckets";
+            seen[member] = 1;
+            ++covered;
+        }
+        // Every member really has the bucket's degree.
+        const auto &top = sg.layerAdjacency(sg.numLayers() - 1);
+        for (NodeId member : bucket.members)
+            EXPECT_EQ(top.degree(member), bucket.degree);
+    }
+    EXPECT_EQ(covered, sg.numSeeds());
+}
+
+TEST(Bucketize, SortedByDegree)
+{
+    util::Rng rng(2);
+    auto g = graph::generateBarabasiAlbert(400, 4, rng);
+    NeighborSampler sampler({8});
+    NodeList seeds(50);
+    std::iota(seeds.begin(), seeds.end(), 0);
+    SampledSubgraph sg = sampler.sample(g, seeds, rng);
+    BucketList buckets = bucketizeSeeds(sg);
+    for (std::size_t i = 1; i < buckets.size(); ++i)
+        EXPECT_LT(buckets[i - 1].degree, buckets[i].degree);
+}
+
+TEST(ExplosionDetection, PowerLawGraphExplodesAtCutoff)
+{
+    // On a power-law graph with fanout F, every node of degree >= F
+    // lands in the degree-F bucket -> explosion (paper Fig. 4b).
+    util::Rng rng(3);
+    auto g = graph::generateBarabasiAlbert(3000, 8, rng);
+    const int fanout = 10;
+    NeighborSampler sampler({fanout});
+    NodeList seeds(800);
+    std::iota(seeds.begin(), seeds.end(), 0);
+    SampledSubgraph sg = sampler.sample(g, seeds, rng);
+
+    BucketList buckets = bucketizeSeeds(sg);
+    const int explosion = findExplosionBucket(buckets);
+    ASSERT_GE(explosion, 0);
+    EXPECT_EQ(buckets[explosion].degree,
+              static_cast<EdgeIndex>(fanout));
+    // The explosion bucket dominates.
+    EXPECT_GT(buckets[explosion].volume(),
+              sg.numSeeds() / 3);
+}
+
+TEST(ExplosionDetection, UniformGraphDoesNotExplode)
+{
+    // A ring lattice has a single degree -> one bucket, no explosion.
+    util::Rng rng(4);
+    auto g = graph::generateWattsStrogatz(500, 2, 0.0, rng);
+    NeighborSampler sampler({10});
+    NodeList seeds(100);
+    std::iota(seeds.begin(), seeds.end(), 0);
+    SampledSubgraph sg = sampler.sample(g, seeds, rng);
+    BucketList buckets = bucketizeSeeds(sg);
+    EXPECT_EQ(findExplosionBucket(buckets), -1);
+}
+
+TEST(ExplosionDetection, ThresholdControlsSensitivity)
+{
+    BucketList buckets;
+    buckets.push_back({1, NodeList(10)});
+    buckets.push_back({2, NodeList(10)});
+    buckets.push_back({3, NodeList(25)});
+    // 25 vs mean(10,10)=10: ratio 2.5.
+    EXPECT_EQ(findExplosionBucket(buckets, 2.0), 2);
+    EXPECT_EQ(findExplosionBucket(buckets, 3.0), -1);
+}
+
+TEST(ExplosionDetection, NeedsAtLeastTwoBuckets)
+{
+    BucketList one;
+    one.push_back({5, NodeList(100)});
+    EXPECT_EQ(findExplosionBucket(one), -1);
+    EXPECT_EQ(findExplosionBucket({}), -1);
+}
+
+} // namespace
+} // namespace buffalo::sampling

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for bucket splitting and MemBalancedGrouping (Algorithm 4).
+ */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/grouping.h"
+#include "util/errors.h"
+
+namespace buffalo::core {
+namespace {
+
+DegreeBucket
+bucketOf(std::size_t volume, graph::EdgeIndex degree,
+         sampling::NodeId base = 0)
+{
+    DegreeBucket bucket;
+    bucket.degree = degree;
+    bucket.members.resize(volume);
+    std::iota(bucket.members.begin(), bucket.members.end(), base);
+    return bucket;
+}
+
+BucketMemInfo
+infoOf(std::size_t volume, graph::EdgeIndex degree,
+       std::uint64_t bytes, sampling::NodeId base = 0)
+{
+    BucketMemInfo info;
+    info.bucket = bucketOf(volume, degree, base);
+    info.outputs = volume;
+    info.degree = static_cast<double>(degree);
+    info.inputs = volume * degree; // no overlap by default
+    info.est_bytes = bytes;
+    return info;
+}
+
+/** Property: splitting is exact and even for many piece counts. */
+class SplitProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SplitProperty, EvenExactCover)
+{
+    const int pieces = GetParam();
+    DegreeBucket bucket = bucketOf(103, 10);
+    auto micro = splitExplosionBucket(bucket, pieces);
+
+    ASSERT_EQ(micro.size(),
+              static_cast<std::size_t>(std::min<std::size_t>(
+                  pieces, bucket.members.size())));
+    std::set<sampling::NodeId> seen;
+    std::size_t min_size = bucket.members.size(), max_size = 0;
+    for (const auto &piece : micro) {
+        EXPECT_EQ(piece.degree, bucket.degree);
+        EXPECT_FALSE(piece.members.empty());
+        min_size = std::min(min_size, piece.members.size());
+        max_size = std::max(max_size, piece.members.size());
+        for (auto member : piece.members)
+            EXPECT_TRUE(seen.insert(member).second)
+                << "member duplicated across pieces";
+    }
+    EXPECT_EQ(seen.size(), bucket.members.size());
+    EXPECT_LE(max_size - min_size, 1u) << "pieces must be even";
+}
+
+INSTANTIATE_TEST_SUITE_P(PieceCounts, SplitProperty,
+                         ::testing::Values(1, 2, 3, 7, 16, 103, 200));
+
+TEST(Split, RejectsZeroPieces)
+{
+    EXPECT_THROW(splitExplosionBucket(bucketOf(4, 2), 0),
+                 InvalidArgument);
+}
+
+TEST(Grouping, SingleGroupSumsEverything)
+{
+    RedundancyAwareMemEstimator estimator(0.3);
+    std::vector<BucketMemInfo> infos = {infoOf(10, 2, 100),
+                                        infoOf(20, 3, 200, 100)};
+    auto result = memBalancedGrouping(infos, 1, 1000, estimator);
+    ASSERT_TRUE(result.success);
+    ASSERT_EQ(result.groups.size(), 1u);
+    EXPECT_EQ(result.groups[0].buckets.size(), 2u);
+    EXPECT_EQ(result.groups[0].outputCount(), 30u);
+}
+
+TEST(Grouping, FailsWhenOverConstraint)
+{
+    RedundancyAwareMemEstimator estimator(0.3);
+    std::vector<BucketMemInfo> infos = {infoOf(10, 2, 600),
+                                        infoOf(20, 3, 700, 100)};
+    auto result = memBalancedGrouping(infos, 1, 1000, estimator);
+    EXPECT_FALSE(result.success);
+    EXPECT_GT(result.max_group_bytes, 1000u);
+}
+
+TEST(Grouping, SucceedsWithMoreGroups)
+{
+    RedundancyAwareMemEstimator estimator(0.3);
+    std::vector<BucketMemInfo> infos = {infoOf(10, 2, 600),
+                                        infoOf(20, 3, 700, 100)};
+    auto result = memBalancedGrouping(infos, 2, 1000, estimator);
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.groups.size(), 2u);
+    for (const auto &group : result.groups)
+        EXPECT_LE(group.est_bytes, 1000u);
+}
+
+TEST(Grouping, BalancesLoad)
+{
+    RedundancyAwareMemEstimator estimator(1e-9); // linear pricing
+    // Six equal buckets into 3 groups -> 2 each.
+    std::vector<BucketMemInfo> infos;
+    for (int i = 0; i < 6; ++i)
+        infos.push_back(infoOf(5, 2, 100, i * 10));
+    auto result = memBalancedGrouping(infos, 3, 10000, estimator);
+    ASSERT_TRUE(result.success);
+    for (const auto &group : result.groups)
+        EXPECT_EQ(group.buckets.size(), 2u);
+}
+
+TEST(Grouping, LargestFirstReducesImbalance)
+{
+    RedundancyAwareMemEstimator estimator(1e-9);
+    // Sizes 9, 7, 5, 3, 2, 1 into 2 groups: greedy largest-first
+    // yields 14 vs 13.
+    std::vector<BucketMemInfo> infos;
+    const std::uint64_t sizes[] = {9, 7, 5, 3, 2, 1};
+    for (int i = 0; i < 6; ++i)
+        infos.push_back(infoOf(2, 2, sizes[i] * 100, i * 10));
+    auto result = memBalancedGrouping(infos, 2, 10000, estimator);
+    ASSERT_TRUE(result.success);
+    std::uint64_t max_bytes = 0, min_bytes = UINT64_MAX;
+    for (const auto &group : result.groups) {
+        max_bytes = std::max(max_bytes, group.est_bytes);
+        min_bytes = std::min(min_bytes, group.est_bytes);
+    }
+    EXPECT_EQ(max_bytes, 1400u);
+    EXPECT_EQ(min_bytes, 1300u);
+}
+
+TEST(Grouping, ReservedBytesShrinkBudget)
+{
+    RedundancyAwareMemEstimator estimator(1e-9);
+    std::vector<BucketMemInfo> infos = {infoOf(4, 2, 500)};
+    EXPECT_TRUE(
+        memBalancedGrouping(infos, 1, 1000, estimator, 0).success);
+    EXPECT_FALSE(
+        memBalancedGrouping(infos, 1, 1000, estimator, 600).success);
+}
+
+TEST(Grouping, DropsEmptyGroups)
+{
+    RedundancyAwareMemEstimator estimator(0.3);
+    std::vector<BucketMemInfo> infos = {infoOf(4, 2, 100)};
+    auto result = memBalancedGrouping(infos, 4, 1000, estimator);
+    ASSERT_TRUE(result.success);
+    EXPECT_EQ(result.groups.size(), 1u);
+}
+
+TEST(Grouping, OutputSeedsUnionPreserved)
+{
+    RedundancyAwareMemEstimator estimator(0.3);
+    std::vector<BucketMemInfo> infos = {infoOf(3, 1, 100, 0),
+                                        infoOf(3, 2, 100, 10),
+                                        infoOf(3, 3, 100, 20)};
+    auto result = memBalancedGrouping(infos, 2, 10000, estimator);
+    ASSERT_TRUE(result.success);
+    std::set<sampling::NodeId> all;
+    for (const auto &group : result.groups)
+        for (auto seed : group.outputSeeds())
+            EXPECT_TRUE(all.insert(seed).second);
+    EXPECT_EQ(all.size(), 9u);
+}
+
+TEST(Grouping, FirstFitPolicyAlsoSatisfiesConstraint)
+{
+    RedundancyAwareMemEstimator estimator(1e-9);
+    std::vector<BucketMemInfo> infos;
+    for (int i = 0; i < 8; ++i)
+        infos.push_back(infoOf(2, 2, 250, i * 10));
+    auto result =
+        memBalancedGrouping(infos, 2, 1100, estimator, 0,
+                            GroupingPolicy::FirstFit);
+    ASSERT_TRUE(result.success);
+    for (const auto &group : result.groups)
+        EXPECT_LE(group.est_bytes, 1100u);
+}
+
+} // namespace
+} // namespace buffalo::core

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the Buffalo Scheduler (Algorithm 3): constraint
+ * satisfaction, seed coverage, explosion splitting, K growth as the
+ * budget shrinks, and micro-batch generation.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/micro_batch_generator.h"
+#include "core/scheduler.h"
+#include "graph/datasets.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace buffalo::core {
+namespace {
+
+struct SchedSetup
+{
+    graph::Dataset data;
+    SampledSubgraph sg;
+    nn::ModelConfig config;
+    double coefficient;
+};
+
+SchedSetup
+makeSetup(std::size_t num_seeds = 192,
+          nn::AggregatorKind kind = nn::AggregatorKind::Lstm)
+{
+    SchedSetup setup{graph::loadDataset(graph::DatasetId::Arxiv, 42, 0.1),
+                {},
+                {},
+                0.0};
+    setup.coefficient = setup.data.spec().paper_avg_coefficient;
+    util::Rng rng(3);
+    sampling::NeighborSampler sampler({10, 10});
+    graph::NodeList seeds(
+        setup.data.trainNodes().begin(),
+        setup.data.trainNodes().begin() +
+            std::min(num_seeds, setup.data.trainNodes().size()));
+    setup.sg = sampler.sample(setup.data.graph(), seeds, rng);
+
+    setup.config.aggregator = kind;
+    setup.config.num_layers = 2;
+    setup.config.feature_dim = setup.data.featureDim();
+    setup.config.hidden_dim = 32;
+    setup.config.num_classes = setup.data.numClasses();
+    return setup;
+}
+
+ScheduleResult
+scheduleWith(const SchedSetup &setup, std::uint64_t budget,
+             SchedulerOptions options = {})
+{
+    nn::MemoryModel model(setup.config);
+    options.mem_constraint = budget;
+    BuffaloScheduler scheduler(model, setup.coefficient, options);
+    return scheduler.schedule(setup.sg);
+}
+
+/** Redundancy-aware estimate of the whole batch as one group. */
+std::uint64_t
+wholeBatchEstimate(const SchedSetup &setup)
+{
+    auto result = scheduleWith(setup, util::gib(1024));
+    std::uint64_t total = 0;
+    for (const auto &group : result.groups)
+        total += group.est_bytes;
+    return total;
+}
+
+TEST(Scheduler, LargeBudgetSingleGroup)
+{
+    SchedSetup setup = makeSetup();
+    auto result = scheduleWith(setup, util::gib(64));
+    EXPECT_EQ(result.num_groups, 1);
+    EXPECT_TRUE(result.single_group);
+}
+
+TEST(Scheduler, GroupsCoverAllSeedsDisjointly)
+{
+    SchedSetup setup = makeSetup();
+    auto result = scheduleWith(setup, util::mib(64));
+    std::set<sampling::NodeId> seen;
+    for (const auto &group : result.groups) {
+        for (auto seed : group.outputSeeds()) {
+            ASSERT_LT(seed, setup.sg.numSeeds());
+            EXPECT_TRUE(seen.insert(seed).second)
+                << "seed assigned to two groups";
+        }
+    }
+    EXPECT_EQ(seen.size(), setup.sg.numSeeds());
+}
+
+TEST(Scheduler, EveryGroupRespectsConstraint)
+{
+    SchedSetup setup = makeSetup();
+    const std::uint64_t budget = wholeBatchEstimate(setup) / 3;
+    auto result = scheduleWith(setup, budget);
+    EXPECT_GT(result.num_groups, 1);
+    for (const auto &group : result.groups)
+        EXPECT_LE(group.est_bytes, budget);
+}
+
+TEST(Scheduler, KGrowsAsBudgetShrinks)
+{
+    SchedSetup setup = makeSetup();
+    const std::uint64_t whole = wholeBatchEstimate(setup);
+    int previous = 1;
+    for (std::uint64_t budget :
+         {whole * 2, whole / 2, whole / 4, whole / 8}) {
+        auto result = scheduleWith(setup, budget);
+        EXPECT_GE(result.num_groups, previous)
+            << "budget " << util::formatBytes(budget);
+        previous = result.num_groups;
+    }
+    EXPECT_GT(previous, 1);
+}
+
+TEST(Scheduler, DetectsAndSplitsExplosion)
+{
+    SchedSetup setup = makeSetup(256);
+    // Power-law arxiv-sim with fanout 10 explodes the degree-10
+    // bucket; a tight budget forces a split.
+    auto result = scheduleWith(setup, wholeBatchEstimate(setup) / 4);
+    EXPECT_TRUE(result.explosion_detected);
+    EXPECT_GT(result.num_groups, 1);
+
+    // The cut-off bucket's members must now be spread across groups.
+    const auto &top =
+        setup.sg.layerAdjacency(setup.sg.numLayers() - 1);
+    std::set<int> groups_with_cutoff;
+    for (std::size_t g = 0; g < result.groups.size(); ++g) {
+        for (const auto &info : result.groups[g].buckets) {
+            if (info.bucket.degree == 10)
+                groups_with_cutoff.insert(static_cast<int>(g));
+        }
+    }
+    (void)top;
+    EXPECT_GT(groups_with_cutoff.size(), 1u);
+}
+
+/** Estimate of the largest single bucket (the explosion bucket). */
+std::uint64_t
+largestBucketEstimate(const SchedSetup &setup)
+{
+    nn::MemoryModel model(setup.config);
+    BucketMemEstimator estimator(model, setup.sg);
+    std::uint64_t largest = 0;
+    for (const auto &info :
+         estimator.estimate(sampling::bucketizeSeeds(setup.sg)))
+        largest = std::max(largest, info.est_bytes);
+    return largest;
+}
+
+TEST(Scheduler, SplitDisabledSchedulesAboveAtomicBucket)
+{
+    // With splitting off, the explosion bucket is atomic; any budget
+    // above it still schedules (just with coarser groups).
+    SchedSetup setup = makeSetup(128);
+    SchedulerOptions options;
+    options.enable_split = false;
+    const std::uint64_t budget = largestBucketEstimate(setup) * 2;
+    auto result = scheduleWith(setup, budget, options);
+    EXPECT_FALSE(result.explosion_detected);
+    std::set<sampling::NodeId> seen;
+    for (const auto &group : result.groups)
+        for (auto seed : group.outputSeeds())
+            seen.insert(seed);
+    EXPECT_EQ(seen.size(), setup.sg.numSeeds());
+}
+
+TEST(Scheduler, SplittingBreaksTheAtomicBucketWall)
+{
+    // The paper's core claim (§IV-A): once the budget drops below the
+    // explosion bucket's own footprint, no amount of grouping helps —
+    // only splitting the bucket does.
+    SchedSetup setup = makeSetup(256);
+    const std::uint64_t budget =
+        largestBucketEstimate(setup) * 7 / 10;
+
+    SchedulerOptions no_split;
+    no_split.enable_split = false;
+    no_split.max_groups = 64;
+    EXPECT_THROW(scheduleWith(setup, budget, no_split),
+                 InvalidArgument);
+
+    SchedulerOptions with_split;
+    auto result = scheduleWith(setup, budget, with_split);
+    EXPECT_TRUE(result.explosion_detected);
+    EXPECT_GT(result.num_groups, 1);
+}
+
+TEST(Scheduler, ImpossibleBudgetThrows)
+{
+    SchedSetup setup = makeSetup(64);
+    SchedulerOptions options;
+    options.max_groups = 4;
+    EXPECT_THROW(scheduleWith(setup, util::mib(1), options),
+                 InvalidArgument);
+}
+
+TEST(Scheduler, ReservedBytesTightenBudget)
+{
+    SchedSetup setup = makeSetup();
+    const std::uint64_t whole = wholeBatchEstimate(setup);
+    SchedulerOptions plain;
+    auto base = scheduleWith(setup, whole * 2, plain);
+    SchedulerOptions reserved;
+    reserved.reserved_bytes = whole * 2 - whole / 2;
+    auto tight = scheduleWith(setup, whole * 2, reserved);
+    EXPECT_GE(tight.num_groups, base.num_groups);
+}
+
+TEST(Scheduler, RejectsBadOptions)
+{
+    SchedSetup setup = makeSetup(64);
+    nn::MemoryModel model(setup.config);
+    SchedulerOptions options; // mem_constraint = 0
+    EXPECT_THROW(BuffaloScheduler(model, 0.2, options),
+                 InvalidArgument);
+}
+
+TEST(MicroBatchGenerator, GroupsBecomeValidMicroBatches)
+{
+    SchedSetup setup = makeSetup();
+    auto result = scheduleWith(setup, wholeBatchEstimate(setup) / 3);
+    MicroBatchGenerator generator;
+    auto batches = generator.generate(setup.sg, result.groups);
+    ASSERT_EQ(batches.size(), result.groups.size());
+
+    std::set<graph::NodeId> outputs;
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        batches[i].validateChain();
+        EXPECT_EQ(batches[i].numLayers(), 2);
+        EXPECT_EQ(batches[i].outputNodes().size(),
+                  result.groups[i].outputCount());
+        for (auto node : batches[i].outputNodes())
+            EXPECT_TRUE(outputs.insert(node).second);
+    }
+    EXPECT_EQ(outputs.size(), setup.sg.numSeeds());
+}
+
+TEST(MicroBatchGenerator, RedundancyExistsAcrossMicroBatches)
+{
+    // The non-linear memory phenomenon of §IV-D: micro-batches share
+    // input nodes, so the sum of inputs exceeds the whole batch's.
+    SchedSetup setup = makeSetup();
+    auto result = scheduleWith(setup, wholeBatchEstimate(setup) / 4);
+    ASSERT_GT(result.num_groups, 1);
+    MicroBatchGenerator generator;
+    auto batches = generator.generate(setup.sg, result.groups);
+
+    std::size_t summed = 0;
+    std::set<graph::NodeId> unique_inputs;
+    for (const auto &mb : batches) {
+        summed += mb.inputNodes().size();
+        unique_inputs.insert(mb.inputNodes().begin(),
+                             mb.inputNodes().end());
+    }
+    EXPECT_GT(summed, unique_inputs.size());
+}
+
+} // namespace
+} // namespace buffalo::core

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The paper's central correctness claim (§IV-B, Table IV, Fig. 17):
+ * Buffalo's micro-batch training with gradient accumulation is
+ * *mathematically equivalent* to whole-batch training. These tests
+ * demand bit-level-tight agreement of losses and parameters between
+ * the two pipelines across models, aggregators, and micro-batch
+ * counts.
+ */
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "train/experiment.h"
+#include "train/trainer.h"
+#include "util/format.h"
+
+namespace buffalo::train {
+namespace {
+
+graph::Dataset &
+arxiv()
+{
+    static graph::Dataset data =
+        graph::loadDataset(graph::DatasetId::Arxiv, 42, 0.08);
+    return data;
+}
+
+struct EquivCase
+{
+    ModelKind kind;
+    nn::AggregatorKind aggregator;
+    const char *name;
+};
+
+class Equivalence : public ::testing::TestWithParam<EquivCase>
+{
+};
+
+TEST_P(Equivalence, MicroBatchMatchesWholeBatch)
+{
+    const EquivCase &param = GetParam();
+    auto &data = arxiv();
+
+    TrainerOptions options;
+    options.model_kind = param.kind;
+    options.model.aggregator = param.aggregator;
+    options.model.num_layers = 2;
+    options.model.feature_dim = data.featureDim();
+    options.model.hidden_dim = 16;
+    options.model.num_classes = data.numClasses();
+    options.fanouts = {5, 10};
+    options.seed = 99;
+
+    NodeList seeds(data.trainNodes().begin(),
+                   data.trainNodes().begin() +
+                       std::min<std::size_t>(
+                           128, data.trainNodes().size()));
+
+    // Whole batch on an effectively unlimited device.
+    device::Device whole_dev("gpu", util::gib(16));
+    WholeBatchTrainer whole(options, whole_dev);
+    util::Rng whole_rng(7);
+    auto whole_stats = whole.trainIteration(data, seeds, whole_rng);
+    ASSERT_EQ(whole_stats.num_micro_batches, 1);
+
+    // Buffalo under a tight budget forcing several micro-batches:
+    // static bytes plus 60% of the whole batch's activation peak.
+    const std::uint64_t tight =
+        whole.staticBytes() +
+        (whole_stats.peak_device_bytes - whole.staticBytes()) * 6 /
+            10;
+    device::Device buffalo_dev("gpu", tight);
+    BuffaloTrainer buffalo(options, buffalo_dev);
+    util::Rng buffalo_rng(7); // identical sampling stream
+    auto buffalo_stats =
+        buffalo.trainIteration(data, seeds, buffalo_rng);
+    ASSERT_GT(buffalo_stats.num_micro_batches, 1)
+        << "budget did not force micro-batching";
+
+    // Loss parity: accumulated micro-batch losses equal the batch
+    // loss up to float reduction order.
+    EXPECT_NEAR(buffalo_stats.loss, whole_stats.loss,
+                1e-4 * std::max(1.0, std::abs(whole_stats.loss)));
+    EXPECT_EQ(buffalo_stats.correct, whole_stats.correct);
+    EXPECT_EQ(buffalo_stats.num_outputs, whole_stats.num_outputs);
+
+    // Parameter parity after the optimizer step.
+    auto whole_params = whole.model().module().parameters();
+    auto buffalo_params = buffalo.model().module().parameters();
+    ASSERT_EQ(whole_params.size(), buffalo_params.size());
+    for (std::size_t p = 0; p < whole_params.size(); ++p) {
+        const double diff = tensor::maxAbsDiff(
+            whole_params[p]->value(), buffalo_params[p]->value());
+        EXPECT_LT(diff, 5e-4) << whole_params[p]->name();
+    }
+
+    // And memory is actually lower under Buffalo.
+    EXPECT_LT(buffalo_stats.peak_device_bytes,
+              whole_stats.peak_device_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Equivalence,
+    ::testing::Values(
+        EquivCase{ModelKind::Sage, nn::AggregatorKind::Mean,
+                  "sage_mean"},
+        EquivCase{ModelKind::Sage, nn::AggregatorKind::Pool,
+                  "sage_pool"},
+        EquivCase{ModelKind::Sage, nn::AggregatorKind::Lstm,
+                  "sage_lstm"},
+        EquivCase{ModelKind::Gat, nn::AggregatorKind::Mean,
+                  "gat"},
+        EquivCase{ModelKind::Gcn, nn::AggregatorKind::Mean,
+                  "gcn"}),
+    [](const ::testing::TestParamInfo<EquivCase> &info) {
+        return info.param.name;
+    });
+
+TEST(Equivalence, MultiEpochConvergenceMatches)
+{
+    // Fig. 17: loss curves for batch vs micro-batch training align.
+    auto &data = arxiv();
+    TrainerOptions options;
+    options.model.num_layers = 2;
+    options.model.feature_dim = data.featureDim();
+    options.model.hidden_dim = 16;
+    options.model.num_classes = data.numClasses();
+    options.fanouts = {5, 10};
+    options.learning_rate = 5e-3;
+    options.seed = 21;
+
+    device::Device whole_dev("gpu", util::gib(16));
+    WholeBatchTrainer whole(options, whole_dev);
+    util::Rng rng_a(31);
+    auto whole_curve = runTraining(whole, data, 4, 96, rng_a);
+
+    device::Device buffalo_dev(
+        "gpu", whole.staticBytes() + util::mib(4));
+    BuffaloTrainer buffalo(options, buffalo_dev);
+    util::Rng rng_b(31); // identical batch order + sampling
+    auto buffalo_curve = runTraining(buffalo, data, 4, 96, rng_b);
+
+    ASSERT_EQ(whole_curve.size(), buffalo_curve.size());
+    for (std::size_t epoch = 0; epoch < whole_curve.size(); ++epoch) {
+        EXPECT_NEAR(buffalo_curve[epoch].mean_loss,
+                    whole_curve[epoch].mean_loss,
+                    5e-3 * std::max(1.0,
+                                    whole_curve[epoch].mean_loss))
+            << "epoch " << epoch;
+    }
+    // Training must actually make progress.
+    EXPECT_LT(whole_curve.back().mean_loss,
+              whole_curve.front().mean_loss);
+}
+
+TEST(Equivalence, BettyAlsoMatchesWholeBatch)
+{
+    // Betty's micro-batching is equally exact — the paper's advantage
+    // over it is time/memory, not correctness.
+    auto &data = arxiv();
+    TrainerOptions options;
+    options.model.num_layers = 2;
+    options.model.feature_dim = data.featureDim();
+    options.model.hidden_dim = 16;
+    options.model.num_classes = data.numClasses();
+    options.fanouts = {5, 10};
+    options.seed = 5;
+
+    NodeList seeds(data.trainNodes().begin(),
+                   data.trainNodes().begin() + 128);
+
+    device::Device dev_a("gpu", util::gib(16));
+    WholeBatchTrainer whole(options, dev_a);
+    util::Rng rng_a(13);
+    auto whole_stats = whole.trainIteration(data, seeds, rng_a);
+
+    device::Device dev_b("gpu", util::gib(16));
+    BettyTrainer betty(options, dev_b, 4);
+    util::Rng rng_b(13);
+    auto betty_stats = betty.trainIteration(data, seeds, rng_b);
+
+    EXPECT_NEAR(betty_stats.loss, whole_stats.loss,
+                1e-4 * std::max(1.0, std::abs(whole_stats.loss)));
+}
+
+} // namespace
+} // namespace buffalo::train

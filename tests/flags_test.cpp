@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the command-line flag parser.
+ */
+#include <gtest/gtest.h>
+
+#include "util/errors.h"
+#include "util/flags.h"
+
+namespace buffalo::util {
+namespace {
+
+Flags
+parse(std::initializer_list<const char *> args)
+{
+    std::vector<const char *> argv = {"prog"};
+    argv.insert(argv.end(), args.begin(), args.end());
+    return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsAndSpaceForms)
+{
+    Flags flags = parse({"--name=alpha", "--count", "7"});
+    EXPECT_EQ(flags.getString("name"), "alpha");
+    EXPECT_EQ(flags.getInt("count", 0), 7);
+}
+
+TEST(Flags, BooleanForms)
+{
+    Flags flags = parse({"--verbose", "--fast=true", "--slow=0"});
+    EXPECT_TRUE(flags.getBool("verbose"));
+    EXPECT_TRUE(flags.getBool("fast"));
+    EXPECT_FALSE(flags.getBool("slow"));
+    EXPECT_FALSE(flags.getBool("absent"));
+    EXPECT_TRUE(flags.getBool("absent", true));
+}
+
+TEST(Flags, Defaults)
+{
+    Flags flags = parse({});
+    EXPECT_EQ(flags.getString("x", "dflt"), "dflt");
+    EXPECT_EQ(flags.getInt("x", 42), 42);
+    EXPECT_DOUBLE_EQ(flags.getDouble("x", 2.5), 2.5);
+    EXPECT_FALSE(flags.has("x"));
+}
+
+TEST(Flags, DoubleParsing)
+{
+    Flags flags = parse({"--lr=5e-3"});
+    EXPECT_DOUBLE_EQ(flags.getDouble("lr", 0), 5e-3);
+}
+
+TEST(Flags, PositionalArguments)
+{
+    Flags flags = parse({"input.txt", "--k=3", "output.txt"});
+    ASSERT_EQ(flags.positional().size(), 2u);
+    EXPECT_EQ(flags.positional()[0], "input.txt");
+    EXPECT_EQ(flags.positional()[1], "output.txt");
+}
+
+TEST(Flags, MalformedValuesThrow)
+{
+    Flags flags = parse({"--count=abc"});
+    EXPECT_THROW(flags.getInt("count", 0), InvalidArgument);
+    Flags flags2 = parse({"--lr=x.y"});
+    EXPECT_THROW(flags2.getDouble("lr", 0), InvalidArgument);
+}
+
+TEST(Flags, UnknownFlagDetection)
+{
+    Flags flags = parse({"--known=1", "--typo=2"});
+    EXPECT_THROW(flags.checkKnown({"known"}), InvalidArgument);
+    EXPECT_NO_THROW(flags.checkKnown({"known", "typo"}));
+}
+
+TEST(Flags, NegativeNumbersAsValues)
+{
+    // "--x -3": the value starts with '-' but not "--", so it binds.
+    Flags flags = parse({"--x", "-3"});
+    EXPECT_EQ(flags.getInt("x", 0), -3);
+}
+
+} // namespace
+} // namespace buffalo::util

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Property tests for the synthetic graph generators: shape statistics,
+ * determinism, and power-law verdicts.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/stats.h"
+#include "util/errors.h"
+
+namespace buffalo::graph {
+namespace {
+
+TEST(BarabasiAlbert, DegreeAndScale)
+{
+    util::Rng rng(1);
+    CsrGraph g = generateBarabasiAlbert(2000, 4, rng);
+    EXPECT_EQ(g.numNodes(), 2000u);
+    // avg degree ~ 2m for undirected BA.
+    EXPECT_NEAR(averageDegree(g), 8.0, 1.5);
+    EXPECT_EQ(g.countZeroDegreeNodes(), 0u);
+}
+
+TEST(BarabasiAlbert, IsPowerLaw)
+{
+    util::Rng rng(2);
+    CsrGraph g = generateBarabasiAlbert(4000, 5, rng);
+    PowerLawFit fit = fitPowerLaw(g);
+    EXPECT_TRUE(fit.is_power_law);
+    EXPECT_GT(fit.alpha, 1.8);
+    EXPECT_LT(fit.alpha, 4.0);
+    // Heavy tail: the hub dwarfs the average.
+    EXPECT_GT(g.maxDegree(), 10 * averageDegree(g));
+}
+
+TEST(BarabasiAlbert, Deterministic)
+{
+    util::Rng a(7), b(7);
+    CsrGraph g1 = generateBarabasiAlbert(500, 3, a);
+    CsrGraph g2 = generateBarabasiAlbert(500, 3, b);
+    EXPECT_EQ(g1.targets(), g2.targets());
+    EXPECT_EQ(g1.offsets(), g2.offsets());
+}
+
+TEST(BarabasiAlbert, RejectsBadParams)
+{
+    util::Rng rng(1);
+    EXPECT_THROW(generateBarabasiAlbert(5, 5, rng), InvalidArgument);
+    EXPECT_THROW(generateBarabasiAlbert(10, 0, rng), InvalidArgument);
+}
+
+TEST(ErdosRenyi, EdgeCountMatchesExpectation)
+{
+    util::Rng rng(3);
+    const NodeId n = 1000;
+    const double p = 0.01;
+    CsrGraph g = generateErdosRenyi(n, p, rng);
+    const double expected = p * n * (n - 1) / 2.0;
+    // Undirected: numEdges counts both directions.
+    EXPECT_NEAR(g.numEdges() / 2.0, expected, expected * 0.15);
+}
+
+TEST(ErdosRenyi, NotPowerLaw)
+{
+    util::Rng rng(4);
+    CsrGraph g = generateErdosRenyi(2000, 0.005, rng);
+    EXPECT_FALSE(fitPowerLaw(g).is_power_law);
+}
+
+TEST(ErdosRenyi, ZeroProbabilityEmpty)
+{
+    util::Rng rng(5);
+    CsrGraph g = generateErdosRenyi(100, 0.0, rng);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(WattsStrogatz, NoRewireIsRingLattice)
+{
+    util::Rng rng(6);
+    CsrGraph g = generateWattsStrogatz(100, 2, 0.0, rng);
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        EXPECT_EQ(g.degree(u), 4u);
+    // Ring lattice with k=2 per side has clustering 0.5.
+    EXPECT_NEAR(averageClusteringCoefficient(g), 0.5, 0.01);
+}
+
+TEST(WattsStrogatz, RewiringLowersClustering)
+{
+    util::Rng rng1(7), rng2(7);
+    CsrGraph low = generateWattsStrogatz(1000, 3, 0.05, rng1);
+    CsrGraph high = generateWattsStrogatz(1000, 3, 0.9, rng2);
+    EXPECT_GT(averageClusteringCoefficient(low),
+              averageClusteringCoefficient(high) + 0.1);
+}
+
+TEST(WattsStrogatz, RejectsTinyRing)
+{
+    util::Rng rng(1);
+    EXPECT_THROW(generateWattsStrogatz(4, 2, 0.1, rng),
+                 InvalidArgument);
+}
+
+TEST(Rmat, HeavyTailAndScale)
+{
+    util::Rng rng(8);
+    CsrGraph g = generateRmat(4096, 40000, 0.57, 0.19, 0.19, rng);
+    EXPECT_EQ(g.numNodes(), 4096u);
+    EXPECT_GT(g.maxDegree(), 8 * averageDegree(g));
+}
+
+TEST(Rmat, RejectsBadQuadrants)
+{
+    util::Rng rng(1);
+    EXPECT_THROW(generateRmat(64, 100, 0.5, 0.3, 0.3, rng),
+                 InvalidArgument);
+}
+
+/** Property: triad probability raises the clustering coefficient. */
+class PowerLawClusterTriads : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(PowerLawClusterTriads, ClusteringGrowsWithTriadProbability)
+{
+    const double p = GetParam();
+    util::Rng rng_low(9), rng_high(9);
+    CsrGraph base =
+        generatePowerLawCluster(1500, 5, 0.0, rng_low);
+    CsrGraph clustered = generatePowerLawCluster(1500, 5, p, rng_high);
+    EXPECT_GE(averageClusteringCoefficient(clustered) + 0.02,
+              averageClusteringCoefficient(base));
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, PowerLawClusterTriads,
+                         ::testing::Values(0.3, 0.6, 0.9));
+
+TEST(PowerLawCluster, StillPowerLaw)
+{
+    util::Rng rng(10);
+    CsrGraph g = generatePowerLawCluster(4000, 6, 0.6, rng);
+    EXPECT_TRUE(fitPowerLaw(g).is_power_law);
+}
+
+/** Property: all generators produce valid symmetric-ish CSRs. */
+TEST(AllGenerators, ProduceValidGraphs)
+{
+    util::Rng rng(11);
+    std::vector<CsrGraph> graphs;
+    graphs.push_back(generateBarabasiAlbert(300, 3, rng));
+    graphs.push_back(generateErdosRenyi(300, 0.02, rng));
+    graphs.push_back(generateWattsStrogatz(300, 2, 0.3, rng));
+    graphs.push_back(generateRmat(256, 2000, 0.45, 0.22, 0.22, rng));
+    graphs.push_back(generatePowerLawCluster(300, 3, 0.5, rng));
+    for (const auto &g : graphs) {
+        ASSERT_GT(g.numEdges(), 0u);
+        EXPECT_TRUE(g.rowsSorted());
+        // Undirected: every edge present in both directions.
+        for (NodeId u = 0; u < g.numNodes(); ++u)
+            for (NodeId v : g.neighbors(u))
+                EXPECT_TRUE(g.hasEdge(v, u));
+    }
+}
+
+} // namespace
+} // namespace buffalo::graph

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the graph substrate: CSR, COO builder, statistics, and
+ * induced subgraphs.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/coo.h"
+#include "graph/csr.h"
+#include "graph/stats.h"
+#include "graph/subgraph.h"
+#include "util/errors.h"
+
+namespace buffalo::graph {
+namespace {
+
+/** Triangle 0-1-2 plus pendant 3 attached to 2, undirected. */
+CsrGraph
+triangleWithTail()
+{
+    CooBuilder builder(4);
+    builder.addUndirectedEdge(0, 1);
+    builder.addUndirectedEdge(1, 2);
+    builder.addUndirectedEdge(0, 2);
+    builder.addUndirectedEdge(2, 3);
+    return builder.toCsr();
+}
+
+TEST(CsrGraph, EmptyGraph)
+{
+    CsrGraph g;
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_EQ(g.maxDegree(), 0u);
+}
+
+TEST(CsrGraph, BasicAccessors)
+{
+    CsrGraph g = triangleWithTail();
+    EXPECT_EQ(g.numNodes(), 4u);
+    EXPECT_EQ(g.numEdges(), 8u); // 4 undirected edges
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(2), 3u);
+    EXPECT_EQ(g.degree(3), 1u);
+    EXPECT_EQ(g.maxDegree(), 3u);
+    EXPECT_TRUE(g.rowsSorted());
+}
+
+TEST(CsrGraph, HasEdge)
+{
+    CsrGraph g = triangleWithTail();
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0));
+    EXPECT_TRUE(g.hasEdge(3, 2));
+    EXPECT_FALSE(g.hasEdge(3, 0));
+    EXPECT_FALSE(g.hasEdge(0, 3));
+}
+
+TEST(CsrGraph, ReversedPreservesEdgeCount)
+{
+    // Directed chain 0 -> 1 -> 2 (in-CSR: row is in-neighbors).
+    CooBuilder builder(3);
+    builder.addEdge(0, 1);
+    builder.addEdge(1, 2);
+    CsrGraph g = builder.toCsr();
+    EXPECT_EQ(g.degree(1), 1u); // in-edge from 0
+    EXPECT_EQ(g.degree(0), 0u);
+
+    CsrGraph rev = g.reversed();
+    EXPECT_EQ(rev.numEdges(), g.numEdges());
+    EXPECT_EQ(rev.degree(0), 1u);
+    EXPECT_EQ(rev.degree(2), 0u);
+    // Reversing twice gives back the original degrees.
+    CsrGraph back = rev.reversed();
+    for (NodeId u = 0; u < g.numNodes(); ++u)
+        EXPECT_EQ(back.degree(u), g.degree(u));
+}
+
+TEST(CsrGraph, CountZeroDegreeNodes)
+{
+    CooBuilder builder(5);
+    builder.addEdge(0, 1);
+    CsrGraph g = builder.toCsr();
+    // Only node 1 has an in-edge.
+    EXPECT_EQ(g.countZeroDegreeNodes(), 4u);
+}
+
+TEST(CsrGraph, RejectsBadOffsets)
+{
+    EXPECT_THROW(CsrGraph({0, 2, 1}, {0, 0}), InvalidArgument);
+    EXPECT_THROW(CsrGraph({0, 1}, {}), InvalidArgument);
+    EXPECT_THROW(CsrGraph({0, 1}, {5}), InvalidArgument); // id range
+}
+
+TEST(CsrGraph, MemoryBytesPositive)
+{
+    CsrGraph g = triangleWithTail();
+    EXPECT_GT(g.memoryBytes(), 0u);
+}
+
+TEST(CooBuilder, DeduplicatesAndDropsSelfLoops)
+{
+    CooBuilder builder(3);
+    builder.addEdge(0, 1);
+    builder.addEdge(0, 1); // duplicate
+    builder.addEdge(2, 2); // self loop
+    CsrGraph g = builder.toCsr(/*dedup=*/true, /*drop_self_loops=*/true);
+    EXPECT_EQ(g.numEdges(), 1u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(CooBuilder, KeepsDuplicatesWhenAsked)
+{
+    CooBuilder builder(3);
+    builder.addEdge(0, 1);
+    builder.addEdge(0, 1);
+    CsrGraph g = builder.toCsr(/*dedup=*/false,
+                               /*drop_self_loops=*/false);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(CooBuilder, RejectsOutOfRange)
+{
+    CooBuilder builder(2);
+    EXPECT_THROW(builder.addEdge(0, 2), InvalidArgument);
+}
+
+TEST(Stats, AverageDegree)
+{
+    CsrGraph g = triangleWithTail();
+    EXPECT_DOUBLE_EQ(averageDegree(g), 2.0);
+}
+
+TEST(Stats, ClusteringCoefficientTriangle)
+{
+    CooBuilder builder(3);
+    builder.addUndirectedEdge(0, 1);
+    builder.addUndirectedEdge(1, 2);
+    builder.addUndirectedEdge(0, 2);
+    CsrGraph g = builder.toCsr();
+    EXPECT_DOUBLE_EQ(localClusteringCoefficient(g, 0), 1.0);
+    EXPECT_DOUBLE_EQ(averageClusteringCoefficient(g), 1.0);
+}
+
+TEST(Stats, ClusteringCoefficientStarIsZero)
+{
+    CooBuilder builder(5);
+    for (NodeId leaf = 1; leaf < 5; ++leaf)
+        builder.addUndirectedEdge(0, leaf);
+    CsrGraph g = builder.toCsr();
+    EXPECT_DOUBLE_EQ(averageClusteringCoefficient(g), 0.0);
+}
+
+TEST(Stats, ClusteringCoefficientMixed)
+{
+    CsrGraph g = triangleWithTail();
+    // Node 2 has neighbors {0, 1, 3}; only (0,1) connected -> 1/3.
+    EXPECT_NEAR(localClusteringCoefficient(g, 2), 1.0 / 3.0, 1e-12);
+    // Node 3 has a single neighbor -> 0.
+    EXPECT_DOUBLE_EQ(localClusteringCoefficient(g, 3), 0.0);
+}
+
+TEST(Stats, SampledClusteringApproximatesExact)
+{
+    CooBuilder builder(40);
+    // Ring of triangles: clustering strictly between 0 and 1.
+    for (NodeId i = 0; i + 2 < 40; i += 2) {
+        builder.addUndirectedEdge(i, i + 1);
+        builder.addUndirectedEdge(i + 1, i + 2);
+        builder.addUndirectedEdge(i, i + 2);
+    }
+    CsrGraph g = builder.toCsr();
+    const double exact = averageClusteringCoefficient(g);
+    util::Rng rng(4);
+    const double sampled = sampledClusteringCoefficient(g, 30, rng);
+    EXPECT_NEAR(sampled, exact, 0.25);
+}
+
+TEST(Subgraph, InducedKeepsInternalEdges)
+{
+    CsrGraph g = triangleWithTail();
+    Subgraph sub = inducedSubgraph(g, {0, 1, 2});
+    EXPECT_EQ(sub.graph.numNodes(), 3u);
+    EXPECT_EQ(sub.graph.numEdges(), 6u); // triangle only
+    EXPECT_EQ(sub.parent(sub.local(2)), 2u);
+}
+
+TEST(Subgraph, DropsBoundaryEdges)
+{
+    CsrGraph g = triangleWithTail();
+    Subgraph sub = inducedSubgraph(g, {2, 3});
+    EXPECT_EQ(sub.graph.numNodes(), 2u);
+    EXPECT_EQ(sub.graph.numEdges(), 2u); // only 2-3
+}
+
+TEST(Subgraph, RejectsDuplicates)
+{
+    CsrGraph g = triangleWithTail();
+    EXPECT_THROW(inducedSubgraph(g, {1, 1}), InvalidArgument);
+}
+
+TEST(Subgraph, LocalOfMissingNodeThrows)
+{
+    CsrGraph g = triangleWithTail();
+    Subgraph sub = inducedSubgraph(g, {0, 1});
+    EXPECT_THROW(sub.local(3), InvalidArgument);
+}
+
+} // namespace
+} // namespace buffalo::graph

@@ -1,0 +1,377 @@
+/**
+ * @file
+ * Behavioral tests for the NN substrate beyond gradient correctness:
+ * parameter plumbing, loss semantics, optimizers, and model shapes.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/aggregators.h"
+#include "nn/gat_model.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sage_model.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace buffalo::nn {
+namespace {
+
+namespace ops = buffalo::tensor;
+
+TEST(Parameter, GradAccumulatesAcrossCalls)
+{
+    Parameter p("p", 2, 2);
+    Tensor delta = Tensor::full(2, 2, 1.0f);
+    p.accumulateGrad(delta);
+    p.accumulateGrad(delta);
+    EXPECT_EQ(p.grad().at(0, 0), 2.0f);
+    p.zeroGrad();
+    EXPECT_EQ(p.grad().at(0, 0), 0.0f);
+    EXPECT_EQ(p.bytes(), 2 * 16u);
+}
+
+TEST(Loss, PerfectPredictionNearZero)
+{
+    // Huge margin on the right class -> near-zero loss, full accuracy.
+    Tensor logits = Tensor::fromValues(2, 3,
+                                       {10, -10, -10, -10, 10, -10});
+    auto result = softmaxCrossEntropy(logits, {0, 1});
+    EXPECT_LT(result.loss, 1e-6);
+    EXPECT_EQ(result.correct, 2u);
+}
+
+TEST(Loss, UniformLogitsGiveLogK)
+{
+    Tensor logits = Tensor::zeros(4, 8);
+    auto result = softmaxCrossEntropy(logits, {0, 1, 2, 3});
+    EXPECT_NEAR(result.loss, std::log(8.0), 1e-6);
+}
+
+TEST(Loss, DenominatorScalesGradient)
+{
+    Tensor logits = Tensor::fromValues(1, 2, {0.3f, -0.2f});
+    auto full = softmaxCrossEntropy(logits, {0});
+    auto scaled = softmaxCrossEntropy(logits, {0}, 4);
+    EXPECT_NEAR(scaled.loss, full.loss / 4.0, 1e-9);
+    EXPECT_NEAR(scaled.grad_logits.at(0, 0),
+                full.grad_logits.at(0, 0) / 4.0f, 1e-7);
+}
+
+TEST(Loss, RejectsBadLabels)
+{
+    Tensor logits = Tensor::zeros(1, 3);
+    EXPECT_THROW(softmaxCrossEntropy(logits, {3}), InvalidArgument);
+    EXPECT_THROW(softmaxCrossEntropy(logits, {0, 1}),
+                 InvalidArgument);
+}
+
+/** Toy quadratic problem: optimizers must reduce the loss. */
+template <typename MakeOpt>
+double
+optimizeQuadratic(MakeOpt make_opt, int steps)
+{
+    Parameter p("w", 1, 4);
+    for (std::size_t j = 0; j < 4; ++j)
+        p.value().at(0, j) = 2.0f + static_cast<float>(j);
+    auto opt = make_opt(std::vector<Parameter *>{&p});
+    double loss = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        loss = 0.0;
+        for (std::size_t j = 0; j < 4; ++j) {
+            const float w = p.value().at(0, j);
+            loss += 0.5 * w * w;
+            p.grad().at(0, j) += w; // dL/dw = w
+        }
+        opt->step();
+    }
+    return loss;
+}
+
+TEST(Optimizer, SgdConverges)
+{
+    const double final_loss = optimizeQuadratic(
+        [](std::vector<Parameter *> params) {
+            return std::make_unique<Sgd>(std::move(params), 0.1);
+        },
+        100);
+    EXPECT_LT(final_loss, 1e-4);
+}
+
+TEST(Optimizer, SgdMomentumConverges)
+{
+    const double final_loss = optimizeQuadratic(
+        [](std::vector<Parameter *> params) {
+            return std::make_unique<Sgd>(std::move(params), 0.05, 0.9);
+        },
+        120);
+    EXPECT_LT(final_loss, 1e-3);
+}
+
+TEST(Optimizer, AdamConverges)
+{
+    const double final_loss = optimizeQuadratic(
+        [](std::vector<Parameter *> params) {
+            return std::make_unique<Adam>(std::move(params), 0.3);
+        },
+        200);
+    EXPECT_LT(final_loss, 1e-3);
+}
+
+TEST(Optimizer, StepZeroesGradients)
+{
+    Parameter p("w", 1, 1);
+    p.grad().at(0, 0) = 1.0f;
+    Sgd sgd({&p}, 0.1);
+    sgd.step();
+    EXPECT_EQ(p.grad().at(0, 0), 0.0f);
+}
+
+TEST(Optimizer, AdamStateBytesAreDoubleWeights)
+{
+    Parameter p("w", 8, 8);
+    Adam adam({&p}, 1e-3);
+    EXPECT_EQ(adam.stateBytes(), 2 * p.value().bytes());
+}
+
+TEST(Aggregators, FactoryAndNames)
+{
+    util::Rng rng(1);
+    for (auto kind :
+         {AggregatorKind::Mean, AggregatorKind::Pool,
+          AggregatorKind::Lstm, AggregatorKind::Gcn}) {
+        auto agg = makeAggregator(kind, "a", 8, rng);
+        EXPECT_EQ(agg->kind(), kind);
+        EXPECT_EQ(agg->dim(), 8u);
+        EXPECT_EQ(aggregatorFromName(aggregatorName(kind)), kind);
+    }
+    EXPECT_THROW(aggregatorFromName("nope"), InvalidArgument);
+}
+
+TEST(Aggregators, MeanOfIdenticalRowsIsIdentity)
+{
+    util::Rng rng(2);
+    auto agg = makeAggregator(AggregatorKind::Mean, "m", 3, rng);
+    // 2 nodes, degree 2, all neighbor rows equal to (1, 2, 3).
+    Tensor feats = Tensor::zeros(4, 3);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            feats.at(r, c) = static_cast<float>(c + 1);
+    std::unique_ptr<AggregatorCache> cache;
+    Tensor out = agg->forward(feats, 2, 2, cache);
+    EXPECT_NEAR(out.at(0, 0), 1.0f, 1e-6);
+    EXPECT_NEAR(out.at(1, 2), 3.0f, 1e-6);
+}
+
+TEST(Aggregators, GcnUsesSqrtNormalization)
+{
+    util::Rng rng(3);
+    auto agg = makeAggregator(AggregatorKind::Gcn, "g", 2, rng);
+    Tensor feats = Tensor::full(4, 2, 1.0f); // 1 node, degree 4
+    std::unique_ptr<AggregatorCache> cache;
+    Tensor out = agg->forward(feats, 1, 4, cache);
+    EXPECT_NEAR(out.at(0, 0), 4.0f / std::sqrt(4.0f), 1e-5);
+}
+
+TEST(Aggregators, LstmCacheGrowsWithDegree)
+{
+    util::Rng rng(4);
+    auto agg = makeAggregator(AggregatorKind::Lstm, "l", 4, rng);
+    std::unique_ptr<AggregatorCache> small_cache, large_cache;
+    Tensor f2 = Tensor::full(2 * 2, 4, 0.1f);
+    Tensor f8 = Tensor::full(2 * 8, 4, 0.1f);
+    agg->forward(f2, 2, 2, small_cache);
+    agg->forward(f8, 2, 8, large_cache);
+    EXPECT_GT(large_cache->bytes(), small_cache->bytes());
+}
+
+TEST(Aggregators, FlopsMonotonicInWork)
+{
+    util::Rng rng(5);
+    for (auto kind : {AggregatorKind::Mean, AggregatorKind::Pool,
+                      AggregatorKind::Lstm}) {
+        auto agg = makeAggregator(kind, "f", 16, rng);
+        EXPECT_LT(agg->flops(10, 5), agg->flops(20, 5));
+        EXPECT_LT(agg->flops(10, 5), agg->flops(10, 10));
+    }
+}
+
+TEST(Aggregators, RejectsBadShapes)
+{
+    util::Rng rng(6);
+    auto agg = makeAggregator(AggregatorKind::Mean, "m", 4, rng);
+    std::unique_ptr<AggregatorCache> cache;
+    Tensor bad = Tensor::zeros(5, 4); // not n*d rows
+    EXPECT_THROW(agg->forward(bad, 2, 3, cache), InvalidArgument);
+    EXPECT_THROW(agg->forward(bad, 5, 0, cache), InvalidArgument);
+}
+
+/** Tiny 1-layer micro-batch: 2 seeds over 4 srcs. */
+sampling::MicroBatch
+oneLayerBatch()
+{
+    sampling::Block block;
+    block.src_nodes = {0, 1, 2, 3};
+    block.num_dst = 2;
+    block.offsets = {0, 2, 3};
+    block.neighbors = {2, 3, 3};
+    sampling::MicroBatch mb;
+    mb.blocks = {block};
+    mb.validateChain();
+    return mb;
+}
+
+TEST(SageModel, OutputShapeAndDeterminism)
+{
+    ModelConfig config;
+    config.num_layers = 1;
+    config.feature_dim = 4;
+    config.hidden_dim = 8;
+    config.num_classes = 3;
+
+    sampling::MicroBatch mb = oneLayerBatch();
+    util::Rng rng(7);
+    Tensor feats = Tensor::zeros(4, 4);
+    ops::fillUniform(feats, 1.0f, rng);
+
+    SageModel model_a(config, 5);
+    SageModel model_b(config, 5);
+    SageModel::ForwardCache ca, cb;
+    Tensor out_a = model_a.forward(mb, feats, ca);
+    Tensor out_b = model_b.forward(mb, feats, cb);
+    EXPECT_EQ(out_a.rows(), 2u);
+    EXPECT_EQ(out_a.cols(), 3u);
+    EXPECT_LT(ops::maxAbsDiff(out_a, out_b), 1e-9);
+
+    SageModel model_c(config, 6); // different seed -> different weights
+    SageModel::ForwardCache cc;
+    Tensor out_c = model_c.forward(mb, feats, cc);
+    EXPECT_GT(ops::maxAbsDiff(out_a, out_c), 1e-6);
+}
+
+TEST(SageModel, HandlesZeroDegreeDestinations)
+{
+    // One destination with no neighbors at all.
+    sampling::Block block;
+    block.src_nodes = {0, 1, 2};
+    block.num_dst = 2;
+    block.offsets = {0, 0, 2}; // dst 0 has degree 0
+    block.neighbors = {1, 2};
+    sampling::MicroBatch mb;
+    mb.blocks = {block};
+
+    ModelConfig config;
+    config.num_layers = 1;
+    config.feature_dim = 3;
+    config.hidden_dim = 4;
+    config.num_classes = 2;
+
+    util::Rng rng(8);
+    Tensor feats = Tensor::zeros(3, 3);
+    ops::fillUniform(feats, 1.0f, rng);
+    SageModel model(config, 9);
+    SageModel::ForwardCache cache;
+    Tensor out = model.forward(mb, feats, cache);
+    EXPECT_EQ(out.rows(), 2u);
+    // Backward must not crash on the empty bucket.
+    Tensor grad = Tensor::full(2, 2, 0.5f);
+    EXPECT_NO_THROW(model.backward(cache, grad));
+}
+
+TEST(SageModel, ParameterCountMatchesConfig)
+{
+    ModelConfig config;
+    config.aggregator = AggregatorKind::Lstm;
+    config.num_layers = 2;
+    config.feature_dim = 4;
+    config.hidden_dim = 8;
+    config.num_classes = 3;
+    SageModel model(config, 1);
+    // Per layer: LSTM (3 params) + update Linear (2 params).
+    EXPECT_EQ(model.parameters().size(), 2u * (3 + 2));
+}
+
+TEST(GatModel, OutputShapeAndHeads)
+{
+    ModelConfig config;
+    config.num_layers = 2;
+    config.feature_dim = 4;
+    config.hidden_dim = 8;
+    config.num_classes = 4;
+    config.num_heads = 2;
+
+    sampling::Block bottom;
+    bottom.src_nodes = {0, 1, 2, 3};
+    bottom.num_dst = 3;
+    bottom.offsets = {0, 1, 2, 3};
+    bottom.neighbors = {3, 0, 1};
+    sampling::Block top;
+    top.src_nodes = {0, 1, 2};
+    top.num_dst = 2;
+    top.offsets = {0, 1, 2};
+    top.neighbors = {2, 0};
+    sampling::MicroBatch mb;
+    mb.blocks = {bottom, top};
+    mb.validateChain();
+
+    util::Rng rng(10);
+    Tensor feats = Tensor::zeros(4, 4);
+    ops::fillUniform(feats, 1.0f, rng);
+    GatModel model(config, 11);
+    GatModel::ForwardCache cache;
+    Tensor out = model.forward(mb, feats, cache);
+    EXPECT_EQ(out.rows(), 2u);
+    EXPECT_EQ(out.cols(), 4u);
+    // 2 layers x 2 heads x 3 params.
+    EXPECT_EQ(model.parameters().size(), 12u);
+}
+
+TEST(GatModel, AttentionRowsSumToOne)
+{
+    ModelConfig config;
+    config.num_layers = 1;
+    config.feature_dim = 3;
+    config.hidden_dim = 4;
+    config.num_classes = 4;
+
+    sampling::MicroBatch mb = oneLayerBatch();
+    util::Rng rng(12);
+    Tensor feats = Tensor::zeros(4, 3);
+    ops::fillUniform(feats, 1.0f, rng);
+    GatModel model(config, 13);
+    GatModel::ForwardCache cache;
+    model.forward(mb, feats, cache);
+
+    for (const auto &bucket_states : cache.layers[0].head_states) {
+        for (const auto &head : bucket_states) {
+            for (std::size_t r = 0; r < head.alpha.rows(); ++r) {
+                double row_sum = 0.0;
+                for (std::size_t c = 0; c < head.alpha.cols(); ++c)
+                    row_sum += head.alpha.at(r, c);
+                EXPECT_NEAR(row_sum, 1.0, 1e-5);
+            }
+        }
+    }
+}
+
+TEST(ModelConfig, ValidationAndDims)
+{
+    ModelConfig config;
+    config.num_layers = 3;
+    config.feature_dim = 10;
+    config.hidden_dim = 20;
+    config.num_classes = 5;
+    config.validate();
+    EXPECT_EQ(config.layerInDim(0), 10);
+    EXPECT_EQ(config.layerInDim(1), 20);
+    EXPECT_EQ(config.layerOutDim(1), 20);
+    EXPECT_EQ(config.layerOutDim(2), 5);
+
+    config.num_layers = 0;
+    EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+} // namespace
+} // namespace buffalo::nn

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the partitioning substrate: Random/Range balance, the
+ * multilevel MetisLike partitioner's quality and determinism, and the
+ * cut/balance metrics.
+ */
+#include <gtest/gtest.h>
+
+#include "graph/coo.h"
+#include "graph/generators.h"
+#include "partition/metis_like.h"
+#include "partition/partitioner.h"
+#include "util/errors.h"
+
+namespace buffalo::partition {
+namespace {
+
+WeightedGraph
+communityGraph(std::uint64_t seed = 1)
+{
+    util::Rng rng(seed);
+    // Clear community structure: a good partitioner should find it.
+    return WeightedGraph::fromUnweighted(
+        graph::generateCommunityPowerLaw(1200, 40, 0.4, 2, rng));
+}
+
+std::vector<std::uint64_t>
+partWeights(const WeightedGraph &wg, const Assignment &assignment,
+            int parts)
+{
+    std::vector<std::uint64_t> weights(parts, 0);
+    for (NodeId u = 0; u < wg.numNodes(); ++u)
+        weights[assignment[u]] += wg.node_weights[u];
+    return weights;
+}
+
+TEST(WeightedGraph, FromUnweightedUnitWeights)
+{
+    WeightedGraph wg = communityGraph();
+    wg.validate();
+    EXPECT_EQ(wg.totalNodeWeight(), wg.numNodes());
+    for (auto w : wg.edge_weights)
+        EXPECT_EQ(w, 1u);
+}
+
+TEST(Metrics, EdgeCutCountsCrossingsOnce)
+{
+    // Path 0-1-2 (undirected), split {0} | {1,2}: one crossing edge.
+    graph::CooBuilder builder(3);
+    builder.addUndirectedEdge(0, 1);
+    builder.addUndirectedEdge(1, 2);
+    WeightedGraph wg = WeightedGraph::fromUnweighted(builder.toCsr());
+    Assignment assignment = {0, 1, 1};
+    EXPECT_EQ(edgeCutWeight(wg, assignment), 1u);
+    EXPECT_EQ(edgeCutWeight(wg, {0, 0, 0}), 0u);
+}
+
+TEST(Metrics, BalanceFactor)
+{
+    WeightedGraph wg = communityGraph();
+    Assignment all_in_one(wg.numNodes(), 0);
+    EXPECT_NEAR(balanceFactor(wg, all_in_one, 2), 2.0, 1e-9);
+}
+
+TEST(RandomPartitioner, EvenSizes)
+{
+    WeightedGraph wg = communityGraph();
+    RandomPartitioner random(7);
+    Assignment assignment = random.partition(wg, 4);
+    auto weights = partWeights(wg, assignment, 4);
+    for (auto w : weights)
+        EXPECT_NEAR(static_cast<double>(w), wg.numNodes() / 4.0,
+                    1.0);
+}
+
+TEST(RandomPartitioner, DifferentSeedsDiffer)
+{
+    WeightedGraph wg = communityGraph();
+    RandomPartitioner a(1), b(2);
+    EXPECT_NE(a.partition(wg, 4), b.partition(wg, 4));
+}
+
+TEST(RangePartitioner, ContiguousChunks)
+{
+    WeightedGraph wg = communityGraph();
+    RangePartitioner range;
+    Assignment assignment = range.partition(wg, 3);
+    // Non-decreasing part ids over the index space.
+    for (NodeId u = 1; u < wg.numNodes(); ++u)
+        EXPECT_LE(assignment[u - 1], assignment[u]);
+    auto weights = partWeights(wg, assignment, 3);
+    EXPECT_GT(weights[0], 0u);
+    EXPECT_GT(weights[2], 0u);
+}
+
+TEST(MetisLike, BeatsRandomOnCut)
+{
+    WeightedGraph wg = communityGraph();
+    MetisLike metis;
+    RandomPartitioner random(3);
+
+    Assignment metis_assignment = metis.partition(wg, 4);
+    Assignment random_assignment = random.partition(wg, 4);
+    const auto metis_cut = edgeCutWeight(wg, metis_assignment);
+    const auto random_cut = edgeCutWeight(wg, random_assignment);
+    // Multilevel partitioning must find the community structure:
+    // demand at least a 2x cut improvement over random.
+    EXPECT_LT(metis_cut * 2, random_cut);
+}
+
+TEST(MetisLike, RespectsBalance)
+{
+    WeightedGraph wg = communityGraph(5);
+    MetisLikeOptions options;
+    options.balance_factor = 1.10;
+    MetisLike metis(options);
+    Assignment assignment = metis.partition(wg, 4);
+    EXPECT_LT(balanceFactor(wg, assignment, 4), 1.25);
+    EXPECT_EQ(metis.lastStats().balance,
+              balanceFactor(wg, assignment, 4));
+}
+
+TEST(MetisLike, DeterministicForSeed)
+{
+    WeightedGraph wg = communityGraph(9);
+    MetisLikeOptions options;
+    options.seed = 42;
+    MetisLike a(options), b(options);
+    EXPECT_EQ(a.partition(wg, 3), b.partition(wg, 3));
+}
+
+TEST(MetisLike, SinglePartTrivial)
+{
+    WeightedGraph wg = communityGraph(11);
+    MetisLike metis;
+    Assignment assignment = metis.partition(wg, 1);
+    for (int part : assignment)
+        EXPECT_EQ(part, 0);
+    EXPECT_EQ(metis.lastStats().edge_cut, 0u);
+}
+
+TEST(MetisLike, EmptyGraph)
+{
+    WeightedGraph wg =
+        WeightedGraph::fromUnweighted(graph::CsrGraph());
+    MetisLike metis;
+    EXPECT_TRUE(metis.partition(wg, 4).empty());
+}
+
+TEST(MetisLike, UsesMultipleLevels)
+{
+    WeightedGraph wg = communityGraph(13);
+    MetisLike metis;
+    metis.partition(wg, 2);
+    EXPECT_GE(metis.lastStats().levels, 2);
+}
+
+TEST(MetisLike, HonorsEdgeWeights)
+{
+    // Two triangles joined by a heavy edge vs. light edges: the cut
+    // should avoid the heavy edge.
+    graph::CooBuilder builder(6);
+    builder.addUndirectedEdge(0, 1);
+    builder.addUndirectedEdge(1, 2);
+    builder.addUndirectedEdge(0, 2);
+    builder.addUndirectedEdge(3, 4);
+    builder.addUndirectedEdge(4, 5);
+    builder.addUndirectedEdge(3, 5);
+    builder.addUndirectedEdge(2, 3); // bridge
+    WeightedGraph wg = WeightedGraph::fromUnweighted(builder.toCsr());
+
+    MetisLikeOptions options;
+    options.coarsen_target = 6; // no coarsening on 6 nodes
+    MetisLike metis(options);
+    Assignment assignment = metis.partition(wg, 2);
+    // The bridge should be the only cut edge.
+    EXPECT_EQ(edgeCutWeight(wg, assignment), 1u);
+    EXPECT_EQ(assignment[0], assignment[1]);
+    EXPECT_EQ(assignment[1], assignment[2]);
+    EXPECT_EQ(assignment[3], assignment[4]);
+    EXPECT_NE(assignment[0], assignment[3]);
+}
+
+TEST(Partitioners, RejectBadPartCounts)
+{
+    WeightedGraph wg = communityGraph(15);
+    RandomPartitioner random(1);
+    RangePartitioner range;
+    MetisLike metis;
+    EXPECT_THROW(random.partition(wg, 0), InvalidArgument);
+    EXPECT_THROW(range.partition(wg, 0), InvalidArgument);
+    EXPECT_THROW(metis.partition(wg, 0), InvalidArgument);
+}
+
+} // namespace
+} // namespace buffalo::partition

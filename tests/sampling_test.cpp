@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Tests for the sampling substrate: neighbor sampler invariants, block
+ * chain validity, and fast-vs-baseline block generator equivalence.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/generators.h"
+#include "sampling/block_generator.h"
+#include "sampling/sampled_subgraph.h"
+#include "util/errors.h"
+
+namespace buffalo::sampling {
+namespace {
+
+CsrGraph
+testGraph(std::uint64_t seed = 1, NodeId nodes = 600)
+{
+    util::Rng rng(seed);
+    return graph::generateBarabasiAlbert(nodes, 4, rng);
+}
+
+NodeList
+firstSeeds(NodeId count)
+{
+    NodeList seeds(count);
+    for (NodeId i = 0; i < count; ++i)
+        seeds[i] = i * 3; // spread out
+    return seeds;
+}
+
+TEST(NeighborSampler, SeedsGetPrefixLocalIds)
+{
+    CsrGraph g = testGraph();
+    util::Rng rng(2);
+    NeighborSampler sampler({5, 5});
+    NodeList seeds = firstSeeds(20);
+    SampledSubgraph sg = sampler.sample(g, seeds, rng);
+
+    EXPECT_EQ(sg.numSeeds(), 20u);
+    for (NodeId i = 0; i < 20; ++i) {
+        EXPECT_EQ(sg.globalId(i), seeds[i]);
+        EXPECT_EQ(sg.localId(seeds[i]), i);
+    }
+}
+
+TEST(NeighborSampler, FanoutCapsDegrees)
+{
+    CsrGraph g = testGraph();
+    util::Rng rng(3);
+    NeighborSampler sampler({3, 7});
+    SampledSubgraph sg = sampler.sample(g, firstSeeds(30), rng);
+
+    ASSERT_EQ(sg.numLayers(), 2);
+    const CsrGraph &top = sg.layerAdjacency(1);
+    const CsrGraph &bottom = sg.layerAdjacency(0);
+    for (NodeId u = 0; u < top.numNodes(); ++u) {
+        EXPECT_LE(top.degree(u), 7u);
+        EXPECT_LE(bottom.degree(u), 3u);
+    }
+}
+
+TEST(NeighborSampler, SampledNeighborsAreRealNeighbors)
+{
+    CsrGraph g = testGraph();
+    util::Rng rng(4);
+    NeighborSampler sampler({4, 4});
+    SampledSubgraph sg = sampler.sample(g, firstSeeds(15), rng);
+
+    for (int layer = 0; layer < sg.numLayers(); ++layer) {
+        const CsrGraph &adj = sg.layerAdjacency(layer);
+        for (NodeId u = 0; u < adj.numNodes(); ++u) {
+            for (NodeId v_local : adj.neighbors(u)) {
+                EXPECT_TRUE(g.hasEdge(sg.globalId(u),
+                                      sg.globalId(v_local)));
+            }
+        }
+    }
+}
+
+TEST(NeighborSampler, NoSamplingWhenDegreeBelowFanout)
+{
+    CsrGraph g = testGraph();
+    util::Rng rng(5);
+    NeighborSampler sampler({1000, 1000});
+    SampledSubgraph sg = sampler.sample(g, firstSeeds(5), rng);
+    // With fanout over the max degree, every neighbor is kept.
+    const CsrGraph &top = sg.layerAdjacency(1);
+    for (NodeId i = 0; i < sg.numSeeds(); ++i)
+        EXPECT_EQ(top.degree(i), g.degree(sg.globalId(i)));
+}
+
+TEST(NeighborSampler, RejectsDuplicateSeeds)
+{
+    CsrGraph g = testGraph();
+    util::Rng rng(6);
+    NeighborSampler sampler({3});
+    EXPECT_THROW(sampler.sample(g, {1, 1}, rng), InvalidArgument);
+}
+
+TEST(NeighborSampler, RejectsBadFanouts)
+{
+    EXPECT_THROW(NeighborSampler({}), InvalidArgument);
+    EXPECT_THROW(NeighborSampler({0}), InvalidArgument);
+}
+
+TEST(NeighborSampler, LocalIdThrowsForAbsentNode)
+{
+    CsrGraph g = testGraph();
+    util::Rng rng(7);
+    NeighborSampler sampler({2});
+    SampledSubgraph sg = sampler.sample(g, {0}, rng);
+    EXPECT_THROW(sg.localId(599), NotFound);
+}
+
+/** Shared fixture: one sampled batch + both generators. */
+class BlockGeneration : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        graph_ = testGraph(11, 800);
+        util::Rng rng(12);
+        NeighborSampler sampler({4, 8});
+        sg_ = std::make_unique<SampledSubgraph>(
+            sampler.sample(graph_, firstSeeds(40), rng));
+    }
+
+    CsrGraph graph_;
+    std::unique_ptr<SampledSubgraph> sg_;
+};
+
+TEST_F(BlockGeneration, FastChainIsValid)
+{
+    FastBlockGenerator fast;
+    NodeList outputs = {0, 1, 2, 3, 4};
+    MicroBatch mb = fast.generate(*sg_, outputs);
+    ASSERT_EQ(mb.numLayers(), 2);
+    mb.validateChain();
+    // Output nodes are the requested seeds (as global ids).
+    NodeList expected;
+    for (NodeId local : outputs)
+        expected.push_back(sg_->globalId(local));
+    EXPECT_EQ(mb.outputNodes(), expected);
+}
+
+TEST_F(BlockGeneration, FastAndBaselineAgree)
+{
+    FastBlockGenerator fast;
+    BaselineBlockGenerator baseline;
+    NodeList outputs = {0, 5, 10, 15, 20, 25};
+    MicroBatch a = fast.generate(*sg_, outputs);
+    MicroBatch b = baseline.generate(*sg_, outputs);
+    b.validateChain();
+
+    ASSERT_EQ(a.numLayers(), b.numLayers());
+    for (int layer = 0; layer < a.numLayers(); ++layer) {
+        const Block &fa = a.blocks[layer];
+        const Block &fb = b.blocks[layer];
+        ASSERT_EQ(fa.numDst(), fb.numDst());
+        EXPECT_EQ(fa.numEdges(), fb.numEdges());
+        // The generators may order appended sources differently, so
+        // align destinations by *global id*: each destination must see
+        // the same neighbor set under both strategies.
+        auto rows_by_global = [](const Block &block) {
+            std::map<NodeId, std::multiset<NodeId>> rows;
+            for (NodeId dst = 0; dst < block.numDst(); ++dst) {
+                auto &row = rows[block.dstGlobal(dst)];
+                for (NodeId local : block.neighborList(dst))
+                    row.insert(block.src_nodes[local]);
+            }
+            return rows;
+        };
+        EXPECT_EQ(rows_by_global(fa), rows_by_global(fb))
+            << "layer " << layer;
+        // Same input node sets.
+        std::set<NodeId> ia(fa.src_nodes.begin(), fa.src_nodes.end());
+        std::set<NodeId> ib(fb.src_nodes.begin(), fb.src_nodes.end());
+        EXPECT_EQ(ia, ib);
+    }
+}
+
+TEST_F(BlockGeneration, SubsetBlocksAreSmaller)
+{
+    FastBlockGenerator fast;
+    NodeList all(sg_->numSeeds());
+    for (NodeId i = 0; i < sg_->numSeeds(); ++i)
+        all[i] = i;
+    MicroBatch whole = fast.generate(*sg_, all);
+    MicroBatch half =
+        fast.generate(*sg_, NodeList(all.begin(),
+                                     all.begin() + all.size() / 2));
+    EXPECT_LT(half.inputNodes().size(), whole.inputNodes().size());
+    EXPECT_LT(half.structureBytes(), whole.structureBytes());
+}
+
+TEST_F(BlockGeneration, RejectsNonSeedOutputs)
+{
+    FastBlockGenerator fast;
+    EXPECT_THROW(fast.generate(*sg_, {sg_->numSeeds()}),
+                 InvalidArgument);
+}
+
+TEST_F(BlockGeneration, PhaseTimerReceivesBothPhases)
+{
+    FastBlockGenerator fast;
+    util::PhaseTimer timer;
+    fast.generate(*sg_, {0, 1, 2}, &timer);
+    EXPECT_GE(timer.get(kPhaseConnectionCheck), 0.0);
+    EXPECT_GE(timer.get(kPhaseBlockConstruction), 0.0);
+    EXPECT_EQ(timer.phases().size(), 2u);
+}
+
+TEST_F(BlockGeneration, ParallelPoolMatchesSerial)
+{
+    // A multi-worker pool must produce exactly the serial result
+    // (the parallel path only computes per-destination degrees).
+    util::ThreadPool pool(4);
+    FastBlockGenerator parallel_gen(&pool);
+    FastBlockGenerator serial_gen;
+    NodeList all(sg_->numSeeds());
+    for (NodeId i = 0; i < sg_->numSeeds(); ++i)
+        all[i] = i;
+    MicroBatch a = parallel_gen.generate(*sg_, all);
+    MicroBatch b = serial_gen.generate(*sg_, all);
+    ASSERT_EQ(a.numLayers(), b.numLayers());
+    for (int layer = 0; layer < a.numLayers(); ++layer) {
+        EXPECT_EQ(a.blocks[layer].src_nodes,
+                  b.blocks[layer].src_nodes);
+        EXPECT_EQ(a.blocks[layer].offsets, b.blocks[layer].offsets);
+        EXPECT_EQ(a.blocks[layer].neighbors,
+                  b.blocks[layer].neighbors);
+    }
+}
+
+TEST_F(BlockGeneration, DstPrefixInvariant)
+{
+    FastBlockGenerator fast;
+    MicroBatch mb = fast.generate(*sg_, {3, 7, 9});
+    for (const Block &block : mb.blocks) {
+        // Destinations must be the prefix of sources.
+        for (NodeId dst = 0; dst < block.numDst(); ++dst)
+            EXPECT_EQ(block.dstGlobal(dst), block.src_nodes[dst]);
+    }
+}
+
+TEST(Block, ValidateCatchesCorruption)
+{
+    Block block;
+    block.src_nodes = {10, 20};
+    block.num_dst = 1;
+    block.offsets = {0, 1};
+    block.neighbors = {5}; // out of range (only 2 srcs)
+    EXPECT_THROW(block.validate(), InternalError);
+    block.neighbors = {1};
+    EXPECT_NO_THROW(block.validate());
+}
+
+TEST(MicroBatch, ValidateChainCatchesMismatch)
+{
+    Block bottom;
+    bottom.src_nodes = {1, 2, 3};
+    bottom.num_dst = 2;
+    bottom.offsets = {0, 1, 1};
+    bottom.neighbors = {2};
+
+    Block top;
+    top.src_nodes = {1, 9}; // 9 != 2: chain broken
+    top.num_dst = 1;
+    top.offsets = {0, 1};
+    top.neighbors = {1};
+
+    MicroBatch mb;
+    mb.blocks = {bottom, top};
+    EXPECT_THROW(mb.validateChain(), InternalError);
+}
+
+} // namespace
+} // namespace buffalo::sampling

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the tensor substrate: shapes, storage sharing, allocation
+ * observation, and kernel correctness against hand computations.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace buffalo::tensor {
+namespace {
+
+/** Counts allocation traffic; refuses past a limit when set. */
+class CountingObserver : public AllocationObserver
+{
+  public:
+    void
+    onAllocate(std::uint64_t bytes) override
+    {
+        if (limit > 0 && live + bytes > limit)
+            throw Error("refused");
+        live += bytes;
+        allocated += bytes;
+        peak = std::max(peak, live);
+    }
+
+    void
+    onFree(std::uint64_t bytes) override
+    {
+        freed += bytes;
+        live -= bytes;
+    }
+
+    std::uint64_t allocated = 0;
+    std::uint64_t freed = 0;
+    std::uint64_t live = 0;
+    std::uint64_t peak = 0;
+    std::uint64_t limit = 0;
+};
+
+TEST(Tensor, ZerosShapeAndContent)
+{
+    Tensor t = Tensor::zeros(3, 4);
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 4u);
+    EXPECT_EQ(t.size(), 12u);
+    EXPECT_EQ(t.bytes(), 48u);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(Tensor, CopiesShareStorageCloneDoesNot)
+{
+    Tensor a = Tensor::full(2, 2, 1.0f);
+    Tensor b = a;
+    EXPECT_TRUE(a.sharesStorageWith(b));
+    b.at(0, 0) = 5.0f;
+    EXPECT_EQ(a.at(0, 0), 5.0f);
+
+    Tensor c = a.clone();
+    EXPECT_FALSE(a.sharesStorageWith(c));
+    c.at(0, 0) = 9.0f;
+    EXPECT_EQ(a.at(0, 0), 5.0f);
+}
+
+TEST(Tensor, ObserverSeesLifetimes)
+{
+    CountingObserver obs;
+    {
+        Tensor a = Tensor::zeros(10, 10, &obs);
+        EXPECT_EQ(obs.live, 400u);
+        Tensor b = a; // shared storage: no new allocation
+        EXPECT_EQ(obs.allocated, 400u);
+    }
+    EXPECT_EQ(obs.live, 0u);
+    EXPECT_EQ(obs.freed, 400u);
+}
+
+TEST(Tensor, ObserverRefusalPreventsAllocation)
+{
+    CountingObserver obs;
+    obs.limit = 100;
+    EXPECT_THROW(Tensor::zeros(10, 10, &obs), Error);
+    EXPECT_EQ(obs.live, 0u);
+}
+
+TEST(Tensor, FromValuesChecksArity)
+{
+    EXPECT_THROW(Tensor::fromValues(2, 2, {1.0f}), InvalidArgument);
+    Tensor t = Tensor::fromValues(2, 2, {1, 2, 3, 4});
+    EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(Ops, MatmulMatchesHand)
+{
+    Tensor a = Tensor::fromValues(2, 3, {1, 2, 3, 4, 5, 6});
+    Tensor b = Tensor::fromValues(3, 2, {7, 8, 9, 10, 11, 12});
+    Tensor c = matmul(a, b);
+    EXPECT_EQ(c.at(0, 0), 58.0f);
+    EXPECT_EQ(c.at(0, 1), 64.0f);
+    EXPECT_EQ(c.at(1, 0), 139.0f);
+    EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(Ops, TransposedMatmulsAgreeWithExplicit)
+{
+    util::Rng rng(1);
+    Tensor a = Tensor::zeros(4, 3);
+    Tensor b = Tensor::zeros(4, 5);
+    fillUniform(a, 1.0f, rng);
+    fillUniform(b, 1.0f, rng);
+
+    // a^T b via explicit transpose.
+    Tensor at = Tensor::zeros(3, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            at.at(j, i) = a.at(i, j);
+    EXPECT_LT(maxAbsDiff(matmulTransposeA(a, b), matmul(at, b)), 1e-5);
+
+    Tensor c = Tensor::zeros(5, 3);
+    fillUniform(c, 1.0f, rng);
+    Tensor ct = Tensor::zeros(3, 5);
+    for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            ct.at(j, i) = c.at(i, j);
+    EXPECT_LT(maxAbsDiff(matmulTransposeB(a.clone(), c), matmul(a, ct)),
+              1e-5);
+}
+
+TEST(Ops, MatmulRejectsShapeMismatch)
+{
+    Tensor a = Tensor::zeros(2, 3);
+    Tensor b = Tensor::zeros(2, 3);
+    EXPECT_THROW(matmul(a, b), InvalidArgument);
+}
+
+TEST(Ops, ElementwiseAndScale)
+{
+    Tensor a = Tensor::fromValues(1, 3, {1, 2, 3});
+    Tensor b = Tensor::fromValues(1, 3, {4, 5, 6});
+    EXPECT_EQ(add(a, b).at(0, 2), 9.0f);
+    EXPECT_EQ(subtract(b, a).at(0, 0), 3.0f);
+    EXPECT_EQ(multiply(a, b).at(0, 1), 10.0f);
+    EXPECT_EQ(scale(a, 2.0f).at(0, 2), 6.0f);
+    addInPlace(a, b);
+    EXPECT_EQ(a.at(0, 0), 5.0f);
+    scaleInPlace(a, 0.0f);
+    EXPECT_EQ(sum(a), 0.0);
+}
+
+TEST(Ops, ReluForwardBackward)
+{
+    Tensor x = Tensor::fromValues(1, 4, {-1, 0, 2, -3});
+    Tensor y = relu(x);
+    EXPECT_EQ(y.at(0, 0), 0.0f);
+    EXPECT_EQ(y.at(0, 2), 2.0f);
+    Tensor grad = Tensor::full(1, 4, 1.0f);
+    Tensor gx = reluBackward(grad, x);
+    EXPECT_EQ(gx.at(0, 0), 0.0f);
+    EXPECT_EQ(gx.at(0, 2), 1.0f);
+}
+
+TEST(Ops, SigmoidTanhRanges)
+{
+    Tensor x = Tensor::fromValues(1, 3, {-10, 0, 10});
+    Tensor s = sigmoid(x);
+    EXPECT_NEAR(s.at(0, 0), 0.0f, 1e-4);
+    EXPECT_NEAR(s.at(0, 1), 0.5f, 1e-6);
+    EXPECT_NEAR(s.at(0, 2), 1.0f, 1e-4);
+    Tensor t = tanh(x);
+    EXPECT_NEAR(t.at(0, 0), -1.0f, 1e-4);
+    EXPECT_NEAR(t.at(0, 1), 0.0f, 1e-6);
+}
+
+TEST(Ops, ConcatAndSliceRoundTrip)
+{
+    Tensor a = Tensor::fromValues(2, 2, {1, 2, 3, 4});
+    Tensor b = Tensor::fromValues(2, 1, {5, 6});
+    Tensor c = concatColumns(a, b);
+    ASSERT_EQ(c.cols(), 3u);
+    EXPECT_EQ(c.at(0, 2), 5.0f);
+    EXPECT_EQ(c.at(1, 2), 6.0f);
+    Tensor back = sliceColumns(c, 0, 2);
+    EXPECT_LT(maxAbsDiff(back, a), 1e-9);
+}
+
+TEST(Ops, GatherScatterRoundTrip)
+{
+    Tensor a = Tensor::fromValues(3, 2, {1, 2, 3, 4, 5, 6});
+    Tensor g = gatherRows(a, {2, 0});
+    EXPECT_EQ(g.at(0, 0), 5.0f);
+    EXPECT_EQ(g.at(1, 1), 2.0f);
+
+    Tensor out = Tensor::zeros(3, 2);
+    scatterAddRows(out, g, {2, 0});
+    EXPECT_LT(maxAbsDiff(
+                  out, Tensor::fromValues(3, 2, {1, 2, 0, 0, 5, 6})),
+              1e-9);
+}
+
+TEST(Ops, GatherRejectsOutOfRange)
+{
+    Tensor a = Tensor::zeros(2, 2);
+    EXPECT_THROW(gatherRows(a, {5}), InvalidArgument);
+}
+
+TEST(Ops, RowBroadcastAndColumnSum)
+{
+    Tensor a = Tensor::fromValues(2, 2, {1, 2, 3, 4});
+    Tensor bias = Tensor::fromValues(1, 2, {10, 20});
+    Tensor c = addRowBroadcast(a, bias);
+    EXPECT_EQ(c.at(1, 1), 24.0f);
+    Tensor s = columnSum(a);
+    EXPECT_EQ(s.at(0, 0), 4.0f);
+    EXPECT_EQ(s.at(0, 1), 6.0f);
+}
+
+TEST(Ops, XavierInitBounded)
+{
+    util::Rng rng(2);
+    Tensor w = Tensor::zeros(64, 64);
+    fillXavier(w, rng);
+    const float bound = std::sqrt(6.0f / 128.0f);
+    double sum_abs = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+        ASSERT_LE(std::abs(w.data()[i]), bound + 1e-6);
+        sum_abs += std::abs(w.data()[i]);
+    }
+    EXPECT_GT(sum_abs, 0.0);
+}
+
+TEST(Ops, Norms)
+{
+    Tensor a = Tensor::fromValues(1, 2, {3, 4});
+    EXPECT_DOUBLE_EQ(frobeniusNorm(a), 5.0);
+    Tensor b = Tensor::fromValues(1, 2, {3, 5});
+    EXPECT_DOUBLE_EQ(maxAbsDiff(a, b), 1.0);
+}
+
+} // namespace
+} // namespace buffalo::tensor

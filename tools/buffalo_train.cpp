@@ -1,0 +1,273 @@
+/**
+ * @file
+ * buffalo_train — command-line training driver.
+ *
+ * Train a GNN on a built-in simulated dataset, a custom edge list, or
+ * a saved dataset bundle, under a GPU memory budget, and optionally
+ * checkpoint the resulting model:
+ *
+ *   buffalo_train --dataset arxiv --model sage --aggregator lstm \
+ *                 --budget-mb 64 --epochs 4 --batch-size 256 \
+ *                 --save-checkpoint model.ckpt
+ *
+ *   buffalo_train --edge-list graph.txt --classes 8 --feature-dim 64 \
+ *                 --model gcn --budget-mb 32
+ *
+ * Run with --help for the full flag list.
+ */
+#include <cstdio>
+#include <set>
+
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "nn/checkpoint.h"
+#include "train/evaluator.h"
+#include "train/experiment.h"
+#include "train/trainer.h"
+#include "util/flags.h"
+#include "util/format.h"
+#include "util/logging.h"
+
+using namespace buffalo;
+
+namespace {
+
+const char *const kUsage = R"(buffalo_train — Buffalo GNN training CLI
+
+input (pick one):
+  --dataset NAME        built-in sim: cora, pubmed, reddit, arxiv,
+                        products, papers           [default: arxiv]
+  --edge-list PATH      text edge list ("src dst" per line)
+  --bundle PATH         dataset bundle from --save-bundle
+dataset options:
+  --scale X             node-count scale of the built-in sim [0.25]
+  --classes N           label classes for --edge-list        [8]
+  --feature-dim N       feature width for --edge-list        [64]
+model:
+  --model NAME          sage | gcn | gat                     [sage]
+  --aggregator NAME     mean | pool | lstm | gcn (sage only) [mean]
+  --layers N            aggregation depth                    [2]
+  --hidden N            hidden width                         [32]
+  --heads N             attention heads (gat)                [1]
+  --fanouts A,B,...     per-layer fanouts, input-most first  [10,25]
+training:
+  --budget-mb N         simulated GPU memory budget          [64]
+  --epochs N            training epochs                      [4]
+  --batch-size N        seeds per batch                      [256]
+  --lr X                learning rate                        [5e-3]
+  --seed N              RNG seed                             [42]
+  --system NAME         buffalo | whole | betty              [buffalo]
+  --betty-k N           Betty micro-batch count              [4]
+  --cost-model          analytic execution (no numeric math)
+output:
+  --save-checkpoint P   write model parameters after training
+  --load-checkpoint P   initialize model parameters from P
+  --save-bundle P       write the dataset as a reloadable bundle
+  --eval                report held-out accuracy after training
+  --verbose             info-level logging
+  --help                this text
+)";
+
+graph::Dataset
+loadInput(const util::Flags &flags)
+{
+    if (flags.has("edge-list")) {
+        graph::CsrGraph g = graph::readEdgeListFile(
+            flags.getString("edge-list"));
+        const int classes =
+            static_cast<int>(flags.getInt("classes", 8));
+        // Structure-correlated labels via id buckets (users with real
+        // labels should build a bundle via the library API instead).
+        std::vector<std::int32_t> labels(g.numNodes());
+        for (graph::NodeId u = 0; u < g.numNodes(); ++u)
+            labels[u] = static_cast<std::int32_t>(
+                static_cast<std::uint64_t>(u) * classes /
+                std::max<graph::NodeId>(g.numNodes(), 1));
+        util::Rng rng(flags.getInt("seed", 42));
+        const double coefficient =
+            graph::sampledClusteringCoefficient(g, 400, rng);
+        return graph::makeDataset(
+            flags.getString("edge-list"), std::move(g),
+            std::move(labels), classes,
+            static_cast<int>(flags.getInt("feature-dim", 64)),
+            coefficient,
+            static_cast<std::uint64_t>(flags.getInt("seed", 42)));
+    }
+    if (flags.has("bundle"))
+        return graph::loadDatasetBundleFile(flags.getString("bundle"));
+
+    const std::string name = flags.getString("dataset", "arxiv");
+    const std::map<std::string, graph::DatasetId> by_name = {
+        {"cora", graph::DatasetId::Cora},
+        {"pubmed", graph::DatasetId::Pubmed},
+        {"reddit", graph::DatasetId::Reddit},
+        {"arxiv", graph::DatasetId::Arxiv},
+        {"products", graph::DatasetId::Products},
+        {"papers", graph::DatasetId::Papers},
+    };
+    auto it = by_name.find(name);
+    if (it == by_name.end())
+        throw InvalidArgument("unknown --dataset '" + name + "'");
+    return graph::loadDataset(
+        it->second, static_cast<std::uint64_t>(flags.getInt("seed", 42)),
+        flags.getDouble("scale", 0.25));
+}
+
+std::vector<int>
+parseFanouts(const std::string &text)
+{
+    std::vector<int> fanouts;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const auto comma = text.find(',', begin);
+        const std::string item =
+            text.substr(begin, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - begin);
+        checkArgument(!item.empty(), "bad --fanouts entry");
+        fanouts.push_back(std::stoi(item));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return fanouts;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        util::Flags flags(argc, argv);
+        if (flags.has("help")) {
+            std::fputs(kUsage, stdout);
+            return 0;
+        }
+        flags.checkKnown({
+            "dataset", "edge-list", "bundle", "scale", "classes",
+            "feature-dim", "model", "aggregator", "layers", "hidden",
+            "heads", "fanouts", "budget-mb", "epochs", "batch-size",
+            "lr", "seed", "system", "betty-k", "cost-model",
+            "save-checkpoint", "load-checkpoint", "save-bundle",
+            "eval", "verbose", "help",
+        });
+        if (flags.getBool("verbose"))
+            util::setLogLevel(util::LogLevel::Info);
+
+        graph::Dataset data = loadInput(flags);
+        std::printf("dataset %s: %u nodes, %llu edges, %d classes\n",
+                    data.name().c_str(), data.graph().numNodes(),
+                    static_cast<unsigned long long>(
+                        data.graph().numEdges()),
+                    data.numClasses());
+        if (flags.has("save-bundle")) {
+            graph::saveDatasetFile(flags.getString("save-bundle"),
+                                   data);
+            std::printf("bundle written to %s\n",
+                        flags.getString("save-bundle").c_str());
+        }
+
+        train::TrainerOptions options;
+        const std::string model = flags.getString("model", "sage");
+        if (model == "sage")
+            options.model_kind = train::ModelKind::Sage;
+        else if (model == "gcn")
+            options.model_kind = train::ModelKind::Gcn;
+        else if (model == "gat")
+            options.model_kind = train::ModelKind::Gat;
+        else
+            throw InvalidArgument("unknown --model '" + model + "'");
+
+        options.model.aggregator = nn::aggregatorFromName(
+            flags.getString("aggregator", "mean"));
+        options.model.num_layers =
+            static_cast<int>(flags.getInt("layers", 2));
+        options.model.feature_dim = data.featureDim();
+        options.model.hidden_dim =
+            static_cast<int>(flags.getInt("hidden", 32));
+        options.model.num_classes = data.numClasses();
+        options.model.num_heads =
+            static_cast<int>(flags.getInt("heads", 1));
+        options.fanouts =
+            parseFanouts(flags.getString("fanouts", "10,25"));
+        checkArgument(options.fanouts.size() ==
+                          static_cast<std::size_t>(
+                              options.model.num_layers),
+                      "--fanouts must list one value per layer");
+        options.learning_rate = flags.getDouble("lr", 5e-3);
+        options.seed =
+            static_cast<std::uint64_t>(flags.getInt("seed", 42));
+        options.mode = flags.getBool("cost-model")
+                           ? train::ExecutionMode::CostModel
+                           : train::ExecutionMode::Numeric;
+
+        device::Device gpu(
+            "gpu:0", util::mib(static_cast<double>(
+                         flags.getInt("budget-mb", 64))));
+
+        std::unique_ptr<train::TrainerBase> trainer;
+        const std::string system =
+            flags.getString("system", "buffalo");
+        if (system == "buffalo") {
+            trainer =
+                std::make_unique<train::BuffaloTrainer>(options, gpu);
+        } else if (system == "whole") {
+            trainer = std::make_unique<train::WholeBatchTrainer>(
+                options, gpu);
+        } else if (system == "betty") {
+            trainer = std::make_unique<train::BettyTrainer>(
+                options, gpu,
+                static_cast<int>(flags.getInt("betty-k", 4)));
+        } else {
+            throw InvalidArgument("unknown --system '" + system + "'");
+        }
+
+        if (flags.has("load-checkpoint")) {
+            nn::loadCheckpointFile(flags.getString("load-checkpoint"),
+                                   trainer->model().module());
+            std::printf("checkpoint loaded from %s\n",
+                        flags.getString("load-checkpoint").c_str());
+        }
+
+        util::Rng rng(options.seed ^ 0x7EA);
+        const int epochs =
+            static_cast<int>(flags.getInt("epochs", 4));
+        const std::size_t batch_size = static_cast<std::size_t>(
+            flags.getInt("batch-size", 256));
+        auto curve = train::runTraining(*trainer, data, epochs,
+                                        batch_size, rng);
+        for (std::size_t epoch = 0; epoch < curve.size(); ++epoch) {
+            std::printf("epoch %zu: loss %.4f acc %.3f (%s)\n", epoch,
+                        curve[epoch].mean_loss, curve[epoch].accuracy,
+                        util::formatSeconds(
+                            curve[epoch].epoch_seconds)
+                            .c_str());
+        }
+        std::printf("peak device memory: %s of %s\n",
+                    util::formatBytes(gpu.allocator().peakBytes())
+                        .c_str(),
+                    util::formatBytes(gpu.allocator().capacity())
+                        .c_str());
+
+        if (flags.getBool("eval") &&
+            options.mode == train::ExecutionMode::Numeric) {
+            auto stats =
+                train::evaluate(*trainer, data, data.trainNodes(), rng);
+            std::printf("eval: loss %.4f accuracy %.3f over %zu nodes "
+                        "(%d micro-batches)\n",
+                        stats.loss, stats.accuracy, stats.nodes,
+                        stats.micro_batches);
+        }
+        if (flags.has("save-checkpoint")) {
+            nn::saveCheckpointFile(flags.getString("save-checkpoint"),
+                                   trainer->model().module());
+            std::printf("checkpoint written to %s\n",
+                        flags.getString("save-checkpoint").c_str());
+        }
+        return 0;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
