@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_memory_wall.dir/bench_fig02_memory_wall.cpp.o"
+  "CMakeFiles/bench_fig02_memory_wall.dir/bench_fig02_memory_wall.cpp.o.d"
+  "bench_fig02_memory_wall"
+  "bench_fig02_memory_wall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_memory_wall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_bucket_explosion.dir/bench_fig04_bucket_explosion.cpp.o"
+  "CMakeFiles/bench_fig04_bucket_explosion.dir/bench_fig04_bucket_explosion.cpp.o.d"
+  "bench_fig04_bucket_explosion"
+  "bench_fig04_bucket_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_bucket_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_blockgen.dir/bench_fig12_blockgen.cpp.o"
+  "CMakeFiles/bench_fig12_blockgen.dir/bench_fig12_blockgen.cpp.o.d"
+  "bench_fig12_blockgen"
+  "bench_fig12_blockgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_blockgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

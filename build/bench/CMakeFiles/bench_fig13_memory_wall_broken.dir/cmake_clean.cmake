@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_memory_wall_broken.dir/bench_fig13_memory_wall_broken.cpp.o"
+  "CMakeFiles/bench_fig13_memory_wall_broken.dir/bench_fig13_memory_wall_broken.cpp.o.d"
+  "bench_fig13_memory_wall_broken"
+  "bench_fig13_memory_wall_broken.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_memory_wall_broken.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_memory_wall_broken.
+# This may be replaced when dependencies are built.

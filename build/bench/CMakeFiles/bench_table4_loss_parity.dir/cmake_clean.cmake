@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_loss_parity.dir/bench_table4_loss_parity.cpp.o"
+  "CMakeFiles/bench_table4_loss_parity.dir/bench_table4_loss_parity.cpp.o.d"
+  "bench_table4_loss_parity"
+  "bench_table4_loss_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_loss_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/billion_scale_training.dir/billion_scale_training.cpp.o"
+  "CMakeFiles/billion_scale_training.dir/billion_scale_training.cpp.o.d"
+  "billion_scale_training"
+  "billion_scale_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/billion_scale_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

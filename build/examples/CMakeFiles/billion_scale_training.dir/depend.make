@@ -1,0 +1,2 @@
+# Empty dependencies file for billion_scale_training.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_graph_gat.dir/custom_graph_gat.cpp.o"
+  "CMakeFiles/custom_graph_gat.dir/custom_graph_gat.cpp.o.d"
+  "custom_graph_gat"
+  "custom_graph_gat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_graph_gat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for custom_graph_gat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for custom_graph_gat.
+# This may be replaced when dependencies are built.

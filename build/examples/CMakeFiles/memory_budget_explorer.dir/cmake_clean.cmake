@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_budget_explorer.dir/memory_budget_explorer.cpp.o"
+  "CMakeFiles/memory_budget_explorer.dir/memory_budget_explorer.cpp.o.d"
+  "memory_budget_explorer"
+  "memory_budget_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_budget_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_baselines.dir/betty.cpp.o"
+  "CMakeFiles/buffalo_baselines.dir/betty.cpp.o.d"
+  "CMakeFiles/buffalo_baselines.dir/padding.cpp.o"
+  "CMakeFiles/buffalo_baselines.dir/padding.cpp.o.d"
+  "libbuffalo_baselines.a"
+  "libbuffalo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/grouping.cpp" "src/core/CMakeFiles/buffalo_core.dir/grouping.cpp.o" "gcc" "src/core/CMakeFiles/buffalo_core.dir/grouping.cpp.o.d"
+  "/root/repo/src/core/mem_estimator.cpp" "src/core/CMakeFiles/buffalo_core.dir/mem_estimator.cpp.o" "gcc" "src/core/CMakeFiles/buffalo_core.dir/mem_estimator.cpp.o.d"
+  "/root/repo/src/core/micro_batch_generator.cpp" "src/core/CMakeFiles/buffalo_core.dir/micro_batch_generator.cpp.o" "gcc" "src/core/CMakeFiles/buffalo_core.dir/micro_batch_generator.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/buffalo_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/buffalo_core.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/buffalo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/buffalo_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/buffalo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/buffalo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/buffalo_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_core.dir/grouping.cpp.o"
+  "CMakeFiles/buffalo_core.dir/grouping.cpp.o.d"
+  "CMakeFiles/buffalo_core.dir/mem_estimator.cpp.o"
+  "CMakeFiles/buffalo_core.dir/mem_estimator.cpp.o.d"
+  "CMakeFiles/buffalo_core.dir/micro_batch_generator.cpp.o"
+  "CMakeFiles/buffalo_core.dir/micro_batch_generator.cpp.o.d"
+  "CMakeFiles/buffalo_core.dir/scheduler.cpp.o"
+  "CMakeFiles/buffalo_core.dir/scheduler.cpp.o.d"
+  "libbuffalo_core.a"
+  "libbuffalo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/cost_model.cpp" "src/device/CMakeFiles/buffalo_device.dir/cost_model.cpp.o" "gcc" "src/device/CMakeFiles/buffalo_device.dir/cost_model.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/buffalo_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/buffalo_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/memory.cpp" "src/device/CMakeFiles/buffalo_device.dir/memory.cpp.o" "gcc" "src/device/CMakeFiles/buffalo_device.dir/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/buffalo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/buffalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_device.dir/cost_model.cpp.o"
+  "CMakeFiles/buffalo_device.dir/cost_model.cpp.o.d"
+  "CMakeFiles/buffalo_device.dir/device.cpp.o"
+  "CMakeFiles/buffalo_device.dir/device.cpp.o.d"
+  "CMakeFiles/buffalo_device.dir/memory.cpp.o"
+  "CMakeFiles/buffalo_device.dir/memory.cpp.o.d"
+  "libbuffalo_device.a"
+  "libbuffalo_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

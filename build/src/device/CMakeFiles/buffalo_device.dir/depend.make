@@ -1,0 +1,2 @@
+# Empty dependencies file for buffalo_device.
+# This may be replaced when dependencies are built.

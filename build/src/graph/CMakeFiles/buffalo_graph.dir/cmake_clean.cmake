@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_graph.dir/coo.cpp.o"
+  "CMakeFiles/buffalo_graph.dir/coo.cpp.o.d"
+  "CMakeFiles/buffalo_graph.dir/csr.cpp.o"
+  "CMakeFiles/buffalo_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/buffalo_graph.dir/datasets.cpp.o"
+  "CMakeFiles/buffalo_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/buffalo_graph.dir/generators.cpp.o"
+  "CMakeFiles/buffalo_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/buffalo_graph.dir/io.cpp.o"
+  "CMakeFiles/buffalo_graph.dir/io.cpp.o.d"
+  "CMakeFiles/buffalo_graph.dir/stats.cpp.o"
+  "CMakeFiles/buffalo_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/buffalo_graph.dir/subgraph.cpp.o"
+  "CMakeFiles/buffalo_graph.dir/subgraph.cpp.o.d"
+  "libbuffalo_graph.a"
+  "libbuffalo_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/aggregators.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/aggregators.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/aggregators.cpp.o.d"
+  "/root/repo/src/nn/checkpoint.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/checkpoint.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/nn/gat_model.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/gat_model.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/gat_model.cpp.o.d"
+  "/root/repo/src/nn/gcn_model.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/gcn_model.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/gcn_model.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/memory_model.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/memory_model.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/memory_model.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/parameter.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/parameter.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/parameter.cpp.o.d"
+  "/root/repo/src/nn/sage_model.cpp" "src/nn/CMakeFiles/buffalo_nn.dir/sage_model.cpp.o" "gcc" "src/nn/CMakeFiles/buffalo_nn.dir/sage_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/buffalo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/buffalo_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/buffalo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/buffalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_nn.dir/aggregators.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/aggregators.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/checkpoint.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/gat_model.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/gat_model.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/gcn_model.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/gcn_model.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/linear.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/loss.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/lstm.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/memory_model.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/memory_model.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/parameter.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/parameter.cpp.o.d"
+  "CMakeFiles/buffalo_nn.dir/sage_model.cpp.o"
+  "CMakeFiles/buffalo_nn.dir/sage_model.cpp.o.d"
+  "libbuffalo_nn.a"
+  "libbuffalo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/metis_like.cpp" "src/partition/CMakeFiles/buffalo_partition.dir/metis_like.cpp.o" "gcc" "src/partition/CMakeFiles/buffalo_partition.dir/metis_like.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/buffalo_partition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/buffalo_partition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/weighted_graph.cpp" "src/partition/CMakeFiles/buffalo_partition.dir/weighted_graph.cpp.o" "gcc" "src/partition/CMakeFiles/buffalo_partition.dir/weighted_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/buffalo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/buffalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_partition.dir/metis_like.cpp.o"
+  "CMakeFiles/buffalo_partition.dir/metis_like.cpp.o.d"
+  "CMakeFiles/buffalo_partition.dir/partitioner.cpp.o"
+  "CMakeFiles/buffalo_partition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/buffalo_partition.dir/weighted_graph.cpp.o"
+  "CMakeFiles/buffalo_partition.dir/weighted_graph.cpp.o.d"
+  "libbuffalo_partition.a"
+  "libbuffalo_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

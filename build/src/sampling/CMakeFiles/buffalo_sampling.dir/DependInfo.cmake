@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/block.cpp" "src/sampling/CMakeFiles/buffalo_sampling.dir/block.cpp.o" "gcc" "src/sampling/CMakeFiles/buffalo_sampling.dir/block.cpp.o.d"
+  "/root/repo/src/sampling/block_generator.cpp" "src/sampling/CMakeFiles/buffalo_sampling.dir/block_generator.cpp.o" "gcc" "src/sampling/CMakeFiles/buffalo_sampling.dir/block_generator.cpp.o.d"
+  "/root/repo/src/sampling/bucketing.cpp" "src/sampling/CMakeFiles/buffalo_sampling.dir/bucketing.cpp.o" "gcc" "src/sampling/CMakeFiles/buffalo_sampling.dir/bucketing.cpp.o.d"
+  "/root/repo/src/sampling/sampled_subgraph.cpp" "src/sampling/CMakeFiles/buffalo_sampling.dir/sampled_subgraph.cpp.o" "gcc" "src/sampling/CMakeFiles/buffalo_sampling.dir/sampled_subgraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/buffalo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/buffalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_sampling.dir/block.cpp.o"
+  "CMakeFiles/buffalo_sampling.dir/block.cpp.o.d"
+  "CMakeFiles/buffalo_sampling.dir/block_generator.cpp.o"
+  "CMakeFiles/buffalo_sampling.dir/block_generator.cpp.o.d"
+  "CMakeFiles/buffalo_sampling.dir/bucketing.cpp.o"
+  "CMakeFiles/buffalo_sampling.dir/bucketing.cpp.o.d"
+  "CMakeFiles/buffalo_sampling.dir/sampled_subgraph.cpp.o"
+  "CMakeFiles/buffalo_sampling.dir/sampled_subgraph.cpp.o.d"
+  "libbuffalo_sampling.a"
+  "libbuffalo_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_tensor.dir/ops.cpp.o"
+  "CMakeFiles/buffalo_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/buffalo_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/buffalo_tensor.dir/tensor.cpp.o.d"
+  "libbuffalo_tensor.a"
+  "libbuffalo_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

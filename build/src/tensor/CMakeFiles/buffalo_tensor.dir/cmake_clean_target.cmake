@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbuffalo_tensor.a"
+)

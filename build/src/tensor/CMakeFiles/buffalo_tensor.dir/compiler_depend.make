@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for buffalo_tensor.
+# This may be replaced when dependencies are built.

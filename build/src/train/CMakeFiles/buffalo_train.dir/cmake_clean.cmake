@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_train.dir/evaluator.cpp.o"
+  "CMakeFiles/buffalo_train.dir/evaluator.cpp.o.d"
+  "CMakeFiles/buffalo_train.dir/experiment.cpp.o"
+  "CMakeFiles/buffalo_train.dir/experiment.cpp.o.d"
+  "CMakeFiles/buffalo_train.dir/feature_loader.cpp.o"
+  "CMakeFiles/buffalo_train.dir/feature_loader.cpp.o.d"
+  "CMakeFiles/buffalo_train.dir/model_adapter.cpp.o"
+  "CMakeFiles/buffalo_train.dir/model_adapter.cpp.o.d"
+  "CMakeFiles/buffalo_train.dir/trainer.cpp.o"
+  "CMakeFiles/buffalo_train.dir/trainer.cpp.o.d"
+  "libbuffalo_train.a"
+  "libbuffalo_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

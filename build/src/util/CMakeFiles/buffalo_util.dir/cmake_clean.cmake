@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_util.dir/flags.cpp.o"
+  "CMakeFiles/buffalo_util.dir/flags.cpp.o.d"
+  "CMakeFiles/buffalo_util.dir/format.cpp.o"
+  "CMakeFiles/buffalo_util.dir/format.cpp.o.d"
+  "CMakeFiles/buffalo_util.dir/histogram.cpp.o"
+  "CMakeFiles/buffalo_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/buffalo_util.dir/logging.cpp.o"
+  "CMakeFiles/buffalo_util.dir/logging.cpp.o.d"
+  "CMakeFiles/buffalo_util.dir/rng.cpp.o"
+  "CMakeFiles/buffalo_util.dir/rng.cpp.o.d"
+  "CMakeFiles/buffalo_util.dir/table.cpp.o"
+  "CMakeFiles/buffalo_util.dir/table.cpp.o.d"
+  "CMakeFiles/buffalo_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/buffalo_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/buffalo_util.dir/timer.cpp.o"
+  "CMakeFiles/buffalo_util.dir/timer.cpp.o.d"
+  "libbuffalo_util.a"
+  "libbuffalo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucketing_test.dir/bucketing_test.cpp.o"
+  "CMakeFiles/bucketing_test.dir/bucketing_test.cpp.o.d"
+  "bucketing_test"
+  "bucketing_test.pdb"
+  "bucketing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucketing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_grouping_test.dir/core_grouping_test.cpp.o"
+  "CMakeFiles/core_grouping_test.dir/core_grouping_test.cpp.o.d"
+  "core_grouping_test"
+  "core_grouping_test.pdb"
+  "core_grouping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_grouping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flags_test.cpp" "tests/CMakeFiles/flags_test.dir/flags_test.cpp.o" "gcc" "tests/CMakeFiles/flags_test.dir/flags_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/train/CMakeFiles/buffalo_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/buffalo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/buffalo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/buffalo_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/buffalo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/buffalo_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/buffalo_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/buffalo_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/buffalo_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/buffalo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_model_test.dir/memory_model_test.cpp.o"
+  "CMakeFiles/memory_model_test.dir/memory_model_test.cpp.o.d"
+  "memory_model_test"
+  "memory_model_test.pdb"
+  "memory_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_graphgen.dir/buffalo_graphgen.cpp.o"
+  "CMakeFiles/buffalo_graphgen.dir/buffalo_graphgen.cpp.o.d"
+  "buffalo_graphgen"
+  "buffalo_graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffalo_train_cli.dir/buffalo_train.cpp.o"
+  "CMakeFiles/buffalo_train_cli.dir/buffalo_train.cpp.o.d"
+  "buffalo_train"
+  "buffalo_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffalo_train_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
