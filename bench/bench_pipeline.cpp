@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Serial vs pipelined epoch comparison (§V-G pipelining headroom).
+ *
+ * Part 1 (numeric): verifies the pipelined trainer reproduces the
+ * serial per-epoch loss to 1e-12 while the feature cache serves hits.
+ * Part 2 (cost model): sweeps prefetch depth and feature-cache size on
+ * the synthetic power-law arxiv-sim graph, reporting modeled epoch
+ * time with preparation overlapped behind device execution, transfer
+ * bytes, bytes saved by the cache, and cache hit rate.
+ */
+#include "bench_common.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "pipeline/pipeline_trainer.h"
+
+using namespace buffalo;
+
+namespace {
+
+std::string
+fmtDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    return buf;
+}
+
+/** Serial reference epoch costs via the stock trainer. */
+struct SerialEpoch
+{
+    double loss = 0.0;
+    double seconds = 0.0;
+    std::uint64_t transfer_bytes = 0;
+};
+
+std::vector<SerialEpoch>
+runSerial(const graph::Dataset &data,
+          const train::TrainerOptions &options, std::uint64_t budget,
+          int epochs, std::size_t batch_size, std::uint64_t seed)
+{
+    device::Device dev("serial", budget);
+    train::BuffaloTrainer trainer(options, dev);
+    util::Rng rng(seed);
+    std::vector<SerialEpoch> out;
+    std::uint64_t last_transfer = 0;
+    for (int e = 0; e < epochs; ++e) {
+        const double before = dev.totalSeconds();
+        const auto stats =
+            train::runTraining(trainer, data, 1, batch_size, rng);
+        SerialEpoch epoch;
+        epoch.loss = stats.front().mean_loss;
+        epoch.seconds = stats.front().epoch_seconds > 0.0
+                            ? stats.front().epoch_seconds
+                            : dev.totalSeconds() - before;
+        epoch.transfer_bytes = dev.transferredBytes() - last_transfer;
+        last_transfer = dev.transferredBytes();
+        out.push_back(epoch);
+    }
+    return out;
+}
+
+/** Part 1: numeric loss parity + cache effectiveness. */
+bool
+numericParity()
+{
+    auto data = graph::loadDataset(graph::DatasetId::Arxiv, 42, 0.08);
+    bench::banner("pipeline: numeric loss parity", data);
+
+    train::TrainerOptions options;
+    options.model.aggregator = nn::AggregatorKind::Mean;
+    options.model.num_layers = 2;
+    options.model.feature_dim = data.featureDim();
+    options.model.hidden_dim = 16;
+    options.model.num_classes = data.numClasses();
+    options.fanouts = {5, 10};
+    const std::uint64_t budget = util::gib(4);
+    constexpr int kEpochs = 2;
+    constexpr std::size_t kBatch = 64;
+    constexpr std::uint64_t kSeed = 7;
+
+    const auto serial =
+        runSerial(data, options, budget, kEpochs, kBatch, kSeed);
+
+    device::Device dev("pipelined", budget);
+    pipeline::PipelineOptions pipe;
+    pipe.prefetch_depth = 2;
+    pipe.feature_cache_bytes = util::mib(8);
+    pipe.pinned_hot_nodes = 64;
+    pipeline::PipelineTrainer trainer(options, dev, pipe);
+    util::Rng rng(kSeed);
+
+    util::Table table({"epoch", "serial loss", "pipelined loss",
+                       "|diff|", "cache hit rate", "saved bytes"});
+    bool ok = true;
+    for (int e = 0; e < kEpochs; ++e) {
+        const auto stats = trainer.trainEpoch(data, kBatch, rng);
+        const double diff =
+            std::abs(stats.mean_loss - serial[e].loss);
+        ok = ok && diff <= 1e-12 && stats.cache.hits > 0 &&
+             stats.transfer_saved_bytes > 0;
+        table.addRow({std::to_string(e),
+                      fmtDouble(serial[e].loss, 12),
+                      fmtDouble(stats.mean_loss, 12),
+                      fmtDouble(diff, 3),
+                      util::formatPercent(stats.cache.hitRate()),
+                      util::formatBytes(stats.transfer_saved_bytes)});
+    }
+    table.print();
+    std::printf("numeric parity (<=1e-12) with cache hits: %s\n",
+                ok ? "PASS" : "FAIL");
+    return ok;
+}
+
+/** Part 2: cost-model sweep over depth and cache size. */
+bool
+costModelSweep()
+{
+    auto data = graph::loadDataset(graph::DatasetId::Arxiv, 42, 0.25);
+    bench::banner("pipeline: overlap + cache sweep (cost model)",
+                  data);
+
+    train::TrainerOptions options = bench::paperOptions(data);
+    const std::uint64_t budget = bench::scaledBudget(data, 24.0);
+    constexpr std::size_t kBatch = 256;
+    constexpr std::uint64_t kSeed = 11;
+
+    const auto serial =
+        runSerial(data, options, budget, 1, kBatch, kSeed);
+    std::printf("serial epoch: %s, transfer %s\n",
+                util::formatSeconds(serial[0].seconds).c_str(),
+                util::formatBytes(serial[0].transfer_bytes).c_str());
+
+    util::Table table({"depth", "cache", "pipelined", "vs serial",
+                       "transfer", "saved", "hit rate"});
+    bool overlap_ok = false;
+    bool cache_ok = false;
+    for (const int depth : {1, 2, 4}) {
+        for (const double cache_mb : {0.0, 2.0, 8.0}) {
+            device::Device dev("gpu", budget);
+            pipeline::PipelineOptions pipe;
+            pipe.prefetch_depth = depth;
+            pipe.feature_cache_bytes = util::mib(cache_mb);
+            pipe.pinned_hot_nodes = cache_mb > 0 ? 128 : 0;
+            pipeline::PipelineTrainer trainer(options, dev, pipe);
+            util::Rng rng(kSeed);
+            const auto stats = trainer.trainEpoch(data, kBatch, rng);
+
+            if (depth >= 2 &&
+                stats.pipelined_seconds < stats.serial_seconds)
+                overlap_ok = true;
+            if (cache_mb > 0 && stats.cache.hits > 0 &&
+                stats.transfer_saved_bytes > 0)
+                cache_ok = true;
+
+            table.addRow(
+                {std::to_string(depth),
+                 cache_mb > 0 ? util::formatBytes(util::mib(cache_mb))
+                              : "off",
+                 util::formatSeconds(stats.pipelined_seconds),
+                 util::formatPercent(1.0 - stats.overlapRatio()) +
+                     " faster",
+                 util::formatBytes(stats.transfer_bytes),
+                 util::formatBytes(stats.transfer_saved_bytes),
+                 cache_mb > 0
+                     ? util::formatPercent(stats.cache.hitRate())
+                     : "-"});
+        }
+    }
+    table.print();
+    std::printf("pipelined < serial at depth >= 2: %s\n",
+                overlap_ok ? "PASS" : "FAIL");
+    std::printf("cache hits reduce transfer bytes: %s\n",
+                cache_ok ? "PASS" : "FAIL");
+    return overlap_ok && cache_ok;
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool parity = numericParity();
+    const bool sweep = costModelSweep();
+    std::printf("\npaper shape: §V-G identifies preparation/transfer "
+                "as the residual bottleneck once bucketization fits "
+                "memory; overlapping it behind device compute and "
+                "deduplicating redundant feature transfers (Eq. 1-2 "
+                "redundancy) recovers that time without changing the "
+                "training computation\n");
+    return parity && sweep ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -26,6 +26,13 @@ void
 Device::chargeTransfer(std::uint64_t bytes)
 {
     transfer_seconds_ += cost_model_.transferSeconds(bytes);
+    transferred_bytes_ += bytes;
+}
+
+void
+Device::noteTransferSaved(std::uint64_t bytes)
+{
+    transfer_saved_bytes_ += bytes;
 }
 
 void
@@ -41,6 +48,8 @@ Device::resetClocks()
 {
     compute_seconds_ = 0.0;
     transfer_seconds_ = 0.0;
+    transferred_bytes_ = 0;
+    transfer_saved_bytes_ = 0;
 }
 
 DeviceGroup::DeviceGroup(int count, std::uint64_t capacity_bytes_each,

@@ -40,6 +40,22 @@ class Device
     /** Charges a host->device transfer of @p bytes. */
     void chargeTransfer(std::uint64_t bytes);
 
+    /**
+     * Records @p bytes of host->device transfer that was *avoided*
+     * (e.g. served from a device-resident feature cache). No time is
+     * charged; the byte counters let benches report traffic saved.
+     */
+    void noteTransferSaved(std::uint64_t bytes);
+
+    /** Total bytes charged via chargeTransfer(). */
+    std::uint64_t transferredBytes() const { return transferred_bytes_; }
+
+    /** Total bytes recorded via noteTransferSaved(). */
+    std::uint64_t transferSavedBytes() const
+    {
+        return transfer_saved_bytes_;
+    }
+
     /** Charges arbitrary simulated seconds to the compute clock. */
     void chargeComputeSeconds(double seconds);
 
@@ -55,7 +71,10 @@ class Device
         return compute_seconds_ + transfer_seconds_;
     }
 
-    /** Zeroes both clocks (memory watermark is separate; see allocator). */
+    /**
+     * Zeroes both clocks and the transfer byte counters (memory
+     * watermark is separate; see allocator).
+     */
     void resetClocks();
 
   private:
@@ -64,6 +83,8 @@ class Device
     CostModel cost_model_;
     double compute_seconds_ = 0.0;
     double transfer_seconds_ = 0.0;
+    std::uint64_t transferred_bytes_ = 0;
+    std::uint64_t transfer_saved_bytes_ = 0;
 };
 
 /**

@@ -1,0 +1,158 @@
+#include "pipeline/feature_cache.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/errors.h"
+
+namespace buffalo::pipeline {
+
+FeatureCache::FeatureCache(const FeatureCacheOptions &options)
+    : options_(options)
+{
+    checkArgument(options_.feature_dim >= 0,
+                  "FeatureCache: feature_dim must be >= 0");
+    row_bytes_ = static_cast<std::uint64_t>(options_.feature_dim) *
+                 sizeof(float);
+    enabled_ = options_.capacity_bytes > 0 && row_bytes_ > 0 &&
+               row_bytes_ <= options_.capacity_bytes;
+}
+
+std::uint64_t
+FeatureCache::capacityRows() const
+{
+    return enabled_ ? options_.capacity_bytes / row_bytes_ : 0;
+}
+
+void
+FeatureCache::pinHotNodes(const graph::Dataset &dataset,
+                          std::size_t max_pinned)
+{
+    if (!enabled_ || max_pinned == 0)
+        return;
+    const graph::CsrGraph &g = dataset.graph();
+    std::vector<graph::NodeId> order(g.numNodes());
+    std::iota(order.begin(), order.end(), graph::NodeId{0});
+    const std::size_t count = std::min<std::size_t>(
+        {max_pinned, order.size(),
+         static_cast<std::size_t>(capacityRows())});
+    if (count == 0)
+        return;
+    std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                      [&g](graph::NodeId a, graph::NodeId b) {
+                          const auto da = g.degree(a);
+                          const auto db = g.degree(b);
+                          return da != db ? da > db : a < b;
+                      });
+
+    std::vector<float> row;
+    if (options_.store_payload)
+        row.resize(static_cast<std::size_t>(options_.feature_dim));
+
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (std::size_t i = 0; i < count; ++i) {
+        const graph::NodeId node = order[i];
+        if (entries_.count(node) > 0)
+            continue;
+        evictUntilFitsLocked(row_bytes_);
+        if (bytes_in_use_ + row_bytes_ > options_.capacity_bytes)
+            break; // everything left is pinned
+        Entry entry;
+        entry.pinned = true;
+        if (options_.store_payload) {
+            dataset.fillFeatures(node, row);
+            entry.row = row;
+        }
+        entries_.emplace(node, std::move(entry));
+        bytes_in_use_ += row_bytes_;
+        ++pinned_count_;
+    }
+}
+
+bool
+FeatureCache::lookup(graph::NodeId node, std::span<float> out)
+{
+    if (!enabled_)
+        return false;
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = entries_.find(node);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    if (!it->second.pinned) {
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        it->second.lru_pos = lru_.begin();
+    }
+    if (options_.store_payload && !out.empty()) {
+        checkArgument(out.size() == it->second.row.size(),
+                      "FeatureCache::lookup: row width mismatch");
+        std::copy(it->second.row.begin(), it->second.row.end(),
+                  out.begin());
+    }
+    return true;
+}
+
+void
+FeatureCache::insert(graph::NodeId node, std::span<const float> row)
+{
+    if (!enabled_)
+        return;
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (entries_.count(node) > 0)
+        return;
+    evictUntilFitsLocked(row_bytes_);
+    if (bytes_in_use_ + row_bytes_ > options_.capacity_bytes)
+        return; // capacity fully pinned
+    Entry entry;
+    if (options_.store_payload) {
+        checkArgument(row.size() ==
+                          static_cast<std::size_t>(options_.feature_dim),
+                      "FeatureCache::insert: row width mismatch");
+        entry.row.assign(row.begin(), row.end());
+    }
+    lru_.push_front(node);
+    entry.lru_pos = lru_.begin();
+    entries_.emplace(node, std::move(entry));
+    bytes_in_use_ += row_bytes_;
+    ++insertions_;
+}
+
+void
+FeatureCache::evictUntilFitsLocked(std::uint64_t needed_bytes)
+{
+    while (bytes_in_use_ + needed_bytes > options_.capacity_bytes &&
+           !lru_.empty()) {
+        const graph::NodeId victim = lru_.back();
+        lru_.pop_back();
+        entries_.erase(victim);
+        bytes_in_use_ -= row_bytes_;
+        ++evictions_;
+    }
+}
+
+FeatureCacheStats
+FeatureCache::stats() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    FeatureCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.pinned_nodes = pinned_count_;
+    s.resident_nodes = entries_.size();
+    s.bytes_in_use = bytes_in_use_;
+    s.capacity_bytes = options_.capacity_bytes;
+    return s;
+}
+
+void
+FeatureCache::resetCounters()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    hits_ = misses_ = insertions_ = evictions_ = 0;
+}
+
+} // namespace buffalo::pipeline

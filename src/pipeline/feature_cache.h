@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Redundancy-aware feature cache.
+ *
+ * Buffalo's grouping ratio R_group (paper Eq. 1-2) quantifies exactly
+ * how many input nodes adjacent micro-batches share; every shared node
+ * whose feature row is still device-resident needs no host->device
+ * re-transfer. The cache models that resident set: an LRU keyed by
+ * global node id, with an optional *pinned* hot set of the highest
+ * in-degree nodes (power-law graphs concentrate most block inputs in
+ * few hub nodes, so pinning them captures a large hit fraction with a
+ * small budget — the BGL insight).
+ *
+ * Two payload modes share the accounting: in numeric execution the
+ * cache stores the actual rows (hits skip dataset.fillFeatures); in
+ * cost-model execution it stores presence only, so capacity, hits,
+ * and evictions behave identically without the float traffic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/types.h"
+
+namespace buffalo::pipeline {
+
+/** Cache configuration. */
+struct FeatureCacheOptions
+{
+    /** Byte budget for cached rows; 0 disables the cache entirely. */
+    std::uint64_t capacity_bytes = 0;
+    /** Feature row width, floats (== dataset.featureDim()). */
+    int feature_dim = 0;
+    /** Store row payloads (numeric mode) or presence only (cost model). */
+    bool store_payload = true;
+};
+
+/** Counter snapshot; rates are derived, all counts monotonic. */
+struct FeatureCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t pinned_nodes = 0;
+    std::uint64_t resident_nodes = 0;
+    std::uint64_t bytes_in_use = 0;
+    std::uint64_t capacity_bytes = 0;
+
+    /** hits / (hits + misses), 0 when never queried. */
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(hits) / static_cast<double>(total);
+    }
+};
+
+/**
+ * Thread-safe LRU feature-row cache with a degree-pinned hot set.
+ * All methods are safe to call concurrently from prefetch workers.
+ */
+class FeatureCache
+{
+  public:
+    explicit FeatureCache(const FeatureCacheOptions &options);
+
+    /** False when capacity is 0 or the row width is larger than it. */
+    bool enabled() const { return enabled_; }
+
+    /** Bytes one cached row occupies. */
+    std::uint64_t rowBytes() const { return row_bytes_; }
+
+    /** Rows that fit under the capacity. */
+    std::uint64_t capacityRows() const;
+
+    /**
+     * Permanently pins the @p max_pinned highest in-degree nodes of
+     * @p dataset (capped by capacity). Pinned rows are filled from the
+     * dataset immediately (payload mode) and are never evicted.
+     */
+    void pinHotNodes(const graph::Dataset &dataset,
+                     std::size_t max_pinned);
+
+    /**
+     * Looks @p node up, refreshing its LRU position. On a payload-mode
+     * hit the row is copied into @p out when non-empty (@p out must
+     * then hold feature_dim floats).
+     * @return true on hit.
+     */
+    bool lookup(graph::NodeId node, std::span<float> out);
+
+    /**
+     * Inserts @p node's row (ignored if already resident or the cache
+     * is disabled), evicting least-recently-used unpinned rows to make
+     * room. @p row may be empty in presence-only mode.
+     */
+    void insert(graph::NodeId node, std::span<const float> row);
+
+    /** Counter snapshot. */
+    FeatureCacheStats stats() const;
+
+    /** Zeroes hit/miss/insert/evict counters; contents stay resident. */
+    void resetCounters();
+
+  private:
+    struct Entry
+    {
+        std::vector<float> row;
+        /** Position in lru_ (valid only when !pinned). */
+        std::list<graph::NodeId>::iterator lru_pos;
+        bool pinned = false;
+    };
+
+    void evictUntilFitsLocked(std::uint64_t needed_bytes);
+
+    FeatureCacheOptions options_;
+    std::uint64_t row_bytes_ = 0;
+    bool enabled_ = false;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<graph::NodeId, Entry> entries_;
+    /** Unpinned residents, most recent at the front. */
+    std::list<graph::NodeId> lru_;
+    std::uint64_t bytes_in_use_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t pinned_count_ = 0;
+};
+
+} // namespace buffalo::pipeline

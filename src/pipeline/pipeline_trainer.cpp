@@ -1,0 +1,194 @@
+#include "pipeline/pipeline_trainer.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "train/experiment.h"
+#include "util/logging.h"
+
+namespace buffalo::pipeline {
+
+PipelineTrainer::PipelineTrainer(
+    const train::TrainerOptions &options, device::Device &device,
+    const PipelineOptions &pipeline_options)
+    : BuffaloTrainer(options, device),
+      pipeline_options_(pipeline_options)
+{
+    FeatureCacheOptions cache_options;
+    cache_options.capacity_bytes = pipeline_options_.feature_cache_bytes;
+    cache_options.feature_dim = options.model.feature_dim;
+    cache_options.store_payload =
+        options.mode == train::ExecutionMode::Numeric;
+    cache_ = std::make_unique<FeatureCache>(cache_options);
+}
+
+core::SchedulerOptions
+PipelineTrainer::resolvedSchedulerOptions() const
+{
+    core::SchedulerOptions sched = options_.scheduler;
+    if (sched.mem_constraint == 0)
+        sched.mem_constraint = device_.allocator().capacity();
+    sched.reserved_bytes = static_bytes_;
+    return sched;
+}
+
+train::IterationStats
+PipelineTrainer::trainPrepared(PreparedBatch &batch,
+                               const graph::Dataset &dataset)
+{
+    const std::size_t batch_outputs = batch.sg.numSeeds();
+    core::SchedulerOptions sched = resolvedSchedulerOptions();
+
+    // Same recovery protocol as the serial BuffaloTrainer: on OOM the
+    // batch restarts (accumulated gradients discarded first) with a
+    // tighter safety factor. Retries re-schedule from the retained
+    // sampled subgraph and prepare inline — the cache discount is
+    // deliberately forgone so accounting stays conservative.
+    constexpr int kMaxAttempts = 4;
+    bool use_prefetched = true;
+    for (int attempt = 0;; ++attempt) {
+        train::IterationStats stats;
+        stats.phases.merge(batch.phases);
+        device_.allocator().resetPeak();
+        try {
+            if (use_prefetched) {
+                for (PreparedMicroBatch &pmb : batch.micro) {
+                    train::StagedFeatures staged;
+                    staged.host_features = &pmb.staged_features;
+                    staged.saved_transfer_bytes =
+                        pmb.saved_transfer_bytes;
+                    processMicroBatch(pmb.mb, dataset, batch_outputs,
+                                      stats, 0, 0.0, &staged);
+                }
+                stats.num_micro_batches =
+                    static_cast<int>(batch.micro.size());
+            } else {
+                core::BuffaloScheduler scheduler(
+                    model_->memoryModel(),
+                    dataset.spec().paper_avg_coefficient, sched);
+                core::ScheduleResult schedule =
+                    scheduler.schedule(batch.sg);
+                stats.phases.add(train::kPhaseScheduling,
+                                 schedule.schedule_seconds);
+                for (const core::BucketGroup &group : schedule.groups) {
+                    sampling::MicroBatch mb = generator_.generateOne(
+                        batch.sg, group, &stats.phases);
+                    processMicroBatch(mb, dataset, batch_outputs,
+                                      stats);
+                }
+                stats.num_micro_batches = schedule.num_groups;
+            }
+            optimizerStep(stats);
+            stats.peak_device_bytes = device_.allocator().peakBytes();
+            return stats;
+        } catch (const device::DeviceOom &) {
+            if (attempt + 1 >= kMaxAttempts)
+                throw;
+            model_->clearCache();
+            if (options_.mode == train::ExecutionMode::Numeric)
+                model_->module().zeroGrad();
+            sched.safety_factor *= 0.7;
+            use_prefetched = false;
+            BUFFALO_LOG_WARN("pipeline-trainer")
+                << "prepared batch overflowed the device; "
+                   "rescheduling inline with safety factor "
+                << sched.safety_factor;
+        }
+    }
+}
+
+PipelinedEpochStats
+PipelineTrainer::trainEpochPipelined(
+    const graph::Dataset &dataset,
+    const std::vector<graph::NodeList> &batches, util::Rng &rng)
+{
+    PipelinedEpochStats result;
+    if (cache_->enabled() && !hot_set_pinned_) {
+        cache_->pinHotNodes(dataset, pipeline_options_.pinned_hot_nodes);
+        hot_set_pinned_ = true;
+    }
+
+    Prefetcher prefetcher(
+        dataset, batches, options_.fanouts, model_->memoryModel(),
+        resolvedSchedulerOptions(),
+        options_.mode == train::ExecutionMode::Numeric,
+        pipeline_options_, cache_->enabled() ? cache_.get() : nullptr,
+        rng);
+
+    // 4-lane pipeline schedule (sample | build | feature | device):
+    // lane l of batch i starts when lane l finished batch i-1 AND lane
+    // l-1 finished batch i. The sampling lane is additionally gated so
+    // at most `window` batches are in flight — the queue capacities.
+    const std::size_t window =
+        3 * static_cast<std::size_t>(
+                std::max(1, pipeline_options_.prefetch_depth)) +
+        3;
+    double t_sample = 0.0, t_build = 0.0, t_feature = 0.0,
+           t_device = 0.0;
+    std::deque<double> consumed_at;
+
+    const std::uint64_t bytes0 = device_.transferredBytes();
+    const std::uint64_t saved0 = device_.transferSavedBytes();
+    util::StopWatch wall;
+
+    while (auto batch = prefetcher.next()) {
+        const double device_before = device_.totalSeconds();
+        train::IterationStats stats = trainPrepared(*batch, dataset);
+        const double device_delta =
+            device_.totalSeconds() - device_before;
+
+        result.loss_sum += stats.loss;
+        result.correct += stats.correct;
+        result.outputs += stats.num_outputs;
+        result.num_micro_batches += stats.num_micro_batches;
+        result.peak_device_bytes = std::max(
+            result.peak_device_bytes, stats.peak_device_bytes);
+
+        const double gate =
+            consumed_at.size() >= window
+                ? consumed_at[consumed_at.size() - window]
+                : 0.0;
+        t_sample =
+            std::max(t_sample, gate) + batch->sample_seconds;
+        t_build = std::max(t_sample, t_build) + batch->build_seconds;
+        t_feature =
+            std::max(t_build, t_feature) + batch->feature_seconds;
+        t_device = std::max(t_feature, t_device) + device_delta;
+        consumed_at.push_back(t_device);
+
+        result.prep_seconds += batch->prepSeconds();
+        result.device_seconds += device_delta;
+        result.serial_seconds += batch->prepSeconds() + device_delta;
+
+        prefetcher.release(*batch);
+        ++result.num_batches;
+    }
+
+    result.pipelined_seconds = t_device;
+    result.wall_seconds = wall.seconds();
+    result.transfer_bytes = device_.transferredBytes() - bytes0;
+    result.transfer_saved_bytes =
+        device_.transferSavedBytes() - saved0;
+    result.mean_loss = result.num_batches == 0
+                           ? 0.0
+                           : result.loss_sum / result.num_batches;
+    result.accuracy =
+        result.outputs == 0
+            ? 0.0
+            : static_cast<double>(result.correct) /
+                  static_cast<double>(result.outputs);
+    result.stages = prefetcher.stats();
+    result.cache = cache_->stats();
+    return result;
+}
+
+PipelinedEpochStats
+PipelineTrainer::trainEpoch(const graph::Dataset &dataset,
+                            std::size_t batch_size, util::Rng &rng)
+{
+    const std::vector<graph::NodeList> batches =
+        train::makeBatches(dataset.trainNodes(), batch_size, rng);
+    return trainEpochPipelined(dataset, batches, rng);
+}
+
+} // namespace buffalo::pipeline

@@ -1,0 +1,242 @@
+#include "pipeline/prefetcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "train/trainer.h"
+#include "util/errors.h"
+
+namespace buffalo::pipeline {
+
+Prefetcher::Prefetcher(const graph::Dataset &dataset,
+                       std::vector<graph::NodeList> batches,
+                       const std::vector<int> &fanouts,
+                       const nn::MemoryModel &memory_model,
+                       const core::SchedulerOptions &scheduler_options,
+                       bool stage_features,
+                       const PipelineOptions &options,
+                       FeatureCache *cache, util::Rng &rng)
+    : dataset_(dataset), memory_model_(memory_model),
+      scheduler_options_(scheduler_options), fanouts_(fanouts),
+      stage_features_(stage_features), options_(options), cache_(cache),
+      sampled_(static_cast<std::size_t>(
+          std::max(1, options.prefetch_depth))),
+      built_(static_cast<std::size_t>(
+          std::max(1, options.prefetch_depth))),
+      ready_(static_cast<std::size_t>(
+          std::max(1, options.prefetch_depth))),
+      budget_(options.host_memory_budget)
+{
+    checkArgument(options_.prefetch_depth >= 1,
+                  "Prefetcher: prefetch_depth must be >= 1");
+    // One dedicated worker per stage: the stage loops are long-running
+    // tasks, so the pool must have a thread for each or the pipeline
+    // would never start. Intra-stage parallelism (the fast block
+    // generator's parallelFor) runs on the global pool.
+    pool_ = std::make_unique<util::ThreadPool>(3);
+    pool_->submit([this, batches = std::move(batches), &rng]() mutable {
+        try {
+            sampleStage(std::move(batches), rng);
+        } catch (...) {
+            failAll(std::current_exception());
+        }
+    });
+    pool_->submit([this] {
+        try {
+            buildStage();
+        } catch (...) {
+            failAll(std::current_exception());
+        }
+    });
+    pool_->submit([this] {
+        try {
+            featureStage();
+        } catch (...) {
+            failAll(std::current_exception());
+        }
+    });
+}
+
+Prefetcher::~Prefetcher()
+{
+    failAll(std::make_exception_ptr(
+        std::runtime_error("prefetcher cancelled")));
+    pool_.reset(); // joins the stage workers
+}
+
+void
+Prefetcher::failAll(std::exception_ptr error)
+{
+    sampled_.abort(error);
+    built_.abort(error);
+    ready_.abort(error);
+    budget_.cancel();
+}
+
+void
+Prefetcher::sampleStage(std::vector<graph::NodeList> batches,
+                        util::Rng &rng)
+{
+    // Single in-order worker: the Rng stream is consumed in exactly
+    // the order the serial trainer would consume it.
+    sampling::NeighborSampler sampler(fanouts_);
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+        SampledItem item;
+        item.index = i;
+        util::StopWatch watch;
+        {
+            util::PhaseTimer::Scope scope(item.phases,
+                                          train::kPhaseSampling);
+            item.sg = sampler.sample(dataset_.graph(), batches[i], rng);
+        }
+        item.seconds = watch.seconds();
+        {
+            std::lock_guard<std::mutex> guard(stats_mutex_);
+            stats_.sample_busy_seconds += item.seconds;
+        }
+        if (!sampled_.push(std::move(item)))
+            return; // aborted
+    }
+    sampled_.close();
+}
+
+void
+Prefetcher::buildStage()
+{
+    while (auto item = sampled_.pop()) {
+        PreparedBatch pb;
+        pb.index = item->index;
+        pb.sg = std::move(item->sg);
+        pb.phases.merge(item->phases);
+        pb.sample_seconds = item->seconds;
+
+        util::StopWatch watch;
+        core::BuffaloScheduler scheduler(
+            memory_model_, dataset_.spec().paper_avg_coefficient,
+            scheduler_options_);
+        pb.schedule = scheduler.schedule(pb.sg);
+        pb.phases.add(train::kPhaseScheduling,
+                      pb.schedule.schedule_seconds);
+        pb.micro.reserve(pb.schedule.groups.size());
+        for (const core::BucketGroup &group : pb.schedule.groups) {
+            PreparedMicroBatch pmb;
+            pmb.mb = generator_.generateOne(pb.sg, group, &pb.phases);
+            pb.micro.push_back(std::move(pmb));
+        }
+        pb.build_seconds = watch.seconds();
+        {
+            std::lock_guard<std::mutex> guard(stats_mutex_);
+            stats_.build_busy_seconds += pb.build_seconds;
+        }
+        if (!built_.push(std::move(pb)))
+            return; // aborted
+    }
+    built_.close();
+}
+
+void
+Prefetcher::featureStage()
+{
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(dataset_.featureDim()) *
+        sizeof(float);
+    while (auto pb = built_.pop()) {
+        // Charge the host bytes this batch will pin *before*
+        // materializing anything — this is the backpressure that
+        // bounds prepared-but-unconsumed work.
+        std::uint64_t bytes = pb->sg.memoryBytes();
+        for (const PreparedMicroBatch &pmb : pb->micro) {
+            bytes += pmb.mb.structureBytes();
+            if (stage_features_)
+                bytes += pmb.mb.inputNodes().size() * row_bytes;
+        }
+        pb->staged_bytes = bytes;
+        if (!budget_.acquire(bytes))
+            return; // cancelled
+
+        util::StopWatch watch;
+        for (PreparedMicroBatch &pmb : pb->micro)
+            stageFeatures(pmb);
+        pb->feature_seconds = watch.seconds();
+        {
+            std::lock_guard<std::mutex> guard(stats_mutex_);
+            stats_.feature_busy_seconds += pb->feature_seconds;
+            current_host_bytes_ += bytes;
+            stats_.peak_host_bytes =
+                std::max(stats_.peak_host_bytes, current_host_bytes_);
+        }
+        if (!ready_.push(std::move(*pb))) {
+            budget_.release(bytes);
+            return; // aborted
+        }
+    }
+    ready_.close();
+}
+
+void
+Prefetcher::stageFeatures(PreparedMicroBatch &pmb)
+{
+    const graph::NodeList &nodes = pmb.mb.inputNodes();
+    const int dim = dataset_.featureDim();
+    const std::uint64_t row_bytes =
+        static_cast<std::uint64_t>(dim) * sizeof(float);
+    std::uint64_t cached = 0;
+
+    if (stage_features_) {
+        pmb.staged_features =
+            tensor::Tensor::zeros(nodes.size(), dim, nullptr);
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            std::span<float> out = pmb.staged_features.row(i);
+            if (cache_ && cache_->lookup(nodes[i], out)) {
+                ++cached;
+                continue;
+            }
+            // Deterministic in (dataset seed, node), so a cached row
+            // is bitwise-identical to a freshly filled one.
+            dataset_.fillFeatures(nodes[i], out);
+            if (cache_)
+                cache_->insert(nodes[i], out);
+        }
+    } else if (cache_ && cache_->enabled()) {
+        // Cost-model execution: track presence only (no numerics).
+        for (const graph::NodeId node : nodes) {
+            if (cache_->lookup(node, {}))
+                ++cached;
+            else
+                cache_->insert(node, {});
+        }
+    }
+
+    pmb.cached_rows = cached;
+    pmb.saved_transfer_bytes = cached * row_bytes;
+}
+
+std::optional<PreparedBatch>
+Prefetcher::next()
+{
+    return ready_.pop();
+}
+
+void
+Prefetcher::release(const PreparedBatch &batch)
+{
+    budget_.release(batch.staged_bytes);
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    current_host_bytes_ = batch.staged_bytes > current_host_bytes_
+                              ? 0
+                              : current_host_bytes_ -
+                                    batch.staged_bytes;
+}
+
+PrefetcherStats
+Prefetcher::stats() const
+{
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    PrefetcherStats s = stats_;
+    s.max_sampled_queue = sampled_.maxOccupancy();
+    s.max_built_queue = built_.maxOccupancy();
+    s.max_ready_queue = ready_.maxOccupancy();
+    return s;
+}
+
+} // namespace buffalo::pipeline

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Asynchronous micro-batch preparation (DESIGN.md, "Pipeline & feature
+ * cache").
+ *
+ * The serial trainers interleave host-side preparation (sampling,
+ * Buffalo scheduling, block generation, feature materialization) with
+ * device execution, so preparation time adds to, instead of hiding
+ * behind, simulated device compute — the paper's §V-G bottleneck. The
+ * Prefetcher runs those four stages for batches i+1..i+depth on
+ * util::ThreadPool workers while the trainer consumes batch i:
+ *
+ *   sample ──q──▶ build (schedule + blocks) ──q──▶ features ──q──▶ next()
+ *
+ * Stages are connected by bounded StageQueues (item backpressure) and
+ * a ByteBudget (host-memory backpressure). Sampling runs on a single
+ * in-order worker that owns the caller's Rng, so the random stream is
+ * consumed in exactly the serial batch order — this is what keeps the
+ * pipelined trainer bitwise-identical to the serial one.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/micro_batch_generator.h"
+#include "core/scheduler.h"
+#include "graph/datasets.h"
+#include "nn/memory_model.h"
+#include "pipeline/feature_cache.h"
+#include "pipeline/stage_queue.h"
+#include "sampling/sampled_subgraph.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace buffalo::pipeline {
+
+/** Pipeline knobs shared by Prefetcher and PipelineTrainer. */
+struct PipelineOptions
+{
+    /** Batches prepared ahead of training (per-queue capacity). */
+    int prefetch_depth = 2;
+    /**
+     * Host bytes prepared-but-unconsumed batches may pin (staged
+     * features + block structures + sampled CSRs); 0 = unlimited.
+     */
+    std::uint64_t host_memory_budget = 0;
+    /** Feature cache byte budget; 0 disables the cache. */
+    std::uint64_t feature_cache_bytes = 0;
+    /** Highest-degree nodes pinned permanently in the cache. */
+    std::size_t pinned_hot_nodes = 0;
+};
+
+/** One micro-batch with its prefetched inputs. */
+struct PreparedMicroBatch
+{
+    sampling::MicroBatch mb;
+    /** Host-staged features (numeric mode; empty in cost model). */
+    tensor::Tensor staged_features;
+    /** Input rows served by the feature cache. */
+    std::uint64_t cached_rows = 0;
+    /** Host->device bytes those rows avoid re-transferring. */
+    std::uint64_t saved_transfer_bytes = 0;
+};
+
+/** One fully prepared training batch, in submission order. */
+struct PreparedBatch
+{
+    std::size_t index = 0;
+    /** Kept so OOM recovery can re-schedule without re-sampling. */
+    sampling::SampledSubgraph sg;
+    core::ScheduleResult schedule;
+    std::vector<PreparedMicroBatch> micro;
+    /** Host bytes charged against the ByteBudget until release(). */
+    std::uint64_t staged_bytes = 0;
+    /** Preparation phases (sampling/scheduling/block gen), measured. */
+    util::PhaseTimer phases;
+    /** Per-stage busy seconds, for the pipeline overlap model. */
+    double sample_seconds = 0.0;
+    double build_seconds = 0.0;
+    double feature_seconds = 0.0;
+
+    double
+    prepSeconds() const
+    {
+        return sample_seconds + build_seconds + feature_seconds;
+    }
+};
+
+/** Aggregate pipeline telemetry after (or during) a run. */
+struct PrefetcherStats
+{
+    double sample_busy_seconds = 0.0;
+    double build_busy_seconds = 0.0;
+    double feature_busy_seconds = 0.0;
+    std::size_t max_sampled_queue = 0;
+    std::size_t max_built_queue = 0;
+    std::size_t max_ready_queue = 0;
+    std::uint64_t peak_host_bytes = 0;
+};
+
+/** Runs the three preparation stages on a private util::ThreadPool. */
+class Prefetcher
+{
+  public:
+    /**
+     * Starts preparing @p batches immediately.
+     *
+     * @param stage_features Materialize host feature tensors (numeric
+     *        execution); the cost model only tracks cache presence.
+     * @param cache Optional shared feature cache (may be null).
+     * @param rng Consumed *only* by the sampling stage, in batch
+     *        order; the caller must not use it until the epoch ends.
+     *        All other references must outlive the Prefetcher.
+     */
+    Prefetcher(const graph::Dataset &dataset,
+               std::vector<graph::NodeList> batches,
+               const std::vector<int> &fanouts,
+               const nn::MemoryModel &memory_model,
+               const core::SchedulerOptions &scheduler_options,
+               bool stage_features, const PipelineOptions &options,
+               FeatureCache *cache, util::Rng &rng);
+
+    /** Cancels outstanding work and joins the stage workers. */
+    ~Prefetcher();
+
+    Prefetcher(const Prefetcher &) = delete;
+    Prefetcher &operator=(const Prefetcher &) = delete;
+
+    /**
+     * Blocks for the next prepared batch, in submission order.
+     * @return std::nullopt when every batch has been delivered.
+     * @throws whatever a preparation stage threw (first error wins).
+     */
+    std::optional<PreparedBatch> next();
+
+    /**
+     * Returns @p batch's staged bytes to the host budget. Call after
+     * the batch has been trained (its tensors may be freed then too).
+     */
+    void release(const PreparedBatch &batch);
+
+    PrefetcherStats stats() const;
+
+  private:
+    struct SampledItem
+    {
+        std::size_t index = 0;
+        sampling::SampledSubgraph sg;
+        double seconds = 0.0;
+        util::PhaseTimer phases;
+    };
+
+    void sampleStage(std::vector<graph::NodeList> batches,
+                     util::Rng &rng);
+    void buildStage();
+    void featureStage();
+    void failAll(std::exception_ptr error);
+
+    /** Stages one micro-batch's features through the cache. */
+    void stageFeatures(PreparedMicroBatch &pmb);
+
+    const graph::Dataset &dataset_;
+    const nn::MemoryModel &memory_model_;
+    core::SchedulerOptions scheduler_options_;
+    std::vector<int> fanouts_;
+    bool stage_features_;
+    PipelineOptions options_;
+    FeatureCache *cache_;
+    core::MicroBatchGenerator generator_;
+
+    StageQueue<SampledItem> sampled_;
+    StageQueue<PreparedBatch> built_;
+    StageQueue<PreparedBatch> ready_;
+    ByteBudget budget_;
+
+    mutable std::mutex stats_mutex_;
+    PrefetcherStats stats_;
+    /** Host bytes currently staged (guarded by stats_mutex_). */
+    std::uint64_t current_host_bytes_ = 0;
+
+    /** Owns the three stage workers; destroyed first on teardown. */
+    std::unique_ptr<util::ThreadPool> pool_;
+};
+
+} // namespace buffalo::pipeline

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Concurrency primitives of the prefetch pipeline (DESIGN.md, "Pipeline
+ * & feature cache"): a bounded MPMC queue connecting pipeline stages,
+ * with shutdown and exception propagation, and a byte-denominated
+ * backpressure gate that caps the host memory held by prepared
+ * micro-batches.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <optional>
+
+namespace buffalo::pipeline {
+
+/**
+ * A bounded multi-producer/multi-consumer queue for pipeline stages.
+ *
+ * Lifecycle: producers push() until done, then one of them calls
+ * close(); consumers pop() until they receive std::nullopt (queue
+ * closed *and* drained). Any stage that fails calls abort(error):
+ * pending and future pop() calls rethrow the error, push() returns
+ * false so producers can unwind, and queued items are dropped.
+ *
+ * push() blocks while the queue is at capacity — this is the
+ * backpressure that keeps a fast producer at most `capacity` items
+ * ahead of its consumer.
+ */
+template <typename T> class StageQueue
+{
+  public:
+    /** Creates a queue admitting at most @p capacity >= 1 items. */
+    explicit StageQueue(std::size_t capacity)
+        : capacity_(capacity < 1 ? 1 : capacity)
+    {
+    }
+
+    StageQueue(const StageQueue &) = delete;
+    StageQueue &operator=(const StageQueue &) = delete;
+
+    /**
+     * Blocks until there is room, then enqueues @p value.
+     * @return false (dropping @p value) if the queue was closed or
+     *         aborted while waiting.
+     */
+    bool
+    push(T value)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [this] {
+            return closed_ || error_ || items_.size() < capacity_;
+        });
+        if (closed_ || error_)
+            return false;
+        items_.push_back(std::move(value));
+        if (items_.size() > max_occupancy_)
+            max_occupancy_ = items_.size();
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocks until an item, closure, or abort arrives.
+     * @return the next item in FIFO order, or std::nullopt once the
+     *         queue is closed and fully drained.
+     * @throws the abort(error) exception if the queue was aborted.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [this] {
+            return error_ || closed_ || !items_.empty();
+        });
+        if (error_)
+            std::rethrow_exception(error_);
+        if (items_.empty())
+            return std::nullopt; // closed and drained
+        T value = std::move(items_.front());
+        items_.pop_front();
+        not_full_.notify_one();
+        return value;
+    }
+
+    /** Marks the producing side done; pops drain then return nullopt. */
+    void
+    close()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    /**
+     * Fails the queue: queued items are dropped, waiting producers are
+     * released (push returns false), and consumers rethrow @p error.
+     * The first abort wins; later calls are ignored.
+     */
+    void
+    abort(std::exception_ptr error)
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (!error_)
+            error_ = error;
+        items_.clear();
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    /** True once abort() has been called. */
+    bool
+    aborted() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return error_ != nullptr;
+    }
+
+    /** Items currently queued. */
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return items_.size();
+    }
+
+    /** High-water mark of queued items since construction. */
+    std::size_t
+    maxOccupancy() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return max_occupancy_;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    std::size_t max_occupancy_ = 0;
+    bool closed_ = false;
+    std::exception_ptr error_;
+};
+
+/**
+ * Byte-denominated admission gate: the prefetcher acquires the host
+ * bytes a prepared batch will pin *before* materializing it and
+ * releases them when the trainer has consumed the batch, so prepared
+ * work never exceeds the configured host-memory budget.
+ *
+ * A request larger than the whole budget is admitted once the gate is
+ * empty (otherwise it could never run); capacity 0 disables gating.
+ */
+class ByteBudget
+{
+  public:
+    explicit ByteBudget(std::uint64_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {
+    }
+
+    ByteBudget(const ByteBudget &) = delete;
+    ByteBudget &operator=(const ByteBudget &) = delete;
+
+    /**
+     * Blocks until @p bytes fit under the budget (or the gate is empty
+     * for an oversized request), then charges them.
+     * @return false if cancel() interrupted the wait.
+     */
+    bool
+    acquire(std::uint64_t bytes)
+    {
+        if (capacity_ == 0)
+            return true;
+        std::unique_lock<std::mutex> lock(mutex_);
+        changed_.wait(lock, [&] {
+            return cancelled_ || in_use_ + bytes <= capacity_ ||
+                   in_use_ == 0;
+        });
+        if (cancelled_)
+            return false;
+        in_use_ += bytes;
+        return true;
+    }
+
+    /** Returns @p bytes previously acquired. */
+    void
+    release(std::uint64_t bytes)
+    {
+        if (capacity_ == 0)
+            return;
+        std::lock_guard<std::mutex> guard(mutex_);
+        in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
+        changed_.notify_all();
+    }
+
+    /** Wakes all waiters; subsequent acquires fail fast. */
+    void
+    cancel()
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        cancelled_ = true;
+        changed_.notify_all();
+    }
+
+    /** Bytes currently charged. */
+    std::uint64_t
+    bytesInUse() const
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        return in_use_;
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+
+  private:
+    const std::uint64_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable changed_;
+    std::uint64_t in_use_ = 0;
+    bool cancelled_ = false;
+};
+
+} // namespace buffalo::pipeline

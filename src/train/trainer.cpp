@@ -70,7 +70,7 @@ TrainerBase::sampleBatch(const graph::Dataset &dataset,
                          const NodeList &seeds, util::Rng &rng,
                          util::PhaseTimer &phases) const
 {
-    util::PhaseTimer::Scope scope(phases, "sampling");
+    util::PhaseTimer::Scope scope(phases, kPhaseSampling);
     sampling::NeighborSampler sampler(options_.fanouts);
     return sampler.sample(dataset.graph(), seeds, rng);
 }
@@ -81,16 +81,25 @@ TrainerBase::processMicroBatch(const sampling::MicroBatch &mb,
                                std::size_t batch_output_count,
                                IterationStats &stats,
                                std::uint64_t extra_padding_bytes,
-                               double extra_padding_flops)
+                               double extra_padding_flops,
+                               const StagedFeatures *staged)
 {
     const nn::MemoryModel &mm = model_->memoryModel();
     device::DeviceAllocator &allocator = device_.allocator();
 
     // --- Data loading: host feature fill + simulated PCIe transfer.
-    const std::uint64_t transfer_bytes = mm.transferBytes(mb);
+    // Rows the feature cache already holds device-resident are not
+    // re-transferred; only the accounting changes, never the numerics.
+    std::uint64_t transfer_bytes = mm.transferBytes(mb);
+    const std::uint64_t saved_bytes =
+        staged ? std::min(staged->saved_transfer_bytes, transfer_bytes)
+               : 0;
+    transfer_bytes -= saved_bytes;
     const double transfer_seconds =
         device_.costModel().transferSeconds(transfer_bytes);
     device_.chargeTransfer(transfer_bytes);
+    if (saved_bytes > 0)
+        device_.noteTransferSaved(saved_bytes);
 
     const double flops =
         mm.microBatchFlops(mb) + extra_padding_flops;
@@ -112,10 +121,15 @@ TrainerBase::processMicroBatch(const sampling::MicroBatch &mb,
         return transfer_seconds + compute_seconds;
     }
 
-    // --- Numeric execution under the tracking allocator.
+    // --- Numeric execution under the tracking allocator. Staged
+    // features (prefetched to host by the pipeline) are copied onto
+    // the device; otherwise they are materialized inline.
     util::StopWatch watch;
+    const bool use_staged = staged && staged->host_features &&
+                            !staged->host_features->empty();
     nn::Tensor feats =
-        loadFeatures(dataset, mb.inputNodes(), &allocator);
+        use_staged ? staged->host_features->clone(&allocator)
+                   : loadFeatures(dataset, mb.inputNodes(), &allocator);
     stats.phases.add(kPhaseDataLoading,
                      watch.seconds() + transfer_seconds);
 

@@ -39,6 +39,7 @@ namespace buffalo::train {
 using graph::NodeList;
 
 /** Phase labels shared with Fig. 5 / Fig. 11 benches. */
+inline constexpr const char *kPhaseSampling = "sampling";
 inline constexpr const char *kPhaseScheduling = "buffalo scheduling";
 inline constexpr const char *kPhaseReg = "REG construction";
 inline constexpr const char *kPhaseMetis = "METIS partition";
@@ -61,6 +62,24 @@ struct TrainerOptions
     /** Scheduler knobs (BuffaloTrainer only); mem_constraint defaults
      *  to the device capacity when 0. */
     core::SchedulerOptions scheduler;
+};
+
+/**
+ * Inputs a prefetch pipeline prepared ahead of time for one
+ * micro-batch. The trainer consumes them instead of materializing
+ * features inline, and discounts the charged host->device traffic by
+ * the bytes a feature cache already held device-resident.
+ */
+struct StagedFeatures
+{
+    /**
+     * Pre-materialized input features in host memory (unobserved
+     * allocation); null or empty means "load from the dataset inline"
+     * (the cost-model path, which never materializes numerics).
+     */
+    const tensor::Tensor *host_features = nullptr;
+    /** Transfer bytes avoided because rows were cache-resident. */
+    std::uint64_t saved_transfer_bytes = 0;
 };
 
 /** Outcome of one training iteration. */
@@ -127,6 +146,9 @@ class TrainerBase
      *        gradients sum to the whole-batch gradient.
      * @param extra_padding_bytes Additional activation bytes charged
      *        during compute (PyG-like padding accounting).
+     * @param staged Optional prefetched inputs (see StagedFeatures);
+     *        numeric values are bitwise-identical to the inline path,
+     *        only the data-loading time/traffic accounting changes.
      * @return Simulated device seconds (transfer + kernels) charged
      *         for this micro-batch.
      */
@@ -135,7 +157,8 @@ class TrainerBase
                              std::size_t batch_output_count,
                              IterationStats &stats,
                              std::uint64_t extra_padding_bytes = 0,
-                             double extra_padding_flops = 0.0);
+                             double extra_padding_flops = 0.0,
+                             const StagedFeatures *staged = nullptr);
 
     /** Applies the optimizer step ("GPU compute" charged). */
     void optimizerStep(IterationStats &stats);

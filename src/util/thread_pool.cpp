@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
+#include <memory>
 
 namespace buffalo::util {
 
@@ -69,54 +71,87 @@ ThreadPool::workerLoop()
     }
 }
 
+bool
+ThreadPool::runOneTask()
+{
+    std::function<void()> task;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (tasks_.empty())
+            return false;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+    }
+    task();
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        if (--in_flight_ == 0)
+            all_done_.notify_all();
+    }
+    return true;
+}
+
 void
 ThreadPool::parallelFor(std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t)> &body)
 {
+    // Empty ranges never touch the queue (or its lock).
     if (begin >= end)
         return;
     const std::size_t count = end - begin;
     const std::size_t chunks = std::min(count, size() * 4);
     const std::size_t chunk_size = (count + chunks - 1) / chunks;
 
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::atomic<std::size_t> remaining{0};
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
+    // Shared (not stack) completion state: the caller may wake and
+    // return the instant `remaining` hits zero, while the finishing
+    // task is still inside notify_all — the tasks' shared_ptr copies
+    // keep the cv alive until that call has fully returned.
+    struct Completion
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        std::atomic<std::size_t> remaining{0};
+        std::exception_ptr first_error;
+    };
+    auto state = std::make_shared<Completion>();
 
-    std::size_t launched = 0;
     for (std::size_t c = 0; c < chunks; ++c) {
         const std::size_t lo = begin + c * chunk_size;
         if (lo >= end)
             break;
         const std::size_t hi = std::min(end, lo + chunk_size);
-        ++launched;
-        remaining.fetch_add(1, std::memory_order_relaxed);
-        submit([&, lo, hi] {
+        state->remaining.fetch_add(1, std::memory_order_relaxed);
+        submit([state, &body, lo, hi] {
             try {
                 for (std::size_t i = lo; i < hi; ++i)
                     body(i);
             } catch (...) {
-                std::lock_guard<std::mutex> guard(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
+                std::lock_guard<std::mutex> guard(state->mutex);
+                if (!state->first_error)
+                    state->first_error = std::current_exception();
             }
-            if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-                std::lock_guard<std::mutex> guard(done_mutex);
-                done_cv.notify_all();
+            if (state->remaining.fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+                std::lock_guard<std::mutex> guard(state->mutex);
+                state->done.notify_all();
             }
         });
     }
 
-    if (launched > 0) {
-        std::unique_lock<std::mutex> lock(done_mutex);
-        done_cv.wait(lock, [&] {
-            return remaining.load(std::memory_order_acquire) == 0;
+    // Help drain the queue while waiting so nested parallelFor calls
+    // (issued from inside pool tasks) make progress even when every
+    // worker is already occupied by an enclosing task.
+    while (state->remaining.load(std::memory_order_acquire) > 0) {
+        if (runOneTask())
+            continue;
+        std::unique_lock<std::mutex> lock(state->mutex);
+        state->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
+            return state->remaining.load(std::memory_order_acquire) ==
+                   0;
         });
     }
-    if (first_error)
-        std::rethrow_exception(first_error);
+    if (state->first_error)
+        std::rethrow_exception(state->first_error);
 }
 
 ThreadPool &

@@ -42,7 +42,24 @@ class ThreadPool
     /**
      * Runs body(i) for i in [begin, end), splitting the range into
      * roughly equal chunks across the workers, and blocks until done.
-     * Exceptions thrown by @p body propagate (the first one rethrown).
+     *
+     * An empty range (begin >= end) is a no-op: nothing is enqueued and
+     * the call returns immediately without taking the queue lock.
+     *
+     * Exception-propagation contract: if one or more body(i) calls
+     * throw, the *first* exception observed (by chunk completion order)
+     * is captured and rethrown on the calling thread after every chunk
+     * has finished; the remaining chunks still run to completion (there
+     * is no cancellation). Exceptions never escape into workerLoop(),
+     * so a throwing body cannot take down the pool. Tasks enqueued via
+     * submit() must not throw — there is no caller to receive the
+     * exception, so it would terminate the process.
+     *
+     * Nesting: parallelFor may be called from inside a pool task (e.g.
+     * a submitted job that itself fans out). While waiting for its
+     * chunks, the calling thread *helps* by draining other queued tasks,
+     * so nested calls make progress even when every worker is busy and
+     * cannot deadlock on pool capacity.
      */
     void parallelFor(std::size_t begin, std::size_t end,
                      const std::function<void(std::size_t)> &body);
@@ -52,6 +69,12 @@ class ThreadPool
 
   private:
     void workerLoop();
+
+    /**
+     * Pops and runs one queued task on the calling thread, if any.
+     * @return true if a task was executed.
+     */
+    bool runOneTask();
 
     std::vector<std::thread> workers_;
     std::queue<std::function<void()>> tasks_;

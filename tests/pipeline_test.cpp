@@ -1,0 +1,399 @@
+/**
+ * @file
+ * Tests for the async micro-batch pipeline: StageQueue semantics,
+ * ByteBudget backpressure, FeatureCache LRU/pinning, serial-vs-
+ * pipelined loss parity, and the transfer-savings accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "pipeline/feature_cache.h"
+#include "pipeline/pipeline_trainer.h"
+#include "pipeline/prefetcher.h"
+#include "pipeline/stage_queue.h"
+#include "train/experiment.h"
+#include "util/errors.h"
+#include "util/format.h"
+
+namespace buffalo::pipeline {
+namespace {
+
+// ---------------------------------------------------------------------
+// StageQueue
+
+TEST(StageQueue, FifoOrderAndClose)
+{
+    StageQueue<int> q(8);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(q.push(i));
+    q.close();
+    for (int i = 0; i < 5; ++i) {
+        auto item = q.pop();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(*item, i);
+    }
+    EXPECT_FALSE(q.pop().has_value());
+    EXPECT_FALSE(q.push(99)); // closed
+}
+
+TEST(StageQueue, BoundedBackpressure)
+{
+    StageQueue<int> q(2);
+    std::thread producer([&] {
+        for (int i = 0; i < 50; ++i)
+            ASSERT_TRUE(q.push(i));
+        q.close();
+    });
+    int expected = 0;
+    while (auto item = q.pop()) {
+        EXPECT_EQ(*item, expected++);
+        EXPECT_LE(q.size(), 2u);
+    }
+    producer.join();
+    EXPECT_EQ(expected, 50);
+    EXPECT_LE(q.maxOccupancy(), 2u);
+}
+
+TEST(StageQueue, AbortPropagatesToConsumerAndProducer)
+{
+    StageQueue<int> q(1);
+    ASSERT_TRUE(q.push(1)); // queue now full
+    std::thread consumer([&] {
+        EXPECT_THROW(
+            {
+                while (q.pop())
+                    ;
+            },
+            std::runtime_error);
+    });
+    q.abort(std::make_exception_ptr(
+        std::runtime_error("stage failed")));
+    consumer.join();
+    EXPECT_FALSE(q.push(2)); // producers unwind instead of blocking
+    EXPECT_TRUE(q.aborted());
+}
+
+TEST(ByteBudget, CapsAndAdmitsOversizeWhenEmpty)
+{
+    ByteBudget budget(100);
+    EXPECT_TRUE(budget.acquire(60));
+    EXPECT_TRUE(budget.acquire(40));
+    EXPECT_EQ(budget.bytesInUse(), 100u);
+
+    std::atomic<bool> acquired{false};
+    std::thread waiter([&] {
+        EXPECT_TRUE(budget.acquire(500)); // oversize: admitted at 0
+        acquired = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(acquired.load());
+    budget.release(60);
+    budget.release(40);
+    waiter.join();
+    EXPECT_TRUE(acquired.load());
+    budget.release(500);
+    EXPECT_EQ(budget.bytesInUse(), 0u);
+}
+
+TEST(ByteBudget, CancelUnblocksWaiters)
+{
+    ByteBudget budget(10);
+    EXPECT_TRUE(budget.acquire(10));
+    std::thread waiter([&] { EXPECT_FALSE(budget.acquire(5)); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    budget.cancel();
+    waiter.join();
+}
+
+// ---------------------------------------------------------------------
+// FeatureCache
+
+FeatureCacheOptions
+cacheOptions(int dim, std::uint64_t rows, bool payload = true)
+{
+    FeatureCacheOptions options;
+    options.feature_dim = dim;
+    options.capacity_bytes = rows * dim * sizeof(float);
+    options.store_payload = payload;
+    return options;
+}
+
+TEST(FeatureCache, LruEvictionOrder)
+{
+    FeatureCache cache(cacheOptions(4, 3));
+    ASSERT_TRUE(cache.enabled());
+    EXPECT_EQ(cache.capacityRows(), 3u);
+
+    std::vector<float> row(4, 1.0f);
+    cache.insert(10, row);
+    cache.insert(11, row);
+    cache.insert(12, row);
+    // Refresh 10 so 11 becomes the LRU victim.
+    EXPECT_TRUE(cache.lookup(10, {}));
+    cache.insert(13, row); // evicts 11
+    EXPECT_TRUE(cache.lookup(10, {}));
+    EXPECT_FALSE(cache.lookup(11, {}));
+    EXPECT_TRUE(cache.lookup(12, {}));
+    EXPECT_TRUE(cache.lookup(13, {}));
+
+    const FeatureCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_EQ(stats.insertions, 4u);
+    EXPECT_EQ(stats.resident_nodes, 3u);
+    EXPECT_EQ(stats.hits, 4u);
+    EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(FeatureCache, PayloadRoundTrips)
+{
+    FeatureCache cache(cacheOptions(3, 2));
+    const std::vector<float> row = {1.5f, -2.0f, 0.25f};
+    cache.insert(7, row);
+    std::vector<float> out(3, 0.0f);
+    ASSERT_TRUE(cache.lookup(7, out));
+    EXPECT_EQ(out, row);
+}
+
+TEST(FeatureCache, PresenceOnlyModeTracksCapacity)
+{
+    FeatureCache cache(cacheOptions(64, 2, /*payload=*/false));
+    cache.insert(1, {});
+    cache.insert(2, {});
+    cache.insert(3, {}); // evicts 1
+    EXPECT_FALSE(cache.lookup(1, {}));
+    EXPECT_TRUE(cache.lookup(2, {}));
+    EXPECT_EQ(cache.stats().bytes_in_use, 2u * 64u * sizeof(float));
+}
+
+TEST(FeatureCache, DisabledCacheRefusesEverything)
+{
+    FeatureCache cache(cacheOptions(4, 0));
+    EXPECT_FALSE(cache.enabled());
+    cache.insert(1, std::vector<float>(4, 0.0f));
+    EXPECT_FALSE(cache.lookup(1, {}));
+    EXPECT_EQ(cache.stats().resident_nodes, 0u);
+}
+
+TEST(FeatureCache, PinnedHotNodesSurviveEviction)
+{
+    graph::Dataset data =
+        graph::loadDataset(graph::DatasetId::Cora, 42, 0.5);
+    FeatureCache cache(cacheOptions(data.featureDim(), 4));
+    cache.pinHotNodes(data, 2);
+    EXPECT_EQ(cache.stats().pinned_nodes, 2u);
+
+    // Find the two pinned (highest-degree) nodes.
+    const graph::CsrGraph &g = data.graph();
+    std::vector<graph::NodeId> pinned;
+    for (graph::NodeId u = 0; u < g.numNodes(); ++u)
+        if (cache.lookup(u, {}))
+            pinned.push_back(u);
+    ASSERT_EQ(pinned.size(), 2u);
+
+    // Flood with unpinned rows; pinned entries must survive.
+    std::vector<float> row(data.featureDim(), 0.0f);
+    for (graph::NodeId u = 0; u < 50; ++u) {
+        if (std::find(pinned.begin(), pinned.end(), u) ==
+            pinned.end())
+            cache.insert(u, row);
+    }
+    for (const graph::NodeId u : pinned)
+        EXPECT_TRUE(cache.lookup(u, {})) << "pinned node " << u;
+
+    // Pinned rows hold the dataset's actual features.
+    std::vector<float> expect(data.featureDim());
+    std::vector<float> got(data.featureDim());
+    data.fillFeatures(pinned.front(), expect);
+    ASSERT_TRUE(cache.lookup(pinned.front(), got));
+    EXPECT_EQ(got, expect);
+}
+
+// ---------------------------------------------------------------------
+// Serial-vs-pipelined parity
+
+graph::Dataset &
+arxiv()
+{
+    static graph::Dataset data =
+        graph::loadDataset(graph::DatasetId::Arxiv, 42, 0.08);
+    return data;
+}
+
+train::TrainerOptions
+baseOptions(const graph::Dataset &data)
+{
+    train::TrainerOptions options;
+    options.model.aggregator = nn::AggregatorKind::Mean;
+    options.model.num_layers = 2;
+    options.model.feature_dim = data.featureDim();
+    options.model.hidden_dim = 16;
+    options.model.num_classes = data.numClasses();
+    options.fanouts = {5, 10};
+    return options;
+}
+
+/** Serial reference epochs via the stock runTraining loop. */
+std::vector<train::EpochStats>
+serialEpochs(const graph::Dataset &data,
+             const train::TrainerOptions &options,
+             std::uint64_t budget, int epochs, std::size_t batch_size,
+             std::uint64_t rng_seed)
+{
+    device::Device dev("serial", budget);
+    train::BuffaloTrainer trainer(options, dev);
+    util::Rng rng(rng_seed);
+    return train::runTraining(trainer, data, epochs, batch_size, rng);
+}
+
+TEST(PipelineParity, LossMatchesSerialAcrossSeedsAndEpochs)
+{
+    auto &data = arxiv();
+    train::TrainerOptions options = baseOptions(data);
+    const std::uint64_t budget = util::gib(4);
+    constexpr int kEpochs = 2;
+    constexpr std::size_t kBatch = 64;
+
+    for (const std::uint64_t seed : {1ull, 202ull}) {
+        const auto serial = serialEpochs(data, options, budget,
+                                         kEpochs, kBatch, seed);
+
+        device::Device dev("pipelined", budget);
+        PipelineOptions pipe;
+        pipe.prefetch_depth = 2;
+        pipe.feature_cache_bytes = util::mib(4);
+        pipe.pinned_hot_nodes = 32;
+        PipelineTrainer trainer(options, dev, pipe);
+        util::Rng rng(seed);
+        for (int epoch = 0; epoch < kEpochs; ++epoch) {
+            const PipelinedEpochStats stats =
+                trainer.trainEpoch(data, kBatch, rng);
+            ASSERT_NEAR(stats.mean_loss, serial[epoch].mean_loss,
+                        1e-12)
+                << "seed " << seed << " epoch " << epoch;
+            ASSERT_DOUBLE_EQ(stats.accuracy, serial[epoch].accuracy);
+        }
+    }
+}
+
+TEST(PipelineParity, CacheHitsReduceTransferOnRedundantWorkload)
+{
+    auto &data = arxiv();
+    train::TrainerOptions options = baseOptions(data);
+    const std::uint64_t budget = util::gib(4);
+    constexpr std::size_t kBatch = 48;
+
+    // Uncached reference traffic.
+    device::Device plain_dev("plain", budget);
+    PipelineTrainer plain(options, plain_dev, PipelineOptions{});
+    util::Rng plain_rng(9);
+    const PipelinedEpochStats plain_stats =
+        plain.trainEpoch(data, kBatch, plain_rng);
+    EXPECT_EQ(plain_stats.transfer_saved_bytes, 0u);
+
+    device::Device dev("cached", budget);
+    PipelineOptions pipe;
+    pipe.prefetch_depth = 2;
+    pipe.feature_cache_bytes = util::mib(8);
+    pipe.pinned_hot_nodes = 64;
+    PipelineTrainer trainer(options, dev, pipe);
+    util::Rng rng(9);
+    const PipelinedEpochStats stats =
+        trainer.trainEpoch(data, kBatch, rng);
+
+    // Adjacent micro-batches share input nodes (paper Eq. 1-2), so a
+    // warm cache must see hits and shed exactly that much traffic.
+    EXPECT_GT(stats.cache.hits, 0u);
+    EXPECT_GT(stats.cache.hitRate(), 0.0);
+    EXPECT_GT(stats.transfer_saved_bytes, 0u);
+    EXPECT_EQ(stats.transfer_bytes + stats.transfer_saved_bytes,
+              plain_stats.transfer_bytes);
+    EXPECT_EQ(dev.transferSavedBytes(), stats.transfer_saved_bytes);
+
+    // The discount is accounting only: the numbers stay identical.
+    EXPECT_NEAR(stats.mean_loss, plain_stats.mean_loss, 1e-12);
+}
+
+TEST(PipelineParity, HostBudgetBackpressureStillCompletes)
+{
+    auto &data = arxiv();
+    train::TrainerOptions options = baseOptions(data);
+    const std::uint64_t budget = util::gib(4);
+    constexpr std::size_t kBatch = 64;
+
+    const auto serial =
+        serialEpochs(data, options, budget, 1, kBatch, 5);
+
+    device::Device dev("tight-host", budget);
+    PipelineOptions pipe;
+    pipe.prefetch_depth = 4;
+    // Far below one batch's staging cost: batches are admitted one at
+    // a time through the oversize path.
+    pipe.host_memory_budget = 1024;
+    PipelineTrainer trainer(options, dev, pipe);
+    util::Rng rng(5);
+    const PipelinedEpochStats stats =
+        trainer.trainEpoch(data, kBatch, rng);
+    EXPECT_NEAR(stats.mean_loss, serial[0].mean_loss, 1e-12);
+    EXPECT_GT(stats.stages.peak_host_bytes, 0u);
+}
+
+TEST(PipelineModel, OverlapStrictlyBeatsSerialAccounting)
+{
+    auto &data = arxiv();
+    train::TrainerOptions options = baseOptions(data);
+    options.mode = train::ExecutionMode::CostModel;
+
+    device::Device dev("gpu", util::mib(48));
+    PipelineOptions pipe;
+    pipe.prefetch_depth = 2;
+    pipe.feature_cache_bytes = util::mib(2);
+    PipelineTrainer trainer(options, dev, pipe);
+    util::Rng rng(3);
+    // arxiv-sim @0.08 has 128 train nodes: batch 32 -> 4 batches.
+    const PipelinedEpochStats stats =
+        trainer.trainEpoch(data, 32, rng);
+
+    ASSERT_GT(stats.num_batches, 1);
+    EXPECT_GT(stats.device_seconds, 0.0);
+    EXPECT_GT(stats.prep_seconds, 0.0);
+    EXPECT_LT(stats.pipelined_seconds, stats.serial_seconds);
+    EXPECT_GE(stats.pipelined_seconds, stats.device_seconds);
+}
+
+TEST(Prefetcher, StageErrorPropagatesToConsumer)
+{
+    auto &data = arxiv();
+    nn::ModelConfig config;
+    config.aggregator = nn::AggregatorKind::Mean;
+    config.num_layers = 2;
+    config.feature_dim = data.featureDim();
+    config.hidden_dim = 16;
+    config.num_classes = data.numClasses();
+    nn::MemoryModel model(config);
+
+    core::SchedulerOptions sched;
+    sched.mem_constraint = 1; // infeasible: scheduling must fail
+    sched.max_groups = 2;
+
+    std::vector<graph::NodeList> batches = {graph::NodeList(
+        data.trainNodes().begin(), data.trainNodes().begin() + 32)};
+    util::Rng rng(11);
+    Prefetcher prefetcher(data, batches, {5, 10}, model, sched,
+                          /*stage_features=*/false, PipelineOptions{},
+                          nullptr, rng);
+    EXPECT_THROW(
+        {
+            while (prefetcher.next())
+                ;
+        },
+        buffalo::Error);
+}
+
+} // namespace
+} // namespace buffalo::pipeline

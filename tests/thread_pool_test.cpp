@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Stress tests for util::ThreadPool: empty ranges, nested submits and
+ * nested parallelFor (the prefetch pipeline runs block generation from
+ * inside pool tasks), and the exception-propagation contract.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace buffalo::util {
+namespace {
+
+TEST(ThreadPool, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.parallelFor(5, 5, [&](std::size_t) { ++calls; });
+    pool.parallelFor(7, 3, [&](std::size_t) { ++calls; });
+    pool.parallelFor(0, 0, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+
+    // The pool stays fully usable afterwards.
+    pool.parallelFor(0, 10, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 10000;
+    std::vector<std::atomic<int>> seen(kCount);
+    pool.parallelFor(0, kCount, [&](std::size_t i) { ++seen[i]; });
+    for (std::size_t i = 0; i < kCount; ++i)
+        ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ExceptionIsRethrownOnce)
+{
+    ThreadPool pool(3);
+    std::atomic<int> calls{0};
+    // Throw at the last index: the throwing chunk abandons only the
+    // indices after the throw, so every index still runs exactly once.
+    EXPECT_THROW(pool.parallelFor(0, 100,
+                                  [&](std::size_t i) {
+                                      ++calls;
+                                      if (i == 99)
+                                          throw std::runtime_error(
+                                              "bad index");
+                                  }),
+                 std::runtime_error);
+    // No cancellation: sibling chunks all still ran.
+    EXPECT_EQ(calls.load(), 100);
+
+    // A throwing body never poisons the workers.
+    std::atomic<int> after{0};
+    pool.parallelFor(0, 8, [&](std::size_t) { ++after; });
+    EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    // Two workers, eight outer chunks each running an inner
+    // parallelFor: without the caller helping to drain the queue this
+    // deadlocks (every worker blocked waiting for its inner chunks).
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 8, [&](std::size_t) {
+        pool.parallelFor(0, 8, [&](std::size_t) { ++count; });
+    });
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, DoublyNestedParallelFor)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.parallelFor(0, 4, [&](std::size_t) {
+        pool.parallelFor(0, 4, [&](std::size_t) {
+            pool.parallelFor(0, 4, [&](std::size_t) { ++count; });
+        });
+    });
+    EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesToOuterCaller)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallelFor(0, 4,
+                                  [&](std::size_t) {
+                                      pool.parallelFor(
+                                          0, 4, [&](std::size_t j) {
+                                              if (j == 2)
+                                                  throw std::logic_error(
+                                                      "inner");
+                                          });
+                                  }),
+                 std::logic_error);
+}
+
+TEST(ThreadPool, NestedSubmitsAllRun)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&pool, &count] {
+            ++count;
+            for (int j = 0; j < 10; ++j)
+                pool.submit([&count] { ++count; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 100 + 100 * 10);
+}
+
+TEST(ThreadPool, ParallelForFromSubmittedTask)
+{
+    // parallelFor issued from inside a submitted task while the other
+    // workers are saturated with more submitted tasks.
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 4; ++i) {
+        pool.submit([&pool, &count] {
+            pool.parallelFor(0, 32, [&](std::size_t) { ++count; });
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 4 * 32);
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton)
+{
+    EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+    EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+} // namespace
+} // namespace buffalo::util

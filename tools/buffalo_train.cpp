@@ -21,6 +21,7 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "nn/checkpoint.h"
+#include "pipeline/pipeline_trainer.h"
 #include "train/evaluator.h"
 #include "train/experiment.h"
 #include "train/trainer.h"
@@ -59,6 +60,12 @@ training:
   --system NAME         buffalo | whole | betty              [buffalo]
   --betty-k N           Betty micro-batch count              [4]
   --cost-model          analytic execution (no numeric math)
+pipeline (requires --system buffalo):
+  --pipeline            prefetch batches while training
+  --prefetch-depth N    batches prepared ahead               [2]
+  --feature-cache-mb X  host feature cache size (0 = off)    [0]
+  --pinned-hot N        highest-degree nodes pinned in cache [0]
+  --host-budget-mb X    staged host memory cap (0 = off)     [0]
 output:
   --save-checkpoint P   write model parameters after training
   --load-checkpoint P   initialize model parameters from P
@@ -149,6 +156,8 @@ main(int argc, char **argv)
             "feature-dim", "model", "aggregator", "layers", "hidden",
             "heads", "fanouts", "budget-mb", "epochs", "batch-size",
             "lr", "seed", "system", "betty-k", "cost-model",
+            "pipeline", "prefetch-depth", "feature-cache-mb",
+            "pinned-hot", "host-budget-mb",
             "save-checkpoint", "load-checkpoint", "save-bundle",
             "eval", "verbose", "help",
         });
@@ -207,9 +216,26 @@ main(int argc, char **argv)
                          flags.getInt("budget-mb", 64))));
 
         std::unique_ptr<train::TrainerBase> trainer;
+        pipeline::PipelineTrainer *pipelined = nullptr;
         const std::string system =
             flags.getString("system", "buffalo");
-        if (system == "buffalo") {
+        checkArgument(!flags.getBool("pipeline") || system == "buffalo",
+                      "--pipeline requires --system buffalo");
+        if (system == "buffalo" && flags.getBool("pipeline")) {
+            pipeline::PipelineOptions pipe;
+            pipe.prefetch_depth =
+                static_cast<int>(flags.getInt("prefetch-depth", 2));
+            pipe.feature_cache_bytes =
+                util::mib(flags.getDouble("feature-cache-mb", 0.0));
+            pipe.pinned_hot_nodes = static_cast<std::size_t>(
+                flags.getInt("pinned-hot", 0));
+            pipe.host_memory_budget =
+                util::mib(flags.getDouble("host-budget-mb", 0.0));
+            auto owned = std::make_unique<pipeline::PipelineTrainer>(
+                options, gpu, pipe);
+            pipelined = owned.get();
+            trainer = std::move(owned);
+        } else if (system == "buffalo") {
             trainer =
                 std::make_unique<train::BuffaloTrainer>(options, gpu);
         } else if (system == "whole") {
@@ -235,14 +261,47 @@ main(int argc, char **argv)
             static_cast<int>(flags.getInt("epochs", 4));
         const std::size_t batch_size = static_cast<std::size_t>(
             flags.getInt("batch-size", 256));
-        auto curve = train::runTraining(*trainer, data, epochs,
-                                        batch_size, rng);
-        for (std::size_t epoch = 0; epoch < curve.size(); ++epoch) {
-            std::printf("epoch %zu: loss %.4f acc %.3f (%s)\n", epoch,
-                        curve[epoch].mean_loss, curve[epoch].accuracy,
-                        util::formatSeconds(
-                            curve[epoch].epoch_seconds)
-                            .c_str());
+        if (pipelined) {
+            for (int epoch = 0; epoch < epochs; ++epoch) {
+                const auto stats =
+                    pipelined->trainEpoch(data, batch_size, rng);
+                std::printf(
+                    "epoch %d: loss %.4f acc %.3f "
+                    "(%s pipelined vs %s serial, prep %s hidden)\n",
+                    epoch, stats.mean_loss, stats.accuracy,
+                    util::formatSeconds(stats.pipelined_seconds)
+                        .c_str(),
+                    util::formatSeconds(stats.serial_seconds).c_str(),
+                    util::formatSeconds(stats.serial_seconds -
+                                        stats.pipelined_seconds)
+                        .c_str());
+                if (pipelined->featureCache().enabled()) {
+                    std::printf(
+                        "  cache: %.1f%% hit rate, %s transfer saved "
+                        "(%llu hits / %llu misses / %llu evictions)\n",
+                        stats.cache.hitRate() * 100.0,
+                        util::formatBytes(stats.transfer_saved_bytes)
+                            .c_str(),
+                        static_cast<unsigned long long>(
+                            stats.cache.hits),
+                        static_cast<unsigned long long>(
+                            stats.cache.misses),
+                        static_cast<unsigned long long>(
+                            stats.cache.evictions));
+                }
+            }
+        } else {
+            auto curve = train::runTraining(*trainer, data, epochs,
+                                            batch_size, rng);
+            for (std::size_t epoch = 0; epoch < curve.size();
+                 ++epoch) {
+                std::printf("epoch %zu: loss %.4f acc %.3f (%s)\n",
+                            epoch, curve[epoch].mean_loss,
+                            curve[epoch].accuracy,
+                            util::formatSeconds(
+                                curve[epoch].epoch_seconds)
+                                .c_str());
+            }
         }
         std::printf("peak device memory: %s of %s\n",
                     util::formatBytes(gpu.allocator().peakBytes())

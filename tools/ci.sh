@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI driver: build + test the Release config, then rebuild the
+# concurrent pipeline subsystem under ThreadSanitizer and re-run the
+# test suite (cheap races in StageQueue/Prefetcher show up here long
+# before they show up in production runs).
+#
+# Usage: tools/ci.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== Release build + tests ==="
+cmake -B "${prefix}-release" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${prefix}-release" -j "${jobs}"
+ctest --test-dir "${prefix}-release" --output-on-failure -j "${jobs}"
+
+echo "=== ThreadSanitizer build + tests ==="
+cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DBUFFALO_SANITIZE=thread
+cmake --build "${prefix}-tsan" -j "${jobs}"
+# SlightlyFaster compares measured wall-clock between runs, which
+# TSan's interception slows too unevenly to keep meaningful.
+ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" \
+    -E "SlightlyFaster"
+
+echo "=== ci.sh: all green ==="
