@@ -15,24 +15,14 @@ using namespace buffalo;
 
 namespace {
 
-const char *const kPhases[] = {
-    "sampling",
-    train::kPhaseScheduling,
-    train::kPhaseReg,
-    train::kPhaseMetis,
-    sampling::kPhaseConnectionCheck,
-    sampling::kPhaseBlockConstruction,
-    train::kPhaseDataLoading,
-    train::kPhaseGpuCompute,
-};
-
 void
 printBreakdown(const std::string &system,
                const train::IterationStats &stats, util::Table &table)
 {
     std::vector<std::string> row{system};
-    for (const char *phase : kPhases)
-        row.push_back(util::formatSeconds(stats.phases.get(phase)));
+    for (const train::Phase phase : train::kAllPhases)
+        row.push_back(util::formatSeconds(
+            stats.phases.get(train::phaseName(phase))));
     row.push_back(util::formatSeconds(stats.endToEndSeconds()));
     table.addRow(std::move(row));
 }

@@ -86,11 +86,11 @@ numericParity()
         runSerial(data, options, budget, kEpochs, kBatch, kSeed);
 
     device::Device dev("pipelined", budget);
-    pipeline::PipelineOptions pipe;
-    pipe.prefetch_depth = 2;
-    pipe.feature_cache_bytes = util::mib(8);
-    pipe.pinned_hot_nodes = 64;
-    pipeline::PipelineTrainer trainer(options, dev, pipe);
+    train::TrainerOptions pipelined_options = options;
+    pipelined_options.pipeline.prefetch_depth = 2;
+    pipelined_options.pipeline.feature_cache_bytes = util::mib(8);
+    pipelined_options.pipeline.pinned_hot_nodes = 64;
+    pipeline::PipelineTrainer trainer(pipelined_options, dev);
     util::Rng rng(kSeed);
 
     util::Table table({"epoch", "serial loss", "pipelined loss",
@@ -141,11 +141,11 @@ costModelSweep()
     for (const int depth : {1, 2, 4}) {
         for (const double cache_mb : {0.0, 2.0, 8.0}) {
             device::Device dev("gpu", budget);
-            pipeline::PipelineOptions pipe;
-            pipe.prefetch_depth = depth;
-            pipe.feature_cache_bytes = util::mib(cache_mb);
-            pipe.pinned_hot_nodes = cache_mb > 0 ? 128 : 0;
-            pipeline::PipelineTrainer trainer(options, dev, pipe);
+            train::TrainerOptions swept = options;
+            swept.pipeline.prefetch_depth = depth;
+            swept.pipeline.feature_cache_bytes = util::mib(cache_mb);
+            swept.pipeline.pinned_hot_nodes = cache_mb > 0 ? 128 : 0;
+            pipeline::PipelineTrainer trainer(swept, dev);
             util::Rng rng(kSeed);
             const auto stats = trainer.trainEpoch(data, kBatch, rng);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/errors.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -28,6 +30,7 @@ BuffaloScheduler::BuffaloScheduler(const nn::MemoryModel &model,
 ScheduleResult
 BuffaloScheduler::schedule(const SampledSubgraph &sg) const
 {
+    obs::Span span("scheduler.schedule");
     util::StopWatch watch;
     const RedundancyAwareMemEstimator &estimator =
         options_.redundancy_aware ? redundancy_estimator_
@@ -170,6 +173,18 @@ BuffaloScheduler::schedule(const SampledSubgraph &sg) const
             result.groups = std::move(grouping.groups);
             result.single_group = k == 1;
             result.schedule_seconds = watch.seconds();
+
+            obs::MetricsRegistry &m = obs::metrics();
+            m.counter("scheduler.schedules").add();
+            m.counter("scheduler.k_attempts")
+                .add(static_cast<std::uint64_t>(k - k_start + 1));
+            if (result.explosion_detected)
+                m.counter("scheduler.explosion_splits").add();
+            m.histogram("scheduler.num_groups")
+                .add(static_cast<double>(result.num_groups));
+            m.histogram("scheduler.schedule_seconds")
+                .add(result.schedule_seconds);
+
             BUFFALO_LOG_INFO("scheduler")
                 << "K=" << result.num_groups << " groups (explosion="
                 << result.explosion_detected << ") in "

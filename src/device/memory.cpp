@@ -1,5 +1,6 @@
 #include "device/memory.h"
 
+#include "obs/metrics.h"
 #include "util/format.h"
 
 namespace buffalo::device {
@@ -24,11 +25,18 @@ DeviceAllocator::onAllocate(std::uint64_t bytes)
 {
     if (in_use_ + bytes > capacity_) {
         ++oom_count_;
+        obs::metrics().counter("device.oom_events").add();
         throw DeviceOom(bytes, in_use_, capacity_);
     }
     in_use_ += bytes;
-    if (in_use_ > peak_)
+    if (in_use_ > peak_) {
         peak_ = in_use_;
+        // A relaxed CAS only on new watermarks — allocation stays
+        // cheap on the (hot) non-watermark path.
+        obs::metrics()
+            .gauge("device.peak_bytes")
+            .setMax(static_cast<double>(peak_));
+    }
 }
 
 void

@@ -1,0 +1,485 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/errors.h"
+
+namespace buffalo::obs {
+
+// ---------------------------------------------------------------------
+// Parsing
+
+struct JsonValue::Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw InvalidArgument("JsonValue::parse: " + why +
+                              " at offset " + std::to_string(pos));
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consume(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return false;
+        pos += word.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWhitespace();
+        const char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"') {
+            JsonValue v;
+            v.kind_ = Kind::String;
+            v.string_ = parseString();
+            return v;
+        }
+        if (consume("true")) {
+            JsonValue v;
+            v.kind_ = Kind::Bool;
+            v.bool_ = true;
+            return v;
+        }
+        if (consume("false")) {
+            JsonValue v;
+            v.kind_ = Kind::Bool;
+            v.bool_ = false;
+            return v;
+        }
+        if (consume("null"))
+            return JsonValue();
+        return parseNumber();
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= text.size())
+                fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos >= text.size())
+                fail("unterminated escape");
+            const char e = text[pos++];
+            switch (e) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'n': out.push_back('\n'); break;
+            case 'r': out.push_back('\r'); break;
+            case 't': out.push_back('\t'); break;
+            case 'u': {
+                if (pos + 4 > text.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // Exporters only escape ASCII; decode BMP code points
+                // to UTF-8 so round-trips stay lossless.
+                if (code < 0x80) {
+                    out.push_back(static_cast<char>(code));
+                } else if (code < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xC0 | (code >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xE0 | (code >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((code >> 6) & 0x3F)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (code & 0x3F)));
+                }
+                break;
+            }
+            default:
+                fail("unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t begin = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-'))
+            ++pos;
+        if (pos == begin)
+            fail("expected a value");
+        const std::string token(text.substr(begin, pos - begin));
+        std::size_t used = 0;
+        double number = 0.0;
+        try {
+            number = std::stod(token, &used);
+        } catch (const std::exception &) {
+            fail("malformed number '" + token + "'");
+        }
+        if (used != token.size())
+            fail("malformed number '" + token + "'");
+        JsonValue v;
+        v.kind_ = Kind::Number;
+        v.number_ = number;
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind_ = Kind::Array;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.items_.push_back(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind_ = Kind::Object;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skipWhitespace();
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            v.index_.emplace(key, v.items_.size());
+            v.items_.push_back(parseValue());
+            v.keys_.push_back(std::move(key));
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+};
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    Parser parser{text};
+    JsonValue v = parser.parseValue();
+    parser.skipWhitespace();
+    if (parser.pos != text.size())
+        parser.fail("trailing content");
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    checkArgument(kind_ == Kind::Bool, "JsonValue: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    checkArgument(kind_ == Kind::Number, "JsonValue: not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    checkArgument(kind_ == Kind::String, "JsonValue: not a string");
+    return string_;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    return items_.size();
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    checkArgument(kind_ == Kind::Array, "JsonValue: not an array");
+    checkArgument(index < items_.size(),
+                  "JsonValue: array index out of range");
+    return items_[index];
+}
+
+bool
+JsonValue::has(std::string_view key) const
+{
+    return kind_ == Kind::Object && index_.find(key) != index_.end();
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key) const
+{
+    checkArgument(kind_ == Kind::Object, "JsonValue: not an object");
+    const auto it = index_.find(key);
+    checkArgument(it != index_.end(),
+                  "JsonValue: no member '" + std::string(key) + "'");
+    return items_[it->second];
+}
+
+// ---------------------------------------------------------------------
+// Writing
+
+std::string
+readFileText(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw Error("readFileText: cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFileText(const std::string &path, std::string_view text)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        throw Error("writeFileText: cannot open '" + path + "'");
+    out << text << '\n';
+    if (!out)
+        throw Error("writeFileText: write failed for '" + path + "'");
+}
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pending_key_) {
+        pending_key_ = false;
+        return;
+    }
+    if (needs_comma_.back())
+        out_.push_back(',');
+    needs_comma_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_.push_back('{');
+    needs_comma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_.push_back('}');
+    needs_comma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_.push_back('[');
+    needs_comma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_.push_back(']');
+    needs_comma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    separate();
+    out_.push_back('"');
+    out_ += jsonEscape(name);
+    out_ += "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view text)
+{
+    separate();
+    out_.push_back('"');
+    out_ += jsonEscape(text);
+    out_.push_back('"');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *text)
+{
+    return value(std::string_view(text));
+}
+
+JsonWriter &
+JsonWriter::value(double number)
+{
+    separate();
+    if (!std::isfinite(number)) {
+        // JSON has no Inf/NaN; null keeps the document parseable.
+        out_ += "null";
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t number)
+{
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t number)
+{
+    separate();
+    out_ += std::to_string(number);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int number)
+{
+    return value(static_cast<std::int64_t>(number));
+}
+
+JsonWriter &
+JsonWriter::value(bool flag)
+{
+    separate();
+    out_ += flag ? "true" : "false";
+    return *this;
+}
+
+void
+JsonWriter::writeFile(const std::string &path) const
+{
+    writeFileText(path, out_);
+}
+
+} // namespace buffalo::obs

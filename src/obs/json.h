@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Minimal JSON support for the observability exporters: a streaming
+ * writer (used to emit Chrome trace-event and metrics files without
+ * materializing a DOM) and a small recursive-descent parser (used by
+ * the schema round-trip tests and the obs_validate CI tool).
+ *
+ * Deliberately not a general-purpose JSON library: numbers are stored
+ * as double, object keys keep insertion order, and inputs larger than
+ * a trace file was ever going to be are out of scope.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace buffalo::obs {
+
+/** A parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    /**
+     * Parses @p text as one JSON document (trailing whitespace only).
+     * @throws buffalo::InvalidArgument on malformed input.
+     */
+    static JsonValue parse(std::string_view text);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; throw InvalidArgument on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+
+    /** Array element count / object member count. */
+    std::size_t size() const;
+
+    /** Array element @p index (throws when out of range / not array). */
+    const JsonValue &at(std::size_t index) const;
+
+    /** True when this is an object with member @p key. */
+    bool has(std::string_view key) const;
+
+    /** Object member @p key (throws when absent / not an object). */
+    const JsonValue &at(std::string_view key) const;
+
+    /** Object keys in document order (empty for non-objects). */
+    const std::vector<std::string> &keys() const { return keys_; }
+
+  private:
+    struct Parser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::string> keys_;
+    std::map<std::string, std::size_t, std::less<>> index_;
+};
+
+/** Reads the whole file at @p path (throws Error on failure). */
+std::string readFileText(const std::string &path);
+
+/** Writes @p text (plus a trailing newline) to @p path. */
+void writeFileText(const std::string &path, std::string_view text);
+
+/** JSON string escaping for @p text (no surrounding quotes). */
+std::string jsonEscape(std::string_view text);
+
+/**
+ * A streaming JSON writer with automatic comma placement. Usage:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("counters").beginObject();
+ *   w.key("hits").value(42);
+ *   w.endObject();
+ *   w.endObject();
+ *   std::string text = w.str();
+ *
+ * The caller is responsible for structural validity (matched begins
+ * and ends, keys only inside objects).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+    JsonWriter &key(std::string_view name);
+    JsonWriter &value(std::string_view text);
+    JsonWriter &value(const char *text);
+    JsonWriter &value(double number);
+    JsonWriter &value(std::uint64_t number);
+    JsonWriter &value(std::int64_t number);
+    JsonWriter &value(int number);
+    JsonWriter &value(bool flag);
+
+    /** The document so far. */
+    const std::string &str() const { return out_; }
+
+    /** Writes str() to @p path (throws Error on failure). */
+    void writeFile(const std::string &path) const;
+
+  private:
+    void separate();
+
+    std::string out_;
+    /** Whether a value was already emitted at each nesting level. */
+    std::vector<bool> needs_comma_ = {false};
+    bool pending_key_ = false;
+};
+
+} // namespace buffalo::obs

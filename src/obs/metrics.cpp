@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "obs/json.h"
+#include "util/table.h"
+
+namespace buffalo::obs {
+
+// ---------------------------------------------------------------------
+// ReservoirHistogram
+
+ReservoirHistogram::ReservoirHistogram(std::size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      // Fixed seed: snapshots are a deterministic function of the
+      // insertion sequence, which the tests rely on.
+      rng_(0xB0FFA10ULL)
+{
+    reservoir_.reserve(capacity_);
+}
+
+void
+ReservoirHistogram::add(double value)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    sum_ += value;
+    ++count_;
+    if (reservoir_.size() < capacity_) {
+        reservoir_.push_back(value);
+        return;
+    }
+    // Algorithm R: replace a random slot with probability cap/count.
+    const std::uint64_t slot = rng_.nextBounded(count_);
+    if (slot < capacity_)
+        reservoir_[static_cast<std::size_t>(slot)] = value;
+}
+
+std::uint64_t
+ReservoirHistogram::count() const
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    return count_;
+}
+
+namespace {
+
+/** Interpolated percentile over a sorted sample. */
+double
+sortedPercentile(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank =
+        p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+double
+ReservoirHistogram::percentile(double p) const
+{
+    std::vector<double> sample;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        sample = reservoir_;
+    }
+    std::sort(sample.begin(), sample.end());
+    return sortedPercentile(sample, p);
+}
+
+HistogramSnapshot
+ReservoirHistogram::snapshot() const
+{
+    HistogramSnapshot snap;
+    std::vector<double> sample;
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        snap.count = count_;
+        snap.min = min_;
+        snap.max = max_;
+        snap.mean = count_ == 0
+                        ? 0.0
+                        : sum_ / static_cast<double>(count_);
+        sample = reservoir_;
+    }
+    std::sort(sample.begin(), sample.end());
+    snap.p50 = sortedPercentile(sample, 50.0);
+    snap.p95 = sortedPercentile(sample, 95.0);
+    snap.p99 = sortedPercentile(sample, 99.0);
+    return snap;
+}
+
+void
+ReservoirHistogram::reset()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    reservoir_.clear();
+    count_ = 0;
+    min_ = max_ = sum_ = 0.0;
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_
+                 .emplace(std::string(name),
+                          std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        it = gauges_
+                 .emplace(std::string(name), std::make_unique<Gauge>())
+                 .first;
+    return *it->second;
+}
+
+ReservoirHistogram &
+MetricsRegistry::histogram(std::string_view name)
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(std::string(name),
+                          std::make_unique<ReservoirHistogram>())
+                 .first;
+    return *it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (const auto &[name, counter] : counters_)
+        snap.counters.emplace_back(name, counter->value());
+    for (const auto &[name, gauge] : gauges_)
+        snap.gauges.emplace_back(name, gauge->value());
+    for (const auto &[name, histogram] : histograms_)
+        snap.histograms.emplace_back(name, histogram->snapshot());
+    return snap;
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    const MetricsSnapshot snap = snapshot();
+    JsonWriter w;
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : snap.counters)
+        w.key(name).value(value);
+    w.endObject();
+    w.key("gauges").beginObject();
+    for (const auto &[name, value] : snap.gauges)
+        w.key(name).value(value);
+    w.endObject();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : snap.histograms) {
+        w.key(name).beginObject();
+        w.key("count").value(h.count);
+        w.key("min").value(h.min);
+        w.key("max").value(h.max);
+        w.key("mean").value(h.mean);
+        w.key("p50").value(h.p50);
+        w.key("p95").value(h.p95);
+        w.key("p99").value(h.p99);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+void
+MetricsRegistry::writeJson(const std::string &path) const
+{
+    writeFileText(path, toJson());
+}
+
+std::string
+MetricsRegistry::toTable() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::ostringstream out;
+    {
+        util::Table table({"counter", "value"});
+        for (const auto &[name, value] : snap.counters)
+            table.addRow({name, std::to_string(value)});
+        out << table.render();
+    }
+    {
+        util::Table table({"gauge", "value"});
+        for (const auto &[name, value] : snap.gauges) {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.6g", value);
+            table.addRow({name, buf});
+        }
+        out << table.render();
+    }
+    {
+        util::Table table({"histogram", "count", "min", "mean", "p50",
+                           "p95", "p99", "max"});
+        for (const auto &[name, h] : snap.histograms) {
+            auto fmt = [](double v) {
+                char buf[40];
+                std::snprintf(buf, sizeof(buf), "%.4g", v);
+                return std::string(buf);
+            };
+            table.addRow({name, std::to_string(h.count), fmt(h.min),
+                          fmt(h.mean), fmt(h.p50), fmt(h.p95),
+                          fmt(h.p99), fmt(h.max)});
+        }
+        out << table.render();
+    }
+    return out.str();
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram->reset();
+}
+
+MetricsRegistry &
+metrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace buffalo::obs

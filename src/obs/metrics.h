@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The metrics half of the observability layer (DESIGN.md,
+ * "Observability"): a thread-safe MetricsRegistry of named counters,
+ * gauges, and reservoir histograms, exportable as a flat JSON document
+ * or an ASCII table.
+ *
+ * Handles returned by counter()/gauge()/histogram() are stable for the
+ * registry's lifetime, so hot paths fetch a metric once and update it
+ * lock-free (counters/gauges are single atomics; histograms take a
+ * short uncontended mutex). Naming convention is dotted lowercase
+ * paths, e.g. "scheduler.k_attempts" or "cache.hit_rows".
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace buffalo::obs {
+
+/** A monotonically increasing 64-bit counter. */
+class Counter
+{
+  public:
+    /** Adds @p delta (relaxed; totals are exact, ordering is not). */
+    void
+    add(std::uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** A last-value (or running-max) floating-point gauge. */
+class Gauge
+{
+  public:
+    void
+    set(double value)
+    {
+        value_.store(value, std::memory_order_relaxed);
+    }
+
+    /** Raises the gauge to @p value if it is higher (CAS loop). */
+    void
+    setMax(double value)
+    {
+        double seen = value_.load(std::memory_order_relaxed);
+        while (value > seen &&
+               !value_.compare_exchange_weak(
+                   seen, value, std::memory_order_relaxed))
+            ;
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** Point-in-time summary of a histogram. */
+struct HistogramSnapshot
+{
+    std::uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+};
+
+/**
+ * Fixed-size uniform reservoir (Vitter's algorithm R) with derived
+ * percentiles. Below capacity the sample is exact, so percentiles are
+ * exact too; past capacity each observation has equal probability of
+ * residing in the reservoir. The internal RNG is deterministically
+ * seeded, so identical insertion sequences yield identical snapshots.
+ */
+class ReservoirHistogram
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1024;
+
+    explicit ReservoirHistogram(
+        std::size_t capacity = kDefaultCapacity);
+
+    /** Records one observation. Thread-safe. */
+    void add(double value);
+
+    /** Observations recorded so far (not the reservoir size). */
+    std::uint64_t count() const;
+
+    /**
+     * Linearly interpolated percentile @p p in [0, 100] over the
+     * reservoir. Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    HistogramSnapshot snapshot() const;
+
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::vector<double> reservoir_;
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    util::Rng rng_;
+};
+
+/** One full registry snapshot, in name order. */
+struct MetricsSnapshot
+{
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+/**
+ * A named collection of metrics. Lookup is mutex-protected; returned
+ * references stay valid for the registry's lifetime (metrics are
+ * never removed, only reset).
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Finds or creates the counter named @p name. */
+    Counter &counter(std::string_view name);
+
+    /** Finds or creates the gauge named @p name. */
+    Gauge &gauge(std::string_view name);
+
+    /** Finds or creates the histogram named @p name. */
+    ReservoirHistogram &histogram(std::string_view name);
+
+    /** Snapshot of every metric, names sorted. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Flat JSON export:
+     *   {"counters": {name: value, ...},
+     *    "gauges": {name: value, ...},
+     *    "histograms": {name: {count,min,max,mean,p50,p95,p99}, ...}}
+     */
+    std::string toJson() const;
+
+    /** Writes toJson() to @p path (throws Error on failure). */
+    void writeJson(const std::string &path) const;
+
+    /** Human-readable table dump (one section per metric kind). */
+    std::string toTable() const;
+
+    /** Zeroes every registered metric (registrations persist). */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+        counters_;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+    std::map<std::string, std::unique_ptr<ReservoirHistogram>,
+             std::less<>>
+        histograms_;
+};
+
+/** The process-wide registry the built-in instrumentation reports to. */
+MetricsRegistry &metrics();
+
+} // namespace buffalo::obs

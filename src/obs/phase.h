@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The typed training-phase taxonomy shared by timers, tracer spans,
+ * and the Fig. 5 / Fig. 11 benches.
+ *
+ * Phases used to be free-floating string constants scattered across
+ * train/ and sampling/; a typo'd key silently created a new phase in
+ * the breakdown tables. The enum is the single source of truth and
+ * phaseName() the only place the display strings live — PhaseTimer
+ * stays string-keyed (it also accepts ad-hoc phases), but every
+ * built-in phase goes through here.
+ */
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace buffalo::obs {
+
+/** The built-in phases of one training iteration. */
+enum class Phase : int
+{
+    /** Fanout neighbor sampling of the batch subgraph. */
+    Sampling = 0,
+    /** Buffalo scheduling (Algorithm 3). */
+    Scheduling,
+    /** Betty's redundancy-embedded-graph construction. */
+    RegConstruction,
+    /** Betty's METIS partition of the REG. */
+    MetisPartition,
+    /** Block generation: neighbor tracking / connection checks. */
+    ConnectionCheck,
+    /** Block generation: CSR assembly. */
+    BlockConstruction,
+    /** Host feature fill + host->device transfer. */
+    DataLoading,
+    /** Simulated device kernel time. */
+    GpuCompute,
+};
+
+/** Number of Phase enumerators (for iteration). */
+inline constexpr std::size_t kNumPhases = 8;
+
+/**
+ * Stable display name of @p phase — the PhaseTimer key and the label
+ * the benches print. Strings match the paper's Fig. 11 legend.
+ */
+constexpr const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+    case Phase::Sampling:
+        return "sampling";
+    case Phase::Scheduling:
+        return "buffalo scheduling";
+    case Phase::RegConstruction:
+        return "REG construction";
+    case Phase::MetisPartition:
+        return "METIS partition";
+    case Phase::ConnectionCheck:
+        return "connection check";
+    case Phase::BlockConstruction:
+        return "block construction";
+    case Phase::DataLoading:
+        return "data loading";
+    case Phase::GpuCompute:
+        return "GPU compute";
+    }
+    return "unknown";
+}
+
+/** Every Phase in enum order (for breakdown tables and benches). */
+inline constexpr std::array<Phase, kNumPhases> kAllPhases = {
+    Phase::Sampling,          Phase::Scheduling,
+    Phase::RegConstruction,   Phase::MetisPartition,
+    Phase::ConnectionCheck,   Phase::BlockConstruction,
+    Phase::DataLoading,       Phase::GpuCompute,
+};
+
+/**
+ * RAII scope that charges its lifetime to @p phase on a PhaseTimer and
+ * simultaneously records it as a span on the global tracer. The
+ * span side is free when tracing is disabled, so instrumented code
+ * pays only the PhaseTimer cost it always paid.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(util::PhaseTimer &timer, Phase phase)
+        : timer_(timer), phase_(phase), span_(phaseName(phase)) {}
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+    ~PhaseScope() { timer_.add(phaseName(phase_), watch_.seconds()); }
+
+  private:
+    util::PhaseTimer &timer_;
+    Phase phase_;
+    Span span_;
+    util::StopWatch watch_;
+};
+
+} // namespace buffalo::obs

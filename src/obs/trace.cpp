@@ -1,0 +1,177 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace buffalo::obs {
+
+// ---------------------------------------------------------------------
+// Span
+
+Span::Span(const char *name) : Span(tracer(), name) {}
+
+Span::Span(Tracer &tracer, const char *name)
+{
+    if (!tracer.enabled())
+        return;
+    tracer_ = &tracer;
+    name_ = name;
+    start_us_ = tracer.nowMicros();
+}
+
+Span::~Span()
+{
+    if (tracer_ == nullptr)
+        return;
+    const double end_us = tracer_->nowMicros();
+    tracer_->record(name_, start_us_, end_us - start_us_);
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity < 1 ? 1 : ring_capacity),
+      epoch_(std::chrono::steady_clock::now())
+{
+}
+
+void
+Tracer::enable()
+{
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+double
+Tracer::nowMicros() const
+{
+    const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double, std::micro>(elapsed).count();
+}
+
+Tracer::ThreadBuffer &
+Tracer::threadBuffer()
+{
+    // Each thread resolves its buffer once per tracer; the cache is
+    // keyed by tracer so tests with private tracers stay isolated.
+    thread_local Tracer *cached_owner = nullptr;
+    thread_local ThreadBuffer *cached_buffer = nullptr;
+    if (cached_owner == this)
+        return *cached_buffer;
+    std::lock_guard<std::mutex> guard(registry_mutex_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>(
+        static_cast<std::uint32_t>(buffers_.size())));
+    cached_owner = this;
+    cached_buffer = buffers_.back().get();
+    return *cached_buffer;
+}
+
+void
+Tracer::record(const char *name, double start_us, double duration_us)
+{
+    ThreadBuffer &buffer = threadBuffer();
+    std::lock_guard<std::mutex> guard(buffer.mutex);
+    const SpanRecord span{name, start_us, duration_us};
+    if (buffer.ring.size() < ring_capacity_) {
+        buffer.ring.push_back(span);
+    } else {
+        buffer.ring[buffer.next] = span;
+        buffer.next = (buffer.next + 1) % ring_capacity_;
+    }
+    ++buffer.total;
+}
+
+std::size_t
+Tracer::spanCount() const
+{
+    std::size_t count = 0;
+    std::lock_guard<std::mutex> registry_guard(registry_mutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> guard(buffer->mutex);
+        count += buffer->ring.size();
+    }
+    return count;
+}
+
+std::uint64_t
+Tracer::droppedSpans() const
+{
+    std::uint64_t dropped = 0;
+    std::lock_guard<std::mutex> registry_guard(registry_mutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> guard(buffer->mutex);
+        dropped += buffer->total - buffer->ring.size();
+    }
+    return dropped;
+}
+
+std::string
+Tracer::toJson() const
+{
+    struct Event
+    {
+        SpanRecord span;
+        std::uint32_t tid;
+    };
+    std::vector<Event> events;
+    {
+        std::lock_guard<std::mutex> registry_guard(registry_mutex_);
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> guard(buffer->mutex);
+            for (const SpanRecord &span : buffer->ring)
+                events.push_back({span, buffer->tid});
+        }
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  return a.span.start_us < b.span.start_us;
+              });
+    JsonWriter w;
+    w.beginArray();
+    for (const Event &event : events) {
+        w.beginObject();
+        w.key("name").value(event.span.name);
+        w.key("ph").value("X");
+        w.key("ts").value(event.span.start_us);
+        w.key("dur").value(event.span.duration_us);
+        w.key("pid").value(1);
+        w.key("tid").value(static_cast<std::int64_t>(event.tid));
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
+}
+
+void
+Tracer::writeJson(const std::string &path) const
+{
+    writeFileText(path, toJson());
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> registry_guard(registry_mutex_);
+    for (const auto &buffer : buffers_) {
+        std::lock_guard<std::mutex> guard(buffer->mutex);
+        buffer->ring.clear();
+        buffer->next = 0;
+        buffer->total = 0;
+    }
+}
+
+Tracer &
+tracer()
+{
+    static Tracer instance;
+    return instance;
+}
+
+} // namespace buffalo::obs

@@ -3,19 +3,19 @@
 #include <algorithm>
 #include <deque>
 
-#include "train/experiment.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace buffalo::pipeline {
 
-PipelineTrainer::PipelineTrainer(
-    const train::TrainerOptions &options, device::Device &device,
-    const PipelineOptions &pipeline_options)
-    : BuffaloTrainer(options, device),
-      pipeline_options_(pipeline_options)
+PipelineTrainer::PipelineTrainer(const train::TrainerOptions &options,
+                                 device::Device &device)
+    : BuffaloTrainer(options, device)
 {
     FeatureCacheOptions cache_options;
-    cache_options.capacity_bytes = pipeline_options_.feature_cache_bytes;
+    cache_options.capacity_bytes =
+        options.pipeline.feature_cache_bytes;
     cache_options.feature_dim = options.model.feature_dim;
     cache_options.store_payload =
         options.mode == train::ExecutionMode::Numeric;
@@ -36,6 +36,7 @@ train::IterationStats
 PipelineTrainer::trainPrepared(PreparedBatch &batch,
                                const graph::Dataset &dataset)
 {
+    obs::Span iteration_span("train.iteration");
     const std::size_t batch_outputs = batch.sg.numSeeds();
     core::SchedulerOptions sched = resolvedSchedulerOptions();
 
@@ -68,8 +69,9 @@ PipelineTrainer::trainPrepared(PreparedBatch &batch,
                     dataset.spec().paper_avg_coefficient, sched);
                 core::ScheduleResult schedule =
                     scheduler.schedule(batch.sg);
-                stats.phases.add(train::kPhaseScheduling,
-                                 schedule.schedule_seconds);
+                stats.phases.add(
+                    train::phaseName(train::Phase::Scheduling),
+                    schedule.schedule_seconds);
                 for (const core::BucketGroup &group : schedule.groups) {
                     sampling::MicroBatch mb = generator_.generateOne(
                         batch.sg, group, &stats.phases);
@@ -82,6 +84,7 @@ PipelineTrainer::trainPrepared(PreparedBatch &batch,
             stats.peak_device_bytes = device_.allocator().peakBytes();
             return stats;
         } catch (const device::DeviceOom &) {
+            obs::metrics().counter("train.oom_retries").add();
             if (attempt + 1 >= kMaxAttempts)
                 throw;
             model_->clearCache();
@@ -97,14 +100,51 @@ PipelineTrainer::trainPrepared(PreparedBatch &batch,
     }
 }
 
-PipelinedEpochStats
-PipelineTrainer::trainEpochPipelined(
+namespace {
+
+/** Publishes one pipelined epoch's telemetry to the global registry. */
+void
+recordEpochMetrics(const train::EpochReport &report)
+{
+    obs::MetricsRegistry &m = obs::metrics();
+    m.counter("pipeline.epochs").add();
+    m.histogram("pipeline.overlap_ratio").add(report.overlapRatio());
+    m.gauge("pipeline.sample_busy_seconds")
+        .set(report.stages.sample_busy_seconds);
+    m.gauge("pipeline.build_busy_seconds")
+        .set(report.stages.build_busy_seconds);
+    m.gauge("pipeline.feature_busy_seconds")
+        .set(report.stages.feature_busy_seconds);
+    m.gauge("pipeline.max_sampled_queue")
+        .setMax(static_cast<double>(report.stages.max_sampled_queue));
+    m.gauge("pipeline.max_built_queue")
+        .setMax(static_cast<double>(report.stages.max_built_queue));
+    m.gauge("pipeline.max_ready_queue")
+        .setMax(static_cast<double>(report.stages.max_ready_queue));
+    m.gauge("pipeline.peak_host_bytes")
+        .setMax(static_cast<double>(report.stages.peak_host_bytes));
+    m.gauge("cache.hits").set(static_cast<double>(report.cache.hits));
+    m.gauge("cache.misses")
+        .set(static_cast<double>(report.cache.misses));
+    m.gauge("cache.hit_rate").set(report.cache.hitRate());
+    m.gauge("cache.bytes_in_use")
+        .set(static_cast<double>(report.cache.bytes_in_use));
+    m.gauge("cache.resident_nodes")
+        .set(static_cast<double>(report.cache.resident_nodes));
+}
+
+} // namespace
+
+train::EpochReport
+PipelineTrainer::trainEpochImpl(
     const graph::Dataset &dataset,
     const std::vector<graph::NodeList> &batches, util::Rng &rng)
 {
-    PipelinedEpochStats result;
+    train::EpochReport report;
+    report.pipelined = true;
     if (cache_->enabled() && !hot_set_pinned_) {
-        cache_->pinHotNodes(dataset, pipeline_options_.pinned_hot_nodes);
+        cache_->pinHotNodes(dataset,
+                            options_.pipeline.pinned_hot_nodes);
         hot_set_pinned_ = true;
     }
 
@@ -112,8 +152,8 @@ PipelineTrainer::trainEpochPipelined(
         dataset, batches, options_.fanouts, model_->memoryModel(),
         resolvedSchedulerOptions(),
         options_.mode == train::ExecutionMode::Numeric,
-        pipeline_options_, cache_->enabled() ? cache_.get() : nullptr,
-        rng);
+        options_.pipeline,
+        cache_->enabled() ? cache_.get() : nullptr, rng);
 
     // 4-lane pipeline schedule (sample | build | feature | device):
     // lane l of batch i starts when lane l finished batch i-1 AND lane
@@ -121,7 +161,7 @@ PipelineTrainer::trainEpochPipelined(
     // at most `window` batches are in flight — the queue capacities.
     const std::size_t window =
         3 * static_cast<std::size_t>(
-                std::max(1, pipeline_options_.prefetch_depth)) +
+                std::max(1, options_.pipeline.prefetch_depth)) +
         3;
     double t_sample = 0.0, t_build = 0.0, t_feature = 0.0,
            t_device = 0.0;
@@ -137,12 +177,14 @@ PipelineTrainer::trainEpochPipelined(
         const double device_delta =
             device_.totalSeconds() - device_before;
 
-        result.loss_sum += stats.loss;
-        result.correct += stats.correct;
-        result.outputs += stats.num_outputs;
-        result.num_micro_batches += stats.num_micro_batches;
-        result.peak_device_bytes = std::max(
-            result.peak_device_bytes, stats.peak_device_bytes);
+        report.loss_sum += stats.loss;
+        report.correct += stats.correct;
+        report.outputs += stats.num_outputs;
+        report.num_micro_batches += stats.num_micro_batches;
+        report.epoch_seconds += stats.endToEndSeconds();
+        report.phases.merge(stats.phases);
+        report.peak_device_bytes = std::max(report.peak_device_bytes,
+                                            stats.peak_device_bytes);
 
         const double gate =
             consumed_at.size() >= window
@@ -156,39 +198,49 @@ PipelineTrainer::trainEpochPipelined(
         t_device = std::max(t_feature, t_device) + device_delta;
         consumed_at.push_back(t_device);
 
-        result.prep_seconds += batch->prepSeconds();
-        result.device_seconds += device_delta;
-        result.serial_seconds += batch->prepSeconds() + device_delta;
+        report.prep_seconds += batch->prepSeconds();
+        report.device_seconds += device_delta;
+        report.serial_seconds += batch->prepSeconds() + device_delta;
 
         prefetcher.release(*batch);
-        ++result.num_batches;
+        ++report.num_batches;
     }
 
-    result.pipelined_seconds = t_device;
-    result.wall_seconds = wall.seconds();
-    result.transfer_bytes = device_.transferredBytes() - bytes0;
-    result.transfer_saved_bytes =
+    report.pipelined_seconds = t_device;
+    report.wall_seconds = wall.seconds();
+    report.transfer_bytes = device_.transferredBytes() - bytes0;
+    report.transfer_saved_bytes =
         device_.transferSavedBytes() - saved0;
-    result.mean_loss = result.num_batches == 0
+    report.mean_loss = report.num_batches == 0
                            ? 0.0
-                           : result.loss_sum / result.num_batches;
-    result.accuracy =
-        result.outputs == 0
+                           : report.loss_sum / report.num_batches;
+    report.accuracy =
+        report.outputs == 0
             ? 0.0
-            : static_cast<double>(result.correct) /
-                  static_cast<double>(result.outputs);
-    result.stages = prefetcher.stats();
-    result.cache = cache_->stats();
-    return result;
-}
+            : static_cast<double>(report.correct) /
+                  static_cast<double>(report.outputs);
 
-PipelinedEpochStats
-PipelineTrainer::trainEpoch(const graph::Dataset &dataset,
-                            std::size_t batch_size, util::Rng &rng)
-{
-    const std::vector<graph::NodeList> batches =
-        train::makeBatches(dataset.trainNodes(), batch_size, rng);
-    return trainEpochPipelined(dataset, batches, rng);
+    const PrefetcherStats stages = prefetcher.stats();
+    report.stages.sample_busy_seconds = stages.sample_busy_seconds;
+    report.stages.build_busy_seconds = stages.build_busy_seconds;
+    report.stages.feature_busy_seconds = stages.feature_busy_seconds;
+    report.stages.max_sampled_queue = stages.max_sampled_queue;
+    report.stages.max_built_queue = stages.max_built_queue;
+    report.stages.max_ready_queue = stages.max_ready_queue;
+    report.stages.peak_host_bytes = stages.peak_host_bytes;
+
+    const FeatureCacheStats cache = cache_->stats();
+    report.cache.hits = cache.hits;
+    report.cache.misses = cache.misses;
+    report.cache.insertions = cache.insertions;
+    report.cache.evictions = cache.evictions;
+    report.cache.pinned_nodes = cache.pinned_nodes;
+    report.cache.resident_nodes = cache.resident_nodes;
+    report.cache.bytes_in_use = cache.bytes_in_use;
+    report.cache.capacity_bytes = cache.capacity_bytes;
+
+    recordEpochMetrics(report);
+    return report;
 }
 
 } // namespace buffalo::pipeline

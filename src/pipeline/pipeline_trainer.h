@@ -10,6 +10,12 @@
  * Rng stream, the schedules, the micro-batch order, and the gradient
  * accumulation of Algorithm 2 are identical to the serial path, so
  * losses and weights match BuffaloTrainer bitwise.
+ *
+ * Epochs run through the unified TrainerBase::trainEpoch API: this
+ * class overrides the protected epoch strategy, so callers see the
+ * same train::EpochReport the serial trainers produce, with the
+ * pipeline-only sections (stages, cache, overlap model) filled in.
+ * Pipeline knobs come from TrainerOptions::pipeline.
  */
 #pragma once
 
@@ -22,86 +28,35 @@
 
 namespace buffalo::pipeline {
 
-/** Aggregate result of one pipelined epoch. */
-struct PipelinedEpochStats
-{
-    /** Mean per-batch loss (valid in Numeric mode). */
-    double mean_loss = 0.0;
-    /** Top-1 training accuracy (Numeric mode). */
-    double accuracy = 0.0;
-    double loss_sum = 0.0;
-    std::size_t correct = 0;
-    std::size_t outputs = 0;
-    int num_batches = 0;
-    int num_micro_batches = 0;
-
-    /**
-     * Modeled epoch wall-clock with preparation overlapped behind
-     * device execution: a 4-lane (sample/build/feature/device)
-     * pipeline schedule over the measured stage times and simulated
-     * device times, windowed by the prefetch depth.
-     */
-    double pipelined_seconds = 0.0;
-    /** The same costs summed serially (the non-overlapped trainer). */
-    double serial_seconds = 0.0;
-    /** Host-side preparation busy time across stages. */
-    double prep_seconds = 0.0;
-    /** Simulated device (transfer + kernel) time. */
-    double device_seconds = 0.0;
-    /** Real host wall-clock of the epoch loop (prep ran concurrent). */
-    double wall_seconds = 0.0;
-
-    std::uint64_t transfer_bytes = 0;
-    std::uint64_t transfer_saved_bytes = 0;
-    std::uint64_t peak_device_bytes = 0;
-
-    PrefetcherStats stages;
-    FeatureCacheStats cache;
-
-    /** pipelined/serial; < 1 means the overlap hid preparation time. */
-    double
-    overlapRatio() const
-    {
-        return serial_seconds > 0.0 ? pipelined_seconds / serial_seconds
-                                    : 0.0;
-    }
-};
-
 /** Buffalo trainer with prefetching and feature caching. */
 class PipelineTrainer : public train::BuffaloTrainer
 {
   public:
+    /** Pipeline knobs are read from @p options.pipeline. */
     PipelineTrainer(const train::TrainerOptions &options,
-                    device::Device &device,
-                    const PipelineOptions &pipeline_options);
+                    device::Device &device);
 
-    /**
-     * Trains one epoch over @p batches (in order) with pipelined
-     * preparation. @p rng is handed to the sampling stage and must not
-     * be used elsewhere until this returns; afterwards its state equals
-     * the serial trainer's after the same batches.
-     */
-    PipelinedEpochStats trainEpochPipelined(
-        const graph::Dataset &dataset,
-        const std::vector<graph::NodeList> &batches, util::Rng &rng);
-
-    /**
-     * Convenience epoch: shuffles the dataset's train nodes into
-     * batches of @p batch_size (identically to train::runTraining) and
-     * runs trainEpochPipelined.
-     */
-    PipelinedEpochStats trainEpoch(const graph::Dataset &dataset,
-                                   std::size_t batch_size,
-                                   util::Rng &rng);
-
-    const PipelineOptions &pipelineOptions() const
+    const train::PipelineOptions &pipelineOptions() const
     {
-        return pipeline_options_;
+        return options().pipeline;
     }
 
     /** The cross-epoch feature cache (disabled when budget is 0). */
     FeatureCache &featureCache() { return *cache_; }
     const FeatureCache &featureCache() const { return *cache_; }
+
+  protected:
+    /**
+     * The pipelined epoch strategy behind trainEpoch(): overlaps
+     * preparation with device execution. @p rng is handed to the
+     * sampling stage and must not be used elsewhere until this
+     * returns; afterwards its state equals the serial trainer's after
+     * the same batches.
+     */
+    train::EpochReport trainEpochImpl(
+        const graph::Dataset &dataset,
+        const std::vector<graph::NodeList> &batches,
+        util::Rng &rng) override;
 
   private:
     /** Scheduler options with capacity/reserved bytes filled in. */
@@ -115,7 +70,6 @@ class PipelineTrainer : public train::BuffaloTrainer
     train::IterationStats trainPrepared(PreparedBatch &batch,
                                         const graph::Dataset &dataset);
 
-    PipelineOptions pipeline_options_;
     std::unique_ptr<FeatureCache> cache_;
     core::MicroBatchGenerator generator_;
     bool hot_set_pinned_ = false;

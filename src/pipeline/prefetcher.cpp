@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "train/trainer.h"
 #include "util/errors.h"
 
@@ -85,8 +86,9 @@ Prefetcher::sampleStage(std::vector<graph::NodeList> batches,
         item.index = i;
         util::StopWatch watch;
         {
-            util::PhaseTimer::Scope scope(item.phases,
-                                          train::kPhaseSampling);
+            obs::Span span("pipeline.sample");
+            util::PhaseTimer::Scope scope(
+                item.phases, train::phaseName(train::Phase::Sampling));
             item.sg = sampler.sample(dataset_.graph(), batches[i], rng);
         }
         item.seconds = watch.seconds();
@@ -111,11 +113,12 @@ Prefetcher::buildStage()
         pb.sample_seconds = item->seconds;
 
         util::StopWatch watch;
+        obs::Span span("pipeline.build");
         core::BuffaloScheduler scheduler(
             memory_model_, dataset_.spec().paper_avg_coefficient,
             scheduler_options_);
         pb.schedule = scheduler.schedule(pb.sg);
-        pb.phases.add(train::kPhaseScheduling,
+        pb.phases.add(train::phaseName(train::Phase::Scheduling),
                       pb.schedule.schedule_seconds);
         pb.micro.reserve(pb.schedule.groups.size());
         for (const core::BucketGroup &group : pb.schedule.groups) {
@@ -155,8 +158,11 @@ Prefetcher::featureStage()
             return; // cancelled
 
         util::StopWatch watch;
-        for (PreparedMicroBatch &pmb : pb->micro)
-            stageFeatures(pmb);
+        {
+            obs::Span span("pipeline.feature");
+            for (PreparedMicroBatch &pmb : pb->micro)
+                stageFeatures(pmb);
+        }
         pb->feature_seconds = watch.seconds();
         {
             std::lock_guard<std::mutex> guard(stats_mutex_);

@@ -33,27 +33,15 @@
 #include "pipeline/stage_queue.h"
 #include "sampling/sampled_subgraph.h"
 #include "tensor/tensor.h"
+#include "train/report.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace buffalo::pipeline {
 
-/** Pipeline knobs shared by Prefetcher and PipelineTrainer. */
-struct PipelineOptions
-{
-    /** Batches prepared ahead of training (per-queue capacity). */
-    int prefetch_depth = 2;
-    /**
-     * Host bytes prepared-but-unconsumed batches may pin (staged
-     * features + block structures + sampled CSRs); 0 = unlimited.
-     */
-    std::uint64_t host_memory_budget = 0;
-    /** Feature cache byte budget; 0 disables the cache. */
-    std::uint64_t feature_cache_bytes = 0;
-    /** Highest-degree nodes pinned permanently in the cache. */
-    std::size_t pinned_hot_nodes = 0;
-};
+/** Pipeline knobs now live in TrainerOptions (train/report.h). */
+using train::PipelineOptions;
 
 /** One micro-batch with its prefetched inputs. */
 struct PreparedMicroBatch

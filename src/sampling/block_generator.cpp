@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/errors.h"
 
 namespace buffalo::sampling {
@@ -67,12 +69,30 @@ checkOutputs(const SampledSubgraph &sg, const NodeList &output_locals)
 }
 
 void
-charge(util::PhaseTimer *timer, const char *phase,
-       util::StopWatch &watch)
+charge(util::PhaseTimer *timer, Phase phase, util::StopWatch &watch)
 {
     if (timer)
-        timer->add(phase, watch.seconds());
+        timer->add(phaseName(phase), watch.seconds());
     watch.reset();
+}
+
+/** Per-layer block size telemetry (one histogram entry per block). */
+void
+recordBlockSizes(const MicroBatch &mb)
+{
+    obs::MetricsRegistry &m = obs::metrics();
+    std::uint64_t nodes = 0, edges = 0;
+    for (const Block &block : mb.blocks) {
+        m.histogram("blockgen.layer_nodes")
+            .add(static_cast<double>(block.src_nodes.size()));
+        m.histogram("blockgen.layer_edges")
+            .add(static_cast<double>(block.neighbors.size()));
+        nodes += block.src_nodes.size();
+        edges += block.neighbors.size();
+    }
+    m.counter("blockgen.blocks").add(mb.blocks.size());
+    m.counter("blockgen.nodes").add(nodes);
+    m.counter("blockgen.edges").add(edges);
 }
 
 } // namespace
@@ -88,6 +108,7 @@ FastBlockGenerator::generate(const SampledSubgraph &sg,
                              util::PhaseTimer *timer) const
 {
     checkOutputs(sg, output_locals);
+    obs::Span span("blockgen.fast");
     util::ThreadPool &pool =
         pool_ ? *pool_ : util::ThreadPool::global();
 
@@ -118,7 +139,7 @@ FastBlockGenerator::generate(const SampledSubgraph &sg,
         }
         for (std::size_t i = 0; i < dst.size(); ++i)
             block.offsets[i + 1] += block.offsets[i];
-        charge(timer, kPhaseConnectionCheck, watch);
+        charge(timer, Phase::ConnectionCheck, watch);
 
         // Block construction: append new sources in first-seen order
         // while streaming the CSR rows straight into the block.
@@ -139,10 +160,11 @@ FastBlockGenerator::generate(const SampledSubgraph &sg,
             }
         }
         dst = block.src_nodes; // subgraph-local ids
-        charge(timer, kPhaseBlockConstruction, watch);
+        charge(timer, Phase::BlockConstruction, watch);
     }
     translateToGlobal(mb, sg);
-    charge(timer, kPhaseBlockConstruction, watch);
+    charge(timer, Phase::BlockConstruction, watch);
+    recordBlockSizes(mb);
     return mb;
 }
 
@@ -152,6 +174,7 @@ BaselineBlockGenerator::generate(const SampledSubgraph &sg,
                                  util::PhaseTimer *timer) const
 {
     checkOutputs(sg, output_locals);
+    obs::Span span("blockgen.baseline");
     const CsrGraph &parent = sg.parent();
 
     MicroBatch mb;
@@ -192,14 +215,15 @@ BaselineBlockGenerator::generate(const SampledSubgraph &sg,
                     row.push_back(local);
             }
         }
-        charge(timer, kPhaseConnectionCheck, watch);
+        charge(timer, Phase::ConnectionCheck, watch);
 
         mb.blocks[layer] = assembleBlock(dst, rows);
         dst = mb.blocks[layer].src_nodes;
-        charge(timer, kPhaseBlockConstruction, watch);
+        charge(timer, Phase::BlockConstruction, watch);
     }
     translateToGlobal(mb, sg);
-    charge(timer, kPhaseBlockConstruction, watch);
+    charge(timer, Phase::BlockConstruction, watch);
+    recordBlockSizes(mb);
     return mb;
 }
 

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/phase.h"
 #include "sampling/block.h"
 #include "sampling/sampled_subgraph.h"
 #include "util/thread_pool.h"
@@ -26,10 +27,10 @@
 
 namespace buffalo::sampling {
 
-/** Phase names charged by block generators (paper Fig. 11). */
-inline constexpr const char *kPhaseConnectionCheck = "connection check";
-inline constexpr const char *kPhaseBlockConstruction =
-    "block construction";
+/** Phases charged by block generators (paper Fig. 11):
+ *  obs::Phase::ConnectionCheck and obs::Phase::BlockConstruction. */
+using obs::Phase;
+using obs::phaseName;
 
 /** Strategy interface for building a MicroBatch from an output set. */
 class BlockGenerator

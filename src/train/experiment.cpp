@@ -8,52 +8,14 @@
 
 namespace buffalo::train {
 
-std::vector<NodeList>
-makeBatches(const NodeList &nodes, std::size_t batch_size,
-            util::Rng &rng)
-{
-    checkArgument(batch_size >= 1, "makeBatches: batch_size >= 1");
-    NodeList shuffled = nodes;
-    rng.shuffle(shuffled);
-    std::vector<NodeList> batches;
-    for (std::size_t begin = 0; begin < shuffled.size();
-         begin += batch_size) {
-        const std::size_t end =
-            std::min(shuffled.size(), begin + batch_size);
-        batches.emplace_back(shuffled.begin() + begin,
-                             shuffled.begin() + end);
-    }
-    return batches;
-}
-
-std::vector<EpochStats>
+std::vector<EpochReport>
 runTraining(TrainerBase &trainer, const graph::Dataset &dataset,
             int epochs, std::size_t batch_size, util::Rng &rng)
 {
-    std::vector<EpochStats> results;
+    std::vector<EpochReport> results;
     results.reserve(epochs);
-    for (int epoch = 0; epoch < epochs; ++epoch) {
-        EpochStats stats;
-        double loss_sum = 0.0;
-        std::size_t correct = 0, outputs = 0;
-        const auto batches =
-            makeBatches(dataset.trainNodes(), batch_size, rng);
-        for (const NodeList &batch : batches) {
-            IterationStats iter =
-                trainer.trainIteration(dataset, batch, rng);
-            loss_sum += iter.loss;
-            correct += iter.correct;
-            outputs += iter.num_outputs;
-            stats.epoch_seconds += iter.endToEndSeconds();
-        }
-        stats.mean_loss =
-            batches.empty() ? 0.0 : loss_sum / batches.size();
-        stats.accuracy =
-            outputs == 0
-                ? 0.0
-                : static_cast<double>(correct) / outputs;
-        results.push_back(stats);
-    }
+    for (int epoch = 0; epoch < epochs; ++epoch)
+        results.push_back(trainer.trainEpoch(dataset, batch_size, rng));
     return results;
 }
 
@@ -76,7 +38,7 @@ runBuffaloDataParallel(const graph::Dataset &dataset,
     util::PhaseTimer host_phases;
     sampling::NeighborSampler sampler(options.fanouts);
     sampling::SampledSubgraph sg = [&] {
-        util::PhaseTimer::Scope scope(host_phases, "sampling");
+        obs::PhaseScope scope(host_phases, Phase::Sampling);
         return sampler.sample(dataset.graph(), seeds, rng);
     }();
 
@@ -89,7 +51,8 @@ runBuffaloDataParallel(const graph::Dataset &dataset,
         probe.model().memoryModel(),
         dataset.spec().paper_avg_coefficient, sched_options);
     core::ScheduleResult schedule = scheduler.schedule(sg);
-    host_phases.add(kPhaseScheduling, schedule.schedule_seconds);
+    host_phases.add(phaseName(Phase::Scheduling),
+                    schedule.schedule_seconds);
 
     core::MicroBatchGenerator generator;
     std::vector<sampling::MicroBatch> micro_batches =

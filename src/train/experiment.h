@@ -13,27 +13,16 @@
 
 namespace buffalo::train {
 
-/** Splits @p nodes into shuffled batches of @p batch_size. */
-std::vector<NodeList> makeBatches(const NodeList &nodes,
-                                  std::size_t batch_size,
-                                  util::Rng &rng);
-
-/** One epoch's aggregate result. */
-struct EpochStats
-{
-    double mean_loss = 0.0;
-    double accuracy = 0.0;
-    double epoch_seconds = 0.0;
-};
-
 /**
- * Trains @p trainer for @p epochs over the dataset's train nodes.
- * @return per-epoch stats, in order.
+ * Trains @p trainer for @p epochs over the dataset's train nodes via
+ * TrainerBase::trainEpoch (so a PipelineTrainer runs pipelined and
+ * the TrainerOptions::epoch_observer fires each epoch).
+ * @return per-epoch reports, in order.
  */
-std::vector<EpochStats> runTraining(TrainerBase &trainer,
-                                    const graph::Dataset &dataset,
-                                    int epochs, std::size_t batch_size,
-                                    util::Rng &rng);
+std::vector<EpochReport> runTraining(TrainerBase &trainer,
+                                     const graph::Dataset &dataset,
+                                     int epochs, std::size_t batch_size,
+                                     util::Rng &rng);
 
 /** Result of one simulated data-parallel iteration (paper §V-G). */
 struct MultiGpuStats

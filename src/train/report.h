@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The unified trainer reporting API (DESIGN.md, "Observability").
+ *
+ * Every trainer — WholeBatch, Buffalo, Betty, and the pipelined
+ * Buffalo — returns one EpochReport per epoch from trainEpoch(), so
+ * benches and tools aggregate a single shape regardless of which
+ * pipeline produced it. Pipeline-only sections (stages, cache, the
+ * overlap model) are zero-filled for serial trainers and `pipelined`
+ * says which path ran.
+ *
+ * This header is deliberately light (no trainer machinery) so the
+ * pipeline layer can share PipelineOptions without pulling in the
+ * model stack.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/timer.h"
+
+namespace buffalo::train {
+
+/**
+ * Pipeline knobs, carried inside TrainerOptions. Consumed by the
+ * pipeline::PipelineTrainer / Prefetcher; serial trainers ignore them.
+ */
+struct PipelineOptions
+{
+    /** Run the asynchronous prefetch pipeline at all (CLI --pipeline). */
+    bool enabled = false;
+    /** Batches prepared ahead of training (per-queue capacity). */
+    int prefetch_depth = 2;
+    /**
+     * Host bytes prepared-but-unconsumed batches may pin (staged
+     * features + block structures + sampled CSRs); 0 = unlimited.
+     */
+    std::uint64_t host_memory_budget = 0;
+    /** Feature cache byte budget; 0 disables the cache. */
+    std::uint64_t feature_cache_bytes = 0;
+    /** Highest-degree nodes pinned permanently in the cache. */
+    std::size_t pinned_hot_nodes = 0;
+};
+
+/** Feature-cache section of an EpochReport (pipelined runs only). */
+struct CacheReport
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t pinned_nodes = 0;
+    std::size_t resident_nodes = 0;
+    std::uint64_t bytes_in_use = 0;
+    std::uint64_t capacity_bytes = 0;
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t total = hits + misses;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(total);
+    }
+};
+
+/** Prefetch-stage section of an EpochReport (pipelined runs only). */
+struct StageReport
+{
+    double sample_busy_seconds = 0.0;
+    double build_busy_seconds = 0.0;
+    double feature_busy_seconds = 0.0;
+    std::size_t max_sampled_queue = 0;
+    std::size_t max_built_queue = 0;
+    std::size_t max_ready_queue = 0;
+    std::uint64_t peak_host_bytes = 0;
+};
+
+/** One epoch's aggregate result, common to every trainer. */
+struct EpochReport
+{
+    /** Mean per-batch loss (valid in Numeric mode). */
+    double mean_loss = 0.0;
+    /** Top-1 training accuracy (Numeric mode). */
+    double accuracy = 0.0;
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    std::size_t outputs = 0;
+    int num_batches = 0;
+    int num_micro_batches = 0;
+
+    /**
+     * Serial end-to-end seconds: host-measured phases + simulated
+     * device time, summed over the epoch's iterations.
+     */
+    double epoch_seconds = 0.0;
+    /** Per-phase breakdown summed across the epoch's iterations. */
+    util::PhaseTimer phases;
+
+    /** True when the prefetch pipeline produced this epoch. */
+    bool pipelined = false;
+    /**
+     * Modeled epoch wall-clock with preparation overlapped behind
+     * device execution (pipelined runs; 0 otherwise).
+     */
+    double pipelined_seconds = 0.0;
+    /** The same costs summed serially (pipelined runs). */
+    double serial_seconds = 0.0;
+    /** Host-side preparation busy time across stages. */
+    double prep_seconds = 0.0;
+    /** Simulated device (transfer + kernel) time. */
+    double device_seconds = 0.0;
+    /** Real host wall-clock of the epoch loop. */
+    double wall_seconds = 0.0;
+
+    std::uint64_t transfer_bytes = 0;
+    std::uint64_t transfer_saved_bytes = 0;
+    std::uint64_t peak_device_bytes = 0;
+
+    StageReport stages;
+    CacheReport cache;
+
+    /** pipelined/serial; < 1 means the overlap hid preparation time. */
+    double
+    overlapRatio() const
+    {
+        return serial_seconds > 0.0
+                   ? pipelined_seconds / serial_seconds
+                   : 0.0;
+    }
+
+    /** The epoch cost to compare across trainers: the modeled
+     *  pipelined time when pipelined, else the serial phase total. */
+    double
+    effectiveSeconds() const
+    {
+        return pipelined ? pipelined_seconds : epoch_seconds;
+    }
+};
+
+/**
+ * Callback invoked after each trained epoch (TrainerOptions::
+ * epoch_observer): @p epoch is 0-based and counts every epoch the
+ * trainer instance has run. Hook point for metrics sinks and progress
+ * reporting; must not retain the reference past the call.
+ */
+using EpochObserver =
+    std::function<void(int epoch, const EpochReport &)>;
+
+} // namespace buffalo::train

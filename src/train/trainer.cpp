@@ -4,6 +4,8 @@
 
 #include "baselines/padding.h"
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/bucketing.h"
 #include "train/feature_loader.h"
 #include "util/errors.h"
@@ -29,6 +31,24 @@ kernelLaunchCount(const sampling::MicroBatch &mb)
 }
 
 } // namespace
+
+std::vector<NodeList>
+makeBatches(const NodeList &nodes, std::size_t batch_size,
+            util::Rng &rng)
+{
+    checkArgument(batch_size >= 1, "makeBatches: batch_size >= 1");
+    NodeList shuffled = nodes;
+    rng.shuffle(shuffled);
+    std::vector<NodeList> batches;
+    for (std::size_t begin = 0; begin < shuffled.size();
+         begin += batch_size) {
+        const std::size_t end =
+            std::min(shuffled.size(), begin + batch_size);
+        batches.emplace_back(shuffled.begin() + begin,
+                             shuffled.begin() + end);
+    }
+    return batches;
+}
 
 TrainerBase::TrainerBase(const TrainerOptions &options,
                          device::Device &device)
@@ -70,9 +90,68 @@ TrainerBase::sampleBatch(const graph::Dataset &dataset,
                          const NodeList &seeds, util::Rng &rng,
                          util::PhaseTimer &phases) const
 {
-    util::PhaseTimer::Scope scope(phases, kPhaseSampling);
+    obs::PhaseScope scope(phases, Phase::Sampling);
     sampling::NeighborSampler sampler(options_.fanouts);
     return sampler.sample(dataset.graph(), seeds, rng);
+}
+
+EpochReport
+TrainerBase::trainEpoch(const graph::Dataset &dataset,
+                        const std::vector<NodeList> &batches,
+                        util::Rng &rng)
+{
+    obs::Span span("train.epoch");
+    EpochReport report = trainEpochImpl(dataset, batches, rng);
+    const int epoch = epochs_run_++;
+    obs::metrics().counter("train.epochs").add();
+    if (options_.epoch_observer)
+        options_.epoch_observer(epoch, report);
+    return report;
+}
+
+EpochReport
+TrainerBase::trainEpoch(const graph::Dataset &dataset,
+                        std::size_t batch_size, util::Rng &rng)
+{
+    return trainEpoch(
+        dataset, makeBatches(dataset.trainNodes(), batch_size, rng),
+        rng);
+}
+
+EpochReport
+TrainerBase::trainEpochImpl(const graph::Dataset &dataset,
+                            const std::vector<NodeList> &batches,
+                            util::Rng &rng)
+{
+    EpochReport report;
+    const std::uint64_t bytes0 = device_.transferredBytes();
+    const std::uint64_t saved0 = device_.transferSavedBytes();
+    util::StopWatch wall;
+    for (const NodeList &batch : batches) {
+        IterationStats iter = trainIteration(dataset, batch, rng);
+        report.loss_sum += iter.loss;
+        report.correct += iter.correct;
+        report.outputs += iter.num_outputs;
+        report.num_micro_batches += iter.num_micro_batches;
+        report.epoch_seconds += iter.endToEndSeconds();
+        report.phases.merge(iter.phases);
+        report.peak_device_bytes = std::max(report.peak_device_bytes,
+                                            iter.peak_device_bytes);
+        ++report.num_batches;
+    }
+    report.wall_seconds = wall.seconds();
+    report.transfer_bytes = device_.transferredBytes() - bytes0;
+    report.transfer_saved_bytes =
+        device_.transferSavedBytes() - saved0;
+    report.mean_loss = report.num_batches == 0
+                           ? 0.0
+                           : report.loss_sum / report.num_batches;
+    report.accuracy =
+        report.outputs == 0
+            ? 0.0
+            : static_cast<double>(report.correct) /
+                  static_cast<double>(report.outputs);
+    return report;
 }
 
 double
@@ -86,6 +165,9 @@ TrainerBase::processMicroBatch(const sampling::MicroBatch &mb,
 {
     const nn::MemoryModel &mm = model_->memoryModel();
     device::DeviceAllocator &allocator = device_.allocator();
+
+    obs::Span span("train.micro_batch");
+    obs::metrics().counter("train.micro_batches").add();
 
     // --- Data loading: host feature fill + simulated PCIe transfer.
     // Rows the feature cache already holds device-resident are not
@@ -108,9 +190,11 @@ TrainerBase::processMicroBatch(const sampling::MicroBatch &mb,
         device_.costModel().kernelsSeconds(flops, launches);
 
     if (options_.mode == ExecutionMode::CostModel) {
-        stats.phases.add(kPhaseDataLoading, transfer_seconds);
+        stats.phases.add(phaseName(Phase::DataLoading),
+                         transfer_seconds);
         device_.chargeComputeSeconds(compute_seconds);
-        stats.phases.add(kPhaseGpuCompute, compute_seconds);
+        stats.phases.add(phaseName(Phase::GpuCompute),
+                         compute_seconds);
         // Logical allocation exercises the capacity/peak machinery.
         const std::uint64_t bytes =
             mm.microBatchBytes(mb) + extra_padding_bytes;
@@ -130,7 +214,7 @@ TrainerBase::processMicroBatch(const sampling::MicroBatch &mb,
     nn::Tensor feats =
         use_staged ? staged->host_features->clone(&allocator)
                    : loadFeatures(dataset, mb.inputNodes(), &allocator);
-    stats.phases.add(kPhaseDataLoading,
+    stats.phases.add(phaseName(Phase::DataLoading),
                      watch.seconds() + transfer_seconds);
 
     std::optional<tensor::Tensor> padding_ballast;
@@ -147,7 +231,7 @@ TrainerBase::processMicroBatch(const sampling::MicroBatch &mb,
     model_->backward(loss_result.grad_logits, &allocator);
 
     device_.chargeComputeSeconds(compute_seconds);
-    stats.phases.add(kPhaseGpuCompute, compute_seconds);
+    stats.phases.add(phaseName(Phase::GpuCompute), compute_seconds);
 
     stats.loss += loss_result.loss;
     stats.correct += loss_result.correct;
@@ -167,7 +251,7 @@ TrainerBase::optimizerStep(IterationStats &stats)
         4.0;
     const double seconds = device_.costModel().kernelsSeconds(flops, 2);
     device_.chargeComputeSeconds(seconds);
-    stats.phases.add(kPhaseGpuCompute, seconds);
+    stats.phases.add(phaseName(Phase::GpuCompute), seconds);
 }
 
 // ---------------------------------------------------------------------
@@ -231,6 +315,7 @@ IterationStats
 BuffaloTrainer::trainIteration(const graph::Dataset &dataset,
                                const NodeList &seeds, util::Rng &rng)
 {
+    obs::Span iteration_span("train.iteration");
     util::PhaseTimer sampling_phases;
     auto sg = sampleBatch(dataset, seeds, rng, sampling_phases);
 
@@ -254,7 +339,7 @@ BuffaloTrainer::trainIteration(const graph::Dataset &dataset,
                 model_->memoryModel(),
                 dataset.spec().paper_avg_coefficient, sched_options);
             last_schedule_ = scheduler.schedule(sg);
-            stats.phases.add(kPhaseScheduling,
+            stats.phases.add(phaseName(Phase::Scheduling),
                              last_schedule_.schedule_seconds);
 
             // Lines 3-12: per bucket group, generate and train.
@@ -289,8 +374,30 @@ BuffaloTrainer::trainIteration(const graph::Dataset &dataset,
             stats.num_micro_batches = last_schedule_.num_groups;
             stats.peak_device_bytes =
                 device_.allocator().peakBytes();
+
+            // Estimator quality: the scheduler's largest per-group
+            // estimate (plus the static reservation it budgets around)
+            // against the allocator's observed peak. Positive error
+            // means the estimator was conservative.
+            std::uint64_t est_peak = 0;
+            for (const core::BucketGroup &group :
+                 last_schedule_.groups)
+                est_peak = std::max(est_peak, group.est_bytes);
+            if (est_peak > 0 && stats.peak_device_bytes > 0) {
+                const double actual = static_cast<double>(
+                    stats.peak_device_bytes);
+                const double est =
+                    static_cast<double>(est_peak + static_bytes_);
+                obs::metrics()
+                    .histogram("scheduler.estimate_rel_error")
+                    .add((est - actual) / actual);
+            }
+            obs::metrics()
+                .gauge("train.peak_device_bytes")
+                .setMax(static_cast<double>(stats.peak_device_bytes));
             return stats;
         } catch (const device::DeviceOom &) {
+            obs::metrics().counter("train.oom_retries").add();
             if (attempt + 1 >= kMaxAttempts)
                 throw;
             model_->clearCache();
@@ -328,9 +435,9 @@ BettyTrainer::trainIteration(const graph::Dataset &dataset,
     auto sg = sampleBatch(dataset, seeds, rng, stats.phases);
 
     auto parts = partitioner_.partition(sg, num_micro_batches_);
-    stats.phases.add(kPhaseReg,
+    stats.phases.add(phaseName(Phase::RegConstruction),
                      partitioner_.lastPhases().reg_construction_seconds);
-    stats.phases.add(kPhaseMetis,
+    stats.phases.add(phaseName(Phase::MetisPartition),
                      partitioner_.lastPhases().metis_seconds);
 
     for (const NodeList &part : parts) {

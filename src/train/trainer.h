@@ -28,9 +28,11 @@
 #include "device/device.h"
 #include "graph/datasets.h"
 #include "nn/optimizer.h"
+#include "obs/phase.h"
 #include "sampling/block_generator.h"
 #include "sampling/sampled_subgraph.h"
 #include "train/model_adapter.h"
+#include "train/report.h"
 #include "util/rng.h"
 #include "util/timer.h"
 
@@ -38,13 +40,10 @@ namespace buffalo::train {
 
 using graph::NodeList;
 
-/** Phase labels shared with Fig. 5 / Fig. 11 benches. */
-inline constexpr const char *kPhaseSampling = "sampling";
-inline constexpr const char *kPhaseScheduling = "buffalo scheduling";
-inline constexpr const char *kPhaseReg = "REG construction";
-inline constexpr const char *kPhaseMetis = "METIS partition";
-inline constexpr const char *kPhaseDataLoading = "data loading";
-inline constexpr const char *kPhaseGpuCompute = "GPU compute";
+/** The typed phase taxonomy shared with Fig. 5 / Fig. 11 benches. */
+using obs::kAllPhases;
+using obs::Phase;
+using obs::phaseName;
 
 /** Numeric = real kernels; CostModel = analytic charging only. */
 enum class ExecutionMode { Numeric, CostModel };
@@ -62,7 +61,16 @@ struct TrainerOptions
     /** Scheduler knobs (BuffaloTrainer only); mem_constraint defaults
      *  to the device capacity when 0. */
     core::SchedulerOptions scheduler;
+    /** Prefetch/cache knobs (PipelineTrainer; serial trainers ignore). */
+    PipelineOptions pipeline;
+    /** Invoked after every trainEpoch() with the finished report. */
+    EpochObserver epoch_observer;
 };
+
+/** Splits @p nodes into shuffled batches of @p batch_size. */
+std::vector<NodeList> makeBatches(const NodeList &nodes,
+                                  std::size_t batch_size,
+                                  util::Rng &rng);
 
 /**
  * Inputs a prefetch pipeline prepared ahead of time for one
@@ -125,6 +133,28 @@ class TrainerBase
                                           const NodeList &seeds,
                                           util::Rng &rng) = 0;
 
+    /**
+     * Trains one epoch over @p batches (in order) and returns the
+     * unified report. Serial trainers iterate trainIteration; the
+     * pipelined trainer overlaps preparation with device execution —
+     * either way the same EpochReport shape comes back, the
+     * TrainerOptions::epoch_observer hook fires, and @p rng ends in
+     * the state a serial run over the same batches would leave it.
+     */
+    EpochReport trainEpoch(const graph::Dataset &dataset,
+                           const std::vector<NodeList> &batches,
+                           util::Rng &rng);
+
+    /**
+     * Convenience epoch: shuffles the dataset's train nodes into
+     * batches of @p batch_size (via makeBatches) and trains them.
+     */
+    EpochReport trainEpoch(const graph::Dataset &dataset,
+                           std::size_t batch_size, util::Rng &rng);
+
+    /** Epochs this trainer has completed (drives observer indices). */
+    int epochsRun() const { return epochs_run_; }
+
     GnnModel &model() { return *model_; }
     device::Device &device() { return device_; }
     const TrainerOptions &options() const { return options_; }
@@ -133,6 +163,16 @@ class TrainerBase
     std::uint64_t staticBytes() const { return static_bytes_; }
 
   protected:
+    /**
+     * The epoch strategy behind trainEpoch(): the default drives
+     * trainIteration serially; PipelineTrainer substitutes the
+     * prefetch pipeline. Implementations fill everything except the
+     * observer call, which the public wrapper owns.
+     */
+    virtual EpochReport trainEpochImpl(
+        const graph::Dataset &dataset,
+        const std::vector<NodeList> &batches, util::Rng &rng);
+
     /** Samples the batch subgraph for @p seeds ("sampling" phase). */
     sampling::SampledSubgraph sampleBatch(const graph::Dataset &dataset,
                                           const NodeList &seeds,
@@ -169,6 +209,9 @@ class TrainerBase
     std::unique_ptr<nn::Optimizer> optimizer_;
     std::uint64_t static_bytes_ = 0;
     bool static_bytes_charged_ = false;
+
+  private:
+    int epochs_run_ = 0;
 };
 
 /** Paper Algorithm 1: one block chain for the whole batch. */

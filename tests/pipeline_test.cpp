@@ -239,7 +239,7 @@ baseOptions(const graph::Dataset &data)
 }
 
 /** Serial reference epochs via the stock runTraining loop. */
-std::vector<train::EpochStats>
+std::vector<train::EpochReport>
 serialEpochs(const graph::Dataset &data,
              const train::TrainerOptions &options,
              std::uint64_t budget, int epochs, std::size_t batch_size,
@@ -264,14 +264,14 @@ TEST(PipelineParity, LossMatchesSerialAcrossSeedsAndEpochs)
                                          kEpochs, kBatch, seed);
 
         device::Device dev("pipelined", budget);
-        PipelineOptions pipe;
-        pipe.prefetch_depth = 2;
-        pipe.feature_cache_bytes = util::mib(4);
-        pipe.pinned_hot_nodes = 32;
-        PipelineTrainer trainer(options, dev, pipe);
+        train::TrainerOptions pipelined_options = options;
+        pipelined_options.pipeline.prefetch_depth = 2;
+        pipelined_options.pipeline.feature_cache_bytes = util::mib(4);
+        pipelined_options.pipeline.pinned_hot_nodes = 32;
+        PipelineTrainer trainer(pipelined_options, dev);
         util::Rng rng(seed);
         for (int epoch = 0; epoch < kEpochs; ++epoch) {
-            const PipelinedEpochStats stats =
+            const train::EpochReport stats =
                 trainer.trainEpoch(data, kBatch, rng);
             ASSERT_NEAR(stats.mean_loss, serial[epoch].mean_loss,
                         1e-12)
@@ -290,20 +290,20 @@ TEST(PipelineParity, CacheHitsReduceTransferOnRedundantWorkload)
 
     // Uncached reference traffic.
     device::Device plain_dev("plain", budget);
-    PipelineTrainer plain(options, plain_dev, PipelineOptions{});
+    PipelineTrainer plain(options, plain_dev);
     util::Rng plain_rng(9);
-    const PipelinedEpochStats plain_stats =
+    const train::EpochReport plain_stats =
         plain.trainEpoch(data, kBatch, plain_rng);
     EXPECT_EQ(plain_stats.transfer_saved_bytes, 0u);
 
     device::Device dev("cached", budget);
-    PipelineOptions pipe;
-    pipe.prefetch_depth = 2;
-    pipe.feature_cache_bytes = util::mib(8);
-    pipe.pinned_hot_nodes = 64;
-    PipelineTrainer trainer(options, dev, pipe);
+    train::TrainerOptions cached_options = options;
+    cached_options.pipeline.prefetch_depth = 2;
+    cached_options.pipeline.feature_cache_bytes = util::mib(8);
+    cached_options.pipeline.pinned_hot_nodes = 64;
+    PipelineTrainer trainer(cached_options, dev);
     util::Rng rng(9);
-    const PipelinedEpochStats stats =
+    const train::EpochReport stats =
         trainer.trainEpoch(data, kBatch, rng);
 
     // Adjacent micro-batches share input nodes (paper Eq. 1-2), so a
@@ -330,14 +330,14 @@ TEST(PipelineParity, HostBudgetBackpressureStillCompletes)
         serialEpochs(data, options, budget, 1, kBatch, 5);
 
     device::Device dev("tight-host", budget);
-    PipelineOptions pipe;
-    pipe.prefetch_depth = 4;
+    train::TrainerOptions tight_options = options;
+    tight_options.pipeline.prefetch_depth = 4;
     // Far below one batch's staging cost: batches are admitted one at
     // a time through the oversize path.
-    pipe.host_memory_budget = 1024;
-    PipelineTrainer trainer(options, dev, pipe);
+    tight_options.pipeline.host_memory_budget = 1024;
+    PipelineTrainer trainer(tight_options, dev);
     util::Rng rng(5);
-    const PipelinedEpochStats stats =
+    const train::EpochReport stats =
         trainer.trainEpoch(data, kBatch, rng);
     EXPECT_NEAR(stats.mean_loss, serial[0].mean_loss, 1e-12);
     EXPECT_GT(stats.stages.peak_host_bytes, 0u);
@@ -350,13 +350,12 @@ TEST(PipelineModel, OverlapStrictlyBeatsSerialAccounting)
     options.mode = train::ExecutionMode::CostModel;
 
     device::Device dev("gpu", util::mib(48));
-    PipelineOptions pipe;
-    pipe.prefetch_depth = 2;
-    pipe.feature_cache_bytes = util::mib(2);
-    PipelineTrainer trainer(options, dev, pipe);
+    options.pipeline.prefetch_depth = 2;
+    options.pipeline.feature_cache_bytes = util::mib(2);
+    PipelineTrainer trainer(options, dev);
     util::Rng rng(3);
     // arxiv-sim @0.08 has 128 train nodes: batch 32 -> 4 batches.
-    const PipelinedEpochStats stats =
+    const train::EpochReport stats =
         trainer.trainEpoch(data, 32, rng);
 
     ASSERT_GT(stats.num_batches, 1);

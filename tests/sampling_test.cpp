@@ -211,8 +211,8 @@ TEST_F(BlockGeneration, PhaseTimerReceivesBothPhases)
     FastBlockGenerator fast;
     util::PhaseTimer timer;
     fast.generate(*sg_, {0, 1, 2}, &timer);
-    EXPECT_GE(timer.get(kPhaseConnectionCheck), 0.0);
-    EXPECT_GE(timer.get(kPhaseBlockConstruction), 0.0);
+    EXPECT_GE(timer.get(phaseName(Phase::ConnectionCheck)), 0.0);
+    EXPECT_GE(timer.get(phaseName(Phase::BlockConstruction)), 0.0);
     EXPECT_EQ(timer.phases().size(), 2u);
 }
 

@@ -54,8 +54,8 @@ TEST(WholeBatch, TrainsUnderLargeBudget)
     EXPECT_GT(stats.loss, 0.0);
     EXPECT_EQ(stats.num_outputs, 64u);
     EXPECT_GT(stats.peak_device_bytes, 0u);
-    EXPECT_GT(stats.phases.get(kPhaseGpuCompute), 0.0);
-    EXPECT_GT(stats.phases.get(kPhaseDataLoading), 0.0);
+    EXPECT_GT(stats.phases.get(phaseName(Phase::GpuCompute)), 0.0);
+    EXPECT_GT(stats.phases.get(phaseName(Phase::DataLoading)), 0.0);
 }
 
 /** Measures the whole-batch peak for @p options on huge memory. */
@@ -118,13 +118,13 @@ TEST(Buffalo, PhasesIncludeScheduling)
     BuffaloTrainer trainer(baseOptions(data), dev);
     util::Rng rng(4);
     auto stats = trainer.trainIteration(data, seedsOf(data, 128), rng);
-    EXPECT_GE(stats.phases.get(kPhaseScheduling), 0.0);
-    EXPECT_GE(stats.phases.get(sampling::kPhaseConnectionCheck), 0.0);
-    EXPECT_GE(stats.phases.get(sampling::kPhaseBlockConstruction),
+    EXPECT_GE(stats.phases.get(phaseName(Phase::Scheduling)), 0.0);
+    EXPECT_GE(stats.phases.get(phaseName(Phase::ConnectionCheck)), 0.0);
+    EXPECT_GE(stats.phases.get(phaseName(Phase::BlockConstruction)),
               0.0);
     // Buffalo never pays REG or METIS time.
-    EXPECT_EQ(stats.phases.get(kPhaseReg), 0.0);
-    EXPECT_EQ(stats.phases.get(kPhaseMetis), 0.0);
+    EXPECT_EQ(stats.phases.get(phaseName(Phase::RegConstruction)), 0.0);
+    EXPECT_EQ(stats.phases.get(phaseName(Phase::MetisPartition)), 0.0);
     EXPECT_EQ(stats.endToEndSeconds(), stats.phases.total());
 }
 
@@ -136,8 +136,8 @@ TEST(Betty, TrainsAndPaysPartitioningTime)
     util::Rng rng(5);
     auto stats = trainer.trainIteration(data, seedsOf(data, 128), rng);
     EXPECT_GE(stats.num_micro_batches, 2);
-    EXPECT_GT(stats.phases.get(kPhaseReg) +
-                  stats.phases.get(kPhaseMetis),
+    EXPECT_GT(stats.phases.get(phaseName(Phase::RegConstruction)) +
+                  stats.phases.get(phaseName(Phase::MetisPartition)),
               0.0);
     EXPECT_GT(stats.loss, 0.0);
 }
@@ -153,7 +153,7 @@ TEST(CostModel, RunsWithoutNumericKernels)
     util::Rng rng(6);
     auto stats = trainer.trainIteration(data, seedsOf(data, 256), rng);
     EXPECT_EQ(stats.loss, 0.0); // no numeric loss in cost mode
-    EXPECT_GT(stats.phases.get(kPhaseGpuCompute), 0.0);
+    EXPECT_GT(stats.phases.get(phaseName(Phase::GpuCompute)), 0.0);
     EXPECT_GT(stats.peak_device_bytes, 0u);
     EXPECT_GT(dev.totalSeconds(), 0.0);
 }

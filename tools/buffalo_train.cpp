@@ -21,6 +21,8 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "nn/checkpoint.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pipeline/pipeline_trainer.h"
 #include "train/evaluator.h"
 #include "train/experiment.h"
@@ -66,6 +68,11 @@ pipeline (requires --system buffalo):
   --feature-cache-mb X  host feature cache size (0 = off)    [0]
   --pinned-hot N        highest-degree nodes pinned in cache [0]
   --host-budget-mb X    staged host memory cap (0 = off)     [0]
+observability:
+  --trace-out P         write a Chrome trace-event JSON (load in
+                        about://tracing or Perfetto)
+  --metrics-json P      write the metrics registry as flat JSON
+  --metrics-table       print the metrics registry as tables
 output:
   --save-checkpoint P   write model parameters after training
   --load-checkpoint P   initialize model parameters from P
@@ -158,6 +165,7 @@ main(int argc, char **argv)
             "lr", "seed", "system", "betty-k", "cost-model",
             "pipeline", "prefetch-depth", "feature-cache-mb",
             "pinned-hot", "host-budget-mb",
+            "trace-out", "metrics-json", "metrics-table",
             "save-checkpoint", "load-checkpoint", "save-bundle",
             "eval", "verbose", "help",
         });
@@ -211,30 +219,66 @@ main(int argc, char **argv)
                            ? train::ExecutionMode::CostModel
                            : train::ExecutionMode::Numeric;
 
+        options.pipeline.enabled = flags.getBool("pipeline");
+        options.pipeline.prefetch_depth =
+            static_cast<int>(flags.getInt("prefetch-depth", 2));
+        options.pipeline.feature_cache_bytes =
+            util::mib(flags.getDouble("feature-cache-mb", 0.0));
+        options.pipeline.pinned_hot_nodes =
+            static_cast<std::size_t>(flags.getInt("pinned-hot", 0));
+        options.pipeline.host_memory_budget =
+            util::mib(flags.getDouble("host-budget-mb", 0.0));
+
+        if (flags.has("trace-out"))
+            obs::tracer().enable();
+
+        // The per-epoch progress lines ride the unified reporting
+        // hook, so one runTraining loop serves every trainer.
+        options.epoch_observer = [](int epoch,
+                                    const train::EpochReport &r) {
+            if (r.pipelined) {
+                std::printf(
+                    "epoch %d: loss %.4f acc %.3f "
+                    "(%s pipelined vs %s serial, prep %s hidden)\n",
+                    epoch, r.mean_loss, r.accuracy,
+                    util::formatSeconds(r.pipelined_seconds).c_str(),
+                    util::formatSeconds(r.serial_seconds).c_str(),
+                    util::formatSeconds(r.serial_seconds -
+                                        r.pipelined_seconds)
+                        .c_str());
+                if (r.cache.capacity_bytes > 0) {
+                    std::printf(
+                        "  cache: %.1f%% hit rate, %s transfer saved "
+                        "(%llu hits / %llu misses / %llu evictions)\n",
+                        r.cache.hitRate() * 100.0,
+                        util::formatBytes(r.transfer_saved_bytes)
+                            .c_str(),
+                        static_cast<unsigned long long>(r.cache.hits),
+                        static_cast<unsigned long long>(
+                            r.cache.misses),
+                        static_cast<unsigned long long>(
+                            r.cache.evictions));
+                }
+            } else {
+                std::printf(
+                    "epoch %d: loss %.4f acc %.3f (%s)\n", epoch,
+                    r.mean_loss, r.accuracy,
+                    util::formatSeconds(r.epoch_seconds).c_str());
+            }
+        };
+
         device::Device gpu(
             "gpu:0", util::mib(static_cast<double>(
                          flags.getInt("budget-mb", 64))));
 
         std::unique_ptr<train::TrainerBase> trainer;
-        pipeline::PipelineTrainer *pipelined = nullptr;
         const std::string system =
             flags.getString("system", "buffalo");
-        checkArgument(!flags.getBool("pipeline") || system == "buffalo",
+        checkArgument(!options.pipeline.enabled || system == "buffalo",
                       "--pipeline requires --system buffalo");
-        if (system == "buffalo" && flags.getBool("pipeline")) {
-            pipeline::PipelineOptions pipe;
-            pipe.prefetch_depth =
-                static_cast<int>(flags.getInt("prefetch-depth", 2));
-            pipe.feature_cache_bytes =
-                util::mib(flags.getDouble("feature-cache-mb", 0.0));
-            pipe.pinned_hot_nodes = static_cast<std::size_t>(
-                flags.getInt("pinned-hot", 0));
-            pipe.host_memory_budget =
-                util::mib(flags.getDouble("host-budget-mb", 0.0));
-            auto owned = std::make_unique<pipeline::PipelineTrainer>(
-                options, gpu, pipe);
-            pipelined = owned.get();
-            trainer = std::move(owned);
+        if (system == "buffalo" && options.pipeline.enabled) {
+            trainer = std::make_unique<pipeline::PipelineTrainer>(
+                options, gpu);
         } else if (system == "buffalo") {
             trainer =
                 std::make_unique<train::BuffaloTrainer>(options, gpu);
@@ -261,48 +305,7 @@ main(int argc, char **argv)
             static_cast<int>(flags.getInt("epochs", 4));
         const std::size_t batch_size = static_cast<std::size_t>(
             flags.getInt("batch-size", 256));
-        if (pipelined) {
-            for (int epoch = 0; epoch < epochs; ++epoch) {
-                const auto stats =
-                    pipelined->trainEpoch(data, batch_size, rng);
-                std::printf(
-                    "epoch %d: loss %.4f acc %.3f "
-                    "(%s pipelined vs %s serial, prep %s hidden)\n",
-                    epoch, stats.mean_loss, stats.accuracy,
-                    util::formatSeconds(stats.pipelined_seconds)
-                        .c_str(),
-                    util::formatSeconds(stats.serial_seconds).c_str(),
-                    util::formatSeconds(stats.serial_seconds -
-                                        stats.pipelined_seconds)
-                        .c_str());
-                if (pipelined->featureCache().enabled()) {
-                    std::printf(
-                        "  cache: %.1f%% hit rate, %s transfer saved "
-                        "(%llu hits / %llu misses / %llu evictions)\n",
-                        stats.cache.hitRate() * 100.0,
-                        util::formatBytes(stats.transfer_saved_bytes)
-                            .c_str(),
-                        static_cast<unsigned long long>(
-                            stats.cache.hits),
-                        static_cast<unsigned long long>(
-                            stats.cache.misses),
-                        static_cast<unsigned long long>(
-                            stats.cache.evictions));
-                }
-            }
-        } else {
-            auto curve = train::runTraining(*trainer, data, epochs,
-                                            batch_size, rng);
-            for (std::size_t epoch = 0; epoch < curve.size();
-                 ++epoch) {
-                std::printf("epoch %zu: loss %.4f acc %.3f (%s)\n",
-                            epoch, curve[epoch].mean_loss,
-                            curve[epoch].accuracy,
-                            util::formatSeconds(
-                                curve[epoch].epoch_seconds)
-                                .c_str());
-            }
-        }
+        train::runTraining(*trainer, data, epochs, batch_size, rng);
         std::printf("peak device memory: %s of %s\n",
                     util::formatBytes(gpu.allocator().peakBytes())
                         .c_str(),
@@ -324,6 +327,21 @@ main(int argc, char **argv)
             std::printf("checkpoint written to %s\n",
                         flags.getString("save-checkpoint").c_str());
         }
+
+        if (flags.has("trace-out")) {
+            obs::tracer().disable();
+            obs::tracer().writeJson(flags.getString("trace-out"));
+            std::printf("trace written to %s (%zu spans)\n",
+                        flags.getString("trace-out").c_str(),
+                        obs::tracer().spanCount());
+        }
+        if (flags.has("metrics-json")) {
+            obs::metrics().writeJson(flags.getString("metrics-json"));
+            std::printf("metrics written to %s\n",
+                        flags.getString("metrics-json").c_str());
+        }
+        if (flags.getBool("metrics-table"))
+            std::fputs(obs::metrics().toTable().c_str(), stdout);
         return 0;
     } catch (const Error &e) {
         std::fprintf(stderr, "error: %s\n", e.what());

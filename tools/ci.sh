@@ -16,6 +16,20 @@ cmake -B "${prefix}-release" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${prefix}-release" -j "${jobs}"
 ctest --test-dir "${prefix}-release" --output-on-failure -j "${jobs}"
 
+echo "=== Observability smoke epoch ==="
+obs_dir="${prefix}-release/obs-smoke"
+mkdir -p "${obs_dir}"
+"${prefix}-release/tools/buffalo_train" \
+    --dataset arxiv --scale 0.05 --epochs 1 --batch-size 128 \
+    --pipeline --feature-cache-mb 8 \
+    --trace-out "${obs_dir}/trace.json" \
+    --metrics-json "${obs_dir}/metrics.json"
+"${prefix}-release/tools/obs_validate" \
+    --trace "${obs_dir}/trace.json" \
+    --expect-spans "train.epoch,train.iteration,pipeline.sample" \
+    --metrics "${obs_dir}/metrics.json" \
+    --expect-metrics "train.epochs,scheduler.schedules,device.peak_bytes"
+
 echo "=== ThreadSanitizer build + tests ==="
 cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DBUFFALO_SANITIZE=thread

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * CI validator for the observability exports (DESIGN.md,
+ * "Observability").
+ *
+ * Checks that a --trace-out file is a Chrome trace-event array
+ * (complete events: name/ph=="X"/ts/dur/pid/tid) and that a
+ * --metrics-json file has the counters/gauges/histograms sections
+ * with well-formed entries. Exits non-zero with a message on the
+ * first violation, so tools/ci.sh can gate on it.
+ */
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/errors.h"
+#include "util/flags.h"
+
+namespace {
+
+using buffalo::obs::JsonValue;
+
+[[noreturn]] void
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "obs_validate: %s\n", message.c_str());
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream stream(text);
+    std::string part;
+    while (std::getline(stream, part, ','))
+        if (!part.empty())
+            out.push_back(part);
+    return out;
+}
+
+void
+requireNumber(const JsonValue &object, const std::string &key,
+              const std::string &context)
+{
+    if (!object.has(key) || !object.at(key).isNumber())
+        fail(context + ": missing numeric field \"" + key + "\"");
+}
+
+/** Validates the Chrome trace-event schema; returns span names. */
+std::set<std::string>
+validateTrace(const std::string &path)
+{
+    const JsonValue doc =
+        JsonValue::parse(buffalo::obs::readFileText(path));
+    if (!doc.isArray())
+        fail(path + ": trace document must be a JSON array");
+    std::set<std::string> names;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        const JsonValue &event = doc.at(i);
+        const std::string context =
+            path + ": event " + std::to_string(i);
+        if (!event.isObject())
+            fail(context + ": not an object");
+        if (!event.has("name") || !event.at("name").isString())
+            fail(context + ": missing string field \"name\"");
+        if (!event.has("ph") || !event.at("ph").isString() ||
+            event.at("ph").asString() != "X")
+            fail(context + ": \"ph\" must be \"X\" (complete event)");
+        requireNumber(event, "ts", context);
+        requireNumber(event, "dur", context);
+        requireNumber(event, "pid", context);
+        requireNumber(event, "tid", context);
+        if (event.at("dur").asNumber() < 0.0)
+            fail(context + ": negative duration");
+        if (i > 0 &&
+            doc.at(i - 1).at("ts").asNumber() >
+                event.at("ts").asNumber())
+            fail(context + ": events not sorted by \"ts\"");
+        names.insert(event.at("name").asString());
+    }
+    return names;
+}
+
+/** Validates the metrics dump schema; returns metric names. */
+std::set<std::string>
+validateMetrics(const std::string &path)
+{
+    const JsonValue doc =
+        JsonValue::parse(buffalo::obs::readFileText(path));
+    if (!doc.isObject())
+        fail(path + ": metrics document must be a JSON object");
+    for (const char *section : {"counters", "gauges", "histograms"})
+        if (!doc.has(section) || !doc.at(section).isObject())
+            fail(path + ": missing object section \"" +
+                 std::string(section) + "\"");
+
+    std::set<std::string> names;
+    for (const std::string &name : doc.at("counters").keys()) {
+        if (!doc.at("counters").at(name).isNumber())
+            fail(path + ": counter \"" + name + "\" not a number");
+        names.insert(name);
+    }
+    for (const std::string &name : doc.at("gauges").keys()) {
+        if (!doc.at("gauges").at(name).isNumber())
+            fail(path + ": gauge \"" + name + "\" not a number");
+        names.insert(name);
+    }
+    for (const std::string &name : doc.at("histograms").keys()) {
+        const JsonValue &h = doc.at("histograms").at(name);
+        const std::string context =
+            path + ": histogram \"" + name + "\"";
+        if (!h.isObject())
+            fail(context + ": not an object");
+        for (const char *field :
+             {"count", "min", "max", "mean", "p50", "p95", "p99"})
+            requireNumber(h, field, context);
+        if (h.at("p50").asNumber() > h.at("p95").asNumber() ||
+            h.at("p95").asNumber() > h.at("p99").asNumber())
+            fail(context + ": percentiles not monotone");
+        names.insert(name);
+    }
+    return names;
+}
+
+void
+checkExpected(const std::set<std::string> &present,
+              const std::string &csv, const std::string &what)
+{
+    for (const std::string &name : splitCommas(csv))
+        if (present.find(name) == present.end())
+            fail("expected " + what + " \"" + name + "\" not found");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        buffalo::util::Flags flags(argc, argv);
+        if (flags.getBool("help")) {
+            std::printf(
+                "usage: obs_validate [--trace FILE "
+                "[--expect-spans a,b]]\n"
+                "                    [--metrics FILE "
+                "[--expect-metrics x,y]]\n");
+            return 0;
+        }
+        flags.checkKnown({"help", "trace", "metrics", "expect-spans",
+                          "expect-metrics"});
+        if (!flags.has("trace") && !flags.has("metrics"))
+            fail("nothing to validate; pass --trace and/or --metrics");
+
+        if (flags.has("trace")) {
+            const std::string path = flags.getString("trace");
+            const std::set<std::string> spans = validateTrace(path);
+            checkExpected(spans, flags.getString("expect-spans"),
+                          "span");
+            std::printf("obs_validate: %s ok (%zu span names)\n",
+                        path.c_str(), spans.size());
+        }
+        if (flags.has("metrics")) {
+            const std::string path = flags.getString("metrics");
+            const std::set<std::string> metrics = validateMetrics(path);
+            checkExpected(metrics, flags.getString("expect-metrics"),
+                          "metric");
+            std::printf("obs_validate: %s ok (%zu metrics)\n",
+                        path.c_str(), metrics.size());
+        }
+    } catch (const std::exception &error) {
+        fail(error.what());
+    }
+    return 0;
+}
