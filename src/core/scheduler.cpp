@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/names.h"
 #include "util/errors.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -30,7 +31,7 @@ BuffaloScheduler::BuffaloScheduler(const nn::MemoryModel &model,
 ScheduleResult
 BuffaloScheduler::schedule(const SampledSubgraph &sg) const
 {
-    obs::Span span("scheduler.schedule");
+    obs::Span span(obs::names::kSpanSchedulerSchedule);
     util::StopWatch watch;
     const RedundancyAwareMemEstimator &estimator =
         options_.redundancy_aware ? redundancy_estimator_
@@ -175,14 +176,14 @@ BuffaloScheduler::schedule(const SampledSubgraph &sg) const
             result.schedule_seconds = watch.seconds();
 
             obs::MetricsRegistry &m = obs::metrics();
-            m.counter("scheduler.schedules").add();
-            m.counter("scheduler.k_attempts")
+            m.counter(obs::names::kCtrSchedulerSchedules).add();
+            m.counter(obs::names::kCtrSchedulerKAttempts)
                 .add(static_cast<std::uint64_t>(k - k_start + 1));
             if (result.explosion_detected)
-                m.counter("scheduler.explosion_splits").add();
-            m.histogram("scheduler.num_groups")
+                m.counter(obs::names::kCtrSchedulerExplosionSplits).add();
+            m.histogram(obs::names::kHistSchedulerNumGroups)
                 .add(static_cast<double>(result.num_groups));
-            m.histogram("scheduler.schedule_seconds")
+            m.histogram(obs::names::kHistSchedulerScheduleSeconds)
                 .add(result.schedule_seconds);
 
             BUFFALO_LOG_INFO("scheduler")

@@ -1,6 +1,7 @@
 #include "device/device.h"
 
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "util/errors.h"
 
 namespace buffalo::device {
@@ -28,14 +29,14 @@ Device::chargeTransfer(std::uint64_t bytes)
 {
     transfer_seconds_ += cost_model_.transferSeconds(bytes);
     transferred_bytes_ += bytes;
-    obs::metrics().counter("device.transfer_bytes").add(bytes);
+    obs::metrics().counter(obs::names::kCtrDeviceTransferBytes).add(bytes);
 }
 
 void
 Device::noteTransferSaved(std::uint64_t bytes)
 {
     transfer_saved_bytes_ += bytes;
-    obs::metrics().counter("device.transfer_saved_bytes").add(bytes);
+    obs::metrics().counter(obs::names::kCtrDeviceTransferSavedBytes).add(bytes);
 }
 
 void

@@ -1,6 +1,7 @@
 #include "device/memory.h"
 
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "util/format.h"
 
 namespace buffalo::device {
@@ -23,9 +24,10 @@ DeviceAllocator::DeviceAllocator(std::uint64_t capacity_bytes)
 void
 DeviceAllocator::onAllocate(std::uint64_t bytes)
 {
+    util::MutexLock lock(mutex_);
     if (in_use_ + bytes > capacity_) {
         ++oom_count_;
-        obs::metrics().counter("device.oom_events").add();
+        obs::metrics().counter(obs::names::kCtrDeviceOomEvents).add();
         throw DeviceOom(bytes, in_use_, capacity_);
     }
     in_use_ += bytes;
@@ -34,7 +36,7 @@ DeviceAllocator::onAllocate(std::uint64_t bytes)
         // A relaxed CAS only on new watermarks — allocation stays
         // cheap on the (hot) non-watermark path.
         obs::metrics()
-            .gauge("device.peak_bytes")
+            .gauge(obs::names::kGaugeDevicePeakBytes)
             .setMax(static_cast<double>(peak_));
     }
 }
@@ -42,6 +44,7 @@ DeviceAllocator::onAllocate(std::uint64_t bytes)
 void
 DeviceAllocator::onFree(std::uint64_t bytes)
 {
+    util::MutexLock lock(mutex_);
     checkInternal(bytes <= in_use_,
                   "DeviceAllocator::onFree: freeing more than in use");
     in_use_ -= bytes;
@@ -50,6 +53,7 @@ DeviceAllocator::onFree(std::uint64_t bytes)
 void
 DeviceAllocator::setCapacity(std::uint64_t capacity_bytes)
 {
+    util::MutexLock lock(mutex_);
     checkArgument(capacity_bytes >= in_use_,
                   "DeviceAllocator::setCapacity: capacity below usage");
     capacity_ = capacity_bytes;

@@ -13,6 +13,7 @@
 
 #include "tensor/tensor.h"
 #include "util/errors.h"
+#include "util/thread_annotations.h"
 
 namespace buffalo::device {
 
@@ -36,8 +37,11 @@ class DeviceOom : public Error
 /**
  * Tracking allocator with a hard byte capacity.
  *
- * Thread-compatible, not thread-safe: the training loop is single-
- * threaded per device, matching one CUDA stream.
+ * Thread-safe: the accounting is guarded by an internal mutex, so the
+ * watermark and OOM counters stay exact even when pipeline stages or
+ * per-device worker threads charge the same allocator. (Each charge
+ * is one short uncontended lock — allocation is per-tensor, not
+ * per-element, so this is not a hot path.)
  */
 class DeviceAllocator : public tensor::AllocationObserver
 {
@@ -45,32 +49,60 @@ class DeviceAllocator : public tensor::AllocationObserver
     /** Creates an allocator with @p capacity_bytes of "device" memory. */
     explicit DeviceAllocator(std::uint64_t capacity_bytes);
 
-    void onAllocate(std::uint64_t bytes) override;
-    void onFree(std::uint64_t bytes) override;
+    void onAllocate(std::uint64_t bytes) override
+        BUFFALO_EXCLUDES(mutex_);
+    void onFree(std::uint64_t bytes) override BUFFALO_EXCLUDES(mutex_);
 
     /** Live bytes right now. */
-    std::uint64_t bytesInUse() const { return in_use_; }
+    std::uint64_t
+    bytesInUse() const BUFFALO_EXCLUDES(mutex_)
+    {
+        util::MutexLock lock(mutex_);
+        return in_use_;
+    }
 
     /** High-water mark since construction or resetPeak(). */
-    std::uint64_t peakBytes() const { return peak_; }
+    std::uint64_t
+    peakBytes() const BUFFALO_EXCLUDES(mutex_)
+    {
+        util::MutexLock lock(mutex_);
+        return peak_;
+    }
 
     /** Configured capacity. */
-    std::uint64_t capacity() const { return capacity_; }
+    std::uint64_t
+    capacity() const BUFFALO_EXCLUDES(mutex_)
+    {
+        util::MutexLock lock(mutex_);
+        return capacity_;
+    }
 
     /** Changes the capacity (must be >= bytesInUse()). */
-    void setCapacity(std::uint64_t capacity_bytes);
+    void setCapacity(std::uint64_t capacity_bytes)
+        BUFFALO_EXCLUDES(mutex_);
 
     /** Resets the peak watermark to the current usage. */
-    void resetPeak() { peak_ = in_use_; }
+    void
+    resetPeak() BUFFALO_EXCLUDES(mutex_)
+    {
+        util::MutexLock lock(mutex_);
+        peak_ = in_use_;
+    }
 
     /** Count of allocation refusals (OOMs thrown). */
-    std::uint64_t oomCount() const { return oom_count_; }
+    std::uint64_t
+    oomCount() const BUFFALO_EXCLUDES(mutex_)
+    {
+        util::MutexLock lock(mutex_);
+        return oom_count_;
+    }
 
   private:
-    std::uint64_t capacity_;
-    std::uint64_t in_use_ = 0;
-    std::uint64_t peak_ = 0;
-    std::uint64_t oom_count_ = 0;
+    mutable util::Mutex mutex_;
+    std::uint64_t capacity_ BUFFALO_GUARDED_BY(mutex_);
+    std::uint64_t in_use_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t peak_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t oom_count_ BUFFALO_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace buffalo::device

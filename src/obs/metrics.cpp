@@ -24,7 +24,7 @@ ReservoirHistogram::ReservoirHistogram(std::size_t capacity)
 void
 ReservoirHistogram::add(double value)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     if (count_ == 0) {
         min_ = max_ = value;
     } else {
@@ -46,7 +46,7 @@ ReservoirHistogram::add(double value)
 std::uint64_t
 ReservoirHistogram::count() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     return count_;
 }
 
@@ -74,7 +74,7 @@ ReservoirHistogram::percentile(double p) const
 {
     std::vector<double> sample;
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         sample = reservoir_;
     }
     std::sort(sample.begin(), sample.end());
@@ -87,7 +87,7 @@ ReservoirHistogram::snapshot() const
     HistogramSnapshot snap;
     std::vector<double> sample;
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         snap.count = count_;
         snap.min = min_;
         snap.max = max_;
@@ -106,7 +106,7 @@ ReservoirHistogram::snapshot() const
 void
 ReservoirHistogram::reset()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     reservoir_.clear();
     count_ = 0;
     min_ = max_ = sum_ = 0.0;
@@ -118,7 +118,7 @@ ReservoirHistogram::reset()
 Counter &
 MetricsRegistry::counter(std::string_view name)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = counters_.find(name);
     if (it == counters_.end())
         it = counters_
@@ -131,7 +131,7 @@ MetricsRegistry::counter(std::string_view name)
 Gauge &
 MetricsRegistry::gauge(std::string_view name)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = gauges_.find(name);
     if (it == gauges_.end())
         it = gauges_
@@ -143,7 +143,7 @@ MetricsRegistry::gauge(std::string_view name)
 ReservoirHistogram &
 MetricsRegistry::histogram(std::string_view name)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = histograms_.find(name);
     if (it == histograms_.end())
         it = histograms_
@@ -157,7 +157,7 @@ MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
     MetricsSnapshot snap;
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto &[name, counter] : counters_)
         snap.counters.emplace_back(name, counter->value());
     for (const auto &[name, gauge] : gauges_)
@@ -245,7 +245,7 @@ MetricsRegistry::toTable() const
 void
 MetricsRegistry::reset()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     for (auto &[name, counter] : counters_)
         counter->reset();
     for (auto &[name, gauge] : gauges_)

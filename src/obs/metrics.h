@@ -17,12 +17,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 
 namespace buffalo::obs {
 
@@ -126,14 +126,16 @@ class ReservoirHistogram
     void reset();
 
   private:
-    mutable std::mutex mutex_;
+    /** Immutable after construction. */
     std::size_t capacity_;
-    std::vector<double> reservoir_;
-    std::uint64_t count_ = 0;
-    double min_ = 0.0;
-    double max_ = 0.0;
-    double sum_ = 0.0;
-    util::Rng rng_;
+
+    mutable util::Mutex mutex_;
+    std::vector<double> reservoir_ BUFFALO_GUARDED_BY(mutex_);
+    std::uint64_t count_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    double min_ BUFFALO_GUARDED_BY(mutex_) = 0.0;
+    double max_ BUFFALO_GUARDED_BY(mutex_) = 0.0;
+    double sum_ BUFFALO_GUARDED_BY(mutex_) = 0.0;
+    util::Rng rng_ BUFFALO_GUARDED_BY(mutex_);
 };
 
 /** One full registry snapshot, in name order. */
@@ -186,13 +188,14 @@ class MetricsRegistry
     void reset();
 
   private:
-    mutable std::mutex mutex_;
+    mutable util::Mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>, std::less<>>
-        counters_;
-    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+        counters_ BUFFALO_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+        gauges_ BUFFALO_GUARDED_BY(mutex_);
     std::map<std::string, std::unique_ptr<ReservoirHistogram>,
              std::less<>>
-        histograms_;
+        histograms_ BUFFALO_GUARDED_BY(mutex_);
 };
 
 /** The process-wide registry the built-in instrumentation reports to. */

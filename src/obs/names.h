@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The central registry of observability name literals (DESIGN.md,
+ * "Observability"). Every span and metric name in the codebase lives
+ * here, once: instrumentation sites, `obs_validate --expect-* @core`,
+ * and `tools/ci.sh` all reference these constants, so a renamed span
+ * cannot silently drift apart from the CI expectations that gate on
+ * it. `tools/buffalo_lint` rejects raw name literals at call sites
+ * (rule `obs-name`) to keep it that way.
+ *
+ * Constants are grouped by kind (span / counter / gauge / histogram)
+ * and named k<Kind><Subsystem><What>. All values are dotted lowercase
+ * paths, `<subsystem>.<what>`. The arrays at the bottom are the core
+ * sets a smoke-test epoch must produce; ci.sh gates on them via
+ * `obs_validate --expect-spans @core --expect-metrics @core`.
+ */
+#pragma once
+
+namespace buffalo::obs::names {
+
+// --- Tracer spans (static storage duration, as Tracer requires) ----
+inline constexpr char kSpanTrainEpoch[] = "train.epoch";
+inline constexpr char kSpanTrainIteration[] = "train.iteration";
+inline constexpr char kSpanTrainMicroBatch[] = "train.micro_batch";
+inline constexpr char kSpanPipelineSample[] = "pipeline.sample";
+inline constexpr char kSpanPipelineBuild[] = "pipeline.build";
+inline constexpr char kSpanPipelineFeature[] = "pipeline.feature";
+inline constexpr char kSpanSchedulerSchedule[] = "scheduler.schedule";
+inline constexpr char kSpanBlockgenFast[] = "blockgen.fast";
+inline constexpr char kSpanBlockgenBaseline[] = "blockgen.baseline";
+
+// --- Counters ------------------------------------------------------
+inline constexpr char kCtrTrainEpochs[] = "train.epochs";
+inline constexpr char kCtrTrainMicroBatches[] = "train.micro_batches";
+inline constexpr char kCtrTrainOomRetries[] = "train.oom_retries";
+inline constexpr char kCtrPipelineEpochs[] = "pipeline.epochs";
+inline constexpr char kCtrSchedulerSchedules[] = "scheduler.schedules";
+inline constexpr char kCtrSchedulerKAttempts[] =
+    "scheduler.k_attempts";
+inline constexpr char kCtrSchedulerExplosionSplits[] =
+    "scheduler.explosion_splits";
+inline constexpr char kCtrBlockgenBlocks[] = "blockgen.blocks";
+inline constexpr char kCtrBlockgenNodes[] = "blockgen.nodes";
+inline constexpr char kCtrBlockgenEdges[] = "blockgen.edges";
+inline constexpr char kCtrDeviceTransferBytes[] =
+    "device.transfer_bytes";
+inline constexpr char kCtrDeviceTransferSavedBytes[] =
+    "device.transfer_saved_bytes";
+inline constexpr char kCtrDeviceOomEvents[] = "device.oom_events";
+
+// --- Gauges --------------------------------------------------------
+inline constexpr char kGaugeTrainPeakDeviceBytes[] =
+    "train.peak_device_bytes";
+inline constexpr char kGaugeDevicePeakBytes[] = "device.peak_bytes";
+inline constexpr char kGaugePipelineSampleBusySeconds[] =
+    "pipeline.sample_busy_seconds";
+inline constexpr char kGaugePipelineBuildBusySeconds[] =
+    "pipeline.build_busy_seconds";
+inline constexpr char kGaugePipelineFeatureBusySeconds[] =
+    "pipeline.feature_busy_seconds";
+inline constexpr char kGaugePipelineMaxSampledQueue[] =
+    "pipeline.max_sampled_queue";
+inline constexpr char kGaugePipelineMaxBuiltQueue[] =
+    "pipeline.max_built_queue";
+inline constexpr char kGaugePipelineMaxReadyQueue[] =
+    "pipeline.max_ready_queue";
+inline constexpr char kGaugePipelinePeakHostBytes[] =
+    "pipeline.peak_host_bytes";
+inline constexpr char kGaugeCacheHits[] = "cache.hits";
+inline constexpr char kGaugeCacheMisses[] = "cache.misses";
+inline constexpr char kGaugeCacheHitRate[] = "cache.hit_rate";
+inline constexpr char kGaugeCacheBytesInUse[] = "cache.bytes_in_use";
+inline constexpr char kGaugeCacheResidentNodes[] =
+    "cache.resident_nodes";
+
+// --- Histograms ----------------------------------------------------
+inline constexpr char kHistSchedulerEstimateRelError[] =
+    "scheduler.estimate_rel_error";
+inline constexpr char kHistSchedulerNumGroups[] =
+    "scheduler.num_groups";
+inline constexpr char kHistSchedulerScheduleSeconds[] =
+    "scheduler.schedule_seconds";
+inline constexpr char kHistPipelineOverlapRatio[] =
+    "pipeline.overlap_ratio";
+inline constexpr char kHistBlockgenLayerNodes[] =
+    "blockgen.layer_nodes";
+inline constexpr char kHistBlockgenLayerEdges[] =
+    "blockgen.layer_edges";
+
+// --- Core CI expectations (`obs_validate --expect-* @core`) --------
+// Spans any pipelined smoke epoch must record.
+inline constexpr const char *kCoreSpans[] = {
+    kSpanTrainEpoch,
+    kSpanTrainIteration,
+    kSpanPipelineSample,
+};
+
+// Metrics any pipelined smoke epoch must register.
+inline constexpr const char *kCoreMetrics[] = {
+    kCtrTrainEpochs,
+    kCtrSchedulerSchedules,
+    kGaugeDevicePeakBytes,
+};
+
+} // namespace buffalo::obs::names

@@ -65,7 +65,7 @@ Tracer::threadBuffer()
     thread_local ThreadBuffer *cached_buffer = nullptr;
     if (cached_owner == this)
         return *cached_buffer;
-    std::lock_guard<std::mutex> guard(registry_mutex_);
+    util::MutexLock registry_lock(registry_mutex_);
     buffers_.push_back(std::make_unique<ThreadBuffer>(
         static_cast<std::uint32_t>(buffers_.size())));
     cached_owner = this;
@@ -77,7 +77,7 @@ void
 Tracer::record(const char *name, double start_us, double duration_us)
 {
     ThreadBuffer &buffer = threadBuffer();
-    std::lock_guard<std::mutex> guard(buffer.mutex);
+    util::MutexLock lock(buffer.mutex);
     const SpanRecord span{name, start_us, duration_us};
     if (buffer.ring.size() < ring_capacity_) {
         buffer.ring.push_back(span);
@@ -92,9 +92,9 @@ std::size_t
 Tracer::spanCount() const
 {
     std::size_t count = 0;
-    std::lock_guard<std::mutex> registry_guard(registry_mutex_);
+    util::MutexLock registry_lock(registry_mutex_);
     for (const auto &buffer : buffers_) {
-        std::lock_guard<std::mutex> guard(buffer->mutex);
+        util::MutexLock lock(buffer->mutex);
         count += buffer->ring.size();
     }
     return count;
@@ -104,9 +104,9 @@ std::uint64_t
 Tracer::droppedSpans() const
 {
     std::uint64_t dropped = 0;
-    std::lock_guard<std::mutex> registry_guard(registry_mutex_);
+    util::MutexLock registry_lock(registry_mutex_);
     for (const auto &buffer : buffers_) {
-        std::lock_guard<std::mutex> guard(buffer->mutex);
+        util::MutexLock lock(buffer->mutex);
         dropped += buffer->total - buffer->ring.size();
     }
     return dropped;
@@ -122,9 +122,9 @@ Tracer::toJson() const
     };
     std::vector<Event> events;
     {
-        std::lock_guard<std::mutex> registry_guard(registry_mutex_);
+        util::MutexLock registry_lock(registry_mutex_);
         for (const auto &buffer : buffers_) {
-            std::lock_guard<std::mutex> guard(buffer->mutex);
+            util::MutexLock lock(buffer->mutex);
             for (const SpanRecord &span : buffer->ring)
                 events.push_back({span, buffer->tid});
         }
@@ -158,9 +158,9 @@ Tracer::writeJson(const std::string &path) const
 void
 Tracer::clear()
 {
-    std::lock_guard<std::mutex> registry_guard(registry_mutex_);
+    util::MutexLock registry_lock(registry_mutex_);
     for (const auto &buffer : buffers_) {
-        std::lock_guard<std::mutex> guard(buffer->mutex);
+        util::MutexLock lock(buffer->mutex);
         buffer->ring.clear();
         buffer->next = 0;
         buffer->total = 0;

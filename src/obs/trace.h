@@ -23,9 +23,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace buffalo::obs {
 
@@ -122,22 +123,24 @@ class Tracer
         explicit ThreadBuffer(std::uint32_t id) : tid(id) {}
 
         std::uint32_t tid;
-        mutable std::mutex mutex;
+        mutable util::Mutex mutex;
         /** Ring storage; write cursor wraps at capacity. */
-        std::vector<SpanRecord> ring;
-        std::size_t next = 0;
-        std::uint64_t total = 0;
+        std::vector<SpanRecord> ring BUFFALO_GUARDED_BY(mutex);
+        std::size_t next BUFFALO_GUARDED_BY(mutex) = 0;
+        std::uint64_t total BUFFALO_GUARDED_BY(mutex) = 0;
     };
 
     /** The calling thread's buffer (created and cached on first use). */
-    ThreadBuffer &threadBuffer();
+    ThreadBuffer &threadBuffer() BUFFALO_EXCLUDES(registry_mutex_);
 
     std::atomic<bool> enabled_{false};
     std::size_t ring_capacity_;
     std::chrono::steady_clock::time_point epoch_;
 
-    mutable std::mutex registry_mutex_;
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    mutable util::Mutex registry_mutex_;
+    /** Buffer pointers are stable; each buffer has its own lock. */
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+        BUFFALO_GUARDED_BY(registry_mutex_);
 };
 
 /** The process-wide tracer the built-in instrumentation reports to. */

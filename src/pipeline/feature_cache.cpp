@@ -49,7 +49,7 @@ FeatureCache::pinHotNodes(const graph::Dataset &dataset,
     if (options_.store_payload)
         row.resize(static_cast<std::size_t>(options_.feature_dim));
 
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     for (std::size_t i = 0; i < count; ++i) {
         const graph::NodeId node = order[i];
         if (entries_.count(node) > 0)
@@ -74,7 +74,7 @@ FeatureCache::lookup(graph::NodeId node, std::span<float> out)
 {
     if (!enabled_)
         return false;
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = entries_.find(node);
     if (it == entries_.end()) {
         ++misses_;
@@ -99,7 +99,7 @@ FeatureCache::insert(graph::NodeId node, std::span<const float> row)
 {
     if (!enabled_)
         return;
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     if (entries_.count(node) > 0)
         return;
     evictUntilFitsLocked(row_bytes_);
@@ -135,7 +135,7 @@ FeatureCache::evictUntilFitsLocked(std::uint64_t needed_bytes)
 FeatureCacheStats
 FeatureCache::stats() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     FeatureCacheStats s;
     s.hits = hits_;
     s.misses = misses_;
@@ -151,7 +151,7 @@ FeatureCache::stats() const
 void
 FeatureCache::resetCounters()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    util::MutexLock lock(mutex_);
     hits_ = misses_ = insertions_ = evictions_ = 0;
 }
 

@@ -20,13 +20,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/datasets.h"
 #include "graph/types.h"
+#include "util/thread_annotations.h"
 
 namespace buffalo::pipeline {
 
@@ -88,7 +88,7 @@ class FeatureCache
      * dataset immediately (payload mode) and are never evicted.
      */
     void pinHotNodes(const graph::Dataset &dataset,
-                     std::size_t max_pinned);
+                     std::size_t max_pinned) BUFFALO_EXCLUDES(mutex_);
 
     /**
      * Looks @p node up, refreshing its LRU position. On a payload-mode
@@ -96,20 +96,22 @@ class FeatureCache
      * then hold feature_dim floats).
      * @return true on hit.
      */
-    bool lookup(graph::NodeId node, std::span<float> out);
+    bool lookup(graph::NodeId node, std::span<float> out)
+        BUFFALO_EXCLUDES(mutex_);
 
     /**
      * Inserts @p node's row (ignored if already resident or the cache
      * is disabled), evicting least-recently-used unpinned rows to make
      * room. @p row may be empty in presence-only mode.
      */
-    void insert(graph::NodeId node, std::span<const float> row);
+    void insert(graph::NodeId node, std::span<const float> row)
+        BUFFALO_EXCLUDES(mutex_);
 
     /** Counter snapshot. */
-    FeatureCacheStats stats() const;
+    FeatureCacheStats stats() const BUFFALO_EXCLUDES(mutex_);
 
     /** Zeroes hit/miss/insert/evict counters; contents stay resident. */
-    void resetCounters();
+    void resetCounters() BUFFALO_EXCLUDES(mutex_);
 
   private:
     struct Entry
@@ -120,22 +122,25 @@ class FeatureCache
         bool pinned = false;
     };
 
-    void evictUntilFitsLocked(std::uint64_t needed_bytes);
+    void evictUntilFitsLocked(std::uint64_t needed_bytes)
+        BUFFALO_REQUIRES(mutex_);
 
+    /** Immutable after construction. */
     FeatureCacheOptions options_;
     std::uint64_t row_bytes_ = 0;
     bool enabled_ = false;
 
-    mutable std::mutex mutex_;
-    std::unordered_map<graph::NodeId, Entry> entries_;
+    mutable util::Mutex mutex_;
+    std::unordered_map<graph::NodeId, Entry> entries_
+        BUFFALO_GUARDED_BY(mutex_);
     /** Unpinned residents, most recent at the front. */
-    std::list<graph::NodeId> lru_;
-    std::uint64_t bytes_in_use_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t insertions_ = 0;
-    std::uint64_t evictions_ = 0;
-    std::uint64_t pinned_count_ = 0;
+    std::list<graph::NodeId> lru_ BUFFALO_GUARDED_BY(mutex_);
+    std::uint64_t bytes_in_use_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t hits_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t misses_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t insertions_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t evictions_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t pinned_count_ BUFFALO_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace buffalo::pipeline

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/names.h"
 #include "util/logging.h"
 
 namespace buffalo::pipeline {
@@ -36,7 +37,7 @@ train::IterationStats
 PipelineTrainer::trainPrepared(PreparedBatch &batch,
                                const graph::Dataset &dataset)
 {
-    obs::Span iteration_span("train.iteration");
+    obs::Span iteration_span(obs::names::kSpanTrainIteration);
     const std::size_t batch_outputs = batch.sg.numSeeds();
     core::SchedulerOptions sched = resolvedSchedulerOptions();
 
@@ -84,7 +85,7 @@ PipelineTrainer::trainPrepared(PreparedBatch &batch,
             stats.peak_device_bytes = device_.allocator().peakBytes();
             return stats;
         } catch (const device::DeviceOom &) {
-            obs::metrics().counter("train.oom_retries").add();
+            obs::metrics().counter(obs::names::kCtrTrainOomRetries).add();
             if (attempt + 1 >= kMaxAttempts)
                 throw;
             model_->clearCache();
@@ -107,29 +108,29 @@ void
 recordEpochMetrics(const train::EpochReport &report)
 {
     obs::MetricsRegistry &m = obs::metrics();
-    m.counter("pipeline.epochs").add();
-    m.histogram("pipeline.overlap_ratio").add(report.overlapRatio());
-    m.gauge("pipeline.sample_busy_seconds")
+    m.counter(obs::names::kCtrPipelineEpochs).add();
+    m.histogram(obs::names::kHistPipelineOverlapRatio).add(report.overlapRatio());
+    m.gauge(obs::names::kGaugePipelineSampleBusySeconds)
         .set(report.stages.sample_busy_seconds);
-    m.gauge("pipeline.build_busy_seconds")
+    m.gauge(obs::names::kGaugePipelineBuildBusySeconds)
         .set(report.stages.build_busy_seconds);
-    m.gauge("pipeline.feature_busy_seconds")
+    m.gauge(obs::names::kGaugePipelineFeatureBusySeconds)
         .set(report.stages.feature_busy_seconds);
-    m.gauge("pipeline.max_sampled_queue")
+    m.gauge(obs::names::kGaugePipelineMaxSampledQueue)
         .setMax(static_cast<double>(report.stages.max_sampled_queue));
-    m.gauge("pipeline.max_built_queue")
+    m.gauge(obs::names::kGaugePipelineMaxBuiltQueue)
         .setMax(static_cast<double>(report.stages.max_built_queue));
-    m.gauge("pipeline.max_ready_queue")
+    m.gauge(obs::names::kGaugePipelineMaxReadyQueue)
         .setMax(static_cast<double>(report.stages.max_ready_queue));
-    m.gauge("pipeline.peak_host_bytes")
+    m.gauge(obs::names::kGaugePipelinePeakHostBytes)
         .setMax(static_cast<double>(report.stages.peak_host_bytes));
-    m.gauge("cache.hits").set(static_cast<double>(report.cache.hits));
-    m.gauge("cache.misses")
+    m.gauge(obs::names::kGaugeCacheHits).set(static_cast<double>(report.cache.hits));
+    m.gauge(obs::names::kGaugeCacheMisses)
         .set(static_cast<double>(report.cache.misses));
-    m.gauge("cache.hit_rate").set(report.cache.hitRate());
-    m.gauge("cache.bytes_in_use")
+    m.gauge(obs::names::kGaugeCacheHitRate).set(report.cache.hitRate());
+    m.gauge(obs::names::kGaugeCacheBytesInUse)
         .set(static_cast<double>(report.cache.bytes_in_use));
-    m.gauge("cache.resident_nodes")
+    m.gauge(obs::names::kGaugeCacheResidentNodes)
         .set(static_cast<double>(report.cache.resident_nodes));
 }
 

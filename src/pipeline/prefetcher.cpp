@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/trace.h"
+#include "obs/names.h"
 #include "train/trainer.h"
 #include "util/errors.h"
 
@@ -86,14 +87,14 @@ Prefetcher::sampleStage(std::vector<graph::NodeList> batches,
         item.index = i;
         util::StopWatch watch;
         {
-            obs::Span span("pipeline.sample");
+            obs::Span span(obs::names::kSpanPipelineSample);
             util::PhaseTimer::Scope scope(
                 item.phases, train::phaseName(train::Phase::Sampling));
             item.sg = sampler.sample(dataset_.graph(), batches[i], rng);
         }
         item.seconds = watch.seconds();
         {
-            std::lock_guard<std::mutex> guard(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             stats_.sample_busy_seconds += item.seconds;
         }
         if (!sampled_.push(std::move(item)))
@@ -113,7 +114,7 @@ Prefetcher::buildStage()
         pb.sample_seconds = item->seconds;
 
         util::StopWatch watch;
-        obs::Span span("pipeline.build");
+        obs::Span span(obs::names::kSpanPipelineBuild);
         core::BuffaloScheduler scheduler(
             memory_model_, dataset_.spec().paper_avg_coefficient,
             scheduler_options_);
@@ -128,7 +129,7 @@ Prefetcher::buildStage()
         }
         pb.build_seconds = watch.seconds();
         {
-            std::lock_guard<std::mutex> guard(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             stats_.build_busy_seconds += pb.build_seconds;
         }
         if (!built_.push(std::move(pb)))
@@ -159,13 +160,13 @@ Prefetcher::featureStage()
 
         util::StopWatch watch;
         {
-            obs::Span span("pipeline.feature");
+            obs::Span span(obs::names::kSpanPipelineFeature);
             for (PreparedMicroBatch &pmb : pb->micro)
                 stageFeatures(pmb);
         }
         pb->feature_seconds = watch.seconds();
         {
-            std::lock_guard<std::mutex> guard(stats_mutex_);
+            util::MutexLock lock(stats_mutex_);
             stats_.feature_busy_seconds += pb->feature_seconds;
             current_host_bytes_ += bytes;
             stats_.peak_host_bytes =
@@ -227,7 +228,7 @@ void
 Prefetcher::release(const PreparedBatch &batch)
 {
     budget_.release(batch.staged_bytes);
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     current_host_bytes_ = batch.staged_bytes > current_host_bytes_
                               ? 0
                               : current_host_bytes_ -
@@ -237,7 +238,7 @@ Prefetcher::release(const PreparedBatch &batch)
 PrefetcherStats
 Prefetcher::stats() const
 {
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     PrefetcherStats s = stats_;
     s.max_sampled_queue = sampled_.maxOccupancy();
     s.max_built_queue = built_.maxOccupancy();

@@ -35,6 +35,7 @@
 #include "tensor/tensor.h"
 #include "train/report.h"
 #include "util/rng.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -132,7 +133,7 @@ class Prefetcher
      */
     void release(const PreparedBatch &batch);
 
-    PrefetcherStats stats() const;
+    PrefetcherStats stats() const BUFFALO_EXCLUDES(stats_mutex_);
 
   private:
     struct SampledItem
@@ -166,13 +167,16 @@ class Prefetcher
     StageQueue<PreparedBatch> ready_;
     ByteBudget budget_;
 
-    mutable std::mutex stats_mutex_;
-    PrefetcherStats stats_;
-    /** Host bytes currently staged (guarded by stats_mutex_). */
-    std::uint64_t current_host_bytes_ = 0;
+    mutable util::Mutex stats_mutex_;
+    PrefetcherStats stats_ BUFFALO_GUARDED_BY(stats_mutex_);
+    /** Host bytes currently staged. */
+    std::uint64_t current_host_bytes_
+        BUFFALO_GUARDED_BY(stats_mutex_) = 0;
 
-    /** Owns the three stage workers; destroyed first on teardown. */
-    std::unique_ptr<util::ThreadPool> pool_;
+    /** Owns the three stage workers; declared last so it is destroyed
+     * (joining them) before the state they reference. Written only by
+     * the constructor/destructor. */
+    std::unique_ptr<util::ThreadPool> pool_; // buffalo-lint: allow(guarded-by)
 };
 
 } // namespace buffalo::pipeline

@@ -13,8 +13,9 @@
 #include <cstdint>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <optional>
+
+#include "util/thread_annotations.h"
 
 namespace buffalo::pipeline {
 
@@ -51,10 +52,9 @@ template <typename T> class StageQueue
     bool
     push(T value)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_full_.wait(lock, [this] {
-            return closed_ || error_ || items_.size() < capacity_;
-        });
+        util::MutexLock lock(mutex_);
+        while (!(closed_ || error_ || items_.size() < capacity_))
+            not_full_.wait(lock.native());
         if (closed_ || error_)
             return false;
         items_.push_back(std::move(value));
@@ -73,10 +73,9 @@ template <typename T> class StageQueue
     std::optional<T>
     pop()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [this] {
-            return error_ || closed_ || !items_.empty();
-        });
+        util::MutexLock lock(mutex_);
+        while (!(error_ || closed_ || !items_.empty()))
+            not_empty_.wait(lock.native());
         if (error_)
             std::rethrow_exception(error_);
         if (items_.empty())
@@ -91,7 +90,7 @@ template <typename T> class StageQueue
     void
     close()
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         closed_ = true;
         not_empty_.notify_all();
         not_full_.notify_all();
@@ -105,7 +104,7 @@ template <typename T> class StageQueue
     void
     abort(std::exception_ptr error)
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         if (!error_)
             error_ = error;
         items_.clear();
@@ -117,7 +116,7 @@ template <typename T> class StageQueue
     bool
     aborted() const
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         return error_ != nullptr;
     }
 
@@ -125,7 +124,7 @@ template <typename T> class StageQueue
     std::size_t
     size() const
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         return items_.size();
     }
 
@@ -133,7 +132,7 @@ template <typename T> class StageQueue
     std::size_t
     maxOccupancy() const
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         return max_occupancy_;
     }
 
@@ -141,13 +140,13 @@ template <typename T> class StageQueue
 
   private:
     const std::size_t capacity_;
-    mutable std::mutex mutex_;
+    mutable util::Mutex mutex_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
-    std::deque<T> items_;
-    std::size_t max_occupancy_ = 0;
-    bool closed_ = false;
-    std::exception_ptr error_;
+    std::deque<T> items_ BUFFALO_GUARDED_BY(mutex_);
+    std::size_t max_occupancy_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    bool closed_ BUFFALO_GUARDED_BY(mutex_) = false;
+    std::exception_ptr error_ BUFFALO_GUARDED_BY(mutex_);
 };
 
 /**
@@ -180,11 +179,10 @@ class ByteBudget
     {
         if (capacity_ == 0)
             return true;
-        std::unique_lock<std::mutex> lock(mutex_);
-        changed_.wait(lock, [&] {
-            return cancelled_ || in_use_ + bytes <= capacity_ ||
-                   in_use_ == 0;
-        });
+        util::MutexLock lock(mutex_);
+        while (!(cancelled_ || in_use_ + bytes <= capacity_ ||
+                 in_use_ == 0))
+            changed_.wait(lock.native());
         if (cancelled_)
             return false;
         in_use_ += bytes;
@@ -197,7 +195,7 @@ class ByteBudget
     {
         if (capacity_ == 0)
             return;
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         in_use_ = bytes > in_use_ ? 0 : in_use_ - bytes;
         changed_.notify_all();
     }
@@ -206,7 +204,7 @@ class ByteBudget
     void
     cancel()
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         cancelled_ = true;
         changed_.notify_all();
     }
@@ -215,7 +213,7 @@ class ByteBudget
     std::uint64_t
     bytesInUse() const
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        util::MutexLock lock(mutex_);
         return in_use_;
     }
 
@@ -223,10 +221,10 @@ class ByteBudget
 
   private:
     const std::uint64_t capacity_;
-    mutable std::mutex mutex_;
+    mutable util::Mutex mutex_;
     std::condition_variable changed_;
-    std::uint64_t in_use_ = 0;
-    bool cancelled_ = false;
+    std::uint64_t in_use_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    bool cancelled_ BUFFALO_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace buffalo::pipeline

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/names.h"
 #include "util/errors.h"
 
 namespace buffalo::sampling {
@@ -83,16 +84,16 @@ recordBlockSizes(const MicroBatch &mb)
     obs::MetricsRegistry &m = obs::metrics();
     std::uint64_t nodes = 0, edges = 0;
     for (const Block &block : mb.blocks) {
-        m.histogram("blockgen.layer_nodes")
+        m.histogram(obs::names::kHistBlockgenLayerNodes)
             .add(static_cast<double>(block.src_nodes.size()));
-        m.histogram("blockgen.layer_edges")
+        m.histogram(obs::names::kHistBlockgenLayerEdges)
             .add(static_cast<double>(block.neighbors.size()));
         nodes += block.src_nodes.size();
         edges += block.neighbors.size();
     }
-    m.counter("blockgen.blocks").add(mb.blocks.size());
-    m.counter("blockgen.nodes").add(nodes);
-    m.counter("blockgen.edges").add(edges);
+    m.counter(obs::names::kCtrBlockgenBlocks).add(mb.blocks.size());
+    m.counter(obs::names::kCtrBlockgenNodes).add(nodes);
+    m.counter(obs::names::kCtrBlockgenEdges).add(edges);
 }
 
 } // namespace
@@ -108,7 +109,7 @@ FastBlockGenerator::generate(const SampledSubgraph &sg,
                              util::PhaseTimer *timer) const
 {
     checkOutputs(sg, output_locals);
-    obs::Span span("blockgen.fast");
+    obs::Span span(obs::names::kSpanBlockgenFast);
     util::ThreadPool &pool =
         pool_ ? *pool_ : util::ThreadPool::global();
 
@@ -174,7 +175,7 @@ BaselineBlockGenerator::generate(const SampledSubgraph &sg,
                                  util::PhaseTimer *timer) const
 {
     checkOutputs(sg, output_locals);
-    obs::Span span("blockgen.baseline");
+    obs::Span span(obs::names::kSpanBlockgenBaseline);
     const CsrGraph &parent = sg.parent();
 
     MicroBatch mb;

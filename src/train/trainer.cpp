@@ -6,6 +6,7 @@
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/names.h"
 #include "sampling/bucketing.h"
 #include "train/feature_loader.h"
 #include "util/errors.h"
@@ -100,10 +101,10 @@ TrainerBase::trainEpoch(const graph::Dataset &dataset,
                         const std::vector<NodeList> &batches,
                         util::Rng &rng)
 {
-    obs::Span span("train.epoch");
+    obs::Span span(obs::names::kSpanTrainEpoch);
     EpochReport report = trainEpochImpl(dataset, batches, rng);
     const int epoch = epochs_run_++;
-    obs::metrics().counter("train.epochs").add();
+    obs::metrics().counter(obs::names::kCtrTrainEpochs).add();
     if (options_.epoch_observer)
         options_.epoch_observer(epoch, report);
     return report;
@@ -166,8 +167,8 @@ TrainerBase::processMicroBatch(const sampling::MicroBatch &mb,
     const nn::MemoryModel &mm = model_->memoryModel();
     device::DeviceAllocator &allocator = device_.allocator();
 
-    obs::Span span("train.micro_batch");
-    obs::metrics().counter("train.micro_batches").add();
+    obs::Span span(obs::names::kSpanTrainMicroBatch);
+    obs::metrics().counter(obs::names::kCtrTrainMicroBatches).add();
 
     // --- Data loading: host feature fill + simulated PCIe transfer.
     // Rows the feature cache already holds device-resident are not
@@ -315,7 +316,7 @@ IterationStats
 BuffaloTrainer::trainIteration(const graph::Dataset &dataset,
                                const NodeList &seeds, util::Rng &rng)
 {
-    obs::Span iteration_span("train.iteration");
+    obs::Span iteration_span(obs::names::kSpanTrainIteration);
     util::PhaseTimer sampling_phases;
     auto sg = sampleBatch(dataset, seeds, rng, sampling_phases);
 
@@ -389,15 +390,15 @@ BuffaloTrainer::trainIteration(const graph::Dataset &dataset,
                 const double est =
                     static_cast<double>(est_peak + static_bytes_);
                 obs::metrics()
-                    .histogram("scheduler.estimate_rel_error")
+                    .histogram(obs::names::kHistSchedulerEstimateRelError)
                     .add((est - actual) / actual);
             }
             obs::metrics()
-                .gauge("train.peak_device_bytes")
+                .gauge(obs::names::kGaugeTrainPeakDeviceBytes)
                 .setMax(static_cast<double>(stats.peak_device_bytes));
             return stats;
         } catch (const device::DeviceOom &) {
-            obs::metrics().counter("train.oom_retries").add();
+            obs::metrics().counter(obs::names::kCtrTrainOomRetries).add();
             if (attempt + 1 >= kMaxAttempts)
                 throw;
             model_->clearCache();

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Clang thread-safety annotations (DESIGN.md, "Static analysis &
+ * sanitizer matrix") and the annotated mutex types the concurrent
+ * subsystems lock with.
+ *
+ * Under Clang with `-Wthread-safety` (the `BUFFALO_THREAD_SAFETY`
+ * CMake option, auto-on when supported) every `BUFFALO_GUARDED_BY`
+ * member access is checked at compile time: reading or writing a
+ * guarded member without holding its mutex is a hard error, as is
+ * returning from a function annotated `BUFFALO_REQUIRES` without the
+ * capability. Under GCC (which has no thread-safety analysis) the
+ * macros expand to nothing and `Mutex`/`MutexLock` cost exactly a
+ * `std::mutex`/`std::unique_lock`.
+ *
+ * Conventions (enforced by `tools/buffalo_lint`):
+ *  - A class that owns shared state declares its `Mutex` member
+ *    *before* the members it guards; everything declared after a
+ *    mutex member must carry `BUFFALO_GUARDED_BY(that_mutex_)` or an
+ *    explicit `// buffalo-lint: allow(guarded-by) <reason>` waiver.
+ *  - Private helpers that assume the lock is held are annotated
+ *    `BUFFALO_REQUIRES(mutex_)` and named `...Locked()`.
+ *  - Condition waits use explicit while-loops over the guarded
+ *    predicate (not the lambda-predicate overloads, which Clang's
+ *    analysis cannot see into).
+ */
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define BUFFALO_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef BUFFALO_THREAD_ANNOTATION
+#define BUFFALO_THREAD_ANNOTATION(x) // not supported by this compiler
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define BUFFALO_CAPABILITY(x) BUFFALO_THREAD_ANNOTATION(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define BUFFALO_SCOPED_CAPABILITY BUFFALO_THREAD_ANNOTATION(scoped_lockable)
+
+/** Member may only be accessed while holding @p x. */
+#define BUFFALO_GUARDED_BY(x) BUFFALO_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointee may only be accessed while holding @p x. */
+#define BUFFALO_PT_GUARDED_BY(x) BUFFALO_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function must be called with the capability held. */
+#define BUFFALO_REQUIRES(...)                                             \
+    BUFFALO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the capability and does not release it. */
+#define BUFFALO_ACQUIRE(...)                                              \
+    BUFFALO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases a held capability. */
+#define BUFFALO_RELEASE(...)                                              \
+    BUFFALO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability when it returns @p first arg. */
+#define BUFFALO_TRY_ACQUIRE(...)                                          \
+    BUFFALO_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Function must NOT be called with the capability held (deadlock). */
+#define BUFFALO_EXCLUDES(...)                                             \
+    BUFFALO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares that the function returns a reference to the capability. */
+#define BUFFALO_RETURN_CAPABILITY(x)                                      \
+    BUFFALO_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: disables analysis inside one function. */
+#define BUFFALO_NO_THREAD_SAFETY_ANALYSIS                                 \
+    BUFFALO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace buffalo::util {
+
+/**
+ * A `std::mutex` annotated as a Clang capability, so members can be
+ * declared `BUFFALO_GUARDED_BY(mutex_)`. Lock it with MutexLock; the
+ * raw lock()/unlock() exist for completeness and for adapters.
+ */
+class BUFFALO_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() BUFFALO_ACQUIRE()
+    {
+        mu_.lock();
+    }
+
+    void
+    unlock() BUFFALO_RELEASE()
+    {
+        mu_.unlock();
+    }
+
+    bool
+    try_lock() BUFFALO_TRY_ACQUIRE(true)
+    {
+        return mu_.try_lock();
+    }
+
+    /**
+     * The underlying std::mutex, for std::condition_variable waits
+     * (via MutexLock::native()). Direct locking through this handle
+     * is invisible to the analysis — don't.
+     */
+    std::mutex &
+    native()
+    {
+        return mu_;
+    }
+
+  private:
+    std::mutex mu_;
+};
+
+/**
+ * Scoped lock over a Mutex (the annotated `std::lock_guard`). For
+ * condition waits, pass `native()` — a `std::unique_lock` over the
+ * same mutex — to `std::condition_variable::wait*`:
+ *
+ *   MutexLock lock(mutex_);
+ *   while (!ready_)            // guarded predicate, re-checked held
+ *       cv_.wait(lock.native());
+ */
+class BUFFALO_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) BUFFALO_ACQUIRE(mutex)
+        : lock_(mutex.native())
+    {
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    ~MutexLock() BUFFALO_RELEASE() {}
+
+    /** The std::unique_lock handle condition variables wait on. */
+    std::unique_lock<std::mutex> &
+    native()
+    {
+        return lock_;
+    }
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace buffalo::util

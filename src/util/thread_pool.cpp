@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     task_available_.notify_all();
@@ -34,7 +34,7 @@ void
 ThreadPool::submit(std::function<void()> task)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        MutexLock lock(mutex_);
         tasks_.push(std::move(task));
         ++in_flight_;
     }
@@ -44,8 +44,9 @@ ThreadPool::submit(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return in_flight_ == 0; });
+    MutexLock lock(mutex_);
+    while (in_flight_ != 0)
+        all_done_.wait(lock.native());
 }
 
 void
@@ -54,9 +55,9 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            task_available_.wait(
-                lock, [this] { return stopping_ || !tasks_.empty(); });
+            MutexLock lock(mutex_);
+            while (!stopping_ && tasks_.empty())
+                task_available_.wait(lock.native());
             if (stopping_ && tasks_.empty())
                 return;
             task = std::move(tasks_.front());
@@ -64,7 +65,7 @@ ThreadPool::workerLoop()
         }
         task();
         {
-            std::lock_guard<std::mutex> guard(mutex_);
+            MutexLock lock(mutex_);
             if (--in_flight_ == 0)
                 all_done_.notify_all();
         }
@@ -76,7 +77,7 @@ ThreadPool::runOneTask()
 {
     std::function<void()> task;
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        MutexLock lock(mutex_);
         if (tasks_.empty())
             return false;
         task = std::move(tasks_.front());
@@ -84,7 +85,7 @@ ThreadPool::runOneTask()
     }
     task();
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        MutexLock lock(mutex_);
         if (--in_flight_ == 0)
             all_done_.notify_all();
     }
@@ -108,10 +109,10 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     // keep the cv alive until that call has fully returned.
     struct Completion
     {
-        std::mutex mutex;
+        Mutex mutex;
         std::condition_variable done;
         std::atomic<std::size_t> remaining{0};
-        std::exception_ptr first_error;
+        std::exception_ptr first_error BUFFALO_GUARDED_BY(mutex);
     };
     auto state = std::make_shared<Completion>();
 
@@ -126,13 +127,13 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
                 for (std::size_t i = lo; i < hi; ++i)
                     body(i);
             } catch (...) {
-                std::lock_guard<std::mutex> guard(state->mutex);
+                MutexLock lock(state->mutex);
                 if (!state->first_error)
                     state->first_error = std::current_exception();
             }
             if (state->remaining.fetch_sub(
                     1, std::memory_order_acq_rel) == 1) {
-                std::lock_guard<std::mutex> guard(state->mutex);
+                MutexLock lock(state->mutex);
                 state->done.notify_all();
             }
         });
@@ -140,18 +141,24 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 
     // Help drain the queue while waiting so nested parallelFor calls
     // (issued from inside pool tasks) make progress even when every
-    // worker is already occupied by an enclosing task.
+    // worker is already occupied by an enclosing task. The short
+    // wait_for bounds the window between a runOneTask miss and the
+    // completion notify; the outer loop re-checks `remaining`.
     while (state->remaining.load(std::memory_order_acquire) > 0) {
         if (runOneTask())
             continue;
-        std::unique_lock<std::mutex> lock(state->mutex);
-        state->done.wait_for(lock, std::chrono::milliseconds(1), [&] {
-            return state->remaining.load(std::memory_order_acquire) ==
-                   0;
-        });
+        MutexLock lock(state->mutex);
+        if (state->remaining.load(std::memory_order_acquire) > 0)
+            state->done.wait_for(lock.native(),
+                                 std::chrono::milliseconds(1));
     }
-    if (state->first_error)
-        std::rethrow_exception(state->first_error);
+    std::exception_ptr error;
+    {
+        MutexLock lock(state->mutex);
+        error = state->first_error;
+    }
+    if (error)
+        std::rethrow_exception(error);
 }
 
 ThreadPool &

@@ -8,10 +8,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace buffalo::util {
 
@@ -76,13 +77,15 @@ class ThreadPool
      */
     bool runOneTask();
 
+    /** Immutable after construction (joined, never mutated, later). */
     std::vector<std::thread> workers_;
-    std::queue<std::function<void()>> tasks_;
-    std::mutex mutex_;
+
+    Mutex mutex_;
     std::condition_variable task_available_;
     std::condition_variable all_done_;
-    std::size_t in_flight_ = 0;
-    bool stopping_ = false;
+    std::queue<std::function<void()>> tasks_ BUFFALO_GUARDED_BY(mutex_);
+    std::size_t in_flight_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    bool stopping_ BUFFALO_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace buffalo::util

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * End-to-end tests for tools/buffalo_lint: seeded violations in
+ * fixture sources must be caught with the right rule tag, clean
+ * fixtures must pass, and the repository itself must lint clean.
+ *
+ * The linter binary path arrives via the BUFFALO_LINT_BIN compile
+ * definition and the repo root via BUFFALO_REPO_ROOT (both set in
+ * tests/CMakeLists.txt), so the tests exercise the real executable
+ * rather than re-implementing its rules.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult
+{
+    int exit_code = -1;
+    std::string output;
+};
+
+RunResult
+runLint(const std::string &args)
+{
+    const std::string command =
+        std::string(BUFFALO_LINT_BIN) + " " + args + " 2>&1";
+    FILE *pipe = popen(command.c_str(), "r");
+    EXPECT_NE(pipe, nullptr) << "popen failed for: " << command;
+    RunResult result;
+    if (pipe == nullptr)
+        return result;
+    char buffer[4096];
+    while (std::fgets(buffer, sizeof buffer, pipe) != nullptr)
+        result.output += buffer;
+    const int status = pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+}
+
+fs::path
+fixtureDir(const std::string &name)
+{
+    const fs::path dir = fs::path(testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+void
+writeFile(const fs::path &path, const std::string &text)
+{
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << text;
+}
+
+TEST(LintTest, FlagsMissingGuardedByAnnotation)
+{
+    const fs::path dir = fixtureDir("lint_guarded_by");
+    const fs::path header = dir / "bad_queue.h";
+    writeFile(header,
+              "#pragma once\n"
+              "#include \"util/thread_annotations.h\"\n"
+              "namespace fixture {\n"
+              "class BadQueue {\n"
+              "  public:\n"
+              "    void push(int value);\n"
+              "  private:\n"
+              "    util::Mutex mutex_;\n"
+              "    int depth_ = 0;\n"
+              "};\n"
+              "} // namespace fixture\n");
+    const RunResult result = runLint(header.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[guarded-by]"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("depth_"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("bad_queue.h:9"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsAnnotatedAndWaivedMembers)
+{
+    const fs::path dir = fixtureDir("lint_guarded_by_ok");
+    const fs::path header = dir / "good_queue.h";
+    writeFile(
+        header,
+        "#pragma once\n"
+        "#include \"util/thread_annotations.h\"\n"
+        "class GoodQueue {\n"
+        "  private:\n"
+        "    util::Mutex mutex_;\n"
+        "    int depth_ BUFFALO_GUARDED_BY(mutex_) = 0;\n"
+        "    // Immutable after construction.\n"
+        "    int capacity_ = 0; "
+        "// buffalo-lint: allow(guarded-by) set once in ctor\n"
+        "    std::condition_variable not_empty_;\n"
+        "    static constexpr int kLimit = 4;\n"
+        "};\n");
+    const RunResult result = runLint(header.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsRawMetricNameLiterals)
+{
+    const fs::path dir = fixtureDir("lint_obs_name");
+    const fs::path source = dir / "rogue.cpp";
+    writeFile(source,
+              "#include \"obs/metrics.h\"\n"
+              "void touch() {\n"
+              "    buffalo::obs::metrics()"
+              ".counter(\"rogue.metric\").add();\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[obs-name]"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("rogue.cpp:3"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsRegistryConstantsAtCallSites)
+{
+    const fs::path dir = fixtureDir("lint_obs_name_ok");
+    const fs::path source = dir / "fine.cpp";
+    writeFile(source,
+              "#include \"obs/metrics.h\"\n"
+              "#include \"obs/names.h\"\n"
+              "void touch() {\n"
+              "    buffalo::obs::metrics()"
+              ".counter(buffalo::obs::names::kCtrTrainEpochs).add();\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsNakedAllocations)
+{
+    const fs::path dir = fixtureDir("lint_raw_alloc");
+    const fs::path source = dir / "leaky.cpp";
+    writeFile(source,
+              "#include <cstdlib>\n"
+              "float *makeBuffer(int n) {\n"
+              "    float *raw = new float[16];\n"
+              "    void *blob = std::malloc(64);\n"
+              "    std::free(blob);\n"
+              "    return raw;\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[raw-alloc]"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("leaky.cpp:3"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("leaky.cpp:4"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("leaky.cpp:5"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, IgnoresAllocationWordsInCommentsAndStrings)
+{
+    const fs::path dir = fixtureDir("lint_raw_alloc_ok");
+    const fs::path source = dir / "chatty.cpp";
+    writeFile(source,
+              "// Counters are lock-free (see malloc notes).\n"
+              "/* free (as in beer) new int[3] */\n"
+              "const char *kDoc = \"call free(ptr) after use\";\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsHeaderHygieneViolations)
+{
+    const fs::path dir = fixtureDir("lint_header");
+    const fs::path header = dir / "sloppy.h";
+    writeFile(header,
+              "#include \"../util/errors.h\"\n"
+              "inline int answer() { return 42; }\n");
+    const RunResult result = runLint(header.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("missing #pragma once"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("relative-up include"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, FlagsUnregisteredCiExpectationNames)
+{
+    const fs::path root = fixtureDir("lint_ci_names");
+    writeFile(root / "src" / "obs" / "names.h",
+              "#pragma once\n"
+              "namespace buffalo::obs::names {\n"
+              "inline constexpr char kCtrTrainEpochs[] = "
+              "\"train.epochs\";\n"
+              "} // namespace buffalo::obs::names\n");
+    writeFile(root / "tools" / "ci.sh",
+              "#!/usr/bin/env bash\n"
+              "obs_validate --expect-metrics "
+              "train.epochs,ghost.metric\n");
+    const RunResult result =
+        runLint("--root " + root.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[ci-names]"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("ghost.metric"), std::string::npos)
+        << result.output;
+    EXPECT_EQ(result.output.find("train.epochs"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, CleanFixtureTreePasses)
+{
+    const fs::path root = fixtureDir("lint_clean_tree");
+    writeFile(root / "src" / "obs" / "names.h",
+              "#pragma once\n"
+              "namespace buffalo::obs::names {\n"
+              "inline constexpr char kCtrTrainEpochs[] = "
+              "\"train.epochs\";\n"
+              "} // namespace buffalo::obs::names\n");
+    writeFile(root / "src" / "worker.h",
+              "#pragma once\n"
+              "#include \"util/thread_annotations.h\"\n"
+              "class Worker {\n"
+              "  private:\n"
+              "    util::Mutex mutex_;\n"
+              "    bool running_ BUFFALO_GUARDED_BY(mutex_) = false;\n"
+              "};\n");
+    writeFile(root / "tools" / "ci.sh",
+              "#!/usr/bin/env bash\n"
+              "obs_validate --expect-metrics @core\n");
+    const RunResult result = runLint("--root " + root.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("clean"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, RepositoryLintsClean)
+{
+    const RunResult result =
+        runLint(std::string("--root ") + BUFFALO_REPO_ROOT);
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, MissingFileIsAUsageError)
+{
+    const RunResult result = runLint("/nonexistent/nope.cpp");
+    EXPECT_EQ(result.exit_code, 2) << result.output;
+}
+
+} // namespace

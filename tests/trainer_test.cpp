@@ -227,31 +227,9 @@ TEST(Epochs, MakeBatchesPartitionsNodes)
     EXPECT_EQ(batches.back().size(), 4u);
 }
 
-TEST(MultiGpu, TwoDevicesSlightlyFaster)
-{
-    auto &data = arxiv();
-    TrainerOptions options =
-        baseOptions(data, nn::AggregatorKind::Lstm);
-    const NodeList seeds = seedsOf(data, 256);
-    const std::uint64_t budget =
-        measureWholeBatchPeak(options, seeds, 10) / 2;
-    options.mode = ExecutionMode::CostModel;
-
-    device::DeviceGroup one(1, budget);
-    device::DeviceGroup two(2, budget);
-    util::Rng rng1(10), rng2(10);
-    auto single = runBuffaloDataParallel(data, options, one, seeds,
-                                         rng1);
-    auto dual =
-        runBuffaloDataParallel(data, options, two, seeds, rng2);
-
-    EXPECT_GT(single.num_micro_batches, 1);
-    // Two devices shave device time but host time is unchanged
-    // (paper §V-G: only a 3-5% end-to-end gain).
-    EXPECT_LE(dual.device_seconds, single.device_seconds);
-    EXPECT_LT(dual.iteration_seconds, single.iteration_seconds);
-    EXPECT_GT(dual.allreduce_seconds, 0.0);
-}
+// MultiGpu.TwoDevicesSlightlyFaster lives in perf_test.cpp: it
+// asserts on measured wall-clock time, so it carries the `perf`
+// CTest label and sanitizer CI legs skip it.
 
 TEST(Buffalo, OomRetryReschedulesTighter)
 {

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Project linter enforcing Buffalo's concurrency and observability
+ * invariants at the source level (DESIGN.md, "Static analysis &
+ * sanitizer matrix"). Rules:
+ *
+ *   guarded-by      In headers that opt into the thread-safety
+ *                   annotations (they include
+ *                   "util/thread_annotations.h"), every data member
+ *                   declared after a mutex member must carry
+ *                   BUFFALO_GUARDED_BY(...) — or an explicit
+ *                   `// buffalo-lint: allow(guarded-by) <reason>`.
+ *                   This is what keeps the Clang `-Wthread-safety`
+ *                   build meaningful: an unannotated member is
+ *                   invisible to the analysis.
+ *   obs-name        Span/metric call sites must use the constants in
+ *                   src/obs/names.h, never raw string literals, so
+ *                   instrumentation, obs_validate, and ci.sh cannot
+ *                   drift apart.
+ *   raw-alloc       No naked new[] / malloc / calloc / realloc /
+ *                   free in src/ — tensors and buffers own memory
+ *                   through RAII containers.
+ *   header-hygiene  Every header has `#pragma once`; no `"../"`
+ *                   relative-up includes.
+ *   ci-names        Every literal name in a tools/ci.sh
+ *                   `--expect-spans` / `--expect-metrics` list must
+ *                   exist in src/obs/names.h (the `@core` shorthand
+ *                   expands inside obs_validate itself).
+ *
+ * Usage:
+ *   buffalo_lint [--root DIR]     lint DIR/src plus DIR/tools/ci.sh
+ *   buffalo_lint FILE...          lint exactly these files (fixture
+ *                                 mode; ci-names is skipped)
+ *
+ * Exits 0 when clean, 1 with `file:line: [rule] message` diagnostics
+ * on violations, 2 on usage or I/O errors.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Diag
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string message;
+};
+
+std::vector<Diag> g_diags;
+
+void
+report(const std::string &file, std::size_t line,
+       const std::string &rule, const std::string &message)
+{
+    g_diags.push_back({file, line, rule, message});
+}
+
+[[noreturn]] void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "buffalo_lint: %s\n", message.c_str());
+    std::exit(2);
+}
+
+std::vector<std::string>
+readLines(const fs::path &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read " + path.string());
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/**
+ * Strips comments and literal contents, preserving line lengths and
+ * positions (stripped characters become spaces, string delimiters
+ * stay). Block-comment state carries across lines.
+ */
+std::vector<std::string>
+stripComments(const std::vector<std::string> &lines)
+{
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    bool in_block = false;
+    for (const std::string &raw : lines) {
+        std::string code(raw.size(), ' ');
+        bool in_string = false, in_char = false;
+        for (std::size_t i = 0; i < raw.size(); ++i) {
+            const char c = raw[i];
+            if (in_block) {
+                if (c == '*' && i + 1 < raw.size() &&
+                    raw[i + 1] == '/') {
+                    in_block = false;
+                    ++i;
+                }
+                continue;
+            }
+            if (in_string) {
+                if (c == '\\')
+                    ++i;
+                else if (c == '"') {
+                    in_string = false;
+                    code[i] = '"';
+                }
+                continue;
+            }
+            if (in_char) {
+                if (c == '\\')
+                    ++i;
+                else if (c == '\'') {
+                    in_char = false;
+                    code[i] = '\'';
+                }
+                continue;
+            }
+            if (c == '/' && i + 1 < raw.size()) {
+                if (raw[i + 1] == '/')
+                    break; // rest of line is a comment
+                if (raw[i + 1] == '*') {
+                    in_block = true;
+                    ++i;
+                    continue;
+                }
+            }
+            if (c == '"') {
+                in_string = true;
+                code[i] = '"';
+                continue;
+            }
+            if (c == '\'') {
+                in_char = true;
+                code[i] = '\'';
+                continue;
+            }
+            code[i] = c;
+        }
+        out.push_back(std::move(code));
+    }
+    return out;
+}
+
+bool
+allows(const std::string &raw_line, const std::string &rule)
+{
+    return raw_line.find("buffalo-lint: allow(" + rule + ")") !=
+           std::string::npos;
+}
+
+std::string
+trim(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+// --- Rule: guarded-by ------------------------------------------------
+
+const std::regex kMutexDecl(
+    R"(^\s*(mutable\s+)?((buffalo::)?util::Mutex|std::mutex|std::shared_mutex|std::recursive_mutex|std::timed_mutex)\s+[A-Za-z_]\w*\s*;)");
+
+const std::regex kMemberName(R"(([A-Za-z_]\w*_)\s*(=[^;]*)?;\s*$)");
+
+bool
+isExemptMember(const std::string &code)
+{
+    const std::string t = trim(code);
+    for (const char *prefix :
+         {"static ", "constexpr ", "const ", "using ", "typedef ",
+          "friend ", "return ", "delete ", "case "})
+        if (t.rfind(prefix, 0) == 0)
+            return true;
+    for (const char *type :
+         {"condition_variable", "std::atomic", "atomic<",
+          "std::thread", "Mutex", "mutex"})
+        if (t.find(type) != std::string::npos)
+            return true;
+    return false;
+}
+
+/**
+ * Checks that members declared after a mutex member are annotated.
+ * Tracks one "guarded region" per mutex declaration, scoped to the
+ * brace depth the mutex was declared at; the region closes with its
+ * class body.
+ */
+void
+lintGuardedBy(const std::string &file,
+              const std::vector<std::string> &raw,
+              const std::vector<std::string> &code)
+{
+    std::vector<int> region_depths;
+    int depth = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const std::string &line = code[i];
+        const int depth_before = depth;
+        for (const char c : line) {
+            if (c == '{')
+                ++depth;
+            else if (c == '}')
+                --depth;
+        }
+        while (!region_depths.empty() && region_depths.back() > depth)
+            region_depths.pop_back();
+
+        if (std::regex_search(line, kMutexDecl)) {
+            region_depths.push_back(depth_before);
+            continue;
+        }
+        const bool in_region =
+            std::find(region_depths.begin(), region_depths.end(),
+                      depth_before) != region_depths.end();
+        if (!in_region)
+            continue;
+        const std::string t = trim(line);
+        if (t.empty() || t.back() != ';')
+            continue;
+        if (t.find("BUFFALO_GUARDED_BY") != std::string::npos ||
+            t.find("BUFFALO_PT_GUARDED_BY") != std::string::npos)
+            continue;
+        if (t.find('(') != std::string::npos) // function declaration
+            continue;
+        if (isExemptMember(t))
+            continue;
+        std::smatch m;
+        if (!std::regex_search(t, m, kMemberName))
+            continue;
+        if (allows(raw[i], "guarded-by"))
+            continue;
+        report(file, i + 1, "guarded-by",
+               "member '" + m[1].str() +
+                   "' is declared after a mutex but carries no "
+                   "BUFFALO_GUARDED_BY annotation");
+    }
+}
+
+// --- Rule: obs-name --------------------------------------------------
+
+const std::regex kObsCall(
+    R"((\.|->)\s*(counter|gauge|histogram|record)\s*\(\s*")");
+const std::regex kSpanCall(R"(\bSpan\s*([A-Za-z_]\w*)?\s*[({]\s*")");
+
+void
+lintObsNames(const std::string &file,
+             const std::vector<std::string> &raw,
+             const std::vector<std::string> &code)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::smatch m;
+        const bool obs_call = std::regex_search(code[i], m, kObsCall);
+        const bool span_call =
+            !obs_call && std::regex_search(code[i], m, kSpanCall);
+        if (!obs_call && !span_call)
+            continue;
+        if (allows(raw[i], "obs-name"))
+            continue;
+        report(file, i + 1, "obs-name",
+               std::string(obs_call ? "metric" : "span") +
+                   " name passed as a raw string literal; use a "
+                   "constant from src/obs/names.h");
+    }
+}
+
+// --- Rule: raw-alloc -------------------------------------------------
+
+const std::regex kArrayNew(R"(\bnew\s+[A-Za-z_][\w:<>,\s\*]*\[)");
+const std::regex kCAlloc(R"(\b(malloc|calloc|realloc|free)\s*\()");
+
+void
+lintRawAlloc(const std::string &file,
+             const std::vector<std::string> &raw,
+             const std::vector<std::string> &code)
+{
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        std::smatch m;
+        std::string what;
+        if (std::regex_search(code[i], m, kArrayNew))
+            what = "array new[]";
+        else if (std::regex_search(code[i], m, kCAlloc))
+            what = m[1].str() + "()";
+        else
+            continue;
+        if (allows(raw[i], "raw-alloc"))
+            continue;
+        report(file, i + 1, "raw-alloc",
+               "naked " + what +
+                   "; own memory through RAII containers "
+                   "(std::vector, tensor::Tensor, ...)");
+    }
+}
+
+// --- Rule: header-hygiene --------------------------------------------
+
+void
+lintHeaderHygiene(const std::string &file,
+                  const std::vector<std::string> &raw,
+                  const std::vector<std::string> &code)
+{
+    bool has_pragma_once = false;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const std::string t = trim(code[i]);
+        if (t.rfind("#pragma", 0) == 0 &&
+            t.find("once") != std::string::npos)
+            has_pragma_once = true;
+        // Include paths live inside string literals, which the
+        // stripped view blanks — consult the raw line for them.
+        if (t.rfind("#include", 0) == 0 &&
+            raw[i].find("\"../") != std::string::npos &&
+            !allows(raw[i], "header-hygiene"))
+            report(file, i + 1, "header-hygiene",
+                   "relative-up include; include project headers "
+                   "by their src/-rooted path");
+    }
+    if (!has_pragma_once)
+        report(file, 1, "header-hygiene", "missing #pragma once");
+}
+
+// --- Rule: ci-names --------------------------------------------------
+
+std::set<std::string>
+collectRegisteredNames(const fs::path &names_header)
+{
+    const std::vector<std::string> lines = readLines(names_header);
+    std::set<std::string> names;
+    const std::regex literal("\"([a-z0-9_.]+)\"");
+    for (const std::string &line : lines) {
+        for (std::sregex_iterator it(line.begin(), line.end(),
+                                     literal),
+             end;
+             it != end; ++it)
+            names.insert((*it)[1].str());
+    }
+    return names;
+}
+
+void
+lintCiNames(const fs::path &ci_script,
+            const std::set<std::string> &registered)
+{
+    const std::vector<std::string> lines = readLines(ci_script);
+    const std::regex expect(R"(--expect-(spans|metrics)\s+"?([^"\s\\]+))");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        for (std::sregex_iterator it(lines[i].begin(),
+                                     lines[i].end(), expect),
+             end;
+             it != end; ++it) {
+            std::stringstream list((*it)[2].str());
+            std::string name;
+            while (std::getline(list, name, ',')) {
+                if (name.empty() || name[0] == '@' ||
+                    name.find('$') != std::string::npos)
+                    continue;
+                if (registered.count(name) == 0)
+                    report(ci_script.string(), i + 1, "ci-names",
+                           "expected name \"" + name +
+                               "\" is not registered in "
+                               "src/obs/names.h");
+            }
+        }
+    }
+}
+
+// --- Driver ----------------------------------------------------------
+
+bool
+isHeader(const fs::path &path)
+{
+    return path.extension() == ".h";
+}
+
+void
+lintFile(const fs::path &path)
+{
+    const std::vector<std::string> raw = readLines(path);
+    const std::vector<std::string> code = stripComments(raw);
+    const std::string file = path.string();
+
+    const bool opted_in = [&] {
+        for (const std::string &line : raw)
+            if (line.find("util/thread_annotations.h") !=
+                std::string::npos)
+                return true;
+        return false;
+    }();
+    if (isHeader(path) && opted_in &&
+        path.filename() != "thread_annotations.h")
+        lintGuardedBy(file, raw, code);
+    if (path.parent_path().filename() != "obs" ||
+        path.filename() != "names.h")
+        lintObsNames(file, raw, code);
+    lintRawAlloc(file, raw, code);
+    if (isHeader(path))
+        lintHeaderHygiene(file, raw, code);
+}
+
+std::vector<fs::path>
+collectSources(const fs::path &src_root)
+{
+    std::vector<fs::path> files;
+    for (const auto &entry :
+         fs::recursive_directory_iterator(src_root)) {
+        if (!entry.is_regular_file())
+            continue;
+        const fs::path &p = entry.path();
+        if (p.extension() == ".h" || p.extension() == ".cpp")
+            files.push_back(p);
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root;
+    bool root_set = false;
+    std::vector<fs::path> explicit_files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help") {
+            std::printf("usage: buffalo_lint [--root DIR] [FILE...]\n"
+                        "Lints DIR/src and DIR/tools/ci.sh, or "
+                        "exactly FILE... when given.\n");
+            return 0;
+        }
+        if (arg == "--root") {
+            if (++i >= argc)
+                fatal("--root needs a directory");
+            root = argv[i];
+            root_set = true;
+        } else {
+            explicit_files.emplace_back(arg);
+        }
+    }
+
+    if (!explicit_files.empty()) {
+        for (const fs::path &file : explicit_files) {
+            if (!fs::exists(file))
+                fatal("no such file: " + file.string());
+            lintFile(file);
+        }
+    } else {
+        if (!root_set)
+            root = ".";
+        const fs::path src = root / "src";
+        if (!fs::is_directory(src))
+            fatal("no src/ directory under " + root.string() +
+                  " (pass --root or explicit files)");
+        for (const fs::path &file : collectSources(src))
+            lintFile(file);
+        const fs::path names = src / "obs" / "names.h";
+        const fs::path ci = root / "tools" / "ci.sh";
+        if (fs::exists(names) && fs::exists(ci))
+            lintCiNames(ci, collectRegisteredNames(names));
+    }
+
+    std::sort(g_diags.begin(), g_diags.end(),
+              [](const Diag &a, const Diag &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    for (const Diag &d : g_diags)
+        std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
+                    d.rule.c_str(), d.message.c_str());
+    if (!g_diags.empty()) {
+        std::printf("buffalo_lint: %zu violation%s\n", g_diags.size(),
+                    g_diags.size() == 1 ? "" : "s");
+        return 1;
+    }
+    std::printf("buffalo_lint: clean\n");
+    return 0;
+}

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/names.h"
 #include "util/errors.h"
 #include "util/flags.h"
 
@@ -39,6 +40,25 @@ splitCommas(const std::string &text)
     while (std::getline(stream, part, ','))
         if (!part.empty())
             out.push_back(part);
+    return out;
+}
+
+/**
+ * Expands the `@core` shorthand to the central expectation list in
+ * obs/names.h, so ci.sh cannot drift from the instrumented names.
+ * Plain comma-separated names pass through unchanged.
+ */
+template <std::size_t N>
+std::vector<std::string>
+expandExpected(const std::string &csv, const char *const (&core)[N])
+{
+    std::vector<std::string> out;
+    for (const std::string &item : splitCommas(csv)) {
+        if (item == "@core")
+            out.insert(out.end(), std::begin(core), std::end(core));
+        else
+            out.push_back(item);
+    }
     return out;
 }
 
@@ -128,9 +148,10 @@ validateMetrics(const std::string &path)
 
 void
 checkExpected(const std::set<std::string> &present,
-              const std::string &csv, const std::string &what)
+              const std::vector<std::string> &expected,
+              const std::string &what)
 {
-    for (const std::string &name : splitCommas(csv))
+    for (const std::string &name : expected)
         if (present.find(name) == present.end())
             fail("expected " + what + " \"" + name + "\" not found");
 }
@@ -147,7 +168,9 @@ main(int argc, char **argv)
                 "usage: obs_validate [--trace FILE "
                 "[--expect-spans a,b]]\n"
                 "                    [--metrics FILE "
-                "[--expect-metrics x,y]]\n");
+                "[--expect-metrics x,y]]\n"
+                "`@core` in an expect list expands to the central\n"
+                "expectation set in src/obs/names.h.\n");
             return 0;
         }
         flags.checkKnown({"help", "trace", "metrics", "expect-spans",
@@ -158,7 +181,9 @@ main(int argc, char **argv)
         if (flags.has("trace")) {
             const std::string path = flags.getString("trace");
             const std::set<std::string> spans = validateTrace(path);
-            checkExpected(spans, flags.getString("expect-spans"),
+            checkExpected(spans,
+                          expandExpected(flags.getString("expect-spans"),
+                                         buffalo::obs::names::kCoreSpans),
                           "span");
             std::printf("obs_validate: %s ok (%zu span names)\n",
                         path.c_str(), spans.size());
@@ -166,8 +191,11 @@ main(int argc, char **argv)
         if (flags.has("metrics")) {
             const std::string path = flags.getString("metrics");
             const std::set<std::string> metrics = validateMetrics(path);
-            checkExpected(metrics, flags.getString("expect-metrics"),
-                          "metric");
+            checkExpected(
+                metrics,
+                expandExpected(flags.getString("expect-metrics"),
+                               buffalo::obs::names::kCoreMetrics),
+                "metric");
             std::printf("obs_validate: %s ok (%zu metrics)\n",
                         path.c_str(), metrics.size());
         }
