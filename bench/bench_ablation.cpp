@@ -21,12 +21,13 @@ namespace {
 struct Variant
 {
     std::string name;
+    std::string key;
     core::SchedulerOptions options;
 };
 
 void
 runDataset(graph::DatasetId id, double paper_gb,
-           std::size_t batch_size)
+           std::size_t batch_size, bench::Reporter &reporter)
 {
     auto data = graph::loadDataset(id, 42);
     bench::banner("Ablation: scheduler design choices", data);
@@ -46,21 +47,21 @@ runDataset(graph::DatasetId id, double paper_gb,
 
     std::vector<Variant> variants;
     {
-        Variant v{"Buffalo (full)", {}};
+        Variant v{"Buffalo (full)", "full", {}};
         variants.push_back(v);
     }
     {
-        Variant v{"linear estimator", {}};
+        Variant v{"linear estimator", "linear", {}};
         v.options.redundancy_aware = false;
         variants.push_back(v);
     }
     {
-        Variant v{"first-fit grouping", {}};
+        Variant v{"first-fit grouping", "firstfit", {}};
         v.options.policy = core::GroupingPolicy::FirstFit;
         variants.push_back(v);
     }
     {
-        Variant v{"no bucket splitting", {}};
+        Variant v{"no bucket splitting", "nosplit", {}};
         v.options.enable_split = false;
         variants.push_back(v);
     }
@@ -87,6 +88,13 @@ runDataset(graph::DatasetId id, double paper_gb,
                 auto mb = generator.generateOne(sg, group);
                 peak = std::max(peak, model.microBatchBytes(mb));
             }
+            const std::string mkey =
+                data.name() + "." + variant.key;
+            reporter.metric(mkey + ".k",
+                            static_cast<double>(schedule.num_groups),
+                            0.0);
+            reporter.metric(mkey + ".modeled_peak_bytes",
+                            static_cast<double>(peak), 0.02);
             table.addRow(
                 {variant.name, std::to_string(schedule.num_groups),
                  util::formatBytes(max_est),
@@ -99,6 +107,9 @@ runDataset(graph::DatasetId id, double paper_gb,
                  util::formatPercent(static_cast<double>(peak) /
                                      budget)});
         } catch (const Error &) {
+            reporter.metric(data.name() + "." + variant.key +
+                                ".infeasible",
+                            1.0, 0.0);
             table.addRow({variant.name, "-", "-", "-", "-", "-",
                           "infeasible"});
         }
@@ -111,8 +122,10 @@ runDataset(graph::DatasetId id, double paper_gb,
 int
 main()
 {
-    runDataset(graph::DatasetId::Reddit, 24.0, 4096);
-    runDataset(graph::DatasetId::Products, 6.0, 8192);
+    bench::Reporter reporter("ablation");
+    runDataset(graph::DatasetId::Reddit, 24.0, 4096, reporter);
+    runDataset(graph::DatasetId::Products, 6.0, 8192, reporter);
+    reporter.write();
     std::printf(
         "\ntakeaways: (1) bucket splitting is the load-bearing "
         "mechanism — without it the atomic cut-off bucket makes tight "

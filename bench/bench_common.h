@@ -12,9 +12,12 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "graph/datasets.h"
+#include "obs/json.h"
 #include "train/experiment.h"
 #include "train/trainer.h"
 #include "util/format.h"
@@ -22,6 +25,91 @@
 #include "util/table.h"
 
 namespace buffalo::bench {
+
+/**
+ * Machine-readable bench reporting (DESIGN.md, "Memory audit & bench
+ * regression"). Every bench binary owns one Reporter and emits
+ * `BENCH_<name>.json` next to its ASCII table; `tools/bench_diff`
+ * compares two such files and ci.sh gates the smoke bench against a
+ * committed baseline.
+ *
+ * Each metric carries its own allowed relative drift, stored in the
+ * JSON — a refreshed baseline re-states the tolerance policy next to
+ * the numbers it governs. Deterministic quantities (byte counts,
+ * group counts under the cost model with fixed seeds) get tight
+ * tolerances via metric(); timing-derived quantities go through
+ * info(), which records them for trend inspection but can never fail
+ * a diff. Metric names must be unique within one report.
+ */
+class Reporter
+{
+  public:
+    /** Tolerance used by info(): drift can never exceed it. */
+    static constexpr double kInfoTolerance = 1e9;
+
+    explicit Reporter(std::string name) : name_(std::move(name)) {}
+
+    /** Records one gated metric allowing @p tolerance relative drift. */
+    Reporter &
+    metric(const std::string &metric_name, double value,
+           double tolerance)
+    {
+        entries_.push_back({metric_name, value, tolerance});
+        return *this;
+    }
+
+    /** Records an informational (never-gated) metric. */
+    Reporter &
+    info(const std::string &metric_name, double value)
+    {
+        return metric(metric_name, value, kInfoTolerance);
+    }
+
+    /** The bench-report JSON document. */
+    std::string
+    toJson() const
+    {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("bench").value(name_);
+        w.key("metrics").beginObject();
+        for (const Entry &entry : entries_) {
+            w.key(entry.name).beginObject();
+            w.key("value").value(entry.value);
+            w.key("tolerance").value(entry.tolerance);
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+        return w.str();
+    }
+
+    /**
+     * Writes `BENCH_<name>.json` into $BUFFALO_BENCH_DIR (falling
+     * back to the working directory) and prints the path.
+     */
+    void
+    write() const
+    {
+        const char *dir = std::getenv("BUFFALO_BENCH_DIR");
+        const std::string path =
+            std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+            "/BENCH_" + name_ + ".json";
+        obs::writeFileText(path, toJson());
+        std::printf("bench report: %s\n", path.c_str());
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        double value;
+        double tolerance;
+    };
+
+    std::string name_;
+    std::vector<Entry> entries_;
+};
 
 /** Memory-scale factor: node scale x feature-width scale. */
 inline double

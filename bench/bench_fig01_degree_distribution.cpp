@@ -41,6 +41,13 @@ main()
     table.print();
 
     auto fit = graph::fitPowerLaw(g);
+    bench::Reporter reporter("fig01");
+    reporter.metric("nodes", static_cast<double>(g.numNodes()), 0.0)
+        .metric("max_degree", static_cast<double>(g.maxDegree()), 0.0)
+        .metric("avg_degree", graph::averageDegree(g), 0.01)
+        .metric("power_law_alpha", fit.alpha, 0.05)
+        .metric("is_power_law", fit.is_power_law ? 1.0 : 0.0, 0.0);
+    reporter.write();
     std::printf("power-law tail: alpha=%.2f (paper: heavy-tailed), "
                 "max degree %llu = %.0fx the mean %.1f\n",
                 fit.alpha,

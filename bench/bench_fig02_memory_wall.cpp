@@ -24,7 +24,7 @@ struct Config
 };
 
 void
-runDataset(graph::DatasetId id)
+runDataset(graph::DatasetId id, bench::Reporter &reporter)
 {
     auto data = graph::loadDataset(id, 42);
     bench::banner("Figure 2: the memory wall (whole-batch, 24 GB "
@@ -52,6 +52,7 @@ runDataset(graph::DatasetId id)
 
     util::Table table(
         {"config", "peak memory", "% of budget", "status"});
+    int oom_count = 0;
     for (const auto &config : configs) {
         train::TrainerOptions options = bench::paperOptions(
             data, config.aggregator, config.hidden, config.depth);
@@ -75,12 +76,17 @@ runDataset(graph::DatasetId id)
                      budget),
                  "ok"});
         } catch (const device::DeviceOom &oom) {
+            ++oom_count;
             table.addRow({config.label,
                           ">" + util::formatBytes(budget),
                           ">100%", "OOM"});
         }
     }
     table.print();
+    reporter.metric(data.name() + ".oom_configs",
+                    static_cast<double>(oom_count), 0.0);
+    reporter.metric(data.name() + ".configs",
+                    static_cast<double>(configs.size()), 0.0);
 }
 
 } // namespace
@@ -88,8 +94,10 @@ runDataset(graph::DatasetId id)
 int
 main()
 {
-    runDataset(graph::DatasetId::Arxiv);
-    runDataset(graph::DatasetId::Products);
+    bench::Reporter reporter("fig02");
+    runDataset(graph::DatasetId::Arxiv, reporter);
+    runDataset(graph::DatasetId::Products, reporter);
+    reporter.write();
     std::printf("\npaper shape: advancing any axis (aggregator, depth,"
                 " hidden, fanout) crosses the capacity wall -> OOM\n");
     return 0;

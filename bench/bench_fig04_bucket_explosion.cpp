@@ -55,22 +55,35 @@ sampleFrom(const graph::Dataset &data, std::size_t seeds, int fanout,
 int
 main()
 {
+    bench::Reporter reporter("fig04");
+
     // (a) Cora: balanced buckets.
     auto cora = graph::loadDataset(graph::DatasetId::Cora, 42);
     bench::banner("Figure 4a: bucket volumes, Cora(-sim)", cora);
     auto cora_sg = sampleFrom(cora, 512, 10, 3);
-    printBuckets("cora-sim, F=10",
-                 sampling::bucketizeSeeds(cora_sg),
-                 cora_sg.numSeeds());
+    const auto cora_buckets = sampling::bucketizeSeeds(cora_sg);
+    printBuckets("cora-sim, F=10", cora_buckets, cora_sg.numSeeds());
+    reporter.metric("cora.buckets",
+                    static_cast<double>(cora_buckets.size()), 0.0);
+    reporter.metric(
+        "cora.explosion",
+        sampling::findExplosionBucket(cora_buckets) >= 0 ? 1.0 : 0.0,
+        0.0);
 
     // (b) Arxiv: the cut-off bucket explodes.
     auto arxiv = graph::loadDataset(graph::DatasetId::Arxiv, 42);
     bench::banner("Figure 4b: bucket volumes, OGBN-arxiv(-sim), F=10",
                   arxiv);
     auto arxiv_sg = sampleFrom(arxiv, 1024, 10, 3);
-    printBuckets("arxiv-sim, F=10",
-                 sampling::bucketizeSeeds(arxiv_sg),
+    const auto arxiv_buckets = sampling::bucketizeSeeds(arxiv_sg);
+    printBuckets("arxiv-sim, F=10", arxiv_buckets,
                  arxiv_sg.numSeeds());
+    reporter.metric("arxiv.buckets",
+                    static_cast<double>(arxiv_buckets.size()), 0.0);
+    reporter.metric(
+        "arxiv.explosion",
+        sampling::findExplosionBucket(arxiv_buckets) >= 0 ? 1.0 : 0.0,
+        0.0);
 
     // (c) Betty's micro-batches still explode.
     bench::banner(
@@ -91,6 +104,7 @@ main()
         printBuckets("Betty micro-batch " + std::to_string(p),
                      buckets, parts[p].size());
     }
+    reporter.write();
     std::printf("\npaper shape: Betty mitigates but does not eliminate"
                 " the explosion — each micro-batch's last bucket still"
                 " dominates\n");

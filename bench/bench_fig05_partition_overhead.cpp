@@ -18,7 +18,8 @@ using namespace buffalo;
 namespace {
 
 void
-runDataset(graph::DatasetId id, std::size_t num_seeds)
+runDataset(graph::DatasetId id, std::size_t num_seeds,
+           bench::Reporter &reporter)
 {
     auto data = graph::loadDataset(id, 42);
     bench::banner("Figure 5: phase time of METIS-based per-iteration "
@@ -93,6 +94,12 @@ runDataset(graph::DatasetId id, std::size_t num_seeds)
     row("block generation", blockgen_seconds);
     row("GPU compute (simulated)", compute_seconds);
     table.print();
+    reporter.metric(data.name() + ".micro_batches",
+                    static_cast<double>(batches.size()), 0.0);
+    reporter.info(data.name() + ".partition_seconds",
+                  partition_seconds);
+    reporter.info(data.name() + ".blockgen_seconds", blockgen_seconds);
+    reporter.info(data.name() + ".compute_seconds", compute_seconds);
     std::printf("partitioning+preparation : compute ratio = %.1f : 1 "
                 "(paper: partitioning dominates, e.g. 33.4s vs 3.4s "
                 "on products)\n",
@@ -105,7 +112,9 @@ runDataset(graph::DatasetId id, std::size_t num_seeds)
 int
 main()
 {
-    runDataset(graph::DatasetId::Arxiv, 1024);
-    runDataset(graph::DatasetId::Products, 2048);
+    bench::Reporter reporter("fig05");
+    runDataset(graph::DatasetId::Arxiv, 1024, reporter);
+    runDataset(graph::DatasetId::Products, 2048, reporter);
+    reporter.write();
     return 0;
 }

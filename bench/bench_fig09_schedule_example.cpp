@@ -50,6 +50,19 @@ main()
                 schedule.explosion_detected ? "yes" : "no",
                 schedule.num_groups);
 
+    bench::Reporter reporter("fig09");
+    reporter
+        .metric("num_groups", static_cast<double>(schedule.num_groups),
+                0.0)
+        .metric("explosion_detected",
+                schedule.explosion_detected ? 1.0 : 0.0, 0.0);
+    for (std::size_t g = 0; g < schedule.groups.size(); ++g)
+        reporter.metric("group" + std::to_string(g) + ".est_bytes",
+                        static_cast<double>(
+                            schedule.groups[g].est_bytes),
+                        0.02);
+    reporter.write();
+
     core::MicroBatchGenerator generator;
     for (std::size_t g = 0; g < schedule.groups.size(); ++g) {
         const auto &group = schedule.groups[g];

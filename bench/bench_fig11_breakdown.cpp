@@ -28,7 +28,8 @@ printBreakdown(const std::string &system,
 }
 
 void
-runDataset(graph::DatasetId id, std::size_t num_seeds, int betty_k)
+runDataset(graph::DatasetId id, std::size_t num_seeds, int betty_k,
+           bench::Reporter &reporter)
 {
     auto data = graph::loadDataset(id, 42);
     bench::banner("Figure 11: execution breakdown", data);
@@ -71,6 +72,11 @@ runDataset(graph::DatasetId id, std::size_t num_seeds, int betty_k)
         buffalo_total = stats.endToEndSeconds();
     }
     table.print();
+    reporter.info(data.name() + ".buffalo_seconds", buffalo_total);
+    if (betty_total > 0)
+        reporter.info(data.name() + ".betty_seconds", betty_total);
+    reporter.metric(data.name() + ".betty_ran",
+                    betty_total > 0 ? 1.0 : 0.0, 0.0);
     if (betty_total > 0 && buffalo_total > 0) {
         std::printf("Buffalo end-to-end reduction vs Betty: %s "
                     "(paper average: 70.9%%)\n",
@@ -85,12 +91,14 @@ runDataset(graph::DatasetId id, std::size_t num_seeds, int betty_k)
 int
 main()
 {
-    runDataset(graph::DatasetId::Cora, 512, 2);
-    runDataset(graph::DatasetId::Pubmed, 512, 2);
-    runDataset(graph::DatasetId::Reddit, 768, 4);
-    runDataset(graph::DatasetId::Arxiv, 1024, 4);
-    runDataset(graph::DatasetId::Products, 2048, 8);
-    runDataset(graph::DatasetId::Papers, 2048, 8);
+    bench::Reporter reporter("fig11");
+    runDataset(graph::DatasetId::Cora, 512, 2, reporter);
+    runDataset(graph::DatasetId::Pubmed, 512, 2, reporter);
+    runDataset(graph::DatasetId::Reddit, 768, 4, reporter);
+    runDataset(graph::DatasetId::Arxiv, 1024, 4, reporter);
+    runDataset(graph::DatasetId::Products, 2048, 8, reporter);
+    runDataset(graph::DatasetId::Papers, 2048, 8, reporter);
+    reporter.write();
     std::printf("\npaper shape: Betty's REG+METIS dominates on large "
                 "graphs (46.8%% of end-to-end on average); Buffalo "
                 "replaces it with near-free bucket scheduling; Betty "

@@ -20,7 +20,7 @@ namespace {
 
 void
 runDataset(graph::DatasetId id, std::size_t num_seeds,
-           int target_micro_batches)
+           int target_micro_batches, bench::Reporter &reporter)
 {
     auto data = graph::loadDataset(id, 42);
     bench::banner("Figure 14: per-micro-batch memory balance", data);
@@ -78,6 +78,10 @@ runDataset(graph::DatasetId id, std::size_t num_seeds,
     table.print();
 
     auto stats = util::SummaryStats::of(costs);
+    reporter.metric(data.name() + ".micro_batches",
+                    static_cast<double>(schedule.num_groups), 0.0);
+    reporter.metric(data.name() + ".memory_spread",
+                    (stats.max - stats.min) / stats.max, 0.1);
     std::printf("micro-batches: %d, memory spread (max-min)/max = %s "
                 "(paper: 4-6%%)\n",
                 schedule.num_groups,
@@ -91,8 +95,10 @@ runDataset(graph::DatasetId id, std::size_t num_seeds,
 int
 main()
 {
-    runDataset(graph::DatasetId::Arxiv, 1024, 4);
-    runDataset(graph::DatasetId::Products, 2048, 12);
-    runDataset(graph::DatasetId::Papers, 2048, 8);
+    bench::Reporter reporter("fig14");
+    runDataset(graph::DatasetId::Arxiv, 1024, 4, reporter);
+    runDataset(graph::DatasetId::Products, 2048, 12, reporter);
+    runDataset(graph::DatasetId::Papers, 2048, 8, reporter);
+    reporter.write();
     return 0;
 }

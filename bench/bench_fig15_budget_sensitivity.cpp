@@ -18,6 +18,7 @@ main()
                   data);
     const auto seeds = bench::seedBatch(data, 2048);
 
+    bench::Reporter reporter("fig15");
     util::Table table({"budget (paper-GB)", "scaled budget",
                        "#micro-batches", "avg group size (outputs)",
                        "peak memory", "iteration time",
@@ -42,6 +43,16 @@ main()
              util::formatBytes(stats.peak_device_bytes),
              util::formatSeconds(stats.endToEndSeconds()),
              util::formatSeconds(stats.pipelined_seconds)});
+        const std::string key = "gb" + std::to_string(
+                                           static_cast<int>(paper_gb));
+        reporter.metric(key + ".micro_batches",
+                        static_cast<double>(stats.num_micro_batches),
+                        0.0);
+        reporter.metric(key + ".peak_bytes",
+                        static_cast<double>(stats.peak_device_bytes),
+                        0.05);
+        reporter.info(key + ".iteration_seconds",
+                      stats.endToEndSeconds());
         if (previous_time > 0 &&
             stats.endToEndSeconds() > previous_time * 1.05) {
             monotone = false;
@@ -49,6 +60,8 @@ main()
         previous_time = stats.endToEndSeconds();
     }
     table.print();
+    reporter.metric("monotone", monotone ? 1.0 : 0.0, 0.0);
+    reporter.write();
     std::printf("trend %s: larger budgets -> fewer micro-batches -> "
                 "shorter iterations (paper: 80 GB runs in 9.37 s using "
                 "76.65 GB)\n",

@@ -179,6 +179,12 @@ main()
                                 false));
     }
     table.print();
+    bench::Reporter reporter("fig16");
+    reporter.info("buffalo_nodes_per_sec", buffalo_eff);
+    reporter.info("best_baseline_nodes_per_sec", best_baseline);
+    reporter.metric("buffalo_beats_best_baseline",
+                    buffalo_eff > best_baseline ? 1.0 : 0.0, 0.0);
+    reporter.write();
     std::printf("Buffalo vs best baseline: +%s (paper: +36.4%%)\n",
                 util::formatPercent(buffalo_eff / best_baseline - 1.0)
                     .c_str());

@@ -17,6 +17,7 @@ main()
                   "(numeric)",
                   data);
 
+    bench::Reporter reporter("fig17");
     const int epochs = 8;
     for (std::size_t batch_size : {128, 256, 512}) {
         train::TrainerOptions options;
@@ -64,9 +65,15 @@ main()
                                   buffalo_curve[epoch].mean_loss));
         }
         table.print();
+        const std::string key = "batch" + std::to_string(batch_size);
+        reporter.metric(key + ".max_loss_gap", max_gap, 0.0);
+        reporter.metric(
+            key + ".final_loss",
+            buffalo_curve[epochs - 1].mean_loss, 0.01);
         std::printf("max |loss gap| across epochs: %.6f "
                     "(paper: curves closely aligned)\n",
                     max_gap);
     }
+    reporter.write();
     return 0;
 }

@@ -16,6 +16,7 @@ main()
     bench::banner("Multi-GPU data parallelism (paper section V-G)",
                   data);
     const auto seeds = bench::seedBatch(data, 2048);
+    bench::Reporter reporter("multigpu");
 
     util::Table table({"budget (paper-GB)", "#micro-batches",
                        "1-GPU iter", "2-GPU iter", "reduction",
@@ -41,6 +42,14 @@ main()
                                    single.device_seconds +
                                    single.allreduce_seconds;
 
+        const std::string key = "gb" + std::to_string(
+                                           static_cast<int>(paper_gb));
+        reporter.metric(key + ".micro_batches",
+                        static_cast<double>(dual.num_micro_batches),
+                        0.0);
+        reporter.info(key + ".reduction",
+                      1.0 - dual.iteration_seconds /
+                                single.iteration_seconds);
         table.addRow(
             {util::Table::num(paper_gb, 0),
              std::to_string(dual.num_micro_batches),
@@ -54,6 +63,7 @@ main()
                                  dual.iteration_seconds)});
     }
     table.print();
+    reporter.write();
     std::printf("paper shape: only a 3-5%% reduction — the host-side "
                 "micro-batch generation doesn't parallelize and "
                 "training is 9-12%% of the iteration; GPU-GPU "

@@ -185,6 +185,10 @@ main()
 {
     const bool parity = numericParity();
     const bool sweep = costModelSweep();
+    bench::Reporter reporter("pipeline");
+    reporter.metric("numeric_parity", parity ? 1.0 : 0.0, 0.0)
+        .metric("overlap_and_cache", sweep ? 1.0 : 0.0, 0.0);
+    reporter.write();
     std::printf("\npaper shape: §V-G identifies preparation/transfer "
                 "as the residual bottleneck once bucketization fits "
                 "memory; overlapping it behind device compute and "

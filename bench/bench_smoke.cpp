@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fast deterministic regression smoke bench (DESIGN.md, "Memory audit
+ * & bench regression").
+ *
+ * One cost-model Buffalo epoch over arxiv-sim with fixed seeds: every
+ * gated metric (group counts, byte watermarks, audit error) is a pure
+ * function of the cost model, so any drift means the scheduler,
+ * estimator, allocator accounting, or trainer changed behaviour.
+ * ci.sh runs this against the committed baseline in bench/baselines/
+ * via tools/bench_diff; refresh the baseline (and re-justify the
+ * tolerances) when a change is intentional.
+ */
+#include "bench_common.h"
+
+#include "obs/audit.h"
+
+using namespace buffalo;
+
+int
+main()
+{
+    auto data = graph::loadDataset(graph::DatasetId::Arxiv, 42, 0.25);
+    bench::banner("Regression smoke: one deterministic cost-model "
+                  "epoch",
+                  data);
+
+    train::TrainerOptions options =
+        bench::paperOptions(data, nn::AggregatorKind::Lstm);
+    const std::uint64_t budget = bench::scaledBudget(data, 24.0);
+    device::Device dev("gpu", budget);
+    train::BuffaloTrainer trainer(options, dev);
+
+    obs::memoryAudit().enable(true);
+    util::Rng rng(42);
+    const auto report = trainer.trainEpoch(data, 256, rng);
+
+    util::Table table({"metric", "value"});
+    table.addRow({"batches", std::to_string(report.num_batches)});
+    table.addRow({"micro-batches",
+                  std::to_string(report.num_micro_batches)});
+    table.addRow({"peak device",
+                  util::formatBytes(report.peak_device_bytes)});
+    table.addRow({"transfer",
+                  util::formatBytes(report.transfer_bytes)});
+    table.addRow({"audit groups",
+                  std::to_string(report.mem_audit.groups)});
+    table.addRow({"audit mean |rel err|",
+                  util::formatPercent(
+                      report.mem_audit.meanAbsRelError())});
+    table.print();
+
+    bench::Reporter reporter("smoke");
+    reporter
+        .metric("batches", static_cast<double>(report.num_batches),
+                0.0)
+        .metric("micro_batches",
+                static_cast<double>(report.num_micro_batches), 0.0)
+        .metric("outputs", static_cast<double>(report.outputs), 0.0)
+        .metric("peak_device_bytes",
+                static_cast<double>(report.peak_device_bytes), 0.02)
+        .metric("transfer_bytes",
+                static_cast<double>(report.transfer_bytes), 0.02)
+        .metric("audit_groups",
+                static_cast<double>(report.mem_audit.groups), 0.0)
+        // The estimator's error itself regresses loudly (a changed
+        // Eq. 1/2 shifts it), but small schedule shifts move it too —
+        // hence the looser band.
+        .metric("audit_mean_abs_rel_error",
+                report.mem_audit.meanAbsRelError(), 0.5)
+        .info("epoch_seconds", report.effectiveSeconds());
+    reporter.write();
+    return 0;
+}

@@ -21,6 +21,7 @@ main()
                        "avg deg (sim)", "avg coef (paper)",
                        "avg coef (sim)", "power law (paper)",
                        "power law (sim)"});
+    bench::Reporter reporter("table2");
     bool all_verdicts_match = true;
     for (auto id : graph::allDatasetIds()) {
         auto data = graph::loadDataset(id, 42);
@@ -32,6 +33,11 @@ main()
         auto fit = graph::fitPowerLaw(g);
         if (fit.is_power_law != spec.paper_power_law)
             all_verdicts_match = false;
+        reporter.metric(data.name() + ".nodes",
+                        static_cast<double>(g.numNodes()), 0.0);
+        reporter.metric(data.name() + ".avg_degree",
+                        graph::averageDegree(g), 0.01);
+        reporter.metric(data.name() + ".clustering_coef", coef, 0.1);
         table.addRow(
             {data.name(),
              util::Table::count(
@@ -46,6 +52,9 @@ main()
              fit.is_power_law ? "yes" : "no"});
     }
     table.print();
+    reporter.metric("all_verdicts_match",
+                    all_verdicts_match ? 1.0 : 0.0, 0.0);
+    reporter.write();
     std::printf("power-law verdict reproduction: %s\n",
                 all_verdicts_match ? "ALL MATCH" : "MISMATCH");
     std::printf("note: node counts are scaled down (see DESIGN.md); "

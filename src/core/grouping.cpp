@@ -120,8 +120,15 @@ memBalancedGrouping(const std::vector<BucketMemInfo> &infos,
 
     for (int g = 0; g < num_groups; ++g) {
         result.groups[g].est_bytes = estimates[g];
-        for (const BucketMemInfo *info : members[g])
+        std::uint64_t standalone = 0;
+        for (const BucketMemInfo *info : members[g]) {
             result.groups[g].buckets.push_back(*info);
+            standalone += info->est_bytes;
+        }
+        result.groups[g].mean_grouping_ratio =
+            standalone == 0 ? 1.0
+                            : static_cast<double>(estimates[g]) /
+                                  static_cast<double>(standalone);
     }
     // Drop empty groups (possible when there are fewer buckets than K).
     std::erase_if(result.groups, [](const BucketGroup &group) {

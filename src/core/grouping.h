@@ -22,6 +22,12 @@ struct BucketGroup
 {
     std::vector<BucketMemInfo> buckets;
     std::uint64_t est_bytes = 0;
+    /**
+     * Effective R_group discount the estimator applied to the group:
+     * est_bytes / sum of the members' standalone M_est[i] (Eq. 1-2).
+     * 1.0 for a single-bucket group or under the linear estimator.
+     */
+    double mean_grouping_ratio = 1.0;
 
     /** Union of member buckets' output seeds (subgraph-local ids). */
     NodeList outputSeeds() const;

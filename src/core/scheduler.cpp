@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/names.h"
@@ -185,6 +186,35 @@ BuffaloScheduler::schedule(const SampledSubgraph &sg) const
                 .add(static_cast<double>(result.num_groups));
             m.histogram(obs::names::kHistSchedulerScheduleSeconds)
                 .add(result.schedule_seconds);
+
+            if (obs::eventLog().enabled()) {
+                std::uint64_t max_est = 0;
+                for (const BucketGroup &group : result.groups)
+                    max_est = std::max(max_est, group.est_bytes);
+                obs::eventLog()
+                    .event(obs::names::kEvSchedulerSchedule)
+                    .field("k", result.num_groups)
+                    .field("k_attempts", k - k_start + 1)
+                    .field("buckets",
+                           std::uint64_t(base_infos.size()))
+                    .field("explosion", result.explosion_detected)
+                    .field("activation_budget", activation_budget)
+                    .field("max_group_est_bytes", max_est)
+                    .field("seconds", result.schedule_seconds);
+                if (result.explosion_detected) {
+                    obs::eventLog()
+                        .event(
+                            obs::names::kEvSchedulerExplosionSplit)
+                        .field("bucket_index", explosion_index)
+                        .field("pieces", std::max(k, 1))
+                        .field(
+                            "volume",
+                            std::uint64_t(
+                                buckets[static_cast<std::size_t>(
+                                            explosion_index)]
+                                    .members.size()));
+                }
+            }
 
             BUFFALO_LOG_INFO("scheduler")
                 << "K=" << result.num_groups << " groups (explosion="

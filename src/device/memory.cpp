@@ -1,5 +1,6 @@
 #include "device/memory.h"
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "util/format.h"
@@ -28,6 +29,13 @@ DeviceAllocator::onAllocate(std::uint64_t bytes)
     if (in_use_ + bytes > capacity_) {
         ++oom_count_;
         obs::metrics().counter(obs::names::kCtrDeviceOomEvents).add();
+        // EventLog has its own mutex and never calls back into the
+        // allocator, so emitting under mutex_ cannot invert locks.
+        obs::eventLog()
+            .event(obs::names::kEvDeviceOom)
+            .field("requested_bytes", bytes)
+            .field("in_use_bytes", in_use_)
+            .field("capacity_bytes", capacity_);
         throw DeviceOom(bytes, in_use_, capacity_);
     }
     in_use_ += bytes;

@@ -1,0 +1,184 @@
+#include "obs/audit.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace buffalo::obs {
+
+void
+MemoryAuditSummary::add(const GroupMemRecord &record)
+{
+    ++groups;
+    if (record.predicted_bytes >= record.actual_bytes)
+        ++over_predicted;
+    else
+        ++under_predicted;
+    predicted_bytes += record.predicted_bytes;
+    actual_bytes += record.actual_bytes;
+    max_actual_bytes = std::max(max_actual_bytes, record.actual_bytes);
+    const double signed_err = record.signedRelError();
+    sum_signed_rel_error += signed_err;
+    sum_abs_rel_error += std::abs(signed_err);
+    max_abs_rel_error = std::max(max_abs_rel_error, std::abs(signed_err));
+}
+
+void
+MemoryAuditSummary::merge(const MemoryAuditSummary &other)
+{
+    groups += other.groups;
+    over_predicted += other.over_predicted;
+    under_predicted += other.under_predicted;
+    predicted_bytes += other.predicted_bytes;
+    actual_bytes += other.actual_bytes;
+    max_actual_bytes = std::max(max_actual_bytes, other.max_actual_bytes);
+    sum_abs_rel_error += other.sum_abs_rel_error;
+    sum_signed_rel_error += other.sum_signed_rel_error;
+    max_abs_rel_error =
+        std::max(max_abs_rel_error, other.max_abs_rel_error);
+}
+
+void
+MemoryAudit::record(GroupMemRecord record)
+{
+    if (!enabled())
+        return;
+    util::MutexLock lock(mutex_);
+    record.epoch = next_epoch_;
+    record.sequence = next_sequence_++;
+    current_summary_.add(record);
+    if (current_records_.size() < kMaxRecordsPerEpoch)
+        current_records_.push_back(record);
+    else
+        ++dropped_records_;
+}
+
+void
+MemoryAudit::endEpoch()
+{
+    if (!enabled())
+        return;
+    util::MutexLock lock(mutex_);
+    if (current_summary_.groups == 0)
+        return; // nothing trained since the last close
+    EpochRecords closed;
+    closed.epoch = next_epoch_;
+    closed.summary = current_summary_;
+    closed.records = std::move(current_records_);
+    epochs_.push_back(std::move(closed));
+    current_summary_ = MemoryAuditSummary();
+    current_records_.clear();
+    next_sequence_ = 0;
+    ++next_epoch_;
+}
+
+MemoryAuditSummary
+MemoryAudit::currentEpochSummary() const
+{
+    util::MutexLock lock(mutex_);
+    return current_summary_;
+}
+
+std::vector<MemoryAudit::EpochRecords>
+MemoryAudit::epochs() const
+{
+    util::MutexLock lock(mutex_);
+    return epochs_;
+}
+
+std::uint64_t
+MemoryAudit::droppedRecords() const
+{
+    util::MutexLock lock(mutex_);
+    return dropped_records_;
+}
+
+namespace {
+
+void
+writeSummary(JsonWriter &w, const MemoryAuditSummary &s)
+{
+    w.key("groups").value(s.groups);
+    w.key("over_predicted").value(s.over_predicted);
+    w.key("under_predicted").value(s.under_predicted);
+    w.key("predicted_bytes").value(s.predicted_bytes);
+    w.key("actual_bytes").value(s.actual_bytes);
+    w.key("max_actual_bytes").value(s.max_actual_bytes);
+    w.key("mean_abs_rel_error").value(s.meanAbsRelError());
+    w.key("mean_signed_rel_error").value(s.meanSignedRelError());
+    w.key("max_abs_rel_error").value(s.max_abs_rel_error);
+}
+
+void
+writeRecord(JsonWriter &w, const GroupMemRecord &r)
+{
+    w.beginObject();
+    w.key("epoch").value(r.epoch);
+    w.key("sequence").value(r.sequence);
+    w.key("group_index").value(std::uint64_t(r.group_index));
+    w.key("buckets").value(std::uint64_t(r.buckets));
+    w.key("outputs").value(std::uint64_t(r.outputs));
+    w.key("grouping_ratio").value(r.grouping_ratio);
+    w.key("predicted_bytes").value(r.predicted_bytes);
+    w.key("actual_bytes").value(r.actual_bytes);
+    w.key("signed_rel_error").value(r.signedRelError());
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+MemoryAudit::toJson() const
+{
+    std::vector<EpochRecords> snapshot;
+    std::uint64_t dropped = 0;
+    {
+        util::MutexLock lock(mutex_);
+        snapshot = epochs_;
+        dropped = dropped_records_;
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.key("dropped_records").value(dropped);
+    w.key("epochs").beginArray();
+    for (const EpochRecords &epoch : snapshot) {
+        w.beginObject();
+        w.key("epoch").value(epoch.epoch);
+        writeSummary(w, epoch.summary);
+        w.key("records").beginArray();
+        for (const GroupMemRecord &record : epoch.records)
+            writeRecord(w, record);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+void
+MemoryAudit::writeJson(const std::string &path) const
+{
+    writeFileText(path, toJson());
+}
+
+void
+MemoryAudit::clear()
+{
+    util::MutexLock lock(mutex_);
+    next_epoch_ = 0;
+    next_sequence_ = 0;
+    dropped_records_ = 0;
+    current_summary_ = MemoryAuditSummary();
+    current_records_.clear();
+    epochs_.clear();
+}
+
+MemoryAudit &
+memoryAudit()
+{
+    static MemoryAudit instance;
+    return instance;
+}
+
+} // namespace buffalo::obs

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Predicted-vs-actual memory accounting (DESIGN.md, "Memory audit &
+ * bench regression"). Buffalo schedules bucket groups against the
+ * redundancy-aware analytical estimator (Eq. 1–2); the MemoryAudit
+ * closes the loop by recording, for every group actually trained,
+ * the estimator's predicted footprint next to the DeviceAllocator
+ * peak observed while that group ran. Per-epoch aggregates surface
+ * in `train::EpochReport`, the full record stream exports as JSON
+ * (`buffalo_train --audit-json`), and `tests/obs_audit_test.cpp`
+ * gates the mean relative error as a CI-fast analogue of the paper's
+ * Table 3.
+ *
+ * Disabled (the default) a record costs one relaxed atomic load.
+ */
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace buffalo::obs {
+
+/** One trained bucket group: what Eq. 1–2 predicted vs what happened. */
+struct GroupMemRecord
+{
+    /** Epoch index (stamped by MemoryAudit::record). */
+    std::uint64_t epoch = 0;
+    /** Order the group was trained within the epoch (stamped too). */
+    std::uint64_t sequence = 0;
+    /** Index of the group within its schedule. */
+    std::size_t group_index = 0;
+    /** Number of buckets merged into the group. */
+    std::size_t buckets = 0;
+    /** Seed outputs the group trains. */
+    std::size_t outputs = 0;
+    /** Mean R_group discount applied to the group (Eq. 1). */
+    double grouping_ratio = 1.0;
+    /** Estimator footprint for the group, including static bytes. */
+    std::uint64_t predicted_bytes = 0;
+    /** DeviceAllocator peak while the group trained. */
+    std::uint64_t actual_bytes = 0;
+
+    /** (predicted - actual) / actual; 0 when nothing was observed. */
+    double
+    signedRelError() const
+    {
+        if (actual_bytes == 0)
+            return 0.0;
+        return (static_cast<double>(predicted_bytes) -
+                static_cast<double>(actual_bytes)) /
+               static_cast<double>(actual_bytes);
+    }
+
+    double
+    absRelError() const
+    {
+        return std::abs(signedRelError());
+    }
+};
+
+/** Aggregate of GroupMemRecords (one epoch's worth, or a merge). */
+struct MemoryAuditSummary
+{
+    std::uint64_t groups = 0;
+    /** Groups where the estimator over/under-shot the observed peak. */
+    std::uint64_t over_predicted = 0;
+    std::uint64_t under_predicted = 0;
+    std::uint64_t predicted_bytes = 0; ///< summed over groups
+    std::uint64_t actual_bytes = 0;    ///< summed over groups
+    std::uint64_t max_actual_bytes = 0;
+    double sum_abs_rel_error = 0.0;
+    double sum_signed_rel_error = 0.0;
+    double max_abs_rel_error = 0.0;
+
+    void add(const GroupMemRecord &record);
+    void merge(const MemoryAuditSummary &other);
+
+    double
+    meanAbsRelError() const
+    {
+        return groups == 0 ? 0.0
+                           : sum_abs_rel_error /
+                                 static_cast<double>(groups);
+    }
+
+    double
+    meanSignedRelError() const
+    {
+        return groups == 0 ? 0.0
+                           : sum_signed_rel_error /
+                                 static_cast<double>(groups);
+    }
+};
+
+/**
+ * Process-wide recorder of per-group memory records, bucketed by
+ * epoch. Trainers call record() per trained group and endEpoch()
+ * once per epoch; toJson()/writeJson() export the whole run.
+ * Thread-safe, though in practice groups train serially.
+ */
+class MemoryAudit
+{
+  public:
+    /** One epoch's records plus their precomputed aggregate. */
+    struct EpochRecords
+    {
+        std::uint64_t epoch = 0;
+        MemoryAuditSummary summary;
+        std::vector<GroupMemRecord> records;
+    };
+
+    MemoryAudit() = default;
+    MemoryAudit(const MemoryAudit &) = delete;
+    MemoryAudit &operator=(const MemoryAudit &) = delete;
+
+    void
+    enable(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Records one trained group (no-op when disabled). The record's
+     * epoch/sequence fields are stamped here; callers fill the rest.
+     * At most kMaxRecordsPerEpoch full records are kept per epoch
+     * (the aggregate still counts every call).
+     */
+    void record(GroupMemRecord record) BUFFALO_EXCLUDES(mutex_);
+
+    /**
+     * Closes the current epoch (no-op when disabled or when no group
+     * was recorded since the last call).
+     */
+    void endEpoch() BUFFALO_EXCLUDES(mutex_);
+
+    /** Aggregate of the records since the last endEpoch(). */
+    MemoryAuditSummary currentEpochSummary() const
+        BUFFALO_EXCLUDES(mutex_);
+
+    /** Closed epochs, oldest first. */
+    std::vector<EpochRecords> epochs() const BUFFALO_EXCLUDES(mutex_);
+
+    /** Records dropped by the per-epoch cap (aggregates unaffected). */
+    std::uint64_t droppedRecords() const BUFFALO_EXCLUDES(mutex_);
+
+    /**
+     * The whole run as JSON:
+     * {"epochs":[{"epoch":N,"groups":N,"mean_abs_rel_error":...,
+     *   "records":[{...per group...}]}]}
+     */
+    std::string toJson() const BUFFALO_EXCLUDES(mutex_);
+
+    /** Writes toJson() to @p path (throws Error on failure). */
+    void writeJson(const std::string &path) const
+        BUFFALO_EXCLUDES(mutex_);
+
+    /** Drops all state (epochs, current records, counters). */
+    void clear() BUFFALO_EXCLUDES(mutex_);
+
+    /** Full-record cap per epoch; beyond it only aggregates grow. */
+    static constexpr std::size_t kMaxRecordsPerEpoch = 4096;
+
+  private:
+    std::atomic<bool> enabled_{false};
+
+    mutable util::Mutex mutex_;
+    std::uint64_t next_epoch_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t next_sequence_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    std::uint64_t dropped_records_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    MemoryAuditSummary current_summary_ BUFFALO_GUARDED_BY(mutex_);
+    std::vector<GroupMemRecord> current_records_
+        BUFFALO_GUARDED_BY(mutex_);
+    std::vector<EpochRecords> epochs_ BUFFALO_GUARDED_BY(mutex_);
+};
+
+/** The process-wide audit the trainers feed. */
+MemoryAudit &memoryAudit();
+
+} // namespace buffalo::obs

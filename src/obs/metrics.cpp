@@ -32,6 +32,7 @@ ReservoirHistogram::add(double value)
         max_ = std::max(max_, value);
     }
     sum_ += value;
+    sum_sq_ += value * value;
     ++count_;
     if (reservoir_.size() < capacity_) {
         reservoir_.push_back(value);
@@ -94,12 +95,20 @@ ReservoirHistogram::snapshot() const
         snap.mean = count_ == 0
                         ? 0.0
                         : sum_ / static_cast<double>(count_);
+        if (count_ > 0) {
+            const double mean_sq =
+                sum_sq_ / static_cast<double>(count_);
+            // Numerical noise can push the variance a hair negative.
+            snap.stddev = std::sqrt(
+                std::max(0.0, mean_sq - snap.mean * snap.mean));
+        }
         sample = reservoir_;
     }
     std::sort(sample.begin(), sample.end());
     snap.p50 = sortedPercentile(sample, 50.0);
     snap.p95 = sortedPercentile(sample, 95.0);
     snap.p99 = sortedPercentile(sample, 99.0);
+    snap.p999 = sortedPercentile(sample, 99.9);
     return snap;
 }
 
@@ -109,7 +118,7 @@ ReservoirHistogram::reset()
     util::MutexLock lock(mutex_);
     reservoir_.clear();
     count_ = 0;
-    min_ = max_ = sum_ = 0.0;
+    min_ = max_ = sum_ = sum_sq_ = 0.0;
 }
 
 // ---------------------------------------------------------------------
@@ -188,9 +197,11 @@ MetricsRegistry::toJson() const
         w.key("min").value(h.min);
         w.key("max").value(h.max);
         w.key("mean").value(h.mean);
+        w.key("stddev").value(h.stddev);
         w.key("p50").value(h.p50);
         w.key("p95").value(h.p95);
         w.key("p99").value(h.p99);
+        w.key("p999").value(h.p999);
         w.endObject();
     }
     w.endObject();
@@ -225,8 +236,9 @@ MetricsRegistry::toTable() const
         out << table.render();
     }
     {
-        util::Table table({"histogram", "count", "min", "mean", "p50",
-                           "p95", "p99", "max"});
+        util::Table table({"histogram", "count", "min", "mean",
+                           "stddev", "p50", "p95", "p99", "p999",
+                           "max"});
         for (const auto &[name, h] : snap.histograms) {
             auto fmt = [](double v) {
                 char buf[40];
@@ -234,8 +246,9 @@ MetricsRegistry::toTable() const
                 return std::string(buf);
             };
             table.addRow({name, std::to_string(h.count), fmt(h.min),
-                          fmt(h.mean), fmt(h.p50), fmt(h.p95),
-                          fmt(h.p99), fmt(h.max)});
+                          fmt(h.mean), fmt(h.stddev), fmt(h.p50),
+                          fmt(h.p95), fmt(h.p99), fmt(h.p999),
+                          fmt(h.max)});
         }
         out << table.render();
     }

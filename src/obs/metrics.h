@@ -89,9 +89,12 @@ struct HistogramSnapshot
     double min = 0.0;
     double max = 0.0;
     double mean = 0.0;
+    /** Population standard deviation (exact, not reservoir-derived). */
+    double stddev = 0.0;
     double p50 = 0.0;
     double p95 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
 };
 
 /**
@@ -135,6 +138,7 @@ class ReservoirHistogram
     double min_ BUFFALO_GUARDED_BY(mutex_) = 0.0;
     double max_ BUFFALO_GUARDED_BY(mutex_) = 0.0;
     double sum_ BUFFALO_GUARDED_BY(mutex_) = 0.0;
+    double sum_sq_ BUFFALO_GUARDED_BY(mutex_) = 0.0;
     util::Rng rng_ BUFFALO_GUARDED_BY(mutex_);
 };
 
@@ -174,7 +178,8 @@ class MetricsRegistry
      * Flat JSON export:
      *   {"counters": {name: value, ...},
      *    "gauges": {name: value, ...},
-     *    "histograms": {name: {count,min,max,mean,p50,p95,p99}, ...}}
+     *    "histograms": {name:
+     *        {count,min,max,mean,stddev,p50,p95,p99,p999}, ...}}
      */
     std::string toJson() const;
 

@@ -48,6 +48,9 @@ inline constexpr char kCtrDeviceTransferSavedBytes[] =
     "device.transfer_saved_bytes";
 inline constexpr char kCtrDeviceOomEvents[] = "device.oom_events";
 
+// --- Counters: memory audit ----------------------------------------
+inline constexpr char kCtrAuditGroups[] = "audit.groups";
+
 // --- Gauges --------------------------------------------------------
 inline constexpr char kGaugeTrainPeakDeviceBytes[] =
     "train.peak_device_bytes";
@@ -72,6 +75,12 @@ inline constexpr char kGaugeCacheHitRate[] = "cache.hit_rate";
 inline constexpr char kGaugeCacheBytesInUse[] = "cache.bytes_in_use";
 inline constexpr char kGaugeCacheResidentNodes[] =
     "cache.resident_nodes";
+inline constexpr char kGaugeTracerDroppedSpans[] =
+    "tracer.dropped_spans";
+inline constexpr char kGaugeAuditMeanAbsRelError[] =
+    "audit.mean_abs_rel_error";
+inline constexpr char kGaugeAuditMaxAbsRelError[] =
+    "audit.max_abs_rel_error";
 
 // --- Histograms ----------------------------------------------------
 inline constexpr char kHistSchedulerEstimateRelError[] =
@@ -87,6 +96,21 @@ inline constexpr char kHistBlockgenLayerNodes[] =
 inline constexpr char kHistBlockgenLayerEdges[] =
     "blockgen.layer_edges";
 
+// --- Event-log event types (`obs::eventLog().event(...)`) ----------
+// JSONL run-log vocabulary (DESIGN.md, "Memory audit & bench
+// regression"). Same dotted naming scheme as spans; an event type
+// may intentionally share its string with the span that brackets the
+// same work (e.g. scheduler.schedule).
+inline constexpr char kEvRunBegin[] = "run.begin";
+inline constexpr char kEvRunEnd[] = "run.end";
+inline constexpr char kEvSchedulerSchedule[] = "scheduler.schedule";
+inline constexpr char kEvSchedulerExplosionSplit[] =
+    "scheduler.explosion_split";
+inline constexpr char kEvTrainOomRetry[] = "train.oom_retry";
+inline constexpr char kEvTrainEpochSummary[] = "train.epoch_summary";
+inline constexpr char kEvCacheSnapshot[] = "cache.snapshot";
+inline constexpr char kEvDeviceOom[] = "device.oom";
+
 // --- Core CI expectations (`obs_validate --expect-* @core`) --------
 // Spans any pipelined smoke epoch must record.
 inline constexpr const char *kCoreSpans[] = {
@@ -100,6 +124,15 @@ inline constexpr const char *kCoreMetrics[] = {
     kCtrTrainEpochs,
     kCtrSchedulerSchedules,
     kGaugeDevicePeakBytes,
+    kGaugeTracerDroppedSpans,
+};
+
+// Event types any pipelined smoke run (`--run-log`) must emit.
+inline constexpr const char *kCoreEvents[] = {
+    kEvRunBegin,
+    kEvSchedulerSchedule,
+    kEvTrainEpochSummary,
+    kEvRunEnd,
 };
 
 } // namespace buffalo::obs::names

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "obs/audit.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/names.h"
@@ -52,15 +54,45 @@ PipelineTrainer::trainPrepared(PreparedBatch &batch,
         train::IterationStats stats;
         stats.phases.merge(batch.phases);
         device_.allocator().resetPeak();
+        // Per-group peak capture feeds the estimator audit, exactly
+        // as in the serial BuffaloTrainer (the allocator peak resets
+        // per group; the iteration peak is the max over groups).
+        std::uint64_t iteration_peak = 0;
+        auto auditGroup = [&](const core::BucketGroup &group,
+                              std::size_t index) {
+            obs::GroupMemRecord record;
+            record.group_index = index;
+            record.buckets = group.buckets.size();
+            record.outputs =
+                static_cast<std::size_t>(group.outputCount());
+            record.grouping_ratio = group.mean_grouping_ratio;
+            record.predicted_bytes = group.est_bytes + static_bytes_;
+            record.actual_bytes = device_.allocator().peakBytes();
+            iteration_peak =
+                std::max(iteration_peak, record.actual_bytes);
+            obs::metrics()
+                .histogram(obs::names::kHistSchedulerEstimateRelError)
+                .add(record.signedRelError());
+            obs::memoryAudit().record(record);
+            stats.group_audit.push_back(record);
+        };
         try {
             if (use_prefetched) {
+                // batch.micro is in batch.schedule.groups order (the
+                // prefetcher builds one PreparedMicroBatch per group).
+                std::size_t group_index = 0;
                 for (PreparedMicroBatch &pmb : batch.micro) {
                     train::StagedFeatures staged;
                     staged.host_features = &pmb.staged_features;
                     staged.saved_transfer_bytes =
                         pmb.saved_transfer_bytes;
+                    device_.allocator().resetPeak();
                     processMicroBatch(pmb.mb, dataset, batch_outputs,
                                       stats, 0, 0.0, &staged);
+                    auditGroup(
+                        batch.schedule.groups[group_index],
+                        group_index);
+                    ++group_index;
                 }
                 stats.num_micro_batches =
                     static_cast<int>(batch.micro.size());
@@ -73,19 +105,31 @@ PipelineTrainer::trainPrepared(PreparedBatch &batch,
                 stats.phases.add(
                     train::phaseName(train::Phase::Scheduling),
                     schedule.schedule_seconds);
+                std::size_t group_index = 0;
                 for (const core::BucketGroup &group : schedule.groups) {
                     sampling::MicroBatch mb = generator_.generateOne(
                         batch.sg, group, &stats.phases);
+                    device_.allocator().resetPeak();
                     processMicroBatch(mb, dataset, batch_outputs,
                                       stats);
+                    auditGroup(group, group_index++);
                 }
                 stats.num_micro_batches = schedule.num_groups;
             }
             optimizerStep(stats);
-            stats.peak_device_bytes = device_.allocator().peakBytes();
+            stats.peak_device_bytes =
+                std::max(iteration_peak,
+                         device_.allocator().peakBytes());
             return stats;
         } catch (const device::DeviceOom &) {
             obs::metrics().counter(obs::names::kCtrTrainOomRetries).add();
+            obs::eventLog()
+                .event(obs::names::kEvTrainOomRetry)
+                .field("attempt", attempt + 1)
+                .field("max_attempts", kMaxAttempts)
+                .field("safety_factor", sched.safety_factor)
+                .field("prefetched", use_prefetched)
+                .field("giving_up", attempt + 1 >= kMaxAttempts);
             if (attempt + 1 >= kMaxAttempts)
                 throw;
             model_->clearCache();
@@ -186,6 +230,8 @@ PipelineTrainer::trainEpochImpl(
         report.phases.merge(stats.phases);
         report.peak_device_bytes = std::max(report.peak_device_bytes,
                                             stats.peak_device_bytes);
+        for (const obs::GroupMemRecord &record : stats.group_audit)
+            report.mem_audit.add(record);
 
         const double gate =
             consumed_at.size() >= window
@@ -239,6 +285,20 @@ PipelineTrainer::trainEpochImpl(
     report.cache.resident_nodes = cache.resident_nodes;
     report.cache.bytes_in_use = cache.bytes_in_use;
     report.cache.capacity_bytes = cache.capacity_bytes;
+
+    if (cache_->enabled()) {
+        obs::eventLog()
+            .event(obs::names::kEvCacheSnapshot)
+            .field("hits", report.cache.hits)
+            .field("misses", report.cache.misses)
+            .field("hit_rate", report.cache.hitRate())
+            .field("insertions", report.cache.insertions)
+            .field("evictions", report.cache.evictions)
+            .field("resident_nodes",
+                   std::uint64_t(report.cache.resident_nodes))
+            .field("bytes_in_use", report.cache.bytes_in_use)
+            .field("capacity_bytes", report.cache.capacity_bytes);
+    }
 
     recordEpochMetrics(report);
     return report;

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "obs/audit.h"
 #include "util/timer.h"
 
 namespace buffalo::train {
@@ -121,6 +122,13 @@ struct EpochReport
 
     StageReport stages;
     CacheReport cache;
+    /**
+     * Predicted-vs-actual memory accounting over the epoch's trained
+     * bucket groups (DESIGN.md, "Memory audit & bench regression").
+     * Populated by trainers that schedule against the estimator
+     * (Buffalo serial + pipelined); zero-group for the baselines.
+     */
+    obs::MemoryAuditSummary mem_audit;
 
     /** pipelined/serial; < 1 means the overlap hid preparation time. */
     double

@@ -4,6 +4,8 @@
 
 #include "baselines/padding.h"
 #include "nn/loss.h"
+#include "obs/audit.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/names.h"
@@ -105,6 +107,31 @@ TrainerBase::trainEpoch(const graph::Dataset &dataset,
     EpochReport report = trainEpochImpl(dataset, batches, rng);
     const int epoch = epochs_run_++;
     obs::metrics().counter(obs::names::kCtrTrainEpochs).add();
+    if (report.mem_audit.groups > 0) {
+        obs::MetricsRegistry &m = obs::metrics();
+        m.counter(obs::names::kCtrAuditGroups)
+            .add(report.mem_audit.groups);
+        m.gauge(obs::names::kGaugeAuditMeanAbsRelError)
+            .set(report.mem_audit.meanAbsRelError());
+        m.gauge(obs::names::kGaugeAuditMaxAbsRelError)
+            .setMax(report.mem_audit.max_abs_rel_error);
+    }
+    // Close the audit epoch (covers failed-attempt groups too; a
+    // no-op when the audit is disabled or nothing was recorded).
+    obs::memoryAudit().endEpoch();
+    obs::eventLog()
+        .event(obs::names::kEvTrainEpochSummary)
+        .field("epoch", epoch)
+        .field("batches", report.num_batches)
+        .field("micro_batches", report.num_micro_batches)
+        .field("mean_loss", report.mean_loss)
+        .field("epoch_seconds", report.effectiveSeconds())
+        .field("peak_device_bytes", report.peak_device_bytes)
+        .field("audit_groups", report.mem_audit.groups)
+        .field("audit_mean_abs_rel_error",
+               report.mem_audit.meanAbsRelError())
+        .field("audit_mean_signed_rel_error",
+               report.mem_audit.meanSignedRelError());
     if (options_.epoch_observer)
         options_.epoch_observer(epoch, report);
     return report;
@@ -138,6 +165,8 @@ TrainerBase::trainEpochImpl(const graph::Dataset &dataset,
         report.phases.merge(iter.phases);
         report.peak_device_bytes = std::max(report.peak_device_bytes,
                                             iter.peak_device_bytes);
+        for (const obs::GroupMemRecord &record : iter.group_audit)
+            report.mem_audit.add(record);
         ++report.num_batches;
     }
     report.wall_seconds = wall.seconds();
@@ -343,16 +372,42 @@ BuffaloTrainer::trainIteration(const graph::Dataset &dataset,
             stats.phases.add(phaseName(Phase::Scheduling),
                              last_schedule_.schedule_seconds);
 
-            // Lines 3-12: per bucket group, generate and train.
+            // Lines 3-12: per bucket group, generate and train. The
+            // allocator peak is reset per group so each trained group
+            // yields one predicted-vs-actual memory record (the
+            // estimator audit, DESIGN.md "Memory audit & bench
+            // regression"); the iteration peak is the max over them.
             std::vector<double> prep_seconds, device_seconds;
+            std::uint64_t iteration_peak = 0;
+            std::size_t group_index = 0;
             for (const core::BucketGroup &group :
                  last_schedule_.groups) {
                 util::StopWatch prep_watch;
                 sampling::MicroBatch mb =
                     generator_.generateOne(sg, group, &stats.phases);
                 prep_seconds.push_back(prep_watch.seconds());
+                device_.allocator().resetPeak();
                 device_seconds.push_back(processMicroBatch(
                     mb, dataset, seeds.size(), stats));
+
+                obs::GroupMemRecord record;
+                record.group_index = group_index++;
+                record.buckets = group.buckets.size();
+                record.outputs =
+                    static_cast<std::size_t>(group.outputCount());
+                record.grouping_ratio = group.mean_grouping_ratio;
+                record.predicted_bytes =
+                    group.est_bytes + static_bytes_;
+                record.actual_bytes =
+                    device_.allocator().peakBytes();
+                iteration_peak =
+                    std::max(iteration_peak, record.actual_bytes);
+                obs::metrics()
+                    .histogram(
+                        obs::names::kHistSchedulerEstimateRelError)
+                    .add(record.signedRelError());
+                obs::memoryAudit().record(record);
+                stats.group_audit.push_back(record);
             }
             optimizerStep(stats);
 
@@ -373,32 +428,24 @@ BuffaloTrainer::trainIteration(const graph::Dataset &dataset,
                 stats.phases.total() - serial + overlapped;
 
             stats.num_micro_batches = last_schedule_.num_groups;
+            // The optimizer step runs after the last group reset, so
+            // fold the current segment's peak in too.
             stats.peak_device_bytes =
-                device_.allocator().peakBytes();
-
-            // Estimator quality: the scheduler's largest per-group
-            // estimate (plus the static reservation it budgets around)
-            // against the allocator's observed peak. Positive error
-            // means the estimator was conservative.
-            std::uint64_t est_peak = 0;
-            for (const core::BucketGroup &group :
-                 last_schedule_.groups)
-                est_peak = std::max(est_peak, group.est_bytes);
-            if (est_peak > 0 && stats.peak_device_bytes > 0) {
-                const double actual = static_cast<double>(
-                    stats.peak_device_bytes);
-                const double est =
-                    static_cast<double>(est_peak + static_bytes_);
-                obs::metrics()
-                    .histogram(obs::names::kHistSchedulerEstimateRelError)
-                    .add((est - actual) / actual);
-            }
+                std::max(iteration_peak,
+                         device_.allocator().peakBytes());
             obs::metrics()
                 .gauge(obs::names::kGaugeTrainPeakDeviceBytes)
                 .setMax(static_cast<double>(stats.peak_device_bytes));
             return stats;
         } catch (const device::DeviceOom &) {
             obs::metrics().counter(obs::names::kCtrTrainOomRetries).add();
+            obs::eventLog()
+                .event(obs::names::kEvTrainOomRetry)
+                .field("attempt", attempt + 1)
+                .field("max_attempts", kMaxAttempts)
+                .field("safety_factor",
+                       sched_options.safety_factor)
+                .field("giving_up", attempt + 1 >= kMaxAttempts);
             if (attempt + 1 >= kMaxAttempts)
                 throw;
             model_->clearCache();

@@ -28,6 +28,7 @@
 #include "device/device.h"
 #include "graph/datasets.h"
 #include "nn/optimizer.h"
+#include "obs/audit.h"
 #include "obs/phase.h"
 #include "sampling/block_generator.h"
 #include "sampling/sampled_subgraph.h"
@@ -113,6 +114,13 @@ struct IterationStats
      * Zero for trainers that do not compute it.
      */
     double pipelined_seconds = 0.0;
+    /**
+     * Per-trained-group predicted-vs-actual memory records (Buffalo
+     * trainers only; empty for whole-batch/Betty). The same records
+     * feed obs::memoryAudit(); this copy rolls up into
+     * EpochReport::mem_audit.
+     */
+    std::vector<obs::GroupMemRecord> group_audit;
 
     /** Sum of all phase times (host-measured + simulated device). */
     double endToEndSeconds() const { return phases.total(); }

@@ -143,6 +143,25 @@ TEST(LintTest, AcceptsRegistryConstantsAtCallSites)
     EXPECT_EQ(result.exit_code, 0) << result.output;
 }
 
+TEST(LintTest, FlagsRawEventNameLiterals)
+{
+    const fs::path dir = fixtureDir("lint_obs_event_name");
+    const fs::path source = dir / "rogue_event.cpp";
+    writeFile(source,
+              "#include \"obs/event_log.h\"\n"
+              "void touch() {\n"
+              "    buffalo::obs::eventLog()"
+              ".event(\"rogue.event\").field(\"k\", 1);\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[obs-name]"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("rogue_event.cpp:3"),
+              std::string::npos)
+        << result.output;
+}
+
 TEST(LintTest, FlagsNakedAllocations)
 {
     const fs::path dir = fixtureDir("lint_raw_alloc");

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Memory-audit, event-log, and bench-compare coverage (DESIGN.md,
+ * "Memory audit & bench regression"): record aggregation and the JSON
+ * export schema, JSONL event emission, the bench_diff tolerance
+ * logic CI gates on, and — as a CI-fast analogue of the paper's
+ * Table 3 — a bound on the estimator's mean relative error over a
+ * real scheduled cost-model epoch.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "device/device.h"
+#include "graph/datasets.h"
+#include "obs/audit.h"
+#include "obs/bench_compare.h"
+#include "obs/event_log.h"
+#include "obs/json.h"
+#include "obs/names.h"
+#include "train/trainer.h"
+#include "util/errors.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+namespace buffalo {
+namespace {
+
+obs::GroupMemRecord
+makeRecord(std::uint64_t predicted, std::uint64_t actual)
+{
+    obs::GroupMemRecord record;
+    record.buckets = 2;
+    record.outputs = 10;
+    record.predicted_bytes = predicted;
+    record.actual_bytes = actual;
+    return record;
+}
+
+TEST(GroupMemRecord, SignedRelativeError)
+{
+    EXPECT_DOUBLE_EQ(makeRecord(110, 100).signedRelError(), 0.10);
+    EXPECT_DOUBLE_EQ(makeRecord(90, 100).signedRelError(), -0.10);
+    EXPECT_DOUBLE_EQ(makeRecord(90, 100).absRelError(), 0.10);
+    // Unobserved actuals do not poison the aggregate.
+    EXPECT_DOUBLE_EQ(makeRecord(90, 0).signedRelError(), 0.0);
+}
+
+TEST(MemoryAuditSummary, AddAndMerge)
+{
+    obs::MemoryAuditSummary a;
+    a.add(makeRecord(120, 100)); // over by 20%
+    a.add(makeRecord(80, 100));  // under by 20%
+    EXPECT_EQ(a.groups, 2u);
+    EXPECT_EQ(a.over_predicted, 1u);
+    EXPECT_EQ(a.under_predicted, 1u);
+    EXPECT_EQ(a.predicted_bytes, 200u);
+    EXPECT_EQ(a.actual_bytes, 200u);
+    EXPECT_EQ(a.max_actual_bytes, 100u);
+    EXPECT_DOUBLE_EQ(a.meanAbsRelError(), 0.20);
+    EXPECT_DOUBLE_EQ(a.meanSignedRelError(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max_abs_rel_error, 0.20);
+
+    obs::MemoryAuditSummary b;
+    b.add(makeRecord(150, 100));
+    b.merge(a);
+    EXPECT_EQ(b.groups, 3u);
+    EXPECT_EQ(b.over_predicted, 2u);
+    EXPECT_DOUBLE_EQ(b.max_abs_rel_error, 0.50);
+    EXPECT_NEAR(b.meanAbsRelError(), 0.9 / 3.0, 1e-12);
+}
+
+TEST(MemoryAudit, EpochBucketingAndJsonExport)
+{
+    obs::MemoryAudit audit;
+    audit.enable(true);
+    audit.record(makeRecord(110, 100));
+    audit.record(makeRecord(100, 100));
+    EXPECT_EQ(audit.currentEpochSummary().groups, 2u);
+    audit.endEpoch();
+    audit.record(makeRecord(300, 400));
+    audit.endEpoch();
+    audit.endEpoch(); // empty epoch: no-op, not an empty entry
+
+    const auto epochs = audit.epochs();
+    ASSERT_EQ(epochs.size(), 2u);
+    EXPECT_EQ(epochs[0].epoch, 0u);
+    EXPECT_EQ(epochs[0].records.size(), 2u);
+    EXPECT_EQ(epochs[0].records[1].sequence, 1u);
+    EXPECT_EQ(epochs[1].records[0].epoch, 1u);
+    EXPECT_EQ(epochs[1].summary.under_predicted, 1u);
+
+    const obs::JsonValue doc = obs::JsonValue::parse(audit.toJson());
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.at("epochs").isArray());
+    ASSERT_EQ(doc.at("epochs").size(), 2u);
+    const obs::JsonValue &first = doc.at("epochs").at(0);
+    EXPECT_EQ(first.at("groups").asNumber(), 2.0);
+    EXPECT_NEAR(first.at("mean_abs_rel_error").asNumber(), 0.05,
+                1e-12);
+    ASSERT_EQ(first.at("records").size(), 2u);
+    EXPECT_EQ(
+        first.at("records").at(0).at("predicted_bytes").asNumber(),
+        110.0);
+
+    audit.clear();
+    EXPECT_TRUE(audit.epochs().empty());
+}
+
+TEST(MemoryAudit, DisabledRecordIsDropped)
+{
+    obs::MemoryAudit audit;
+    audit.record(makeRecord(110, 100));
+    audit.endEpoch();
+    EXPECT_TRUE(audit.epochs().empty());
+}
+
+TEST(EventLog, EmitsParseableJsonLines)
+{
+    const std::string path =
+        testing::TempDir() + "/obs_audit_test_run.jsonl";
+    std::remove(path.c_str());
+
+    obs::EventLog log;
+    EXPECT_FALSE(log.enabled());
+    log.event(obs::names::kEvRunBegin).field("ignored", 1); // inert
+    log.open(path);
+    log.event(obs::names::kEvRunBegin)
+        .field("dataset", "arxiv")
+        .field("epochs", 2);
+    log.event(obs::names::kEvSchedulerSchedule)
+        .field("k", 4)
+        .field("explosion", true)
+        .field("seconds", 0.25);
+    log.close();
+    EXPECT_EQ(log.eventsWritten(), 2u);
+
+    const std::string text = obs::readFileText(path);
+    std::vector<std::string> lines;
+    std::size_t begin = 0;
+    while (begin < text.size()) {
+        const std::size_t end = text.find('\n', begin);
+        lines.push_back(text.substr(begin, end - begin));
+        begin = end == std::string::npos ? text.size() : end + 1;
+    }
+    ASSERT_EQ(lines.size(), 2u);
+    const obs::JsonValue first = obs::JsonValue::parse(lines[0]);
+    EXPECT_EQ(first.at("ev").asString(),
+              obs::names::kEvRunBegin);
+    EXPECT_TRUE(first.at("ts_us").isNumber());
+    EXPECT_EQ(first.at("dataset").asString(), "arxiv");
+    const obs::JsonValue second = obs::JsonValue::parse(lines[1]);
+    EXPECT_EQ(second.at("k").asNumber(), 4.0);
+    EXPECT_TRUE(second.at("explosion").asBool());
+    EXPECT_GE(second.at("ts_us").asNumber(),
+              first.at("ts_us").asNumber());
+    std::remove(path.c_str());
+}
+
+// --- bench_diff comparison logic ------------------------------------
+
+obs::JsonValue
+report(const std::string &body)
+{
+    return obs::JsonValue::parse(
+        R"({"bench":"t","metrics":{)" + body + "}}");
+}
+
+TEST(BenchCompare, WithinToleranceIsOk)
+{
+    const auto result = obs::compareBenchReports(
+        report(R"("m":{"value":100.0,"tolerance":0.05})"),
+        report(R"("m":{"value":104.0,"tolerance":0.05})"));
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.diffs.size(), 1u);
+    EXPECT_NEAR(result.diffs[0].rel_diff, 0.04, 1e-12);
+    EXPECT_EQ(result.bench, "t");
+}
+
+TEST(BenchCompare, DriftBeyondToleranceFails)
+{
+    const auto result = obs::compareBenchReports(
+        report(R"("m":{"value":100.0,"tolerance":0.05})"),
+        report(R"("m":{"value":110.0,"tolerance":0.05})"));
+    EXPECT_FALSE(result.ok());
+    const std::string text = obs::formatBenchCompare(result);
+    EXPECT_NE(text.find("FAIL"), std::string::npos);
+}
+
+TEST(BenchCompare, ZeroToleranceGatesExactly)
+{
+    EXPECT_TRUE(obs::compareBenchReports(
+                    report(R"("k":{"value":7,"tolerance":0})"),
+                    report(R"("k":{"value":7,"tolerance":0})"))
+                    .ok());
+    EXPECT_FALSE(obs::compareBenchReports(
+                     report(R"("k":{"value":7,"tolerance":0})"),
+                     report(R"("k":{"value":8,"tolerance":0})"))
+                     .ok());
+}
+
+TEST(BenchCompare, MissingBaselineMetricFails)
+{
+    const auto result = obs::compareBenchReports(
+        report(R"("m":{"value":1.0,"tolerance":0.5})"), report(""));
+    EXPECT_FALSE(result.ok());
+    ASSERT_EQ(result.diffs.size(), 1u);
+    EXPECT_TRUE(result.diffs[0].missing);
+}
+
+TEST(BenchCompare, ExtraCandidateMetricIsInformative)
+{
+    const auto result = obs::compareBenchReports(
+        report(R"("m":{"value":1.0,"tolerance":0.5})"),
+        report(R"("m":{"value":1.0,"tolerance":0.5},)"
+               R"("new":{"value":3.0,"tolerance":0.1})"));
+    EXPECT_TRUE(result.ok());
+    ASSERT_EQ(result.extra_metrics.size(), 1u);
+    EXPECT_EQ(result.extra_metrics[0], "new");
+}
+
+TEST(BenchCompare, MalformedDocumentsThrow)
+{
+    const obs::JsonValue good =
+        report(R"("m":{"value":1.0,"tolerance":0.5})");
+    EXPECT_THROW(obs::compareBenchReports(
+                     obs::JsonValue::parse("[1,2]"), good),
+                 InvalidArgument);
+    EXPECT_THROW(obs::compareBenchReports(
+                     good, obs::JsonValue::parse(R"({"bench":"t"})")),
+                 InvalidArgument);
+    EXPECT_THROW(
+        obs::compareBenchReports(
+            obs::JsonValue::parse(
+                R"({"bench":"t","metrics":{"m":{"value":1}}})"),
+            good),
+        InvalidArgument);
+    EXPECT_THROW(
+        obs::compareBenchReports(
+            obs::JsonValue::parse(R"({"bench":"t","metrics":)"
+                                  R"({"m":{"value":1,)"
+                                  R"("tolerance":-0.1}}})"),
+            good),
+        InvalidArgument);
+}
+
+TEST(BenchCompare, FileRoundTrip)
+{
+    const std::string base =
+        testing::TempDir() + "/bench_base.json";
+    const std::string cand =
+        testing::TempDir() + "/bench_cand.json";
+    obs::writeFileText(
+        base, R"({"bench":"t","metrics":)"
+              R"({"m":{"value":100,"tolerance":0.1}}})");
+    obs::writeFileText(
+        cand, R"({"bench":"t","metrics":)"
+              R"({"m":{"value":105,"tolerance":0.1}}})");
+    EXPECT_TRUE(obs::compareBenchFiles(base, cand).ok());
+    EXPECT_THROW(obs::compareBenchFiles(base, base + ".missing"),
+                 Error);
+    std::remove(base.c_str());
+    std::remove(cand.c_str());
+}
+
+// --- End-to-end estimator-error bound (Table 3 analogue) ------------
+
+TEST(MemoryAuditEndToEnd, EstimatorErrorBoundedOverScheduledEpoch)
+{
+    auto data = graph::loadDataset(graph::DatasetId::Arxiv, 42, 0.1);
+
+    train::TrainerOptions options;
+    options.model.aggregator = nn::AggregatorKind::Lstm;
+    options.model.num_layers = 2;
+    options.model.feature_dim = data.featureDim();
+    options.model.hidden_dim = 32;
+    options.model.num_classes = data.numClasses();
+    options.fanouts = {10, 25};
+    options.mode = train::ExecutionMode::CostModel;
+
+    // Size the budget off the model's static bytes so the scheduler
+    // must split batches into several groups.
+    device::Device probe("probe", util::gib(64));
+    train::BuffaloTrainer sizing(options, probe);
+    const std::uint64_t budget =
+        sizing.staticBytes() + util::mib(24);
+
+    device::Device dev("gpu", budget);
+    train::BuffaloTrainer trainer(options, dev);
+    util::Rng rng(42);
+    const train::EpochReport report =
+        trainer.trainEpoch(data, 256, rng);
+
+    ASSERT_GT(report.mem_audit.groups, 0u);
+    // The paper's Table 3 bound is ~10% at full scale; the reduced
+    // simulation runs looser, and CI gates at 25% (both sides of the
+    // comparison include the static weight/optimizer bytes).
+    EXPECT_LE(report.mem_audit.meanAbsRelError(), 0.25)
+        << "estimator drifted from observed peaks; check Eq. 1-2 or "
+           "the allocator accounting";
+    // Every group must have observed a real peak.
+    EXPECT_EQ(report.mem_audit.actual_bytes > 0, true);
+    EXPECT_GE(report.mem_audit.max_actual_bytes,
+              trainer.staticBytes());
+}
+
+} // namespace
+} // namespace buffalo

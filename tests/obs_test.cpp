@@ -108,6 +108,9 @@ TEST(Histogram, PercentilesExactBelowCapacity)
     EXPECT_NEAR(snap.p50, 500.5, 1e-9);
     EXPECT_NEAR(snap.p95, 950.05, 1e-9);
     EXPECT_NEAR(snap.p99, 990.01, 1e-9);
+    EXPECT_NEAR(snap.p999, 999.001, 1e-9);
+    // Population stddev of 1..n: sqrt((n^2 - 1) / 12).
+    EXPECT_NEAR(snap.stddev, 288.6749902572095, 1e-6);
     EXPECT_NEAR(hist.percentile(0.0), 1.0, 1e-12);
     EXPECT_NEAR(hist.percentile(100.0), 1000.0, 1e-12);
 }
@@ -130,6 +133,8 @@ TEST(Histogram, PastCapacityStaysInRangeAndDeterministic)
     EXPECT_LE(sa.p50, 499.0);
     EXPECT_LE(sa.p50, sa.p95);
     EXPECT_LE(sa.p95, sa.p99);
+    EXPECT_LE(sa.p99, sa.p999);
+    EXPECT_GE(sa.stddev, 0.0);
     // Deterministic seeding: identical streams, identical snapshots.
     EXPECT_EQ(sa.p50, sb.p50);
     EXPECT_EQ(sa.p99, sb.p99);
@@ -141,6 +146,7 @@ TEST(Histogram, EmptySnapshotIsZero)
     const HistogramSnapshot snap = hist.snapshot();
     EXPECT_EQ(snap.count, 0u);
     EXPECT_EQ(snap.p50, 0.0);
+    EXPECT_EQ(snap.stddev, 0.0);
     EXPECT_EQ(hist.percentile(95.0), 0.0);
 }
 
@@ -240,7 +246,8 @@ TEST(Json, MetricsExportRoundTrips)
     EXPECT_EQ(hist.at("min").asNumber(), 0.0);
     EXPECT_EQ(hist.at("max").asNumber(), 9.0);
     for (const char *field :
-         {"count", "min", "max", "mean", "p50", "p95", "p99"})
+         {"count", "min", "max", "mean", "stddev", "p50", "p95",
+          "p99", "p999"})
         EXPECT_TRUE(hist.has(field)) << field;
 }
 

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * CLI front-end of obs::compareBenchFiles (DESIGN.md, "Memory audit &
+ * bench regression"):
+ *
+ *   bench_diff <baseline.json> <candidate.json>
+ *
+ * Compares a candidate BENCH_*.json against a committed baseline;
+ * every baseline metric must be present in the candidate and within
+ * the baseline's per-metric relative tolerance. Exit codes: 0 = all
+ * metrics within tolerance, 1 = regression (drift or missing metric),
+ * 2 = usage / unreadable / malformed input. ci.sh gates the smoke
+ * bench with this tool.
+ */
+#include <cstdio>
+
+#include "obs/bench_compare.h"
+#include "util/errors.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace buffalo;
+
+    if (argc != 3) {
+        std::fprintf(stderr,
+                     "usage: bench_diff <baseline.json> "
+                     "<candidate.json>\n");
+        return 2;
+    }
+    try {
+        const obs::BenchCompareResult result =
+            obs::compareBenchFiles(argv[1], argv[2]);
+        std::fputs(obs::formatBenchCompare(result).c_str(), stdout);
+        return result.ok() ? 0 : 1;
+    } catch (const Error &e) {
+        std::fprintf(stderr, "bench_diff: %s\n", e.what());
+        return 2;
+    }
+}

@@ -254,7 +254,7 @@ lintGuardedBy(const std::string &file,
 // --- Rule: obs-name --------------------------------------------------
 
 const std::regex kObsCall(
-    R"((\.|->)\s*(counter|gauge|histogram|record)\s*\(\s*")");
+    R"((\.|->)\s*(counter|gauge|histogram|record|event)\s*\(\s*")");
 const std::regex kSpanCall(R"(\bSpan\s*([A-Za-z_]\w*)?\s*[({]\s*")");
 
 void

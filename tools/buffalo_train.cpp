@@ -21,7 +21,10 @@
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "nn/checkpoint.h"
+#include "obs/audit.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
 #include "pipeline/pipeline_trainer.h"
 #include "train/evaluator.h"
@@ -73,6 +76,10 @@ observability:
                         about://tracing or Perfetto)
   --metrics-json P      write the metrics registry as flat JSON
   --metrics-table       print the metrics registry as tables
+  --run-log P           write structured JSONL run events (schedule
+                        decisions, OOM retries, epoch summaries) to P
+  --audit-json P        write predicted-vs-actual memory audit JSON
+                        (Buffalo schedulers only)
 output:
   --save-checkpoint P   write model parameters after training
   --load-checkpoint P   initialize model parameters from P
@@ -165,7 +172,8 @@ main(int argc, char **argv)
             "lr", "seed", "system", "betty-k", "cost-model",
             "pipeline", "prefetch-depth", "feature-cache-mb",
             "pinned-hot", "host-budget-mb",
-            "trace-out", "metrics-json", "metrics-table",
+            "trace-out", "metrics-json", "metrics-table", "run-log",
+            "audit-json",
             "save-checkpoint", "load-checkpoint", "save-bundle",
             "eval", "verbose", "help",
         });
@@ -231,6 +239,18 @@ main(int argc, char **argv)
 
         if (flags.has("trace-out"))
             obs::tracer().enable();
+        if (flags.has("audit-json"))
+            obs::memoryAudit().enable(true);
+        if (flags.has("run-log")) {
+            obs::eventLog().open(flags.getString("run-log"));
+            obs::eventLog()
+                .event(obs::names::kEvRunBegin)
+                .field("dataset", data.name())
+                .field("system", flags.getString("system", "buffalo"))
+                .field("epochs", flags.getInt("epochs", 4))
+                .field("batch_size", flags.getInt("batch-size", 256))
+                .field("budget_mb", flags.getInt("budget-mb", 64));
+        }
 
         // The per-epoch progress lines ride the unified reporting
         // hook, so one runTraining loop serves every trainer.
@@ -328,6 +348,40 @@ main(int argc, char **argv)
                         flags.getString("save-checkpoint").c_str());
         }
 
+        if (flags.has("run-log")) {
+            obs::eventLog()
+                .event(obs::names::kEvRunEnd)
+                .field("epochs_run", trainer->epochsRun())
+                .field("peak_device_bytes",
+                       gpu.allocator().peakBytes())
+                .field("tracer_dropped_spans",
+                       obs::tracer().droppedSpans());
+            obs::eventLog().close();
+            std::printf("run log written to %s (%llu events)\n",
+                        flags.getString("run-log").c_str(),
+                        static_cast<unsigned long long>(
+                            obs::eventLog().eventsWritten()));
+        }
+        if (flags.has("audit-json")) {
+            obs::memoryAudit().writeJson(
+                flags.getString("audit-json"));
+            std::printf("memory audit written to %s "
+                        "(%zu epochs, mean |rel err| %.1f%%)\n",
+                        flags.getString("audit-json").c_str(),
+                        obs::memoryAudit().epochs().size(),
+                        obs::memoryAudit().epochs().empty()
+                            ? 0.0
+                            : obs::memoryAudit()
+                                      .epochs()
+                                      .back()
+                                      .summary.meanAbsRelError() *
+                                  100.0);
+        }
+        // Ring-buffer overwrites surface as a gauge so obs_validate
+        // (and any metrics consumer) can flag undersized rings.
+        obs::metrics()
+            .gauge(obs::names::kGaugeTracerDroppedSpans)
+            .set(static_cast<double>(obs::tracer().droppedSpans()));
         if (flags.has("trace-out")) {
             obs::tracer().disable();
             obs::tracer().writeJson(flags.getString("trace-out"));

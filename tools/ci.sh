@@ -4,7 +4,9 @@
 #
 #   1. Release build + full test suite + lint leg (buffalo_lint over
 #      src/ and the ci.sh expectation lists) + observability smoke
-#      epoch gated by obs_validate.
+#      epoch gated by obs_validate (trace, metrics, JSONL run log,
+#      memory-audit error bound) + bench-smoke regression leg gated
+#      by bench_diff against the committed baseline.
 #   2. ThreadSanitizer build + tests (cheap races in
 #      StageQueue/Prefetcher show up here long before they show up in
 #      production runs).
@@ -34,17 +36,37 @@ echo "=== Observability smoke epoch ==="
 obs_dir="${prefix}-release/obs-smoke"
 mkdir -p "${obs_dir}"
 "${prefix}-release/tools/buffalo_train" \
-    --dataset arxiv --scale 0.05 --epochs 1 --batch-size 128 \
+    --dataset arxiv --scale 0.1 --epochs 1 --batch-size 256 \
+    --aggregator lstm --hidden 32 --budget-mb 16 \
     --pipeline --feature-cache-mb 8 \
     --trace-out "${obs_dir}/trace.json" \
-    --metrics-json "${obs_dir}/metrics.json"
+    --metrics-json "${obs_dir}/metrics.json" \
+    --run-log "${obs_dir}/run.jsonl" \
+    --audit-json "${obs_dir}/audit.json"
 # `@core` expands inside obs_validate to the central expectation
-# lists in src/obs/names.h, so renames cannot drift past CI.
+# lists in src/obs/names.h, so renames cannot drift past CI. The
+# audit bound needs the LSTM aggregator (the cost model the Eq. 1-2
+# estimator is calibrated against) and a budget tight enough to
+# split batches — mean-aggregator runs at tiny scale under-saturate
+# Eq. 1 and over-predict well past 25%; see EXPERIMENTS.md ("Known
+# scale artifacts").
 "${prefix}-release/tools/obs_validate" \
     --trace "${obs_dir}/trace.json" \
     --expect-spans "@core" \
     --metrics "${obs_dir}/metrics.json" \
-    --expect-metrics "@core"
+    --expect-metrics "@core" \
+    --run-log "${obs_dir}/run.jsonl" \
+    --expect-events "@core" \
+    --audit "${obs_dir}/audit.json" \
+    --max-audit-error 0.25
+
+echo "=== Bench-smoke regression gate ==="
+bench_dir="${prefix}-release/bench-smoke"
+mkdir -p "${bench_dir}"
+BUFFALO_BENCH_DIR="${bench_dir}" "${prefix}-release/bench/bench_smoke"
+"${prefix}-release/tools/bench_diff" \
+    bench/baselines/BENCH_smoke.json \
+    "${bench_dir}/BENCH_smoke.json"
 
 echo "=== ThreadSanitizer build + tests ==="
 cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -4,11 +4,16 @@
  * "Observability").
  *
  * Checks that a --trace-out file is a Chrome trace-event array
- * (complete events: name/ph=="X"/ts/dur/pid/tid) and that a
+ * (complete events: name/ph=="X"/ts/dur/pid/tid), that a
  * --metrics-json file has the counters/gauges/histograms sections
- * with well-formed entries. Exits non-zero with a message on the
- * first violation, so tools/ci.sh can gate on it.
+ * with well-formed entries, that a --run-log file is well-formed
+ * JSONL (one {"ts_us","ev",...} object per line, timestamps
+ * monotone), and that a --audit file follows the MemoryAudit schema
+ * (optionally bounding the estimator's mean relative error with
+ * --max-audit-error). Exits non-zero with a message on the first
+ * violation, so tools/ci.sh can gate on it.
  */
+#include <algorithm>
 #include <cstdio>
 #include <set>
 #include <sstream>
@@ -136,14 +141,103 @@ validateMetrics(const std::string &path)
         if (!h.isObject())
             fail(context + ": not an object");
         for (const char *field :
-             {"count", "min", "max", "mean", "p50", "p95", "p99"})
+             {"count", "min", "max", "mean", "stddev", "p50", "p95",
+              "p99", "p999"})
             requireNumber(h, field, context);
         if (h.at("p50").asNumber() > h.at("p95").asNumber() ||
-            h.at("p95").asNumber() > h.at("p99").asNumber())
+            h.at("p95").asNumber() > h.at("p99").asNumber() ||
+            h.at("p99").asNumber() > h.at("p999").asNumber())
             fail(context + ": percentiles not monotone");
+        if (h.at("stddev").asNumber() < 0.0)
+            fail(context + ": negative stddev");
         names.insert(name);
     }
+    // Ring-buffer overwrites mean the trace silently lost spans;
+    // that's a sizing problem worth surfacing, but not an error.
+    const JsonValue &gauges = doc.at("gauges");
+    const char *dropped =
+        buffalo::obs::names::kGaugeTracerDroppedSpans;
+    if (gauges.has(dropped) &&
+        gauges.at(dropped).asNumber() > 0.0) {
+        std::fprintf(stderr,
+                     "obs_validate: warning: %s = %.0f — tracer ring "
+                     "buffers overwrote spans; consider a larger ring "
+                     "capacity\n",
+                     dropped, gauges.at(dropped).asNumber());
+    }
     return names;
+}
+
+/** Validates a JSONL run log; returns the event types seen. */
+std::set<std::string>
+validateRunLog(const std::string &path)
+{
+    const std::string text = buffalo::obs::readFileText(path);
+    std::set<std::string> events;
+    std::stringstream stream(text);
+    std::string line;
+    std::size_t line_no = 0;
+    double last_ts = -1.0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const std::string context =
+            path + ": line " + std::to_string(line_no);
+        JsonValue event;
+        try {
+            event = JsonValue::parse(line);
+        } catch (const std::exception &error) {
+            fail(context + ": " + error.what());
+        }
+        if (!event.isObject())
+            fail(context + ": not a JSON object");
+        requireNumber(event, "ts_us", context);
+        if (!event.has("ev") || !event.at("ev").isString())
+            fail(context + ": missing string field \"ev\"");
+        const double ts = event.at("ts_us").asNumber();
+        if (ts < last_ts)
+            fail(context + ": timestamps not monotone");
+        last_ts = ts;
+        events.insert(event.at("ev").asString());
+    }
+    if (events.empty())
+        fail(path + ": run log has no events");
+    return events;
+}
+
+/** Validates a MemoryAudit JSON export; returns the worst epoch's
+ *  mean absolute relative error. */
+double
+validateAudit(const std::string &path)
+{
+    const JsonValue doc =
+        JsonValue::parse(buffalo::obs::readFileText(path));
+    if (!doc.isObject() || !doc.has("epochs") ||
+        !doc.at("epochs").isArray())
+        fail(path + ": audit document must be an object with an "
+                    "\"epochs\" array");
+    if (doc.at("epochs").size() == 0)
+        fail(path + ": audit has no epochs — was the audit enabled "
+                    "and a Buffalo trainer used?");
+    double worst = 0.0;
+    for (std::size_t e = 0; e < doc.at("epochs").size(); ++e) {
+        const JsonValue &epoch = doc.at("epochs").at(e);
+        const std::string context =
+            path + ": epoch " + std::to_string(e);
+        for (const char *field :
+             {"epoch", "groups", "predicted_bytes", "actual_bytes",
+              "mean_abs_rel_error", "mean_signed_rel_error",
+              "max_abs_rel_error"})
+            requireNumber(epoch, field, context);
+        if (!epoch.has("records") || !epoch.at("records").isArray())
+            fail(context + ": missing \"records\" array");
+        if (epoch.at("groups").asNumber() <= 0.0)
+            fail(context + ": epoch with zero groups");
+        worst = std::max(worst,
+                         epoch.at("mean_abs_rel_error").asNumber());
+    }
+    return worst;
 }
 
 void
@@ -169,14 +263,22 @@ main(int argc, char **argv)
                 "[--expect-spans a,b]]\n"
                 "                    [--metrics FILE "
                 "[--expect-metrics x,y]]\n"
+                "                    [--run-log FILE "
+                "[--expect-events e,f]]\n"
+                "                    [--audit FILE "
+                "[--max-audit-error X]]\n"
                 "`@core` in an expect list expands to the central\n"
                 "expectation set in src/obs/names.h.\n");
             return 0;
         }
         flags.checkKnown({"help", "trace", "metrics", "expect-spans",
-                          "expect-metrics"});
-        if (!flags.has("trace") && !flags.has("metrics"))
-            fail("nothing to validate; pass --trace and/or --metrics");
+                          "expect-metrics", "run-log",
+                          "expect-events", "audit",
+                          "max-audit-error"});
+        if (!flags.has("trace") && !flags.has("metrics") &&
+            !flags.has("run-log") && !flags.has("audit"))
+            fail("nothing to validate; pass --trace, --metrics, "
+                 "--run-log, and/or --audit");
 
         if (flags.has("trace")) {
             const std::string path = flags.getString("trace");
@@ -198,6 +300,30 @@ main(int argc, char **argv)
                 "metric");
             std::printf("obs_validate: %s ok (%zu metrics)\n",
                         path.c_str(), metrics.size());
+        }
+        if (flags.has("run-log")) {
+            const std::string path = flags.getString("run-log");
+            const std::set<std::string> events = validateRunLog(path);
+            checkExpected(
+                events,
+                expandExpected(flags.getString("expect-events"),
+                               buffalo::obs::names::kCoreEvents),
+                "event");
+            std::printf("obs_validate: %s ok (%zu event types)\n",
+                        path.c_str(), events.size());
+        }
+        if (flags.has("audit")) {
+            const std::string path = flags.getString("audit");
+            const double worst = validateAudit(path);
+            const double max_error =
+                flags.getDouble("max-audit-error", 0.0);
+            if (max_error > 0.0 && worst > max_error)
+                fail(path + ": mean |relative error| " +
+                     std::to_string(worst) + " exceeds --max-audit-"
+                     "error " + std::to_string(max_error));
+            std::printf("obs_validate: %s ok (worst epoch mean |rel "
+                        "err| %.1f%%)\n",
+                        path.c_str(), worst * 100.0);
         }
     } catch (const std::exception &error) {
         fail(error.what());
