@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Compute-kernel bench (DESIGN.md, "Compute kernels"): tiled-GEMM
+ * wall-clock at 1 vs 4 kernel threads, plus exactly-gated per-op
+ * instrumentation counts.
+ *
+ * Timing metrics go through info() — wall-clock depends on the host
+ * (this simulator's CI container exposes a single core, where the
+ * 4-thread run degenerates to serial dispatch plus queue overhead) —
+ * but every count (kernel calls, bytes, FLOPs, parallel-vs-serial
+ * dispatch decisions) is a pure function of the workload and the grain
+ * policy, so those gate at zero tolerance via tools/bench_diff.
+ */
+#include "bench_common.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+
+using namespace buffalo;
+namespace kernels = buffalo::tensor::kernels;
+namespace ops = buffalo::tensor;
+using tensor::Tensor;
+
+namespace {
+
+Tensor
+randomTensor(std::size_t rows, std::size_t cols, util::Rng &rng)
+{
+    Tensor t = Tensor::zeros(rows, cols);
+    ops::fillUniform(t, 1.0f, rng);
+    return t;
+}
+
+/** Seconds for one matmul of the given square size under @p cfg. */
+double
+timeGemm(std::size_t dim, const kernels::KernelConfig &cfg,
+         util::Rng &rng)
+{
+    kernels::setConfig(cfg);
+    const Tensor a = randomTensor(dim, dim, rng);
+    const Tensor b = randomTensor(dim, dim, rng);
+    ops::matmul(a, b); // warm-up: page in A/B, spin up the pool
+    const auto start = std::chrono::steady_clock::now();
+    const Tensor c = ops::matmul(a, b);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    // Keep the result alive so the compute cannot be elided.
+    return elapsed.count() + (c.data()[0] != c.data()[0] ? 1e9 : 0.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Compute kernels: tiled GEMM + instrumentation");
+
+    util::Rng rng(42);
+    kernels::KernelConfig serial;
+    serial.threads = 1;
+    kernels::KernelConfig four;
+    four.threads = 4;
+
+    // --- Timing (informative): tile-multiple 1024^2 GEMM ----------
+    const std::size_t kBig = 1024;
+    const double serial_s = timeGemm(kBig, serial, rng);
+    const double four_s = timeGemm(kBig, four, rng);
+    // Single-thread micro-bucket shape: must not regress from the
+    // parallel machinery (the grain policy keeps it inline).
+    const double micro_s = timeGemm(16, four, rng);
+
+    util::Table table({"case", "seconds", "gflop/s"});
+    const double gflop = 2.0 * kBig * kBig * kBig / 1e9;
+    table.addRow({"gemm 1024^3, 1 thread",
+                  util::formatSeconds(serial_s),
+                  util::Table::count(
+                      static_cast<std::uint64_t>(gflop / serial_s))});
+    table.addRow({"gemm 1024^3, 4 threads",
+                  util::formatSeconds(four_s),
+                  util::Table::count(
+                      static_cast<std::uint64_t>(gflop / four_s))});
+    table.addRow(
+        {"gemm 16^3 (micro)", util::formatSeconds(micro_s), "-"});
+    table.print();
+    std::printf("speedup at 4 threads: %.2fx\n", serial_s / four_s);
+
+    // --- Exactly-gated instrumentation counts ---------------------
+    using namespace obs::names;
+    auto &gemm_calls = obs::metrics().counter(kCtrKernelsGemmCalls);
+    auto &gemm_bytes = obs::metrics().counter(kCtrKernelsGemmBytes);
+    auto &gemm_flops = obs::metrics().counter(kCtrKernelsGemmFlops);
+    auto &ew_calls =
+        obs::metrics().counter(kCtrKernelsElementwiseCalls);
+    auto &gather_calls =
+        obs::metrics().counter(kCtrKernelsGatherCalls);
+    auto &parallel_ops =
+        obs::metrics().counter(kCtrKernelsParallelOps);
+
+    kernels::setConfig(four);
+    const std::size_t m = 192, k = 256, n = 128;
+    const Tensor a = randomTensor(m, k, rng);
+    const Tensor b = randomTensor(k, n, rng);
+    const Tensor at = randomTensor(k, m, rng);
+    const Tensor bt = randomTensor(n, k, rng);
+
+    const std::uint64_t calls0 = gemm_calls.value();
+    const std::uint64_t bytes0 = gemm_bytes.value();
+    const std::uint64_t flops0 = gemm_flops.value();
+    const std::uint64_t ew0 = ew_calls.value();
+    const std::uint64_t gather0 = gather_calls.value();
+    ops::matmul(a, b);
+    ops::matmulTransposeA(at, b);
+    ops::matmulTransposeB(a, bt);
+    const Tensor summed = ops::add(a, a);
+    ops::relu(summed);
+    const std::vector<std::uint32_t> idx(64, 3);
+    const Tensor gathered = ops::gatherRows(a, idx);
+    Tensor scatter_out = Tensor::zeros(m, k);
+    ops::scatterAddRows(scatter_out, gathered, idx);
+
+    const std::uint64_t workload_gemm_calls =
+        gemm_calls.value() - calls0;
+    const std::uint64_t workload_gemm_bytes =
+        gemm_bytes.value() - bytes0;
+    const std::uint64_t workload_gemm_flops =
+        gemm_flops.value() - flops0;
+    const std::uint64_t workload_ew_calls = ew_calls.value() - ew0;
+    const std::uint64_t workload_gather_calls =
+        gather_calls.value() - gather0;
+
+    // Grain policy: a micro-bucket GEMM under the default
+    // min_parallel_work must never dispatch in parallel.
+    const Tensor ma = randomTensor(4, 8, rng);
+    const Tensor mb = randomTensor(8, 4, rng);
+    const std::uint64_t par0 = parallel_ops.value();
+    ops::matmul(ma, mb);
+    const std::uint64_t micro_parallel_dispatches =
+        parallel_ops.value() - par0;
+
+    bench::Reporter reporter("kernels");
+    reporter.info("gemm_1024_serial_seconds", serial_s)
+        .info("gemm_1024_4threads_seconds", four_s)
+        .info("gemm_speedup_4t", serial_s / four_s)
+        .info("gemm_16_micro_seconds", micro_s)
+        .metric("workload_gemm_calls",
+                static_cast<double>(workload_gemm_calls), 0.0)
+        .metric("workload_gemm_bytes",
+                static_cast<double>(workload_gemm_bytes), 0.0)
+        .metric("workload_gemm_flops",
+                static_cast<double>(workload_gemm_flops), 0.0)
+        .metric("workload_elementwise_calls",
+                static_cast<double>(workload_ew_calls), 0.0)
+        .metric("workload_gather_calls",
+                static_cast<double>(workload_gather_calls), 0.0)
+        .metric("micro_parallel_dispatches",
+                static_cast<double>(micro_parallel_dispatches), 0.0);
+    reporter.write();
+    return 0;
+}

@@ -14,6 +14,10 @@
 #include "bench_common.h"
 
 #include "obs/audit.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
 
 using namespace buffalo;
 
@@ -69,6 +73,33 @@ main()
         .metric("audit_mean_abs_rel_error",
                 report.mem_audit.meanAbsRelError(), 0.5)
         .info("epoch_seconds", report.effectiveSeconds());
+
+    // The cost-model epoch never runs numeric kernels, so exercise
+    // the kernel layer on a fixed shape here: byte/call counts are a
+    // pure function of the shapes and gate exactly; nanos are
+    // wall-clock and stay informative.
+    {
+        using namespace obs::names;
+        auto &calls = obs::metrics().counter(kCtrKernelsGemmCalls);
+        auto &bytes = obs::metrics().counter(kCtrKernelsGemmBytes);
+        auto &nanos = obs::metrics().counter(kCtrKernelsGemmNanos);
+        const std::uint64_t calls0 = calls.value();
+        const std::uint64_t bytes0 = bytes.value();
+        tensor::Tensor a = tensor::Tensor::zeros(96, 64);
+        tensor::Tensor b = tensor::Tensor::zeros(64, 48);
+        util::Rng krng(7);
+        tensor::fillUniform(a, 1.0f, krng);
+        tensor::fillUniform(b, 1.0f, krng);
+        tensor::matmul(a, b);
+        tensor::matmulTransposeB(a, tensor::Tensor::zeros(48, 64));
+        reporter
+            .metric("kernel_gemm_calls",
+                    static_cast<double>(calls.value() - calls0), 0.0)
+            .metric("kernel_gemm_bytes",
+                    static_cast<double>(bytes.value() - bytes0), 0.0)
+            .info("kernel_gemm_nanos",
+                  static_cast<double>(nanos.value()));
+    }
     reporter.write();
     return 0;
 }

@@ -4,12 +4,14 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/errors.h"
 
 namespace buffalo::nn {
 
 namespace ops = buffalo::tensor;
+namespace kernels = buffalo::tensor::kernels;
 
 namespace {
 
@@ -51,18 +53,29 @@ class MeanAggregator : public Aggregator
         c->norm = sqrt_norm_
                       ? 1.0f / std::sqrt(static_cast<float>(d))
                       : 1.0f / static_cast<float>(d);
-        Tensor out = Tensor::zeros(n, dim_, observer);
-        for (std::size_t v = 0; v < n; ++v) {
-            float *dst = out.data() + v * dim_;
-            for (std::size_t t = 0; t < d; ++t) {
-                const float *src =
-                    neighbor_feats.data() + (v * d + t) * dim_;
-                for (std::size_t j = 0; j < dim_; ++j)
-                    dst[j] += src[j];
-            }
-            for (std::size_t j = 0; j < dim_; ++j)
-                dst[j] *= c->norm;
-        }
+        Tensor out = Tensor::uninitialized(n, dim_, observer);
+        kernels::OpTimer timer(kernels::OpClass::Aggregate,
+                               neighbor_feats.bytes() + out.bytes());
+        const float *feats = neighbor_feats.data();
+        float *po = out.data();
+        const float norm = c->norm;
+        const std::size_t dim = dim_;
+        // Node v owns output row v; the t-ascending accumulation is
+        // the serial order for any node partition.
+        kernels::parallelRows(
+            n, n * d * dim, [&](std::size_t v0, std::size_t v1) {
+                for (std::size_t v = v0; v < v1; ++v) {
+                    float *dst = po + v * dim;
+                    std::fill(dst, dst + dim, 0.0f);
+                    for (std::size_t t = 0; t < d; ++t) {
+                        const float *src = feats + (v * d + t) * dim;
+                        for (std::size_t j = 0; j < dim; ++j)
+                            dst[j] += src[j];
+                    }
+                    for (std::size_t j = 0; j < dim; ++j)
+                        dst[j] *= norm;
+                }
+            });
         cache = std::move(c);
         return out;
     }
@@ -73,16 +86,25 @@ class MeanAggregator : public Aggregator
     {
         const auto &cache = static_cast<const Cache &>(cache_base);
         Tensor grad_in =
-            Tensor::zeros(cache.n * cache.d, dim_, observer);
-        for (std::size_t v = 0; v < cache.n; ++v) {
-            const float *src = grad_output.data() + v * dim_;
-            for (std::size_t t = 0; t < cache.d; ++t) {
-                float *dst =
-                    grad_in.data() + (v * cache.d + t) * dim_;
-                for (std::size_t j = 0; j < dim_; ++j)
-                    dst[j] = src[j] * cache.norm;
-            }
-        }
+            Tensor::uninitialized(cache.n * cache.d, dim_, observer);
+        kernels::OpTimer timer(kernels::OpClass::Aggregate,
+                               grad_output.bytes() + grad_in.bytes());
+        const float *pg = grad_output.data();
+        float *pi = grad_in.data();
+        const float norm = cache.norm;
+        const std::size_t d = cache.d, dim = dim_;
+        kernels::parallelRows(
+            cache.n, cache.n * d * dim,
+            [&](std::size_t v0, std::size_t v1) {
+                for (std::size_t v = v0; v < v1; ++v) {
+                    const float *src = pg + v * dim;
+                    for (std::size_t t = 0; t < d; ++t) {
+                        float *dst = pi + (v * d + t) * dim;
+                        for (std::size_t j = 0; j < dim; ++j)
+                            dst[j] = src[j] * norm;
+                    }
+                }
+            });
         return grad_in;
     }
 
@@ -147,23 +169,35 @@ class PoolAggregator : public Aggregator
         c->activated = ops::relu(c->pre_activation, observer);
         c->argmax.assign(n * dim_, 0);
 
-        Tensor out = Tensor::full(n, dim_,
-                                  -std::numeric_limits<float>::infinity(),
-                                  observer);
-        for (std::size_t v = 0; v < n; ++v) {
-            float *dst = out.data() + v * dim_;
-            for (std::size_t t = 0; t < d; ++t) {
-                const std::size_t row = v * d + t;
-                const float *src = c->activated.data() + row * dim_;
-                for (std::size_t j = 0; j < dim_; ++j) {
-                    if (src[j] > dst[j]) {
-                        dst[j] = src[j];
-                        c->argmax[v * dim_ + j] =
-                            static_cast<std::uint32_t>(row);
+        Tensor out = Tensor::uninitialized(n, dim_, observer);
+        kernels::OpTimer timer(kernels::OpClass::Aggregate,
+                               c->activated.bytes() + out.bytes());
+        const float *act = c->activated.data();
+        float *po = out.data();
+        std::uint32_t *argmax = c->argmax.data();
+        const std::size_t dim = dim_;
+        // Node v owns out row v and argmax[v*dim .. ); the max scan is
+        // t-ascending per element, so ties resolve like the serial loop.
+        kernels::parallelRows(
+            n, n * d * dim, [&](std::size_t v0, std::size_t v1) {
+                for (std::size_t v = v0; v < v1; ++v) {
+                    float *dst = po + v * dim;
+                    std::fill(
+                        dst, dst + dim,
+                        -std::numeric_limits<float>::infinity());
+                    for (std::size_t t = 0; t < d; ++t) {
+                        const std::size_t row = v * d + t;
+                        const float *src = act + row * dim;
+                        for (std::size_t j = 0; j < dim; ++j) {
+                            if (src[j] > dst[j]) {
+                                dst[j] = src[j];
+                                argmax[v * dim + j] =
+                                    static_cast<std::uint32_t>(row);
+                            }
+                        }
                     }
                 }
-            }
-        }
+            });
         cache = std::move(c);
         return out;
     }
@@ -175,12 +209,29 @@ class PoolAggregator : public Aggregator
         const auto &cache = static_cast<const Cache &>(cache_base);
         Tensor grad_act =
             Tensor::zeros(cache.n * cache.d, dim_, observer);
-        for (std::size_t v = 0; v < cache.n; ++v) {
-            const float *src = grad_output.data() + v * dim_;
-            for (std::size_t j = 0; j < dim_; ++j) {
-                const std::uint32_t row = cache.argmax[v * dim_ + j];
-                grad_act.data()[row * dim_ + j] += src[j];
-            }
+        {
+            kernels::OpTimer timer(kernels::OpClass::Aggregate,
+                                   grad_output.bytes() +
+                                       grad_act.bytes());
+            const float *pg = grad_output.data();
+            float *pa = grad_act.data();
+            const std::uint32_t *argmax = cache.argmax.data();
+            const std::size_t dim = dim_;
+            // argmax rows for node v lie inside v's own block
+            // [v*d, (v+1)*d), so a node partition owns disjoint
+            // grad_act rows.
+            kernels::parallelRows(
+                cache.n, cache.n * dim,
+                [&](std::size_t v0, std::size_t v1) {
+                    for (std::size_t v = v0; v < v1; ++v) {
+                        const float *src = pg + v * dim;
+                        for (std::size_t j = 0; j < dim; ++j) {
+                            const std::uint32_t row =
+                                argmax[v * dim + j];
+                            pa[row * dim + j] += src[j];
+                        }
+                    }
+                });
         }
         Tensor grad_pre =
             ops::reluBackward(grad_act, cache.pre_activation, observer);
@@ -247,13 +298,23 @@ class LstmAggregator : public Aggregator
 
         Tensor h = Tensor::zeros(n, dim_, observer);
         Tensor state = Tensor::zeros(n, dim_, observer);
+        const float *feats = neighbor_feats.data();
+        const std::size_t dim = dim_;
         for (std::size_t t = 0; t < d; ++t) {
             // x_t: row v*d + t of the node-major layout, for each v.
-            Tensor x_t = Tensor::zeros(n, dim_, observer);
-            for (std::size_t v = 0; v < n; ++v) {
-                const float *src =
-                    neighbor_feats.data() + (v * d + t) * dim_;
-                std::copy(src, src + dim_, x_t.data() + v * dim_);
+            Tensor x_t = Tensor::uninitialized(n, dim_, observer);
+            {
+                float *px = x_t.data();
+                kernels::OpTimer timer(kernels::OpClass::Aggregate,
+                                       2 * x_t.bytes());
+                kernels::parallelRows(
+                    n, n * dim, [&](std::size_t v0, std::size_t v1) {
+                        for (std::size_t v = v0; v < v1; ++v) {
+                            const float *src =
+                                feats + (v * d + t) * dim;
+                            std::copy(src, src + dim, px + v * dim);
+                        }
+                    });
             }
             auto [h_next, c_next] =
                 cell_.step(x_t, h, state, c->steps[t], observer);
@@ -269,20 +330,30 @@ class LstmAggregator : public Aggregator
              AllocationObserver *observer) override
     {
         const auto &cache = static_cast<const Cache &>(cache_base);
+        // Every row (v*d + t) is overwritten exactly once across the
+        // step loop below, so the buffer can start uninitialized.
         Tensor grad_in =
-            Tensor::zeros(cache.n * cache.d, dim_, observer);
+            Tensor::uninitialized(cache.n * cache.d, dim_, observer);
         Tensor dh = grad_output.clone(observer);
         Tensor dc =
             Tensor::zeros(grad_output.rows(), dim_, observer);
+        const std::size_t d = cache.d, dim = dim_;
+        float *pi = grad_in.data();
         for (std::size_t t = cache.d; t-- > 0;) {
             auto grads =
                 cell_.stepBackward(cache.steps[t], dh, dc, observer);
-            for (std::size_t v = 0; v < cache.n; ++v) {
-                const float *src = grads.dx.data() + v * dim_;
-                float *dst =
-                    grad_in.data() + (v * cache.d + t) * dim_;
-                std::copy(src, src + dim_, dst);
-            }
+            const float *px = grads.dx.data();
+            kernels::OpTimer timer(kernels::OpClass::Aggregate,
+                                   2 * grads.dx.bytes());
+            kernels::parallelRows(
+                cache.n, cache.n * dim,
+                [&](std::size_t v0, std::size_t v1) {
+                    for (std::size_t v = v0; v < v1; ++v) {
+                        const float *src = px + v * dim;
+                        std::copy(src, src + dim,
+                                  pi + (v * d + t) * dim);
+                    }
+                });
             dh = std::move(grads.dh_prev);
             dc = std::move(grads.dc_prev);
         }

@@ -51,6 +51,34 @@ inline constexpr char kCtrDeviceOomEvents[] = "device.oom_events";
 // --- Counters: memory audit ----------------------------------------
 inline constexpr char kCtrAuditGroups[] = "audit.groups";
 
+// --- Counters: compute kernels (DESIGN.md, "Compute kernels") ------
+// Per-op-class call counts, cumulative nanoseconds, and bytes moved,
+// recorded by tensor::kernels::OpTimer; gemm_flops counts multiply-add
+// work (2*m*n*k per GEMM). parallel_ops / serial_ops count dispatch
+// decisions (grain policy, nesting, thread budget).
+inline constexpr char kCtrKernelsGemmCalls[] = "kernels.gemm_calls";
+inline constexpr char kCtrKernelsGemmNanos[] = "kernels.gemm_nanos";
+inline constexpr char kCtrKernelsGemmBytes[] = "kernels.gemm_bytes";
+inline constexpr char kCtrKernelsGemmFlops[] = "kernels.gemm_flops";
+inline constexpr char kCtrKernelsElementwiseCalls[] =
+    "kernels.elementwise_calls";
+inline constexpr char kCtrKernelsElementwiseNanos[] =
+    "kernels.elementwise_nanos";
+inline constexpr char kCtrKernelsElementwiseBytes[] =
+    "kernels.elementwise_bytes";
+inline constexpr char kCtrKernelsGatherCalls[] =
+    "kernels.gather_calls";
+inline constexpr char kCtrKernelsGatherNanos[] =
+    "kernels.gather_nanos";
+inline constexpr char kCtrKernelsGatherBytes[] =
+    "kernels.gather_bytes";
+inline constexpr char kCtrKernelsAggCalls[] = "kernels.agg_calls";
+inline constexpr char kCtrKernelsAggNanos[] = "kernels.agg_nanos";
+inline constexpr char kCtrKernelsAggBytes[] = "kernels.agg_bytes";
+inline constexpr char kCtrKernelsParallelOps[] =
+    "kernels.parallel_ops";
+inline constexpr char kCtrKernelsSerialOps[] = "kernels.serial_ops";
+
 // --- Gauges --------------------------------------------------------
 inline constexpr char kGaugeTrainPeakDeviceBytes[] =
     "train.peak_device_bytes";
@@ -119,10 +147,14 @@ inline constexpr const char *kCoreSpans[] = {
     kSpanPipelineSample,
 };
 
-// Metrics any pipelined smoke epoch must register.
+// Metrics any pipelined smoke epoch must register. The kernel
+// counters require Numeric execution (cost-model epochs never run
+// numeric kernels), which the ci.sh smoke epoch uses.
 inline constexpr const char *kCoreMetrics[] = {
     kCtrTrainEpochs,
     kCtrSchedulerSchedules,
+    kCtrKernelsGemmCalls,
+    kCtrKernelsSerialOps,
     kGaugeDevicePeakBytes,
     kGaugeTracerDroppedSpans,
 };

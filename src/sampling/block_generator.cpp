@@ -131,7 +131,13 @@ FastBlockGenerator::generate(const SampledSubgraph &sg,
         block.num_dst = static_cast<NodeId>(dst.size());
         block.offsets.resize(dst.size() + 1, 0);
         if (pool.size() > 1 && dst.size() > 4096) {
-            pool.parallelFor(0, dst.size(), [&](std::size_t i) {
+            // Grain hint: a degree lookup is a couple of loads, so
+            // chunks below ~1k nodes cost more to enqueue than to run
+            // — and when this runs inside a prefetcher worker the
+            // nested-call cap keeps the fan-out at the worker count.
+            util::ParallelForOptions opts;
+            opts.grain = 1024;
+            pool.parallelFor(0, dst.size(), opts, [&](std::size_t i) {
                 block.offsets[i + 1] = adjacency.degree(dst[i]);
             });
         } else {

@@ -1,0 +1,348 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/errors.h"
+#include "util/thread_annotations.h"
+#include "util/thread_pool.h"
+
+namespace buffalo::tensor::kernels {
+
+namespace {
+
+/**
+ * The live configuration. Plain (unlocked) because the contract in
+ * kernels.h restricts mutation to quiescent points; every dispatch
+ * reads it without synchronization.
+ */
+KernelConfig g_config;
+
+/**
+ * Lazily (re)built dedicated pool for explicit thread counts. With
+ * threads == 0 the global pool is used instead and this stays empty.
+ */
+class KernelPool
+{
+  public:
+    util::ThreadPool &
+    get(std::size_t threads)
+    {
+        util::MutexLock lock(mutex_);
+        if (!pool_ || pool_threads_ != threads) {
+            pool_.reset(); // join the old workers first
+            pool_ = std::make_unique<util::ThreadPool>(threads);
+            pool_threads_ = threads;
+        }
+        return *pool_;
+    }
+
+  private:
+    util::Mutex mutex_;
+    std::unique_ptr<util::ThreadPool> pool_ BUFFALO_GUARDED_BY(mutex_);
+    std::size_t pool_threads_ BUFFALO_GUARDED_BY(mutex_) = 0;
+};
+
+KernelPool &
+kernelPool()
+{
+    static KernelPool pool;
+    return pool;
+}
+
+util::ThreadPool &
+dispatchPool()
+{
+    if (g_config.threads == 0)
+        return util::ThreadPool::global();
+    return kernelPool().get(g_config.threads);
+}
+
+/** Counter handles for one op class, fetched once per process. */
+struct OpCounters
+{
+    obs::Counter *calls;
+    obs::Counter *nanos;
+    obs::Counter *bytes;
+};
+
+const OpCounters &
+countersFor(OpClass op_class)
+{
+    using namespace obs::names;
+    static const OpCounters gemm{
+        &obs::metrics().counter(kCtrKernelsGemmCalls),
+        &obs::metrics().counter(kCtrKernelsGemmNanos),
+        &obs::metrics().counter(kCtrKernelsGemmBytes)};
+    static const OpCounters elementwise{
+        &obs::metrics().counter(kCtrKernelsElementwiseCalls),
+        &obs::metrics().counter(kCtrKernelsElementwiseNanos),
+        &obs::metrics().counter(kCtrKernelsElementwiseBytes)};
+    static const OpCounters gather{
+        &obs::metrics().counter(kCtrKernelsGatherCalls),
+        &obs::metrics().counter(kCtrKernelsGatherNanos),
+        &obs::metrics().counter(kCtrKernelsGatherBytes)};
+    static const OpCounters aggregate{
+        &obs::metrics().counter(kCtrKernelsAggCalls),
+        &obs::metrics().counter(kCtrKernelsAggNanos),
+        &obs::metrics().counter(kCtrKernelsAggBytes)};
+    switch (op_class) {
+      case OpClass::Gemm: return gemm;
+      case OpClass::Elementwise: return elementwise;
+      case OpClass::Gather: return gather;
+      case OpClass::Aggregate: return aggregate;
+    }
+    return elementwise;
+}
+
+obs::Counter &
+flopsCounter()
+{
+    static obs::Counter &counter =
+        obs::metrics().counter(obs::names::kCtrKernelsGemmFlops);
+    return counter;
+}
+
+obs::Counter &
+dispatchCounter(bool parallel)
+{
+    static obs::Counter &parallel_ops =
+        obs::metrics().counter(obs::names::kCtrKernelsParallelOps);
+    static obs::Counter &serial_ops =
+        obs::metrics().counter(obs::names::kCtrKernelsSerialOps);
+    return parallel ? parallel_ops : serial_ops;
+}
+
+} // namespace
+
+const KernelConfig &
+config()
+{
+    return g_config;
+}
+
+void
+setConfig(const KernelConfig &cfg)
+{
+    KernelConfig sanitized = cfg;
+    sanitized.tile_n = std::max<std::size_t>(1, sanitized.tile_n);
+    sanitized.tile_k = std::max<std::size_t>(1, sanitized.tile_k);
+    sanitized.min_rows_per_task =
+        std::max<std::size_t>(1, sanitized.min_rows_per_task);
+    g_config = sanitized;
+}
+
+std::size_t
+effectiveThreads()
+{
+    if (g_config.threads != 0)
+        return g_config.threads;
+    return util::ThreadPool::global().size();
+}
+
+bool
+parallelRows(std::size_t rows, std::uint64_t work,
+             const std::function<void(std::size_t, std::size_t)> &body)
+{
+    const KernelConfig &cfg = g_config;
+    std::size_t tasks = std::min(effectiveThreads(), rows);
+    if (tasks > 1)
+        tasks = std::min(
+            tasks, std::max<std::size_t>(
+                       1, rows / cfg.min_rows_per_task));
+    if (tasks <= 1 || work < cfg.min_parallel_work ||
+        util::ThreadPool::inPoolTask()) {
+        dispatchCounter(false).add();
+        body(0, rows);
+        return false;
+    }
+    dispatchCounter(true).add();
+    // Balanced contiguous partition: task t owns rows
+    // [t*q + min(t, r), ...) where q = rows / tasks, r = rows % tasks.
+    // Each output row has exactly one owner, so the per-row (and thus
+    // per-element) arithmetic is independent of the task count.
+    const std::size_t q = rows / tasks;
+    const std::size_t r = rows % tasks;
+    util::ParallelForOptions options;
+    options.grain = 1;
+    options.max_chunks = tasks;
+    dispatchPool().parallelFor(
+        0, tasks, options, [&](std::size_t t) {
+            const std::size_t r0 = t * q + std::min(t, r);
+            const std::size_t r1 = r0 + q + (t < r ? 1 : 0);
+            body(r0, r1);
+        });
+    return true;
+}
+
+void
+gemmRows(const float *a, const float *b, float *c, std::size_t r0,
+         std::size_t r1, std::size_t k, std::size_t n)
+{
+    for (std::size_t i = r0; i < r1; ++i)
+        std::fill(c + i * n, c + (i + 1) * n, 0.0f);
+    if (k == 0 || n == 0)
+        return;
+    const std::size_t tile_k = g_config.tile_k;
+    const std::size_t tile_n = g_config.tile_n;
+    // k-panel outer, j-tile, then all owned rows: the B sub-panel
+    // (tile_k x tile_n) stays cache-resident across the row sweep.
+    // Every C element accumulates k-ascending (panels ascend, kk
+    // ascends within a panel) — the serial order, for any tiling.
+    for (std::size_t kp = 0; kp < k; kp += tile_k) {
+        const std::size_t kend = std::min(k, kp + tile_k);
+        for (std::size_t jp = 0; jp < n; jp += tile_n) {
+            const std::size_t jend = std::min(n, jp + tile_n);
+            std::size_t i = r0;
+            // 4-row micro-kernel: one B load feeds four C rows.
+            for (; i + 4 <= r1; i += 4) {
+                const float *a0 = a + (i + 0) * k;
+                const float *a1 = a + (i + 1) * k;
+                const float *a2 = a + (i + 2) * k;
+                const float *a3 = a + (i + 3) * k;
+                float *c0 = c + (i + 0) * n;
+                float *c1 = c + (i + 1) * n;
+                float *c2 = c + (i + 2) * n;
+                float *c3 = c + (i + 3) * n;
+                for (std::size_t kk = kp; kk < kend; ++kk) {
+                    const float v0 = a0[kk];
+                    const float v1 = a1[kk];
+                    const float v2 = a2[kk];
+                    const float v3 = a3[kk];
+                    const float *brow = b + kk * n;
+                    for (std::size_t j = jp; j < jend; ++j) {
+                        const float bv = brow[j];
+                        c0[j] += v0 * bv;
+                        c1[j] += v1 * bv;
+                        c2[j] += v2 * bv;
+                        c3[j] += v3 * bv;
+                    }
+                }
+            }
+            for (; i < r1; ++i) {
+                const float *arow = a + i * k;
+                float *crow = c + i * n;
+                for (std::size_t kk = kp; kk < kend; ++kk) {
+                    const float av = arow[kk];
+                    const float *brow = b + kk * n;
+                    for (std::size_t j = jp; j < jend; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemmTransposeARows(const float *a, const float *b, float *c,
+                   std::size_t r0, std::size_t r1, std::size_t k,
+                   std::size_t m, std::size_t n)
+{
+    for (std::size_t i = r0; i < r1; ++i)
+        std::fill(c + i * n, c + (i + 1) * n, 0.0f);
+    if (k == 0 || n == 0)
+        return;
+    const std::size_t tile_k = g_config.tile_k;
+    const std::size_t tile_n = g_config.tile_n;
+    for (std::size_t kp = 0; kp < k; kp += tile_k) {
+        const std::size_t kend = std::min(k, kp + tile_k);
+        for (std::size_t jp = 0; jp < n; jp += tile_n) {
+            const std::size_t jend = std::min(n, jp + tile_n);
+            std::size_t i = r0;
+            // Four consecutive C rows = four consecutive A columns;
+            // a[kk*m + i .. i+3] is one contiguous load.
+            for (; i + 4 <= r1; i += 4) {
+                float *c0 = c + (i + 0) * n;
+                float *c1 = c + (i + 1) * n;
+                float *c2 = c + (i + 2) * n;
+                float *c3 = c + (i + 3) * n;
+                for (std::size_t kk = kp; kk < kend; ++kk) {
+                    const float *acol = a + kk * m + i;
+                    const float v0 = acol[0];
+                    const float v1 = acol[1];
+                    const float v2 = acol[2];
+                    const float v3 = acol[3];
+                    const float *brow = b + kk * n;
+                    for (std::size_t j = jp; j < jend; ++j) {
+                        const float bv = brow[j];
+                        c0[j] += v0 * bv;
+                        c1[j] += v1 * bv;
+                        c2[j] += v2 * bv;
+                        c3[j] += v3 * bv;
+                    }
+                }
+            }
+            for (; i < r1; ++i) {
+                float *crow = c + i * n;
+                for (std::size_t kk = kp; kk < kend; ++kk) {
+                    const float av = a[kk * m + i];
+                    const float *brow = b + kk * n;
+                    for (std::size_t j = jp; j < jend; ++j)
+                        crow[j] += av * brow[j];
+                }
+            }
+        }
+    }
+}
+
+void
+gemmTransposeBRows(const float *a, const float *b, float *c,
+                   std::size_t r0, std::size_t r1, std::size_t k,
+                   std::size_t n)
+{
+    for (std::size_t i = r0; i < r1; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        std::size_t j = 0;
+        // Four dot products share each arow load; every accumulator
+        // still sums k-ascending, so blocking is bitwise-neutral.
+        for (; j + 4 <= n; j += 4) {
+            const float *b0 = b + (j + 0) * k;
+            const float *b1 = b + (j + 1) * k;
+            const float *b2 = b + (j + 2) * k;
+            const float *b3 = b + (j + 3) * k;
+            float d0 = 0.0f, d1 = 0.0f, d2 = 0.0f, d3 = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float av = arow[kk];
+                d0 += av * b0[kk];
+                d1 += av * b1[kk];
+                d2 += av * b2[kk];
+                d3 += av * b3[kk];
+            }
+            crow[j + 0] = d0;
+            crow[j + 1] = d1;
+            crow[j + 2] = d2;
+            crow[j + 3] = d3;
+        }
+        for (; j < n; ++j) {
+            const float *brow = b + j * k;
+            float dot = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                dot += arow[kk] * brow[kk];
+            crow[j] = dot;
+        }
+    }
+}
+
+OpTimer::OpTimer(OpClass op_class, std::uint64_t bytes,
+                 std::uint64_t flops)
+    : op_class_(op_class), start_(std::chrono::steady_clock::now())
+{
+    const OpCounters &counters = countersFor(op_class_);
+    counters.calls->add();
+    counters.bytes->add(bytes);
+    if (flops != 0)
+        flopsCounter().add(flops);
+}
+
+OpTimer::~OpTimer()
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    countersFor(op_class_).nanos->add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+}
+
+} // namespace buffalo::tensor::kernels

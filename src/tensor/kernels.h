@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The parallel compute-kernel layer under tensor/ops (DESIGN.md,
+ * "Compute kernels"). Dense GEMM is cache-tiled (B-panel reuse, a
+ * register-blocked 4-row micro-kernel) and every hot kernel fans out
+ * row ranges over a thread pool.
+ *
+ * Determinism contract: parallel execution is **bitwise identical**
+ * to the serial kernel. Work is partitioned so each output row is
+ * owned by exactly one task, and every per-element floating-point
+ * accumulation runs in the same order as the serial reference (k
+ * ascending for GEMM, input-row ascending for scatter-adds). Tile
+ * sizes and thread counts therefore never change results — only
+ * wall-clock.
+ *
+ * Grain policy: ops whose total scalar work falls below
+ * KernelConfig::min_parallel_work run serially inline, so the tiny
+ * micro-buckets SplitExplosionBucket emits never pay dispatch
+ * overhead. Kernels invoked from inside a thread-pool task (e.g. the
+ * prefetcher's feature stage) also stay serial so compute parallelism
+ * composes with the pipeline instead of oversubscribing it.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace buffalo::tensor::kernels {
+
+/** Tunables for the kernel layer (TrainerOptions::kernels, CLI
+ *  --kernel-threads). Changing values never changes numerics. */
+struct KernelConfig
+{
+    /** Worker threads for kernel fan-out; 0 = hardware concurrency
+     *  (the process-global pool). 1 forces serial execution. */
+    std::size_t threads = 0;
+    /** GEMM B-panel width (columns per tile). */
+    std::size_t tile_n = 64;
+    /** GEMM k-panel depth (rows of B per tile). */
+    std::size_t tile_k = 128;
+    /** Scalar-op count below which an op runs serially inline. */
+    std::size_t min_parallel_work = 1u << 15;
+    /** Minimum output rows (or elements) per parallel task. */
+    std::size_t min_rows_per_task = 8;
+};
+
+/**
+ * The process-wide kernel configuration. Read on every op dispatch;
+ * mutate only via setConfig(), and only while no kernels are running
+ * (trainer construction, test setup).
+ */
+const KernelConfig &config();
+
+/** Installs @p cfg (sanitizing zero tile sizes) process-wide. */
+void setConfig(const KernelConfig &cfg);
+
+/** Threads a parallel dispatch would use under the current config. */
+std::size_t effectiveThreads();
+
+/**
+ * Partitions [0, rows) into contiguous ranges — each row owned by
+ * exactly one task — and runs body(begin, end) for every range.
+ * Runs body(0, rows) serially inline when @p work (total scalar ops)
+ * is below the configured grain, only one thread is available, or the
+ * caller is already inside a pool task. @return true if the op was
+ * dispatched in parallel. Records the kernels.parallel_ops /
+ * kernels.serial_ops counters either way.
+ */
+bool parallelRows(std::size_t rows, std::uint64_t work,
+                  const std::function<void(std::size_t, std::size_t)>
+                      &body);
+
+/**
+ * C = A * B over rows [r0, r1) of C. A is m x k, B is k x n, all
+ * row-major. Zero-fills the owned C rows first (outputs may come from
+ * Tensor::uninitialized), then accumulates k-ascending — bitwise
+ * equal to the serial i-k-j loop for any tiling or row partition.
+ */
+void gemmRows(const float *a, const float *b, float *c, std::size_t r0,
+              std::size_t r1, std::size_t k, std::size_t n);
+
+/**
+ * C = A^T * B over rows [r0, r1) of C. A is k x m, B is k x n,
+ * C is m x n. Same zero-fill + k-ascending contract as gemmRows.
+ */
+void gemmTransposeARows(const float *a, const float *b, float *c,
+                        std::size_t r0, std::size_t r1, std::size_t k,
+                        std::size_t m, std::size_t n);
+
+/**
+ * C = A * B^T over rows [r0, r1) of C. A is m x k, B is n x k,
+ * C is m x n. Each element is one sequential k-ascending dot product.
+ */
+void gemmTransposeBRows(const float *a, const float *b, float *c,
+                        std::size_t r0, std::size_t r1, std::size_t k,
+                        std::size_t n);
+
+/** Instrumented op classes (obs counters kernels.<class>_*). */
+enum class OpClass { Gemm, Elementwise, Gather, Aggregate };
+
+/**
+ * RAII per-op instrumentation: records one call and @p bytes moved at
+ * construction, elapsed nanoseconds at destruction, into the metrics
+ * registry (names.h kernels.* counters). Cheap: four relaxed atomic
+ * adds and two steady_clock reads per op.
+ */
+class OpTimer
+{
+  public:
+    OpTimer(OpClass op_class, std::uint64_t bytes,
+            std::uint64_t flops = 0);
+    ~OpTimer();
+
+    OpTimer(const OpTimer &) = delete;
+    OpTimer &operator=(const OpTimer &) = delete;
+
+  private:
+    OpClass op_class_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace buffalo::tensor::kernels

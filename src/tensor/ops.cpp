@@ -4,11 +4,15 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernels.h"
 #include "util/errors.h"
 
 namespace buffalo::tensor {
 
 namespace {
+
+using kernels::OpClass;
+using kernels::OpTimer;
 
 void
 checkSameShape(const Tensor &a, const Tensor &b, const char *op)
@@ -23,21 +27,16 @@ Tensor
 matmul(const Tensor &a, const Tensor &b, AllocationObserver *observer)
 {
     checkArgument(a.cols() == b.rows(), "matmul: inner dims must match");
-    Tensor c = Tensor::zeros(a.rows(), b.cols(), observer);
     const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
-    // i-k-j loop order keeps the inner loop contiguous in B and C.
-    for (std::size_t i = 0; i < m; ++i) {
-        float *crow = c.data() + i * n;
-        const float *arow = a.data() + i * k;
-        for (std::size_t kk = 0; kk < k; ++kk) {
-            const float av = arow[kk];
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.data() + kk * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    Tensor c = Tensor::uninitialized(m, n, observer);
+    OpTimer timer(OpClass::Gemm,
+                  (m * k + k * n + m * n) * sizeof(float),
+                  2ull * m * n * k);
+    kernels::parallelRows(m, m * n * k,
+                          [&](std::size_t r0, std::size_t r1) {
+                              kernels::gemmRows(a.data(), b.data(),
+                                                c.data(), r0, r1, k, n);
+                          });
     return c;
 }
 
@@ -47,20 +46,16 @@ matmulTransposeA(const Tensor &a, const Tensor &b,
 {
     checkArgument(a.rows() == b.rows(),
                   "matmulTransposeA: row counts must match");
-    Tensor c = Tensor::zeros(a.cols(), b.cols(), observer);
     const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-    for (std::size_t kk = 0; kk < k; ++kk) {
-        const float *arow = a.data() + kk * m;
-        const float *brow = b.data() + kk * n;
-        for (std::size_t i = 0; i < m; ++i) {
-            const float av = arow[i];
-            if (av == 0.0f)
-                continue;
-            float *crow = c.data() + i * n;
-            for (std::size_t j = 0; j < n; ++j)
-                crow[j] += av * brow[j];
-        }
-    }
+    Tensor c = Tensor::uninitialized(m, n, observer);
+    OpTimer timer(OpClass::Gemm,
+                  (m * k + k * n + m * n) * sizeof(float),
+                  2ull * m * n * k);
+    kernels::parallelRows(
+        m, m * n * k, [&](std::size_t r0, std::size_t r1) {
+            kernels::gemmTransposeARows(a.data(), b.data(), c.data(),
+                                        r0, r1, k, m, n);
+        });
     return c;
 }
 
@@ -70,19 +65,16 @@ matmulTransposeB(const Tensor &a, const Tensor &b,
 {
     checkArgument(a.cols() == b.cols(),
                   "matmulTransposeB: col counts must match");
-    Tensor c = Tensor::zeros(a.rows(), b.rows(), observer);
     const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
-    for (std::size_t i = 0; i < m; ++i) {
-        const float *arow = a.data() + i * k;
-        float *crow = c.data() + i * n;
-        for (std::size_t j = 0; j < n; ++j) {
-            const float *brow = b.data() + j * k;
-            float dot = 0.0f;
-            for (std::size_t kk = 0; kk < k; ++kk)
-                dot += arow[kk] * brow[kk];
-            crow[j] = dot;
-        }
-    }
+    Tensor c = Tensor::uninitialized(m, n, observer);
+    OpTimer timer(OpClass::Gemm,
+                  (m * k + k * n + m * n) * sizeof(float),
+                  2ull * m * n * k);
+    kernels::parallelRows(
+        m, m * n * k, [&](std::size_t r0, std::size_t r1) {
+            kernels::gemmTransposeBRows(a.data(), b.data(), c.data(),
+                                        r0, r1, k, n);
+        });
     return c;
 }
 
@@ -90,9 +82,15 @@ Tensor
 add(const Tensor &a, const Tensor &b, AllocationObserver *observer)
 {
     checkSameShape(a, b, "add");
-    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
-    for (std::size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] + b.data()[i];
+    Tensor c = Tensor::uninitialized(a.rows(), a.cols(), observer);
+    OpTimer timer(OpClass::Elementwise, 3 * a.bytes());
+    const float *pa = a.data(), *pb = b.data();
+    float *pc = c.data();
+    kernels::parallelRows(a.size(), a.size(),
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  pc[i] = pa[i] + pb[i];
+                          });
     return c;
 }
 
@@ -100,9 +98,15 @@ Tensor
 subtract(const Tensor &a, const Tensor &b, AllocationObserver *observer)
 {
     checkSameShape(a, b, "subtract");
-    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
-    for (std::size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] - b.data()[i];
+    Tensor c = Tensor::uninitialized(a.rows(), a.cols(), observer);
+    OpTimer timer(OpClass::Elementwise, 3 * a.bytes());
+    const float *pa = a.data(), *pb = b.data();
+    float *pc = c.data();
+    kernels::parallelRows(a.size(), a.size(),
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  pc[i] = pa[i] - pb[i];
+                          });
     return c;
 }
 
@@ -110,18 +114,30 @@ Tensor
 multiply(const Tensor &a, const Tensor &b, AllocationObserver *observer)
 {
     checkSameShape(a, b, "multiply");
-    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
-    for (std::size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] * b.data()[i];
+    Tensor c = Tensor::uninitialized(a.rows(), a.cols(), observer);
+    OpTimer timer(OpClass::Elementwise, 3 * a.bytes());
+    const float *pa = a.data(), *pb = b.data();
+    float *pc = c.data();
+    kernels::parallelRows(a.size(), a.size(),
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  pc[i] = pa[i] * pb[i];
+                          });
     return c;
 }
 
 Tensor
 scale(const Tensor &a, float s, AllocationObserver *observer)
 {
-    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
-    for (std::size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = a.data()[i] * s;
+    Tensor c = Tensor::uninitialized(a.rows(), a.cols(), observer);
+    OpTimer timer(OpClass::Elementwise, 2 * a.bytes());
+    const float *pa = a.data();
+    float *pc = c.data();
+    kernels::parallelRows(a.size(), a.size(),
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  pc[i] = pa[i] * s;
+                          });
     return c;
 }
 
@@ -129,15 +145,26 @@ void
 addInPlace(Tensor &a, const Tensor &b)
 {
     checkSameShape(a, b, "addInPlace");
-    for (std::size_t i = 0; i < a.size(); ++i)
-        a.data()[i] += b.data()[i];
+    OpTimer timer(OpClass::Elementwise, 3 * a.bytes());
+    float *pa = a.data();
+    const float *pb = b.data();
+    kernels::parallelRows(a.size(), a.size(),
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  pa[i] += pb[i];
+                          });
 }
 
 void
 scaleInPlace(Tensor &a, float s)
 {
-    for (std::size_t i = 0; i < a.size(); ++i)
-        a.data()[i] *= s;
+    OpTimer timer(OpClass::Elementwise, 2 * a.bytes());
+    float *pa = a.data();
+    kernels::parallelRows(a.size(), a.size(),
+                          [&](std::size_t lo, std::size_t hi) {
+                              for (std::size_t i = lo; i < hi; ++i)
+                                  pa[i] *= s;
+                          });
 }
 
 void
@@ -152,29 +179,57 @@ addRowBroadcast(const Tensor &a, const Tensor &bias,
 {
     checkArgument(bias.rows() == 1 && bias.cols() == a.cols(),
                   "addRowBroadcast: bias must be 1 x cols");
-    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
-    for (std::size_t i = 0; i < a.rows(); ++i)
-        for (std::size_t j = 0; j < a.cols(); ++j)
-            c.at(i, j) = a.at(i, j) + bias.at(0, j);
+    const std::size_t n = a.cols();
+    Tensor c = Tensor::uninitialized(a.rows(), n, observer);
+    OpTimer timer(OpClass::Elementwise, 2 * a.bytes() + bias.bytes());
+    const float *pa = a.data(), *pbias = bias.data();
+    float *pc = c.data();
+    kernels::parallelRows(
+        a.rows(), a.size(), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = r0; i < r1; ++i) {
+                const float *arow = pa + i * n;
+                float *crow = pc + i * n;
+                for (std::size_t j = 0; j < n; ++j)
+                    crow[j] = arow[j] + pbias[j];
+            }
+        });
     return c;
 }
 
 Tensor
 columnSum(const Tensor &a, AllocationObserver *observer)
 {
-    Tensor c = Tensor::zeros(1, a.cols(), observer);
-    for (std::size_t i = 0; i < a.rows(); ++i)
-        for (std::size_t j = 0; j < a.cols(); ++j)
-            c.at(0, j) += a.at(i, j);
+    const std::size_t rows = a.rows(), n = a.cols();
+    Tensor c = Tensor::uninitialized(1, n, observer);
+    OpTimer timer(OpClass::Elementwise, a.bytes() + c.bytes());
+    const float *pa = a.data();
+    float *pc = c.data();
+    // Parallel over disjoint column ranges; each column accumulates
+    // row-ascending exactly like the serial i-j loop.
+    kernels::parallelRows(
+        n, a.size(), [&](std::size_t c0, std::size_t c1) {
+            std::fill(pc + c0, pc + c1, 0.0f);
+            for (std::size_t i = 0; i < rows; ++i) {
+                const float *arow = pa + i * n;
+                for (std::size_t j = c0; j < c1; ++j)
+                    pc[j] += arow[j];
+            }
+        });
     return c;
 }
 
 Tensor
 relu(const Tensor &a, AllocationObserver *observer)
 {
-    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
-    for (std::size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = std::max(0.0f, a.data()[i]);
+    Tensor c = Tensor::uninitialized(a.rows(), a.cols(), observer);
+    OpTimer timer(OpClass::Elementwise, 2 * a.bytes());
+    const float *pa = a.data();
+    float *pc = c.data();
+    kernels::parallelRows(
+        a.size(), a.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                pc[i] = std::max(0.0f, pa[i]);
+        });
     return c;
 }
 
@@ -183,28 +238,47 @@ reluBackward(const Tensor &grad, const Tensor &pre_activation,
              AllocationObserver *observer)
 {
     checkSameShape(grad, pre_activation, "reluBackward");
-    Tensor c = Tensor::zeros(grad.rows(), grad.cols(), observer);
-    for (std::size_t i = 0; i < grad.size(); ++i)
-        c.data()[i] =
-            pre_activation.data()[i] > 0.0f ? grad.data()[i] : 0.0f;
+    Tensor c = Tensor::uninitialized(grad.rows(), grad.cols(), observer);
+    OpTimer timer(OpClass::Elementwise, 3 * grad.bytes());
+    const float *pg = grad.data(), *pp = pre_activation.data();
+    float *pc = c.data();
+    kernels::parallelRows(
+        grad.size(), grad.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                pc[i] = pp[i] > 0.0f ? pg[i] : 0.0f;
+        });
     return c;
 }
 
 Tensor
 sigmoid(const Tensor &a, AllocationObserver *observer)
 {
-    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
-    for (std::size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+    Tensor c = Tensor::uninitialized(a.rows(), a.cols(), observer);
+    OpTimer timer(OpClass::Elementwise, 2 * a.bytes());
+    const float *pa = a.data();
+    float *pc = c.data();
+    // Transcendental cost per element is ~20 flops; weight the work
+    // estimate accordingly so mid-sized activations still fan out.
+    kernels::parallelRows(
+        a.size(), 20 * a.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                pc[i] = 1.0f / (1.0f + std::exp(-pa[i]));
+        });
     return c;
 }
 
 Tensor
 tanh(const Tensor &a, AllocationObserver *observer)
 {
-    Tensor c = Tensor::zeros(a.rows(), a.cols(), observer);
-    for (std::size_t i = 0; i < a.size(); ++i)
-        c.data()[i] = std::tanh(a.data()[i]);
+    Tensor c = Tensor::uninitialized(a.rows(), a.cols(), observer);
+    OpTimer timer(OpClass::Elementwise, 2 * a.bytes());
+    const float *pa = a.data();
+    float *pc = c.data();
+    kernels::parallelRows(
+        a.size(), 20 * a.size(), [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t i = lo; i < hi; ++i)
+                pc[i] = std::tanh(pa[i]);
+        });
     return c;
 }
 
@@ -214,13 +288,20 @@ concatColumns(const Tensor &a, const Tensor &b,
 {
     checkArgument(a.rows() == b.rows(),
                   "concatColumns: row counts must match");
-    Tensor c = Tensor::zeros(a.rows(), a.cols() + b.cols(), observer);
-    for (std::size_t i = 0; i < a.rows(); ++i) {
-        std::memcpy(c.data() + i * c.cols(), a.data() + i * a.cols(),
-                    a.cols() * sizeof(float));
-        std::memcpy(c.data() + i * c.cols() + a.cols(),
-                    b.data() + i * b.cols(), b.cols() * sizeof(float));
-    }
+    Tensor c =
+        Tensor::uninitialized(a.rows(), a.cols() + b.cols(), observer);
+    OpTimer timer(OpClass::Gather, a.bytes() + b.bytes() + c.bytes());
+    kernels::parallelRows(
+        a.rows(), c.size(), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = r0; i < r1; ++i) {
+                std::memcpy(c.data() + i * c.cols(),
+                            a.data() + i * a.cols(),
+                            a.cols() * sizeof(float));
+                std::memcpy(c.data() + i * c.cols() + a.cols(),
+                            b.data() + i * b.cols(),
+                            b.cols() * sizeof(float));
+            }
+        });
     return c;
 }
 
@@ -230,11 +311,15 @@ sliceColumns(const Tensor &a, std::size_t begin, std::size_t end,
 {
     checkArgument(begin <= end && end <= a.cols(),
                   "sliceColumns: invalid column range");
-    Tensor c = Tensor::zeros(a.rows(), end - begin, observer);
-    for (std::size_t i = 0; i < a.rows(); ++i)
-        std::memcpy(c.data() + i * c.cols(),
-                    a.data() + i * a.cols() + begin,
-                    c.cols() * sizeof(float));
+    Tensor c = Tensor::uninitialized(a.rows(), end - begin, observer);
+    OpTimer timer(OpClass::Gather, 2 * c.bytes());
+    kernels::parallelRows(
+        a.rows(), c.size(), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = r0; i < r1; ++i)
+                std::memcpy(c.data() + i * c.cols(),
+                            a.data() + i * a.cols() + begin,
+                            c.cols() * sizeof(float));
+        });
     return c;
 }
 
@@ -242,14 +327,18 @@ Tensor
 gatherRows(const Tensor &a, const std::vector<std::uint32_t> &indices,
            AllocationObserver *observer)
 {
-    Tensor c = Tensor::zeros(indices.size(), a.cols(), observer);
-    for (std::size_t i = 0; i < indices.size(); ++i) {
+    for (std::size_t i = 0; i < indices.size(); ++i)
         checkArgument(indices[i] < a.rows(),
                       "gatherRows: index out of range");
-        std::memcpy(c.data() + i * c.cols(),
-                    a.data() + indices[i] * a.cols(),
-                    a.cols() * sizeof(float));
-    }
+    Tensor c = Tensor::uninitialized(indices.size(), a.cols(), observer);
+    OpTimer timer(OpClass::Gather, 2 * c.bytes());
+    kernels::parallelRows(
+        indices.size(), c.size(), [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = r0; i < r1; ++i)
+                std::memcpy(c.data() + i * c.cols(),
+                            a.data() + indices[i] * a.cols(),
+                            a.cols() * sizeof(float));
+        });
     return c;
 }
 
@@ -261,14 +350,28 @@ scatterAddRows(Tensor &out, const Tensor &a,
                   "scatterAddRows: need one index per input row");
     checkArgument(out.cols() == a.cols(),
                   "scatterAddRows: column counts must match");
-    for (std::size_t i = 0; i < indices.size(); ++i) {
+    for (std::size_t i = 0; i < indices.size(); ++i)
         checkArgument(indices[i] < out.rows(),
                       "scatterAddRows: index out of range");
-        float *dst = out.data() + indices[i] * out.cols();
-        const float *src = a.data() + i * a.cols();
-        for (std::size_t j = 0; j < a.cols(); ++j)
-            dst[j] += src[j];
-    }
+    OpTimer timer(OpClass::Gather, 3 * a.bytes());
+    const std::size_t cols = a.cols();
+    // Owner-partitioned over *output* rows: every task scans the whole
+    // index list but only touches rows it owns, so duplicate indices
+    // accumulate input-ascending exactly like the serial loop — for
+    // any thread count.
+    kernels::parallelRows(
+        out.rows(), a.size() + indices.size(),
+        [&](std::size_t r0, std::size_t r1) {
+            for (std::size_t i = 0; i < indices.size(); ++i) {
+                const std::size_t row = indices[i];
+                if (row < r0 || row >= r1)
+                    continue;
+                float *dst = out.data() + row * cols;
+                const float *src = a.data() + i * cols;
+                for (std::size_t j = 0; j < cols; ++j)
+                    dst[j] += src[j];
+            }
+        });
 }
 
 void

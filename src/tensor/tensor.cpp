@@ -2,22 +2,54 @@
 
 #include <algorithm>
 #include <cstring>
+#include <type_traits>
 
 #include "util/errors.h"
 
 namespace buffalo::tensor {
 
+namespace {
+
+/**
+ * std::allocator whose value-less construct() default-initializes
+ * instead of value-initializing: resize() on a float vector leaves
+ * the new elements uninitialized (no zero-fill pass), while assign()
+ * and friends still value-construct as usual.
+ */
+template <class T>
+struct DefaultInitAllocator : std::allocator<T>
+{
+    template <class U>
+    void
+    construct(U *p) noexcept(std::is_nothrow_default_constructible_v<U>)
+    {
+        ::new (static_cast<void *>(p)) U;
+    }
+
+    template <class U, class... Args>
+    void
+    construct(U *p, Args &&...args)
+    {
+        ::new (static_cast<void *>(p)) U(std::forward<Args>(args)...);
+    }
+};
+
+} // namespace
+
 /** Owning float buffer that reports its lifetime to an observer. */
 struct Tensor::Storage
 {
-    Storage(std::size_t count, AllocationObserver *obs)
+    Storage(std::size_t count, AllocationObserver *obs, bool zero)
         : bytes(count * sizeof(float)), observer(obs)
     {
         // Observer may throw (device OOM); allocate only if accepted.
         if (observer)
             observer->onAllocate(bytes);
         try {
-            values.assign(count, 0.0f);
+            if (zero)
+                values.assign(count, 0.0f);
+            else
+                values.resize(count); // default-init: no zero pass
         } catch (...) {
             if (observer)
                 observer->onFree(bytes);
@@ -34,7 +66,7 @@ struct Tensor::Storage
     Storage(const Storage &) = delete;
     Storage &operator=(const Storage &) = delete;
 
-    std::vector<float> values;
+    std::vector<float, DefaultInitAllocator<float>> values;
     std::uint64_t bytes;
     AllocationObserver *observer;
 };
@@ -49,7 +81,17 @@ Tensor
 Tensor::zeros(std::size_t rows, std::size_t cols,
               AllocationObserver *observer)
 {
-    auto storage = std::make_shared<Storage>(rows * cols, observer);
+    auto storage =
+        std::make_shared<Storage>(rows * cols, observer, true);
+    return Tensor(rows, cols, std::move(storage));
+}
+
+Tensor
+Tensor::uninitialized(std::size_t rows, std::size_t cols,
+                      AllocationObserver *observer)
+{
+    auto storage =
+        std::make_shared<Storage>(rows * cols, observer, false);
     return Tensor(rows, cols, std::move(storage));
 }
 
@@ -57,7 +99,7 @@ Tensor
 Tensor::full(std::size_t rows, std::size_t cols, float value,
              AllocationObserver *observer)
 {
-    Tensor t = zeros(rows, cols, observer);
+    Tensor t = uninitialized(rows, cols, observer);
     std::fill(t.data(), t.data() + t.size(), value);
     return t;
 }
@@ -76,7 +118,9 @@ Tensor::fromValues(std::size_t rows, std::size_t cols,
 {
     checkArgument(values.size() == rows * cols,
                   "Tensor::fromValues: value count must equal rows*cols");
-    Tensor t = zeros(rows, cols, observer);
+    if (values.empty())
+        return zeros(rows, cols, observer);
+    Tensor t = uninitialized(rows, cols, observer);
     if (!values.empty())
         std::memcpy(t.data(), values.data(),
                     values.size() * sizeof(float));
@@ -116,8 +160,9 @@ Tensor::clone(AllocationObserver *observer) const
         return Tensor();
     if (!observer)
         observer = storage_->observer;
-    Tensor copy = zeros(rows_, cols_, observer);
-    std::memcpy(copy.data(), data(), size() * sizeof(float));
+    Tensor copy = uninitialized(rows_, cols_, observer);
+    if (size() > 0)
+        std::memcpy(copy.data(), data(), size() * sizeof(float));
     return copy;
 }
 

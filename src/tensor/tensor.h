@@ -46,6 +46,15 @@ class Tensor
     static Tensor zeros(std::size_t rows, std::size_t cols,
                         AllocationObserver *observer = nullptr);
 
+    /**
+     * Allocates rows x cols floats *without* initializing them —
+     * element values are indeterminate until written. For kernel
+     * outputs that are fully overwritten, this skips the page-touching
+     * zero pass zeros() pays (accumulation targets must keep zeros()).
+     */
+    static Tensor uninitialized(std::size_t rows, std::size_t cols,
+                                AllocationObserver *observer = nullptr);
+
     /** Allocates and fills with @p value. */
     static Tensor full(std::size_t rows, std::size_t cols, float value,
                        AllocationObserver *observer = nullptr);

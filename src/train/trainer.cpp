@@ -61,6 +61,10 @@ TrainerBase::TrainerBase(const TrainerOptions &options,
     checkArgument(options_.fanouts.size() ==
                       static_cast<std::size_t>(options_.model.num_layers),
                   "TrainerBase: fanouts must match model depth");
+    // Kernel tunables are process-wide (the tensor layer has no
+    // per-trainer state); the last trainer constructed wins, which is
+    // the right answer for every CLI / test we have.
+    tensor::kernels::setConfig(options_.kernels);
 
     // Numeric mode keeps weights/optimizer state under the device
     // allocator for byte-exact accounting; cost-model mode charges the

@@ -32,6 +32,7 @@
 #include "obs/phase.h"
 #include "sampling/block_generator.h"
 #include "sampling/sampled_subgraph.h"
+#include "tensor/kernels.h"
 #include "train/model_adapter.h"
 #include "train/report.h"
 #include "util/rng.h"
@@ -64,6 +65,9 @@ struct TrainerOptions
     core::SchedulerOptions scheduler;
     /** Prefetch/cache knobs (PipelineTrainer; serial trainers ignore). */
     PipelineOptions pipeline;
+    /** Compute-kernel tunables (threads, tiles, grain). Installed
+     *  process-wide at trainer construction; never affects numerics. */
+    tensor::kernels::KernelConfig kernels;
     /** Invoked after every trainEpoch() with the finished report. */
     EpochObserver epoch_observer;
 };

@@ -8,6 +8,27 @@
 
 namespace buffalo::util {
 
+namespace {
+
+/**
+ * Depth of pool-task nesting on this thread, across all pools. Raised
+ * around every task execution (worker loop and help-draining), so
+ * ThreadPool::inPoolTask() answers "would fanning out here contend
+ * with an enclosing task for the same workers?".
+ */
+thread_local std::size_t tls_task_depth = 0;
+
+/** RAII increment of tls_task_depth around one task execution. */
+struct TaskScope
+{
+    TaskScope() { ++tls_task_depth; }
+    ~TaskScope() { --tls_task_depth; }
+    TaskScope(const TaskScope &) = delete;
+    TaskScope &operator=(const TaskScope &) = delete;
+};
+
+} // namespace
+
 ThreadPool::ThreadPool(std::size_t num_threads)
 {
     if (num_threads == 0) {
@@ -63,7 +84,10 @@ ThreadPool::workerLoop()
             task = std::move(tasks_.front());
             tasks_.pop();
         }
-        task();
+        {
+            TaskScope scope;
+            task();
+        }
         {
             MutexLock lock(mutex_);
             if (--in_flight_ == 0)
@@ -83,7 +107,10 @@ ThreadPool::runOneTask()
         task = std::move(tasks_.front());
         tasks_.pop();
     }
-    task();
+    {
+        TaskScope scope;
+        task();
+    }
     {
         MutexLock lock(mutex_);
         if (--in_flight_ == 0)
@@ -96,11 +123,37 @@ void
 ThreadPool::parallelFor(std::size_t begin, std::size_t end,
                         const std::function<void(std::size_t)> &body)
 {
+    parallelFor(begin, end, ParallelForOptions{}, body);
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const ParallelForOptions &options,
+                        const std::function<void(std::size_t)> &body)
+{
     // Empty ranges never touch the queue (or its lock).
     if (begin >= end)
         return;
     const std::size_t count = end - begin;
-    const std::size_t chunks = std::min(count, size() * 4);
+    const std::size_t grain = std::max<std::size_t>(1, options.grain);
+    std::size_t max_chunks =
+        options.max_chunks != 0 ? options.max_chunks : size() * 4;
+    // Nested fan-out: an enclosing task already occupies a worker, so
+    // enqueueing 4x-worker chunks only thrashes the queue this thread
+    // is about to help-drain. One chunk per worker is the most that
+    // can run concurrently anyway.
+    if (inPoolTask())
+        max_chunks = std::min(max_chunks, size());
+    std::size_t chunks = std::min(
+        {count, max_chunks, std::max<std::size_t>(1, count / grain)});
+    if (chunks <= 1) {
+        // Below-grain (or single-chunk) ranges run inline: same
+        // iteration order, no queue traffic, exceptions propagate
+        // directly to the caller as the contract promises.
+        for (std::size_t i = begin; i < end; ++i)
+            body(i);
+        return;
+    }
     const std::size_t chunk_size = (count + chunks - 1) / chunks;
 
     // Shared (not stack) completion state: the caller may wake and
@@ -159,6 +212,12 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     }
     if (error)
         std::rethrow_exception(error);
+}
+
+bool
+ThreadPool::inPoolTask()
+{
+    return tls_task_depth > 0;
 }
 
 ThreadPool &

@@ -16,6 +16,29 @@
 
 namespace buffalo::util {
 
+/**
+ * Tuning hints for ThreadPool::parallelFor. Defaults reproduce the
+ * historical behaviour (chunk count capped at 4x the worker count,
+ * no minimum chunk size).
+ */
+struct ParallelForOptions
+{
+    /**
+     * Minimum iterations per chunk. Ranges smaller than 2 * grain run
+     * inline on the calling thread without touching the task queue,
+     * so callers with tiny per-iteration work (e.g. micro-bucket
+     * kernels) can opt out of dispatch overhead declaratively.
+     */
+    std::size_t grain = 1;
+    /**
+     * Upper bound on the number of chunks enqueued; 0 selects the
+     * default (4x the worker count). Kernel-level callers pass their
+     * own thread budget here so compute parallelism composes with the
+     * pipeline instead of flooding the shared queue.
+     */
+    std::size_t max_chunks = 0;
+};
+
 /** Fixed-size worker pool; tasks are std::function<void()>. */
 class ThreadPool
 {
@@ -60,10 +83,27 @@ class ThreadPool
      * a submitted job that itself fans out). While waiting for its
      * chunks, the calling thread *helps* by draining other queued tasks,
      * so nested calls make progress even when every worker is busy and
-     * cannot deadlock on pool capacity.
+     * cannot deadlock on pool capacity. Nested calls additionally cap
+     * their chunk count at the worker count (instead of 4x) so a
+     * fan-out issued from inside a long-running task — the prefetcher's
+     * build stage calling the block generator, say — does not flood
+     * the queue it is itself draining.
      */
     void parallelFor(std::size_t begin, std::size_t end,
                      const std::function<void(std::size_t)> &body);
+
+    /** parallelFor with explicit grain / max-parallelism hints. */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const ParallelForOptions &options,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * True when the calling thread is currently executing a task of
+     * *any* ThreadPool (a worker's task or one help-drained during a
+     * nested parallelFor wait). Compute layers consult this to keep
+     * nested kernels serial instead of oversubscribing the pool.
+     */
+    static bool inPoolTask();
 
     /** Returns a process-wide shared pool (lazily constructed). */
     static ThreadPool &global();

@@ -1,0 +1,390 @@
+/**
+ * @file
+ * The determinism contract of the tensor::kernels layer (DESIGN.md,
+ * "Compute kernels"): parallel execution must be *bitwise identical*
+ * to serial execution — for every op, shape class (empty, single,
+ * odd, tile-multiple, tile+1), tile configuration, and thread count —
+ * and kernels invoked from inside a pool task must stay serial.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "nn/aggregators.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace buffalo::tensor {
+namespace {
+
+namespace ops = buffalo::tensor;
+
+kernels::KernelConfig
+serialConfig()
+{
+    kernels::KernelConfig cfg;
+    cfg.threads = 1;
+    return cfg;
+}
+
+/** Forces parallel dispatch for even the tiniest shapes. */
+kernels::KernelConfig
+parallelConfig(std::size_t threads = 4)
+{
+    kernels::KernelConfig cfg;
+    cfg.threads = threads;
+    cfg.min_parallel_work = 1;
+    cfg.min_rows_per_task = 1;
+    return cfg;
+}
+
+Tensor
+randomTensor(std::size_t rows, std::size_t cols, util::Rng &rng)
+{
+    Tensor t = Tensor::zeros(rows, cols);
+    ops::fillUniform(t, 2.0f, rng);
+    return t;
+}
+
+bool
+bitwiseEqual(const Tensor &a, const Tensor &b)
+{
+    if (a.rows() != b.rows() || a.cols() != b.cols())
+        return false;
+    if (a.size() == 0)
+        return true;
+    return std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(float)) == 0;
+}
+
+/**
+ * Naive references, written with the exact accumulation expression
+ * forms the tiled kernels use (`acc += a * b`), so FP contraction
+ * produces identical per-element operations.
+ */
+Tensor
+refMatmul(const Tensor &a, const Tensor &b)
+{
+    const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+    Tensor c = Tensor::zeros(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        float *crow = c.data() + i * n;
+        const float *arow = a.data() + i * k;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float *brow = b.data() + kk * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+refMatmulTransposeA(const Tensor &a, const Tensor &b)
+{
+    const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+    Tensor c = Tensor::zeros(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        float *crow = c.data() + i * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = a.data()[kk * m + i];
+            const float *brow = b.data() + kk * n;
+            for (std::size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Tensor
+refMatmulTransposeB(const Tensor &a, const Tensor &b)
+{
+    const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+    Tensor c = Tensor::zeros(m, n);
+    for (std::size_t i = 0; i < m; ++i) {
+        const float *arow = a.data() + i * k;
+        float *crow = c.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) {
+            const float *brow = b.data() + j * k;
+            float dot = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                dot += arow[kk] * brow[kk];
+            crow[j] = dot;
+        }
+    }
+    return c;
+}
+
+class KernelsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { kernels::setConfig({}); }
+};
+
+/** Shape classes: empty, single, odd, tile-multiple, tile+1. */
+const std::size_t kDims[] = {0, 1, 3, 64, 65, 128};
+
+TEST_F(KernelsTest, GemmBitwiseAcrossShapesTilesAndThreads)
+{
+    util::Rng rng(7);
+    for (std::size_t m : kDims) {
+        for (std::size_t k : kDims) {
+            for (std::size_t n : kDims) {
+                const Tensor a = randomTensor(m, k, rng);
+                const Tensor b = randomTensor(k, n, rng);
+                const Tensor at = randomTensor(k, m, rng);
+                const Tensor bt = randomTensor(n, k, rng);
+
+                kernels::setConfig(serialConfig());
+                const Tensor c1 = ops::matmul(a, b);
+                const Tensor ta1 = ops::matmulTransposeA(at, b);
+                const Tensor tb1 = ops::matmulTransposeB(a, bt);
+
+                kernels::setConfig(parallelConfig());
+                EXPECT_TRUE(bitwiseEqual(c1, ops::matmul(a, b)))
+                    << m << "x" << k << "x" << n;
+                EXPECT_TRUE(bitwiseEqual(
+                    ta1, ops::matmulTransposeA(at, b)))
+                    << m << "x" << k << "x" << n;
+                EXPECT_TRUE(bitwiseEqual(
+                    tb1, ops::matmulTransposeB(a, bt)))
+                    << m << "x" << k << "x" << n;
+
+                // Oddball tiles change nothing but iteration shape.
+                kernels::KernelConfig tiny = parallelConfig(3);
+                tiny.tile_n = 16;
+                tiny.tile_k = 8;
+                kernels::setConfig(tiny);
+                EXPECT_TRUE(bitwiseEqual(c1, ops::matmul(a, b)))
+                    << m << "x" << k << "x" << n << " tiled";
+                EXPECT_TRUE(bitwiseEqual(
+                    ta1, ops::matmulTransposeA(at, b)))
+                    << m << "x" << k << "x" << n << " tiled";
+                EXPECT_TRUE(bitwiseEqual(
+                    tb1, ops::matmulTransposeB(a, bt)))
+                    << m << "x" << k << "x" << n << " tiled";
+
+                // And serial matches the naive i-k-j reference.
+                EXPECT_TRUE(bitwiseEqual(c1, refMatmul(a, b)));
+                EXPECT_TRUE(
+                    bitwiseEqual(ta1, refMatmulTransposeA(at, b)));
+                EXPECT_TRUE(
+                    bitwiseEqual(tb1, refMatmulTransposeB(a, bt)));
+            }
+        }
+    }
+}
+
+TEST_F(KernelsTest, ElementwiseAndGatherBitwiseParallelVsSerial)
+{
+    util::Rng rng(11);
+    for (std::size_t rows : {1u, 7u, 64u, 129u}) {
+        const std::size_t cols = 33;
+        const Tensor a = randomTensor(rows, cols, rng);
+        const Tensor b = randomTensor(rows, cols, rng);
+        const Tensor bias = randomTensor(1, cols, rng);
+        std::vector<std::uint32_t> idx;
+        for (std::size_t i = 0; i < 2 * rows; ++i)
+            idx.push_back(
+                static_cast<std::uint32_t>((i * 13) % rows));
+
+        kernels::setConfig(serialConfig());
+        const Tensor sums = ops::add(a, b);
+        const Tensor relus = ops::relu(a);
+        const Tensor sig = ops::sigmoid(a);
+        const Tensor th = ops::tanh(a);
+        const Tensor bc = ops::addRowBroadcast(a, bias);
+        const Tensor csum = ops::columnSum(a);
+        const Tensor cat = ops::concatColumns(a, b);
+        const Tensor slice = ops::sliceColumns(a, 1, cols - 1);
+        const Tensor gathered = ops::gatherRows(a, idx);
+        Tensor scatter_serial = Tensor::zeros(rows, cols);
+        ops::scatterAddRows(scatter_serial, gathered, idx);
+
+        kernels::setConfig(parallelConfig());
+        EXPECT_TRUE(bitwiseEqual(sums, ops::add(a, b)));
+        EXPECT_TRUE(bitwiseEqual(relus, ops::relu(a)));
+        EXPECT_TRUE(bitwiseEqual(sig, ops::sigmoid(a)));
+        EXPECT_TRUE(bitwiseEqual(th, ops::tanh(a)));
+        EXPECT_TRUE(bitwiseEqual(bc, ops::addRowBroadcast(a, bias)));
+        EXPECT_TRUE(bitwiseEqual(csum, ops::columnSum(a)));
+        EXPECT_TRUE(bitwiseEqual(cat, ops::concatColumns(a, b)));
+        EXPECT_TRUE(
+            bitwiseEqual(slice, ops::sliceColumns(a, 1, cols - 1)));
+        const Tensor gathered_par = ops::gatherRows(a, idx);
+        EXPECT_TRUE(bitwiseEqual(gathered, gathered_par));
+        // Duplicate indices: owner-partitioned scatter must keep the
+        // serial input-ascending accumulation order per output row.
+        Tensor scatter_par = Tensor::zeros(rows, cols);
+        ops::scatterAddRows(scatter_par, gathered_par, idx);
+        EXPECT_TRUE(bitwiseEqual(scatter_serial, scatter_par));
+    }
+}
+
+TEST_F(KernelsTest, AggregatorsBitwiseParallelVsSerial)
+{
+    const std::size_t dim = 24;
+    for (const auto kind :
+         {nn::AggregatorKind::Mean, nn::AggregatorKind::Gcn,
+          nn::AggregatorKind::Pool, nn::AggregatorKind::Lstm}) {
+        const std::vector<std::pair<std::size_t, std::size_t>>
+            shapes = {{0, 1}, {1, 1}, {33, 3}, {130, 5}};
+        for (const auto &[n, d] : shapes) {
+            util::Rng data_rng(17);
+            const Tensor feats =
+                randomTensor(n * d, dim, data_rng);
+            const Tensor grad = randomTensor(n, dim, data_rng);
+
+            // Identical parameter init on both sides via a fixed
+            // seed; ops inside fwd/bwd follow the active config.
+            kernels::setConfig(serialConfig());
+            util::Rng rng_a(23);
+            auto agg_a =
+                nn::makeAggregator(kind, "t", dim, rng_a);
+            std::unique_ptr<nn::AggregatorCache> cache_a;
+            const Tensor out_a =
+                agg_a->forward(feats, n, d, cache_a);
+            const Tensor gin_a = agg_a->backward(*cache_a, grad);
+
+            kernels::setConfig(parallelConfig());
+            util::Rng rng_b(23);
+            auto agg_b =
+                nn::makeAggregator(kind, "t", dim, rng_b);
+            std::unique_ptr<nn::AggregatorCache> cache_b;
+            const Tensor out_b =
+                agg_b->forward(feats, n, d, cache_b);
+            const Tensor gin_b = agg_b->backward(*cache_b, grad);
+
+            EXPECT_TRUE(bitwiseEqual(out_a, out_b))
+                << nn::aggregatorName(kind) << " fwd n=" << n;
+            EXPECT_TRUE(bitwiseEqual(gin_a, gin_b))
+                << nn::aggregatorName(kind) << " bwd n=" << n;
+            EXPECT_EQ(out_a.rows(), n);
+            EXPECT_EQ(gin_a.rows(), n * d);
+        }
+    }
+}
+
+TEST_F(KernelsTest, ZeroTimesInfinityPropagatesNaN)
+{
+    // The old serial GEMM skipped a_ik == 0 inner loops, silently
+    // turning 0 * inf into 0. The dense kernel must propagate NaN.
+    const Tensor a = Tensor::zeros(1, 1);
+    Tensor b = Tensor::zeros(1, 1);
+    b.data()[0] = std::numeric_limits<float>::infinity();
+    EXPECT_TRUE(std::isnan(ops::matmul(a, b).data()[0]));
+    EXPECT_TRUE(std::isnan(ops::matmulTransposeA(a, b).data()[0]));
+    Tensor nan_b = Tensor::zeros(1, 1);
+    nan_b.data()[0] = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_TRUE(std::isnan(ops::matmul(a, nan_b).data()[0]));
+}
+
+TEST_F(KernelsTest, UninitializedOutputsAreFullyOverwritten)
+{
+    // All-zero inputs must give exactly-zero outputs even though the
+    // result buffers start uninitialized.
+    const Tensor a = Tensor::zeros(65, 33);
+    const Tensor b = Tensor::zeros(33, 17);
+    kernels::setConfig(parallelConfig());
+    const Tensor c = ops::matmul(a, b);
+    for (std::size_t i = 0; i < c.size(); ++i)
+        ASSERT_EQ(c.data()[i], 0.0f);
+    const Tensor s = ops::scale(a, 3.0f);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        ASSERT_EQ(s.data()[i], 0.0f);
+}
+
+TEST_F(KernelsTest, NestedInvocationStaysSerial)
+{
+    kernels::setConfig(parallelConfig());
+    util::Rng rng(3);
+    const Tensor a = randomTensor(64, 64, rng);
+    const Tensor b = randomTensor(64, 64, rng);
+    auto &parallel_ops = obs::metrics().counter(
+        obs::names::kCtrKernelsParallelOps);
+    auto &serial_ops =
+        obs::metrics().counter(obs::names::kCtrKernelsSerialOps);
+
+    // From the main thread this shape dispatches in parallel...
+    const std::uint64_t par0 = parallel_ops.value();
+    ops::matmul(a, b);
+    EXPECT_GT(parallel_ops.value(), par0);
+
+    // ...but from inside any pool task it must stay serial (the
+    // compute layer composes with the prefetch pipeline instead of
+    // oversubscribing it).
+    util::ThreadPool pool(2);
+    const std::uint64_t par1 = parallel_ops.value();
+    const std::uint64_t ser1 = serial_ops.value();
+    util::ParallelForOptions opts;
+    opts.grain = 1;
+    Tensor results[2];
+    pool.parallelFor(0, 2, opts, [&](std::size_t i) {
+        results[i] = ops::matmul(a, b);
+    });
+    EXPECT_EQ(parallel_ops.value(), par1);
+    EXPECT_GE(serial_ops.value(), ser1 + 2);
+    EXPECT_TRUE(bitwiseEqual(results[0], results[1]));
+}
+
+TEST_F(KernelsTest, OpTimerRecordsExactCallAndByteCounts)
+{
+    auto &calls =
+        obs::metrics().counter(obs::names::kCtrKernelsGemmCalls);
+    auto &bytes =
+        obs::metrics().counter(obs::names::kCtrKernelsGemmBytes);
+    auto &flops =
+        obs::metrics().counter(obs::names::kCtrKernelsGemmFlops);
+    const std::uint64_t c0 = calls.value();
+    const std::uint64_t b0 = bytes.value();
+    const std::uint64_t f0 = flops.value();
+    util::Rng rng(5);
+    const Tensor a = randomTensor(8, 16, rng);
+    const Tensor b = randomTensor(16, 4, rng);
+    ops::matmul(a, b);
+    EXPECT_EQ(calls.value(), c0 + 1);
+    EXPECT_EQ(bytes.value(),
+              b0 + (8 * 16 + 16 * 4 + 8 * 4) * sizeof(float));
+    EXPECT_EQ(flops.value(), f0 + 2ull * 8 * 16 * 4);
+}
+
+TEST_F(KernelsTest, ConfigSanitizesDegenerateTiles)
+{
+    kernels::KernelConfig cfg;
+    cfg.tile_n = 0;
+    cfg.tile_k = 0;
+    cfg.min_rows_per_task = 0;
+    cfg.threads = 4;
+    kernels::setConfig(cfg);
+    EXPECT_EQ(kernels::config().tile_n, 1u);
+    EXPECT_EQ(kernels::config().tile_k, 1u);
+    EXPECT_EQ(kernels::config().min_rows_per_task, 1u);
+    EXPECT_EQ(kernels::effectiveThreads(), 4u);
+}
+
+TEST_F(KernelsTest, GrainPolicyKeepsMicroBucketsSerial)
+{
+    // Default min_parallel_work (32k scalar ops) must leave a
+    // micro-bucket-sized GEMM on the calling thread.
+    kernels::KernelConfig cfg;
+    cfg.threads = 4;
+    kernels::setConfig(cfg);
+    auto &parallel_ops = obs::metrics().counter(
+        obs::names::kCtrKernelsParallelOps);
+    util::Rng rng(9);
+    const Tensor a = randomTensor(4, 8, rng);
+    const Tensor b = randomTensor(8, 4, rng);
+    const std::uint64_t par0 = parallel_ops.value();
+    ops::matmul(a, b); // 128 scalar ops — far below the grain
+    EXPECT_EQ(parallel_ops.value(), par0);
+}
+
+} // namespace
+} // namespace buffalo::tensor

@@ -54,6 +54,39 @@ TEST(Tensor, ZerosShapeAndContent)
         EXPECT_EQ(t.data()[i], 0.0f);
 }
 
+TEST(Tensor, UninitializedHasShapeAndWritableStorage)
+{
+    Tensor t = Tensor::uninitialized(5, 7);
+    EXPECT_EQ(t.rows(), 5u);
+    EXPECT_EQ(t.cols(), 7u);
+    EXPECT_EQ(t.size(), 35u);
+    // Contents are unspecified until written; a full overwrite makes
+    // the buffer indistinguishable from a zeros()-then-filled one.
+    for (std::size_t i = 0; i < t.size(); ++i)
+        t.data()[i] = static_cast<float>(i);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t.data()[i], static_cast<float>(i));
+    Tensor empty = Tensor::uninitialized(0, 3);
+    EXPECT_EQ(empty.size(), 0u);
+}
+
+TEST(Tensor, UninitializedReportsAllocationLikeZeros)
+{
+    CountingObserver obs;
+    {
+        Tensor t = Tensor::uninitialized(8, 4, &obs);
+        EXPECT_EQ(obs.allocated, 8u * 4u * sizeof(float));
+        EXPECT_EQ(obs.live, t.bytes());
+    }
+    EXPECT_EQ(obs.live, 0u);
+    EXPECT_EQ(obs.freed, 8u * 4u * sizeof(float));
+
+    // The observer can still refuse the allocation.
+    CountingObserver limited;
+    limited.limit = 16;
+    EXPECT_THROW(Tensor::uninitialized(8, 4, &limited), Error);
+}
+
 TEST(Tensor, CopiesShareStorageCloneDoesNot)
 {
     Tensor a = Tensor::full(2, 2, 1.0f);

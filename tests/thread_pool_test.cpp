@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.h"
@@ -136,6 +139,92 @@ TEST(ThreadPool, GlobalPoolIsASingleton)
 {
     EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
     EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, GrainHintBoundsChunkCount)
+{
+    ThreadPool pool(4);
+    // grain 50 over 100 iterations allows at most 2 chunks, so at
+    // most 2 distinct threads touch the range.
+    std::mutex mutex;
+    std::set<std::thread::id> threads;
+    ParallelForOptions opts;
+    opts.grain = 50;
+    pool.parallelFor(0, 100, opts, [&](std::size_t) {
+        std::lock_guard<std::mutex> lock(mutex);
+        threads.insert(std::this_thread::get_id());
+    });
+    EXPECT_LE(threads.size(), 2u);
+
+    // A range smaller than 2 * grain runs inline on the caller.
+    threads.clear();
+    pool.parallelFor(0, 60, opts, [&](std::size_t) {
+        std::lock_guard<std::mutex> lock(mutex);
+        threads.insert(std::this_thread::get_id());
+    });
+    EXPECT_EQ(threads.size(), 1u);
+    EXPECT_EQ(*threads.begin(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, MaxChunksHintIsRespected)
+{
+    ThreadPool pool(4);
+    std::atomic<int> calls{0};
+    ParallelForOptions opts;
+    opts.max_chunks = 1;
+    // One chunk means the whole range runs inline, in order.
+    std::vector<std::size_t> order;
+    pool.parallelFor(0, 16, opts, [&](std::size_t i) {
+        ++calls;
+        order.push_back(i);
+    });
+    EXPECT_EQ(calls.load(), 16);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, InPoolTaskReflectsTaskContext)
+{
+    EXPECT_FALSE(ThreadPool::inPoolTask());
+    ThreadPool pool(2);
+    std::atomic<int> in_task{0};
+    std::atomic<int> total{0};
+    ParallelForOptions opts;
+    opts.grain = 1;
+    pool.parallelFor(0, 8, opts, [&](std::size_t) {
+        ++total;
+        if (ThreadPool::inPoolTask())
+            ++in_task;
+    });
+    // Every chunk — worker-run or help-drained by the caller — counts
+    // as a pool task.
+    EXPECT_EQ(in_task.load(), total.load());
+    EXPECT_FALSE(ThreadPool::inPoolTask());
+}
+
+TEST(ThreadPool, NestedParallelForCapsChunksAtWorkerCount)
+{
+    // A fan-out issued from inside a pool task must not flood the
+    // queue: the nested call caps its chunk count at size(), so with
+    // 2 workers at most 2 chunks (2 distinct threads) run the inner
+    // range.
+    ThreadPool pool(2);
+    std::mutex mutex;
+    std::set<std::thread::id> inner_threads;
+    std::atomic<int> count{0};
+    ParallelForOptions opts;
+    opts.grain = 1;
+    pool.parallelFor(0, 2, opts, [&](std::size_t) {
+        pool.parallelFor(0, 64, opts, [&](std::size_t) {
+            ++count;
+            std::lock_guard<std::mutex> lock(mutex);
+            inner_threads.insert(std::this_thread::get_id());
+        });
+    });
+    EXPECT_EQ(count.load(), 2 * 64);
+    // 2 outer chunks + caller help-draining: at most 3 threads ever
+    // touch inner work (2 workers + the waiting caller).
+    EXPECT_LE(inner_threads.size(), 3u);
 }
 
 } // namespace

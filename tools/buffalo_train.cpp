@@ -65,6 +65,8 @@ training:
   --system NAME         buffalo | whole | betty              [buffalo]
   --betty-k N           Betty micro-batch count              [4]
   --cost-model          analytic execution (no numeric math)
+  --kernel-threads N    compute-kernel worker threads; 0 uses
+                        hardware concurrency, 1 forces serial [0]
 pipeline (requires --system buffalo):
   --pipeline            prefetch batches while training
   --prefetch-depth N    batches prepared ahead               [2]
@@ -170,6 +172,7 @@ main(int argc, char **argv)
             "feature-dim", "model", "aggregator", "layers", "hidden",
             "heads", "fanouts", "budget-mb", "epochs", "batch-size",
             "lr", "seed", "system", "betty-k", "cost-model",
+            "kernel-threads",
             "pipeline", "prefetch-depth", "feature-cache-mb",
             "pinned-hot", "host-budget-mb",
             "trace-out", "metrics-json", "metrics-table", "run-log",
@@ -226,6 +229,8 @@ main(int argc, char **argv)
         options.mode = flags.getBool("cost-model")
                            ? train::ExecutionMode::CostModel
                            : train::ExecutionMode::Numeric;
+        options.kernels.threads = static_cast<std::size_t>(
+            flags.getInt("kernel-threads", 0));
 
         options.pipeline.enabled = flags.getBool("pipeline");
         options.pipeline.prefetch_depth =

@@ -5,8 +5,9 @@
 #   1. Release build + full test suite + lint leg (buffalo_lint over
 #      src/ and the ci.sh expectation lists) + observability smoke
 #      epoch gated by obs_validate (trace, metrics, JSONL run log,
-#      memory-audit error bound) + bench-smoke regression leg gated
-#      by bench_diff against the committed baseline.
+#      memory-audit error bound) + bench-smoke and bench-kernels
+#      regression legs gated by bench_diff against the committed
+#      baselines.
 #   2. ThreadSanitizer build + tests (cheap races in
 #      StageQueue/Prefetcher show up here long before they show up in
 #      production runs).
@@ -38,7 +39,7 @@ mkdir -p "${obs_dir}"
 "${prefix}-release/tools/buffalo_train" \
     --dataset arxiv --scale 0.1 --epochs 1 --batch-size 256 \
     --aggregator lstm --hidden 32 --budget-mb 16 \
-    --pipeline --feature-cache-mb 8 \
+    --pipeline --feature-cache-mb 8 --kernel-threads 2 \
     --trace-out "${obs_dir}/trace.json" \
     --metrics-json "${obs_dir}/metrics.json" \
     --run-log "${obs_dir}/run.jsonl" \
@@ -67,6 +68,11 @@ BUFFALO_BENCH_DIR="${bench_dir}" "${prefix}-release/bench/bench_smoke"
 "${prefix}-release/tools/bench_diff" \
     bench/baselines/BENCH_smoke.json \
     "${bench_dir}/BENCH_smoke.json"
+BUFFALO_BENCH_DIR="${bench_dir}" \
+    "${prefix}-release/bench/bench_kernels"
+"${prefix}-release/tools/bench_diff" \
+    bench/baselines/BENCH_kernels.json \
+    "${bench_dir}/BENCH_kernels.json"
 
 echo "=== ThreadSanitizer build + tests ==="
 cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
