@@ -4,6 +4,7 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <set>
 
 #include "util/errors.h"
 
@@ -108,19 +109,59 @@ loadCheckpoint(std::istream &in, Module &module)
         checkArgument(inserted, "checkpoint: duplicate parameter");
     }
 
-    for (Parameter *param : module.parameters()) {
+    // Validate the full checkpoint/model correspondence BEFORE
+    // touching any parameter, so a mismatched checkpoint never leaves
+    // the module half-loaded.
+    const auto params = module.parameters();
+    std::size_t matched = 0;
+    for (Parameter *param : params) {
         auto it = entries.find(param->name());
-        checkArgument(it != entries.end(),
-                      "checkpoint: missing parameter '" +
-                          param->name() + "'");
+        if (it == entries.end())
+            throw InvalidArgument(
+                "checkpoint: model parameter '" + param->name() +
+                "' not present in checkpoint (" +
+                std::to_string(entries.size()) +
+                " entries) — was the checkpoint written by a "
+                "different architecture or layer count?");
         const Entry &entry = it->second;
-        checkArgument(entry.rows == param->value().rows() &&
-                          entry.cols == param->value().cols(),
-                      "checkpoint: shape mismatch for '" +
-                          param->name() + "'");
-        std::copy(entry.values.begin(), entry.values.end(),
-                  param->value().data());
+        if (entry.rows != param->value().rows() ||
+            entry.cols != param->value().cols())
+            throw InvalidArgument(
+                "checkpoint: shape mismatch for '" + param->name() +
+                "': checkpoint has " + std::to_string(entry.rows) +
+                "x" + std::to_string(entry.cols) +
+                ", model expects " +
+                std::to_string(param->value().rows()) + "x" +
+                std::to_string(param->value().cols()) +
+                " — check hidden_dim/feature_dim/num_classes");
+        ++matched;
     }
+    if (matched != entries.size()) {
+        // Name the first orphan so the error is actionable.
+        std::string orphan;
+        std::set<std::string> known;
+        for (Parameter *param : params)
+            known.insert(param->name());
+        for (const auto &[name, entry] : entries) {
+            if (known.find(name) == known.end()) {
+                orphan = name;
+                break;
+            }
+        }
+        throw InvalidArgument(
+            "checkpoint: " +
+            std::to_string(entries.size() - matched) +
+            " checkpoint entr" +
+            (entries.size() - matched == 1 ? "y has" : "ies have") +
+            " no matching model parameter (first: '" + orphan +
+            "') — the checkpoint was written by a larger or "
+            "different model");
+    }
+
+    for (Parameter *param : params)
+        std::copy(entries[param->name()].values.begin(),
+                  entries[param->name()].values.end(),
+                  param->value().data());
 }
 
 void

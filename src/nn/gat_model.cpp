@@ -75,19 +75,43 @@ GatModel::forward(const sampling::MicroBatch &mb,
                   const Tensor &input_features, ForwardCache &cache,
                   AllocationObserver *observer)
 {
+    return forwardImpl(mb, input_features, &cache, observer);
+}
+
+Tensor
+GatModel::forwardInference(const sampling::MicroBatch &mb,
+                           const Tensor &input_features,
+                           AllocationObserver *observer)
+{
+    return forwardImpl(mb, input_features, nullptr, observer);
+}
+
+Tensor
+GatModel::forwardImpl(const sampling::MicroBatch &mb,
+                      const Tensor &input_features, ForwardCache *cache,
+                      AllocationObserver *observer)
+{
     checkArgument(mb.numLayers() == config_.num_layers,
                   "GatModel::forward: block count != num_layers");
-    cache.layers.clear();
-    cache.layers.resize(config_.num_layers);
+    if (cache != nullptr) {
+        cache->layers.clear();
+        cache->layers.resize(config_.num_layers);
+    }
 
     Tensor x = input_features;
     for (int layer = 0; layer < config_.num_layers; ++layer) {
         const sampling::Block &block = mb.blocks[layer];
         checkArgument(x.rows() == block.numSrc(),
                       "GatModel::forward: feature/block row mismatch");
-        auto &state = cache.layers[layer];
+        // hw/buckets/head_states are working storage for the layer
+        // either way; without a cache they live in `scratch` and die
+        // at the end of this iteration.
+        ForwardCache::LayerState scratch;
+        auto &state =
+            cache != nullptr ? cache->layers[layer] : scratch;
         state.block = &block;
-        state.input = x;
+        if (cache != nullptr)
+            state.input = x;
         state.buckets = sampling::bucketizeBlock(block);
 
         const std::size_t hd = headDim(layer);
@@ -166,7 +190,8 @@ GatModel::forward(const sampling::MicroBatch &mb,
         }
 
         if (layer + 1 < config_.num_layers) {
-            state.pre_activation = output;
+            if (cache != nullptr)
+                state.pre_activation = output;
             x = ops::relu(output, observer);
         } else {
             x = output;

@@ -59,6 +59,15 @@ class GatModel : public Module
                    const Tensor &input_features, ForwardCache &cache,
                    AllocationObserver *observer = nullptr);
 
+    /**
+     * Inference-mode forward: bitwise-identical logits to forward(),
+     * but attention/activation state is dropped per layer instead of
+     * being retained for backward(), bounding peak memory.
+     */
+    Tensor forwardInference(const sampling::MicroBatch &mb,
+                            const Tensor &input_features,
+                            AllocationObserver *observer = nullptr);
+
     /** Backward pass; accumulates parameter gradients. */
     void backward(const ForwardCache &cache, const Tensor &grad_logits,
                   AllocationObserver *observer = nullptr);
@@ -69,6 +78,12 @@ class GatModel : public Module
     std::vector<Parameter *> parameters() override;
 
   private:
+    /** Shared body of forward()/forwardInference(); null @p cache
+     *  means layer state lives only for the layer iteration. */
+    Tensor forwardImpl(const sampling::MicroBatch &mb,
+                       const Tensor &input_features, ForwardCache *cache,
+                       AllocationObserver *observer);
+
     /** Width of one head's output at @p layer. */
     std::size_t headDim(int layer) const;
 

@@ -33,24 +33,46 @@ GcnModel::forward(const sampling::MicroBatch &mb,
                   const Tensor &input_features, ForwardCache &cache,
                   AllocationObserver *observer)
 {
+    return forwardImpl(mb, input_features, &cache, observer);
+}
+
+Tensor
+GcnModel::forwardInference(const sampling::MicroBatch &mb,
+                           const Tensor &input_features,
+                           AllocationObserver *observer)
+{
+    return forwardImpl(mb, input_features, nullptr, observer);
+}
+
+Tensor
+GcnModel::forwardImpl(const sampling::MicroBatch &mb,
+                      const Tensor &input_features, ForwardCache *cache,
+                      AllocationObserver *observer)
+{
     checkArgument(mb.numLayers() == config_.num_layers,
                   "GcnModel::forward: block count != num_layers");
-    cache.layers.clear();
-    cache.layers.resize(config_.num_layers);
+    if (cache != nullptr) {
+        cache->layers.clear();
+        cache->layers.resize(config_.num_layers);
+    }
 
     Tensor x = input_features;
     for (int layer = 0; layer < config_.num_layers; ++layer) {
         const sampling::Block &block = mb.blocks[layer];
         checkArgument(x.rows() == block.numSrc(),
                       "GcnModel::forward: feature/block row mismatch");
-        auto &state = cache.layers[layer];
-        state.input = x;
+        ForwardCache::LayerState *state =
+            cache != nullptr ? &cache->layers[layer] : nullptr;
+        if (state != nullptr)
+            state->input = x;
 
         const std::size_t in = config_.layerInDim(layer);
         Tensor aggregated =
             Tensor::zeros(block.numDst(), in, observer);
 
         for (auto &bucket : sampling::bucketizeBlock(block)) {
+            // Built locally either way; without a cache the gather
+            // indices die with this iteration.
             ForwardCache::BucketState bucket_state;
             bucket_state.bucket = bucket;
             const std::size_t n = bucket.members.size();
@@ -75,13 +97,18 @@ GcnModel::forward(const sampling::MicroBatch &mb,
                         dst_row[j] += src_row[j] * norm;
                 }
             }
-            state.buckets.push_back(std::move(bucket_state));
+            if (state != nullptr)
+                state->buckets.push_back(std::move(bucket_state));
         }
 
+        Linear::Cache scratch_linear;
         Tensor out = updates_[layer]->forward(
-            aggregated, state.linear_cache, observer);
+            aggregated,
+            state != nullptr ? state->linear_cache : scratch_linear,
+            observer);
         if (layer + 1 < config_.num_layers) {
-            state.pre_activation = out;
+            if (state != nullptr)
+                state->pre_activation = out;
             x = ops::relu(out, observer);
         } else {
             x = out;

@@ -50,6 +50,15 @@ class GcnModel : public Module
                    const Tensor &input_features, ForwardCache &cache,
                    AllocationObserver *observer = nullptr);
 
+    /**
+     * Inference-mode forward: bitwise-identical logits to forward(),
+     * but no activation state is retained (no backward() may follow),
+     * so memory stays bounded by one layer's working set.
+     */
+    Tensor forwardInference(const sampling::MicroBatch &mb,
+                            const Tensor &input_features,
+                            AllocationObserver *observer = nullptr);
+
     /** Backward pass; accumulates parameter gradients. */
     void backward(const ForwardCache &cache, const Tensor &grad_logits,
                   AllocationObserver *observer = nullptr);
@@ -60,6 +69,12 @@ class GcnModel : public Module
     std::vector<Parameter *> parameters() override;
 
   private:
+    /** Shared body of forward()/forwardInference(); null @p cache
+     *  means "stash nothing". */
+    Tensor forwardImpl(const sampling::MicroBatch &mb,
+                       const Tensor &input_features, ForwardCache *cache,
+                       AllocationObserver *observer);
+
     ModelConfig config_;
     MemoryModel memory_model_;
     std::vector<std::unique_ptr<Linear>> updates_;

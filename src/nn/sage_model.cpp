@@ -52,6 +52,22 @@ SageModel::forward(const sampling::MicroBatch &mb,
                    const Tensor &input_features, ForwardCache &cache,
                    AllocationObserver *observer)
 {
+    return forwardImpl(mb, input_features, &cache, observer);
+}
+
+Tensor
+SageModel::forwardInference(const sampling::MicroBatch &mb,
+                            const Tensor &input_features,
+                            AllocationObserver *observer)
+{
+    return forwardImpl(mb, input_features, nullptr, observer);
+}
+
+Tensor
+SageModel::forwardImpl(const sampling::MicroBatch &mb,
+                       const Tensor &input_features, ForwardCache *cache,
+                       AllocationObserver *observer)
+{
     checkArgument(mb.numLayers() == config_.num_layers,
                   "SageModel::forward: block count != num_layers");
     checkArgument(input_features.rows() == mb.inputNodes().size() &&
@@ -59,22 +75,28 @@ SageModel::forward(const sampling::MicroBatch &mb,
                           static_cast<std::size_t>(config_.feature_dim),
                   "SageModel::forward: bad input feature shape");
 
-    cache.layers.clear();
-    cache.layers.resize(config_.num_layers);
+    if (cache != nullptr) {
+        cache->layers.clear();
+        cache->layers.resize(config_.num_layers);
+    }
 
     Tensor x = input_features;
     for (int layer = 0; layer < config_.num_layers; ++layer) {
         const sampling::Block &block = mb.blocks[layer];
         checkArgument(x.rows() == block.numSrc(),
                       "SageModel::forward: feature/block row mismatch");
-        auto &state = cache.layers[layer];
-        state.input = x;
+        ForwardCache::LayerState *state =
+            cache != nullptr ? &cache->layers[layer] : nullptr;
+        if (state != nullptr)
+            state->input = x;
 
         const std::size_t in = config_.layerInDim(layer);
         Tensor aggregated =
             Tensor::zeros(block.numDst(), in, observer);
 
         for (auto &bucket : sampling::bucketizeBlock(block)) {
+            // Built locally either way; without a cache it (and the
+            // aggregator's activation stash) dies with this iteration.
             ForwardCache::BucketState bucket_state;
             bucket_state.bucket = bucket;
             const std::size_t n = bucket.members.size();
@@ -95,7 +117,8 @@ SageModel::forward(const sampling::MicroBatch &mb,
                         agg_out.data() + i * in, in * sizeof(float));
                 }
             }
-            state.buckets.push_back(std::move(bucket_state));
+            if (state != nullptr)
+                state->buckets.push_back(std::move(bucket_state));
         }
 
         // Self features: destinations are the src prefix of x.
@@ -106,11 +129,14 @@ SageModel::forward(const sampling::MicroBatch &mb,
 
         Tensor concat =
             ops::concatColumns(self_prefix, aggregated, observer);
-        Tensor out =
-            updates_[layer]->forward(concat, state.linear_cache,
-                                     observer);
+        Linear::Cache scratch_linear;
+        Tensor out = updates_[layer]->forward(
+            concat,
+            state != nullptr ? state->linear_cache : scratch_linear,
+            observer);
         if (layer + 1 < config_.num_layers) {
-            state.pre_activation = out;
+            if (state != nullptr)
+                state->pre_activation = out;
             x = ops::relu(out, observer);
         } else {
             x = out;

@@ -64,6 +64,18 @@ class SageModel : public Module
                    AllocationObserver *observer = nullptr);
 
     /**
+     * Inference-mode forward: identical arithmetic (and therefore
+     * bitwise-identical logits) to forward(), but no activation state
+     * is stashed for a backward pass — per-bucket aggregator caches
+     * and layer inputs are dropped as soon as the layer is done, so
+     * peak memory is bounded by one layer's working set. No backward()
+     * may follow.
+     */
+    Tensor forwardInference(const sampling::MicroBatch &mb,
+                            const Tensor &input_features,
+                            AllocationObserver *observer = nullptr);
+
+    /**
      * Backward pass; accumulates parameter gradients. The gradient
      * w.r.t. the raw inputs is discarded (features are not trained).
      */
@@ -78,6 +90,12 @@ class SageModel : public Module
     std::vector<Parameter *> parameters() override;
 
   private:
+    /** Shared body of forward()/forwardInference(); @p cache may be
+     *  null, in which case no state survives the call. */
+    Tensor forwardImpl(const sampling::MicroBatch &mb,
+                       const Tensor &input_features, ForwardCache *cache,
+                       AllocationObserver *observer);
+
     ModelConfig config_;
     MemoryModel memory_model_;
     std::vector<std::unique_ptr<Aggregator>> aggregators_;

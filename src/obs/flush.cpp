@@ -1,0 +1,82 @@
+#include "obs/flush.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace buffalo::obs {
+
+namespace {
+
+void
+atexitHook()
+{
+    exitFlush().flush();
+}
+
+} // namespace
+
+void
+ExitFlush::registerMetricsJson(const std::string &path)
+{
+    util::MutexLock lock(mutex_);
+    metrics_path_ = path;
+}
+
+void
+ExitFlush::arm()
+{
+    // Touch the sink singletons before std::atexit so their static
+    // destruction is sequenced after the hook: atexit handlers and
+    // static destructors run in reverse order of registration/
+    // construction, and construction registers destruction.
+    metrics();
+    eventLog();
+    util::MutexLock lock(mutex_);
+    if (armed_)
+        return;
+    armed_ = true;
+    std::atexit(&atexitHook);
+}
+
+void
+ExitFlush::flush()
+{
+    std::string path;
+    {
+        util::MutexLock lock(mutex_);
+        path = metrics_path_;
+    }
+    // Event log first: `run.flush` marks the log complete, and
+    // close() makes any racing event inert rather than torn.
+    if (eventLog().enabled()) {
+        eventLog()
+            .event(names::kEvRunFlush)
+            .field("events", eventLog().eventsWritten());
+        eventLog().close();
+    }
+    if (!path.empty()) {
+        try {
+            metrics().writeJson(path);
+        } catch (const std::exception &error) {
+            // atexit context: report, never throw.
+            std::fprintf(stderr,
+                         "obs: exit flush of metrics to '%s' "
+                         "failed: %s\n",
+                         path.c_str(), error.what());
+        }
+    }
+}
+
+ExitFlush &
+exitFlush()
+{
+    static ExitFlush instance;
+    return instance;
+}
+
+} // namespace buffalo::obs

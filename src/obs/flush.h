@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Exit-safe flushing for the observability sinks (DESIGN.md,
+ * "Observability").
+ *
+ * The metrics JSON and the JSONL run log used to be written only on
+ * the clean exit path at the bottom of each tool's main(); any early
+ * std::exit() — a bad flag, a checkArgument failure routed through
+ * the top-level catch, a load-test harness killing the run — left a
+ * truncated or empty file. ExitFlush closes that hole: a tool
+ * registers its --metrics-json path, arms an atexit hook, and the
+ * hook (or an explicit flush() on the clean path) emits a final
+ * `run.flush` event, closes the event log, and writes the metrics
+ * dump. flush() is idempotent, so clean exits that flush explicitly
+ * are unaffected by the hook firing afterwards.
+ *
+ * arm() constructs the metrics()/eventLog() singletons *before*
+ * registering the hook, which sequences their static destruction
+ * after the hook runs — the hook never touches dead objects.
+ */
+#pragma once
+
+#include <string>
+
+#include "util/thread_annotations.h"
+
+namespace buffalo::obs {
+
+/** Process-wide exit flusher; use via exitFlush(). */
+class ExitFlush
+{
+  public:
+    ExitFlush() = default;
+    ExitFlush(const ExitFlush &) = delete;
+    ExitFlush &operator=(const ExitFlush &) = delete;
+
+    /**
+     * Registers @p path to receive the metrics JSON dump at flush
+     * time. An empty path clears the registration.
+     */
+    void registerMetricsJson(const std::string &path)
+        BUFFALO_EXCLUDES(mutex_);
+
+    /**
+     * Installs the atexit hook (idempotent). Call once early in
+     * main(), after flag parsing decides which sinks are active.
+     */
+    void arm() BUFFALO_EXCLUDES(mutex_);
+
+    /**
+     * Flushes now: emits `run.flush` to the event log (if enabled),
+     * closes it, and writes the registered metrics JSON. Safe to
+     * call repeatedly; later calls are no-ops for the event log and
+     * rewrite the same metrics file.
+     */
+    void flush() BUFFALO_EXCLUDES(mutex_);
+
+  private:
+    mutable util::Mutex mutex_;
+    std::string metrics_path_ BUFFALO_GUARDED_BY(mutex_);
+    bool armed_ BUFFALO_GUARDED_BY(mutex_) = false;
+};
+
+/** The process-wide flusher the atexit hook drives. */
+ExitFlush &exitFlush();
+
+} // namespace buffalo::obs

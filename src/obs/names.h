@@ -28,6 +28,8 @@ inline constexpr char kSpanPipelineFeature[] = "pipeline.feature";
 inline constexpr char kSpanSchedulerSchedule[] = "scheduler.schedule";
 inline constexpr char kSpanBlockgenFast[] = "blockgen.fast";
 inline constexpr char kSpanBlockgenBaseline[] = "blockgen.baseline";
+inline constexpr char kSpanServePrep[] = "serve.prep";
+inline constexpr char kSpanServeForward[] = "serve.forward";
 
 // --- Counters ------------------------------------------------------
 inline constexpr char kCtrTrainEpochs[] = "train.epochs";
@@ -50,6 +52,21 @@ inline constexpr char kCtrDeviceOomEvents[] = "device.oom_events";
 
 // --- Counters: memory audit ----------------------------------------
 inline constexpr char kCtrAuditGroups[] = "audit.groups";
+
+// --- Counters: serving (DESIGN.md, "Serving") ----------------------
+// requests = everything submitted; shed = rejected at admission
+// (queue full); expired = dropped past their deadline before a
+// worker saw them; completed = responses produced (deadline met or
+// not); errors = forward-pass failures; batches = micro-batches
+// executed; deadline_misses = completed but past deadline.
+inline constexpr char kCtrServeRequests[] = "serve.requests";
+inline constexpr char kCtrServeShed[] = "serve.shed";
+inline constexpr char kCtrServeExpired[] = "serve.expired";
+inline constexpr char kCtrServeCompleted[] = "serve.completed";
+inline constexpr char kCtrServeErrors[] = "serve.errors";
+inline constexpr char kCtrServeBatches[] = "serve.batches";
+inline constexpr char kCtrServeDeadlineMisses[] =
+    "serve.deadline_misses";
 
 // --- Counters: compute kernels (DESIGN.md, "Compute kernels") ------
 // Per-op-class call counts, cumulative nanoseconds, and bytes moved,
@@ -109,6 +126,10 @@ inline constexpr char kGaugeAuditMeanAbsRelError[] =
     "audit.mean_abs_rel_error";
 inline constexpr char kGaugeAuditMaxAbsRelError[] =
     "audit.max_abs_rel_error";
+inline constexpr char kGaugeServeGoodputQps[] = "serve.goodput_qps";
+inline constexpr char kGaugeServeShedRate[] = "serve.shed_rate";
+inline constexpr char kGaugeServeMaxQueueDepth[] =
+    "serve.max_queue_depth";
 
 // --- Histograms ----------------------------------------------------
 inline constexpr char kHistSchedulerEstimateRelError[] =
@@ -123,6 +144,9 @@ inline constexpr char kHistBlockgenLayerNodes[] =
     "blockgen.layer_nodes";
 inline constexpr char kHistBlockgenLayerEdges[] =
     "blockgen.layer_edges";
+inline constexpr char kHistServeLatencyMs[] = "serve.latency_ms";
+inline constexpr char kHistServeQueueMs[] = "serve.queue_ms";
+inline constexpr char kHistServeBatchSize[] = "serve.batch_size";
 
 // --- Event-log event types (`obs::eventLog().event(...)`) ----------
 // JSONL run-log vocabulary (DESIGN.md, "Memory audit & bench
@@ -138,6 +162,11 @@ inline constexpr char kEvTrainOomRetry[] = "train.oom_retry";
 inline constexpr char kEvTrainEpochSummary[] = "train.epoch_summary";
 inline constexpr char kEvCacheSnapshot[] = "cache.snapshot";
 inline constexpr char kEvDeviceOom[] = "device.oom";
+inline constexpr char kEvServeBatch[] = "serve.batch";
+inline constexpr char kEvServeSummary[] = "serve.summary";
+/** Emitted by the atexit-safe flush path (obs/flush.h) just before
+ *  the run log is closed, whether the exit was clean or early. */
+inline constexpr char kEvRunFlush[] = "run.flush";
 
 // --- Core CI expectations (`obs_validate --expect-* @core`) --------
 // Spans any pipelined smoke epoch must record.
@@ -164,6 +193,29 @@ inline constexpr const char *kCoreEvents[] = {
     kEvRunBegin,
     kEvSchedulerSchedule,
     kEvTrainEpochSummary,
+    kEvRunEnd,
+};
+
+// --- Serve CI expectations (`obs_validate --expect-* @serve`) ------
+// What any buffalo_serve smoke run must produce; kept separate from
+// @core because training smokes never touch the serve path.
+inline constexpr const char *kServeSpans[] = {
+    kSpanServePrep,
+    kSpanServeForward,
+};
+
+inline constexpr const char *kServeMetrics[] = {
+    kCtrServeRequests,
+    kCtrServeCompleted,
+    kCtrServeBatches,
+    kGaugeServeGoodputQps,
+    kHistServeLatencyMs,
+};
+
+inline constexpr const char *kServeEvents[] = {
+    kEvRunBegin,
+    kEvServeSummary,
+    kEvRunFlush,
     kEvRunEnd,
 };
 

@@ -1,0 +1,74 @@
+#include "serve/admission_queue.h"
+
+namespace buffalo::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity)
+{
+}
+
+bool
+AdmissionQueue::tryPush(PendingRequest &request)
+{
+    {
+        util::MutexLock lock(mutex_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(request));
+        if (items_.size() > max_occupancy_)
+            max_occupancy_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+}
+
+bool
+AdmissionQueue::popBatch(std::size_t max_items,
+                         std::vector<PendingRequest> *out,
+                         std::vector<PendingRequest> *expired)
+{
+    util::MutexLock lock(mutex_);
+    while (items_.empty() && !closed_)
+        not_empty_.wait(lock.native());
+    if (items_.empty())
+        return false; // closed and drained
+
+    const Clock::time_point now = Clock::now();
+    std::size_t taken = 0;
+    while (!items_.empty() && taken < max_items) {
+        PendingRequest request = std::move(items_.front());
+        items_.pop_front();
+        ++taken;
+        if (request.request().deadline < now)
+            expired->push_back(std::move(request));
+        else
+            out->push_back(std::move(request));
+    }
+    return true;
+}
+
+void
+AdmissionQueue::close()
+{
+    {
+        util::MutexLock lock(mutex_);
+        closed_ = true;
+    }
+    not_empty_.notify_all();
+}
+
+std::size_t
+AdmissionQueue::size() const
+{
+    util::MutexLock lock(mutex_);
+    return items_.size();
+}
+
+std::size_t
+AdmissionQueue::maxOccupancy() const
+{
+    util::MutexLock lock(mutex_);
+    return max_occupancy_;
+}
+
+} // namespace buffalo::serve

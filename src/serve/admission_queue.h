@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bounded admission queue with load shedding and deadline-based
+ * rejection (DESIGN.md, "Serving").
+ *
+ * This is the server's backpressure valve: when the offered load
+ * exceeds what the batcher/workers drain, the queue fills and new
+ * requests are *shed* immediately (tryPush returns false) rather
+ * than queued into certain deadline misses. Requests that do get in
+ * but outlive their deadline while waiting are *expired* at pop time
+ * — the batcher never wastes a forward pass on an answer nobody is
+ * waiting for. Unlike pipeline::StageQueue, pushes never block: an
+ * online client needs an instant admit/shed verdict.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/thread_annotations.h"
+
+namespace buffalo::serve {
+
+/** MPMC bounded FIFO of pending requests. */
+class AdmissionQueue
+{
+  public:
+    /** Creates a queue admitting at most @p capacity >= 1 requests. */
+    explicit AdmissionQueue(std::size_t capacity);
+
+    AdmissionQueue(const AdmissionQueue &) = delete;
+    AdmissionQueue &operator=(const AdmissionQueue &) = delete;
+
+    /**
+     * Admits @p request if there is room. Never blocks.
+     * @return true on admission (request consumed); false when the
+     *         queue is full or closed — @p request is left with the
+     *         caller, who decides how to reject it.
+     */
+    bool tryPush(PendingRequest &request) BUFFALO_EXCLUDES(mutex_);
+
+    /**
+     * Blocks until requests are available or the queue is closed,
+     * then drains up to @p max_items from the front. Requests whose
+     * deadline has already passed are moved to @p expired instead of
+     * @p out (both may receive items in one call; @p out may come
+     * back empty when everything drained was expired).
+     *
+     * @return false only when the queue is closed and empty —
+     *         the consumer should exit its loop.
+     */
+    bool popBatch(std::size_t max_items,
+                  std::vector<PendingRequest> *out,
+                  std::vector<PendingRequest> *expired)
+        BUFFALO_EXCLUDES(mutex_);
+
+    /** Stops admissions and wakes blocked consumers; queued
+     *  requests remain poppable until drained. */
+    void close() BUFFALO_EXCLUDES(mutex_);
+
+    /** Requests currently queued. */
+    std::size_t size() const BUFFALO_EXCLUDES(mutex_);
+
+    /** High-water mark of size() since construction. */
+    std::size_t maxOccupancy() const BUFFALO_EXCLUDES(mutex_);
+
+  private:
+    const std::size_t capacity_;
+
+    mutable util::Mutex mutex_;
+    std::condition_variable not_empty_;
+    std::deque<PendingRequest> items_ BUFFALO_GUARDED_BY(mutex_);
+    std::size_t max_occupancy_ BUFFALO_GUARDED_BY(mutex_) = 0;
+    bool closed_ BUFFALO_GUARDED_BY(mutex_) = false;
+};
+
+} // namespace buffalo::serve

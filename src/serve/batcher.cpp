@@ -1,0 +1,84 @@
+#include "serve/batcher.h"
+
+#include "util/errors.h"
+
+namespace buffalo::serve {
+
+namespace {
+
+/**
+ * Worst-case bytes one seed adds to a batch: node counts follow the
+ * sampling cone (1 output node; each layer multiplies by fanout+1
+ * for neighbors plus self), each layer touches its input and output
+ * activations once.
+ */
+std::uint64_t
+estimateBytes(const nn::ModelConfig &model,
+              const std::vector<int> &fanouts)
+{
+    checkArgument(fanouts.size() ==
+                      static_cast<std::size_t>(model.num_layers),
+                  "Batcher: fanouts must list one value per layer");
+    // nodes[l] = nodes entering layer l; cone grows input-ward.
+    std::vector<std::uint64_t> nodes(
+        static_cast<std::size_t>(model.num_layers) + 1);
+    nodes[static_cast<std::size_t>(model.num_layers)] = 1;
+    for (int layer = model.num_layers - 1; layer >= 0; --layer) {
+        const auto l = static_cast<std::size_t>(layer);
+        nodes[l] = nodes[l + 1] *
+                   (static_cast<std::uint64_t>(fanouts[l]) + 1);
+    }
+    std::uint64_t bytes = 0;
+    for (int layer = 0; layer < model.num_layers; ++layer) {
+        const auto l = static_cast<std::size_t>(layer);
+        bytes += nodes[l] *
+                 static_cast<std::uint64_t>(model.layerInDim(layer)) *
+                 sizeof(float);
+        bytes += nodes[l + 1] *
+                 static_cast<std::uint64_t>(model.layerOutDim(layer)) *
+                 sizeof(float);
+    }
+    return bytes;
+}
+
+} // namespace
+
+Batcher::Batcher(const nn::ModelConfig &model,
+                 const std::vector<int> &fanouts,
+                 std::size_t max_batch, std::uint64_t byte_budget)
+    : max_batch_(max_batch < 1 ? 1 : max_batch),
+      byte_budget_(byte_budget),
+      per_request_bytes_(estimateBytes(model, fanouts))
+{
+}
+
+std::vector<BatchPlan>
+Batcher::plan(std::vector<PendingRequest> pending)
+{
+    std::vector<BatchPlan> plans;
+    BatchPlan current;
+    auto flush = [&] {
+        if (current.requests.empty())
+            return;
+        current.id = next_plan_id_++;
+        current.estimated_bytes =
+            per_request_bytes_ *
+            static_cast<std::uint64_t>(current.requests.size());
+        plans.push_back(std::move(current));
+        current = BatchPlan{};
+    };
+    for (PendingRequest &request : pending) {
+        const auto next = static_cast<std::uint64_t>(
+            current.requests.size() + 1);
+        const bool over_bytes =
+            byte_budget_ > 0 && !current.requests.empty() &&
+            next * per_request_bytes_ > byte_budget_;
+        if (current.requests.size() >= max_batch_ || over_bytes)
+            flush();
+        current.requests.push_back(std::move(request));
+    }
+    flush();
+    return plans;
+}
+
+} // namespace buffalo::serve

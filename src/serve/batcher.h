@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Micro-batch coalescing for the serving path (DESIGN.md, "Serving").
+ *
+ * The batcher turns a drained slice of the admission queue into
+ * BatchPlans: deterministic, in-order chunks bounded by a request
+ * count (`max_batch`, amortizing per-batch sampling/blockgen cost)
+ * and an analytic byte estimate (`byte_budget`, keeping one batch's
+ * working set inside the memory envelope the pipeline ByteBudget
+ * enforces). Determinism matters: the same pending sequence must
+ * produce the same plans regardless of thread timing, so serve runs
+ * are replayable and the bench baseline is stable.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/config.h"
+#include "serve/request.h"
+
+namespace buffalo::serve {
+
+/** One planned micro-batch: the requests it will answer. */
+struct BatchPlan
+{
+    std::uint64_t id = 0;
+    std::vector<PendingRequest> requests;
+    /** Analytic upper bound on the batch's working-set bytes. */
+    std::uint64_t estimated_bytes = 0;
+    /** When the requests left the admission queue (stamped by the
+     *  serve loop, not by Batcher::plan — keeps plan() pure). */
+    Clock::time_point dequeue_time{};
+};
+
+/** Deterministic request-to-batch planner. */
+class Batcher
+{
+  public:
+    /**
+     * @param model      Layer dimensions for the byte estimate.
+     * @param fanouts    Per-layer fanouts, input-most first.
+     * @param max_batch  Max requests per plan (>= 1).
+     * @param byte_budget Cap on a plan's estimated bytes; 0 = off.
+     *                   A single request always fits (the pipeline
+     *                   ByteBudget admits oversized items when idle).
+     */
+    Batcher(const nn::ModelConfig &model,
+            const std::vector<int> &fanouts, std::size_t max_batch,
+            std::uint64_t byte_budget);
+
+    /**
+     * Analytic per-request byte bound: the sampled ego-network cone
+     * at worst-case fanout, times per-layer activation widths, plus
+     * input features. Deliberately an over-estimate — admission
+     * should be conservative, never optimistic.
+     */
+    std::uint64_t estimateRequestBytes() const
+    {
+        return per_request_bytes_;
+    }
+
+    /**
+     * Splits @p pending (consumed, order preserved) into plans.
+     * Same input sequence -> same plans, ids increasing in order.
+     */
+    std::vector<BatchPlan> plan(std::vector<PendingRequest> pending);
+
+  private:
+    std::size_t max_batch_;
+    std::uint64_t byte_budget_;
+    std::uint64_t per_request_bytes_;
+    std::uint64_t next_plan_id_ = 0;
+};
+
+} // namespace buffalo::serve

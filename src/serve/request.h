@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Request/response vocabulary of the serving subsystem (DESIGN.md,
+ * "Serving").
+ *
+ * A client submits an ego-network inference request for one seed
+ * node; the server answers with the predicted class once a worker
+ * has run the forward-only pass, or with a rejection status when the
+ * request was shed at admission, expired in the queue, or failed in
+ * execution. PendingRequest pairs a request with the promise that
+ * carries its response back to the submitting thread, and guarantees
+ * the promise is always fulfilled — a dropped request resolves to
+ * Failed instead of a broken promise.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "nn/config.h"
+#include "tensor/kernels.h"
+#include "train/model_adapter.h"
+
+namespace buffalo::serve {
+
+/** The serving clock (monotonic; deadlines are time points on it). */
+using Clock = std::chrono::steady_clock;
+
+/** Terminal state of one inference request. */
+enum class ResponseStatus
+{
+    Ok,      ///< forward pass ran; prediction is valid
+    Shed,    ///< rejected at admission (queue full)
+    Expired, ///< deadline passed before a worker saw it
+    Failed,  ///< execution error or server shutdown
+};
+
+/** Printable name of @p status. */
+const char *responseStatusName(ResponseStatus status);
+
+/** One ego-network inference request. */
+struct InferenceRequest
+{
+    std::uint64_t id = 0;
+    graph::NodeId seed = 0;
+    Clock::time_point submit_time{};
+    Clock::time_point deadline{};
+};
+
+/** The server's answer to one request. */
+struct InferenceResponse
+{
+    std::uint64_t id = 0;
+    ResponseStatus status = ResponseStatus::Failed;
+    /** argmax of the logits row; -1 unless status == Ok. */
+    std::int32_t predicted_class = -1;
+    /** Logit of the predicted class. */
+    float score = 0.0f;
+    /** Time from submit to leaving the admission queue. */
+    double queue_ms = 0.0;
+    /** Time from submit to response. */
+    double latency_ms = 0.0;
+    /** True when the response was produced before the deadline. */
+    bool deadline_met = false;
+};
+
+/**
+ * A request travelling through the server, owning the promise its
+ * response is delivered on. Exactly one fulfill() wins; destruction
+ * without fulfillment resolves the future to Failed, so queue drops
+ * and shutdown can never leave a submitter blocked on a broken
+ * promise.
+ */
+class PendingRequest
+{
+  public:
+    PendingRequest() : responded_(true) {}
+
+    explicit PendingRequest(const InferenceRequest &request)
+        : request_(request)
+    {
+    }
+
+    PendingRequest(PendingRequest &&other) noexcept
+        : request_(other.request_),
+          promise_(std::move(other.promise_)),
+          responded_(other.responded_)
+    {
+        other.responded_ = true; // moved-from must not double-set
+    }
+
+    PendingRequest &
+    operator=(PendingRequest &&other) noexcept
+    {
+        if (this != &other) {
+            abandon();
+            request_ = other.request_;
+            promise_ = std::move(other.promise_);
+            responded_ = other.responded_;
+            other.responded_ = true;
+        }
+        return *this;
+    }
+
+    PendingRequest(const PendingRequest &) = delete;
+    PendingRequest &operator=(const PendingRequest &) = delete;
+
+    ~PendingRequest() { abandon(); }
+
+    const InferenceRequest &request() const { return request_; }
+
+    /** The future the submitter waits on; call exactly once. */
+    std::future<InferenceResponse>
+    takeFuture()
+    {
+        return promise_.get_future();
+    }
+
+    /**
+     * Resolves the request at time @p now. @p predicted_class and
+     * @p score matter only for Ok. Later calls are no-ops.
+     * @return the delivered response (for stats), or nullopt when
+     *         the request was already resolved.
+     */
+    std::optional<InferenceResponse>
+    fulfill(ResponseStatus status, Clock::time_point now,
+            std::int32_t predicted_class = -1, float score = 0.0f)
+    {
+        if (responded_)
+            return std::nullopt;
+        responded_ = true;
+        InferenceResponse response;
+        response.id = request_.id;
+        response.status = status;
+        response.predicted_class =
+            status == ResponseStatus::Ok ? predicted_class : -1;
+        response.score = status == ResponseStatus::Ok ? score : 0.0f;
+        response.latency_ms = millisSince(request_.submit_time, now);
+        response.queue_ms = response.latency_ms;
+        response.deadline_met =
+            status == ResponseStatus::Ok && now <= request_.deadline;
+        promise_.set_value(response);
+        return response;
+    }
+
+    /** fulfill() variant recording when the request left the queue. */
+    std::optional<InferenceResponse>
+    fulfillWithQueueTime(ResponseStatus status, Clock::time_point now,
+                         Clock::time_point dequeue_time,
+                         std::int32_t predicted_class, float score)
+    {
+        if (responded_)
+            return std::nullopt;
+        responded_ = true;
+        InferenceResponse response;
+        response.id = request_.id;
+        response.status = status;
+        response.predicted_class =
+            status == ResponseStatus::Ok ? predicted_class : -1;
+        response.score = status == ResponseStatus::Ok ? score : 0.0f;
+        response.latency_ms = millisSince(request_.submit_time, now);
+        response.queue_ms =
+            millisSince(request_.submit_time, dequeue_time);
+        response.deadline_met =
+            status == ResponseStatus::Ok && now <= request_.deadline;
+        promise_.set_value(response);
+        return response;
+    }
+
+  private:
+    static double
+    millisSince(Clock::time_point from, Clock::time_point to)
+    {
+        return std::chrono::duration<double, std::milli>(to - from)
+            .count();
+    }
+
+    void
+    abandon()
+    {
+        if (!responded_)
+            fulfill(ResponseStatus::Failed, Clock::now());
+    }
+
+    InferenceRequest request_;
+    std::promise<InferenceResponse> promise_;
+    bool responded_ = false;
+};
+
+/** Configuration of a serve::Server. */
+struct ServeOptions
+{
+    train::ModelKind model_kind = train::ModelKind::Sage;
+    nn::ModelConfig model;
+    /** Per-layer fanouts, input-most first (one per model layer). */
+    std::vector<int> fanouts = {10, 25};
+    /** Checkpoint to load into every worker replica; empty keeps the
+     *  seed-derived initialization. */
+    std::string checkpoint;
+
+    /** Admission queue capacity; beyond it requests are shed. */
+    std::size_t queue_capacity = 256;
+    /** Max requests coalesced into one micro-batch. */
+    std::size_t max_batch = 32;
+    /** Cap on estimated bytes of batches in flight (0 = off). */
+    std::uint64_t byte_budget = 0;
+    /** Per-request latency SLO; expired requests are rejected. */
+    double deadline_ms = 100.0;
+
+    /** Threads sampling/building/loading features per batch. */
+    std::size_t prep_threads = 1;
+    /** Threads running the forward pass (one model replica each). */
+    std::size_t workers = 1;
+    /** Prepared batches buffered ahead of the workers. */
+    std::size_t prepared_depth = 4;
+
+    /** Seed for model init and per-plan sampling RNG streams. */
+    std::uint64_t seed = 42;
+    /** Kernel-layer tunables (installed process-wide by the tool). */
+    tensor::kernels::KernelConfig kernels;
+};
+
+} // namespace buffalo::serve

@@ -1,0 +1,295 @@
+#include "serve/serve_loop.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "nn/checkpoint.h"
+#include "obs/event_log.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "train/feature_loader.h"
+#include "util/errors.h"
+#include "util/rng.h"
+
+namespace buffalo::serve {
+
+namespace names = buffalo::obs::names;
+
+const char *
+responseStatusName(ResponseStatus status)
+{
+    switch (status) {
+      case ResponseStatus::Ok: return "ok";
+      case ResponseStatus::Shed: return "shed";
+      case ResponseStatus::Expired: return "expired";
+      case ResponseStatus::Failed: return "failed";
+    }
+    return "?";
+}
+
+Server::Server(const ServeOptions &options,
+               const graph::Dataset &dataset)
+    : options_(options),
+      dataset_(dataset),
+      sampler_(options.fanouts),
+      admission_(options.queue_capacity),
+      batcher_(options.model, options.fanouts, options.max_batch,
+               options.byte_budget),
+      plans_(options.prepared_depth < 1 ? 1 : options.prepared_depth),
+      prepared_(options.prepared_depth < 1 ? 1
+                                           : options.prepared_depth),
+      budget_(options.byte_budget),
+      start_(Clock::now())
+{
+    checkArgument(options_.fanouts.size() ==
+                      static_cast<std::size_t>(
+                          options_.model.num_layers),
+                  "Server: fanouts must list one value per layer");
+    checkArgument(options_.model.feature_dim == dataset.featureDim(),
+                  "Server: model feature_dim != dataset featureDim");
+    const std::size_t workers =
+        options_.workers < 1 ? 1 : options_.workers;
+    const std::size_t preps =
+        options_.prep_threads < 1 ? 1 : options_.prep_threads;
+
+    // Identical replicas: same seed, then the same checkpoint. Any
+    // worker therefore produces bitwise-identical logits for a given
+    // prepared batch.
+    for (std::size_t w = 0; w < workers; ++w) {
+        models_.push_back(train::makeModel(
+            options_.model_kind, options_.model, options_.seed));
+        if (!options_.checkpoint.empty())
+            nn::loadCheckpointFile(options_.checkpoint,
+                                   models_.back()->module());
+    }
+
+    active_preps_.store(preps, std::memory_order_relaxed);
+    threads_.emplace_back([this] { batcherLoop(); });
+    for (std::size_t p = 0; p < preps; ++p)
+        threads_.emplace_back([this] { prepLoop(); });
+    for (std::size_t w = 0; w < workers; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+std::future<InferenceResponse>
+Server::submit(graph::NodeId seed)
+{
+    InferenceRequest request;
+    request.id =
+        next_request_id_.fetch_add(1, std::memory_order_relaxed);
+    request.seed = seed;
+    request.submit_time = Clock::now();
+    request.deadline =
+        request.submit_time +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(
+                options_.deadline_ms));
+
+    PendingRequest pending(request);
+    std::future<InferenceResponse> future = pending.takeFuture();
+    stats_.onSubmitted();
+
+    if (seed >= dataset_.graph().numNodes()) {
+        stats_.onErrors(1);
+        pending.fulfill(ResponseStatus::Failed, Clock::now());
+        return future;
+    }
+    if (!admission_.tryPush(pending)) {
+        stats_.onShed();
+        pending.fulfill(ResponseStatus::Shed, Clock::now());
+    }
+    return future;
+}
+
+void
+Server::batcherLoop()
+{
+    std::vector<PendingRequest> admitted;
+    std::vector<PendingRequest> expired;
+    for (;;) {
+        admitted.clear();
+        expired.clear();
+        if (!admission_.popBatch(options_.queue_capacity, &admitted,
+                                 &expired))
+            break;
+        if (!expired.empty()) {
+            const Clock::time_point now = Clock::now();
+            for (PendingRequest &request : expired)
+                request.fulfill(ResponseStatus::Expired, now);
+            stats_.onExpired(expired.size());
+        }
+        if (admitted.empty())
+            continue;
+        const Clock::time_point dequeued = Clock::now();
+        for (BatchPlan &plan : batcher_.plan(std::move(admitted))) {
+            plan.dequeue_time = dequeued;
+            // push() fails only on close/abort; the dropped plan's
+            // requests resolve to Failed via ~PendingRequest.
+            const std::size_t size = plan.requests.size();
+            if (!plans_.push(std::move(plan)))
+                stats_.onErrors(size);
+        }
+        admitted.clear();
+    }
+    plans_.close();
+}
+
+Server::PreparedBatch
+Server::prepare(BatchPlan plan) const
+{
+    obs::Span span(names::kSpanServePrep);
+    PreparedBatch prepared;
+
+    // Sampling seeds must be unique; requests for the same node
+    // share one ego network (and one logits row).
+    graph::NodeList unique_seeds;
+    std::unordered_map<graph::NodeId, std::size_t> seed_row;
+    prepared.output_rows.reserve(plan.requests.size());
+    for (const PendingRequest &request : plan.requests) {
+        const graph::NodeId seed = request.request().seed;
+        auto [it, inserted] =
+            seed_row.emplace(seed, unique_seeds.size());
+        if (inserted)
+            unique_seeds.push_back(seed);
+        prepared.output_rows.push_back(it->second);
+    }
+
+    // Per-plan RNG stream: sampling depends only on (seed, plan id),
+    // never on which prep thread ran or what ran before it.
+    util::Rng rng(options_.seed ^
+                  (0x5EEDF00Dull + plan.id * 0x9E3779B97F4A7C15ull));
+    auto sg = sampler_.sample(dataset_.graph(), unique_seeds, rng);
+
+    graph::NodeList output_locals(unique_seeds.size());
+    for (std::size_t i = 0; i < output_locals.size(); ++i)
+        output_locals[i] = static_cast<graph::NodeId>(i);
+    prepared.mb = generator_.generate(sg, output_locals);
+    prepared.features =
+        train::loadFeatures(dataset_, prepared.mb.inputNodes());
+    prepared.plan = std::move(plan);
+    return prepared;
+}
+
+void
+Server::prepLoop()
+{
+    while (auto plan = plans_.pop()) {
+        const std::uint64_t charge = plan->estimated_bytes;
+        const std::size_t size = plan->requests.size();
+        if (!budget_.acquire(charge)) {
+            // cancel() only fires on abort paths; fail the batch.
+            stats_.onErrors(size);
+            continue;
+        }
+        try {
+            PreparedBatch batch = prepare(std::move(*plan));
+            batch.charged_bytes = charge;
+            if (!prepared_.push(std::move(batch))) {
+                budget_.release(charge);
+                stats_.onErrors(size);
+            }
+        } catch (const std::exception &) {
+            // The plan's requests resolve to Failed on destruction.
+            budget_.release(charge);
+            stats_.onErrors(size);
+        }
+    }
+    if (active_preps_.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        prepared_.close();
+}
+
+void
+Server::workerLoop(std::size_t worker_index)
+{
+    train::GnnModel &model = *models_[worker_index];
+    while (auto batch = prepared_.pop()) {
+        const std::size_t size = batch->plan.requests.size();
+        stats_.onBatch(size);
+        try {
+            nn::Tensor logits;
+            {
+                obs::Span span(names::kSpanServeForward);
+                logits = model.forwardInference(batch->mb,
+                                                batch->features,
+                                                nullptr);
+            }
+            const std::size_t classes = logits.cols();
+            const Clock::time_point now = Clock::now();
+            for (std::size_t i = 0; i < size; ++i) {
+                const float *row = logits.data() +
+                                   batch->output_rows[i] * classes;
+                std::size_t best = 0;
+                for (std::size_t c = 1; c < classes; ++c)
+                    if (row[c] > row[best])
+                        best = c;
+                auto response =
+                    batch->plan.requests[i].fulfillWithQueueTime(
+                        ResponseStatus::Ok, now,
+                        batch->plan.dequeue_time,
+                        static_cast<std::int32_t>(best), row[best]);
+                if (response)
+                    stats_.onCompleted(*response);
+            }
+            obs::eventLog()
+                .event(names::kEvServeBatch)
+                .field("plan", batch->plan.id)
+                .field("requests", static_cast<std::uint64_t>(size))
+                .field("unique_seeds",
+                       static_cast<std::uint64_t>(
+                           batch->mb.outputNodes().size()))
+                .field("estimated_bytes",
+                       batch->plan.estimated_bytes);
+        } catch (const std::exception &) {
+            const Clock::time_point now = Clock::now();
+            for (PendingRequest &request : batch->plan.requests)
+                request.fulfill(ResponseStatus::Failed, now);
+            stats_.onErrors(size);
+        }
+        budget_.release(batch->charged_bytes);
+    }
+}
+
+void
+Server::shutdown()
+{
+    if (shut_down_.exchange(true))
+        return;
+    admission_.close();
+    for (std::thread &thread : threads_)
+        thread.join();
+    threads_.clear();
+    final_elapsed_seconds_.store(
+        std::chrono::duration<double>(Clock::now() - start_).count(),
+        std::memory_order_relaxed);
+    stats_.publishGauges(elapsedSeconds(), admission_.maxOccupancy());
+}
+
+double
+Server::elapsedSeconds() const
+{
+    const double final_elapsed =
+        final_elapsed_seconds_.load(std::memory_order_relaxed);
+    if (final_elapsed > 0.0)
+        return final_elapsed;
+    return std::chrono::duration<double>(Clock::now() - start_)
+        .count();
+}
+
+ServeSnapshot
+Server::stats() const
+{
+    return stats_.snapshot(elapsedSeconds());
+}
+
+std::size_t
+Server::maxQueueDepth() const
+{
+    return admission_.maxOccupancy();
+}
+
+} // namespace buffalo::serve

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The serving engine (DESIGN.md, "Serving"): a three-stage pipeline
+ * behind a bounded admission queue.
+ *
+ *   submit() -> AdmissionQueue -> batcher -> StageQueue<BatchPlan>
+ *           -> prep threads (sample + blockgen + features, under a
+ *              ByteBudget) -> StageQueue<PreparedBatch>
+ *           -> workers (Model::forwardInference, one replica each)
+ *
+ * Backpressure composes outward: workers drain prepared batches, the
+ * prepared queue and the ByteBudget bound prep, the plan queue bounds
+ * the batcher, and once the admission queue fills, new requests are
+ * shed at submit() — the only unbounded thing is the client's retry
+ * policy. Determinism: per-plan RNG streams are derived from
+ * (seed, plan id), worker replicas share identical weights, and the
+ * PR-5 kernel layer is bitwise reproducible at any thread count, so
+ * a request's prediction does not depend on scheduling.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "pipeline/stage_queue.h"
+#include "sampling/block_generator.h"
+#include "sampling/sampled_subgraph.h"
+#include "serve/admission_queue.h"
+#include "serve/batcher.h"
+#include "serve/request.h"
+#include "serve/server_stats.h"
+#include "train/model_adapter.h"
+
+namespace buffalo::serve {
+
+/** A concurrent forward-only inference server over one dataset. */
+class Server
+{
+  public:
+    /**
+     * Builds the worker replicas (loading @p options.checkpoint into
+     * each when set) and starts the pipeline threads. @p dataset
+     * must outlive the server.
+     */
+    Server(const ServeOptions &options,
+           const graph::Dataset &dataset);
+
+    /** Shuts down (drains in-flight requests) and joins. */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Submits one inference request for @p seed. Never blocks: when
+     * the admission queue is full the returned future resolves to
+     * Shed immediately. Out-of-range seeds resolve to Failed.
+     */
+    std::future<InferenceResponse> submit(graph::NodeId seed);
+
+    /**
+     * Stops admissions, drains everything in flight, joins the
+     * pipeline threads, and publishes the final serve.* gauges.
+     * Idempotent; also run by the destructor.
+     */
+    void shutdown();
+
+    /** Traffic summary over the server's lifetime so far. */
+    ServeSnapshot stats() const;
+
+    /** High-water mark of the admission queue. */
+    std::size_t maxQueueDepth() const;
+
+    const ServeOptions &options() const { return options_; }
+
+  private:
+    /** A plan with its blocks and features materialized. */
+    struct PreparedBatch
+    {
+        BatchPlan plan;
+        sampling::MicroBatch mb;
+        nn::Tensor features;
+        /** Logits row answering plan.requests[i] (seeds dedup'd). */
+        std::vector<std::size_t> output_rows;
+        std::uint64_t charged_bytes = 0;
+    };
+
+    void batcherLoop();
+    void prepLoop();
+    void workerLoop(std::size_t worker_index);
+    PreparedBatch prepare(BatchPlan plan) const;
+    double elapsedSeconds() const;
+
+    ServeOptions options_;
+    const graph::Dataset &dataset_;
+    sampling::NeighborSampler sampler_;
+    sampling::FastBlockGenerator generator_;
+
+    AdmissionQueue admission_;
+    Batcher batcher_; ///< batcher thread only
+    pipeline::StageQueue<BatchPlan> plans_;
+    pipeline::StageQueue<PreparedBatch> prepared_;
+    pipeline::ByteBudget budget_;
+    ServerStats stats_;
+
+    /** One replica per worker; identical weights, so results do not
+     *  depend on which worker executes a batch. */
+    std::vector<std::unique_ptr<train::GnnModel>> models_;
+
+    std::atomic<std::uint64_t> next_request_id_{1};
+    std::atomic<std::size_t> active_preps_{0};
+    std::atomic<bool> shut_down_{false};
+    Clock::time_point start_;
+    std::atomic<double> final_elapsed_seconds_{0.0};
+
+    std::vector<std::thread> threads_; ///< last member: joins first
+};
+
+} // namespace buffalo::serve

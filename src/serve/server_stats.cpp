@@ -1,0 +1,127 @@
+#include "serve/server_stats.h"
+
+#include "obs/names.h"
+
+namespace buffalo::serve {
+
+namespace names = buffalo::obs::names;
+
+ServerStats::ServerStats() = default;
+
+void
+ServerStats::onSubmitted()
+{
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter(names::kCtrServeRequests).add();
+}
+
+void
+ServerStats::onShed()
+{
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    obs::metrics().counter(names::kCtrServeShed).add();
+}
+
+void
+ServerStats::onExpired(std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    expired_.fetch_add(count, std::memory_order_relaxed);
+    obs::metrics().counter(names::kCtrServeExpired).add(count);
+}
+
+void
+ServerStats::onBatch(std::uint64_t size)
+{
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(size, std::memory_order_relaxed);
+    obs::metrics().counter(names::kCtrServeBatches).add();
+    obs::metrics()
+        .histogram(names::kHistServeBatchSize)
+        .add(static_cast<double>(size));
+}
+
+void
+ServerStats::onCompleted(const InferenceResponse &response)
+{
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (!response.deadline_met)
+        deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    latency_ms_.add(response.latency_ms);
+    queue_ms_.add(response.queue_ms);
+    obs::metrics().counter(names::kCtrServeCompleted).add();
+    if (!response.deadline_met)
+        obs::metrics()
+            .counter(names::kCtrServeDeadlineMisses)
+            .add();
+    obs::metrics()
+        .histogram(names::kHistServeLatencyMs)
+        .add(response.latency_ms);
+    obs::metrics()
+        .histogram(names::kHistServeQueueMs)
+        .add(response.queue_ms);
+}
+
+void
+ServerStats::onErrors(std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    errors_.fetch_add(count, std::memory_order_relaxed);
+    obs::metrics().counter(names::kCtrServeErrors).add(count);
+}
+
+ServeSnapshot
+ServerStats::snapshot(double elapsed_seconds) const
+{
+    ServeSnapshot snap;
+    snap.submitted = submitted_.load(std::memory_order_relaxed);
+    snap.shed = shed_.load(std::memory_order_relaxed);
+    snap.expired = expired_.load(std::memory_order_relaxed);
+    snap.completed = completed_.load(std::memory_order_relaxed);
+    snap.errors = errors_.load(std::memory_order_relaxed);
+    snap.batches = batches_.load(std::memory_order_relaxed);
+    snap.deadline_misses =
+        deadline_misses_.load(std::memory_order_relaxed);
+    snap.elapsed_seconds = elapsed_seconds;
+
+    const std::uint64_t good = snap.completed - snap.deadline_misses;
+    snap.goodput_qps =
+        elapsed_seconds > 0.0
+            ? static_cast<double>(good) / elapsed_seconds
+            : 0.0;
+    snap.shed_rate = snap.submitted > 0
+                         ? static_cast<double>(snap.shed) /
+                               static_cast<double>(snap.submitted)
+                         : 0.0;
+    snap.latency_p50_ms = latency_ms_.percentile(50.0);
+    snap.latency_p99_ms = latency_ms_.percentile(99.0);
+    snap.latency_p999_ms = latency_ms_.percentile(99.9);
+    snap.queue_p99_ms = queue_ms_.percentile(99.0);
+    const std::uint64_t batched =
+        batched_requests_.load(std::memory_order_relaxed);
+    snap.mean_batch_size =
+        snap.batches > 0 ? static_cast<double>(batched) /
+                               static_cast<double>(snap.batches)
+                         : 0.0;
+    return snap;
+}
+
+void
+ServerStats::publishGauges(double elapsed_seconds,
+                           std::size_t max_queue_depth) const
+{
+    const ServeSnapshot snap = snapshot(elapsed_seconds);
+    obs::metrics()
+        .gauge(names::kGaugeServeGoodputQps)
+        .set(snap.goodput_qps);
+    obs::metrics()
+        .gauge(names::kGaugeServeShedRate)
+        .set(snap.shed_rate);
+    obs::metrics()
+        .gauge(names::kGaugeServeMaxQueueDepth)
+        .set(static_cast<double>(max_queue_depth));
+}
+
+} // namespace buffalo::serve

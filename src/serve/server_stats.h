@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Serving SLO accounting (DESIGN.md, "Serving"): request counts by
+ * outcome, latency reservoirs, goodput and shed rate.
+ *
+ * Counts live in per-server atomics so concurrent servers (tests run
+ * several) stay independent; every update is also mirrored into the
+ * process-wide obs::metrics() registry under the serve.* names so
+ * `--metrics-json` and obs_validate see the serving surface with no
+ * extra wiring.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "serve/request.h"
+
+namespace buffalo::serve {
+
+/** Point-in-time summary of one server's traffic. */
+struct ServeSnapshot
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
+    std::uint64_t completed = 0; ///< Ok responses (late ones included)
+    std::uint64_t errors = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t deadline_misses = 0; ///< completed but late
+
+    double elapsed_seconds = 0.0;
+    /** Deadline-met completions per second of elapsed time. */
+    double goodput_qps = 0.0;
+    /** shed / submitted (0 when nothing was submitted). */
+    double shed_rate = 0.0;
+
+    double latency_p50_ms = 0.0;
+    double latency_p99_ms = 0.0;
+    double latency_p999_ms = 0.0;
+    double queue_p99_ms = 0.0;
+    double mean_batch_size = 0.0;
+};
+
+/** Thread-safe per-server statistics sink. */
+class ServerStats
+{
+  public:
+    ServerStats();
+
+    ServerStats(const ServerStats &) = delete;
+    ServerStats &operator=(const ServerStats &) = delete;
+
+    void onSubmitted();
+    void onShed();
+    void onExpired(std::uint64_t count);
+    /** A micro-batch of @p size requests entered the forward pass. */
+    void onBatch(std::uint64_t size);
+    /** An Ok response; feeds the latency reservoirs. */
+    void onCompleted(const InferenceResponse &response);
+    void onErrors(std::uint64_t count);
+
+    /** Summarizes traffic over @p elapsed_seconds of wall time. */
+    ServeSnapshot snapshot(double elapsed_seconds) const;
+
+    /** Publishes goodput/shed-rate gauges to obs::metrics(). */
+    void publishGauges(double elapsed_seconds,
+                       std::size_t max_queue_depth) const;
+
+  private:
+    std::atomic<std::uint64_t> submitted_{0};
+    std::atomic<std::uint64_t> shed_{0};
+    std::atomic<std::uint64_t> expired_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> errors_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> batched_requests_{0};
+    std::atomic<std::uint64_t> deadline_misses_{0};
+
+    /** Per-server reservoirs; the registry mirrors aggregate. */
+    obs::ReservoirHistogram latency_ms_;
+    obs::ReservoirHistogram queue_ms_;
+};
+
+} // namespace buffalo::serve

@@ -24,6 +24,14 @@ class SageAdapter : public GnnModel
         return model_.forward(mb, input_features, cache_, observer);
     }
 
+    nn::Tensor
+    forwardInference(const sampling::MicroBatch &mb,
+                     const nn::Tensor &input_features,
+                     nn::AllocationObserver *observer) override
+    {
+        return model_.forwardInference(mb, input_features, observer);
+    }
+
     void
     backward(const nn::Tensor &grad_logits,
              nn::AllocationObserver *observer) override
@@ -62,6 +70,14 @@ class GcnAdapter : public GnnModel
         return model_.forward(mb, input_features, cache_, observer);
     }
 
+    nn::Tensor
+    forwardInference(const sampling::MicroBatch &mb,
+                     const nn::Tensor &input_features,
+                     nn::AllocationObserver *observer) override
+    {
+        return model_.forwardInference(mb, input_features, observer);
+    }
+
     void
     backward(const nn::Tensor &grad_logits,
              nn::AllocationObserver *observer) override
@@ -98,6 +114,14 @@ class GatAdapter : public GnnModel
             nn::AllocationObserver *observer) override
     {
         return model_.forward(mb, input_features, cache_, observer);
+    }
+
+    nn::Tensor
+    forwardInference(const sampling::MicroBatch &mb,
+                     const nn::Tensor &input_features,
+                     nn::AllocationObserver *observer) override
+    {
+        return model_.forwardInference(mb, input_features, observer);
     }
 
     void

@@ -34,6 +34,17 @@ class GnnModel
                                const nn::Tensor &input_features,
                                nn::AllocationObserver *observer) = 0;
 
+    /**
+     * Forward-only pass for serving: bitwise-identical logits to
+     * forward(), but no activation cache is retained, so no
+     * backward() may follow and peak memory stays bounded by one
+     * layer's working set.
+     */
+    virtual nn::Tensor
+    forwardInference(const sampling::MicroBatch &mb,
+                     const nn::Tensor &input_features,
+                     nn::AllocationObserver *observer) = 0;
+
     /** Backward for the last forward(); releases the cache. */
     virtual void backward(const nn::Tensor &grad_logits,
                           nn::AllocationObserver *observer) = 0;

@@ -5,6 +5,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <sstream>
 
 #include "nn/checkpoint.h"
@@ -114,6 +115,96 @@ TEST(Checkpoint, RejectsShapeMismatch)
     wide_config.hidden_dim = 16;
     SageModel wide(wide_config, 1);
     EXPECT_THROW(loadCheckpoint(buffer, wide), InvalidArgument);
+}
+
+TEST(Checkpoint, ShapeMismatchErrorNamesBothShapes)
+{
+    SageModel narrow(smallConfig(), 1);
+    std::stringstream buffer;
+    saveCheckpoint(buffer, narrow);
+
+    ModelConfig wide_config = smallConfig();
+    wide_config.hidden_dim = 16;
+    SageModel wide(wide_config, 1);
+    try {
+        loadCheckpoint(buffer, wide);
+        FAIL() << "expected InvalidArgument";
+    } catch (const InvalidArgument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("shape mismatch"), std::string::npos)
+            << what;
+        // Both the checkpoint's and the model's dimensions must be
+        // spelled out so the user can see which config knob is off.
+        EXPECT_NE(what.find("8"), std::string::npos) << what;
+        EXPECT_NE(what.find("16"), std::string::npos) << what;
+        EXPECT_NE(what.find("hidden_dim"), std::string::npos) << what;
+    }
+}
+
+TEST(Checkpoint, RejectsExtraParameters)
+{
+    // Build a checkpoint that is a strict superset of the model's
+    // parameters: every model parameter matches, plus one orphan
+    // entry. The load must fail naming the orphan rather than
+    // silently dropping it.
+    SageModel model(smallConfig(), 1);
+    std::stringstream buffer;
+    saveCheckpoint(buffer, model);
+    std::string bytes = buffer.str();
+
+    // Bump the entry count (u64 after the 4-byte magic and u32
+    // version) and append one 2x2 entry under an unknown name.
+    std::uint64_t count = 0;
+    std::memcpy(&count, bytes.data() + 8, sizeof(count));
+    ++count;
+    std::memcpy(bytes.data() + 8, &count, sizeof(count));
+    const std::string name = "stale.extra.weight";
+    const std::uint64_t name_size = name.size();
+    const std::uint64_t dims[2] = {2, 2};
+    const float values[4] = {0.0f, 0.0f, 0.0f, 0.0f};
+    bytes.append(reinterpret_cast<const char *>(&name_size),
+                 sizeof(name_size));
+    bytes.append(name);
+    bytes.append(reinterpret_cast<const char *>(dims), sizeof(dims));
+    bytes.append(reinterpret_cast<const char *>(values),
+                 sizeof(values));
+
+    std::istringstream superset(bytes);
+    try {
+        loadCheckpoint(superset, model);
+        FAIL() << "expected InvalidArgument";
+    } catch (const InvalidArgument &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("no matching model parameter"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("stale.extra.weight"), std::string::npos)
+            << what;
+    }
+}
+
+TEST(Checkpoint, FailedLoadLeavesModelUntouched)
+{
+    SageModel narrow(smallConfig(), 1);
+    std::stringstream buffer;
+    saveCheckpoint(buffer, narrow);
+
+    ModelConfig wide_config = smallConfig();
+    wide_config.hidden_dim = 16;
+    SageModel wide(wide_config, /*seed=*/7);
+    std::vector<Tensor> before;
+    for (Parameter *param : wide.parameters())
+        before.push_back(param->value());
+
+    EXPECT_THROW(loadCheckpoint(buffer, wide), InvalidArgument);
+
+    // Validation runs before any copy, so a rejected checkpoint must
+    // never leave the module half-loaded.
+    auto params = wide.parameters();
+    ASSERT_EQ(params.size(), before.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+        EXPECT_EQ(tensor::maxAbsDiff(params[i]->value(), before[i]),
+                  0.0);
 }
 
 TEST(Checkpoint, RejectsCorruption)

@@ -9,11 +9,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/event_log.h"
+#include "obs/flush.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/phase.h"
@@ -317,6 +322,85 @@ TEST(Phase, PhaseScopeChargesTimerAndSpan)
     EXPECT_EQ(timer.phases().size(), 1u);
     EXPECT_GE(global.spanCount(), 1u);
     global.clear();
+}
+
+// ---------------------------------------------------------------------
+// Exit-safe flushing
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+TEST(ExitFlush, FlushClosesLogAndWritesMetrics)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string log_path = dir + "/buffalo_flush_test.jsonl";
+    const std::string metrics_path =
+        dir + "/buffalo_flush_test_metrics.json";
+    std::remove(log_path.c_str());
+    std::remove(metrics_path.c_str());
+
+    eventLog().open(log_path);
+    eventLog().event("run.begin").field("tool", "obs_test");
+    metrics().counter("test.flush.marker").add(3);
+    exitFlush().registerMetricsJson(metrics_path);
+    exitFlush().flush();
+
+    // The log is closed (complete on disk) and terminated by the
+    // run.flush marker; the metrics dump exists and parses.
+    EXPECT_FALSE(eventLog().enabled());
+    const std::string log = slurp(log_path);
+    EXPECT_NE(log.find("\"run.begin\""), std::string::npos) << log;
+    EXPECT_NE(log.find("\"run.flush\""), std::string::npos) << log;
+    const std::string metrics_json = slurp(metrics_path);
+    EXPECT_NE(metrics_json.find("test.flush.marker"),
+              std::string::npos);
+    EXPECT_NO_THROW(JsonValue::parse(metrics_json));
+
+    // Idempotent: a second flush (the atexit hook on a clean exit)
+    // must not reopen the log or append anything.
+    const auto size_before = log.size();
+    exitFlush().flush();
+    EXPECT_EQ(slurp(log_path).size(), size_before);
+    exitFlush().registerMetricsJson("");
+}
+
+TEST(ExitFlushDeath, AtexitHookFlushesOnEarlyExit)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const std::string dir = ::testing::TempDir();
+    const std::string log_path = dir + "/buffalo_exit_test.jsonl";
+    const std::string metrics_path =
+        dir + "/buffalo_exit_test_metrics.json";
+    std::remove(log_path.c_str());
+    std::remove(metrics_path.c_str());
+
+    // The child arms the hook and leaves through std::exit without
+    // ever flushing explicitly — the early-termination path that
+    // used to truncate --run-log/--metrics-json output.
+    EXPECT_EXIT(
+        {
+            eventLog().open(log_path);
+            eventLog().event("run.begin").field("tool", "child");
+            metrics().counter("test.exit.marker").add(1);
+            exitFlush().registerMetricsJson(metrics_path);
+            exitFlush().arm();
+            std::exit(0);
+        },
+        ::testing::ExitedWithCode(0), "");
+
+    const std::string log = slurp(log_path);
+    EXPECT_NE(log.find("\"run.begin\""), std::string::npos) << log;
+    EXPECT_NE(log.find("\"run.flush\""), std::string::npos) << log;
+    const std::string metrics_json = slurp(metrics_path);
+    EXPECT_NE(metrics_json.find("test.exit.marker"),
+              std::string::npos);
+    EXPECT_NO_THROW(JsonValue::parse(metrics_json));
 }
 
 } // namespace

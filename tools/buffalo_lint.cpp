@@ -23,9 +23,10 @@
  *   header-hygiene  Every header has `#pragma once`; no `"../"`
  *                   relative-up includes.
  *   ci-names        Every literal name in a tools/ci.sh
- *                   `--expect-spans` / `--expect-metrics` list must
- *                   exist in src/obs/names.h (the `@core` shorthand
- *                   expands inside obs_validate itself).
+ *                   `--expect-spans` / `--expect-metrics` /
+ *                   `--expect-events` list must exist in
+ *                   src/obs/names.h (the `@core` / `@serve`
+ *                   shorthands expand inside obs_validate itself).
  *
  * Usage:
  *   buffalo_lint [--root DIR]     lint DIR/src plus DIR/tools/ci.sh
@@ -355,7 +356,8 @@ lintCiNames(const fs::path &ci_script,
             const std::set<std::string> &registered)
 {
     const std::vector<std::string> lines = readLines(ci_script);
-    const std::regex expect(R"(--expect-(spans|metrics)\s+"?([^"\s\\]+))");
+    const std::regex expect(
+        R"(--expect-(spans|metrics|events)\s+"?([^"\s\\]+))");
     for (std::size_t i = 0; i < lines.size(); ++i) {
         for (std::sregex_iterator it(lines[i].begin(),
                                      lines[i].end(), expect),

@@ -23,6 +23,7 @@
 #include "nn/checkpoint.h"
 #include "obs/audit.h"
 #include "obs/event_log.h"
+#include "obs/flush.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
@@ -256,6 +257,13 @@ main(int argc, char **argv)
                 .field("batch_size", flags.getInt("batch-size", 256))
                 .field("budget_mb", flags.getInt("budget-mb", 64));
         }
+        // Arm the exit flusher so --run-log / --metrics-json are
+        // complete even when an error path calls std::exit early.
+        if (flags.has("metrics-json"))
+            obs::exitFlush().registerMetricsJson(
+                flags.getString("metrics-json"));
+        if (flags.has("run-log") || flags.has("metrics-json"))
+            obs::exitFlush().arm();
 
         // The per-epoch progress lines ride the unified reporting
         // hook, so one runTraining loop serves every trainer.

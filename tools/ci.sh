@@ -5,9 +5,11 @@
 #   1. Release build + full test suite + lint leg (buffalo_lint over
 #      src/ and the ci.sh expectation lists) + observability smoke
 #      epoch gated by obs_validate (trace, metrics, JSONL run log,
-#      memory-audit error bound) + bench-smoke and bench-kernels
-#      regression legs gated by bench_diff against the committed
-#      baselines.
+#      memory-audit error bound) + serving smoke (short fixed-QPS
+#      buffalo_serve run asserting nonzero goodput and zero errors,
+#      gated by obs_validate `@serve`) + bench-smoke, bench-kernels
+#      and bench-serve regression legs gated by bench_diff against
+#      the committed baselines.
 #   2. ThreadSanitizer build + tests (cheap races in
 #      StageQueue/Prefetcher show up here long before they show up in
 #      production runs).
@@ -61,6 +63,30 @@ mkdir -p "${obs_dir}"
     --audit "${obs_dir}/audit.json" \
     --max-audit-error 0.25
 
+echo "=== Serving smoke ==="
+serve_dir="${prefix}-release/serve-smoke"
+mkdir -p "${serve_dir}"
+# Short fixed-QPS run: --require-goodput makes buffalo_serve exit
+# non-zero unless goodput > 0 with zero errors/failed requests, so
+# this leg asserts the whole admission -> batch -> blockgen ->
+# forwardInference path works under concurrency. `@serve` expands to
+# the serve expectation lists in src/obs/names.h.
+"${prefix}-release/tools/buffalo_serve" \
+    --dataset cora --scale 0.5 --qps 200 --clients 2 \
+    --duration-s 2 --deadline-ms 200 \
+    --workers 2 --prep-threads 2 --kernel-threads 2 \
+    --trace-out "${serve_dir}/trace.json" \
+    --metrics-json "${serve_dir}/metrics.json" \
+    --run-log "${serve_dir}/run.jsonl" \
+    --require-goodput
+"${prefix}-release/tools/obs_validate" \
+    --trace "${serve_dir}/trace.json" \
+    --expect-spans "@serve" \
+    --metrics "${serve_dir}/metrics.json" \
+    --expect-metrics "@serve" \
+    --run-log "${serve_dir}/run.jsonl" \
+    --expect-events "@serve"
+
 echo "=== Bench-smoke regression gate ==="
 bench_dir="${prefix}-release/bench-smoke"
 mkdir -p "${bench_dir}"
@@ -73,6 +99,11 @@ BUFFALO_BENCH_DIR="${bench_dir}" \
 "${prefix}-release/tools/bench_diff" \
     bench/baselines/BENCH_kernels.json \
     "${bench_dir}/BENCH_kernels.json"
+BUFFALO_BENCH_DIR="${bench_dir}" \
+    "${prefix}-release/bench/bench_serve"
+"${prefix}-release/tools/bench_diff" \
+    bench/baselines/BENCH_serve.json \
+    "${bench_dir}/BENCH_serve.json"
 
 echo "=== ThreadSanitizer build + tests ==="
 cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

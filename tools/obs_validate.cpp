@@ -49,18 +49,23 @@ splitCommas(const std::string &text)
 }
 
 /**
- * Expands the `@core` shorthand to the central expectation list in
- * obs/names.h, so ci.sh cannot drift from the instrumented names.
- * Plain comma-separated names pass through unchanged.
+ * Expands the `@core` / `@serve` shorthands to the central
+ * expectation lists in obs/names.h, so ci.sh cannot drift from the
+ * instrumented names. Plain comma-separated names pass through
+ * unchanged.
  */
-template <std::size_t N>
+template <std::size_t N, std::size_t M>
 std::vector<std::string>
-expandExpected(const std::string &csv, const char *const (&core)[N])
+expandExpected(const std::string &csv, const char *const (&core)[N],
+               const char *const (&serve)[M])
 {
     std::vector<std::string> out;
     for (const std::string &item : splitCommas(csv)) {
         if (item == "@core")
             out.insert(out.end(), std::begin(core), std::end(core));
+        else if (item == "@serve")
+            out.insert(out.end(), std::begin(serve),
+                       std::end(serve));
         else
             out.push_back(item);
     }
@@ -267,8 +272,8 @@ main(int argc, char **argv)
                 "[--expect-events e,f]]\n"
                 "                    [--audit FILE "
                 "[--max-audit-error X]]\n"
-                "`@core` in an expect list expands to the central\n"
-                "expectation set in src/obs/names.h.\n");
+                "`@core` / `@serve` in an expect list expand to the\n"
+                "central expectation sets in src/obs/names.h.\n");
             return 0;
         }
         flags.checkKnown({"help", "trace", "metrics", "expect-spans",
@@ -283,10 +288,12 @@ main(int argc, char **argv)
         if (flags.has("trace")) {
             const std::string path = flags.getString("trace");
             const std::set<std::string> spans = validateTrace(path);
-            checkExpected(spans,
-                          expandExpected(flags.getString("expect-spans"),
-                                         buffalo::obs::names::kCoreSpans),
-                          "span");
+            checkExpected(
+                spans,
+                expandExpected(flags.getString("expect-spans"),
+                               buffalo::obs::names::kCoreSpans,
+                               buffalo::obs::names::kServeSpans),
+                "span");
             std::printf("obs_validate: %s ok (%zu span names)\n",
                         path.c_str(), spans.size());
         }
@@ -296,7 +303,8 @@ main(int argc, char **argv)
             checkExpected(
                 metrics,
                 expandExpected(flags.getString("expect-metrics"),
-                               buffalo::obs::names::kCoreMetrics),
+                               buffalo::obs::names::kCoreMetrics,
+                               buffalo::obs::names::kServeMetrics),
                 "metric");
             std::printf("obs_validate: %s ok (%zu metrics)\n",
                         path.c_str(), metrics.size());
@@ -307,7 +315,8 @@ main(int argc, char **argv)
             checkExpected(
                 events,
                 expandExpected(flags.getString("expect-events"),
-                               buffalo::obs::names::kCoreEvents),
+                               buffalo::obs::names::kCoreEvents,
+                               buffalo::obs::names::kServeEvents),
                 "event");
             std::printf("obs_validate: %s ok (%zu event types)\n",
                         path.c_str(), events.size());
