@@ -53,6 +53,12 @@ inline constexpr char kCtrDeviceOomEvents[] = "device.oom_events";
 // --- Counters: memory audit ----------------------------------------
 inline constexpr char kCtrAuditGroups[] = "audit.groups";
 
+// --- Counters: feature-cache policies ------------------------------
+// Micro-batches the startup presample pass sampled to build the
+// frequency table (PresampleFrequencyPolicy only).
+inline constexpr char kCtrCachePresampleBatches[] =
+    "cache.presample_batches";
+
 // --- Counters: serving (DESIGN.md, "Serving") ----------------------
 // requests = everything submitted; shed = rejected at admission
 // (queue full); expired = dropped past their deadline before a
@@ -120,6 +126,10 @@ inline constexpr char kGaugeCacheHitRate[] = "cache.hit_rate";
 inline constexpr char kGaugeCacheBytesInUse[] = "cache.bytes_in_use";
 inline constexpr char kGaugeCacheResidentNodes[] =
     "cache.resident_nodes";
+inline constexpr char kGaugeCachePinnedNodes[] =
+    "cache.pinned_nodes";
+inline constexpr char kGaugeCachePresampleSeconds[] =
+    "cache.presample_seconds";
 inline constexpr char kGaugeTracerDroppedSpans[] =
     "tracer.dropped_spans";
 inline constexpr char kGaugeAuditMeanAbsRelError[] =
@@ -161,6 +171,9 @@ inline constexpr char kEvSchedulerExplosionSplit[] =
 inline constexpr char kEvTrainOomRetry[] = "train.oom_retry";
 inline constexpr char kEvTrainEpochSummary[] = "train.epoch_summary";
 inline constexpr char kEvCacheSnapshot[] = "cache.snapshot";
+/** Emitted when a cache policy is built (makeCachePolicy): policy
+ *  name plus the presample pass cost when one ran. */
+inline constexpr char kEvCachePolicy[] = "cache.policy";
 inline constexpr char kEvDeviceOom[] = "device.oom";
 inline constexpr char kEvServeBatch[] = "serve.batch";
 inline constexpr char kEvServeSummary[] = "serve.summary";
@@ -217,6 +230,26 @@ inline constexpr const char *kServeEvents[] = {
     kEvServeSummary,
     kEvRunFlush,
     kEvRunEnd,
+};
+
+// --- Cache CI expectations (`obs_validate --expect-* @cache`) ------
+// Metrics any cache-enabled run with `--cache-policy presample` must
+// register — both the ci.sh smoke epoch and the serving smoke enable
+// the cache with the presample policy, so they share this list.
+inline constexpr const char *kCacheMetrics[] = {
+    kGaugeCacheHits,
+    kGaugeCacheMisses,
+    kGaugeCacheHitRate,
+    kGaugeCachePinnedNodes,
+    kCtrCachePresampleBatches,
+    kGaugeCachePresampleSeconds,
+};
+
+// Event types any cache-enabled run must log: the policy-build event
+// (with the presample cost) and the end-of-run cache snapshot.
+inline constexpr const char *kCacheEvents[] = {
+    kEvCachePolicy,
+    kEvCacheSnapshot,
 };
 
 } // namespace buffalo::obs::names

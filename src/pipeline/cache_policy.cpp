@@ -1,0 +1,155 @@
+#include "pipeline/cache_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/errors.h"
+
+namespace buffalo::pipeline {
+
+graph::NodeList
+LruOnlyPolicy::pinSet(const graph::Dataset &dataset,
+                      std::size_t max_pinned) const
+{
+    (void)dataset;
+    (void)max_pinned;
+    return {};
+}
+
+graph::NodeList
+DegreePolicy::pinSet(const graph::Dataset &dataset,
+                     std::size_t max_pinned) const
+{
+    const graph::CsrGraph &g = dataset.graph();
+    graph::NodeList order(g.numNodes());
+    std::iota(order.begin(), order.end(), graph::NodeId{0});
+    const std::size_t count =
+        std::min<std::size_t>(max_pinned, order.size());
+    if (count == 0)
+        return {};
+    std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                      [&g](graph::NodeId a, graph::NodeId b) {
+                          const auto da = g.degree(a);
+                          const auto db = g.degree(b);
+                          return da != db ? da > db : a < b;
+                      });
+    order.resize(count);
+    return order;
+}
+
+PresampleFrequencyPolicy::PresampleFrequencyPolicy(
+    std::vector<std::uint64_t> frequency)
+    : frequency_(std::move(frequency))
+{
+}
+
+graph::NodeList
+PresampleFrequencyPolicy::pinSet(const graph::Dataset &dataset,
+                                 std::size_t max_pinned) const
+{
+    const graph::CsrGraph &g = dataset.graph();
+    graph::NodeList order;
+    order.reserve(
+        std::min<std::size_t>(frequency_.size(), g.numNodes()));
+    for (graph::NodeId node = 0;
+         node < g.numNodes() &&
+         static_cast<std::size_t>(node) < frequency_.size();
+         ++node)
+        if (frequency_[node] > 0)
+            order.push_back(node);
+    const std::size_t count =
+        std::min<std::size_t>(max_pinned, order.size());
+    if (count == 0)
+        return {};
+    std::partial_sort(
+        order.begin(), order.begin() + count, order.end(),
+        [this, &g](graph::NodeId a, graph::NodeId b) {
+            const std::uint64_t fa = frequency_[a];
+            const std::uint64_t fb = frequency_[b];
+            if (fa != fb)
+                return fa > fb;
+            const auto da = g.degree(a);
+            const auto db = g.degree(b);
+            return da != db ? da > db : a < b;
+        });
+    order.resize(count);
+    return order;
+}
+
+const char *
+cachePolicyKindName(train::CachePolicyKind kind)
+{
+    switch (kind) {
+      case train::CachePolicyKind::LruOnly: return "lru";
+      case train::CachePolicyKind::Degree: return "degree";
+      case train::CachePolicyKind::PresampleFrequency:
+        return "presample";
+    }
+    return "?";
+}
+
+train::CachePolicyKind
+cachePolicyKindFromName(const std::string &name)
+{
+    if (name == "lru")
+        return train::CachePolicyKind::LruOnly;
+    if (name == "degree")
+        return train::CachePolicyKind::Degree;
+    if (name == "presample")
+        return train::CachePolicyKind::PresampleFrequency;
+    throw InvalidArgument("unknown cache policy '" + name +
+                          "' (expected lru | degree | presample)");
+}
+
+std::shared_ptr<const CachePolicy>
+makeCachePolicy(train::CachePolicyKind kind,
+                const graph::Dataset &dataset,
+                const std::vector<int> &fanouts,
+                const graph::NodeList &seed_pool,
+                const sampling::PresampleOptions &presample,
+                CachePolicyBuildReport *report)
+{
+    std::shared_ptr<const CachePolicy> policy;
+    CachePolicyBuildReport build;
+    switch (kind) {
+      case train::CachePolicyKind::LruOnly:
+        policy = std::make_shared<LruOnlyPolicy>();
+        break;
+      case train::CachePolicyKind::Degree:
+        policy = std::make_shared<DegreePolicy>();
+        break;
+      case train::CachePolicyKind::PresampleFrequency: {
+        sampling::PresampleResult pass = sampling::presampleFrequencies(
+            dataset.graph(), seed_pool, fanouts, presample);
+        build.presample_batches = pass.batches;
+        build.presample_node_visits = pass.node_visits;
+        build.presample_seconds = pass.seconds;
+        obs::metrics()
+            .counter(obs::names::kCtrCachePresampleBatches)
+            .add(static_cast<std::uint64_t>(pass.batches));
+        obs::metrics()
+            .gauge(obs::names::kGaugeCachePresampleSeconds)
+            .set(pass.seconds);
+        policy = std::make_shared<PresampleFrequencyPolicy>(
+            std::move(pass.frequency));
+        break;
+      }
+    }
+    checkArgument(policy != nullptr,
+                  "makeCachePolicy: unknown policy kind");
+    obs::eventLog()
+        .event(obs::names::kEvCachePolicy)
+        .field("policy", policy->name())
+        .field("presample_batches",
+               static_cast<std::uint64_t>(build.presample_batches))
+        .field("presample_node_visits", build.presample_node_visits)
+        .field("presample_seconds", build.presample_seconds);
+    if (report != nullptr)
+        *report = build;
+    return policy;
+}
+
+} // namespace buffalo::pipeline

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Pluggable feature-cache hot-set policies (DESIGN.md, "Pipeline &
+ * feature cache").
+ *
+ * The FeatureCache itself is policy-free: it provides thread-safe LRU
+ * admission plus a pinned set that is never evicted, and delegates
+ * *which* nodes deserve pinning to a CachePolicy. Three policies ship:
+ *
+ *   - LruOnlyPolicy: no pinned set; pure recency.
+ *   - DegreePolicy: pin the highest in-degree nodes — BGL's
+ *     observation that power-law graphs concentrate block inputs in
+ *     few hub nodes.
+ *   - PresampleFrequencyPolicy: pin the nodes the *real sampler*
+ *     touched most often during a startup presample pass
+ *     (sampling/presample.h) — FGNN's result that measured frequency
+ *     for the actual sampler + dataset beats static degree.
+ *
+ * Training and serving share this interface: the PipelineTrainer and
+ * the serve::Server both build their cache's policy through
+ * makeCachePolicy(), so a policy name means the same thing in
+ * `buffalo_train --cache-policy` and `buffalo_serve --cache-policy`.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "graph/types.h"
+#include "sampling/presample.h"
+#include "train/report.h"
+
+namespace buffalo::pipeline {
+
+/** What a policy's construction cost (zero unless a presample ran). */
+struct CachePolicyBuildReport
+{
+    /** Presample micro-batches run (0 for degree / LRU-only). */
+    int presample_batches = 0;
+    /** Node occurrences the presample pass counted. */
+    std::uint64_t presample_node_visits = 0;
+    /** Wall-clock seconds spent presampling. */
+    double presample_seconds = 0.0;
+};
+
+/**
+ * Hot-set selection strategy for a FeatureCache. Implementations are
+ * immutable after construction and safe to share across caches and
+ * threads.
+ */
+class CachePolicy
+{
+  public:
+    virtual ~CachePolicy() = default;
+
+    /** Stable short name ("lru" | "degree" | "presample"). */
+    virtual const char *name() const = 0;
+
+    /** The kind this policy implements. */
+    virtual train::CachePolicyKind kind() const = 0;
+
+    /**
+     * Up to @p max_pinned node ids to pin, best first. May return
+     * fewer when the policy has no evidence for more (e.g. nodes the
+     * presample never touched); an empty list means pure LRU.
+     */
+    virtual graph::NodeList pinSet(const graph::Dataset &dataset,
+                                   std::size_t max_pinned) const = 0;
+};
+
+/** No pinned set; the cache is pure LRU. */
+class LruOnlyPolicy final : public CachePolicy
+{
+  public:
+    const char *name() const override { return "lru"; }
+    train::CachePolicyKind
+    kind() const override
+    {
+        return train::CachePolicyKind::LruOnly;
+    }
+    graph::NodeList pinSet(const graph::Dataset &dataset,
+                           std::size_t max_pinned) const override;
+};
+
+/** Pin the highest in-degree nodes (ties broken by node id). */
+class DegreePolicy final : public CachePolicy
+{
+  public:
+    const char *name() const override { return "degree"; }
+    train::CachePolicyKind
+    kind() const override
+    {
+        return train::CachePolicyKind::Degree;
+    }
+    graph::NodeList pinSet(const graph::Dataset &dataset,
+                           std::size_t max_pinned) const override;
+};
+
+/**
+ * Pin the nodes most frequently observed by a presample pass. Only
+ * nodes with nonzero observed frequency are ever pinned — the rest of
+ * the capacity stays available to LRU admission. Ties break by
+ * degree, then node id, so the ranking is fully deterministic.
+ */
+class PresampleFrequencyPolicy final : public CachePolicy
+{
+  public:
+    /** @p frequency is indexed by global node id (may be empty). */
+    explicit PresampleFrequencyPolicy(
+        std::vector<std::uint64_t> frequency);
+
+    const char *name() const override { return "presample"; }
+    train::CachePolicyKind
+    kind() const override
+    {
+        return train::CachePolicyKind::PresampleFrequency;
+    }
+    graph::NodeList pinSet(const graph::Dataset &dataset,
+                           std::size_t max_pinned) const override;
+
+    /** The table the policy ranks by (for tests / introspection). */
+    const std::vector<std::uint64_t> &
+    frequency() const
+    {
+        return frequency_;
+    }
+
+  private:
+    std::vector<std::uint64_t> frequency_;
+};
+
+/** CLI/flag name of @p kind ("lru" | "degree" | "presample"). */
+const char *cachePolicyKindName(train::CachePolicyKind kind);
+
+/** Inverse of cachePolicyKindName(); throws InvalidArgument. */
+train::CachePolicyKind cachePolicyKindFromName(const std::string &name);
+
+/**
+ * Builds the policy for @p kind. For PresampleFrequency this runs the
+ * presample pass over @p dataset's graph with @p fanouts and
+ * @p presample (seeds drawn from @p seed_pool; empty = all nodes),
+ * publishes the cache.presample_* metrics and the cache.policy event,
+ * and reports the cost through @p report when non-null. Degree and
+ * LRU-only construction is free.
+ */
+std::shared_ptr<const CachePolicy> makeCachePolicy(
+    train::CachePolicyKind kind, const graph::Dataset &dataset,
+    const std::vector<int> &fanouts,
+    const graph::NodeList &seed_pool,
+    const sampling::PresampleOptions &presample,
+    CachePolicyBuildReport *report = nullptr);
+
+} // namespace buffalo::pipeline

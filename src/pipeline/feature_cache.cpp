@@ -1,7 +1,6 @@
 #include "pipeline/feature_cache.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "util/errors.h"
 
@@ -16,6 +15,26 @@ FeatureCache::FeatureCache(const FeatureCacheOptions &options)
                  sizeof(float);
     enabled_ = options_.capacity_bytes > 0 && row_bytes_ > 0 &&
                row_bytes_ <= options_.capacity_bytes;
+    util::MutexLock lock(mutex_);
+    policy_ = options_.policy != nullptr
+                  ? options_.policy
+                  : std::make_shared<DegreePolicy>();
+}
+
+std::shared_ptr<const CachePolicy>
+FeatureCache::policy() const
+{
+    util::MutexLock lock(mutex_);
+    return policy_;
+}
+
+void
+FeatureCache::setPolicy(std::shared_ptr<const CachePolicy> policy)
+{
+    checkArgument(policy != nullptr,
+                  "FeatureCache::setPolicy: policy must be non-null");
+    util::MutexLock lock(mutex_);
+    policy_ = std::move(policy);
 }
 
 std::uint64_t
@@ -25,33 +44,29 @@ FeatureCache::capacityRows() const
 }
 
 void
-FeatureCache::pinHotNodes(const graph::Dataset &dataset,
-                          std::size_t max_pinned)
+FeatureCache::pinHotSet(const graph::Dataset &dataset,
+                        std::size_t max_pinned)
 {
-    if (!enabled_ || max_pinned == 0)
+    if (!enabled_)
         return;
-    const graph::CsrGraph &g = dataset.graph();
-    std::vector<graph::NodeId> order(g.numNodes());
-    std::iota(order.begin(), order.end(), graph::NodeId{0});
-    const std::size_t count = std::min<std::size_t>(
-        {max_pinned, order.size(),
-         static_cast<std::size_t>(capacityRows())});
-    if (count == 0)
+    // Resolve the pin budget: an explicit cap wins, otherwise the
+    // policy may fill the whole capacity. The ranking itself runs
+    // outside the lock — policies are immutable and may walk the
+    // whole graph.
+    const std::size_t budget = std::min<std::size_t>(
+        max_pinned == 0 ? static_cast<std::size_t>(capacityRows())
+                        : max_pinned,
+        static_cast<std::size_t>(capacityRows()));
+    if (budget == 0)
         return;
-    std::partial_sort(order.begin(), order.begin() + count, order.end(),
-                      [&g](graph::NodeId a, graph::NodeId b) {
-                          const auto da = g.degree(a);
-                          const auto db = g.degree(b);
-                          return da != db ? da > db : a < b;
-                      });
+    const graph::NodeList order = policy()->pinSet(dataset, budget);
 
     std::vector<float> row;
     if (options_.store_payload)
         row.resize(static_cast<std::size_t>(options_.feature_dim));
 
     util::MutexLock lock(mutex_);
-    for (std::size_t i = 0; i < count; ++i) {
-        const graph::NodeId node = order[i];
+    for (const graph::NodeId node : order) {
         if (entries_.count(node) > 0)
             continue;
         evictUntilFitsLocked(row_bytes_);
@@ -137,6 +152,7 @@ FeatureCache::stats() const
 {
     util::MutexLock lock(mutex_);
     FeatureCacheStats s;
+    s.policy = enabled_ ? policy_->name() : "";
     s.hits = hits_;
     s.misses = misses_;
     s.insertions = insertions_;

@@ -6,10 +6,11 @@
  * how many input nodes adjacent micro-batches share; every shared node
  * whose feature row is still device-resident needs no host->device
  * re-transfer. The cache models that resident set: an LRU keyed by
- * global node id, with an optional *pinned* hot set of the highest
- * in-degree nodes (power-law graphs concentrate most block inputs in
- * few hub nodes, so pinning them captures a large hit fraction with a
- * small budget — the BGL insight).
+ * global node id, with an optional *pinned* hot set that is never
+ * evicted. Which nodes deserve pinning is delegated to a pluggable
+ * CachePolicy (cache_policy.h): highest in-degree (BGL's hub
+ * insight), presample-frequency (FGNN's measured ranking), or none
+ * (pure LRU).
  *
  * Two payload modes share the accounting: in numeric execution the
  * cache stores the actual rows (hits skip dataset.fillFeatures); in
@@ -20,12 +21,14 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/datasets.h"
 #include "graph/types.h"
+#include "pipeline/cache_policy.h"
 #include "util/thread_annotations.h"
 
 namespace buffalo::pipeline {
@@ -39,11 +42,19 @@ struct FeatureCacheOptions
     int feature_dim = 0;
     /** Store row payloads (numeric mode) or presence only (cost model). */
     bool store_payload = true;
+    /** Hot-set policy; null defaults to DegreePolicy. */
+    std::shared_ptr<const CachePolicy> policy;
 };
 
-/** Counter snapshot; rates are derived, all counts monotonic. */
+/**
+ * Counter snapshot; rates are derived, all counts monotonic. Always
+ * taken as one consistent read under the cache mutex — hits + misses
+ * equals the number of lookups even while workers mutate the cache.
+ */
 struct FeatureCacheStats
 {
+    /** name() of the installed policy ("" when cache is disabled). */
+    const char *policy = "";
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;
@@ -65,8 +76,9 @@ struct FeatureCacheStats
 };
 
 /**
- * Thread-safe LRU feature-row cache with a degree-pinned hot set.
- * All methods are safe to call concurrently from prefetch workers.
+ * Thread-safe LRU feature-row cache with a policy-selected pinned hot
+ * set. All methods are safe to call concurrently from prefetch
+ * workers.
  */
 class FeatureCache
 {
@@ -82,13 +94,28 @@ class FeatureCache
     /** Rows that fit under the capacity. */
     std::uint64_t capacityRows() const;
 
+    /** The installed hot-set policy (never null once constructed). */
+    std::shared_ptr<const CachePolicy> policy() const
+        BUFFALO_EXCLUDES(mutex_);
+
     /**
-     * Permanently pins the @p max_pinned highest in-degree nodes of
-     * @p dataset (capped by capacity). Pinned rows are filled from the
-     * dataset immediately (payload mode) and are never evicted.
+     * Replaces the hot-set policy. Call before pinHotSet(); already
+     * pinned rows are unaffected.
      */
-    void pinHotNodes(const graph::Dataset &dataset,
-                     std::size_t max_pinned) BUFFALO_EXCLUDES(mutex_);
+    void setPolicy(std::shared_ptr<const CachePolicy> policy)
+        BUFFALO_EXCLUDES(mutex_);
+
+    /**
+     * Permanently pins the policy's hot set for @p dataset: up to
+     * @p max_pinned nodes (0 = up to the cache capacity; always
+     * capped by it), in the policy's ranking order. Pinned rows are
+     * filled from the dataset immediately (payload mode) and are
+     * never evicted. A policy may rank fewer nodes than the budget
+     * (LRU-only ranks none); the rest of the capacity serves LRU
+     * admission.
+     */
+    void pinHotSet(const graph::Dataset &dataset,
+                   std::size_t max_pinned) BUFFALO_EXCLUDES(mutex_);
 
     /**
      * Looks @p node up, refreshing its LRU position. On a payload-mode
@@ -131,6 +158,11 @@ class FeatureCache
     bool enabled_ = false;
 
     mutable util::Mutex mutex_;
+    /** Hot-set policy; replaced by setPolicy() before pinning, read
+     *  by pinHotSet()/stats() — guarded so a concurrent stats() call
+     *  can never observe a half-swapped pointer. */
+    std::shared_ptr<const CachePolicy> policy_
+        BUFFALO_GUARDED_BY(mutex_);
     std::unordered_map<graph::NodeId, Entry> entries_
         BUFFALO_GUARDED_BY(mutex_);
     /** Unpinned residents, most recent at the front. */

@@ -8,6 +8,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/names.h"
+#include "pipeline/cache_policy.h"
+#include "sampling/presample.h"
 #include "util/logging.h"
 
 namespace buffalo::pipeline {
@@ -176,6 +178,8 @@ recordEpochMetrics(const train::EpochReport &report)
         .set(static_cast<double>(report.cache.bytes_in_use));
     m.gauge(obs::names::kGaugeCacheResidentNodes)
         .set(static_cast<double>(report.cache.resident_nodes));
+    m.gauge(obs::names::kGaugeCachePinnedNodes)
+        .set(static_cast<double>(report.cache.pinned_nodes));
 }
 
 } // namespace
@@ -188,8 +192,22 @@ PipelineTrainer::trainEpochImpl(
     train::EpochReport report;
     report.pipelined = true;
     if (cache_->enabled() && !hot_set_pinned_) {
-        cache_->pinHotNodes(dataset,
-                            options_.pipeline.pinned_hot_nodes);
+        // The policy is built lazily on the first epoch — the
+        // presample pass needs the dataset, which the constructor
+        // never sees. Its Rng stream is private (seed ^ salt), so
+        // running it leaves the training stream — and therefore
+        // serial/pipelined loss parity — untouched.
+        sampling::PresampleOptions presample;
+        presample.num_batches = options_.pipeline.presample_batches;
+        presample.batch_size =
+            batches.empty() ? 256 : batches.front().size();
+        presample.seed =
+            options_.seed ^ sampling::kPresampleSeedSalt;
+        cache_->setPolicy(makeCachePolicy(
+            options_.pipeline.cache_policy, dataset,
+            options_.fanouts, dataset.trainNodes(), presample));
+        cache_->pinHotSet(dataset,
+                          options_.pipeline.pinned_hot_nodes);
         hot_set_pinned_ = true;
     }
 
@@ -277,6 +295,7 @@ PipelineTrainer::trainEpochImpl(
     report.stages.peak_host_bytes = stages.peak_host_bytes;
 
     const FeatureCacheStats cache = cache_->stats();
+    report.cache.policy = cache.policy;
     report.cache.hits = cache.hits;
     report.cache.misses = cache.misses;
     report.cache.insertions = cache.insertions;
@@ -289,6 +308,7 @@ PipelineTrainer::trainEpochImpl(
     if (cache_->enabled()) {
         obs::eventLog()
             .event(obs::names::kEvCacheSnapshot)
+            .field("policy", report.cache.policy)
             .field("hits", report.cache.hits)
             .field("misses", report.cache.misses)
             .field("hit_rate", report.cache.hitRate())

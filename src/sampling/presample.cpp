@@ -1,0 +1,61 @@
+#include "sampling/presample.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sampling/sampled_subgraph.h"
+#include "util/errors.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace buffalo::sampling {
+
+PresampleResult
+presampleFrequencies(const graph::CsrGraph &graph,
+                     const graph::NodeList &seed_pool,
+                     const std::vector<int> &fanouts,
+                     const PresampleOptions &options)
+{
+    checkArgument(options.batch_size >= 1,
+                  "presampleFrequencies: batch_size must be >= 1");
+    PresampleResult result;
+    result.frequency.assign(graph.numNodes(), 0);
+    if (options.num_batches <= 0 || graph.numNodes() == 0)
+        return result;
+
+    util::StopWatch watch;
+    graph::NodeList pool = seed_pool;
+    if (pool.empty()) {
+        pool.resize(graph.numNodes());
+        std::iota(pool.begin(), pool.end(), graph::NodeId{0});
+    }
+
+    util::Rng rng(options.seed);
+    NeighborSampler sampler(fanouts);
+    // Seeds are drawn without replacement within one pass over the
+    // shuffled pool (the sampler requires unique seeds per batch);
+    // when the pool runs dry the pass reshuffles and keeps going, so
+    // frequencies approximate epochs of the real seed distribution.
+    rng.shuffle(pool);
+    std::size_t cursor = 0;
+    for (int b = 0; b < options.num_batches; ++b) {
+        if (cursor >= pool.size()) {
+            rng.shuffle(pool);
+            cursor = 0;
+        }
+        const std::size_t end =
+            std::min(pool.size(), cursor + options.batch_size);
+        const graph::NodeList seeds(pool.begin() + cursor,
+                                    pool.begin() + end);
+        cursor = end;
+        const SampledSubgraph sg = sampler.sample(graph, seeds, rng);
+        for (const graph::NodeId node : sg.nodes())
+            ++result.frequency[node];
+        result.node_visits += sg.nodes().size();
+        ++result.batches;
+    }
+    result.seconds = watch.seconds();
+    return result;
+}
+
+} // namespace buffalo::sampling

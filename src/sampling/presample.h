@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Startup presample pass: measure per-node sample frequency.
+ *
+ * FGNN/SamGraph's headline caching result is that the best predictor
+ * of which feature rows a cache should hold is not a static graph
+ * property (degree) but the *observed* frequency with which the real
+ * sampler touches each node on the real dataset. This pass runs the
+ * production NeighborSampler over a configurable number of
+ * micro-batches drawn from the training-seed pool (or all nodes, for
+ * serving) and counts how often every node appears in the sampled
+ * cones. The resulting frequency table feeds
+ * pipeline::PresampleFrequencyPolicy.
+ *
+ * Determinism contract: the pass owns a private Rng derived from
+ * PresampleOptions::seed, so running it never perturbs the training
+ * Rng stream — serial/pipelined loss parity is unaffected by whether
+ * a presample ran. Two passes with equal options over the same graph
+ * produce identical tables.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/types.h"
+
+namespace buffalo::sampling {
+
+/** Salt XORed into the run seed to derive the presample Rng stream. */
+inline constexpr std::uint64_t kPresampleSeedSalt = 0xF5EEDF00Dull;
+
+/** Knobs for one presample pass. */
+struct PresampleOptions
+{
+    /** Micro-batches to sample; 0 disables the pass (empty table). */
+    int num_batches = 8;
+    /** Seeds per micro-batch (match the training batch size). */
+    std::size_t batch_size = 256;
+    /** Seed for the pass's private Rng (salt in before passing). */
+    std::uint64_t seed = 42;
+};
+
+/** What one presample pass measured. */
+struct PresampleResult
+{
+    /** Per-node occurrence count across all sampled cones. */
+    std::vector<std::uint64_t> frequency;
+    /** Micro-batches actually sampled. */
+    int batches = 0;
+    /** Total node occurrences counted (sum of frequency). */
+    std::uint64_t node_visits = 0;
+    /** Wall-clock cost of the pass. */
+    double seconds = 0.0;
+};
+
+/**
+ * Runs the presample pass over @p graph with @p fanouts.
+ *
+ * Batches are drawn without replacement from @p seed_pool (shuffled;
+ * the pool is re-shuffled and reused when num_batches * batch_size
+ * exceeds it). An empty pool means "all nodes" — the serving-side
+ * default, where any node can arrive as a request seed.
+ */
+PresampleResult presampleFrequencies(const graph::CsrGraph &graph,
+                                     const graph::NodeList &seed_pool,
+                                     const std::vector<int> &fanouts,
+                                     const PresampleOptions &options);
+
+} // namespace buffalo::sampling

@@ -25,6 +25,7 @@
 #include "nn/config.h"
 #include "tensor/kernels.h"
 #include "train/model_adapter.h"
+#include "train/report.h"
 
 namespace buffalo::serve {
 
@@ -211,6 +212,20 @@ struct ServeOptions
     std::uint64_t byte_budget = 0;
     /** Per-request latency SLO; expired requests are rejected. */
     double deadline_ms = 100.0;
+
+    /**
+     * Feature-cache byte budget for the prep path; hits skip
+     * dataset.fillFeatures. 0 = no cache (every batch fills fresh).
+     */
+    std::uint64_t feature_cache_bytes = 0;
+    /** Hot-set policy of the serve-side cache (same vocabulary as
+     *  training; see pipeline/cache_policy.h). */
+    train::CachePolicyKind cache_policy =
+        train::CachePolicyKind::Degree;
+    /** Cap on pinned nodes; 0 = policy may fill the capacity. */
+    std::size_t cache_pinned_nodes = 0;
+    /** Presample micro-batches (PresampleFrequency policy only). */
+    int presample_batches = 8;
 
     /** Threads sampling/building/loading features per batch. */
     std::size_t prep_threads = 1;

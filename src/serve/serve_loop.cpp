@@ -5,8 +5,11 @@
 
 #include "nn/checkpoint.h"
 #include "obs/event_log.h"
+#include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
+#include "pipeline/cache_policy.h"
+#include "sampling/presample.h"
 #include "train/feature_loader.h"
 #include "util/errors.h"
 #include "util/rng.h"
@@ -51,6 +54,30 @@ Server::Server(const ServeOptions &options,
         options_.workers < 1 ? 1 : options_.workers;
     const std::size_t preps =
         options_.prep_threads < 1 ? 1 : options_.prep_threads;
+
+    // The prep-path feature cache shares the training tier's policy
+    // interface: the hot set is selected by --cache-policy, with the
+    // presample pass seeded over *all* nodes (any node can arrive as
+    // a request seed, unlike training where seeds come from
+    // trainNodes()). Hits skip dataset.fillFeatures in prepare().
+    if (options_.feature_cache_bytes > 0) {
+        pipeline::FeatureCacheOptions cache_options;
+        cache_options.capacity_bytes = options_.feature_cache_bytes;
+        cache_options.feature_dim = dataset.featureDim();
+        cache_options.store_payload = true;
+        sampling::PresampleOptions presample;
+        presample.num_batches = options_.presample_batches;
+        presample.batch_size =
+            options_.max_batch < 1 ? 1 : options_.max_batch;
+        presample.seed =
+            options_.seed ^ sampling::kPresampleSeedSalt;
+        cache_options.policy = pipeline::makeCachePolicy(
+            options_.cache_policy, dataset, options_.fanouts,
+            graph::NodeList{}, presample);
+        cache_ =
+            std::make_unique<pipeline::FeatureCache>(cache_options);
+        cache_->pinHotSet(dataset, options_.cache_pinned_nodes);
+    }
 
     // Identical replicas: same seed, then the same checkpoint. Any
     // worker therefore produces bitwise-identical logits for a given
@@ -169,8 +196,24 @@ Server::prepare(BatchPlan plan) const
     for (std::size_t i = 0; i < output_locals.size(); ++i)
         output_locals[i] = static_cast<graph::NodeId>(i);
     prepared.mb = generator_.generate(sg, output_locals);
-    prepared.features =
-        train::loadFeatures(dataset_, prepared.mb.inputNodes());
+    if (cache_ != nullptr && cache_->enabled()) {
+        // Cached rows are bitwise-identical to fresh fillFeatures
+        // (features are deterministic in (dataset seed, node)), so a
+        // hit changes cost, never the prediction.
+        const graph::NodeList &nodes = prepared.mb.inputNodes();
+        prepared.features = nn::Tensor::zeros(
+            nodes.size(), dataset_.featureDim(), nullptr);
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            std::span<float> out = prepared.features.row(i);
+            if (cache_->lookup(nodes[i], out))
+                continue;
+            dataset_.fillFeatures(nodes[i], out);
+            cache_->insert(nodes[i], out);
+        }
+    } else {
+        prepared.features =
+            train::loadFeatures(dataset_, prepared.mb.inputNodes());
+    }
     prepared.plan = std::move(plan);
     return prepared;
 }
@@ -267,6 +310,29 @@ Server::shutdown()
         std::chrono::duration<double>(Clock::now() - start_).count(),
         std::memory_order_relaxed);
     stats_.publishGauges(elapsedSeconds(), admission_.maxOccupancy());
+    if (cache_ != nullptr && cache_->enabled()) {
+        const pipeline::FeatureCacheStats cache = cache_->stats();
+        obs::MetricsRegistry &m = obs::metrics();
+        m.gauge(names::kGaugeCacheHits)
+            .set(static_cast<double>(cache.hits));
+        m.gauge(names::kGaugeCacheMisses)
+            .set(static_cast<double>(cache.misses));
+        m.gauge(names::kGaugeCacheHitRate).set(cache.hitRate());
+        m.gauge(names::kGaugeCacheBytesInUse)
+            .set(static_cast<double>(cache.bytes_in_use));
+        m.gauge(names::kGaugeCacheResidentNodes)
+            .set(static_cast<double>(cache.resident_nodes));
+        m.gauge(names::kGaugeCachePinnedNodes)
+            .set(static_cast<double>(cache.pinned_nodes));
+        obs::eventLog()
+            .event(names::kEvCacheSnapshot)
+            .field("policy", cache.policy)
+            .field("hits", cache.hits)
+            .field("misses", cache.misses)
+            .field("hit_rate", cache.hitRate())
+            .field("resident_nodes", cache.resident_nodes)
+            .field("pinned_nodes", cache.pinned_nodes);
+    }
 }
 
 double

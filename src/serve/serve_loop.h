@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "graph/datasets.h"
+#include "pipeline/feature_cache.h"
 #include "pipeline/stage_queue.h"
 #include "sampling/block_generator.h"
 #include "sampling/sampled_subgraph.h"
@@ -76,6 +77,16 @@ class Server
     /** High-water mark of the admission queue. */
     std::size_t maxQueueDepth() const;
 
+    /**
+     * The prep-path feature cache, or null when
+     * ServeOptions::feature_cache_bytes is 0. Stats reads are one
+     * consistent snapshot even while prep threads mutate the cache.
+     */
+    const pipeline::FeatureCache *featureCache() const
+    {
+        return cache_.get();
+    }
+
     const ServeOptions &options() const { return options_; }
 
   private:
@@ -100,6 +111,9 @@ class Server
     const graph::Dataset &dataset_;
     sampling::NeighborSampler sampler_;
     sampling::FastBlockGenerator generator_;
+    /** Shared across prep threads (internally thread-safe); null when
+     *  the cache is disabled. */
+    std::unique_ptr<pipeline::FeatureCache> cache_;
 
     AdmissionQueue admission_;
     Batcher batcher_; ///< batcher thread only

@@ -17,11 +17,33 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "obs/audit.h"
 #include "util/timer.h"
 
 namespace buffalo::train {
+
+/**
+ * Which hot-set policy a feature cache pins with (DESIGN.md,
+ * "Pipeline & feature cache"). Lives in this deliberately light
+ * header so the train, pipeline, and serve layers can all name a
+ * policy without pulling in the cache machinery; the implementations
+ * are in pipeline/cache_policy.h.
+ */
+enum class CachePolicyKind
+{
+    /** No pinned hot set; pure LRU admission. */
+    LruOnly,
+    /** Pin the highest in-degree nodes (the BGL hub insight). */
+    Degree,
+    /**
+     * Pin the nodes most frequently touched by a startup presample
+     * pass that runs the real sampler (the FGNN insight: measured
+     * frequency for this sampler + dataset beats static degree).
+     */
+    PresampleFrequency,
+};
 
 /**
  * Pipeline knobs, carried inside TrainerOptions. Consumed by the
@@ -40,13 +62,22 @@ struct PipelineOptions
     std::uint64_t host_memory_budget = 0;
     /** Feature cache byte budget; 0 disables the cache. */
     std::uint64_t feature_cache_bytes = 0;
-    /** Highest-degree nodes pinned permanently in the cache. */
+    /**
+     * Cap on nodes the cache policy may pin permanently; 0 lets the
+     * policy pin up to the cache capacity (LRU-only never pins).
+     */
     std::size_t pinned_hot_nodes = 0;
+    /** Hot-set selection policy (CLI --cache-policy). */
+    CachePolicyKind cache_policy = CachePolicyKind::Degree;
+    /** Micro-batches the presample pass runs (--presample-batches). */
+    int presample_batches = 8;
 };
 
 /** Feature-cache section of an EpochReport (pipelined runs only). */
 struct CacheReport
 {
+    /** Policy name ("lru" | "degree" | "presample"); empty = no cache. */
+    std::string policy;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t insertions = 0;

@@ -185,7 +185,7 @@ TEST(FeatureCache, PinnedHotNodesSurviveEviction)
     graph::Dataset data =
         graph::loadDataset(graph::DatasetId::Cora, 42, 0.5);
     FeatureCache cache(cacheOptions(data.featureDim(), 4));
-    cache.pinHotNodes(data, 2);
+    cache.pinHotSet(data, 2);
     EXPECT_EQ(cache.stats().pinned_nodes, 2u);
 
     // Find the two pinned (highest-degree) nodes.

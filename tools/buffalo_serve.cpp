@@ -17,10 +17,11 @@
 #include <chrono>
 #include <cstdio>
 #include <future>
-#include <map>
+#include <set>
 #include <thread>
 #include <vector>
 
+#include "cli_common.h"
 #include "graph/io.h"
 #include "obs/event_log.h"
 #include "obs/flush.h"
@@ -63,6 +64,14 @@ serving:
   --max-batch N         requests coalesced per micro-batch   [32]
   --byte-budget X       in-flight batch working-set cap, MiB
                         (0 = off)                            [0]
+  --feature-cache-mb X  prep-path feature cache size; hits skip
+                        feature fills (0 = off)              [0]
+  --cache-policy NAME   hot-set policy: lru | degree |
+                        presample                        [degree]
+  --pinned-hot N        cap on policy-pinned nodes (0 = fill
+                        the cache capacity)                  [0]
+  --presample-batches N micro-batches the startup presample
+                        pass samples (presample policy)      [8]
   --prep-threads N      sampling/blockgen/feature threads    [1]
   --workers N           forward-pass threads (model replicas)[1]
   --prepared-depth N    prepared batches buffered ahead      [4]
@@ -86,42 +95,10 @@ loadInput(const util::Flags &flags)
     if (flags.has("bundle"))
         return graph::loadDatasetBundleFile(
             flags.getString("bundle"));
-    const std::string name = flags.getString("dataset", "arxiv");
-    const std::map<std::string, graph::DatasetId> by_name = {
-        {"cora", graph::DatasetId::Cora},
-        {"pubmed", graph::DatasetId::Pubmed},
-        {"reddit", graph::DatasetId::Reddit},
-        {"arxiv", graph::DatasetId::Arxiv},
-        {"products", graph::DatasetId::Products},
-        {"papers", graph::DatasetId::Papers},
-    };
-    auto it = by_name.find(name);
-    if (it == by_name.end())
-        throw InvalidArgument("unknown --dataset '" + name + "'");
     return graph::loadDataset(
-        it->second,
+        tools::datasetIdFromName(flags.getString("dataset", "arxiv")),
         static_cast<std::uint64_t>(flags.getInt("seed", 42)),
         flags.getDouble("scale", 0.25));
-}
-
-std::vector<int>
-parseFanouts(const std::string &text)
-{
-    std::vector<int> fanouts;
-    std::size_t begin = 0;
-    while (begin <= text.size()) {
-        const auto comma = text.find(',', begin);
-        const std::string item =
-            text.substr(begin, comma == std::string::npos
-                                   ? std::string::npos
-                                   : comma - begin);
-        checkArgument(!item.empty(), "bad --fanouts entry");
-        fanouts.push_back(std::stoi(item));
-        if (comma == std::string::npos)
-            break;
-        begin = comma + 1;
-    }
-    return fanouts;
 }
 
 } // namespace
@@ -135,7 +112,7 @@ main(int argc, char **argv)
             std::fputs(kUsage, stdout);
             return 0;
         }
-        flags.checkKnown({
+        std::set<std::string> known = {
             "dataset", "bundle", "scale",
             "model", "aggregator", "layers", "hidden", "heads",
             "fanouts", "checkpoint",
@@ -145,7 +122,10 @@ main(int argc, char **argv)
             "prepared-depth", "kernel-threads", "seed",
             "trace-out", "metrics-json", "run-log",
             "require-goodput", "verbose", "help",
-        });
+        };
+        known.insert(tools::cacheFlagNames().begin(),
+                     tools::cacheFlagNames().end());
+        flags.checkKnown(known);
         if (flags.getBool("verbose"))
             util::setLogLevel(util::LogLevel::Info);
 
@@ -177,7 +157,7 @@ main(int argc, char **argv)
         options.model.num_heads =
             static_cast<int>(flags.getInt("heads", 1));
         options.fanouts =
-            parseFanouts(flags.getString("fanouts", "10,25"));
+            tools::parseFanouts(flags.getString("fanouts", "10,25"));
         options.checkpoint = flags.getString("checkpoint", "");
         options.queue_capacity = static_cast<std::size_t>(
             flags.getInt("queue-capacity", 256));
@@ -186,6 +166,12 @@ main(int argc, char **argv)
         options.byte_budget =
             util::mib(flags.getDouble("byte-budget", 0.0));
         options.deadline_ms = flags.getDouble("deadline-ms", 100.0);
+        const tools::CacheCliOptions cache =
+            tools::parseCacheFlags(flags);
+        options.feature_cache_bytes = cache.capacity_bytes;
+        options.cache_policy = cache.policy;
+        options.cache_pinned_nodes = cache.pinned_hot_nodes;
+        options.presample_batches = cache.presample_batches;
         options.prep_threads = static_cast<std::size_t>(
             flags.getInt("prep-threads", 1));
         options.workers =
@@ -194,8 +180,7 @@ main(int argc, char **argv)
             flags.getInt("prepared-depth", 4));
         options.seed =
             static_cast<std::uint64_t>(flags.getInt("seed", 42));
-        options.kernels.threads = static_cast<std::size_t>(
-            flags.getInt("kernel-threads", 0));
+        options.kernels.threads = tools::parseKernelThreads(flags);
         tensor::kernels::setConfig(options.kernels);
 
         const double qps = flags.getDouble("qps", 100.0);
@@ -304,6 +289,18 @@ main(int argc, char **argv)
             snap.latency_p50_ms, snap.latency_p99_ms,
             snap.latency_p999_ms, snap.queue_p99_ms,
             snap.mean_batch_size, server.maxQueueDepth());
+        if (const pipeline::FeatureCache *cache =
+                server.featureCache()) {
+            const pipeline::FeatureCacheStats cs = cache->stats();
+            std::printf(
+                "cache (%s policy): %.1f%% hit rate, %llu hits / "
+                "%llu misses, %llu pinned of %llu resident\n",
+                cs.policy, cs.hitRate() * 100.0,
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.pinned_nodes),
+                static_cast<unsigned long long>(cs.resident_nodes));
+        }
 
         if (flags.has("run-log")) {
             obs::eventLog()

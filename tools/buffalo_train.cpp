@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <set>
 
+#include "cli_common.h"
 #include "graph/io.h"
 #include "graph/stats.h"
 #include "nn/checkpoint.h"
@@ -72,7 +73,12 @@ pipeline (requires --system buffalo):
   --pipeline            prefetch batches while training
   --prefetch-depth N    batches prepared ahead               [2]
   --feature-cache-mb X  host feature cache size (0 = off)    [0]
-  --pinned-hot N        highest-degree nodes pinned in cache [0]
+  --cache-policy NAME   hot-set policy: lru | degree |
+                        presample                        [degree]
+  --pinned-hot N        cap on policy-pinned nodes (0 = fill
+                        the cache capacity)                  [0]
+  --presample-batches N micro-batches the startup presample
+                        pass samples (presample policy)      [8]
   --host-budget-mb X    staged host memory cap (0 = off)     [0]
 observability:
   --trace-out P         write a Chrome trace-event JSON (load in
@@ -120,41 +126,10 @@ loadInput(const util::Flags &flags)
     if (flags.has("bundle"))
         return graph::loadDatasetBundleFile(flags.getString("bundle"));
 
-    const std::string name = flags.getString("dataset", "arxiv");
-    const std::map<std::string, graph::DatasetId> by_name = {
-        {"cora", graph::DatasetId::Cora},
-        {"pubmed", graph::DatasetId::Pubmed},
-        {"reddit", graph::DatasetId::Reddit},
-        {"arxiv", graph::DatasetId::Arxiv},
-        {"products", graph::DatasetId::Products},
-        {"papers", graph::DatasetId::Papers},
-    };
-    auto it = by_name.find(name);
-    if (it == by_name.end())
-        throw InvalidArgument("unknown --dataset '" + name + "'");
     return graph::loadDataset(
-        it->second, static_cast<std::uint64_t>(flags.getInt("seed", 42)),
+        tools::datasetIdFromName(flags.getString("dataset", "arxiv")),
+        static_cast<std::uint64_t>(flags.getInt("seed", 42)),
         flags.getDouble("scale", 0.25));
-}
-
-std::vector<int>
-parseFanouts(const std::string &text)
-{
-    std::vector<int> fanouts;
-    std::size_t begin = 0;
-    while (begin <= text.size()) {
-        const auto comma = text.find(',', begin);
-        const std::string item =
-            text.substr(begin, comma == std::string::npos
-                                   ? std::string::npos
-                                   : comma - begin);
-        checkArgument(!item.empty(), "bad --fanouts entry");
-        fanouts.push_back(std::stoi(item));
-        if (comma == std::string::npos)
-            break;
-        begin = comma + 1;
-    }
-    return fanouts;
 }
 
 } // namespace
@@ -168,19 +143,21 @@ main(int argc, char **argv)
             std::fputs(kUsage, stdout);
             return 0;
         }
-        flags.checkKnown({
+        std::set<std::string> known = {
             "dataset", "edge-list", "bundle", "scale", "classes",
             "feature-dim", "model", "aggregator", "layers", "hidden",
             "heads", "fanouts", "budget-mb", "epochs", "batch-size",
             "lr", "seed", "system", "betty-k", "cost-model",
             "kernel-threads",
-            "pipeline", "prefetch-depth", "feature-cache-mb",
-            "pinned-hot", "host-budget-mb",
+            "pipeline", "prefetch-depth", "host-budget-mb",
             "trace-out", "metrics-json", "metrics-table", "run-log",
             "audit-json",
             "save-checkpoint", "load-checkpoint", "save-bundle",
             "eval", "verbose", "help",
-        });
+        };
+        known.insert(tools::cacheFlagNames().begin(),
+                     tools::cacheFlagNames().end());
+        flags.checkKnown(known);
         if (flags.getBool("verbose"))
             util::setLogLevel(util::LogLevel::Info);
 
@@ -219,7 +196,7 @@ main(int argc, char **argv)
         options.model.num_heads =
             static_cast<int>(flags.getInt("heads", 1));
         options.fanouts =
-            parseFanouts(flags.getString("fanouts", "10,25"));
+            tools::parseFanouts(flags.getString("fanouts", "10,25"));
         checkArgument(options.fanouts.size() ==
                           static_cast<std::size_t>(
                               options.model.num_layers),
@@ -230,16 +207,17 @@ main(int argc, char **argv)
         options.mode = flags.getBool("cost-model")
                            ? train::ExecutionMode::CostModel
                            : train::ExecutionMode::Numeric;
-        options.kernels.threads = static_cast<std::size_t>(
-            flags.getInt("kernel-threads", 0));
+        options.kernels.threads = tools::parseKernelThreads(flags);
 
         options.pipeline.enabled = flags.getBool("pipeline");
         options.pipeline.prefetch_depth =
             static_cast<int>(flags.getInt("prefetch-depth", 2));
-        options.pipeline.feature_cache_bytes =
-            util::mib(flags.getDouble("feature-cache-mb", 0.0));
-        options.pipeline.pinned_hot_nodes =
-            static_cast<std::size_t>(flags.getInt("pinned-hot", 0));
+        const tools::CacheCliOptions cache =
+            tools::parseCacheFlags(flags);
+        options.pipeline.feature_cache_bytes = cache.capacity_bytes;
+        options.pipeline.cache_policy = cache.policy;
+        options.pipeline.pinned_hot_nodes = cache.pinned_hot_nodes;
+        options.pipeline.presample_batches = cache.presample_batches;
         options.pipeline.host_memory_budget =
             util::mib(flags.getDouble("host-budget-mb", 0.0));
 

@@ -7,9 +7,11 @@
 #      epoch gated by obs_validate (trace, metrics, JSONL run log,
 #      memory-audit error bound) + serving smoke (short fixed-QPS
 #      buffalo_serve run asserting nonzero goodput and zero errors,
-#      gated by obs_validate `@serve`) + bench-smoke, bench-kernels
-#      and bench-serve regression legs gated by bench_diff against
-#      the committed baselines.
+#      gated by obs_validate `@serve`) + bench-smoke, bench-kernels,
+#      bench-serve and bench-pipeline regression legs gated by
+#      bench_diff against the committed baselines. Both smokes enable
+#      the feature cache with the presample policy and expect the
+#      `@cache` observability names.
 #   2. ThreadSanitizer build + tests (cheap races in
 #      StageQueue/Prefetcher show up here long before they show up in
 #      production runs).
@@ -41,25 +43,28 @@ mkdir -p "${obs_dir}"
 "${prefix}-release/tools/buffalo_train" \
     --dataset arxiv --scale 0.1 --epochs 1 --batch-size 256 \
     --aggregator lstm --hidden 32 --budget-mb 16 \
-    --pipeline --feature-cache-mb 8 --kernel-threads 2 \
+    --pipeline --feature-cache-mb 8 \
+    --cache-policy presample --presample-batches 4 \
+    --kernel-threads 2 \
     --trace-out "${obs_dir}/trace.json" \
     --metrics-json "${obs_dir}/metrics.json" \
     --run-log "${obs_dir}/run.jsonl" \
     --audit-json "${obs_dir}/audit.json"
-# `@core` expands inside obs_validate to the central expectation
-# lists in src/obs/names.h, so renames cannot drift past CI. The
-# audit bound needs the LSTM aggregator (the cost model the Eq. 1-2
-# estimator is calibrated against) and a budget tight enough to
-# split batches — mean-aggregator runs at tiny scale under-saturate
+# `@core` / `@cache` expand inside obs_validate to the central
+# expectation lists in src/obs/names.h, so renames cannot drift past
+# CI (`@cache` because the smoke enables the presample cache policy).
+# The audit bound needs the LSTM aggregator (the cost model the
+# Eq. 1-2 estimator is calibrated against) and a budget tight enough
+# to split batches — mean-aggregator runs at tiny scale under-saturate
 # Eq. 1 and over-predict well past 25%; see EXPERIMENTS.md ("Known
 # scale artifacts").
 "${prefix}-release/tools/obs_validate" \
     --trace "${obs_dir}/trace.json" \
     --expect-spans "@core" \
     --metrics "${obs_dir}/metrics.json" \
-    --expect-metrics "@core" \
+    --expect-metrics "@core,@cache" \
     --run-log "${obs_dir}/run.jsonl" \
-    --expect-events "@core" \
+    --expect-events "@core,@cache" \
     --audit "${obs_dir}/audit.json" \
     --max-audit-error 0.25
 
@@ -75,6 +80,8 @@ mkdir -p "${serve_dir}"
     --dataset cora --scale 0.5 --qps 200 --clients 2 \
     --duration-s 2 --deadline-ms 200 \
     --workers 2 --prep-threads 2 --kernel-threads 2 \
+    --feature-cache-mb 4 \
+    --cache-policy presample --presample-batches 4 \
     --trace-out "${serve_dir}/trace.json" \
     --metrics-json "${serve_dir}/metrics.json" \
     --run-log "${serve_dir}/run.jsonl" \
@@ -83,9 +90,9 @@ mkdir -p "${serve_dir}"
     --trace "${serve_dir}/trace.json" \
     --expect-spans "@serve" \
     --metrics "${serve_dir}/metrics.json" \
-    --expect-metrics "@serve" \
+    --expect-metrics "@serve,@cache" \
     --run-log "${serve_dir}/run.jsonl" \
-    --expect-events "@serve"
+    --expect-events "@serve,@cache"
 
 echo "=== Bench-smoke regression gate ==="
 bench_dir="${prefix}-release/bench-smoke"
@@ -104,6 +111,11 @@ BUFFALO_BENCH_DIR="${bench_dir}" \
 "${prefix}-release/tools/bench_diff" \
     bench/baselines/BENCH_serve.json \
     "${bench_dir}/BENCH_serve.json"
+BUFFALO_BENCH_DIR="${bench_dir}" \
+    "${prefix}-release/bench/bench_pipeline"
+"${prefix}-release/tools/bench_diff" \
+    bench/baselines/BENCH_pipeline.json \
+    "${bench_dir}/BENCH_pipeline.json"
 
 echo "=== ThreadSanitizer build + tests ==="
 cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

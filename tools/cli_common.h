@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Flag parsing shared by buffalo_train and buffalo_serve.
+ *
+ * The two CLIs accept the same vocabulary for fanouts, built-in
+ * dataset names, the feature-cache knobs (--feature-cache-mb,
+ * --cache-policy, --pinned-hot, --presample-batches), and the kernel
+ * knobs (--kernel-threads). Parsing them here once means a policy
+ * name or a fanout list is guaranteed to mean the same thing in both
+ * tools — the API-consistency contract the serving tier relies on
+ * when it reuses a training cache configuration.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/datasets.h"
+#include "pipeline/cache_policy.h"
+#include "train/report.h"
+#include "util/errors.h"
+#include "util/flags.h"
+#include "util/format.h"
+
+namespace buffalo::tools {
+
+/** Parses a "--fanouts A,B,..." list (input-most layer first). */
+inline std::vector<int>
+parseFanouts(const std::string &text)
+{
+    std::vector<int> fanouts;
+    std::size_t begin = 0;
+    while (begin <= text.size()) {
+        const auto comma = text.find(',', begin);
+        const std::string item =
+            text.substr(begin, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - begin);
+        checkArgument(!item.empty(), "bad --fanouts entry");
+        fanouts.push_back(std::stoi(item));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return fanouts;
+}
+
+/** Resolves a "--dataset NAME" to the built-in sim registry. */
+inline graph::DatasetId
+datasetIdFromName(const std::string &name)
+{
+    static const std::map<std::string, graph::DatasetId> by_name = {
+        {"cora", graph::DatasetId::Cora},
+        {"pubmed", graph::DatasetId::Pubmed},
+        {"reddit", graph::DatasetId::Reddit},
+        {"arxiv", graph::DatasetId::Arxiv},
+        {"products", graph::DatasetId::Products},
+        {"papers", graph::DatasetId::Papers},
+    };
+    auto it = by_name.find(name);
+    if (it == by_name.end())
+        throw InvalidArgument("unknown --dataset '" + name + "'");
+    return it->second;
+}
+
+/** The cache flags both CLIs accept, already decoded. */
+struct CacheCliOptions
+{
+    std::uint64_t capacity_bytes = 0;
+    train::CachePolicyKind policy = train::CachePolicyKind::Degree;
+    std::size_t pinned_hot_nodes = 0;
+    int presample_batches = 8;
+};
+
+/**
+ * Decodes --feature-cache-mb / --cache-policy / --pinned-hot /
+ * --presample-batches with identical defaults in both CLIs.
+ */
+inline CacheCliOptions
+parseCacheFlags(const util::Flags &flags)
+{
+    CacheCliOptions cache;
+    cache.capacity_bytes =
+        util::mib(flags.getDouble("feature-cache-mb", 0.0));
+    cache.policy = pipeline::cachePolicyKindFromName(
+        flags.getString("cache-policy", "degree"));
+    cache.pinned_hot_nodes =
+        static_cast<std::size_t>(flags.getInt("pinned-hot", 0));
+    cache.presample_batches =
+        static_cast<int>(flags.getInt("presample-batches", 8));
+    checkArgument(cache.presample_batches >= 0,
+                  "--presample-batches must be >= 0");
+    return cache;
+}
+
+/** Flag names parseCacheFlags() consumes (for Flags::checkKnown). */
+inline const std::vector<std::string> &
+cacheFlagNames()
+{
+    static const std::vector<std::string> names = {
+        "feature-cache-mb",
+        "cache-policy",
+        "pinned-hot",
+        "presample-batches",
+    };
+    return names;
+}
+
+/** Decodes --kernel-threads (0 = hardware concurrency). */
+inline std::size_t
+parseKernelThreads(const util::Flags &flags)
+{
+    return static_cast<std::size_t>(
+        flags.getInt("kernel-threads", 0));
+}
+
+} // namespace buffalo::tools

@@ -49,10 +49,12 @@ splitCommas(const std::string &text)
 }
 
 /**
- * Expands the `@core` / `@serve` shorthands to the central
- * expectation lists in obs/names.h, so ci.sh cannot drift from the
- * instrumented names. Plain comma-separated names pass through
- * unchanged.
+ * Expands the `@core` / `@serve` / `@cache` shorthands to the
+ * central expectation lists in obs/names.h, so ci.sh cannot drift
+ * from the instrumented names. Plain comma-separated names pass
+ * through unchanged. The two-array overload (spans) has no cache
+ * set — the feature cache records no spans — so `@cache` there
+ * passes through and fails loudly instead of silently matching.
  */
 template <std::size_t N, std::size_t M>
 std::vector<std::string>
@@ -66,6 +68,28 @@ expandExpected(const std::string &csv, const char *const (&core)[N],
         else if (item == "@serve")
             out.insert(out.end(), std::begin(serve),
                        std::end(serve));
+        else
+            out.push_back(item);
+    }
+    return out;
+}
+
+template <std::size_t N, std::size_t M, std::size_t K>
+std::vector<std::string>
+expandExpected(const std::string &csv, const char *const (&core)[N],
+               const char *const (&serve)[M],
+               const char *const (&cache)[K])
+{
+    std::vector<std::string> out;
+    for (const std::string &item : splitCommas(csv)) {
+        if (item == "@core")
+            out.insert(out.end(), std::begin(core), std::end(core));
+        else if (item == "@serve")
+            out.insert(out.end(), std::begin(serve),
+                       std::end(serve));
+        else if (item == "@cache")
+            out.insert(out.end(), std::begin(cache),
+                       std::end(cache));
         else
             out.push_back(item);
     }
@@ -272,8 +296,10 @@ main(int argc, char **argv)
                 "[--expect-events e,f]]\n"
                 "                    [--audit FILE "
                 "[--max-audit-error X]]\n"
-                "`@core` / `@serve` in an expect list expand to the\n"
-                "central expectation sets in src/obs/names.h.\n");
+                "`@core` / `@serve` / `@cache` in an expect list\n"
+                "expand to the central expectation sets in\n"
+                "src/obs/names.h (`@cache` covers metrics/events\n"
+                "only; the feature cache records no spans).\n");
             return 0;
         }
         flags.checkKnown({"help", "trace", "metrics", "expect-spans",
@@ -304,7 +330,8 @@ main(int argc, char **argv)
                 metrics,
                 expandExpected(flags.getString("expect-metrics"),
                                buffalo::obs::names::kCoreMetrics,
-                               buffalo::obs::names::kServeMetrics),
+                               buffalo::obs::names::kServeMetrics,
+                               buffalo::obs::names::kCacheMetrics),
                 "metric");
             std::printf("obs_validate: %s ok (%zu metrics)\n",
                         path.c_str(), metrics.size());
@@ -316,7 +343,8 @@ main(int argc, char **argv)
                 events,
                 expandExpected(flags.getString("expect-events"),
                                buffalo::obs::names::kCoreEvents,
-                               buffalo::obs::names::kServeEvents),
+                               buffalo::obs::names::kServeEvents,
+                               buffalo::obs::names::kCacheEvents),
                 "event");
             std::printf("obs_validate: %s ok (%zu event types)\n",
                         path.c_str(), events.size());
