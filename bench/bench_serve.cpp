@@ -116,6 +116,8 @@ main()
         serve::Server server(options, data);
         std::vector<std::thread> clients;
         for (std::size_t c = 0; c < kClients; ++c) {
+            // buffalo-lint: allow(escape-ref-capture) client threads
+            // are joined below before the captured locals go away
             clients.emplace_back([&, c] {
                 // Closed loop: wait for each response, pace to the
                 // per-client share of the offered rate.

@@ -91,10 +91,14 @@ Server::Server(const ServeOptions &options,
     }
 
     active_preps_.store(preps, std::memory_order_relaxed);
+    // buffalo-lint: allow(escape-this-capture) threads_ are joined by
+    // stop() before ~Server tears members down
     threads_.emplace_back([this] { batcherLoop(); });
     for (std::size_t p = 0; p < preps; ++p)
+        // buffalo-lint: allow(escape-this-capture) joined by stop()
         threads_.emplace_back([this] { prepLoop(); });
     for (std::size_t w = 0; w < workers; ++w)
+        // buffalo-lint: allow(escape-this-capture) joined by stop()
         threads_.emplace_back([this, w] { workerLoop(w); });
 }
 

@@ -37,6 +37,8 @@ ThreadPool::ThreadPool(std::size_t num_threads)
     }
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i)
+        // buffalo-lint: allow(escape-this-capture) workers_ are joined
+        // by ~ThreadPool before any member is torn down
         workers_.emplace_back([this] { workerLoop(); });
 }
 
@@ -175,6 +177,8 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
             break;
         const std::size_t hi = std::min(end, lo + chunk_size);
         state->remaining.fetch_add(1, std::memory_order_relaxed);
+        // buffalo-lint: allow(escape-ref-capture) parallelFor blocks on
+        // state->done below, so body outlives every chunk task
         submit([state, &body, lo, hi] {
             try {
                 for (std::size_t i = lo; i < hi; ++i)

@@ -1,71 +1,105 @@
 /**
  * @file
- * Project linter enforcing Buffalo's concurrency and observability
- * invariants at the source level (DESIGN.md, "Static analysis &
- * sanitizer matrix"). Rules:
+ * Project linter enforcing Buffalo's concurrency, determinism, and
+ * observability invariants at the source level (DESIGN.md, "Static
+ * analysis & sanitizer matrix").
  *
- *   guarded-by      In headers that opt into the thread-safety
- *                   annotations (they include
- *                   "util/thread_annotations.h"), every data member
- *                   declared after a mutex member must carry
- *                   BUFFALO_GUARDED_BY(...) — or an explicit
- *                   `// buffalo-lint: allow(guarded-by) <reason>`.
- *                   This is what keeps the Clang `-Wthread-safety`
- *                   build meaningful: an unannotated member is
- *                   invisible to the analysis.
- *   obs-name        Span/metric call sites must use the constants in
- *                   src/obs/names.h, never raw string literals, so
- *                   instrumentation, obs_validate, and ci.sh cannot
- *                   drift apart.
- *   raw-alloc       No naked new[] / malloc / calloc / realloc /
- *                   free in src/ — tensors and buffers own memory
- *                   through RAII containers.
- *   header-hygiene  Every header has `#pragma once`; no `"../"`
- *                   relative-up includes.
- *   ci-names        Every literal name in a tools/ci.sh
- *                   `--expect-spans` / `--expect-metrics` /
- *                   `--expect-events` list must exist in
- *                   src/obs/names.h (the `@core` / `@serve`
- *                   shorthands expand inside obs_validate itself).
+ * Unlike its regex-based predecessor, the linter is a multi-pass
+ * static-analysis engine: a comment/string-stripping C++ lexer
+ * (lint/lexer.h) produces a token stream with bracket matching and
+ * scope indices, a per-file symbol pass (lint/symbols.h) recognizes
+ * classes, mutex/guarded members, functions with thread-safety
+ * annotations, and lambdas with their capture lists and escape sinks,
+ * and each rule (this file) walks tokens and symbols instead of raw
+ * lines.
+ *
+ * Rule catalog (see DESIGN.md for the rationale per rule):
+ *
+ *   style family
+ *     guarded-by       members declared after a mutex member must be
+ *                      BUFFALO_GUARDED_BY-annotated (headers opting
+ *                      into util/thread_annotations.h)
+ *     obs-name         span/metric call sites use src/obs/names.h
+ *                      constants, never raw string literals
+ *     raw-alloc        no naked new[]/malloc/calloc/realloc/free
+ *     header-hygiene   #pragma once; no "../" includes
+ *     ci-names         tools/ci.sh --expect-* names exist in names.h
+ *
+ *   determinism family
+ *     det-unordered-iter  iteration over unordered containers in the
+ *                         numeric hot paths (src/tensor, src/nn,
+ *                         src/sampling)
+ *     det-rand            rand/srand/random_device and time-/now-
+ *                         seeded engines outside util::Rng
+ *     det-parallel-accum  +=/-= on captured-by-reference state inside
+ *                         parallelFor/parallelRows lambda bodies
+ *     det-ptr-key         ordered/unordered containers keyed by raw
+ *                         pointer value
+ *
+ *   lock-discipline family
+ *     lock-cv-wait        condition-variable waits outside a
+ *                         predicate loop
+ *     lock-thread-detach  detach() on threads
+ *     lock-excludes-held  calling a BUFFALO_EXCLUDES(m) function while
+ *                         a MutexLock on m is in scope
+ *     lock-guarded-public public inline methods touching a
+ *                         BUFFALO_GUARDED_BY member without a lock or
+ *                         BUFFALO_REQUIRES
+ *
+ *   capture-escape family
+ *     escape-ref-capture  lambdas capturing locals by reference that
+ *                         escape into ThreadPool::submit, queue
+ *                         pushes, std::thread, or member storage
+ *     escape-this-capture same, for `this` captures
+ *
+ * Scan scope in --root mode is src/, tools/, bench/, and tests/, with
+ * per-directory rule masks (lint/rules.h) so test fixtures can
+ * violate style rules deliberately.
  *
  * Usage:
- *   buffalo_lint [--root DIR]     lint DIR/src plus DIR/tools/ci.sh
+ *   buffalo_lint [--root DIR] [--json] [--json-out FILE]
  *   buffalo_lint FILE...          lint exactly these files (fixture
- *                                 mode; ci-names is skipped)
+ *                                 mode; every rule active, ci-names
+ *                                 skipped)
  *
- * Exits 0 when clean, 1 with `file:line: [rule] message` diagnostics
- * on violations, 2 on usage or I/O errors.
+ * Exit 0 when no non-waived finding, 1 otherwise, 2 on usage or I/O
+ * errors. --json writes the machine-readable report (rule, file:line,
+ * severity, waiver status, waiver count) to stdout; --json-out FILE
+ * writes the same report to FILE while keeping human diagnostics on
+ * stdout. ci.sh archives the report and gates on the exit code.
  */
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/lexer.h"
+#include "lint/rules.h"
+#include "lint/symbols.h"
+
 namespace {
 
 namespace fs = std::filesystem;
-
-struct Diag
-{
-    std::string file;
-    std::size_t line = 0;
-    std::string rule;
-    std::string message;
-};
-
-std::vector<Diag> g_diags;
-
-void
-report(const std::string &file, std::size_t line,
-       const std::string &rule, const std::string &message)
-{
-    g_diags.push_back({file, line, rule, message});
-}
+using buffalo_lint::addFinding;
+using buffalo_lint::Capture;
+using buffalo_lint::ClassInfo;
+using buffalo_lint::FileContext;
+using buffalo_lint::FileSymbols;
+using buffalo_lint::Finding;
+using buffalo_lint::Function;
+using buffalo_lint::jsonEscape;
+using buffalo_lint::kNpos;
+using buffalo_lint::Lambda;
+using buffalo_lint::LambdaSink;
+using buffalo_lint::ruleEnabledFor;
+using buffalo_lint::TokenStream;
+using buffalo_lint::TokKind;
 
 [[noreturn]] void
 fatal(const std::string &message)
@@ -87,253 +121,213 @@ readLines(const fs::path &path)
     return lines;
 }
 
-/**
- * Strips comments and literal contents, preserving line lengths and
- * positions (stripped characters become spaces, string delimiters
- * stay). Block-comment state carries across lines.
- */
-std::vector<std::string>
-stripComments(const std::vector<std::string> &lines)
-{
-    std::vector<std::string> out;
-    out.reserve(lines.size());
-    bool in_block = false;
-    for (const std::string &raw : lines) {
-        std::string code(raw.size(), ' ');
-        bool in_string = false, in_char = false;
-        for (std::size_t i = 0; i < raw.size(); ++i) {
-            const char c = raw[i];
-            if (in_block) {
-                if (c == '*' && i + 1 < raw.size() &&
-                    raw[i + 1] == '/') {
-                    in_block = false;
-                    ++i;
-                }
-                continue;
-            }
-            if (in_string) {
-                if (c == '\\')
-                    ++i;
-                else if (c == '"') {
-                    in_string = false;
-                    code[i] = '"';
-                }
-                continue;
-            }
-            if (in_char) {
-                if (c == '\\')
-                    ++i;
-                else if (c == '\'') {
-                    in_char = false;
-                    code[i] = '\'';
-                }
-                continue;
-            }
-            if (c == '/' && i + 1 < raw.size()) {
-                if (raw[i + 1] == '/')
-                    break; // rest of line is a comment
-                if (raw[i + 1] == '*') {
-                    in_block = true;
-                    ++i;
-                    continue;
-                }
-            }
-            if (c == '"') {
-                in_string = true;
-                code[i] = '"';
-                continue;
-            }
-            if (c == '\'') {
-                in_char = true;
-                code[i] = '\'';
-                continue;
-            }
-            code[i] = c;
-        }
-        out.push_back(std::move(code));
-    }
-    return out;
-}
+// --- style: guarded-by -----------------------------------------------
 
 bool
-allows(const std::string &raw_line, const std::string &rule)
+optsIntoAnnotations(const FileContext &ctx)
 {
-    return raw_line.find("buffalo-lint: allow(" + rule + ")") !=
-           std::string::npos;
-}
-
-std::string
-trim(const std::string &s)
-{
-    const auto b = s.find_first_not_of(" \t");
-    if (b == std::string::npos)
-        return "";
-    const auto e = s.find_last_not_of(" \t");
-    return s.substr(b, e - b + 1);
-}
-
-// --- Rule: guarded-by ------------------------------------------------
-
-const std::regex kMutexDecl(
-    R"(^\s*(mutable\s+)?((buffalo::)?util::Mutex|std::mutex|std::shared_mutex|std::recursive_mutex|std::timed_mutex)\s+[A-Za-z_]\w*\s*;)");
-
-const std::regex kMemberName(R"(([A-Za-z_]\w*_)\s*(=[^;]*)?;\s*$)");
-
-bool
-isExemptMember(const std::string &code)
-{
-    const std::string t = trim(code);
-    for (const char *prefix :
-         {"static ", "constexpr ", "const ", "using ", "typedef ",
-          "friend ", "return ", "delete ", "case "})
-        if (t.rfind(prefix, 0) == 0)
-            return true;
-    for (const char *type :
-         {"condition_variable", "std::atomic", "atomic<",
-          "std::thread", "Mutex", "mutex"})
-        if (t.find(type) != std::string::npos)
+    for (const std::string &line : ctx.raw_lines)
+        if (line.find("util/thread_annotations.h") !=
+            std::string::npos)
             return true;
     return false;
 }
 
-/**
- * Checks that members declared after a mutex member are annotated.
- * Tracks one "guarded region" per mutex declaration, scoped to the
- * brace depth the mutex was declared at; the region closes with its
- * class body.
- */
-void
-lintGuardedBy(const std::string &file,
-              const std::vector<std::string> &raw,
-              const std::vector<std::string> &code)
+bool
+isMutexTypeIdent(const std::string &t)
 {
-    std::vector<int> region_depths;
-    int depth = 0;
-    for (std::size_t i = 0; i < code.size(); ++i) {
-        const std::string &line = code[i];
-        const int depth_before = depth;
-        for (const char c : line) {
-            if (c == '{')
-                ++depth;
-            else if (c == '}')
-                --depth;
-        }
-        while (!region_depths.empty() && region_depths.back() > depth)
-            region_depths.pop_back();
+    return t == "Mutex" || t == "mutex" || t == "shared_mutex" ||
+           t == "recursive_mutex" || t == "timed_mutex";
+}
 
-        if (std::regex_search(line, kMutexDecl)) {
-            region_depths.push_back(depth_before);
-            continue;
+bool
+isExemptMemberIdent(const std::string &t)
+{
+    return t == "condition_variable" || t == "atomic" ||
+           t == "thread" || t == "jthread" || isMutexTypeIdent(t);
+}
+
+void
+lintGuardedBy(const FileContext &ctx, std::vector<Finding> *out)
+{
+    const TokenStream &ts = ctx.ts;
+    for (const ClassInfo &cls : ctx.symbols.classes) {
+        bool after_mutex = false;
+        std::size_t stmt_begin = cls.body_begin + 1;
+        for (std::size_t i = cls.body_begin + 1; i < cls.body_end;
+             ++i) {
+            if (ts.brace_parent[i] != cls.body_begin)
+                continue;
+            const std::string &t = ts.tokens[i].text;
+            if (t == "}") { // end of a nested body: not a member decl
+                stmt_begin = i + 1;
+                continue;
+            }
+            if (t != ";")
+                continue;
+            // Statement [stmt_begin, i). Skip access-specifier
+            // prefixes, then classify.
+            std::size_t b = stmt_begin;
+            stmt_begin = i + 1;
+            while (b < i && ts.isKind(b, TokKind::Ident) &&
+                   (ts.tokens[b].text == "public" ||
+                    ts.tokens[b].text == "private" ||
+                    ts.tokens[b].text == "protected") &&
+                   ts.is(b + 1, ":"))
+                b += 2;
+            if (b >= i)
+                continue;
+            bool has_annotation = false, has_paren = false,
+                 has_brace = false, has_exempt = false,
+                 has_mutex_type = false;
+            for (std::size_t j = b; j < i; ++j) {
+                const std::string &w = ts.tokens[j].text;
+                if (w == "BUFFALO_GUARDED_BY" ||
+                    w == "BUFFALO_PT_GUARDED_BY")
+                    has_annotation = true;
+                else if (w == "(")
+                    has_paren = true;
+                else if (w == "{")
+                    has_brace = true;
+                if (ts.tokens[j].kind == TokKind::Ident) {
+                    if (isExemptMemberIdent(w))
+                        has_exempt = true;
+                    if (isMutexTypeIdent(w))
+                        has_mutex_type = true;
+                }
+            }
+            if (has_mutex_type && !has_paren) {
+                after_mutex = true;
+                continue;
+            }
+            if (!after_mutex || has_annotation || has_paren ||
+                has_brace || has_exempt)
+                continue;
+            const std::string &first = ts.tokens[b].text;
+            if (first == "static" || first == "constexpr" ||
+                first == "const" || first == "using" ||
+                first == "typedef" || first == "friend" ||
+                first == "template" || first == "enum")
+                continue;
+            // Member name: the identifier before '=' (initializer) or
+            // before the ';'.
+            std::size_t name_tok = kNpos;
+            for (std::size_t j = b; j < i; ++j) {
+                if (ts.is(j, "="))
+                    break;
+                if (ts.isKind(j, TokKind::Ident))
+                    name_tok = j;
+            }
+            if (name_tok == kNpos)
+                continue;
+            const std::string &name = ts.tokens[name_tok].text;
+            if (name.empty() || name.back() != '_')
+                continue;
+            addFinding(ctx, out, ts.tokens[name_tok].line,
+                       "guarded-by",
+                       "member '" + name +
+                           "' is declared after a mutex but carries "
+                           "no BUFFALO_GUARDED_BY annotation");
         }
-        const bool in_region =
-            std::find(region_depths.begin(), region_depths.end(),
-                      depth_before) != region_depths.end();
-        if (!in_region)
-            continue;
-        const std::string t = trim(line);
-        if (t.empty() || t.back() != ';')
-            continue;
-        if (t.find("BUFFALO_GUARDED_BY") != std::string::npos ||
-            t.find("BUFFALO_PT_GUARDED_BY") != std::string::npos)
-            continue;
-        if (t.find('(') != std::string::npos) // function declaration
-            continue;
-        if (isExemptMember(t))
-            continue;
-        std::smatch m;
-        if (!std::regex_search(t, m, kMemberName))
-            continue;
-        if (allows(raw[i], "guarded-by"))
-            continue;
-        report(file, i + 1, "guarded-by",
-               "member '" + m[1].str() +
-                   "' is declared after a mutex but carries no "
-                   "BUFFALO_GUARDED_BY annotation");
     }
 }
 
-// --- Rule: obs-name --------------------------------------------------
-
-const std::regex kObsCall(
-    R"((\.|->)\s*(counter|gauge|histogram|record|event)\s*\(\s*")");
-const std::regex kSpanCall(R"(\bSpan\s*([A-Za-z_]\w*)?\s*[({]\s*")");
+// --- style: obs-name -------------------------------------------------
 
 void
-lintObsNames(const std::string &file,
-             const std::vector<std::string> &raw,
-             const std::vector<std::string> &code)
+lintObsNames(const FileContext &ctx, std::vector<Finding> *out)
 {
-    for (std::size_t i = 0; i < code.size(); ++i) {
-        std::smatch m;
-        const bool obs_call = std::regex_search(code[i], m, kObsCall);
-        const bool span_call =
-            !obs_call && std::regex_search(code[i], m, kSpanCall);
+    const TokenStream &ts = ctx.ts;
+    for (std::size_t i = 1; i + 2 < ts.size(); ++i) {
+        if (!ts.isKind(i, TokKind::Ident))
+            continue;
+        const std::string &t = ts.tokens[i].text;
+        const bool obs_call =
+            (t == "counter" || t == "gauge" || t == "histogram" ||
+             t == "record" || t == "event") &&
+            (ts.is(i - 1, ".") || ts.is(i - 1, "->")) &&
+            ts.is(i + 1, "(") &&
+            ts.isKind(i + 2, TokKind::String);
+        bool span_call = false;
+        if (!obs_call && t == "Span") {
+            // `Span("...")`, `Span{"..."}`, or `Span name("...")`.
+            std::size_t open = i + 1;
+            if (ts.isKind(open, TokKind::Ident))
+                ++open;
+            span_call = (ts.is(open, "(") || ts.is(open, "{")) &&
+                        ts.isKind(open + 1, TokKind::String);
+        }
         if (!obs_call && !span_call)
             continue;
-        if (allows(raw[i], "obs-name"))
-            continue;
-        report(file, i + 1, "obs-name",
-               std::string(obs_call ? "metric" : "span") +
-                   " name passed as a raw string literal; use a "
-                   "constant from src/obs/names.h");
+        addFinding(ctx, out, ts.tokens[i].line, "obs-name",
+                   std::string(obs_call ? "metric" : "span") +
+                       " name passed as a raw string literal; use a "
+                       "constant from src/obs/names.h");
     }
 }
 
-// --- Rule: raw-alloc -------------------------------------------------
-
-const std::regex kArrayNew(R"(\bnew\s+[A-Za-z_][\w:<>,\s\*]*\[)");
-const std::regex kCAlloc(R"(\b(malloc|calloc|realloc|free)\s*\()");
+// --- style: raw-alloc ------------------------------------------------
 
 void
-lintRawAlloc(const std::string &file,
-             const std::vector<std::string> &raw,
-             const std::vector<std::string> &code)
+lintRawAlloc(const FileContext &ctx, std::vector<Finding> *out)
 {
-    for (std::size_t i = 0; i < code.size(); ++i) {
-        std::smatch m;
-        std::string what;
-        if (std::regex_search(code[i], m, kArrayNew))
-            what = "array new[]";
-        else if (std::regex_search(code[i], m, kCAlloc))
-            what = m[1].str() + "()";
-        else
+    const TokenStream &ts = ctx.ts;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+        if (!ts.isKind(i, TokKind::Ident))
             continue;
-        if (allows(raw[i], "raw-alloc"))
+        const std::string &t = ts.tokens[i].text;
+        if (t == "new") {
+            // `new Type[...]` with only type tokens between.
+            std::size_t j = i + 1;
+            while (j < ts.size() &&
+                   (ts.isKind(j, TokKind::Ident) ||
+                    ts.is(j, "::") || ts.is(j, "<") ||
+                    ts.is(j, ">") || ts.is(j, ",") ||
+                    ts.is(j, "*") || ts.is(j, "&")))
+                ++j;
+            if (ts.is(j, "[") && j > i + 1)
+                addFinding(ctx, out, ts.tokens[i].line, "raw-alloc",
+                           "naked array new[]; own memory through "
+                           "RAII containers (std::vector, "
+                           "tensor::Tensor, ...)");
             continue;
-        report(file, i + 1, "raw-alloc",
-               "naked " + what +
-                   "; own memory through RAII containers "
-                   "(std::vector, tensor::Tensor, ...)");
+        }
+        if ((t == "malloc" || t == "calloc" || t == "realloc" ||
+             t == "free") &&
+            ts.is(i + 1, "(") &&
+            (i == 0 ||
+             (!ts.is(i - 1, ".") && !ts.is(i - 1, "->"))))
+            addFinding(ctx, out, ts.tokens[i].line, "raw-alloc",
+                       "naked " + t +
+                           "(); own memory through RAII containers "
+                           "(std::vector, tensor::Tensor, ...)");
     }
 }
 
-// --- Rule: header-hygiene --------------------------------------------
+// --- style: header-hygiene -------------------------------------------
 
 void
-lintHeaderHygiene(const std::string &file,
-                  const std::vector<std::string> &raw,
-                  const std::vector<std::string> &code)
+lintHeaderHygiene(const FileContext &ctx, std::vector<Finding> *out)
 {
     bool has_pragma_once = false;
-    for (std::size_t i = 0; i < code.size(); ++i) {
-        const std::string t = trim(code[i]);
-        if (t.rfind("#pragma", 0) == 0 &&
-            t.find("once") != std::string::npos)
+    for (const auto &tok : ctx.ts.tokens) {
+        if (tok.kind != TokKind::Directive)
+            continue;
+        if (tok.text.find("pragma") != std::string::npos &&
+            tok.text.find("once") != std::string::npos)
             has_pragma_once = true;
-        // Include paths live inside string literals, which the
-        // stripped view blanks — consult the raw line for them.
-        if (t.rfind("#include", 0) == 0 &&
-            raw[i].find("\"../") != std::string::npos &&
-            !allows(raw[i], "header-hygiene"))
-            report(file, i + 1, "header-hygiene",
-                   "relative-up include; include project headers "
-                   "by their src/-rooted path");
+        if (tok.text.find("include") != std::string::npos &&
+            tok.text.find("\"../") != std::string::npos)
+            addFinding(ctx, out, tok.line, "header-hygiene",
+                       "relative-up include; include project headers "
+                       "by their src/-rooted path");
     }
     if (!has_pragma_once)
-        report(file, 1, "header-hygiene", "missing #pragma once");
+        addFinding(ctx, out, 1, "header-hygiene",
+                   "missing #pragma once");
 }
 
-// --- Rule: ci-names --------------------------------------------------
+// --- style: ci-names -------------------------------------------------
 
 std::set<std::string>
 collectRegisteredNames(const fs::path &names_header)
@@ -353,7 +347,8 @@ collectRegisteredNames(const fs::path &names_header)
 
 void
 lintCiNames(const fs::path &ci_script,
-            const std::set<std::string> &registered)
+            const std::set<std::string> &registered,
+            std::vector<Finding> *out)
 {
     const std::vector<std::string> lines = readLines(ci_script);
     const std::regex expect(
@@ -369,63 +364,772 @@ lintCiNames(const fs::path &ci_script,
                 if (name.empty() || name[0] == '@' ||
                     name.find('$') != std::string::npos)
                     continue;
-                if (registered.count(name) == 0)
-                    report(ci_script.string(), i + 1, "ci-names",
-                           "expected name \"" + name +
-                               "\" is not registered in "
-                               "src/obs/names.h");
+                if (registered.count(name) == 0) {
+                    Finding f;
+                    f.file = ci_script.string();
+                    f.line = i + 1;
+                    f.rule = "ci-names";
+                    f.message = "expected name \"" + name +
+                                "\" is not registered in "
+                                "src/obs/names.h";
+                    out->push_back(std::move(f));
+                }
             }
         }
     }
 }
 
-// --- Driver ----------------------------------------------------------
+// --- determinism: det-unordered-iter ---------------------------------
 
 bool
-isHeader(const fs::path &path)
+inHotPath(const FileContext &ctx)
 {
-    return path.extension() == ".h";
+    if (ctx.rel_path.empty())
+        return true; // fixture mode
+    return ctx.under("src/tensor") || ctx.under("src/nn") ||
+           ctx.under("src/sampling");
 }
 
 void
-lintFile(const fs::path &path)
+lintUnorderedIter(const FileContext &ctx, std::vector<Finding> *out)
 {
-    const std::vector<std::string> raw = readLines(path);
-    const std::vector<std::string> code = stripComments(raw);
-    const std::string file = path.string();
-
-    const bool opted_in = [&] {
-        for (const std::string &line : raw)
-            if (line.find("util/thread_annotations.h") !=
-                std::string::npos)
-                return true;
-        return false;
-    }();
-    if (isHeader(path) && opted_in &&
-        path.filename() != "thread_annotations.h")
-        lintGuardedBy(file, raw, code);
-    if (path.parent_path().filename() != "obs" ||
-        path.filename() != "names.h")
-        lintObsNames(file, raw, code);
-    lintRawAlloc(file, raw, code);
-    if (isHeader(path))
-        lintHeaderHygiene(file, raw, code);
+    if (!inHotPath(ctx))
+        return;
+    const TokenStream &ts = ctx.ts;
+    const auto &vars = ctx.symbols.unordered_vars;
+    if (vars.empty())
+        return;
+    for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+        // Range-for over an unordered container.
+        if (ts.isIdent(i, "for") && ts.is(i + 1, "(") &&
+            ts.match[i + 1] != kNpos) {
+            const std::size_t open = i + 1, close = ts.match[i + 1];
+            std::size_t colon = kNpos;
+            for (std::size_t j = open + 1; j < close; ++j)
+                if (ts.is(j, ":") && ts.paren_parent[j] == open) {
+                    colon = j;
+                    break;
+                }
+            if (colon == kNpos)
+                continue;
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (ts.isKind(j, TokKind::Ident) &&
+                    vars.count(ts.tokens[j].text) != 0) {
+                    addFinding(
+                        ctx, out, ts.tokens[j].line,
+                        "det-unordered-iter",
+                        "iteration over unordered container '" +
+                            ts.tokens[j].text +
+                            "' in a numeric hot path — bucket order "
+                            "is unspecified and can feed "
+                            "order-sensitive writes or accumulation; "
+                            "iterate a sorted view instead");
+                    break;
+                }
+            }
+            continue;
+        }
+        // Explicit iterator loop: var.begin().
+        if (ts.isKind(i, TokKind::Ident) &&
+            vars.count(ts.tokens[i].text) != 0 &&
+            (ts.is(i + 1, ".") || ts.is(i + 1, "->")) &&
+            (ts.isIdent(i + 2, "begin") ||
+             ts.isIdent(i + 2, "cbegin")) &&
+            ts.is(i + 3, "("))
+            addFinding(ctx, out, ts.tokens[i].line,
+                       "det-unordered-iter",
+                       "iterator walk over unordered container '" +
+                           ts.tokens[i].text +
+                           "' in a numeric hot path — bucket order "
+                           "is unspecified; iterate a sorted view "
+                           "instead");
+    }
 }
 
-std::vector<fs::path>
-collectSources(const fs::path &src_root)
+// --- determinism: det-rand -------------------------------------------
+
+bool
+isRngImplementation(const FileContext &ctx)
 {
-    std::vector<fs::path> files;
-    for (const auto &entry :
-         fs::recursive_directory_iterator(src_root)) {
-        if (!entry.is_regular_file())
+    const std::string &p = ctx.path;
+    for (const char *suffix : {"util/rng.h", "util/rng.cpp"}) {
+        const std::string s = suffix;
+        if (p.size() >= s.size() &&
+            p.compare(p.size() - s.size(), s.size(), s) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+lintRand(const FileContext &ctx, std::vector<Finding> *out)
+{
+    if (isRngImplementation(ctx))
+        return;
+    const TokenStream &ts = ctx.ts;
+    static const std::set<std::string> engines = {
+        "mt19937",     "mt19937_64",  "default_random_engine",
+        "minstd_rand", "minstd_rand0", "ranlux24",
+        "ranlux48",    "knuth_b",     "seed",
+        "Rng"};
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (!ts.isKind(i, TokKind::Ident))
             continue;
-        const fs::path &p = entry.path();
-        if (p.extension() == ".h" || p.extension() == ".cpp")
-            files.push_back(p);
+        const std::string &t = ts.tokens[i].text;
+        const bool member_access =
+            i > 0 && (ts.is(i - 1, ".") || ts.is(i - 1, "->"));
+        if ((t == "rand" || t == "srand") && ts.is(i + 1, "(") &&
+            !member_access) {
+            addFinding(ctx, out, ts.tokens[i].line, "det-rand",
+                       t + "() draws from hidden global state; all "
+                           "randomness flows through util::Rng so "
+                           "runs are reproducible from one seed");
+            continue;
+        }
+        if (t == "random_device" && !member_access) {
+            addFinding(ctx, out, ts.tokens[i].line, "det-rand",
+                       "std::random_device is nondeterministic by "
+                       "design; derive streams from util::Rng and "
+                       "the experiment seed");
+            continue;
+        }
+        if (t == "time" && !member_access && ts.is(i + 1, "(") &&
+            ts.match[i + 1] == i + 3 &&
+            (ts.is(i + 2, "0") || ts.isIdent(i + 2, "NULL") ||
+             ts.isIdent(i + 2, "nullptr"))) {
+            addFinding(ctx, out, ts.tokens[i].line, "det-rand",
+                       "wall-clock seeding (time(NULL)) makes runs "
+                       "unreproducible; seed from the experiment "
+                       "seed via util::Rng");
+            continue;
+        }
+        if (engines.count(t) != 0 && ts.is(i + 1, "(") &&
+            ts.match[i + 1] != kNpos) {
+            for (std::size_t j = i + 2; j < ts.match[i + 1]; ++j) {
+                if (ts.isIdent(j, "now") && ts.is(j + 1, "(")) {
+                    addFinding(
+                        ctx, out, ts.tokens[i].line, "det-rand",
+                        "random engine seeded from a clock "
+                        "(...::now()); seed from the experiment "
+                        "seed via util::Rng");
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// --- determinism: det-parallel-accum ---------------------------------
+
+/**
+ * True when @p name is declared inside the lambda body before token
+ * @p before (heuristic: an occurrence whose previous token reads like
+ * a type: identifier, '>', '*', or '&' following an identifier).
+ */
+bool
+declaredInBody(const TokenStream &ts, const Lambda &lam,
+               const std::string &name, std::size_t before)
+{
+    for (std::size_t j = lam.body_begin + 1;
+         j < before && j < lam.body_end; ++j) {
+        if (!ts.isKind(j, TokKind::Ident) ||
+            ts.tokens[j].text != name || j == 0)
+            continue;
+        const auto &prev = ts.tokens[j - 1];
+        if (prev.kind == TokKind::Ident &&
+            prev.text != "return" && prev.text != "else")
+            return true;
+        if (prev.text == ">" || prev.text == "*" || prev.text == "&")
+            return true;
+    }
+    return false;
+}
+
+void
+lintParallelAccum(const FileContext &ctx, std::vector<Finding> *out)
+{
+    const TokenStream &ts = ctx.ts;
+    for (const Lambda &lam : ctx.symbols.lambdas) {
+        if (lam.sink != LambdaSink::Call ||
+            (lam.callee != "parallelFor" &&
+             lam.callee != "parallelRows"))
+            continue;
+        const bool ref_default = lam.hasRefDefault();
+        const auto ref_names = lam.refNames();
+        if (!ref_default && ref_names.empty())
+            continue;
+        for (std::size_t k = lam.body_begin + 1; k < lam.body_end;
+             ++k) {
+            if (!ts.is(k, "+=") && !ts.is(k, "-="))
+                continue;
+            if (k == 0 || !ts.isKind(k - 1, TokKind::Ident))
+                continue; // subscripted LHS: owner-partitioned
+            // Walk the member chain back to its base identifier; a
+            // subscript anywhere in the chain means the write is
+            // indexed (owner-partitioned), so skip it.
+            std::size_t base = k - 1;
+            bool subscripted = false;
+            while (base >= 2 &&
+                   (ts.is(base - 1, ".") || ts.is(base - 1, "->"))) {
+                if (ts.is(base - 2, "]")) {
+                    subscripted = true;
+                    break;
+                }
+                if (!ts.isKind(base - 2, TokKind::Ident))
+                    break;
+                base -= 2;
+            }
+            if (subscripted)
+                continue;
+            const std::string &name = ts.tokens[base].text;
+            if (name == "this")
+                continue;
+            if (std::find(lam.params.begin(), lam.params.end(),
+                          name) != lam.params.end())
+                continue;
+            if (lam.capturesByValue(name))
+                continue;
+            const bool by_ref =
+                std::find(ref_names.begin(), ref_names.end(),
+                          name) != ref_names.end() ||
+                (ref_default &&
+                 !declaredInBody(ts, lam, name, base));
+            if (!by_ref)
+                continue;
+            addFinding(ctx, out, ts.tokens[k].line,
+                       "det-parallel-accum",
+                       "accumulation '" + ts.tokens[k].text +
+                           "' on '" + name +
+                           "' captured by reference inside a " +
+                           lam.callee +
+                           " body — a data race whose result depends "
+                           "on the schedule; give each task an owned "
+                           "output partition or reduce serially");
+        }
+    }
+}
+
+// --- determinism: det-ptr-key ----------------------------------------
+
+void
+lintPtrKey(const FileContext &ctx, std::vector<Finding> *out)
+{
+    const TokenStream &ts = ctx.ts;
+    static const std::set<std::string> keyed = {
+        "map", "set", "multimap", "multiset",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+        if (!ts.isKind(i, TokKind::Ident) ||
+            keyed.count(ts.tokens[i].text) == 0 ||
+            !ts.is(i + 1, "<"))
+            continue;
+        int depth = 1;
+        for (std::size_t j = i + 2; j < ts.size(); ++j) {
+            const std::string &p = ts.tokens[j].text;
+            if (p == "<")
+                ++depth;
+            else if (p == ">")
+                --depth;
+            else if (p == ">>")
+                depth -= 2;
+            else if (p == ";" || p == "{" || p == ")")
+                break;
+            if (depth <= 0)
+                break;
+            if (p == "," && depth == 1)
+                break; // end of the key argument
+            if (p == "*" && ts.isKind(j - 1, TokKind::Ident)) {
+                addFinding(
+                    ctx, out, ts.tokens[i].line, "det-ptr-key",
+                    "container keyed by raw pointer value — "
+                    "allocation addresses differ run to run, so "
+                    "iteration/lookup order is nondeterministic; "
+                    "key by a stable id instead");
+                break;
+            }
+        }
+    }
+}
+
+// --- lock-discipline: lock-cv-wait -----------------------------------
+
+/** True when the wait's first argument looks like a lock handle. */
+bool
+argLooksLikeLock(const TokenStream &ts, std::size_t open,
+                 std::size_t close)
+{
+    for (std::size_t j = open + 1; j < close; ++j) {
+        if (ts.is(j, ",") && ts.paren_parent[j] == open)
+            break; // only the first argument
+        if (!ts.isKind(j, TokKind::Ident))
+            continue;
+        const std::string &t = ts.tokens[j].text;
+        if (t.find("lock") != std::string::npos ||
+            t.find("Lock") != std::string::npos ||
+            t.find("mutex") != std::string::npos ||
+            t == "native" || t == "lk" || t == "guard")
+            return true;
+    }
+    return false;
+}
+
+bool
+braceOpensLoop(const TokenStream &ts, std::size_t brace)
+{
+    if (brace == 0 || brace == kNpos)
+        return false;
+    if (ts.isIdent(brace - 1, "do"))
+        return true;
+    if (ts.is(brace - 1, ")")) {
+        const std::size_t open = ts.match[brace - 1];
+        if (open != kNpos && open > 0 &&
+            (ts.isIdent(open - 1, "while") ||
+             ts.isIdent(open - 1, "for")))
+            return true;
+    }
+    return false;
+}
+
+void
+lintCvWait(const FileContext &ctx, std::vector<Finding> *out)
+{
+    const TokenStream &ts = ctx.ts;
+    for (std::size_t i = 2; i + 1 < ts.size(); ++i) {
+        if (!ts.isKind(i, TokKind::Ident))
+            continue;
+        const std::string &t = ts.tokens[i].text;
+        if (t != "wait" && t != "wait_for" && t != "wait_until")
+            continue;
+        if (!ts.is(i - 1, ".") && !ts.is(i - 1, "->"))
+            continue;
+        if (!ts.is(i + 1, "(") || ts.match[i + 1] == kNpos ||
+            ts.match[i + 1] == i + 2)
+            continue; // no arguments: ThreadPool::wait, future::wait
+        if (!argLooksLikeLock(ts, i + 1, ts.match[i + 1]))
+            continue; // not a condition-variable wait on a lock
+        // Receiver chain start (`state->done.wait(...)` -> `state`).
+        std::size_t base = i;
+        while (base >= 2 &&
+               (ts.is(base - 1, ".") || ts.is(base - 1, "->")) &&
+               ts.isKind(base - 2, TokKind::Ident))
+            base -= 2;
+        // Single-statement loop body: `while (cond) cv.wait(...);`
+        bool in_loop = false;
+        if (base > 0 && ts.is(base - 1, ")")) {
+            const std::size_t open = ts.match[base - 1];
+            if (open != kNpos && open > 0 &&
+                (ts.isIdent(open - 1, "while") ||
+                 ts.isIdent(open - 1, "for")))
+                in_loop = true;
+        }
+        // Otherwise: any enclosing loop block within this function
+        // (stop at function or lambda boundaries).
+        std::size_t b = ts.brace_parent[i];
+        while (!in_loop && b != kNpos) {
+            if (braceOpensLoop(ts, b)) {
+                in_loop = true;
+                break;
+            }
+            Function probe;
+            if (buffalo_lint::classifyFunctionBrace(ts, b, &probe))
+                break; // function body reached without a loop
+            bool lambda_body = false;
+            for (const Lambda &lam : ctx.symbols.lambdas)
+                if (lam.body_begin == b)
+                    lambda_body = true;
+            if (lambda_body)
+                break;
+            b = ts.brace_parent[b];
+        }
+        if (in_loop)
+            continue;
+        addFinding(ctx, out, ts.tokens[i].line, "lock-cv-wait",
+                   "condition-variable " + t +
+                       " outside a predicate loop — spurious wakeups "
+                       "and missed notifies require `while (!pred) "
+                       "cv.wait(lock);`");
+    }
+}
+
+// --- lock-discipline: lock-thread-detach -----------------------------
+
+void
+lintThreadDetach(const FileContext &ctx, std::vector<Finding> *out)
+{
+    const TokenStream &ts = ctx.ts;
+    for (std::size_t i = 1; i + 1 < ts.size(); ++i) {
+        if (ts.isIdent(i, "detach") &&
+            (ts.is(i - 1, ".") || ts.is(i - 1, "->")) &&
+            ts.is(i + 1, "("))
+            addFinding(ctx, out, ts.tokens[i].line,
+                       "lock-thread-detach",
+                       "detach() abandons the thread — no join point "
+                       "means shutdown races and leaked work; keep "
+                       "the handle and join it");
+    }
+}
+
+// --- lock-discipline: lock-excludes-held -----------------------------
+
+void
+lintExcludesHeld(const FileContext &ctx, std::vector<Finding> *out)
+{
+    const TokenStream &ts = ctx.ts;
+    // Merge the file's own EXCLUDES annotations with those harvested
+    // from directly included project headers.
+    std::map<std::string, std::set<std::string>> excludes =
+        ctx.include_excludes;
+    for (const auto &[name, mutexes] :
+         ctx.symbols.excludes_by_name)
+        excludes[name].insert(mutexes.begin(), mutexes.end());
+    if (excludes.empty())
+        return;
+
+    for (const Function &fn : ctx.symbols.functions) {
+        if (fn.body_begin == kNpos || fn.body_end == kNpos)
+            continue;
+        for (std::size_t m = fn.body_begin + 1; m < fn.body_end;
+             ++m) {
+            if (!ts.isIdent(m, "MutexLock"))
+                continue;
+            if (!ts.isKind(m + 1, TokKind::Ident) ||
+                !ts.is(m + 2, "(") || ts.match[m + 2] == kNpos)
+                continue;
+            const std::string mutex = buffalo_lint::detail::
+                lastIdentIn(ts, m + 2, ts.match[m + 2]);
+            if (mutex.empty())
+                continue;
+            // The lock is held until the end of its enclosing block.
+            const std::size_t block = ts.brace_parent[m];
+            const std::size_t scope_end =
+                block == kNpos ? fn.body_end : ts.match[block];
+            for (std::size_t j = ts.match[m + 2] + 1;
+                 j < scope_end && j < ts.size(); ++j) {
+                if (!ts.isKind(j, TokKind::Ident) ||
+                    !ts.is(j + 1, "("))
+                    continue;
+                // Qualified calls bind to another object's method
+                // (and its mutex); only unqualified / this-> calls
+                // can self-deadlock on our own mutex.
+                if (j > 0 &&
+                    (ts.is(j - 1, ".") || ts.is(j - 1, "->")) &&
+                    !(j >= 2 && ts.isIdent(j - 2, "this")))
+                    continue;
+                const auto it = excludes.find(ts.tokens[j].text);
+                if (it == excludes.end() ||
+                    it->second.count(mutex) == 0)
+                    continue;
+                addFinding(
+                    ctx, out, ts.tokens[j].line,
+                    "lock-excludes-held",
+                    "call to '" + ts.tokens[j].text +
+                        "()' (annotated BUFFALO_EXCLUDES(" + mutex +
+                        ")) while a MutexLock on '" + mutex +
+                        "' is in scope — self-deadlock");
+            }
+        }
+    }
+}
+
+// --- lock-discipline: lock-guarded-public ----------------------------
+
+void
+lintGuardedPublic(const FileContext &ctx, std::vector<Finding> *out)
+{
+    const TokenStream &ts = ctx.ts;
+    static const std::set<std::string> lockers = {
+        "MutexLock", "lock_guard", "unique_lock", "scoped_lock",
+        "shared_lock"};
+    for (const ClassInfo &cls : ctx.symbols.classes) {
+        if (cls.guarded.empty())
+            continue;
+        for (const Function &fn : ctx.symbols.functions) {
+            if (!fn.in_class || fn.class_name != cls.name ||
+                !fn.is_public || fn.is_ctor_dtor ||
+                fn.body_begin <= cls.body_begin ||
+                fn.body_end >= cls.body_end)
+                continue;
+            for (const auto &[member, mutex] : cls.guarded) {
+                if (std::find(fn.requires_caps.begin(),
+                              fn.requires_caps.end(),
+                              mutex) != fn.requires_caps.end())
+                    continue;
+                for (std::size_t t = fn.body_begin + 1;
+                     t < fn.body_end; ++t) {
+                    if (!ts.isKind(t, TokKind::Ident) ||
+                        ts.tokens[t].text != member)
+                        continue;
+                    // Accesses through another object need that
+                    // object's lock; out of per-file scope.
+                    if (ts.is(t - 1, ".") || ts.is(t - 1, "->"))
+                        continue;
+                    // A lock on the guarding mutex taken earlier in
+                    // the body covers this access.
+                    bool locked = false;
+                    for (std::size_t q = fn.body_begin + 1;
+                         q < t && !locked; ++q) {
+                        if (!ts.isKind(q, TokKind::Ident) ||
+                            lockers.count(ts.tokens[q].text) == 0)
+                            continue;
+                        for (std::size_t r = q + 1;
+                             r < q + 12 && r < ts.size(); ++r) {
+                            if (ts.is(r, "(")) {
+                                if (ts.match[r] != kNpos) {
+                                    const std::string locked_mutex =
+                                        buffalo_lint::detail::
+                                            lastIdentIn(
+                                                ts, r,
+                                                ts.match[r]);
+                                    locked =
+                                        locked_mutex == mutex;
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    if (locked)
+                        break;
+                    addFinding(
+                        ctx, out, ts.tokens[t].line,
+                        "lock-guarded-public",
+                        "public method '" + fn.name +
+                            "' touches '" + member +
+                            "' (BUFFALO_GUARDED_BY(" + mutex +
+                            ")) without holding the mutex or a "
+                            "BUFFALO_REQUIRES annotation");
+                    break; // one finding per (method, member)
+                }
+            }
+        }
+    }
+}
+
+// --- capture-escape --------------------------------------------------
+
+/** True when @p lam escapes its defining scope. */
+bool
+isEscapeSink(const Lambda &lam)
+{
+    if (lam.sink == LambdaSink::Assign)
+        return !lam.assign_target.empty() &&
+               lam.assign_target.back() == '_';
+    if (lam.sink != LambdaSink::Call)
+        return false;
+    static const std::set<std::string> async_callees = {
+        "submit", "enqueue", "post", "dispatch", "push",
+        "emplace_back", "push_back", "async"};
+    if (async_callees.count(lam.callee) != 0)
+        return true;
+    // std::thread t([..]{...});  /  std::thread([..]{...})
+    return lam.callee == "thread" || lam.decl_type == "thread" ||
+           lam.decl_type == "jthread";
+}
+
+void
+lintEscapeCaptures(const FileContext &ctx, std::vector<Finding> *out)
+{
+    const TokenStream &ts = ctx.ts;
+    for (const Lambda &lam : ctx.symbols.lambdas) {
+        if (!isEscapeSink(lam))
+            continue;
+        const std::string sink_desc =
+            lam.sink == LambdaSink::Assign
+                ? "member '" + lam.assign_target + "'"
+                : "'" + (lam.receiver.empty()
+                             ? lam.callee
+                             : lam.receiver + "..." + lam.callee) +
+                      "(...)'";
+        const std::size_t line = ts.tokens[lam.intro].line;
+        if (ruleEnabledFor(ctx.rel_path, "escape-ref-capture")) {
+            std::string names;
+            for (const std::string &n : lam.refNames())
+                names += (names.empty() ? "" : ", ") + n;
+            if (lam.hasRefDefault())
+                names = names.empty() ? "[&] default"
+                                      : names + " and [&] default";
+            if (!names.empty())
+                addFinding(
+                    ctx, out, line, "escape-ref-capture",
+                    "lambda capturing by reference (" + names +
+                        ") escapes into " + sink_desc +
+                        " — the referents must outlive the task; "
+                        "move/copy the state in, or waive with a "
+                        "lifetime argument");
+        }
+        if (ruleEnabledFor(ctx.rel_path, "escape-this-capture") &&
+            lam.hasThis())
+            addFinding(ctx, out, line, "escape-this-capture",
+                       "lambda capturing 'this' escapes into " +
+                           sink_desc +
+                           " — the object must outlive the task "
+                           "(join in the destructor before members "
+                           "are torn down), or waive with the "
+                           "lifetime argument");
+    }
+}
+
+// --- driver ----------------------------------------------------------
+
+struct Options
+{
+    fs::path root;
+    bool root_set = false;
+    bool json_stdout = false;
+    fs::path json_out;
+    std::vector<fs::path> explicit_files;
+};
+
+/** EXCLUDES annotations from directly included project headers. */
+std::map<std::string, std::set<std::string>>
+harvestIncludeExcludes(const FileContext &ctx, const fs::path &root)
+{
+    std::map<std::string, std::set<std::string>> merged;
+    if (root.empty())
+        return merged;
+    static std::map<std::string,
+                    std::map<std::string, std::set<std::string>>>
+        cache;
+    for (const auto &tok : ctx.ts.tokens) {
+        if (tok.kind != TokKind::Directive ||
+            tok.text.find("include") == std::string::npos)
+            continue;
+        const std::size_t q1 = tok.text.find('"');
+        if (q1 == std::string::npos)
+            continue;
+        const std::size_t q2 = tok.text.find('"', q1 + 1);
+        if (q2 == std::string::npos)
+            continue;
+        const std::string inc = tok.text.substr(q1 + 1, q2 - q1 - 1);
+        fs::path resolved = root / "src" / inc;
+        if (!fs::exists(resolved))
+            resolved = root / "tools" / inc;
+        if (!fs::exists(resolved))
+            continue;
+        const std::string key = resolved.string();
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            const TokenStream ts = buffalo_lint::lex(
+                readLines(resolved));
+            const FileSymbols sym = buffalo_lint::analyze(ts);
+            it = cache.emplace(key, sym.excludes_by_name).first;
+        }
+        for (const auto &[name, mutexes] : it->second)
+            merged[name].insert(mutexes.begin(), mutexes.end());
+    }
+    return merged;
+}
+
+void
+lintFile(const fs::path &path, const std::string &rel_path,
+         const fs::path &root, std::vector<Finding> *out)
+{
+    FileContext ctx;
+    ctx.path = path.string();
+    ctx.rel_path = rel_path;
+    ctx.raw_lines = readLines(path);
+    ctx.ts = buffalo_lint::lex(ctx.raw_lines);
+    ctx.symbols = buffalo_lint::analyze(ctx.ts);
+    ctx.include_excludes = harvestIncludeExcludes(ctx, root);
+
+    const bool is_names_header =
+        path.filename() == "names.h" &&
+        path.parent_path().filename() == "obs";
+
+    auto enabled = [&](const char *rule) {
+        return ruleEnabledFor(rel_path, rule);
+    };
+
+    if (ctx.isHeader() && enabled("guarded-by") &&
+        optsIntoAnnotations(ctx) &&
+        path.filename() != "thread_annotations.h")
+        lintGuardedBy(ctx, out);
+    if (!is_names_header && enabled("obs-name"))
+        lintObsNames(ctx, out);
+    if (enabled("raw-alloc"))
+        lintRawAlloc(ctx, out);
+    if (ctx.isHeader() && enabled("header-hygiene"))
+        lintHeaderHygiene(ctx, out);
+
+    if (enabled("det-unordered-iter"))
+        lintUnorderedIter(ctx, out);
+    if (enabled("det-rand"))
+        lintRand(ctx, out);
+    if (enabled("det-parallel-accum"))
+        lintParallelAccum(ctx, out);
+    if (enabled("det-ptr-key"))
+        lintPtrKey(ctx, out);
+
+    if (enabled("lock-cv-wait"))
+        lintCvWait(ctx, out);
+    if (enabled("lock-thread-detach"))
+        lintThreadDetach(ctx, out);
+    if (enabled("lock-excludes-held"))
+        lintExcludesHeld(ctx, out);
+    if (enabled("lock-guarded-public"))
+        lintGuardedPublic(ctx, out);
+
+    if (enabled("escape-ref-capture") ||
+        enabled("escape-this-capture"))
+        lintEscapeCaptures(ctx, out);
+}
+
+/** The scan scope in --root mode. */
+std::vector<std::pair<fs::path, std::string>>
+collectSources(const fs::path &root)
+{
+    std::vector<std::pair<fs::path, std::string>> files;
+    for (const char *dir : {"src", "tools", "bench", "tests"}) {
+        const fs::path base = root / dir;
+        if (!fs::is_directory(base))
+            continue;
+        for (const auto &entry :
+             fs::recursive_directory_iterator(base)) {
+            if (!entry.is_regular_file())
+                continue;
+            const fs::path &p = entry.path();
+            if (p.extension() != ".h" && p.extension() != ".cpp")
+                continue;
+            files.emplace_back(
+                p, fs::relative(p, root).generic_string());
+        }
     }
     std::sort(files.begin(), files.end());
     return files;
+}
+
+std::string
+findingsToJson(const std::vector<Finding> &findings,
+               std::size_t files_scanned)
+{
+    std::size_t waived = 0;
+    for (const Finding &f : findings)
+        waived += f.waived ? 1 : 0;
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"version\": 2,\n";
+    out << "  \"files_scanned\": " << files_scanned << ",\n";
+    out << "  \"counts\": {\"total\": " << findings.size()
+        << ", \"active\": " << findings.size() - waived
+        << ", \"waived\": " << waived << "},\n";
+    out << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"rule\": \"" << jsonEscape(f.rule)
+            << "\", \"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"severity\": \""
+            << jsonEscape(f.severity) << "\", \"waived\": "
+            << (f.waived ? "true" : "false");
+        if (f.waived)
+            out << ", \"waiver_reason\": \""
+                << jsonEscape(f.waiver_reason) << "\"";
+        out << ", \"message\": \"" << jsonEscape(f.message)
+            << "\"}";
+    }
+    out << (findings.empty() ? "]\n" : "\n  ]\n");
+    out << "}\n";
+    return out.str();
 }
 
 } // namespace
@@ -433,61 +1137,97 @@ collectSources(const fs::path &src_root)
 int
 main(int argc, char **argv)
 {
-    fs::path root;
-    bool root_set = false;
-    std::vector<fs::path> explicit_files;
+    Options opts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help") {
-            std::printf("usage: buffalo_lint [--root DIR] [FILE...]\n"
-                        "Lints DIR/src and DIR/tools/ci.sh, or "
-                        "exactly FILE... when given.\n");
+            std::printf(
+                "usage: buffalo_lint [--root DIR] [--json] "
+                "[--json-out FILE] [FILE...]\n"
+                "Lints DIR/{src,tools,bench,tests} plus "
+                "DIR/tools/ci.sh, or exactly FILE... when given.\n"
+                "--json prints the machine-readable report to "
+                "stdout; --json-out FILE writes it to FILE.\n");
             return 0;
         }
         if (arg == "--root") {
             if (++i >= argc)
                 fatal("--root needs a directory");
-            root = argv[i];
-            root_set = true;
+            opts.root = argv[i];
+            opts.root_set = true;
+        } else if (arg == "--json") {
+            opts.json_stdout = true;
+        } else if (arg == "--json-out") {
+            if (++i >= argc)
+                fatal("--json-out needs a file path");
+            opts.json_out = argv[i];
         } else {
-            explicit_files.emplace_back(arg);
+            opts.explicit_files.emplace_back(arg);
         }
     }
 
-    if (!explicit_files.empty()) {
-        for (const fs::path &file : explicit_files) {
+    std::vector<Finding> findings;
+    std::size_t files_scanned = 0;
+
+    if (!opts.explicit_files.empty()) {
+        for (const fs::path &file : opts.explicit_files) {
             if (!fs::exists(file))
                 fatal("no such file: " + file.string());
-            lintFile(file);
+            lintFile(file, "", opts.root_set ? opts.root : fs::path(),
+                     &findings);
+            ++files_scanned;
         }
     } else {
-        if (!root_set)
-            root = ".";
-        const fs::path src = root / "src";
+        if (!opts.root_set)
+            opts.root = ".";
+        const fs::path src = opts.root / "src";
         if (!fs::is_directory(src))
-            fatal("no src/ directory under " + root.string() +
+            fatal("no src/ directory under " + opts.root.string() +
                   " (pass --root or explicit files)");
-        for (const fs::path &file : collectSources(src))
-            lintFile(file);
+        for (const auto &[file, rel] : collectSources(opts.root)) {
+            lintFile(file, rel, opts.root, &findings);
+            ++files_scanned;
+        }
         const fs::path names = src / "obs" / "names.h";
-        const fs::path ci = root / "tools" / "ci.sh";
+        const fs::path ci = opts.root / "tools" / "ci.sh";
         if (fs::exists(names) && fs::exists(ci))
-            lintCiNames(ci, collectRegisteredNames(names));
+            lintCiNames(ci, collectRegisteredNames(names),
+                        &findings);
     }
 
-    std::sort(g_diags.begin(), g_diags.end(),
-              [](const Diag &a, const Diag &b) {
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
                   return std::tie(a.file, a.line, a.rule) <
                          std::tie(b.file, b.line, b.rule);
               });
-    for (const Diag &d : g_diags)
-        std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
-                    d.rule.c_str(), d.message.c_str());
-    if (!g_diags.empty()) {
-        std::printf("buffalo_lint: %zu violation%s\n", g_diags.size(),
-                    g_diags.size() == 1 ? "" : "s");
-        return 1;
+
+    std::size_t active = 0, waived = 0;
+    for (const Finding &f : findings)
+        (f.waived ? waived : active) += 1;
+
+    const std::string json = findingsToJson(findings, files_scanned);
+    if (!opts.json_out.empty()) {
+        std::ofstream out(opts.json_out);
+        if (!out)
+            fatal("cannot write " + opts.json_out.string());
+        out << json;
     }
-    std::printf("buffalo_lint: clean\n");
-    return 0;
+    if (opts.json_stdout) {
+        std::fputs(json.c_str(), stdout);
+    } else {
+        for (const Finding &f : findings) {
+            if (f.waived)
+                continue;
+            std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+        }
+        if (active > 0)
+            std::printf("buffalo_lint: %zu violation%s (%zu "
+                        "waived)\n",
+                        active, active == 1 ? "" : "s", waived);
+        else
+            std::printf("buffalo_lint: clean (%zu waived)\n",
+                        waived);
+    }
+    return active > 0 ? 1 : 0;
 }

@@ -229,6 +229,8 @@ main(int argc, char **argv)
                 ? (max_requests + clients - 1) / clients
                 : 0;
         for (std::size_t c = 0; c < clients; ++c) {
+            // buffalo-lint: allow(escape-ref-capture) client threads
+            // are joined below before the captured locals go away
             client_threads.emplace_back([&, c] {
                 util::Rng rng(options.seed ^ (0xC11E27ull + c));
                 const double interval_s =

@@ -1,0 +1,364 @@
+/**
+ * @file
+ * C++ lexer for buffalo_lint (DESIGN.md, "Static analysis & sanitizer
+ * matrix"). Produces a comment- and whitespace-free token stream with
+ * line numbers, bracket matching, and enclosing-scope indices, so the
+ * rules in rules.h can walk structure instead of raw lines.
+ *
+ * The lexer is deliberately approximate where full C++ would demand a
+ * preprocessor (macros are plain identifiers, template angle brackets
+ * are not matched) but exact where the rules depend on it: comments
+ * and string/char literals can never produce tokens, preprocessor
+ * directives are folded into single Directive tokens (with
+ * continuation lines), and raw strings are handled.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace buffalo_lint {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+enum class TokKind
+{
+    Ident,     // identifiers and keywords
+    Number,    // numeric literals
+    String,    // "..." including raw strings (text keeps the quotes)
+    CharLit,   // '...'
+    Punct,     // operators and punctuation, multi-char folded
+    Directive, // one whole preprocessor directive, continuations joined
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    std::size_t line = 0; // 1-based line of the token's first character
+};
+
+/**
+ * The lexed file: tokens plus the structural indices every rule needs.
+ * All index vectors are parallel to `tokens`.
+ */
+struct TokenStream
+{
+    std::vector<Token> tokens;
+    /** Matching bracket: for ( { [ the closer, for ) } ] the opener. */
+    std::vector<std::size_t> match;
+    /** Index of the innermost enclosing '(' token, or kNpos. */
+    std::vector<std::size_t> paren_parent;
+    /** Index of the innermost enclosing '{' token, or kNpos. */
+    std::vector<std::size_t> brace_parent;
+
+    std::size_t size() const { return tokens.size(); }
+
+    bool
+    is(std::size_t i, const char *text) const
+    {
+        return i < tokens.size() && tokens[i].text == text;
+    }
+
+    bool
+    isIdent(std::size_t i, const char *text) const
+    {
+        return i < tokens.size() && tokens[i].kind == TokKind::Ident &&
+               tokens[i].text == text;
+    }
+
+    bool
+    isKind(std::size_t i, TokKind kind) const
+    {
+        return i < tokens.size() && tokens[i].kind == kind;
+    }
+};
+
+namespace detail {
+
+inline bool
+identStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           c == '_';
+}
+
+inline bool
+identChar(char c)
+{
+    return identStart(c) || (c >= '0' && c <= '9');
+}
+
+// Multi-character punctuators, longest first within each bucket.
+inline const std::vector<std::string> &
+punct3()
+{
+    static const std::vector<std::string> p = {"<<=", ">>=", "...",
+                                               "->*"};
+    return p;
+}
+
+inline const std::vector<std::string> &
+punct2()
+{
+    static const std::vector<std::string> p = {
+        "::", "->", "++", "--", "+=", "-=", "*=", "/=", "%=", "==",
+        "!=", "<=", ">=", "&&", "||", "<<", ">>", "&=", "|=", "^=",
+        ".*"};
+    return p;
+}
+
+} // namespace detail
+
+/**
+ * Lexes @p lines (one entry per physical source line, no trailing
+ * newlines) into a TokenStream.
+ */
+inline TokenStream
+lex(const std::vector<std::string> &lines)
+{
+    // Join once so multi-line constructs (block comments, raw strings,
+    // continued directives) need no per-line state machine.
+    std::string text;
+    for (const std::string &line : lines) {
+        text += line;
+        text += '\n';
+    }
+
+    TokenStream ts;
+    std::size_t line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+    bool at_line_start = true;
+
+    auto emit = [&](TokKind kind, std::string tok_text,
+                    std::size_t tok_line) {
+        ts.tokens.push_back({kind, std::move(tok_text), tok_line});
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            at_line_start = true;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+            c == '\v') {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            while (i < n && text[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n &&
+                   !(text[i] == '*' && text[i + 1] == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = i + 2 <= n ? i + 2 : n;
+            continue;
+        }
+        // Preprocessor directive: '#' first on its logical line; fold
+        // backslash continuations into one Directive token.
+        if (c == '#' && at_line_start) {
+            const std::size_t start_line = line;
+            std::string directive;
+            while (i < n) {
+                if (text[i] == '\n') {
+                    if (!directive.empty() &&
+                        directive.back() == '\\') {
+                        directive.pop_back();
+                        directive += ' ';
+                        ++line;
+                        ++i;
+                        continue;
+                    }
+                    break;
+                }
+                // Comments never contribute to the directive text.
+                if (text[i] == '/' && i + 1 < n &&
+                    (text[i + 1] == '/' || text[i + 1] == '*'))
+                    break;
+                directive += text[i];
+                ++i;
+            }
+            emit(TokKind::Directive, directive, start_line);
+            at_line_start = false;
+            continue;
+        }
+        at_line_start = false;
+        // String literals (including raw strings via the Ident path
+        // below, which checks for R"...").
+        if (c == '"') {
+            const std::size_t start_line = line;
+            std::string lit = "\"";
+            ++i;
+            while (i < n && text[i] != '"') {
+                if (text[i] == '\\' && i + 1 < n) {
+                    lit += text[i];
+                    lit += text[i + 1];
+                    i += 2;
+                    continue;
+                }
+                if (text[i] == '\n') {
+                    ++line; // unterminated; be forgiving
+                    break;
+                }
+                lit += text[i];
+                ++i;
+            }
+            if (i < n && text[i] == '"')
+                ++i;
+            lit += '"';
+            emit(TokKind::String, lit, start_line);
+            continue;
+        }
+        if (c == '\'') {
+            const std::size_t start_line = line;
+            std::string lit = "'";
+            ++i;
+            while (i < n && text[i] != '\'') {
+                if (text[i] == '\\' && i + 1 < n) {
+                    lit += text[i];
+                    lit += text[i + 1];
+                    i += 2;
+                    continue;
+                }
+                if (text[i] == '\n')
+                    break;
+                lit += text[i];
+                ++i;
+            }
+            if (i < n && text[i] == '\'')
+                ++i;
+            lit += '\'';
+            emit(TokKind::CharLit, lit, start_line);
+            continue;
+        }
+        if (detail::identStart(c)) {
+            const std::size_t start = i;
+            while (i < n && detail::identChar(text[i]))
+                ++i;
+            std::string ident = text.substr(start, i - start);
+            // Raw string literal: R"delim( ... )delim"
+            if (i < n && text[i] == '"' &&
+                (ident == "R" || ident == "u8R" || ident == "uR" ||
+                 ident == "UR" || ident == "LR")) {
+                const std::size_t start_line = line;
+                ++i; // past the opening quote
+                std::string delim;
+                while (i < n && text[i] != '(')
+                    delim += text[i++];
+                const std::string closer = ")" + delim + "\"";
+                const std::size_t body = i < n ? i + 1 : n;
+                const std::size_t end = text.find(closer, body);
+                const std::size_t stop =
+                    end == std::string::npos ? n : end + closer.size();
+                for (std::size_t k = body; k < stop && k < n; ++k)
+                    if (text[k] == '\n')
+                        ++line;
+                i = stop;
+                emit(TokKind::String, "\"<raw>\"", start_line);
+                continue;
+            }
+            emit(TokKind::Ident, std::move(ident), line);
+            continue;
+        }
+        if (c >= '0' && c <= '9') {
+            const std::size_t start = i;
+            while (i < n) {
+                const char d = text[i];
+                if (detail::identChar(d) || d == '.' || d == '\'') {
+                    // Exponent signs belong to the number.
+                    if ((d == 'e' || d == 'E' || d == 'p' ||
+                         d == 'P') &&
+                        i + 1 < n &&
+                        (text[i + 1] == '+' || text[i + 1] == '-'))
+                        ++i;
+                    ++i;
+                    continue;
+                }
+                break;
+            }
+            emit(TokKind::Number, text.substr(start, i - start), line);
+            continue;
+        }
+        // Punctuators, longest match first.
+        bool matched = false;
+        if (i + 2 < n) {
+            const std::string three = text.substr(i, 3);
+            for (const std::string &p : detail::punct3())
+                if (p == three) {
+                    emit(TokKind::Punct, three, line);
+                    i += 3;
+                    matched = true;
+                    break;
+                }
+        }
+        if (!matched && i + 1 < n) {
+            const std::string two = text.substr(i, 2);
+            for (const std::string &p : detail::punct2())
+                if (p == two) {
+                    emit(TokKind::Punct, two, line);
+                    i += 2;
+                    matched = true;
+                    break;
+                }
+        }
+        if (!matched) {
+            emit(TokKind::Punct, std::string(1, c), line);
+            ++i;
+        }
+    }
+
+    // Bracket matching and enclosing-scope indices.
+    const std::size_t count = ts.tokens.size();
+    ts.match.assign(count, kNpos);
+    ts.paren_parent.assign(count, kNpos);
+    ts.brace_parent.assign(count, kNpos);
+    std::vector<std::size_t> parens, braces, squares;
+    for (std::size_t t = 0; t < count; ++t) {
+        ts.paren_parent[t] = parens.empty() ? kNpos : parens.back();
+        ts.brace_parent[t] = braces.empty() ? kNpos : braces.back();
+        const std::string &p = ts.tokens[t].text;
+        if (ts.tokens[t].kind != TokKind::Punct)
+            continue;
+        if (p == "(") {
+            parens.push_back(t);
+        } else if (p == ")") {
+            if (!parens.empty()) {
+                ts.match[t] = parens.back();
+                ts.match[parens.back()] = t;
+                parens.pop_back();
+            }
+        } else if (p == "{") {
+            braces.push_back(t);
+        } else if (p == "}") {
+            if (!braces.empty()) {
+                ts.match[t] = braces.back();
+                ts.match[braces.back()] = t;
+                braces.pop_back();
+            }
+        } else if (p == "[") {
+            squares.push_back(t);
+        } else if (p == "]") {
+            if (!squares.empty()) {
+                ts.match[t] = squares.back();
+                ts.match[squares.back()] = t;
+                squares.pop_back();
+            }
+        }
+    }
+    return ts;
+}
+
+} // namespace buffalo_lint

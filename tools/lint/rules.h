@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Rule framework for buffalo_lint: the Finding record, the per-file
+ * context every rule receives, waiver lookup, per-directory rule
+ * masks, and the machine-readable JSON report.
+ *
+ * Waivers. A finding is waived — reported in the JSON with
+ * `"waived": true` but not counted against the exit code — when the
+ * flagged line, or a comment-only line directly above it, carries
+ *
+ *   // buffalo-lint: allow(rule-a[,rule-b...]) <justification>
+ *
+ * The justification is mandatory by convention and archived in the
+ * JSON report, so `ci.sh` can print (and reviewers can diff) the
+ * waiver count: it may only go down.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/symbols.h"
+
+namespace buffalo_lint {
+
+struct Finding
+{
+    std::string file;
+    std::size_t line = 0;
+    std::string rule;
+    std::string severity = "error";
+    std::string message;
+    bool waived = false;
+    std::string waiver_reason;
+};
+
+/**
+ * Everything a rule may consult about the file under analysis. The
+ * raw lines are kept verbatim (waivers live in comments, which the
+ * token stream intentionally cannot see).
+ */
+struct FileContext
+{
+    std::string path;     // as reported in diagnostics
+    std::string rel_path; // root-relative, '/'-separated; may be empty
+    std::vector<std::string> raw_lines;
+    TokenStream ts;
+    FileSymbols symbols;
+    /** EXCLUDES annotations harvested from directly included project
+     * headers (name -> mutexes), merged over the file's own. */
+    std::map<std::string, std::set<std::string>> include_excludes;
+
+    bool
+    isHeader() const
+    {
+        return path.size() >= 2 &&
+               path.compare(path.size() - 2, 2, ".h") == 0;
+    }
+
+    /** True when rel_path starts with @p prefix (e.g. "src/tensor"). */
+    bool
+    under(const std::string &prefix) const
+    {
+        return rel_path.rfind(prefix, 0) == 0;
+    }
+};
+
+namespace detail {
+
+/** True if @p line carries an allow() marker naming @p rule. */
+inline bool
+lineAllows(const std::string &line, const std::string &rule)
+{
+    const std::string marker = "buffalo-lint: allow(";
+    const std::size_t at = line.find(marker);
+    if (at == std::string::npos)
+        return false;
+    const std::size_t open = at + marker.size() - 1;
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos)
+        return false;
+    // Comma-separated rule list.
+    std::size_t begin = open + 1;
+    while (begin < close) {
+        std::size_t end = line.find(',', begin);
+        if (end == std::string::npos || end > close)
+            end = close;
+        std::size_t lo = begin, hi = end;
+        while (lo < hi && (line[lo] == ' ' || line[lo] == '\t'))
+            ++lo;
+        while (hi > lo &&
+               (line[hi - 1] == ' ' || line[hi - 1] == '\t'))
+            --hi;
+        if (line.compare(lo, hi - lo, rule) == 0)
+            return true;
+        begin = end + 1;
+    }
+    return false;
+}
+
+inline std::string
+trimCopy(const std::string &s)
+{
+    const auto b = s.find_first_not_of(" \t");
+    if (b == std::string::npos)
+        return "";
+    const auto e = s.find_last_not_of(" \t");
+    return s.substr(b, e - b + 1);
+}
+
+/** The justification text following an allow(...) marker, if any. */
+inline std::string
+waiverReason(const std::string &line)
+{
+    const std::string marker = "buffalo-lint: allow(";
+    const std::size_t at = line.find(marker);
+    if (at == std::string::npos)
+        return "";
+    const std::size_t close = line.find(')', at);
+    if (close == std::string::npos)
+        return "";
+    return trimCopy(line.substr(close + 1));
+}
+
+} // namespace detail
+
+/**
+ * Checks the 1-based @p line and any directly preceding comment-only
+ * waiver lines for an allow(@p rule) marker. Returns the justification
+ * through @p reason when waived.
+ */
+inline bool
+isWaived(const FileContext &ctx, std::size_t line,
+         const std::string &rule, std::string *reason)
+{
+    if (line == 0 || line > ctx.raw_lines.size())
+        return false;
+    if (detail::lineAllows(ctx.raw_lines[line - 1], rule)) {
+        if (reason)
+            *reason = detail::waiverReason(ctx.raw_lines[line - 1]);
+        return true;
+    }
+    // Walk up over consecutive comment-only lines (a waiver comment
+    // may wrap onto continuation lines).
+    std::size_t up = line - 1;
+    while (up >= 1) {
+        const std::string t = detail::trimCopy(ctx.raw_lines[up - 1]);
+        if (t.rfind("//", 0) != 0)
+            break;
+        if (detail::lineAllows(t, rule)) {
+            if (reason)
+                *reason = detail::waiverReason(t);
+            return true;
+        }
+        --up;
+    }
+    return false;
+}
+
+/** Records a finding, resolving its waiver status from the source. */
+inline void
+addFinding(const FileContext &ctx, std::vector<Finding> *out,
+           std::size_t line, const std::string &rule,
+           const std::string &message,
+           const std::string &severity = "error")
+{
+    Finding f;
+    f.file = ctx.path;
+    f.line = line;
+    f.rule = rule;
+    f.severity = severity;
+    f.message = message;
+    f.waived = isWaived(ctx, line, rule, &f.waiver_reason);
+    out->push_back(std::move(f));
+}
+
+/**
+ * Per-directory rule masks: which rules are switched off under each
+ * top-level scan directory. Test sources get to violate the style
+ * rules deliberately (fixtures, registry tests, raw-buffer tests) and
+ * routinely spawn scoped joined threads, so the escape family would
+ * be all waivers there.
+ */
+inline const std::map<std::string, std::set<std::string>> &
+dirRuleMasks()
+{
+    static const std::map<std::string, std::set<std::string>> masks = {
+        {"src", {}},
+        {"tools", {}},
+        {"bench", {}},
+        {"tests",
+         {"obs-name", "raw-alloc", "guarded-by", "escape-ref-capture",
+          "escape-this-capture"}},
+    };
+    return masks;
+}
+
+/** True when @p rule is enabled for the file at @p rel_path. */
+inline bool
+ruleEnabledFor(const std::string &rel_path, const std::string &rule)
+{
+    if (rel_path.empty())
+        return true; // explicit-file (fixture) mode: all rules
+    const std::size_t slash = rel_path.find('/');
+    const std::string top = slash == std::string::npos
+                                ? rel_path
+                                : rel_path.substr(0, slash);
+    const auto it = dirRuleMasks().find(top);
+    if (it == dirRuleMasks().end())
+        return true;
+    return it->second.count(rule) == 0;
+}
+
+/** JSON string escaping for the report writer. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace buffalo_lint
