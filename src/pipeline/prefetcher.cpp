@@ -21,6 +21,7 @@ Prefetcher::Prefetcher(const graph::Dataset &dataset,
     : dataset_(dataset), memory_model_(memory_model),
       scheduler_options_(scheduler_options), fanouts_(fanouts),
       stage_features_(stage_features), options_(options), cache_(cache),
+      rng_(&rng),
       sampled_(static_cast<std::size_t>(
           std::max(1, options.prefetch_depth))),
       built_(static_cast<std::size_t>(
@@ -36,13 +37,16 @@ Prefetcher::Prefetcher(const graph::Dataset &dataset,
     // would never start. Intra-stage parallelism (the fast block
     // generator's parallelFor) runs on the global pool.
     pool_ = std::make_unique<util::ThreadPool>(3);
-    pool_->submit([this, batches = std::move(batches), &rng]() mutable {
+    // buffalo-lint: allow(escape-this-capture) stage workers are joined
+    // by ~Prefetcher via pool_.reset() before any member is torn down
+    pool_->submit([this, batches = std::move(batches)]() mutable {
         try {
-            sampleStage(std::move(batches), rng);
+            sampleStage(std::move(batches), *rng_);
         } catch (...) {
             failAll(std::current_exception());
         }
     });
+    // buffalo-lint: allow(escape-this-capture) joined by ~Prefetcher
     pool_->submit([this] {
         try {
             buildStage();
@@ -50,6 +54,7 @@ Prefetcher::Prefetcher(const graph::Dataset &dataset,
             failAll(std::current_exception());
         }
     });
+    // buffalo-lint: allow(escape-this-capture) joined by ~Prefetcher
     pool_->submit([this] {
         try {
             featureStage();

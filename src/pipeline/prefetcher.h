@@ -160,6 +160,10 @@ class Prefetcher
     bool stage_features_;
     PipelineOptions options_;
     FeatureCache *cache_;
+    /** The caller's Rng, consumed only by the sampling stage. Held as
+     * a member so the stage task does not capture a constructor-frame
+     * reference. */
+    util::Rng *rng_;
     core::MicroBatchGenerator generator_;
 
     StageQueue<SampledItem> sampled_;
