@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Direct unit tests for tools/cli_common.h — the flag vocabulary
+ * shared by buffalo_train and buffalo_serve. Until now this parsing
+ * was only exercised end-to-end through the CLIs; these tests pin the
+ * contract down at the function level: bad --cache-policy names and
+ * out-of-range --presample-batches are rejected with InvalidArgument,
+ * and a given flag vector decodes to the *same* CacheCliOptions no
+ * matter which CLI passes it in (train/serve parity).
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cli_common.h"
+#include "util/errors.h"
+#include "util/flags.h"
+
+namespace {
+
+using buffalo::tools::CacheCliOptions;
+using buffalo::tools::parseCacheFlags;
+using buffalo::tools::parseFanouts;
+using buffalo::tools::parseKernelThreads;
+using buffalo::util::Flags;
+
+Flags
+makeFlags(const std::vector<std::string> &args)
+{
+    std::vector<const char *> argv = {"test_cli"};
+    for (const std::string &arg : args)
+        argv.push_back(arg.c_str());
+    return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliCommonTest, ParsesFanoutLists)
+{
+    EXPECT_EQ(parseFanouts("10,5"), (std::vector<int>{10, 5}));
+    EXPECT_EQ(parseFanouts("25,10,5"),
+              (std::vector<int>{25, 10, 5}));
+    EXPECT_EQ(parseFanouts("7"), (std::vector<int>{7}));
+}
+
+TEST(CliCommonTest, RejectsEmptyFanoutEntries)
+{
+    EXPECT_THROW(parseFanouts("10,,5"), buffalo::InvalidArgument);
+    EXPECT_THROW(parseFanouts(""), buffalo::InvalidArgument);
+    EXPECT_THROW(parseFanouts("10,5,"), buffalo::InvalidArgument);
+}
+
+TEST(CliCommonTest, ResolvesKnownDatasetNames)
+{
+    EXPECT_EQ(buffalo::tools::datasetIdFromName("cora"),
+              buffalo::graph::DatasetId::Cora);
+    EXPECT_EQ(buffalo::tools::datasetIdFromName("papers"),
+              buffalo::graph::DatasetId::Papers);
+}
+
+TEST(CliCommonTest, RejectsUnknownDatasetNames)
+{
+    EXPECT_THROW(buffalo::tools::datasetIdFromName("imagenet"),
+                 buffalo::InvalidArgument);
+    EXPECT_THROW(buffalo::tools::datasetIdFromName(""),
+                 buffalo::InvalidArgument);
+}
+
+TEST(CliCommonTest, CacheFlagDefaultsMatchDocumentedValues)
+{
+    const Flags flags = makeFlags({});
+    const CacheCliOptions cache = parseCacheFlags(flags);
+    EXPECT_EQ(cache.capacity_bytes, 0u);
+    EXPECT_EQ(cache.policy, buffalo::train::CachePolicyKind::Degree);
+    EXPECT_EQ(cache.pinned_hot_nodes, 0u);
+    EXPECT_EQ(cache.presample_batches, 8);
+}
+
+TEST(CliCommonTest, DecodesEveryCachePolicyName)
+{
+    EXPECT_EQ(parseCacheFlags(makeFlags({"--cache-policy", "lru"}))
+                  .policy,
+              buffalo::train::CachePolicyKind::LruOnly);
+    EXPECT_EQ(
+        parseCacheFlags(makeFlags({"--cache-policy", "degree"}))
+            .policy,
+        buffalo::train::CachePolicyKind::Degree);
+    EXPECT_EQ(
+        parseCacheFlags(makeFlags({"--cache-policy", "presample"}))
+            .policy,
+        buffalo::train::CachePolicyKind::PresampleFrequency);
+}
+
+TEST(CliCommonTest, RejectsUnknownCachePolicyNames)
+{
+    EXPECT_THROW(
+        parseCacheFlags(makeFlags({"--cache-policy", "belady"})),
+        buffalo::InvalidArgument);
+    EXPECT_THROW(
+        parseCacheFlags(makeFlags({"--cache-policy", "LRU"})),
+        buffalo::InvalidArgument);
+    EXPECT_THROW(parseCacheFlags(makeFlags({"--cache-policy", ""})),
+                 buffalo::InvalidArgument);
+}
+
+TEST(CliCommonTest, RejectsNegativePresampleBatches)
+{
+    EXPECT_THROW(
+        parseCacheFlags(makeFlags({"--presample-batches", "-1"})),
+        buffalo::InvalidArgument);
+    EXPECT_EQ(
+        parseCacheFlags(makeFlags({"--presample-batches", "0"}))
+            .presample_batches,
+        0);
+    EXPECT_EQ(
+        parseCacheFlags(makeFlags({"--presample-batches", "32"}))
+            .presample_batches,
+        32);
+}
+
+TEST(CliCommonTest, ConvertsCacheCapacityFromMib)
+{
+    EXPECT_EQ(
+        parseCacheFlags(makeFlags({"--feature-cache-mb", "1"}))
+            .capacity_bytes,
+        1ull << 20);
+    EXPECT_EQ(
+        parseCacheFlags(makeFlags({"--feature-cache-mb", "256"}))
+            .capacity_bytes,
+        256ull << 20);
+}
+
+TEST(CliCommonTest, TrainAndServeDecodeCacheFlagsIdentically)
+{
+    // Both CLIs hand the same argv tail to the same parser; a flag
+    // vector must mean the same configuration regardless of which
+    // tool received it.
+    const std::vector<std::string> args = {
+        "--feature-cache-mb", "64",       "--cache-policy",
+        "presample",          "--pinned-hot", "128",
+        "--presample-batches", "4"};
+    const CacheCliOptions from_train =
+        parseCacheFlags(makeFlags(args));
+    const CacheCliOptions from_serve =
+        parseCacheFlags(makeFlags(args));
+    EXPECT_EQ(from_train.capacity_bytes, from_serve.capacity_bytes);
+    EXPECT_EQ(from_train.policy, from_serve.policy);
+    EXPECT_EQ(from_train.pinned_hot_nodes,
+              from_serve.pinned_hot_nodes);
+    EXPECT_EQ(from_train.presample_batches,
+              from_serve.presample_batches);
+    EXPECT_EQ(from_train.capacity_bytes, 64ull << 20);
+    EXPECT_EQ(from_train.policy,
+              buffalo::train::CachePolicyKind::PresampleFrequency);
+    EXPECT_EQ(from_train.pinned_hot_nodes, 128u);
+    EXPECT_EQ(from_train.presample_batches, 4);
+}
+
+TEST(CliCommonTest, CacheFlagNamesCoverEveryConsumedFlag)
+{
+    // checkKnown() in the CLIs is seeded from cacheFlagNames(); a
+    // flag parseCacheFlags consumes but the list omits would be
+    // rejected as "unknown" by both tools.
+    const auto &names = buffalo::tools::cacheFlagNames();
+    for (const char *flag : {"feature-cache-mb", "cache-policy",
+                             "pinned-hot", "presample-batches"})
+        EXPECT_NE(std::find(names.begin(), names.end(), flag),
+                  names.end())
+            << flag;
+}
+
+TEST(CliCommonTest, ParsesKernelThreads)
+{
+    EXPECT_EQ(parseKernelThreads(makeFlags({})), 0u);
+    EXPECT_EQ(
+        parseKernelThreads(makeFlags({"--kernel-threads", "4"})),
+        4u);
+}
+
+} // namespace

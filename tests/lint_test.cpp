@@ -278,4 +278,523 @@ TEST(LintTest, MissingFileIsAUsageError)
     EXPECT_EQ(result.exit_code, 2) << result.output;
 }
 
+// --- determinism rules ----------------------------------------------
+
+TEST(LintTest, FlagsUnorderedContainerIteration)
+{
+    const fs::path dir = fixtureDir("lint_unordered_iter");
+    const fs::path source = dir / "hot.cpp";
+    writeFile(source,
+              "#include <unordered_map>\n"
+              "float sum(const std::unordered_map<int, float> &w) {\n"
+              "    float total = 0.0f;\n"
+              "    for (const auto &kv : w)\n"
+              "        total += kv.second;\n"
+              "    return total;\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[det-unordered-iter]"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("hot.cpp:4"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsUnorderedContainerLookups)
+{
+    const fs::path dir = fixtureDir("lint_unordered_iter_ok");
+    const fs::path source = dir / "probe.cpp";
+    writeFile(source,
+              "#include <unordered_map>\n"
+              "float pick(const std::unordered_map<int, float> &w,\n"
+              "           int key) {\n"
+              "    const auto it = w.find(key);\n"
+              "    return it == w.end() ? 0.0f : it->second;\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsHiddenGlobalRandomness)
+{
+    const fs::path dir = fixtureDir("lint_rand");
+    const fs::path source = dir / "chaos.cpp";
+    writeFile(source,
+              "#include <cstdlib>\n"
+              "#include <random>\n"
+              "int roll() {\n"
+              "    std::srand(time(0));\n"
+              "    std::random_device rd;\n"
+              "    return std::rand() + static_cast<int>(rd());\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[det-rand]"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("chaos.cpp:4"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("chaos.cpp:5"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("chaos.cpp:6"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsSeededRngAndWaivedRandomness)
+{
+    const fs::path dir = fixtureDir("lint_rand_ok");
+    const fs::path source = dir / "seeded.cpp";
+    writeFile(source,
+              "#include \"util/rng.h\"\n"
+              "float draw(buffalo::util::Rng &rng) {\n"
+              "    return rng.uniform();\n"
+              "}\n"
+              "int entropyProbe() {\n"
+              "    // buffalo-lint: allow(det-rand) hardware entropy "
+              "probe, not used in training\n"
+              "    std::random_device rd;\n"
+              "    return static_cast<int>(rd());\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsSharedAccumulationInParallelFor)
+{
+    const fs::path dir = fixtureDir("lint_parallel_accum");
+    const fs::path source = dir / "racy.cpp";
+    writeFile(source,
+              "#include \"util/thread_pool.h\"\n"
+              "float sum(buffalo::util::ThreadPool &pool,\n"
+              "          const std::vector<float> &vals) {\n"
+              "    float total = 0.0f;\n"
+              "    pool.parallelFor(0, vals.size(), [&](std::size_t "
+              "i) {\n"
+              "        total += vals[i];\n"
+              "    });\n"
+              "    return total;\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[det-parallel-accum]"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("racy.cpp:6"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsOwnerPartitionedParallelWrites)
+{
+    const fs::path dir = fixtureDir("lint_parallel_accum_ok");
+    const fs::path source = dir / "owned.cpp";
+    writeFile(source,
+              "#include \"util/thread_pool.h\"\n"
+              "void scale(buffalo::util::ThreadPool &pool,\n"
+              "           std::vector<float> &out,\n"
+              "           const std::vector<float> &vals) {\n"
+              "    pool.parallelFor(0, vals.size(), [&](std::size_t "
+              "i) {\n"
+              "        float local = 0.0f;\n"
+              "        local += vals[i];\n"
+              "        out[i] += local;\n"
+              "    });\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsPointerKeyedContainers)
+{
+    const fs::path dir = fixtureDir("lint_ptr_key");
+    const fs::path source = dir / "addr.cpp";
+    writeFile(source,
+              "#include <map>\n"
+              "struct Node;\n"
+              "std::map<Node *, int> makeIndex() {\n"
+              "    return {};\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[det-ptr-key]"), std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("addr.cpp:3"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsPointerValuesBehindStableKeys)
+{
+    const fs::path dir = fixtureDir("lint_ptr_key_ok");
+    const fs::path source = dir / "stable.cpp";
+    writeFile(source,
+              "#include <map>\n"
+              "struct Node;\n"
+              "std::map<int, Node *> makeIndex() {\n"
+              "    return {};\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+// --- lock-discipline rules ------------------------------------------
+
+TEST(LintTest, FlagsCvWaitOutsidePredicateLoop)
+{
+    const fs::path dir = fixtureDir("lint_cv_wait");
+    const fs::path source = dir / "naive.cpp";
+    writeFile(source,
+              "#include <condition_variable>\n"
+              "#include <mutex>\n"
+              "void waitReady(std::mutex &m,\n"
+              "               std::condition_variable &cv) {\n"
+              "    std::unique_lock<std::mutex> lock(m);\n"
+              "    cv.wait(lock);\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[lock-cv-wait]"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("naive.cpp:6"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsCvWaitInsideLoops)
+{
+    const fs::path dir = fixtureDir("lint_cv_wait_ok");
+    const fs::path source = dir / "looped.cpp";
+    writeFile(source,
+              "#include <chrono>\n"
+              "#include <condition_variable>\n"
+              "#include <mutex>\n"
+              "void waitReady(std::mutex &m,\n"
+              "               std::condition_variable &cv,\n"
+              "               bool &ready, bool verbose) {\n"
+              "    std::unique_lock<std::mutex> lock(m);\n"
+              "    while (!ready)\n"
+              "        cv.wait(lock);\n"
+              "    while (!ready) {\n"
+              "        if (verbose) {\n"
+              "            cv.wait_for(lock,\n"
+              "                        std::chrono::milliseconds(1));"
+              "\n"
+              "        }\n"
+              "    }\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsThreadDetach)
+{
+    const fs::path dir = fixtureDir("lint_detach");
+    const fs::path source = dir / "runaway.cpp";
+    writeFile(source,
+              "#include <thread>\n"
+              "void fire(std::thread &t) {\n"
+              "    t.detach();\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[lock-thread-detach]"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("runaway.cpp:3"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsJoinedThreads)
+{
+    const fs::path dir = fixtureDir("lint_detach_ok");
+    const fs::path source = dir / "tended.cpp";
+    writeFile(source,
+              "#include <thread>\n"
+              "void land(std::thread &t) {\n"
+              "    if (t.joinable())\n"
+              "        t.join();\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsExcludedCallUnderHeldMutex)
+{
+    const fs::path dir = fixtureDir("lint_excludes");
+    const fs::path source = dir / "deadlock.cpp";
+    writeFile(source,
+              "#include \"util/thread_annotations.h\"\n"
+              "class Logger {\n"
+              "  public:\n"
+              "    void flush() BUFFALO_EXCLUDES(mutex_);\n"
+              "    void writeAll() {\n"
+              "        buffalo::util::MutexLock lock(mutex_);\n"
+              "        flush();\n"
+              "    }\n"
+              "  private:\n"
+              "    buffalo::util::Mutex mutex_;\n"
+              "};\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[lock-excludes-held]"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("deadlock.cpp:7"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsExcludedCallAfterLockScopeEnds)
+{
+    const fs::path dir = fixtureDir("lint_excludes_ok");
+    const fs::path source = dir / "staged.cpp";
+    writeFile(source,
+              "#include \"util/thread_annotations.h\"\n"
+              "class Logger {\n"
+              "  public:\n"
+              "    void flush() BUFFALO_EXCLUDES(mutex_);\n"
+              "    void writeAll() {\n"
+              "        {\n"
+              "            buffalo::util::MutexLock lock(mutex_);\n"
+              "            dirty_ = true;\n"
+              "        }\n"
+              "        flush();\n"
+              "    }\n"
+              "  private:\n"
+              "    buffalo::util::Mutex mutex_;\n"
+              "    bool dirty_ BUFFALO_GUARDED_BY(mutex_) = false;\n"
+              "};\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsPublicMethodTouchingGuardedMemberUnlocked)
+{
+    const fs::path dir = fixtureDir("lint_guarded_public");
+    const fs::path source = dir / "peek.cpp";
+    writeFile(source,
+              "#include \"util/thread_annotations.h\"\n"
+              "class Counter {\n"
+              "  public:\n"
+              "    int get() { return count_; }\n"
+              "  private:\n"
+              "    buffalo::util::Mutex mutex_;\n"
+              "    int count_ BUFFALO_GUARDED_BY(mutex_) = 0;\n"
+              "};\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[lock-guarded-public]"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("peek.cpp:4"), std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsLockedOrRequiresAnnotatedAccess)
+{
+    const fs::path dir = fixtureDir("lint_guarded_public_ok");
+    const fs::path source = dir / "locked.cpp";
+    writeFile(source,
+              "#include \"util/thread_annotations.h\"\n"
+              "class Counter {\n"
+              "  public:\n"
+              "    int get() {\n"
+              "        buffalo::util::MutexLock lock(mutex_);\n"
+              "        return count_;\n"
+              "    }\n"
+              "    int getLocked() BUFFALO_REQUIRES(mutex_) {\n"
+              "        return count_;\n"
+              "    }\n"
+              "  private:\n"
+              "    buffalo::util::Mutex mutex_;\n"
+              "    int count_ BUFFALO_GUARDED_BY(mutex_) = 0;\n"
+              "};\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+// --- capture-escape rules -------------------------------------------
+
+TEST(LintTest, FlagsRefCaptureEscapingIntoPool)
+{
+    const fs::path dir = fixtureDir("lint_escape_ref");
+    const fs::path source = dir / "dangling.cpp";
+    writeFile(source,
+              "#include \"util/thread_pool.h\"\n"
+              "void spawn(buffalo::util::ThreadPool &pool) {\n"
+              "    int local = 7;\n"
+              "    pool.submit([&local] { local += 1; });\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[escape-ref-capture]"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("dangling.cpp:4"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsValueCapturesEscapingIntoPool)
+{
+    const fs::path dir = fixtureDir("lint_escape_ref_ok");
+    const fs::path source = dir / "owned.cpp";
+    writeFile(source,
+              "#include \"util/thread_pool.h\"\n"
+              "void spawn(buffalo::util::ThreadPool &pool) {\n"
+              "    int local = 7;\n"
+              "    pool.submit([local] { (void)local; });\n"
+              "}\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST(LintTest, FlagsThisCaptureStoredInThread)
+{
+    const fs::path dir = fixtureDir("lint_escape_this");
+    const fs::path source = dir / "untended.cpp";
+    writeFile(source,
+              "#include <thread>\n"
+              "#include <vector>\n"
+              "class Owner {\n"
+              "  public:\n"
+              "    void start() {\n"
+              "        threads_.emplace_back([this] { tick(); });\n"
+              "    }\n"
+              "  private:\n"
+              "    void tick();\n"
+              "    std::vector<std::thread> threads_;\n"
+              "};\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[escape-this-capture]"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("untended.cpp:6"),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, AcceptsWaivedThisCaptureWithJustification)
+{
+    const fs::path dir = fixtureDir("lint_escape_this_ok");
+    const fs::path source = dir / "tended.cpp";
+    writeFile(source,
+              "#include <thread>\n"
+              "#include <vector>\n"
+              "class Owner {\n"
+              "  public:\n"
+              "    void start() {\n"
+              "        // buffalo-lint: allow(escape-this-capture) "
+              "joined in ~Owner before members die\n"
+              "        threads_.emplace_back([this] { tick(); });\n"
+              "    }\n"
+              "  private:\n"
+              "    void tick();\n"
+              "    std::vector<std::thread> threads_;\n"
+              "};\n");
+    const RunResult result = runLint(source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("clean"), std::string::npos)
+        << result.output;
+}
+
+// --- JSON report and scan-scope masks -------------------------------
+
+TEST(LintTest, JsonReportCarriesFindingsAndWaiverCounts)
+{
+    const fs::path dir = fixtureDir("lint_json");
+    const fs::path source = dir / "mixed.cpp";
+    writeFile(source,
+              "#include <thread>\n"
+              "void fire(std::thread &a, std::thread &b) {\n"
+              "    a.detach();\n"
+              "    // buffalo-lint: allow(lock-thread-detach) "
+              "fixture waiver\n"
+              "    b.detach();\n"
+              "}\n");
+    const RunResult result =
+        runLint("--json " + source.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("\"version\": 2"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find(
+                  "\"total\": 2, \"active\": 1, \"waived\": 1"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("\"rule\": \"lock-thread-detach\""),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("\"waived\": true"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find("\"waived\": false"),
+              std::string::npos)
+        << result.output;
+    EXPECT_NE(result.output.find(
+                  "\"waiver_reason\": \"fixture waiver\""),
+              std::string::npos)
+        << result.output;
+}
+
+TEST(LintTest, JsonOutWritesReportFileAlongsideHumanOutput)
+{
+    const fs::path dir = fixtureDir("lint_json_out");
+    const fs::path source = dir / "clean.cpp";
+    const fs::path report = dir / "lint_report.json";
+    writeFile(source, "int answer() { return 42; }\n");
+    const RunResult result = runLint(
+        "--json-out " + report.string() + " " + source.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    EXPECT_NE(result.output.find("clean"), std::string::npos)
+        << result.output;
+    std::ifstream in(report);
+    ASSERT_TRUE(in.good()) << report;
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_NE(json.find("\"version\": 2"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"active\": 0"), std::string::npos) << json;
+}
+
+TEST(LintTest, TestDirectoryMaskSilencesStyleRulesOnly)
+{
+    const fs::path root = fixtureDir("lint_dir_masks");
+    writeFile(root / "src" / "obs" / "names.h",
+              "#pragma once\n"
+              "namespace buffalo::obs::names {}\n");
+    writeFile(root / "tools" / "ci.sh",
+              "#!/usr/bin/env bash\n");
+    // Style violations under tests/ are masked...
+    writeFile(root / "tests" / "fixture_test.cpp",
+              "#include <cstdlib>\n"
+              "void scratch() {\n"
+              "    void *blob = std::malloc(64);\n"
+              "    std::free(blob);\n"
+              "}\n");
+    RunResult result = runLint("--root " + root.string());
+    EXPECT_EQ(result.exit_code, 0) << result.output;
+    // ...but the determinism/lock families still apply there.
+    writeFile(root / "tests" / "detach_test.cpp",
+              "#include <thread>\n"
+              "void fire(std::thread &t) {\n"
+              "    t.detach();\n"
+              "}\n");
+    result = runLint("--root " + root.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[lock-thread-detach]"),
+              std::string::npos)
+        << result.output;
+    // The same style violations under src/ are not masked.
+    writeFile(root / "src" / "scratch.cpp",
+              "#include <cstdlib>\n"
+              "void scratch() {\n"
+              "    void *blob = std::malloc(64);\n"
+              "    std::free(blob);\n"
+              "}\n");
+    result = runLint("--root " + root.string());
+    EXPECT_EQ(result.exit_code, 1) << result.output;
+    EXPECT_NE(result.output.find("[raw-alloc]"), std::string::npos)
+        << result.output;
+}
+
 } // namespace
