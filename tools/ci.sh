@@ -35,7 +35,20 @@ cmake --build "${prefix}-release" -j "${jobs}"
 ctest --test-dir "${prefix}-release" --output-on-failure -j "${jobs}"
 
 echo "=== Project lint ==="
-"${prefix}-release/tools/buffalo_lint" --root .
+# The linter scans src/, tools/, bench/, and tests/ and writes the
+# machine-readable report (rule, file:line, severity, waiver status)
+# next to the build artifacts. It exits non-zero on any non-waived
+# finding, so this line is the gate; the report is the archive. The
+# waiver count is printed so reviewers can watch it — it may only go
+# down.
+"${prefix}-release/tools/buffalo_lint" --root . \
+    --json-out "${prefix}-release/lint_report.json"
+python3 - "${prefix}-release/lint_report.json" <<'PY'
+import json, sys
+counts = json.load(open(sys.argv[1]))["counts"]
+print(f"lint report: {counts['total']} findings "
+      f"({counts['active']} active, {counts['waived']} waived)")
+PY
 
 echo "=== Observability smoke epoch ==="
 obs_dir="${prefix}-release/obs-smoke"
