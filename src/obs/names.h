@@ -158,6 +158,47 @@ inline constexpr char kHistServeLatencyMs[] = "serve.latency_ms";
 inline constexpr char kHistServeQueueMs[] = "serve.queue_ms";
 inline constexpr char kHistServeBatchSize[] = "serve.batch_size";
 
+// --- Histograms: queue wait/service decomposition ------------------
+// Per-item time decomposition at every pipeline handoff (DESIGN.md,
+// "Critical-path attribution"): `wait_ms` is how long an item sat in
+// the queue before its consumer dequeued it; `service_ms` is how long
+// the consumer then worked on it. Training pipeline queues
+// (sampled/built/ready) and the serve tier (admit/plans/prepared)
+// share the naming scheme `queue.<name>.{wait,service}_ms`.
+inline constexpr char kHistQueueSampledWaitMs[] =
+    "queue.sampled.wait_ms";
+inline constexpr char kHistQueueSampledServiceMs[] =
+    "queue.sampled.service_ms";
+inline constexpr char kHistQueueBuiltWaitMs[] =
+    "queue.built.wait_ms";
+inline constexpr char kHistQueueBuiltServiceMs[] =
+    "queue.built.service_ms";
+inline constexpr char kHistQueueReadyWaitMs[] =
+    "queue.ready.wait_ms";
+inline constexpr char kHistQueueReadyServiceMs[] =
+    "queue.ready.service_ms";
+inline constexpr char kHistQueueAdmitWaitMs[] =
+    "queue.admit.wait_ms";
+inline constexpr char kHistQueueAdmitServiceMs[] =
+    "queue.admit.service_ms";
+inline constexpr char kHistQueuePlansWaitMs[] =
+    "queue.plans.wait_ms";
+inline constexpr char kHistQueuePlansServiceMs[] =
+    "queue.plans.service_ms";
+inline constexpr char kHistQueuePreparedWaitMs[] =
+    "queue.prepared.wait_ms";
+inline constexpr char kHistQueuePreparedServiceMs[] =
+    "queue.prepared.service_ms";
+
+// --- Gauges: critical-path attribution -----------------------------
+// Published per pipelined epoch from the EpochReport's critical-path
+// section (obs/critical_path.h).
+inline constexpr char kGaugeCpWallSeconds[] = "cp.wall_seconds";
+inline constexpr char kGaugeCpSerialSeconds[] = "cp.serial_seconds";
+inline constexpr char kGaugeCpOverlapEfficiency[] =
+    "cp.overlap_efficiency";
+inline constexpr char kGaugeCpDominantShare[] = "cp.dominant_share";
+
 // --- Event-log event types (`obs::eventLog().event(...)`) ----------
 // JSONL run-log vocabulary (DESIGN.md, "Memory audit & bench
 // regression"). Same dotted naming scheme as spans; an event type
@@ -180,6 +221,15 @@ inline constexpr char kEvServeSummary[] = "serve.summary";
 /** Emitted by the atexit-safe flush path (obs/flush.h) just before
  *  the run log is closed, whether the exit was clean or early. */
 inline constexpr char kEvRunFlush[] = "run.flush";
+/** Periodic queue-depth snapshot from the QueueDepthSampler
+ *  (obs/queue_telemetry.h): {queue, depth}. */
+inline constexpr char kEvQueueDepth[] = "queue.depth";
+/** Per-epoch critical-path summary: wall/serial seconds, overlap
+ *  efficiency, and the dominant stage with its share. */
+inline constexpr char kEvCpReport[] = "cp.report";
+/** Per-thread tracer ring accounting at end of run: {tid, dropped,
+ *  capacity}; emitted only for threads that overwrote spans. */
+inline constexpr char kEvTracerRing[] = "tracer.ring";
 
 // --- Core CI expectations (`obs_validate --expect-* @core`) --------
 // Spans any pipelined smoke epoch must record.
@@ -223,11 +273,18 @@ inline constexpr const char *kServeMetrics[] = {
     kCtrServeBatches,
     kGaugeServeGoodputQps,
     kHistServeLatencyMs,
+    kHistQueueAdmitWaitMs,
+    kHistQueueAdmitServiceMs,
+    kHistQueuePlansWaitMs,
+    kHistQueuePlansServiceMs,
+    kHistQueuePreparedWaitMs,
+    kHistQueuePreparedServiceMs,
 };
 
 inline constexpr const char *kServeEvents[] = {
     kEvRunBegin,
     kEvServeSummary,
+    kEvQueueDepth,
     kEvRunFlush,
     kEvRunEnd,
 };
@@ -250,6 +307,31 @@ inline constexpr const char *kCacheMetrics[] = {
 inline constexpr const char *kCacheEvents[] = {
     kEvCachePolicy,
     kEvCacheSnapshot,
+};
+
+// --- Critical-path CI expectations (`obs_validate ... @cp`) --------
+// What any pipelined training smoke must additionally produce once
+// critical-path attribution is on: the per-epoch cp.* gauges and the
+// wait/service histograms of the three prefetch handoffs. Serve runs
+// use the queue.{admit,plans,prepared}.* names in @serve instead.
+inline constexpr const char *kCpMetrics[] = {
+    kGaugeCpWallSeconds,
+    kGaugeCpSerialSeconds,
+    kGaugeCpOverlapEfficiency,
+    kGaugeCpDominantShare,
+    kHistQueueSampledWaitMs,
+    kHistQueueSampledServiceMs,
+    kHistQueueBuiltWaitMs,
+    kHistQueueBuiltServiceMs,
+    kHistQueueReadyWaitMs,
+    kHistQueueReadyServiceMs,
+};
+
+// Event types a pipelined training smoke with `--run-log` must emit:
+// the epoch critical-path report and at least one queue-depth sample.
+inline constexpr const char *kCpEvents[] = {
+    kEvCpReport,
+    kEvQueueDepth,
 };
 
 } // namespace buffalo::obs::names

@@ -1,0 +1,70 @@
+#include "obs/queue_telemetry.h"
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/event_log.h"
+#include "obs/names.h"
+
+namespace buffalo::obs {
+
+QueueDepthSampler::QueueDepthSampler(
+    std::vector<QueueDepthProbe> probes, double interval_seconds)
+    : probes_(std::move(probes)),
+      interval_seconds_(interval_seconds > 0.0 ? interval_seconds
+                                               : 0.05)
+{
+    if (!eventLog().enabled() || probes_.empty())
+        return;
+    sampleOnce();
+    // buffalo-lint: allow(escape-this-capture) joined in stop()
+    thread_ = std::thread([this] { run(); });
+}
+
+QueueDepthSampler::~QueueDepthSampler() { stop(); }
+
+void
+QueueDepthSampler::stop()
+{
+    {
+        util::MutexLock lock(mutex_);
+        stop_ = true;
+        wake_.notify_all();
+    }
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+QueueDepthSampler::run()
+{
+    const auto interval =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(interval_seconds_));
+    for (;;) {
+        {
+            util::MutexLock lock(mutex_);
+            const auto deadline =
+                std::chrono::steady_clock::now() + interval;
+            while (!stop_ &&
+                   std::chrono::steady_clock::now() < deadline)
+                wake_.wait_until(lock.native(), deadline);
+            if (stop_)
+                return;
+        }
+        sampleOnce();
+    }
+}
+
+void
+QueueDepthSampler::sampleOnce()
+{
+    for (const QueueDepthProbe &probe : probes_)
+        eventLog()
+            .event(names::kEvQueueDepth)
+            .field("queue", probe.queue)
+            .field("depth",
+                   static_cast<std::uint64_t>(probe.depth()));
+}
+
+} // namespace buffalo::obs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Queue-depth timeline sampling (DESIGN.md, "Critical-path
+ * attribution"): a lightweight interval sampler that periodically
+ * reads a set of queue-depth probes and flushes one `queue.depth`
+ * event per probe into the JSONL run log. Together with the
+ * wait-vs-service histograms the queues themselves record, the
+ * timeline shows *where* items piled up while the critical-path
+ * analyzer shows *which* stage that made slow.
+ *
+ * The sampler owns one background thread, started only when the event
+ * log is enabled (otherwise construction is a no-op); it samples once
+ * immediately — so even sub-interval runs log a snapshot — and then
+ * every interval until stop() or destruction.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace buffalo::obs {
+
+/** One sampled queue: a static name and a depth reader. */
+struct QueueDepthProbe
+{
+    /** Queue name emitted with each sample (static storage). */
+    const char *queue = nullptr;
+    /** Returns the queue's current occupancy; must be thread-safe. */
+    std::function<std::size_t()> depth;
+};
+
+/** Periodically samples queue depths into the event log. */
+class QueueDepthSampler
+{
+  public:
+    /**
+     * Starts sampling @p probes every @p interval_seconds. Inert (no
+     * thread) when the event log is disabled or @p probes is empty.
+     * The probes must outlive the sampler (or its stop() call).
+     */
+    explicit QueueDepthSampler(std::vector<QueueDepthProbe> probes,
+                               double interval_seconds = 0.05);
+
+    QueueDepthSampler(const QueueDepthSampler &) = delete;
+    QueueDepthSampler &operator=(const QueueDepthSampler &) = delete;
+
+    /** Stops sampling (idempotent; also run by the destructor). Call
+     *  before tearing down the queues the probes read. */
+    void stop();
+
+    ~QueueDepthSampler();
+
+  private:
+    void run();
+
+    /** Emits one queue.depth event per probe. */
+    void sampleOnce();
+
+    std::vector<QueueDepthProbe> probes_;
+    double interval_seconds_;
+
+    mutable util::Mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ BUFFALO_GUARDED_BY(mutex_) = false;
+    // buffalo-lint: allow(guarded-by) joined in stop(), not shared
+    std::thread thread_;
+};
+
+} // namespace buffalo::obs

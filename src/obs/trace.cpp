@@ -9,14 +9,22 @@ namespace buffalo::obs {
 // ---------------------------------------------------------------------
 // Span
 
-Span::Span(const char *name) : Span(tracer(), name) {}
+Span::Span(const char *name) : Span(tracer(), name, 0) {}
 
-Span::Span(Tracer &tracer, const char *name)
+Span::Span(const char *name, std::uint64_t item)
+    : Span(tracer(), name, item)
+{
+}
+
+Span::Span(Tracer &tracer, const char *name) : Span(tracer, name, 0) {}
+
+Span::Span(Tracer &tracer, const char *name, std::uint64_t item)
 {
     if (!tracer.enabled())
         return;
     tracer_ = &tracer;
     name_ = name;
+    item_ = item;
     start_us_ = tracer.nowMicros();
 }
 
@@ -25,7 +33,7 @@ Span::~Span()
     if (tracer_ == nullptr)
         return;
     const double end_us = tracer_->nowMicros();
-    tracer_->record(name_, start_us_, end_us - start_us_);
+    tracer_->record(name_, start_us_, end_us - start_us_, item_);
 }
 
 // ---------------------------------------------------------------------
@@ -34,6 +42,11 @@ Span::~Span()
 Tracer::Tracer(std::size_t ring_capacity)
     : ring_capacity_(ring_capacity < 1 ? 1 : ring_capacity),
       epoch_(std::chrono::steady_clock::now())
+{
+}
+
+Tracer::Tracer(const TracerOptions &options)
+    : Tracer(options.ring_capacity)
 {
 }
 
@@ -47,6 +60,13 @@ void
 Tracer::disable()
 {
     enabled_.store(false, std::memory_order_relaxed);
+}
+
+void
+Tracer::setRingCapacity(std::size_t ring_capacity)
+{
+    ring_capacity_.store(ring_capacity < 1 ? 1 : ring_capacity,
+                         std::memory_order_relaxed);
 }
 
 double
@@ -74,16 +94,23 @@ Tracer::threadBuffer()
 }
 
 void
-Tracer::record(const char *name, double start_us, double duration_us)
+Tracer::record(const char *name, double start_us, double duration_us,
+               std::uint64_t item)
 {
+    const std::size_t capacity =
+        ring_capacity_.load(std::memory_order_relaxed);
     ThreadBuffer &buffer = threadBuffer();
     util::MutexLock lock(buffer.mutex);
-    const SpanRecord span{name, start_us, duration_us};
-    if (buffer.ring.size() < ring_capacity_) {
+    const SpanRecord span{name, start_us, duration_us, item};
+    if (buffer.ring.size() < capacity) {
         buffer.ring.push_back(span);
     } else {
+        // A shrunken capacity can leave the cursor past the new end;
+        // wrap it so overwrites stay in range.
+        if (buffer.next >= buffer.ring.size())
+            buffer.next = 0;
         buffer.ring[buffer.next] = span;
-        buffer.next = (buffer.next + 1) % ring_capacity_;
+        buffer.next = (buffer.next + 1) % buffer.ring.size();
     }
     ++buffer.total;
 }
@@ -110,6 +137,20 @@ Tracer::droppedSpans() const
         dropped += buffer->total - buffer->ring.size();
     }
     return dropped;
+}
+
+std::vector<ThreadDropReport>
+Tracer::droppedByThread() const
+{
+    std::vector<ThreadDropReport> out;
+    util::MutexLock registry_lock(registry_mutex_);
+    out.reserve(buffers_.size());
+    for (const auto &buffer : buffers_) {
+        util::MutexLock lock(buffer->mutex);
+        out.push_back(
+            {buffer->tid, buffer->total - buffer->ring.size()});
+    }
+    return out;
 }
 
 std::string
@@ -143,6 +184,11 @@ Tracer::toJson() const
         w.key("dur").value(event.span.duration_us);
         w.key("pid").value(1);
         w.key("tid").value(static_cast<std::int64_t>(event.tid));
+        if (event.span.item != 0) {
+            w.key("args").beginObject();
+            w.key("item").value(event.span.item);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();

@@ -14,6 +14,13 @@
  * exporting reader). The ring overwrites its oldest spans when full
  * and counts the overwrites, so tracing never grows unbounded.
  *
+ * Spans may carry an *item id* — the stable per-micro-batch (or
+ * per-request-plan) identity that links one item's spans across
+ * stage threads into a causal chain (DESIGN.md, "Critical-path
+ * attribution"). Item 0 means unattributed; attributed spans export
+ * the id as `args.item` in the trace JSON, which is what
+ * obs::loadTraceSpans / tools/buffalo_profile reassemble chains from.
+ *
  * Span names must have static storage duration (string literals or
  * phaseName() results) — the ring stores the pointer, not a copy.
  */
@@ -36,9 +43,18 @@ struct SpanRecord
     const char *name = nullptr;
     double start_us = 0.0;
     double duration_us = 0.0;
+    /** Causal item id (micro-batch / plan); 0 = unattributed. */
+    std::uint64_t item = 0;
 };
 
 class Tracer;
+
+/** Tracer construction knobs (CLI `--trace-ring`). */
+struct TracerOptions
+{
+    /** Spans each thread's ring buffer retains before overwriting. */
+    std::size_t ring_capacity = 1 << 16;
+};
 
 /**
  * RAII scope that records its lifetime as a span on the tracer.
@@ -50,8 +66,14 @@ class Span
     /** Opens a span named @p name on the global tracer(). */
     explicit Span(const char *name);
 
+    /** Opens an item-attributed span on the global tracer(). */
+    Span(const char *name, std::uint64_t item);
+
     /** Opens a span on a specific tracer (tests). */
     Span(Tracer &tracer, const char *name);
+
+    /** Opens an item-attributed span on a specific tracer (tests). */
+    Span(Tracer &tracer, const char *name, std::uint64_t item);
 
     Span(const Span &) = delete;
     Span &operator=(const Span &) = delete;
@@ -62,6 +84,14 @@ class Span
     Tracer *tracer_ = nullptr; // null when disabled at construction
     const char *name_ = nullptr;
     double start_us_ = 0.0;
+    std::uint64_t item_ = 0;
+};
+
+/** Per-thread span-drop accounting (ring-buffer overwrites). */
+struct ThreadDropReport
+{
+    std::uint32_t tid = 0;
+    std::uint64_t dropped = 0;
 };
 
 /** Collects spans from all threads; exports Chrome trace JSON. */
@@ -72,6 +102,8 @@ class Tracer
     static constexpr std::size_t kDefaultRingCapacity = 1 << 16;
 
     explicit Tracer(std::size_t ring_capacity = kDefaultRingCapacity);
+
+    explicit Tracer(const TracerOptions &options);
 
     Tracer(const Tracer &) = delete;
     Tracer &operator=(const Tracer &) = delete;
@@ -88,6 +120,19 @@ class Tracer
         return enabled_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Reconfigures the per-thread ring capacity (`--trace-ring`).
+     * Call before enable(); rings that already exceed a shrunken
+     * capacity keep their buffered spans but stop growing.
+     */
+    void setRingCapacity(std::size_t ring_capacity);
+
+    std::size_t
+    ringCapacity() const
+    {
+        return ring_capacity_.load(std::memory_order_relaxed);
+    }
+
     /** Microseconds since the tracer's epoch (monotonic). */
     double nowMicros() const;
 
@@ -95,9 +140,10 @@ class Tracer
      * Records a closed span for the calling thread. Instrumentation
      * normally goes through Span; this entry point exists for spans
      * whose lifetime is not a C++ scope. @p name must have static
-     * storage duration.
+     * storage duration. @p item is the causal item id (0 = none).
      */
-    void record(const char *name, double start_us, double duration_us);
+    void record(const char *name, double start_us, double duration_us,
+                std::uint64_t item = 0);
 
     /** Spans currently buffered across all threads. */
     std::size_t spanCount() const;
@@ -105,9 +151,14 @@ class Tracer
     /** Spans overwritten because a ring buffer was full. */
     std::uint64_t droppedSpans() const;
 
+    /** Per-thread drop counts, tid-ordered (threads with zero drops
+     *  included, so callers can report ring utilization). */
+    std::vector<ThreadDropReport> droppedByThread() const;
+
     /**
      * Chrome trace-event export: a JSON array of complete ("ph":"X")
      * events {name, ph, ts, dur, pid, tid}, sorted by start time.
+     * Item-attributed spans additionally carry {"args":{"item":N}}.
      */
     std::string toJson() const;
 
@@ -134,7 +185,7 @@ class Tracer
     ThreadBuffer &threadBuffer() BUFFALO_EXCLUDES(registry_mutex_);
 
     std::atomic<bool> enabled_{false};
-    std::size_t ring_capacity_;
+    std::atomic<std::size_t> ring_capacity_;
     std::chrono::steady_clock::time_point epoch_;
 
     mutable util::Mutex registry_mutex_;

@@ -4,10 +4,12 @@
 #include <deque>
 
 #include "obs/audit.h"
+#include "obs/critical_path.h"
 #include "obs/event_log.h"
 #include "obs/metrics.h"
-#include "obs/trace.h"
 #include "obs/names.h"
+#include "obs/queue_telemetry.h"
+#include "obs/trace.h"
 #include "pipeline/cache_policy.h"
 #include "sampling/presample.h"
 #include "util/logging.h"
@@ -41,7 +43,8 @@ train::IterationStats
 PipelineTrainer::trainPrepared(PreparedBatch &batch,
                                const graph::Dataset &dataset)
 {
-    obs::Span iteration_span(obs::names::kSpanTrainIteration);
+    obs::Span iteration_span(obs::names::kSpanTrainIteration,
+                             batch.index + 1);
     const std::size_t batch_outputs = batch.sg.numSeeds();
     core::SchedulerOptions sched = resolvedSchedulerOptions();
 
@@ -180,6 +183,14 @@ recordEpochMetrics(const train::EpochReport &report)
         .set(static_cast<double>(report.cache.resident_nodes));
     m.gauge(obs::names::kGaugeCachePinnedNodes)
         .set(static_cast<double>(report.cache.pinned_nodes));
+    m.gauge(obs::names::kGaugeCpWallSeconds)
+        .set(report.cp.wall_us / 1e6);
+    m.gauge(obs::names::kGaugeCpSerialSeconds)
+        .set(report.cp.serial_us / 1e6);
+    m.gauge(obs::names::kGaugeCpOverlapEfficiency)
+        .set(report.cp.overlap_efficiency);
+    m.gauge(obs::names::kGaugeCpDominantShare)
+        .set(report.cp.dominant_share);
 }
 
 } // namespace
@@ -218,6 +229,11 @@ PipelineTrainer::trainEpochImpl(
         options_.pipeline,
         cache_->enabled() ? cache_.get() : nullptr, rng);
 
+    // Depth timeline for the three stage queues. Declared after the
+    // prefetcher so destruction stops the sampler thread before the
+    // queues its probes read are torn down.
+    obs::QueueDepthSampler depth_sampler(prefetcher.depthProbes());
+
     // 4-lane pipeline schedule (sample | build | feature | device):
     // lane l of batch i starts when lane l finished batch i-1 AND lane
     // l-1 finished batch i. The sampling lane is additionally gated so
@@ -229,6 +245,9 @@ PipelineTrainer::trainEpochImpl(
     double t_sample = 0.0, t_build = 0.0, t_feature = 0.0,
            t_device = 0.0;
     std::deque<double> consumed_at;
+    /** Per-batch {sample, build, feature, device} durations feeding
+     *  the critical-path model. */
+    std::vector<std::vector<double>> cp_rows;
 
     const std::uint64_t bytes0 = device_.transferredBytes();
     const std::uint64_t saved0 = device_.transferSavedBytes();
@@ -236,7 +255,11 @@ PipelineTrainer::trainEpochImpl(
 
     while (auto batch = prefetcher.next()) {
         const double device_before = device_.totalSeconds();
+        util::StopWatch train_watch;
         train::IterationStats stats = trainPrepared(*batch, dataset);
+        obs::metrics()
+            .histogram(obs::names::kHistQueueReadyServiceMs)
+            .add(train_watch.seconds() * 1e3);
         const double device_delta =
             device_.totalSeconds() - device_before;
 
@@ -266,6 +289,9 @@ PipelineTrainer::trainEpochImpl(
         report.prep_seconds += batch->prepSeconds();
         report.device_seconds += device_delta;
         report.serial_seconds += batch->prepSeconds() + device_delta;
+        cp_rows.push_back({batch->sample_seconds,
+                           batch->build_seconds,
+                           batch->feature_seconds, device_delta});
 
         prefetcher.release(*batch);
         ++report.num_batches;
@@ -304,6 +330,30 @@ PipelineTrainer::trainEpochImpl(
     report.cache.resident_nodes = cache.resident_nodes;
     report.cache.bytes_in_use = cache.bytes_in_use;
     report.cache.capacity_bytes = cache.capacity_bytes;
+
+    // Critical-path attribution over the same per-batch durations
+    // that drive the overlap recurrence — available even when the
+    // tracer is off (buffalo_profile re-derives the same chains from
+    // a recorded trace).
+    obs::CpOptions cp_options;
+    cp_options.cache_hit_rate =
+        cache_->enabled() ? report.cache.hitRate() : -1.0;
+    cp_options.feature_stage = obs::names::kSpanPipelineFeature;
+    cp_options.build_stage = obs::names::kSpanPipelineBuild;
+    report.cp = obs::analyzeModeledPipeline(
+        {obs::names::kSpanPipelineSample,
+         obs::names::kSpanPipelineBuild,
+         obs::names::kSpanPipelineFeature,
+         obs::names::kSpanTrainIteration},
+        cp_rows, cp_options);
+    obs::eventLog()
+        .event(obs::names::kEvCpReport)
+        .field("items", static_cast<std::uint64_t>(report.cp.items))
+        .field("wall_seconds", report.cp.wall_us / 1e6)
+        .field("serial_seconds", report.cp.serial_us / 1e6)
+        .field("overlap_efficiency", report.cp.overlap_efficiency)
+        .field("dominant_stage", report.cp.dominant_stage)
+        .field("dominant_share", report.cp.dominant_share);
 
     if (cache_->enabled()) {
         obs::eventLog()

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "obs/trace.h"
+#include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/trace.h"
 #include "train/trainer.h"
 #include "util/errors.h"
 
@@ -32,6 +33,24 @@ Prefetcher::Prefetcher(const graph::Dataset &dataset,
 {
     checkArgument(options_.prefetch_depth >= 1,
                   "Prefetcher: prefetch_depth must be >= 1");
+    // Queue-wait histograms (DESIGN.md, "Critical-path attribution").
+    // Histogram handles are stable for the process lifetime and are
+    // captured by value, so the observers never dangle.
+    obs::ReservoirHistogram *sampled_wait = &obs::metrics().histogram(
+        obs::names::kHistQueueSampledWaitMs);
+    sampled_.setWaitObserver([sampled_wait](double seconds) {
+        sampled_wait->add(seconds * 1e3);
+    });
+    obs::ReservoirHistogram *built_wait = &obs::metrics().histogram(
+        obs::names::kHistQueueBuiltWaitMs);
+    built_.setWaitObserver([built_wait](double seconds) {
+        built_wait->add(seconds * 1e3);
+    });
+    obs::ReservoirHistogram *ready_wait = &obs::metrics().histogram(
+        obs::names::kHistQueueReadyWaitMs);
+    ready_.setWaitObserver([ready_wait](double seconds) {
+        ready_wait->add(seconds * 1e3);
+    });
     // One dedicated worker per stage: the stage loops are long-running
     // tasks, so the pool must have a thread for each or the pipeline
     // would never start. Intra-stage parallelism (the fast block
@@ -92,7 +111,7 @@ Prefetcher::sampleStage(std::vector<graph::NodeList> batches,
         item.index = i;
         util::StopWatch watch;
         {
-            obs::Span span(obs::names::kSpanPipelineSample);
+            obs::Span span(obs::names::kSpanPipelineSample, i + 1);
             util::PhaseTimer::Scope scope(
                 item.phases, train::phaseName(train::Phase::Sampling));
             item.sg = sampler.sample(dataset_.graph(), batches[i], rng);
@@ -119,7 +138,7 @@ Prefetcher::buildStage()
         pb.sample_seconds = item->seconds;
 
         util::StopWatch watch;
-        obs::Span span(obs::names::kSpanPipelineBuild);
+        obs::Span span(obs::names::kSpanPipelineBuild, pb.index + 1);
         core::BuffaloScheduler scheduler(
             memory_model_, dataset_.spec().paper_avg_coefficient,
             scheduler_options_);
@@ -133,6 +152,9 @@ Prefetcher::buildStage()
             pb.micro.push_back(std::move(pmb));
         }
         pb.build_seconds = watch.seconds();
+        obs::metrics()
+            .histogram(obs::names::kHistQueueSampledServiceMs)
+            .add(pb.build_seconds * 1e3);
         {
             util::MutexLock lock(stats_mutex_);
             stats_.build_busy_seconds += pb.build_seconds;
@@ -165,11 +187,15 @@ Prefetcher::featureStage()
 
         util::StopWatch watch;
         {
-            obs::Span span(obs::names::kSpanPipelineFeature);
+            obs::Span span(obs::names::kSpanPipelineFeature,
+                           pb->index + 1);
             for (PreparedMicroBatch &pmb : pb->micro)
                 stageFeatures(pmb);
         }
         pb->feature_seconds = watch.seconds();
+        obs::metrics()
+            .histogram(obs::names::kHistQueueBuiltServiceMs)
+            .add(pb->feature_seconds * 1e3);
         {
             util::MutexLock lock(stats_mutex_);
             stats_.feature_busy_seconds += pb->feature_seconds;
@@ -238,6 +264,22 @@ Prefetcher::release(const PreparedBatch &batch)
                               ? 0
                               : current_host_bytes_ -
                                     batch.staged_bytes;
+}
+
+std::vector<obs::QueueDepthProbe>
+Prefetcher::depthProbes()
+{
+    // Queue pointers are captured by value; the sampler using these
+    // probes must be stopped before the Prefetcher is destroyed.
+    StageQueue<SampledItem> *sampled = &sampled_;
+    StageQueue<PreparedBatch> *built = &built_;
+    StageQueue<PreparedBatch> *ready = &ready_;
+    std::vector<obs::QueueDepthProbe> probes;
+    probes.push_back(
+        {"sampled", [sampled] { return sampled->size(); }});
+    probes.push_back({"built", [built] { return built->size(); }});
+    probes.push_back({"ready", [ready] { return ready->size(); }});
+    return probes;
 }
 
 PrefetcherStats

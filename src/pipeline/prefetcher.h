@@ -29,6 +29,7 @@
 #include "core/scheduler.h"
 #include "graph/datasets.h"
 #include "nn/memory_model.h"
+#include "obs/queue_telemetry.h"
 #include "pipeline/feature_cache.h"
 #include "pipeline/stage_queue.h"
 #include "sampling/sampled_subgraph.h"
@@ -134,6 +135,13 @@ class Prefetcher
     void release(const PreparedBatch &batch);
 
     PrefetcherStats stats() const BUFFALO_EXCLUDES(stats_mutex_);
+
+    /**
+     * Depth probes for the three stage queues ("sampled", "built",
+     * "ready"), for an obs::QueueDepthSampler. The probes read live
+     * queue state, so stop the sampler before this Prefetcher dies.
+     */
+    std::vector<obs::QueueDepthProbe> depthProbes();
 
   private:
     struct SampledItem

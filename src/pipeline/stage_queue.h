@@ -8,12 +8,15 @@
  */
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
+#include <functional>
 #include <optional>
+#include <utility>
 
 #include "util/thread_annotations.h"
 
@@ -31,6 +34,11 @@ namespace buffalo::pipeline {
  * push() blocks while the queue is at capacity — this is the
  * backpressure that keeps a fast producer at most `capacity` items
  * ahead of its consumer.
+ *
+ * Telemetry: every push stamps the item's enqueue time; pop reports
+ * the item's queue wait to the observer installed with
+ * setWaitObserver() (DESIGN.md, "Critical-path attribution"), which
+ * feeds the per-queue wait-time histograms.
  */
 template <typename T> class StageQueue
 {
@@ -58,6 +66,7 @@ template <typename T> class StageQueue
         if (closed_ || error_)
             return false;
         items_.push_back(std::move(value));
+        enqueued_at_.push_back(std::chrono::steady_clock::now());
         if (items_.size() > max_occupancy_)
             max_occupancy_ = items_.size();
         not_empty_.notify_one();
@@ -73,16 +82,30 @@ template <typename T> class StageQueue
     std::optional<T>
     pop()
     {
-        util::MutexLock lock(mutex_);
-        while (!(error_ || closed_ || !items_.empty()))
-            not_empty_.wait(lock.native());
-        if (error_)
-            std::rethrow_exception(error_);
-        if (items_.empty())
-            return std::nullopt; // closed and drained
-        T value = std::move(items_.front());
-        items_.pop_front();
-        not_full_.notify_one();
+        std::optional<T> value;
+        double wait_seconds = 0.0;
+        {
+            util::MutexLock lock(mutex_);
+            while (!(error_ || closed_ || !items_.empty()))
+                not_empty_.wait(lock.native());
+            if (error_)
+                std::rethrow_exception(error_);
+            if (items_.empty())
+                return std::nullopt; // closed and drained
+            value.emplace(std::move(items_.front()));
+            items_.pop_front();
+            if (!enqueued_at_.empty()) {
+                wait_seconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() -
+                        enqueued_at_.front())
+                        .count();
+                enqueued_at_.pop_front();
+            }
+            not_full_.notify_one();
+        }
+        if (wait_observer_)
+            wait_observer_(wait_seconds); // outside the lock
         return value;
     }
 
@@ -108,6 +131,7 @@ template <typename T> class StageQueue
         if (!error_)
             error_ = error;
         items_.clear();
+        enqueued_at_.clear();
         not_empty_.notify_all();
         not_full_.notify_all();
     }
@@ -138,12 +162,29 @@ template <typename T> class StageQueue
 
     std::size_t capacity() const { return capacity_; }
 
+    /**
+     * Installs a callback receiving each popped item's queue wait in
+     * seconds. Install before producer/consumer threads start; the
+     * observer runs on the consumer thread with the queue unlocked,
+     * so it may touch metrics freely.
+     */
+    void
+    setWaitObserver(std::function<void(double)> observer)
+    {
+        wait_observer_ = std::move(observer);
+    }
+
   private:
     const std::size_t capacity_;
+    /** Written only before threads start (see setWaitObserver). */
+    std::function<void(double)> wait_observer_;
     mutable util::Mutex mutex_;
     std::condition_variable not_empty_;
     std::condition_variable not_full_;
     std::deque<T> items_ BUFFALO_GUARDED_BY(mutex_);
+    /** Parallel to items_: each item's enqueue time. */
+    std::deque<std::chrono::steady_clock::time_point> enqueued_at_
+        BUFFALO_GUARDED_BY(mutex_);
     std::size_t max_occupancy_ BUFFALO_GUARDED_BY(mutex_) = 0;
     bool closed_ BUFFALO_GUARDED_BY(mutex_) = false;
     std::exception_ptr error_ BUFFALO_GUARDED_BY(mutex_);

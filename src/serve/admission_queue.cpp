@@ -1,5 +1,7 @@
 #include "serve/admission_queue.h"
 
+#include <chrono>
+
 namespace buffalo::serve {
 
 AdmissionQueue::AdmissionQueue(std::size_t capacity)
@@ -27,23 +29,33 @@ AdmissionQueue::popBatch(std::size_t max_items,
                          std::vector<PendingRequest> *out,
                          std::vector<PendingRequest> *expired)
 {
-    util::MutexLock lock(mutex_);
-    while (items_.empty() && !closed_)
-        not_empty_.wait(lock.native());
-    if (items_.empty())
-        return false; // closed and drained
+    std::vector<double> waits;
+    {
+        util::MutexLock lock(mutex_);
+        while (items_.empty() && !closed_)
+            not_empty_.wait(lock.native());
+        if (items_.empty())
+            return false; // closed and drained
 
-    const Clock::time_point now = Clock::now();
-    std::size_t taken = 0;
-    while (!items_.empty() && taken < max_items) {
-        PendingRequest request = std::move(items_.front());
-        items_.pop_front();
-        ++taken;
-        if (request.request().deadline < now)
-            expired->push_back(std::move(request));
-        else
-            out->push_back(std::move(request));
+        const Clock::time_point now = Clock::now();
+        std::size_t taken = 0;
+        while (!items_.empty() && taken < max_items) {
+            PendingRequest request = std::move(items_.front());
+            items_.pop_front();
+            ++taken;
+            if (wait_observer_)
+                waits.push_back(
+                    std::chrono::duration<double>(
+                        now - request.request().submit_time)
+                        .count());
+            if (request.request().deadline < now)
+                expired->push_back(std::move(request));
+            else
+                out->push_back(std::move(request));
+        }
     }
+    for (const double wait_seconds : waits)
+        wait_observer_(wait_seconds); // outside the lock
     return true;
 }
 
@@ -69,6 +81,12 @@ AdmissionQueue::maxOccupancy() const
 {
     util::MutexLock lock(mutex_);
     return max_occupancy_;
+}
+
+void
+AdmissionQueue::setWaitObserver(std::function<void(double)> observer)
+{
+    wait_observer_ = std::move(observer);
 }
 
 } // namespace buffalo::serve

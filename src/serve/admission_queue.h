@@ -17,6 +17,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <vector>
 
 #include "serve/request.h"
@@ -67,8 +68,19 @@ class AdmissionQueue
     /** High-water mark of size() since construction. */
     std::size_t maxOccupancy() const BUFFALO_EXCLUDES(mutex_);
 
+    /**
+     * Installs a callback receiving each drained request's admission
+     * wait in seconds (submit to popBatch, expired requests
+     * included). Install before the server threads start; invoked on
+     * the consuming thread with the queue unlocked (DESIGN.md,
+     * "Critical-path attribution").
+     */
+    void setWaitObserver(std::function<void(double)> observer);
+
   private:
     const std::size_t capacity_;
+    /** Written only before threads start (see setWaitObserver). */
+    std::function<void(double)> wait_observer_;
 
     mutable util::Mutex mutex_;
     std::condition_variable not_empty_;

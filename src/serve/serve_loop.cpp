@@ -13,6 +13,7 @@
 #include "train/feature_loader.h"
 #include "util/errors.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace buffalo::serve {
 
@@ -90,6 +91,25 @@ Server::Server(const ServeOptions &options,
                                    models_.back()->module());
     }
 
+    // Queue-wait histograms (DESIGN.md, "Critical-path attribution"):
+    // installed before any pipeline thread starts. Histogram handles
+    // are process-stable and captured by value.
+    obs::ReservoirHistogram *admit_wait =
+        &obs::metrics().histogram(names::kHistQueueAdmitWaitMs);
+    admission_.setWaitObserver([admit_wait](double seconds) {
+        admit_wait->add(seconds * 1e3);
+    });
+    obs::ReservoirHistogram *plans_wait =
+        &obs::metrics().histogram(names::kHistQueuePlansWaitMs);
+    plans_.setWaitObserver([plans_wait](double seconds) {
+        plans_wait->add(seconds * 1e3);
+    });
+    obs::ReservoirHistogram *prepared_wait =
+        &obs::metrics().histogram(names::kHistQueuePreparedWaitMs);
+    prepared_.setWaitObserver([prepared_wait](double seconds) {
+        prepared_wait->add(seconds * 1e3);
+    });
+
     active_preps_.store(preps, std::memory_order_relaxed);
     // buffalo-lint: allow(escape-this-capture) threads_ are joined by
     // stop() before ~Server tears members down
@@ -100,6 +120,21 @@ Server::Server(const ServeOptions &options,
     for (std::size_t w = 0; w < workers; ++w)
         // buffalo-lint: allow(escape-this-capture) joined by stop()
         threads_.emplace_back([this, w] { workerLoop(w); });
+
+    // Depth timeline over the serve queues; probes capture stable
+    // member addresses by value and outlive nothing — the sampler is
+    // stopped in shutdown() before the queues die.
+    AdmissionQueue *admission = &admission_;
+    pipeline::StageQueue<BatchPlan> *plans = &plans_;
+    pipeline::StageQueue<PreparedBatch> *prepared = &prepared_;
+    std::vector<obs::QueueDepthProbe> probes;
+    probes.push_back(
+        {"admit", [admission] { return admission->size(); }});
+    probes.push_back({"plans", [plans] { return plans->size(); }});
+    probes.push_back(
+        {"prepared", [prepared] { return prepared->size(); }});
+    depth_sampler_ =
+        std::make_unique<obs::QueueDepthSampler>(std::move(probes));
 }
 
 Server::~Server()
@@ -157,6 +192,7 @@ Server::batcherLoop()
         if (admitted.empty())
             continue;
         const Clock::time_point dequeued = Clock::now();
+        util::StopWatch service_watch;
         for (BatchPlan &plan : batcher_.plan(std::move(admitted))) {
             plan.dequeue_time = dequeued;
             // push() fails only on close/abort; the dropped plan's
@@ -165,6 +201,9 @@ Server::batcherLoop()
             if (!plans_.push(std::move(plan)))
                 stats_.onErrors(size);
         }
+        obs::metrics()
+            .histogram(names::kHistQueueAdmitServiceMs)
+            .add(service_watch.seconds() * 1e3);
         admitted.clear();
     }
     plans_.close();
@@ -173,7 +212,9 @@ Server::batcherLoop()
 Server::PreparedBatch
 Server::prepare(BatchPlan plan) const
 {
-    obs::Span span(names::kSpanServePrep);
+    // The span's item id links this plan's prep to its forward pass
+    // (plan.id is read now; plan is moved into the result below).
+    obs::Span span(names::kSpanServePrep, plan.id + 1);
     PreparedBatch prepared;
 
     // Sampling seeds must be unique; requests for the same node
@@ -234,7 +275,11 @@ Server::prepLoop()
             continue;
         }
         try {
+            util::StopWatch service_watch;
             PreparedBatch batch = prepare(std::move(*plan));
+            obs::metrics()
+                .histogram(names::kHistQueuePlansServiceMs)
+                .add(service_watch.seconds() * 1e3);
             batch.charged_bytes = charge;
             if (!prepared_.push(std::move(batch))) {
                 budget_.release(charge);
@@ -257,10 +302,12 @@ Server::workerLoop(std::size_t worker_index)
     while (auto batch = prepared_.pop()) {
         const std::size_t size = batch->plan.requests.size();
         stats_.onBatch(size);
+        util::StopWatch service_watch;
         try {
             nn::Tensor logits;
             {
-                obs::Span span(names::kSpanServeForward);
+                obs::Span span(names::kSpanServeForward,
+                               batch->plan.id + 1);
                 logits = model.forwardInference(batch->mb,
                                                 batch->features,
                                                 nullptr);
@@ -297,6 +344,9 @@ Server::workerLoop(std::size_t worker_index)
                 request.fulfill(ResponseStatus::Failed, now);
             stats_.onErrors(size);
         }
+        obs::metrics()
+            .histogram(names::kHistQueuePreparedServiceMs)
+            .add(service_watch.seconds() * 1e3);
         budget_.release(batch->charged_bytes);
     }
 }
@@ -310,6 +360,8 @@ Server::shutdown()
     for (std::thread &thread : threads_)
         thread.join();
     threads_.clear();
+    if (depth_sampler_ != nullptr)
+        depth_sampler_->stop(); // before the queues it probes die
     final_elapsed_seconds_.store(
         std::chrono::duration<double>(Clock::now() - start_).count(),
         std::memory_order_relaxed);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "graph/datasets.h"
+#include "obs/queue_telemetry.h"
 #include "pipeline/feature_cache.h"
 #include "pipeline/stage_queue.h"
 #include "sampling/block_generator.h"
@@ -131,6 +132,10 @@ class Server
     std::atomic<bool> shut_down_{false};
     Clock::time_point start_;
     std::atomic<double> final_elapsed_seconds_{0.0};
+
+    /** Depth timeline over admit/plans/prepared; stopped by
+     *  shutdown() while the queues are still alive. */
+    std::unique_ptr<obs::QueueDepthSampler> depth_sampler_;
 
     std::vector<std::thread> threads_; ///< last member: joins first
 };

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "obs/audit.h"
+#include "obs/critical_path.h"
 #include "util/timer.h"
 
 namespace buffalo::train {
@@ -160,6 +161,13 @@ struct EpochReport
      * (Buffalo serial + pipelined); zero-group for the baselines.
      */
     obs::MemoryAuditSummary mem_audit;
+    /**
+     * Critical-path decomposition of the epoch's modeled pipeline
+     * (DESIGN.md, "Critical-path attribution"): per-stage self time,
+     * overlap efficiency, dominant stage, what-if bounds. Populated
+     * by the pipelined trainer; empty (items == 0) for serial runs.
+     */
+    obs::CriticalPathReport cp;
 
     /** pipelined/serial; < 1 means the overlap hid preparation time. */
     double

@@ -222,6 +222,59 @@ TEST(Trace, RingOverwritesOldestAndCountsDrops)
     EXPECT_EQ(doc.at(7u).at("ts").asNumber(), 19.0);
 }
 
+TEST(Trace, ItemAttributedSpansExportArgsItem)
+{
+    Tracer tracer;
+    tracer.enable();
+    tracer.record("attributed", 0.0, 1.0, /*item=*/7);
+    tracer.record("plain", 2.0, 1.0);
+    {
+        Span span(tracer, "scoped", /*item=*/9);
+    }
+    tracer.disable();
+
+    const JsonValue doc = JsonValue::parse(tracer.toJson());
+    ASSERT_EQ(doc.size(), 3u);
+    EXPECT_EQ(doc.at(0u).at("args").at("item").asNumber(), 7.0);
+    // Unattributed spans carry no args block at all.
+    EXPECT_FALSE(doc.at(1u).has("args"));
+    EXPECT_EQ(doc.at(2u).at("args").at("item").asNumber(), 9.0);
+}
+
+TEST(Trace, SetRingCapacityTakesEffectAndReportsDrops)
+{
+    Tracer tracer;
+    tracer.setRingCapacity(4);
+    EXPECT_EQ(tracer.ringCapacity(), 4u);
+    tracer.enable();
+    for (int i = 0; i < 6; ++i)
+        tracer.record("r", static_cast<double>(i), 1.0);
+    tracer.disable();
+    EXPECT_EQ(tracer.spanCount(), 4u);
+    EXPECT_EQ(tracer.droppedSpans(), 2u);
+
+    // Per-thread drop reports sum to the global drop counter; a
+    // single-threaded recorder has exactly one nonzero entry.
+    std::uint64_t total = 0;
+    for (const ThreadDropReport &report : tracer.droppedByThread())
+        total += report.dropped;
+    EXPECT_EQ(total, 2u);
+    EXPECT_EQ(tracer.droppedByThread().size(), 1u);
+}
+
+TEST(Trace, RingCapacityClampedToAtLeastOne)
+{
+    Tracer tracer;
+    tracer.setRingCapacity(0);
+    EXPECT_EQ(tracer.ringCapacity(), 1u);
+    tracer.enable();
+    tracer.record("a", 0.0, 1.0);
+    tracer.record("b", 1.0, 1.0);
+    tracer.disable();
+    EXPECT_EQ(tracer.spanCount(), 1u);
+    EXPECT_EQ(tracer.droppedSpans(), 1u);
+}
+
 TEST(Trace, ClearDropsBufferedSpans)
 {
     Tracer tracer;

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Offline critical-path bottleneck analyzer (DESIGN.md,
+ * "Critical-path attribution").
+ *
+ * Ingests the observability artifacts a run leaves behind — the
+ * Chrome trace (--trace-out), the JSONL run log (--log-out), and the
+ * metrics dump (--metrics-json) — reassembles the per-item causal
+ * span chains from `args.item`, and prints a ranked bottleneck
+ * report: per-stage critical-path self time, overlap efficiency,
+ * what-if bounds (perfect overlap, zero cache misses, N-times-faster
+ * block generation), and the wait-vs-service decomposition of every
+ * instrumented queue. With --check it exits non-zero unless the
+ * report is sane (items found, overlap efficiency in (0, 1],
+ * dominant stage identified, all --expect-stages present), which is
+ * how tools/ci.sh gates the smoke runs.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.h"
+#include "obs/json.h"
+#include "obs/names.h"
+#include "util/flags.h"
+
+namespace {
+
+namespace obs = buffalo::obs;
+namespace names = buffalo::obs::names;
+
+[[noreturn]] void
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "buffalo_profile: %s\n", message.c_str());
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::stringstream stream(text);
+    std::string part;
+    while (std::getline(stream, part, ','))
+        if (!part.empty())
+            out.push_back(part);
+    return out;
+}
+
+/** One queue's wait/service histograms from the metrics dump. */
+struct QueueRow
+{
+    double wait_p50 = 0.0, wait_p95 = 0.0;
+    double service_p50 = 0.0, service_p95 = 0.0;
+    double wait_count = 0.0, service_count = 0.0;
+};
+
+/**
+ * Pulls the queue.<name>.{wait_ms,service_ms} histograms out of a
+ * metrics dump, keyed by queue name, plus the tracer drop gauge.
+ */
+std::map<std::string, QueueRow>
+loadQueueRows(const std::string &path, double *dropped_spans)
+{
+    std::map<std::string, QueueRow> rows;
+    const obs::JsonValue doc =
+        obs::JsonValue::parse(obs::readFileText(path));
+    if (!doc.isObject())
+        fail(path + ": metrics document must be a JSON object");
+    if (doc.has("gauges") && doc.at("gauges").isObject()) {
+        const obs::JsonValue &gauges = doc.at("gauges");
+        const char *dropped = names::kGaugeTracerDroppedSpans;
+        if (gauges.has(dropped) && gauges.at(dropped).isNumber())
+            *dropped_spans = gauges.at(dropped).asNumber();
+    }
+    if (!doc.has("histograms") || !doc.at("histograms").isObject())
+        return rows;
+    const obs::JsonValue &histograms = doc.at("histograms");
+    for (const std::string &name : histograms.keys()) {
+        // queue.<queue>.<wait_ms|service_ms>
+        if (name.rfind("queue.", 0) != 0)
+            continue;
+        const std::size_t dot = name.rfind('.');
+        const std::string queue = name.substr(6, dot - 6);
+        const std::string kind = name.substr(dot + 1);
+        const obs::JsonValue &h = histograms.at(name);
+        if (!h.isObject() || !h.has("p50") || !h.has("p95") ||
+            !h.has("count"))
+            continue;
+        QueueRow &row = rows[queue];
+        if (kind == "wait_ms") {
+            row.wait_p50 = h.at("p50").asNumber();
+            row.wait_p95 = h.at("p95").asNumber();
+            row.wait_count = h.at("count").asNumber();
+        } else if (kind == "service_ms") {
+            row.service_p50 = h.at("p50").asNumber();
+            row.service_p95 = h.at("p95").asNumber();
+            row.service_count = h.at("count").asNumber();
+        }
+    }
+    return rows;
+}
+
+void
+writeReportJson(const std::string &path,
+                const obs::CriticalPathReport &report,
+                double cache_hit_rate)
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("items").value(
+        static_cast<std::uint64_t>(report.items));
+    w.key("spans").value(
+        static_cast<std::uint64_t>(report.spans));
+    w.key("incomplete_items")
+        .value(static_cast<std::uint64_t>(report.incomplete_items));
+    w.key("wall_us").value(report.wall_us);
+    w.key("serial_us").value(report.serial_us);
+    w.key("idle_us").value(report.idle_us);
+    w.key("overlap_efficiency").value(report.overlap_efficiency);
+    w.key("avg_concurrency").value(report.avg_concurrency);
+    w.key("dominant_stage").value(report.dominant_stage);
+    w.key("dominant_share").value(report.dominant_share);
+    w.key("cache_hit_rate").value(cache_hit_rate);
+    w.key("stages").beginArray();
+    for (const obs::CpStageReport &stage : report.stages) {
+        w.beginObject();
+        w.key("stage").value(stage.stage);
+        w.key("spans").value(
+            static_cast<std::uint64_t>(stage.spans));
+        w.key("busy_us").value(stage.busy_us);
+        w.key("cp_self_us").value(stage.cp_self_us);
+        w.key("cp_share").value(stage.cp_share);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("whatifs").beginArray();
+    for (const obs::CpWhatIf &whatif : report.whatifs) {
+        w.beginObject();
+        w.key("name").value(whatif.name);
+        w.key("wall_us").value(whatif.wall_us);
+        w.key("speedup").value(whatif.speedup);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    obs::writeFileText(path, w.str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        buffalo::util::Flags flags(argc, argv);
+        if (flags.getBool("help")) {
+            std::printf(
+                "usage: buffalo_profile --trace FILE\n"
+                "         [--run-log FILE] [--metrics FILE]\n"
+                "         [--stage-order a,b,c] [--top N]\n"
+                "         [--json-out FILE]\n"
+                "         [--check [--expect-stages a,b]]\n"
+                "Reassembles per-item causal span chains from a\n"
+                "recorded trace and prints a ranked critical-path\n"
+                "bottleneck report. --run-log supplies the cache hit\n"
+                "rate for the zero-cache-miss what-if; --metrics adds\n"
+                "the per-queue wait-vs-service table. --check exits\n"
+                "non-zero unless the report is sane (used by ci.sh).\n");
+            return 0;
+        }
+        flags.checkKnown({"help", "trace", "run-log", "metrics",
+                          "stage-order", "top", "json-out", "check",
+                          "expect-stages"});
+        if (!flags.has("trace"))
+            fail("--trace FILE is required (a Chrome trace written "
+                 "with --trace-out)");
+
+        const std::string trace_path = flags.getString("trace");
+        std::vector<obs::CpSpan> spans =
+            obs::loadTraceSpans(trace_path);
+        if (spans.empty())
+            fail(trace_path +
+                 ": no item-attributed spans (args.item) — was the "
+                 "run traced with this build's --trace-out?");
+
+        obs::CpOptions options;
+        options.stage_order =
+            splitCommas(flags.getString("stage-order"));
+        double cache_hit_rate = -1.0;
+        if (flags.has("run-log"))
+            cache_hit_rate = obs::cacheHitRateFromRunLog(
+                flags.getString("run-log"));
+        options.cache_hit_rate = cache_hit_rate;
+        for (const obs::CpSpan &span : spans) {
+            if (span.stage == names::kSpanPipelineFeature)
+                options.feature_stage = names::kSpanPipelineFeature;
+            if (span.stage == names::kSpanPipelineBuild)
+                options.build_stage = names::kSpanPipelineBuild;
+        }
+
+        const obs::CriticalPathReport report =
+            obs::analyzeCriticalPath(std::move(spans), options);
+
+        std::printf("buffalo_profile: %s — %zu items, %zu spans",
+                    trace_path.c_str(), report.items, report.spans);
+        if (report.incomplete_items > 0)
+            std::printf(" (%zu incomplete chains)",
+                        report.incomplete_items);
+        std::printf("\n");
+        std::printf("wall %.3f s   serial %.3f s   overlap "
+                    "efficiency %.3f   avg concurrency %.2f\n",
+                    report.wall_us / 1e6, report.serial_us / 1e6,
+                    report.overlap_efficiency,
+                    report.avg_concurrency);
+        std::printf("idle on critical path %.3f s (%.1f%% of wall)\n",
+                    report.idle_us / 1e6,
+                    report.wall_us > 0.0
+                        ? 100.0 * report.idle_us / report.wall_us
+                        : 0.0);
+
+        // Ranked bottleneck table: stages by critical-path self time.
+        std::vector<obs::CpStageReport> ranked = report.stages;
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const obs::CpStageReport &a,
+                     const obs::CpStageReport &b) {
+                      return a.cp_self_us > b.cp_self_us;
+                  });
+        const int top = flags.getInt("top", 0);
+        if (top > 0 &&
+            ranked.size() > static_cast<std::size_t>(top))
+            ranked.resize(static_cast<std::size_t>(top));
+        std::printf("critical path by stage (self time, ranked):\n");
+        std::printf("  %-24s %10s %7s %10s %7s\n", "stage",
+                    "self(s)", "share", "busy(s)", "spans");
+        for (const obs::CpStageReport &stage : ranked)
+            std::printf("  %-24s %10.3f %6.1f%% %10.3f %7zu\n",
+                        stage.stage.c_str(),
+                        stage.cp_self_us / 1e6,
+                        100.0 * stage.cp_share,
+                        stage.busy_us / 1e6, stage.spans);
+        if (!report.dominant_stage.empty())
+            std::printf("dominant stage: %s (%.1f%% of wall)\n",
+                        report.dominant_stage.c_str(),
+                        100.0 * report.dominant_share);
+
+        if (!report.whatifs.empty()) {
+            std::printf("what-if bounds:\n");
+            for (const obs::CpWhatIf &whatif : report.whatifs)
+                std::printf("  %-18s wall %.3f s   speedup %.2fx\n",
+                            whatif.name.c_str(),
+                            whatif.wall_us / 1e6, whatif.speedup);
+        }
+        if (cache_hit_rate >= 0.0)
+            std::printf("feature-cache hit rate: %.3f "
+                        "(from --run-log)\n",
+                        cache_hit_rate);
+
+        if (flags.has("metrics")) {
+            double dropped_spans = 0.0;
+            const std::map<std::string, QueueRow> rows =
+                loadQueueRows(flags.getString("metrics"),
+                              &dropped_spans);
+            if (!rows.empty()) {
+                std::printf("queue wait vs service (ms):\n");
+                std::printf("  %-12s %9s %9s %9s %9s %7s\n", "queue",
+                            "wait p50", "wait p95", "svc p50",
+                            "svc p95", "pops");
+                for (const auto &[queue, row] : rows)
+                    std::printf(
+                        "  %-12s %9.3f %9.3f %9.3f %9.3f %7.0f\n",
+                        queue.c_str(), row.wait_p50, row.wait_p95,
+                        row.service_p50, row.service_p95,
+                        row.wait_count);
+            }
+            if (dropped_spans > 0.0)
+                std::printf(
+                    "warning: tracer dropped %.0f spans — chains may "
+                    "be incomplete; raise --trace-ring\n",
+                    dropped_spans);
+        }
+
+        if (flags.has("json-out"))
+            writeReportJson(flags.getString("json-out"), report,
+                            cache_hit_rate);
+
+        if (flags.getBool("check")) {
+            if (report.items < 1)
+                fail("check: no items in the trace");
+            if (!(report.overlap_efficiency > 0.0 &&
+                  report.overlap_efficiency <= 1.0))
+                fail("check: overlap efficiency " +
+                     std::to_string(report.overlap_efficiency) +
+                     " outside (0, 1]");
+            if (report.dominant_stage.empty())
+                fail("check: no dominant stage identified");
+            for (const std::string &stage :
+                 splitCommas(flags.getString("expect-stages"))) {
+                const bool present = std::any_of(
+                    report.stages.begin(), report.stages.end(),
+                    [&](const obs::CpStageReport &s) {
+                        return s.stage == stage;
+                    });
+                if (!present)
+                    fail("check: expected stage \"" + stage +
+                         "\" not in the trace");
+            }
+            std::printf("buffalo_profile: check ok\n");
+        }
+    } catch (const std::exception &error) {
+        fail(error.what());
+    }
+    return 0;
+}

@@ -80,6 +80,8 @@ serving:
   --seed N              RNG seed (model init + sampling)     [42]
 observability:
   --trace-out P         write a Chrome trace-event JSON
+  --trace-ring N        spans each thread's trace ring retains
+                        before overwriting oldest            [65536]
   --metrics-json P      write the metrics registry as flat JSON
   --run-log P           write structured JSONL run events
 ci:
@@ -120,7 +122,7 @@ main(int argc, char **argv)
             "deadline-ms", "queue-capacity", "max-batch",
             "byte-budget", "prep-threads", "workers",
             "prepared-depth", "kernel-threads", "seed",
-            "trace-out", "metrics-json", "run-log",
+            "trace-out", "trace-ring", "metrics-json", "run-log",
             "require-goodput", "verbose", "help",
         };
         known.insert(tools::cacheFlagNames().begin(),
@@ -194,6 +196,9 @@ main(int argc, char **argv)
             flags.getInt("requests", 0));
         checkArgument(qps > 0.0, "--qps must be > 0");
 
+        if (flags.has("trace-ring"))
+            obs::tracer().setRingCapacity(static_cast<std::size_t>(
+                flags.getInt("trace-ring", 1 << 16)));
         if (flags.has("trace-out"))
             obs::tracer().enable();
         if (flags.has("run-log")) {
@@ -314,6 +319,21 @@ main(int argc, char **argv)
                 .field("errors", snap.errors)
                 .field("goodput_qps", snap.goodput_qps)
                 .field("p99_ms", snap.latency_p99_ms);
+            // Per-thread ring accounting: one tracer.ring event per
+            // thread that lost spans.
+            for (const obs::ThreadDropReport &drop :
+                 obs::tracer().droppedByThread()) {
+                if (drop.dropped == 0)
+                    continue;
+                obs::eventLog()
+                    .event(obs::names::kEvTracerRing)
+                    .field("tid",
+                           static_cast<std::uint64_t>(drop.tid))
+                    .field("dropped", drop.dropped)
+                    .field("capacity",
+                           static_cast<std::uint64_t>(
+                               obs::tracer().ringCapacity()));
+            }
             obs::eventLog()
                 .event(obs::names::kEvRunEnd)
                 .field("elapsed_seconds", snap.elapsed_seconds);

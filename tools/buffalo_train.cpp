@@ -83,6 +83,8 @@ pipeline (requires --system buffalo):
 observability:
   --trace-out P         write a Chrome trace-event JSON (load in
                         about://tracing or Perfetto)
+  --trace-ring N        spans each thread's trace ring retains
+                        before overwriting oldest            [65536]
   --metrics-json P      write the metrics registry as flat JSON
   --metrics-table       print the metrics registry as tables
   --run-log P           write structured JSONL run events (schedule
@@ -150,8 +152,8 @@ main(int argc, char **argv)
             "lr", "seed", "system", "betty-k", "cost-model",
             "kernel-threads",
             "pipeline", "prefetch-depth", "host-budget-mb",
-            "trace-out", "metrics-json", "metrics-table", "run-log",
-            "audit-json",
+            "trace-out", "trace-ring", "metrics-json",
+            "metrics-table", "run-log", "audit-json",
             "save-checkpoint", "load-checkpoint", "save-bundle",
             "eval", "verbose", "help",
         };
@@ -221,6 +223,9 @@ main(int argc, char **argv)
         options.pipeline.host_memory_budget =
             util::mib(flags.getDouble("host-budget-mb", 0.0));
 
+        if (flags.has("trace-ring"))
+            obs::tracer().setRingCapacity(static_cast<std::size_t>(
+                flags.getInt("trace-ring", 1 << 16)));
         if (flags.has("trace-out"))
             obs::tracer().enable();
         if (flags.has("audit-json"))
@@ -340,6 +345,21 @@ main(int argc, char **argv)
         }
 
         if (flags.has("run-log")) {
+            // Per-thread ring accounting: one tracer.ring event per
+            // thread that lost spans, so undersized rings can be
+            // attributed to the thread that overflowed.
+            for (const obs::ThreadDropReport &drop :
+                 obs::tracer().droppedByThread()) {
+                if (drop.dropped == 0)
+                    continue;
+                obs::eventLog()
+                    .event(obs::names::kEvTracerRing)
+                    .field("tid", static_cast<std::uint64_t>(drop.tid))
+                    .field("dropped", drop.dropped)
+                    .field("capacity",
+                           static_cast<std::uint64_t>(
+                               obs::tracer().ringCapacity()));
+            }
             obs::eventLog()
                 .event(obs::names::kEvRunEnd)
                 .field("epochs_run", trainer->epochsRun())

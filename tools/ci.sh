@@ -7,7 +7,10 @@
 #      epoch gated by obs_validate (trace, metrics, JSONL run log,
 #      memory-audit error bound) + serving smoke (short fixed-QPS
 #      buffalo_serve run asserting nonzero goodput and zero errors,
-#      gated by obs_validate `@serve`) + bench-smoke, bench-kernels,
+#      gated by obs_validate `@serve`) + buffalo_profile critical-
+#      path gates over both smokes' artifacts (all stages present,
+#      dominant stage identified, overlap efficiency in (0, 1]) +
+#      bench-smoke, bench-kernels,
 #      bench-serve and bench-pipeline regression legs gated by
 #      bench_diff against the committed baselines. Both smokes enable
 #      the feature cache with the presample policy and expect the
@@ -75,11 +78,22 @@ mkdir -p "${obs_dir}"
     --trace "${obs_dir}/trace.json" \
     --expect-spans "@core" \
     --metrics "${obs_dir}/metrics.json" \
-    --expect-metrics "@core,@cache" \
+    --expect-metrics "@core,@cache,@cp" \
     --run-log "${obs_dir}/run.jsonl" \
-    --expect-events "@core,@cache" \
+    --expect-events "@core,@cache,@cp" \
     --audit "${obs_dir}/audit.json" \
     --max-audit-error 0.25
+# Critical-path gate: reassemble the smoke epoch's causal span
+# chains and require a sane bottleneck report — every pipeline
+# stage present, a dominant stage identified, overlap efficiency
+# in (0, 1] (DESIGN.md, "Critical-path attribution").
+"${prefix}-release/tools/buffalo_profile" \
+    --trace "${obs_dir}/trace.json" \
+    --run-log "${obs_dir}/run.jsonl" \
+    --metrics "${obs_dir}/metrics.json" \
+    --json-out "${obs_dir}/profile.json" \
+    --check --expect-stages \
+    "pipeline.sample,pipeline.build,pipeline.feature,train.iteration"
 
 echo "=== Serving smoke ==="
 serve_dir="${prefix}-release/serve-smoke"
@@ -106,6 +120,14 @@ mkdir -p "${serve_dir}"
     --expect-metrics "@serve,@cache" \
     --run-log "${serve_dir}/run.jsonl" \
     --expect-events "@serve,@cache"
+# Critical-path gate over the serve smoke: per-plan prep -> forward
+# chains must reassemble into a sane bottleneck report.
+"${prefix}-release/tools/buffalo_profile" \
+    --trace "${serve_dir}/trace.json" \
+    --run-log "${serve_dir}/run.jsonl" \
+    --metrics "${serve_dir}/metrics.json" \
+    --json-out "${serve_dir}/profile.json" \
+    --check --expect-stages "serve.prep,serve.forward"
 
 echo "=== Bench-smoke regression gate ==="
 bench_dir="${prefix}-release/bench-smoke"

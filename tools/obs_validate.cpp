@@ -49,12 +49,13 @@ splitCommas(const std::string &text)
 }
 
 /**
- * Expands the `@core` / `@serve` / `@cache` shorthands to the
- * central expectation lists in obs/names.h, so ci.sh cannot drift
- * from the instrumented names. Plain comma-separated names pass
- * through unchanged. The two-array overload (spans) has no cache
- * set — the feature cache records no spans — so `@cache` there
- * passes through and fails loudly instead of silently matching.
+ * Expands the `@core` / `@serve` / `@cache` / `@cp` shorthands to
+ * the central expectation lists in obs/names.h, so ci.sh cannot
+ * drift from the instrumented names. Plain comma-separated names
+ * pass through unchanged. The two-array overload (spans) has no
+ * cache or cp set — the feature cache and the critical-path
+ * analyzer record no spans of their own — so `@cache`/`@cp` there
+ * pass through and fail loudly instead of silently matching.
  */
 template <std::size_t N, std::size_t M>
 std::vector<std::string>
@@ -74,11 +75,13 @@ expandExpected(const std::string &csv, const char *const (&core)[N],
     return out;
 }
 
-template <std::size_t N, std::size_t M, std::size_t K>
+template <std::size_t N, std::size_t M, std::size_t K,
+          std::size_t L>
 std::vector<std::string>
 expandExpected(const std::string &csv, const char *const (&core)[N],
                const char *const (&serve)[M],
-               const char *const (&cache)[K])
+               const char *const (&cache)[K],
+               const char *const (&cp)[L])
 {
     std::vector<std::string> out;
     for (const std::string &item : splitCommas(csv)) {
@@ -90,6 +93,8 @@ expandExpected(const std::string &csv, const char *const (&core)[N],
         else if (item == "@cache")
             out.insert(out.end(), std::begin(cache),
                        std::end(cache));
+        else if (item == "@cp")
+            out.insert(out.end(), std::begin(cp), std::end(cp));
         else
             out.push_back(item);
     }
@@ -296,10 +301,10 @@ main(int argc, char **argv)
                 "[--expect-events e,f]]\n"
                 "                    [--audit FILE "
                 "[--max-audit-error X]]\n"
-                "`@core` / `@serve` / `@cache` in an expect list\n"
-                "expand to the central expectation sets in\n"
-                "src/obs/names.h (`@cache` covers metrics/events\n"
-                "only; the feature cache records no spans).\n");
+                "`@core` / `@serve` / `@cache` / `@cp` in an expect\n"
+                "list expand to the central expectation sets in\n"
+                "src/obs/names.h (`@cache` and `@cp` cover\n"
+                "metrics/events only; neither records spans).\n");
             return 0;
         }
         flags.checkKnown({"help", "trace", "metrics", "expect-spans",
@@ -331,7 +336,8 @@ main(int argc, char **argv)
                 expandExpected(flags.getString("expect-metrics"),
                                buffalo::obs::names::kCoreMetrics,
                                buffalo::obs::names::kServeMetrics,
-                               buffalo::obs::names::kCacheMetrics),
+                               buffalo::obs::names::kCacheMetrics,
+                               buffalo::obs::names::kCpMetrics),
                 "metric");
             std::printf("obs_validate: %s ok (%zu metrics)\n",
                         path.c_str(), metrics.size());
@@ -344,7 +350,8 @@ main(int argc, char **argv)
                 expandExpected(flags.getString("expect-events"),
                                buffalo::obs::names::kCoreEvents,
                                buffalo::obs::names::kServeEvents,
-                               buffalo::obs::names::kCacheEvents),
+                               buffalo::obs::names::kCacheEvents,
+                               buffalo::obs::names::kCpEvents),
                 "event");
             std::printf("obs_validate: %s ok (%zu event types)\n",
                         path.c_str(), events.size());
