@@ -1,15 +1,18 @@
 /**
  * @file
  * Compute-kernel bench (DESIGN.md, "Compute kernels"): tiled-GEMM
- * wall-clock at 1 vs 4 kernel threads, plus exactly-gated per-op
- * instrumentation counts.
+ * wall-clock scalar vs SIMD at 1 and 4 kernel threads, plus
+ * exactly-gated per-op instrumentation counts.
  *
- * Timing metrics go through info() — wall-clock depends on the host
- * (this simulator's CI container exposes a single core, where the
- * 4-thread run degenerates to serial dispatch plus queue overhead) —
- * but every count (kernel calls, bytes, FLOPs, parallel-vs-serial
- * dispatch decisions) is a pure function of the workload and the grain
- * policy, so those gate at zero tolerance via tools/bench_diff.
+ * Counts (kernel calls, bytes, FLOPs, parallel-vs-serial dispatch
+ * decisions) are a pure function of the workload and the grain
+ * policy, so they gate at zero tolerance via tools/bench_diff. Raw
+ * timings and the scalar-vs-SIMD speedup ratios gate with wide but
+ * finite tolerances: wall-clock depends on the host (this simulator's
+ * CI container exposes a single core, where the 4-thread run
+ * degenerates to serial dispatch plus queue overhead), but the
+ * speedups are in-run ratios — losing the SIMD path entirely drifts
+ * them far outside the allowance.
  */
 #include "bench_common.h"
 
@@ -60,14 +63,21 @@ main()
     bench::banner("Compute kernels: tiled GEMM + instrumentation");
 
     util::Rng rng(42);
-    kernels::KernelConfig serial;
-    serial.threads = 1;
+    kernels::KernelConfig scalar_serial;
+    scalar_serial.threads = 1;
+    scalar_serial.simd = kernels::SimdMode::Off;
+    kernels::KernelConfig simd_serial;
+    simd_serial.threads = 1;
     kernels::KernelConfig four;
-    four.threads = 4;
+    four.threads = 4; // SIMD at the build default (Auto)
 
-    // --- Timing (informative): tile-multiple 1024^2 GEMM ----------
+    // --- Timing: tile-multiple 1024^2 GEMM, scalar vs wide --------
+    // In-run comparisons: the speedups divide two measurements taken
+    // seconds apart on the same host, so they gate meaningfully even
+    // where absolute wall-clock cannot.
     const std::size_t kBig = 1024;
-    const double serial_s = timeGemm(kBig, serial, rng);
+    const double serial_s = timeGemm(kBig, scalar_serial, rng);
+    const double simd_s = timeGemm(kBig, simd_serial, rng);
     const double four_s = timeGemm(kBig, four, rng);
     // Single-thread micro-bucket shape: must not regress from the
     // parallel machinery (the grain policy keeps it inline).
@@ -75,10 +85,15 @@ main()
 
     util::Table table({"case", "seconds", "gflop/s"});
     const double gflop = 2.0 * kBig * kBig * kBig / 1e9;
-    table.addRow({"gemm 1024^3, 1 thread",
+    table.addRow({"gemm 1024^3, 1 thread scalar",
                   util::formatSeconds(serial_s),
                   util::Table::count(
                       static_cast<std::uint64_t>(gflop / serial_s))});
+    table.addRow({std::string("gemm 1024^3, 1 thread ") +
+                      kernels::simdIsaName(),
+                  util::formatSeconds(simd_s),
+                  util::Table::count(
+                      static_cast<std::uint64_t>(gflop / simd_s))});
     table.addRow({"gemm 1024^3, 4 threads",
                   util::formatSeconds(four_s),
                   util::Table::count(
@@ -86,7 +101,12 @@ main()
     table.addRow(
         {"gemm 16^3 (micro)", util::formatSeconds(micro_s), "-"});
     table.print();
-    std::printf("speedup at 4 threads: %.2fx\n", serial_s / four_s);
+    std::printf("simd: %s (width %zu)\n", kernels::simdIsaName(),
+                kernels::simdWidth());
+    std::printf("speedup %s over scalar, 1 thread: %.2fx\n",
+                kernels::simdIsaName(), serial_s / simd_s);
+    std::printf("speedup at 4 threads over scalar serial: %.2fx\n",
+                serial_s / four_s);
 
     // --- Exactly-gated instrumentation counts ---------------------
     using namespace obs::names;
@@ -141,11 +161,17 @@ main()
     const std::uint64_t micro_parallel_dispatches =
         parallel_ops.value() - par0;
 
+    // Timing tolerances are wide (the CI container is 1-core and
+    // noisy) but finite: a vanished SIMD path or a parallel dispatch
+    // regression moves these ratios far beyond the allowed drift,
+    // while ordinary scheduling jitter stays well inside it.
     bench::Reporter reporter("kernels");
-    reporter.info("gemm_1024_serial_seconds", serial_s)
-        .info("gemm_1024_4threads_seconds", four_s)
-        .info("gemm_speedup_4t", serial_s / four_s)
-        .info("gemm_16_micro_seconds", micro_s)
+    reporter.metric("gemm_1024_serial_seconds", serial_s, 2.0)
+        .metric("gemm_1024_simd_serial_seconds", simd_s, 2.0)
+        .metric("gemm_1024_4threads_seconds", four_s, 2.0)
+        .metric("gemm_speedup_simd", serial_s / simd_s, 0.8)
+        .metric("gemm_speedup_4t", serial_s / four_s, 1.0)
+        .metric("gemm_16_micro_seconds", micro_s, 10.0)
         .metric("workload_gemm_calls",
                 static_cast<double>(workload_gemm_calls), 0.0)
         .metric("workload_gemm_bytes",

@@ -108,6 +108,45 @@ class MeanAggregator : public Aggregator
         return grad_in;
     }
 
+    bool
+    forwardFused(const Tensor &x, const std::uint32_t *gather,
+                 const std::uint32_t *out_rows, std::size_t n,
+                 std::size_t d,
+                 std::unique_ptr<AggregatorCache> &cache, float *out,
+                 AllocationObserver *observer) override
+    {
+        (void)observer;
+        checkArgument(x.cols() == dim_,
+                      "MeanAggregator: input width != dim");
+        checkArgument(d >= 1,
+                      "MeanAggregator: bucket degree must be >= 1");
+        auto c = std::make_unique<Cache>();
+        c->n = n;
+        c->d = d;
+        c->norm = sqrt_norm_
+                      ? 1.0f / std::sqrt(static_cast<float>(d))
+                      : 1.0f / static_cast<float>(d);
+        kernels::fusedGatherSumScale(x.data(), gather, out_rows, n, d,
+                                     dim_, c->norm, out);
+        cache = std::move(c);
+        return true;
+    }
+
+    bool
+    backwardFused(const AggregatorCache &cache_base,
+                  const Tensor &grad_out, const std::uint32_t *out_rows,
+                  const std::uint32_t *gather, float *grad_x,
+                  std::size_t grad_x_rows,
+                  AllocationObserver *observer) override
+    {
+        (void)observer;
+        const auto &cache = static_cast<const Cache &>(cache_base);
+        kernels::fusedScatterScaledAdd(grad_out.data(), out_rows,
+                                       gather, cache.n, cache.d, dim_,
+                                       cache.norm, grad_x, grad_x_rows);
+        return true;
+    }
+
     double
     flops(std::size_t n, std::size_t d) const override
     {
@@ -449,11 +488,13 @@ aggregatorCacheFloatsPerEdge(AggregatorKind kind, std::size_t dim)
     switch (kind) {
       case AggregatorKind::Mean:
       case AggregatorKind::Gcn:
-        // The gathered neighbor tensor is transient (freed after the
-        // aggregation kernel) and the backward pass materializes a
-        // same-sized gradient transient; together they contribute
-        // roughly one float per edge to the peak.
-        return 1.0 * f;
+        // The fused gather→sum→scale forward reads the layer input in
+        // place and the fused backward scatter accumulates in place
+        // (kernels::fusedGatherSumScale / fusedScatterScaledAdd), so
+        // no per-edge feature transient exists any more; the only
+        // per-edge state is the cached gather index (one uint32 =
+        // one float-equivalent).
+        return 1.0;
       case AggregatorKind::Pool:
         // gathered feats (transient) + pre-activation +
         // post-activation (cached) + backward transients (activation

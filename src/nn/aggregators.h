@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -56,6 +57,59 @@ class Aggregator : public Module
     virtual Tensor backward(const AggregatorCache &cache,
                             const Tensor &grad_output,
                             AllocationObserver *observer = nullptr) = 0;
+
+    /**
+     * Fused forward: aggregate straight out of the layer input @p x
+     * (num_src x dim()) via @p gather (n*d source-row ids, node-major)
+     * and write node v's embedding to row out_rows[v] of @p out
+     * (pre-zeroed, num_dst x dim()), skipping the materialized
+     * gatherRows round-trip. Returns false when the aggregator has no
+     * fused path (caller falls back to gather + forward) and true on
+     * success, with @p cache filled exactly as forward() would.
+     * Fused and unfused paths are bitwise identical.
+     */
+    virtual bool
+    forwardFused(const Tensor &x, const std::uint32_t *gather,
+                 const std::uint32_t *out_rows, std::size_t n,
+                 std::size_t d, std::unique_ptr<AggregatorCache> &cache,
+                 float *out, AllocationObserver *observer = nullptr)
+    {
+        (void)x;
+        (void)gather;
+        (void)out_rows;
+        (void)n;
+        (void)d;
+        (void)cache;
+        (void)out;
+        (void)observer;
+        return false;
+    }
+
+    /**
+     * Fused backward: scatter-accumulate this bucket's input gradient
+     * into @p grad_x (num_src x dim()) directly — reading node v's
+     * output gradient from row out_rows[v] of @p grad_out and
+     * distributing over its gather targets — instead of materializing
+     * the (n*d) x dim() gradient and scatterAddRows'ing it. Returns
+     * false when unfused (caller falls back); bitwise identical to
+     * the unfused path, at any thread count.
+     */
+    virtual bool
+    backwardFused(const AggregatorCache &cache, const Tensor &grad_out,
+                  const std::uint32_t *out_rows,
+                  const std::uint32_t *gather, float *grad_x,
+                  std::size_t grad_x_rows,
+                  AllocationObserver *observer = nullptr)
+    {
+        (void)cache;
+        (void)grad_out;
+        (void)out_rows;
+        (void)gather;
+        (void)grad_x;
+        (void)grad_x_rows;
+        (void)observer;
+        return false;
+    }
 
     /** Forward+backward FLOPs for a bucket of n nodes, degree d. */
     virtual double flops(std::size_t n, std::size_t d) const = 0;

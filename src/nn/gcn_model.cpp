@@ -2,12 +2,14 @@
 
 #include <cstring>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/errors.h"
 
 namespace buffalo::nn {
 
 namespace ops = buffalo::tensor;
+namespace kernels = buffalo::tensor::kernels;
 
 GcnModel::GcnModel(const ModelConfig &config, std::uint64_t seed,
                    AllocationObserver *param_observer)
@@ -84,19 +86,13 @@ GcnModel::forwardImpl(const sampling::MicroBatch &mb,
                 for (sampling::NodeId src : block.neighborList(dst))
                     indices.push_back(src);
             }
-            Tensor gathered = ops::gatherRows(x, indices, observer);
-            // Mean over the (d+1)-row groups.
+            // Mean over the (d+1)-row groups, fused: accumulate
+            // straight from x via the gather indices — no gathered
+            // tensor, same t-ascending per-element order.
             const float norm = 1.0f / static_cast<float>(width);
-            for (std::size_t i = 0; i < n; ++i) {
-                float *dst_row =
-                    aggregated.data() + bucket.members[i] * in;
-                for (std::size_t t = 0; t < width; ++t) {
-                    const float *src_row =
-                        gathered.data() + (i * width + t) * in;
-                    for (std::size_t j = 0; j < in; ++j)
-                        dst_row[j] += src_row[j] * norm;
-                }
-            }
+            kernels::fusedGatherScaledAdd(
+                x.data(), indices.data(), bucket.members.data(), n,
+                width, in, norm, aggregated.data());
             if (state != nullptr)
                 state->buckets.push_back(std::move(bucket_state));
         }
@@ -144,21 +140,12 @@ GcnModel::backward(const ForwardCache &cache, const Tensor &grad_logits,
             const std::size_t width = bucket.degree + 1;
             const float norm = 1.0f / static_cast<float>(width);
             // Distribute each member's gradient over its (d+1)
-            // gathered rows, then scatter-add into the inputs.
-            Tensor grad_gathered =
-                Tensor::zeros(n * width, in, observer);
-            for (std::size_t i = 0; i < n; ++i) {
-                const float *src_row =
-                    grad_agg.data() + bucket.members[i] * in;
-                for (std::size_t t = 0; t < width; ++t) {
-                    float *dst_row =
-                        grad_gathered.data() + (i * width + t) * in;
-                    for (std::size_t j = 0; j < in; ++j)
-                        dst_row[j] = src_row[j] * norm;
-                }
-            }
-            ops::scatterAddRows(grad_x, grad_gathered,
-                                bucket_state.gather_indices);
+            // gather targets in place — the fused form of broadcast
+            // + scatterAddRows, same input-ascending accumulation.
+            kernels::fusedScatterScaledAdd(
+                grad_agg.data(), bucket.members.data(),
+                bucket_state.gather_indices.data(), n, width, in,
+                norm, grad_x.data(), grad_x.rows());
         }
         grad = std::move(grad_x);
     }

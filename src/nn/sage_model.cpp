@@ -2,12 +2,14 @@
 
 #include <cstring>
 
+#include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "util/errors.h"
 
 namespace buffalo::nn {
 
 namespace ops = buffalo::tensor;
+namespace kernels = buffalo::tensor::kernels;
 
 SageModel::SageModel(const ModelConfig &config, std::uint64_t seed,
                      AllocationObserver *param_observer)
@@ -107,14 +109,25 @@ SageModel::forwardImpl(const sampling::MicroBatch &mb,
                 for (sampling::NodeId dst : bucket.members)
                     for (sampling::NodeId src : block.neighborList(dst))
                         indices.push_back(src);
-                Tensor gathered = ops::gatherRows(x, indices, observer);
-                Tensor agg_out = aggregators_[layer]->forward(
-                    gathered, n, d, bucket_state.agg_cache, observer);
-                // Scatter bucket rows to their destination positions.
-                for (std::size_t i = 0; i < n; ++i) {
-                    std::memcpy(
-                        aggregated.data() + bucket.members[i] * in,
-                        agg_out.data() + i * in, in * sizeof(float));
+                // Fused path: aggregate straight from x into the
+                // destination rows, skipping the gathered round-trip.
+                const bool fused = aggregators_[layer]->forwardFused(
+                    x, indices.data(), bucket.members.data(), n, d,
+                    bucket_state.agg_cache, aggregated.data(),
+                    observer);
+                if (!fused) {
+                    Tensor gathered =
+                        ops::gatherRows(x, indices, observer);
+                    Tensor agg_out = aggregators_[layer]->forward(
+                        gathered, n, d, bucket_state.agg_cache,
+                        observer);
+                    // Scatter bucket rows to their destinations.
+                    for (std::size_t i = 0; i < n; ++i) {
+                        std::memcpy(
+                            aggregated.data() + bucket.members[i] * in,
+                            agg_out.data() + i * in,
+                            in * sizeof(float));
+                    }
                 }
             }
             if (state != nullptr)
@@ -170,18 +183,31 @@ SageModel::backward(const ForwardCache &cache, const Tensor &grad_logits,
 
         Tensor grad_x =
             Tensor::zeros(state.input.rows(), in, observer);
-        // Self path: destinations are the src prefix.
-        for (std::size_t r = 0; r < grad_self.rows(); ++r) {
-            float *dst = grad_x.data() + r * in;
-            const float *src = grad_self.data() + r * in;
-            for (std::size_t j = 0; j < in; ++j)
-                dst[j] += src[j];
+        // Self path: destinations are the src prefix (a flat
+        // element-range add over the owned slab).
+        {
+            kernels::OpTimer timer(kernels::OpClass::Elementwise,
+                                   3 * grad_self.bytes());
+            float *px = grad_x.data();
+            const float *ps = grad_self.data();
+            const std::size_t elems = grad_self.size();
+            kernels::parallelRows(
+                elems, elems, [&](std::size_t lo, std::size_t hi) {
+                    kernels::ewAddInPlace(px, ps, lo, hi);
+                });
         }
         // Aggregation path, bucket by bucket.
         for (const auto &bucket_state : state.buckets) {
             const auto &bucket = bucket_state.bucket;
             const std::size_t n = bucket.members.size();
             if (bucket.degree == 0)
+                continue;
+            const bool fused = aggregators_[layer]->backwardFused(
+                *bucket_state.agg_cache, grad_agg,
+                bucket.members.data(),
+                bucket_state.gather_indices.data(), grad_x.data(),
+                grad_x.rows(), observer);
+            if (fused)
                 continue;
             std::vector<std::uint32_t> member_rows(
                 bucket.members.begin(), bucket.members.end());

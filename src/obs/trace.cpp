@@ -39,9 +39,17 @@ Span::~Span()
 // ---------------------------------------------------------------------
 // Tracer
 
+namespace {
+/** Monotonic id shared by every tracer in the process. */
+std::atomic<std::uint64_t> next_tracer_id{0};
+} // namespace
+
 Tracer::Tracer(std::size_t ring_capacity)
     : ring_capacity_(ring_capacity < 1 ? 1 : ring_capacity),
-      epoch_(std::chrono::steady_clock::now())
+      epoch_(std::chrono::steady_clock::now()),
+      instance_id_(next_tracer_id.fetch_add(
+                       1, std::memory_order_relaxed) +
+                   1)
 {
 }
 
@@ -79,16 +87,21 @@ Tracer::nowMicros() const
 Tracer::ThreadBuffer &
 Tracer::threadBuffer()
 {
-    // Each thread resolves its buffer once per tracer; the cache is
-    // keyed by tracer so tests with private tracers stay isolated.
+    // Each thread resolves its buffer once per tracer. The cache is
+    // keyed by (address, instance id): the address alone is not
+    // enough, because a tracer constructed at a destroyed tracer's
+    // address would satisfy the stale entry and hand back a pointer
+    // into freed memory.
     thread_local Tracer *cached_owner = nullptr;
+    thread_local std::uint64_t cached_id = 0;
     thread_local ThreadBuffer *cached_buffer = nullptr;
-    if (cached_owner == this)
+    if (cached_owner == this && cached_id == instance_id_)
         return *cached_buffer;
     util::MutexLock registry_lock(registry_mutex_);
     buffers_.push_back(std::make_unique<ThreadBuffer>(
         static_cast<std::uint32_t>(buffers_.size())));
     cached_owner = this;
+    cached_id = instance_id_;
     cached_buffer = buffers_.back().get();
     return *cached_buffer;
 }

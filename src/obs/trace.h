@@ -187,6 +187,10 @@ class Tracer
     std::atomic<bool> enabled_{false};
     std::atomic<std::size_t> ring_capacity_;
     std::chrono::steady_clock::time_point epoch_;
+    /** Process-unique instance id: the per-thread buffer cache keys
+     *  on (address, id) so a tracer constructed at a destroyed
+     *  tracer's address cannot satisfy a stale cache entry. */
+    std::uint64_t instance_id_;
 
     mutable util::Mutex registry_mutex_;
     /** Buffer pointers are stable; each buffer has its own lock. */

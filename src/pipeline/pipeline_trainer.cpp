@@ -18,7 +18,8 @@ namespace buffalo::pipeline {
 
 PipelineTrainer::PipelineTrainer(const train::TrainerOptions &options,
                                  device::Device &device)
-    : BuffaloTrainer(options, device)
+    : BuffaloTrainer(options, device),
+      generator_(makePipelineGenerator())
 {
     FeatureCacheOptions cache_options;
     cache_options.capacity_bytes =

@@ -11,6 +11,20 @@
 
 namespace buffalo::pipeline {
 
+core::MicroBatchGenerator
+makePipelineGenerator()
+{
+    // Coarser fan-out than FastBlockGenerator's defaults: inside the
+    // pipeline the global pool also serves the compute kernels, so
+    // block construction trades scheduling freedom for fewer enqueues.
+    sampling::FastBlockGenerator::Grain grain;
+    grain.parallel_dst_threshold = 16384;
+    grain.min_chunk = 8192;
+    grain.degree_grain = 4096;
+    return core::MicroBatchGenerator(
+        std::make_unique<sampling::FastBlockGenerator>(nullptr, grain));
+}
+
 Prefetcher::Prefetcher(const graph::Dataset &dataset,
                        std::vector<graph::NodeList> batches,
                        const std::vector<int> &fanouts,
@@ -22,7 +36,7 @@ Prefetcher::Prefetcher(const graph::Dataset &dataset,
     : dataset_(dataset), memory_model_(memory_model),
       scheduler_options_(scheduler_options), fanouts_(fanouts),
       stage_features_(stage_features), options_(options), cache_(cache),
-      rng_(&rng),
+      rng_(&rng), generator_(makePipelineGenerator()),
       sampled_(static_cast<std::size_t>(
           std::max(1, options.prefetch_depth))),
       built_(static_cast<std::size_t>(

@@ -45,6 +45,16 @@ namespace buffalo::pipeline {
 /** Pipeline knobs now live in TrainerOptions (train/report.h). */
 using train::PipelineOptions;
 
+/**
+ * Micro-batch generator tuned for running inside the pipeline: block
+ * generation executes on a prefetcher stage worker while the sampling
+ * and feature stages compete for the process-global kernel pool, so
+ * its intra-stage fan-out uses coarser grain hints than the serial
+ * trainer's default (fewer, larger chunks — less queue pressure on
+ * the shared pool, identical output bytes for any grain).
+ */
+core::MicroBatchGenerator makePipelineGenerator();
+
 /** One micro-batch with its prefetched inputs. */
 struct PreparedMicroBatch
 {

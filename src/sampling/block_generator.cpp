@@ -77,6 +77,35 @@ charge(util::PhaseTimer *timer, Phase phase, util::StopWatch &watch)
     watch.reset();
 }
 
+/**
+ * Per-thread first-seen filter for one chunk of destinations
+ * (parallel block construction, phase A). Epoch-stamped so a worker
+ * that processes several chunks reuses its allocation with an O(1)
+ * reset between chunks.
+ */
+struct ChunkDedup
+{
+    std::vector<std::uint64_t> stamp;
+    std::uint64_t epoch = 0;
+
+    void
+    beginChunk(std::size_t id_space)
+    {
+        if (stamp.size() < id_space) {
+            stamp.assign(id_space, 0);
+            epoch = 0;
+        }
+        ++epoch;
+    }
+};
+
+ChunkDedup &
+chunkDedup()
+{
+    static thread_local ChunkDedup dedup;
+    return dedup;
+}
+
 /** Per-layer block size telemetry (one histogram entry per block). */
 void
 recordBlockSizes(const MicroBatch &mb)
@@ -99,8 +128,18 @@ recordBlockSizes(const MicroBatch &mb)
 } // namespace
 
 FastBlockGenerator::FastBlockGenerator(util::ThreadPool *pool)
-    : pool_(pool)
+    : FastBlockGenerator(pool, Grain{})
 {
+}
+
+FastBlockGenerator::FastBlockGenerator(util::ThreadPool *pool,
+                                       Grain grain)
+    : pool_(pool), grain_(grain)
+{
+    checkArgument(grain_.parallel_dst_threshold >= 1 &&
+                      grain_.min_chunk >= 1 &&
+                      grain_.degree_grain >= 1,
+                  "FastBlockGenerator: grain fields must be >= 1");
 }
 
 MicroBatch
@@ -116,6 +155,17 @@ FastBlockGenerator::generate(const SampledSubgraph &sg,
     MicroBatch mb;
     mb.blocks.resize(sg.numLayers());
 
+    // First-seen dedup over subgraph-local ids as an epoch-stamped
+    // flat table (allocated once per call, O(1) reset per layer):
+    // seen[local] == epoch marks membership, to_block[local] holds
+    // the block-local id. Replaces the per-layer unordered_map — a
+    // direct array probe per edge instead of a hash — and doubles as
+    // the shared stitch table of the parallel path.
+    const std::size_t id_space = sg.nodes().size();
+    std::vector<std::uint32_t> seen(id_space, 0);
+    std::vector<NodeId> to_block(id_space, 0);
+    std::uint32_t epoch = 0;
+
     util::StopWatch watch;
     NodeList dst = output_locals;
     for (int layer = sg.numLayers() - 1; layer >= 0; --layer) {
@@ -130,13 +180,16 @@ FastBlockGenerator::generate(const SampledSubgraph &sg,
         Block &block = mb.blocks[layer];
         block.num_dst = static_cast<NodeId>(dst.size());
         block.offsets.resize(dst.size() + 1, 0);
-        if (pool.size() > 1 && dst.size() > 4096) {
+        const bool fan_out =
+            pool.size() > 1 &&
+            dst.size() > grain_.parallel_dst_threshold;
+        if (fan_out) {
             // Grain hint: a degree lookup is a couple of loads, so
             // chunks below ~1k nodes cost more to enqueue than to run
             // — and when this runs inside a prefetcher worker the
             // nested-call cap keeps the fan-out at the worker count.
             util::ParallelForOptions opts;
-            opts.grain = 1024;
+            opts.grain = grain_.degree_grain;
             pool.parallelFor(0, dst.size(), opts, [&](std::size_t i) {
                 block.offsets[i + 1] = adjacency.degree(dst[i]);
             });
@@ -150,21 +203,94 @@ FastBlockGenerator::generate(const SampledSubgraph &sg,
 
         // Block construction: append new sources in first-seen order
         // while streaming the CSR rows straight into the block.
+        ++epoch;
         block.src_nodes = dst;
-        std::unordered_map<NodeId, NodeId> to_block;
-        to_block.reserve(dst.size() * 2);
-        for (NodeId i = 0; i < dst.size(); ++i)
-            to_block.emplace(dst[i], i);
-        block.neighbors.reserve(block.offsets.back());
-        for (std::size_t i = 0; i < dst.size(); ++i) {
-            for (NodeId nbr : adjacency.neighbors(dst[i])) {
-                auto [it, inserted] = to_block.emplace(
-                    nbr,
-                    static_cast<NodeId>(block.src_nodes.size()));
-                if (inserted)
-                    block.src_nodes.push_back(nbr);
-                block.neighbors.push_back(it->second);
+        for (NodeId i = 0; i < dst.size(); ++i) {
+            seen[dst[i]] = epoch;
+            to_block[dst[i]] = i;
+        }
+        if (!fan_out) {
+            block.neighbors.reserve(block.offsets.back());
+            for (std::size_t i = 0; i < dst.size(); ++i) {
+                for (NodeId nbr : adjacency.neighbors(dst[i])) {
+                    if (seen[nbr] != epoch) {
+                        seen[nbr] = epoch;
+                        to_block[nbr] = static_cast<NodeId>(
+                            block.src_nodes.size());
+                        block.src_nodes.push_back(nbr);
+                    }
+                    block.neighbors.push_back(to_block[nbr]);
+                }
             }
+        } else {
+            // Parallel construction in three phases, byte-identical
+            // to the serial first-seen order at any chunk or thread
+            // count.
+            //
+            // Phase A (parallel): each chunk of destinations copies
+            // its CSR rows into its owned neighbors range as raw
+            // local ids and collects, in within-chunk first-seen
+            // order, the candidate sources that are not destinations
+            // (the shared table holds only the dst seeds here, so
+            // reads race with nothing).
+            block.neighbors.resize(block.offsets.back());
+            const std::size_t chunk_size = std::max<std::size_t>(
+                grain_.min_chunk, dst.size() / (pool.size() * 4));
+            const std::size_t num_chunks =
+                (dst.size() + chunk_size - 1) / chunk_size;
+            std::vector<NodeList> candidates(num_chunks);
+            util::ParallelForOptions opts;
+            opts.grain = 1;
+            pool.parallelFor(
+                0, num_chunks, opts, [&](std::size_t c) {
+                    const std::size_t d0 = c * chunk_size;
+                    const std::size_t d1 =
+                        std::min(dst.size(), d0 + chunk_size);
+                    ChunkDedup &local = chunkDedup();
+                    local.beginChunk(id_space);
+                    NodeList &out = candidates[c];
+                    EdgeIndex e = block.offsets[d0];
+                    for (std::size_t i = d0; i < d1; ++i) {
+                        for (NodeId nbr :
+                             adjacency.neighbors(dst[i])) {
+                            block.neighbors[e++] = nbr;
+                            if (seen[nbr] == epoch)
+                                continue; // a destination
+                            if (local.stamp[nbr] == local.epoch)
+                                continue; // already a candidate
+                            local.stamp[nbr] = local.epoch;
+                            out.push_back(nbr);
+                        }
+                    }
+                });
+            // Phase B (serial stitch): walk chunks ascending and
+            // append unseen candidates. The first global occurrence
+            // of any id lies in the earliest chunk that saw it, at
+            // its first within-chunk position — so this append order
+            // IS the serial first-seen order, for any chunking.
+            for (const NodeList &cands : candidates) {
+                for (NodeId nbr : cands) {
+                    if (seen[nbr] != epoch) {
+                        seen[nbr] = epoch;
+                        to_block[nbr] = static_cast<NodeId>(
+                            block.src_nodes.size());
+                        block.src_nodes.push_back(nbr);
+                    }
+                }
+            }
+            // Phase C (parallel): map raw local ids to block ids;
+            // the table is read-only now and every edge has exactly
+            // one owner.
+            pool.parallelFor(
+                0, num_chunks, opts, [&](std::size_t c) {
+                    const std::size_t d0 = c * chunk_size;
+                    const std::size_t d1 =
+                        std::min(dst.size(), d0 + chunk_size);
+                    for (EdgeIndex e = block.offsets[d0];
+                         e < block.offsets[d1]; ++e)
+                        block.neighbors[e] =
+                            to_block[block.neighbors[e]];
+                });
         }
         dst = block.src_nodes; // subgraph-local ids
         charge(timer, Phase::BlockConstruction, watch);

@@ -61,10 +61,31 @@ class FastBlockGenerator : public BlockGenerator
 {
   public:
     /**
+     * Fan-out tuning for the parallel construction path. Grain only
+     * moves work between workers — the produced blocks are
+     * byte-identical for every setting (the chunk-ascending stitch
+     * reproduces the serial first-seen order for any chunking).
+     */
+    struct Grain
+    {
+        /** Destination count below which generation stays serial
+         *  (per-node work is a few loads, so small batches lose more
+         *  to dispatch than they gain). */
+        std::size_t parallel_dst_threshold = 4096;
+        /** Minimum destinations per construction chunk (phases A/C). */
+        std::size_t min_chunk = 2048;
+        /** parallelFor grain of the degree/offset fill. */
+        std::size_t degree_grain = 1024;
+    };
+
+    /**
      * @param pool Thread pool for node-level parallelism; null uses the
      *             process-global pool.
      */
     explicit FastBlockGenerator(util::ThreadPool *pool = nullptr);
+
+    /** @param grain Fan-out tuning; all fields must be >= 1. */
+    FastBlockGenerator(util::ThreadPool *pool, Grain grain);
 
     MicroBatch generate(const SampledSubgraph &sg,
                         const NodeList &output_locals,
@@ -75,6 +96,7 @@ class FastBlockGenerator : public BlockGenerator
 
   private:
     util::ThreadPool *pool_;
+    Grain grain_;
 };
 
 /** Betty-style generator with repeated parent-graph connection checks. */

@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "tensor/kernels_wide.h"
 #include "util/errors.h"
 #include "util/thread_annotations.h"
 #include "util/thread_pool.h"
@@ -115,6 +116,13 @@ dispatchCounter(bool parallel)
     return parallel ? parallel_ops : serial_ops;
 }
 
+/** True when the current config dispatches to the wide kernels. */
+bool
+simdActive()
+{
+    return g_config.simd != SimdMode::Off && wide::available();
+}
+
 } // namespace
 
 const KernelConfig &
@@ -126,6 +134,9 @@ config()
 void
 setConfig(const KernelConfig &cfg)
 {
+    checkArgument(cfg.simd != SimdMode::On || wide::available(),
+                  "KernelConfig: simd=on requires a BUFFALO_SIMD build "
+                  "on a CPU with the target ISA");
     KernelConfig sanitized = cfg;
     sanitized.tile_n = std::max<std::size_t>(1, sanitized.tile_n);
     sanitized.tile_k = std::max<std::size_t>(1, sanitized.tile_k);
@@ -140,6 +151,48 @@ effectiveThreads()
     if (g_config.threads != 0)
         return g_config.threads;
     return util::ThreadPool::global().size();
+}
+
+bool
+simdAvailable()
+{
+    return wide::available();
+}
+
+std::size_t
+simdWidth()
+{
+    return simdActive() ? wide::width() : 1;
+}
+
+const char *
+simdIsaName()
+{
+    return wide::isaName();
+}
+
+SimdMode
+simdModeFromName(const std::string &name)
+{
+    if (name == "auto")
+        return SimdMode::Auto;
+    if (name == "off")
+        return SimdMode::Off;
+    if (name == "on")
+        return SimdMode::On;
+    throw InvalidArgument("simdModeFromName: unknown SIMD mode '" +
+                          name + "' (want auto|off|on)");
+}
+
+const char *
+simdModeName(SimdMode mode)
+{
+    switch (mode) {
+      case SimdMode::Auto: return "auto";
+      case SimdMode::Off: return "off";
+      case SimdMode::On: return "on";
+    }
+    return "?";
 }
 
 bool
@@ -181,6 +234,11 @@ void
 gemmRows(const float *a, const float *b, float *c, std::size_t r0,
          std::size_t r1, std::size_t k, std::size_t n)
 {
+    if (simdActive()) {
+        wide::gemmRows(a, b, c, r0, r1, k, n, g_config.tile_k,
+                       g_config.tile_n);
+        return;
+    }
     for (std::size_t i = r0; i < r1; ++i)
         std::fill(c + i * n, c + (i + 1) * n, 0.0f);
     if (k == 0 || n == 0)
@@ -240,6 +298,11 @@ gemmTransposeARows(const float *a, const float *b, float *c,
                    std::size_t r0, std::size_t r1, std::size_t k,
                    std::size_t m, std::size_t n)
 {
+    if (simdActive()) {
+        wide::gemmTransposeARows(a, b, c, r0, r1, k, m, n,
+                                 g_config.tile_k, g_config.tile_n);
+        return;
+    }
     for (std::size_t i = r0; i < r1; ++i)
         std::fill(c + i * n, c + (i + 1) * n, 0.0f);
     if (k == 0 || n == 0)
@@ -292,6 +355,10 @@ gemmTransposeBRows(const float *a, const float *b, float *c,
                    std::size_t r0, std::size_t r1, std::size_t k,
                    std::size_t n)
 {
+    if (simdActive()) {
+        wide::gemmTransposeBRows(a, b, c, r0, r1, k, n);
+        return;
+    }
     for (std::size_t i = r0; i < r1; ++i) {
         const float *arow = a + i * k;
         float *crow = c + i * n;
@@ -324,6 +391,268 @@ gemmTransposeBRows(const float *a, const float *b, float *c,
             crow[j] = dot;
         }
     }
+}
+
+void
+ewAdd(const float *a, const float *b, float *c, std::size_t lo,
+      std::size_t hi)
+{
+    if (simdActive()) {
+        wide::ewAdd(a, b, c, lo, hi);
+        return;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+        c[i] = a[i] + b[i];
+}
+
+void
+ewSubtract(const float *a, const float *b, float *c, std::size_t lo,
+           std::size_t hi)
+{
+    if (simdActive()) {
+        wide::ewSubtract(a, b, c, lo, hi);
+        return;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+        c[i] = a[i] - b[i];
+}
+
+void
+ewMultiply(const float *a, const float *b, float *c, std::size_t lo,
+           std::size_t hi)
+{
+    if (simdActive()) {
+        wide::ewMultiply(a, b, c, lo, hi);
+        return;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+        c[i] = a[i] * b[i];
+}
+
+void
+ewScale(const float *a, float s, float *c, std::size_t lo,
+        std::size_t hi)
+{
+    if (simdActive()) {
+        wide::ewScale(a, s, c, lo, hi);
+        return;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+        c[i] = a[i] * s;
+}
+
+void
+ewAddInPlace(float *a, const float *b, std::size_t lo, std::size_t hi)
+{
+    if (simdActive()) {
+        wide::ewAddInPlace(a, b, lo, hi);
+        return;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+        a[i] += b[i];
+}
+
+void
+ewScaleInPlace(float *a, float s, std::size_t lo, std::size_t hi)
+{
+    if (simdActive()) {
+        wide::ewScaleInPlace(a, s, lo, hi);
+        return;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+        a[i] *= s;
+}
+
+void
+ewRelu(const float *a, float *c, std::size_t lo, std::size_t hi)
+{
+    if (simdActive()) {
+        wide::ewRelu(a, c, lo, hi);
+        return;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+        c[i] = std::max(0.0f, a[i]);
+}
+
+void
+ewReluBackward(const float *grad, const float *pre, float *c,
+               std::size_t lo, std::size_t hi)
+{
+    if (simdActive()) {
+        wide::ewReluBackward(grad, pre, c, lo, hi);
+        return;
+    }
+    for (std::size_t i = lo; i < hi; ++i)
+        c[i] = pre[i] > 0.0f ? grad[i] : 0.0f;
+}
+
+void
+ewAddRowBroadcast(const float *a, const float *bias, float *c,
+                  std::size_t r0, std::size_t r1, std::size_t n)
+{
+    if (simdActive()) {
+        wide::ewAddRowBroadcast(a, bias, c, r0, r1, n);
+        return;
+    }
+    for (std::size_t i = r0; i < r1; ++i) {
+        const float *arow = a + i * n;
+        float *crow = c + i * n;
+        for (std::size_t j = 0; j < n; ++j)
+            crow[j] = arow[j] + bias[j];
+    }
+}
+
+void
+ewColumnSum(const float *a, float *c, std::size_t rows, std::size_t n,
+            std::size_t c0, std::size_t c1)
+{
+    if (simdActive()) {
+        wide::ewColumnSum(a, c, rows, n, c0, c1);
+        return;
+    }
+    std::fill(c + c0, c + c1, 0.0f);
+    for (std::size_t i = 0; i < rows; ++i) {
+        const float *arow = a + i * n;
+        for (std::size_t j = c0; j < c1; ++j)
+            c[j] += arow[j];
+    }
+}
+
+namespace {
+
+/** Scalar bodies for the fused aggregator chains (see kernels.h for
+ *  the contracts; the wide TU mirrors these element for element). */
+void
+scalarGatherSumScaleRows(const float *x, const std::uint32_t *gather,
+                         const std::uint32_t *out_rows, std::size_t v0,
+                         std::size_t v1, std::size_t d, std::size_t dim,
+                         float norm, float *out)
+{
+    for (std::size_t v = v0; v < v1; ++v) {
+        float *dst = out + static_cast<std::size_t>(out_rows[v]) * dim;
+        std::fill(dst, dst + dim, 0.0f);
+        for (std::size_t t = 0; t < d; ++t) {
+            const float *src =
+                x + static_cast<std::size_t>(gather[v * d + t]) * dim;
+            for (std::size_t j = 0; j < dim; ++j)
+                dst[j] += src[j];
+        }
+        for (std::size_t j = 0; j < dim; ++j)
+            dst[j] *= norm;
+    }
+}
+
+void
+scalarGatherScaledAddRows(const float *x, const std::uint32_t *gather,
+                          const std::uint32_t *out_rows, std::size_t v0,
+                          std::size_t v1, std::size_t d,
+                          std::size_t dim, float norm, float *out)
+{
+    for (std::size_t v = v0; v < v1; ++v) {
+        float *dst = out + static_cast<std::size_t>(out_rows[v]) * dim;
+        for (std::size_t t = 0; t < d; ++t) {
+            const float *src =
+                x + static_cast<std::size_t>(gather[v * d + t]) * dim;
+            for (std::size_t j = 0; j < dim; ++j)
+                dst[j] += src[j] * norm;
+        }
+    }
+}
+
+void
+scalarScatterScaledAddRows(const float *grad,
+                           const std::uint32_t *out_rows,
+                           const std::uint32_t *gather, std::size_t n,
+                           std::size_t d, std::size_t dim, float norm,
+                           float *grad_x, std::size_t r0,
+                           std::size_t r1)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *src =
+            grad + static_cast<std::size_t>(out_rows[i]) * dim;
+        for (std::size_t t = 0; t < d; ++t) {
+            const std::size_t row = gather[i * d + t];
+            if (row < r0 || row >= r1)
+                continue;
+            float *dst = grad_x + row * dim;
+            for (std::size_t j = 0; j < dim; ++j) {
+                const float g = src[j] * norm;
+                dst[j] += g;
+            }
+        }
+    }
+}
+
+} // namespace
+
+void
+fusedGatherSumScale(const float *x, const std::uint32_t *gather,
+                    const std::uint32_t *out_rows, std::size_t n,
+                    std::size_t d, std::size_t dim, float norm,
+                    float *out)
+{
+    OpTimer timer(OpClass::Aggregate,
+                  (n * d * dim + 2 * n * dim) * sizeof(float));
+    const bool use_simd = simdActive();
+    parallelRows(n, n * d * dim,
+                 [&](std::size_t v0, std::size_t v1) {
+                     if (use_simd)
+                         wide::fusedGatherSumScaleRows(
+                             x, gather, out_rows, v0, v1, d, dim, norm,
+                             out);
+                     else
+                         scalarGatherSumScaleRows(x, gather, out_rows,
+                                                  v0, v1, d, dim, norm,
+                                                  out);
+                 });
+}
+
+void
+fusedGatherScaledAdd(const float *x, const std::uint32_t *gather,
+                     const std::uint32_t *out_rows, std::size_t n,
+                     std::size_t d, std::size_t dim, float norm,
+                     float *out)
+{
+    OpTimer timer(OpClass::Aggregate,
+                  (n * d * dim + 2 * n * dim) * sizeof(float));
+    const bool use_simd = simdActive();
+    parallelRows(n, n * d * dim,
+                 [&](std::size_t v0, std::size_t v1) {
+                     if (use_simd)
+                         wide::fusedGatherScaledAddRows(
+                             x, gather, out_rows, v0, v1, d, dim, norm,
+                             out);
+                     else
+                         scalarGatherScaledAddRows(x, gather, out_rows,
+                                                   v0, v1, d, dim,
+                                                   norm, out);
+                 });
+}
+
+void
+fusedScatterScaledAdd(const float *grad, const std::uint32_t *out_rows,
+                      const std::uint32_t *gather, std::size_t n,
+                      std::size_t d, std::size_t dim, float norm,
+                      float *grad_x, std::size_t grad_x_rows)
+{
+    OpTimer timer(OpClass::Aggregate,
+                  3 * n * d * dim * sizeof(float));
+    const bool use_simd = simdActive();
+    // Owner-partitioned over grad_x rows; every task scans the whole
+    // gather list (like ops::scatterAddRows), so the work estimate
+    // includes the scan itself.
+    parallelRows(grad_x_rows, n * d * (dim + 1),
+                 [&](std::size_t r0, std::size_t r1) {
+                     if (use_simd)
+                         wide::fusedScatterScaledAddRows(
+                             grad, out_rows, gather, n, d, dim, norm,
+                             grad_x, r0, r1);
+                     else
+                         scalarScatterScaledAddRows(grad, out_rows,
+                                                    gather, n, d, dim,
+                                                    norm, grad_x, r0,
+                                                    r1);
+                 });
 }
 
 OpTimer::OpTimer(OpClass op_class, std::uint64_t bytes,

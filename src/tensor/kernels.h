@@ -26,11 +26,22 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 
 namespace buffalo::tensor::kernels {
 
+/**
+ * SIMD dispatch policy (KernelConfig::simd, CLI --kernel-simd).
+ * Auto uses the wide path when the build carries one (BUFFALO_SIMD)
+ * and the CPU supports it; Off forces the scalar kernels; On demands
+ * the wide path and setConfig() rejects it when unavailable. The two
+ * paths are bitwise identical, so the mode never changes numerics.
+ */
+enum class SimdMode { Auto, Off, On };
+
 /** Tunables for the kernel layer (TrainerOptions::kernels, CLI
- *  --kernel-threads). Changing values never changes numerics. */
+ *  --kernel-threads / --kernel-tile-n / --kernel-tile-k /
+ *  --kernel-simd). Changing values never changes numerics. */
 struct KernelConfig
 {
     /** Worker threads for kernel fan-out; 0 = hardware concurrency
@@ -44,6 +55,8 @@ struct KernelConfig
     std::size_t min_parallel_work = 1u << 15;
     /** Minimum output rows (or elements) per parallel task. */
     std::size_t min_rows_per_task = 8;
+    /** SIMD dispatch policy (see SimdMode). */
+    SimdMode simd = SimdMode::Auto;
 };
 
 /**
@@ -58,6 +71,25 @@ void setConfig(const KernelConfig &cfg);
 
 /** Threads a parallel dispatch would use under the current config. */
 std::size_t effectiveThreads();
+
+/** True when this build carries a wide ISA the host CPU supports
+ *  (independent of the configured SimdMode). */
+bool simdAvailable();
+
+/** Lane-group width the current config dispatches at: the build's
+ *  wide width when the SIMD path is active, 1 when it is off or
+ *  unavailable. */
+std::size_t simdWidth();
+
+/** ISA of the wide path compiled into this binary: "avx2", "neon",
+ *  or "scalar" (BUFFALO_SIMD=OFF builds). */
+const char *simdIsaName();
+
+/** Parses "auto" / "off" / "on"; throws InvalidArgument otherwise. */
+SimdMode simdModeFromName(const std::string &name);
+
+/** Inverse of simdModeFromName. */
+const char *simdModeName(SimdMode mode);
 
 /**
  * Partitions [0, rows) into contiguous ranges — each row owned by
@@ -96,6 +128,76 @@ void gemmTransposeARows(const float *a, const float *b, float *c,
 void gemmTransposeBRows(const float *a, const float *b, float *c,
                         std::size_t r0, std::size_t r1, std::size_t k,
                         std::size_t n);
+
+/**
+ * Elementwise range kernels over flat index ranges [lo, hi) (row
+ * ranges [r0, r1) for the row-shaped ones). Callers partition the
+ * range (ops.cpp does it via parallelRows); each call dispatches to
+ * the scalar or SIMD body under the current config — both bitwise
+ * identical, element i depends only on input element i.
+ */
+void ewAdd(const float *a, const float *b, float *c, std::size_t lo,
+           std::size_t hi);
+void ewSubtract(const float *a, const float *b, float *c,
+                std::size_t lo, std::size_t hi);
+void ewMultiply(const float *a, const float *b, float *c,
+                std::size_t lo, std::size_t hi);
+void ewScale(const float *a, float s, float *c, std::size_t lo,
+             std::size_t hi);
+void ewAddInPlace(float *a, const float *b, std::size_t lo,
+                  std::size_t hi);
+void ewScaleInPlace(float *a, float s, std::size_t lo, std::size_t hi);
+void ewRelu(const float *a, float *c, std::size_t lo, std::size_t hi);
+void ewReluBackward(const float *grad, const float *pre, float *c,
+                    std::size_t lo, std::size_t hi);
+void ewAddRowBroadcast(const float *a, const float *bias, float *c,
+                       std::size_t r0, std::size_t r1, std::size_t n);
+/** Column range [c0, c1) of the 1 x n column-sum of a (rows x n);
+ *  each column accumulates row-ascending. */
+void ewColumnSum(const float *a, float *c, std::size_t rows,
+                 std::size_t n, std::size_t c0, std::size_t c1);
+
+/**
+ * Fused aggregator chains (full ops: they record Aggregate counters
+ * and fan out over the kernel pool internally). All three replace a
+ * materialized gatherRows round-trip with direct indexed reads, with
+ * rounding sequences bit-identical to the unfused path.
+ *
+ * fusedGatherSumScale: for each v in [0, n),
+ *   out[out_rows[v]] = (sum_t x[gather[v*d + t]]) * norm
+ * — zero-fill, t-ascending sum, then scale: the MeanAggregator
+ * forward order. Each v owns its output row (out_rows must be
+ * duplicate-free), so work is partitioned over v.
+ */
+void fusedGatherSumScale(const float *x, const std::uint32_t *gather,
+                         const std::uint32_t *out_rows, std::size_t n,
+                         std::size_t d, std::size_t dim, float norm,
+                         float *out);
+
+/**
+ * fusedGatherScaledAdd: for each v, t ascending,
+ *   out[out_rows[v]] += x[gather[v*d + t]] * norm
+ * (separately rounded mul then add) — the GCN inline mean order.
+ * out_rows must be duplicate-free; out rows arrive pre-zeroed.
+ */
+void fusedGatherScaledAdd(const float *x, const std::uint32_t *gather,
+                          const std::uint32_t *out_rows, std::size_t n,
+                          std::size_t d, std::size_t dim, float norm,
+                          float *out);
+
+/**
+ * fusedScatterScaledAdd: for each (i, t) ascending,
+ *   grad_x[gather[i*d + t]] += grad[out_rows[i]] * norm
+ * — the broadcast-then-scatterAddRows order (two roundings per
+ * element). Owner-partitioned over grad_x rows [0, grad_x_rows):
+ * duplicate gather targets accumulate input-ascending at any thread
+ * count, exactly like ops::scatterAddRows.
+ */
+void fusedScatterScaledAdd(const float *grad,
+                           const std::uint32_t *out_rows,
+                           const std::uint32_t *gather, std::size_t n,
+                           std::size_t d, std::size_t dim, float norm,
+                           float *grad_x, std::size_t grad_x_rows);
 
 /** Instrumented op classes (obs counters kernels.<class>_*). */
 enum class OpClass { Gemm, Elementwise, Gather, Aggregate };

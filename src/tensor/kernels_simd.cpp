@@ -1,0 +1,487 @@
+/**
+ * @file
+ * Wide-ISA implementations of the kernel layer (declared in
+ * tensor/kernels_wide.h). This is the ONLY translation unit allowed
+ * to include tensor/simd.h: CMake compiles it with the target ISA
+ * flags (-mavx2 -ffp-contract=off on x86-64 when BUFFALO_SIMD=ON),
+ * and without BUFFALO_SIMD_ENABLED it degrades to the scalar VecF
+ * lane so the symbols always exist.
+ *
+ * Bitwise contract with the scalar kernels in kernels.cpp: lanes map
+ * only to independent output elements (GEMM j-columns, elementwise
+ * indices, aggregator feature columns); each element's contributions
+ * accumulate in the serial order (k-ascending, t-ascending); every
+ * multiply-accumulate rounds the multiply and the add separately
+ * (simd.h mulAdd — never an FMA). The kernels_test.cpp memcmp sweeps
+ * compare this path against the scalar path at every width × thread
+ * count.
+ *
+ * GEMM additionally packs the current B tile into a contiguous panel
+ * (tile_k x tile_n floats, thread_local storage) so the micro-kernel
+ * streams unit-stride vector loads regardless of n; packing copies
+ * bits untouched, so it cannot perturb results.
+ */
+#include "tensor/kernels_wide.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "tensor/simd.h"
+
+namespace buffalo::tensor::kernels::wide {
+
+namespace {
+
+namespace s = buffalo::tensor::simd;
+
+constexpr std::size_t W = s::kWidth;
+
+/** Per-thread panel storage: parallelRows tasks never share threads'
+ *  packing buffers, and serial callers reuse one allocation. */
+std::vector<float> &
+packBuffer()
+{
+    thread_local std::vector<float> buffer;
+    return buffer;
+}
+
+/**
+ * Packs B rows [kp, kend) x columns [jp, jend) into a contiguous
+ * (kend-kp) x (jend-jp) panel.
+ */
+float *
+packPanel(const float *b, std::size_t n, std::size_t kp,
+          std::size_t kend, std::size_t jp, std::size_t jend)
+{
+    std::vector<float> &store = packBuffer();
+    const std::size_t tw = jend - jp;
+    store.resize((kend - kp) * tw);
+    float *panel = store.data();
+    for (std::size_t kk = kp; kk < kend; ++kk)
+        std::copy(b + kk * n + jp, b + kk * n + jend,
+                  panel + (kk - kp) * tw);
+    return panel;
+}
+
+/**
+ * The shared A*B tile micro-kernel: rows [r0, r1) of C against the
+ * packed panel. @p arow_of maps (row, kk) to the A element so the
+ * same body serves gemmRows (A row-major) and gemmTransposeARows
+ * (A column-major). Four C rows share every panel load; each C
+ * element is loaded once per tile, accumulated in a register over
+ * the panel's kk (k-ascending), and stored — the serial per-element
+ * order for any tiling.
+ */
+template <typename ARowAt>
+void
+tileMicroKernel(ARowAt arow_at, const float *panel, float *c,
+                std::size_t r0, std::size_t r1, std::size_t n,
+                std::size_t kp, std::size_t kend, std::size_t jp,
+                std::size_t jend)
+{
+    const std::size_t tw = jend - jp;
+    const std::size_t kd = kend - kp;
+    std::size_t i = r0;
+    for (; i + 4 <= r1; i += 4) {
+        float *c0 = c + (i + 0) * n + jp;
+        float *c1 = c + (i + 1) * n + jp;
+        float *c2 = c + (i + 2) * n + jp;
+        float *c3 = c + (i + 3) * n + jp;
+        std::size_t j = 0;
+        for (; j + W <= tw; j += W) {
+            s::VecF acc0 = s::load(c0 + j);
+            s::VecF acc1 = s::load(c1 + j);
+            s::VecF acc2 = s::load(c2 + j);
+            s::VecF acc3 = s::load(c3 + j);
+            for (std::size_t kk = 0; kk < kd; ++kk) {
+                const s::VecF bv = s::load(panel + kk * tw + j);
+                acc0 = s::mulAdd(
+                    s::broadcast(arow_at(i + 0, kp + kk)), bv, acc0);
+                acc1 = s::mulAdd(
+                    s::broadcast(arow_at(i + 1, kp + kk)), bv, acc1);
+                acc2 = s::mulAdd(
+                    s::broadcast(arow_at(i + 2, kp + kk)), bv, acc2);
+                acc3 = s::mulAdd(
+                    s::broadcast(arow_at(i + 3, kp + kk)), bv, acc3);
+            }
+            s::store(c0 + j, acc0);
+            s::store(c1 + j, acc1);
+            s::store(c2 + j, acc2);
+            s::store(c3 + j, acc3);
+        }
+        for (; j < tw; ++j) {
+            float s0 = c0[j], s1 = c1[j], s2 = c2[j], s3 = c3[j];
+            for (std::size_t kk = 0; kk < kd; ++kk) {
+                const float bv = panel[kk * tw + j];
+                s0 += arow_at(i + 0, kp + kk) * bv;
+                s1 += arow_at(i + 1, kp + kk) * bv;
+                s2 += arow_at(i + 2, kp + kk) * bv;
+                s3 += arow_at(i + 3, kp + kk) * bv;
+            }
+            c0[j] = s0;
+            c1[j] = s1;
+            c2[j] = s2;
+            c3[j] = s3;
+        }
+    }
+    for (; i < r1; ++i) {
+        float *crow = c + i * n + jp;
+        std::size_t j = 0;
+        for (; j + W <= tw; j += W) {
+            s::VecF acc = s::load(crow + j);
+            for (std::size_t kk = 0; kk < kd; ++kk)
+                acc = s::mulAdd(s::broadcast(arow_at(i, kp + kk)),
+                                s::load(panel + kk * tw + j), acc);
+            s::store(crow + j, acc);
+        }
+        for (; j < tw; ++j) {
+            float sum = crow[j];
+            for (std::size_t kk = 0; kk < kd; ++kk)
+                sum += arow_at(i, kp + kk) * panel[kk * tw + j];
+            crow[j] = sum;
+        }
+    }
+}
+
+} // namespace
+
+bool
+available()
+{
+#if defined(BUFFALO_SIMD_AVX2)
+    static const bool supported = __builtin_cpu_supports("avx2") != 0;
+    return supported;
+#elif defined(BUFFALO_SIMD_NEON)
+    return true;
+#else
+    return false;
+#endif
+}
+
+std::size_t
+width()
+{
+    return W;
+}
+
+const char *
+isaName()
+{
+    return s::isaName();
+}
+
+float
+hsumTree(const float *lanes, std::size_t n)
+{
+    float scratch[64];
+    std::copy(lanes, lanes + n, scratch);
+    while (n > 1) {
+        n /= 2;
+        for (std::size_t i = 0; i < n; ++i)
+            scratch[i] = scratch[i] + scratch[i + n];
+    }
+    return scratch[0];
+}
+
+void
+gemmRows(const float *a, const float *b, float *c, std::size_t r0,
+         std::size_t r1, std::size_t k, std::size_t n,
+         std::size_t tile_k, std::size_t tile_n)
+{
+    for (std::size_t i = r0; i < r1; ++i)
+        std::fill(c + i * n, c + (i + 1) * n, 0.0f);
+    if (k == 0 || n == 0)
+        return;
+    for (std::size_t kp = 0; kp < k; kp += tile_k) {
+        const std::size_t kend = std::min(k, kp + tile_k);
+        for (std::size_t jp = 0; jp < n; jp += tile_n) {
+            const std::size_t jend = std::min(n, jp + tile_n);
+            const float *panel = packPanel(b, n, kp, kend, jp, jend);
+            tileMicroKernel(
+                [a, k](std::size_t row, std::size_t kk) {
+                    return a[row * k + kk];
+                },
+                panel, c, r0, r1, n, kp, kend, jp, jend);
+        }
+    }
+}
+
+void
+gemmTransposeARows(const float *a, const float *b, float *c,
+                   std::size_t r0, std::size_t r1, std::size_t k,
+                   std::size_t m, std::size_t n, std::size_t tile_k,
+                   std::size_t tile_n)
+{
+    for (std::size_t i = r0; i < r1; ++i)
+        std::fill(c + i * n, c + (i + 1) * n, 0.0f);
+    if (k == 0 || n == 0)
+        return;
+    for (std::size_t kp = 0; kp < k; kp += tile_k) {
+        const std::size_t kend = std::min(k, kp + tile_k);
+        for (std::size_t jp = 0; jp < n; jp += tile_n) {
+            const std::size_t jend = std::min(n, jp + tile_n);
+            const float *panel = packPanel(b, n, kp, kend, jp, jend);
+            // C row i is A column i: a[kk*m + i].
+            tileMicroKernel(
+                [a, m](std::size_t row, std::size_t kk) {
+                    return a[kk * m + row];
+                },
+                panel, c, r0, r1, n, kp, kend, jp, jend);
+        }
+    }
+}
+
+void
+gemmTransposeBRows(const float *a, const float *b, float *c,
+                   std::size_t r0, std::size_t r1, std::size_t k,
+                   std::size_t n)
+{
+    // W dot products run in W lanes: pack the W B rows transposed
+    // (panel[kk*W + l] = b[(j+l)*k + kk]) so each kk step is one
+    // unit-stride load, broadcast a[i][kk], and accumulate — every
+    // lane's dot still sums k-ascending in its own register, exactly
+    // like the scalar four-wide blocking.
+    std::vector<float> &store = packBuffer();
+    const std::size_t j_wide = (W > 1) ? n - n % W : 0;
+    for (std::size_t j = 0; j < j_wide; j += W) {
+        store.resize(k * W);
+        float *panel = store.data();
+        for (std::size_t l = 0; l < W; ++l) {
+            const float *brow = b + (j + l) * k;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                panel[kk * W + l] = brow[kk];
+        }
+        for (std::size_t i = r0; i < r1; ++i) {
+            const float *arow = a + i * k;
+            s::VecF acc = s::zero();
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc = s::mulAdd(s::broadcast(arow[kk]),
+                                s::load(panel + kk * W), acc);
+            s::store(c + i * n + j, acc);
+        }
+    }
+    for (std::size_t i = r0; i < r1; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (std::size_t j = j_wide; j < n; ++j) {
+            const float *brow = b + j * k;
+            float dot = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                dot += arow[kk] * brow[kk];
+            crow[j] = dot;
+        }
+    }
+}
+
+void
+ewAdd(const float *a, const float *b, float *c, std::size_t lo,
+      std::size_t hi)
+{
+    std::size_t i = lo;
+    for (; i + W <= hi; i += W)
+        s::store(c + i, s::add(s::load(a + i), s::load(b + i)));
+    for (; i < hi; ++i)
+        c[i] = a[i] + b[i];
+}
+
+void
+ewSubtract(const float *a, const float *b, float *c, std::size_t lo,
+           std::size_t hi)
+{
+    std::size_t i = lo;
+    for (; i + W <= hi; i += W)
+        s::store(c + i, s::sub(s::load(a + i), s::load(b + i)));
+    for (; i < hi; ++i)
+        c[i] = a[i] - b[i];
+}
+
+void
+ewMultiply(const float *a, const float *b, float *c, std::size_t lo,
+           std::size_t hi)
+{
+    std::size_t i = lo;
+    for (; i + W <= hi; i += W)
+        s::store(c + i, s::mul(s::load(a + i), s::load(b + i)));
+    for (; i < hi; ++i)
+        c[i] = a[i] * b[i];
+}
+
+void
+ewScale(const float *a, float sc, float *c, std::size_t lo,
+        std::size_t hi)
+{
+    const s::VecF sv = s::broadcast(sc);
+    std::size_t i = lo;
+    for (; i + W <= hi; i += W)
+        s::store(c + i, s::mul(s::load(a + i), sv));
+    for (; i < hi; ++i)
+        c[i] = a[i] * sc;
+}
+
+void
+ewAddInPlace(float *a, const float *b, std::size_t lo, std::size_t hi)
+{
+    std::size_t i = lo;
+    for (; i + W <= hi; i += W)
+        s::store(a + i, s::add(s::load(a + i), s::load(b + i)));
+    for (; i < hi; ++i)
+        a[i] += b[i];
+}
+
+void
+ewScaleInPlace(float *a, float sc, std::size_t lo, std::size_t hi)
+{
+    const s::VecF sv = s::broadcast(sc);
+    std::size_t i = lo;
+    for (; i + W <= hi; i += W)
+        s::store(a + i, s::mul(s::load(a + i), sv));
+    for (; i < hi; ++i)
+        a[i] *= sc;
+}
+
+void
+ewRelu(const float *a, float *c, std::size_t lo, std::size_t hi)
+{
+    std::size_t i = lo;
+    for (; i + W <= hi; i += W) {
+        const s::VecF x = s::load(a + i);
+        s::store(c + i, s::selectGtZero(x, x));
+    }
+    for (; i < hi; ++i)
+        c[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+void
+ewReluBackward(const float *grad, const float *pre, float *c,
+               std::size_t lo, std::size_t hi)
+{
+    std::size_t i = lo;
+    for (; i + W <= hi; i += W)
+        s::store(c + i,
+                 s::selectGtZero(s::load(pre + i), s::load(grad + i)));
+    for (; i < hi; ++i)
+        c[i] = pre[i] > 0.0f ? grad[i] : 0.0f;
+}
+
+void
+ewAddRowBroadcast(const float *a, const float *bias, float *c,
+                  std::size_t r0, std::size_t r1, std::size_t n)
+{
+    for (std::size_t i = r0; i < r1; ++i) {
+        const float *arow = a + i * n;
+        float *crow = c + i * n;
+        std::size_t j = 0;
+        for (; j + W <= n; j += W)
+            s::store(crow + j,
+                     s::add(s::load(arow + j), s::load(bias + j)));
+        for (; j < n; ++j)
+            crow[j] = arow[j] + bias[j];
+    }
+}
+
+void
+ewColumnSum(const float *a, float *c, std::size_t rows, std::size_t n,
+            std::size_t c0, std::size_t c1)
+{
+    // Columns are independent; each accumulates row-ascending in its
+    // own lane, like the serial i-j loop.
+    std::size_t j = c0;
+    for (; j + W <= c1; j += W) {
+        s::VecF acc = s::zero();
+        for (std::size_t i = 0; i < rows; ++i)
+            acc = s::add(acc, s::load(a + i * n + j));
+        s::store(c + j, acc);
+    }
+    for (; j < c1; ++j) {
+        float sum = 0.0f;
+        for (std::size_t i = 0; i < rows; ++i)
+            sum += a[i * n + j];
+        c[j] = sum;
+    }
+}
+
+void
+fusedGatherSumScaleRows(const float *x, const std::uint32_t *gather,
+                        const std::uint32_t *out_rows, std::size_t v0,
+                        std::size_t v1, std::size_t d, std::size_t dim,
+                        float norm, float *out)
+{
+    const s::VecF nv = s::broadcast(norm);
+    for (std::size_t v = v0; v < v1; ++v) {
+        float *dst = out + static_cast<std::size_t>(out_rows[v]) * dim;
+        std::fill(dst, dst + dim, 0.0f);
+        for (std::size_t t = 0; t < d; ++t) {
+            const float *src =
+                x + static_cast<std::size_t>(gather[v * d + t]) * dim;
+            std::size_t j = 0;
+            for (; j + W <= dim; j += W)
+                s::store(dst + j,
+                         s::add(s::load(dst + j), s::load(src + j)));
+            for (; j < dim; ++j)
+                dst[j] += src[j];
+        }
+        std::size_t j = 0;
+        for (; j + W <= dim; j += W)
+            s::store(dst + j, s::mul(s::load(dst + j), nv));
+        for (; j < dim; ++j)
+            dst[j] *= norm;
+    }
+}
+
+void
+fusedGatherScaledAddRows(const float *x, const std::uint32_t *gather,
+                         const std::uint32_t *out_rows, std::size_t v0,
+                         std::size_t v1, std::size_t d, std::size_t dim,
+                         float norm, float *out)
+{
+    const s::VecF nv = s::broadcast(norm);
+    for (std::size_t v = v0; v < v1; ++v) {
+        float *dst = out + static_cast<std::size_t>(out_rows[v]) * dim;
+        for (std::size_t t = 0; t < d; ++t) {
+            const float *src =
+                x + static_cast<std::size_t>(gather[v * d + t]) * dim;
+            std::size_t j = 0;
+            for (; j + W <= dim; j += W)
+                s::store(dst + j, s::mulAdd(s::load(src + j), nv,
+                                            s::load(dst + j)));
+            for (; j < dim; ++j) {
+                const float g = src[j] * norm;
+                dst[j] += g;
+            }
+        }
+    }
+}
+
+void
+fusedScatterScaledAddRows(const float *grad,
+                          const std::uint32_t *out_rows,
+                          const std::uint32_t *gather, std::size_t n,
+                          std::size_t d, std::size_t dim, float norm,
+                          float *grad_x, std::size_t r0, std::size_t r1)
+{
+    // Owner-partitioned over grad_x rows: scan every (i, t) ascending
+    // and touch only owned rows, so duplicate destinations accumulate
+    // input-ascending — the serial scatterAddRows order — at any
+    // thread count.
+    const s::VecF nv = s::broadcast(norm);
+    for (std::size_t i = 0; i < n; ++i) {
+        const float *src =
+            grad + static_cast<std::size_t>(out_rows[i]) * dim;
+        for (std::size_t t = 0; t < d; ++t) {
+            const std::size_t row = gather[i * d + t];
+            if (row < r0 || row >= r1)
+                continue;
+            float *dst = grad_x + row * dim;
+            std::size_t j = 0;
+            for (; j + W <= dim; j += W)
+                s::store(dst + j, s::mulAdd(s::load(src + j), nv,
+                                            s::load(dst + j)));
+            for (; j < dim; ++j) {
+                const float g = src[j] * norm;
+                dst[j] += g;
+            }
+        }
+    }
+}
+
+} // namespace buffalo::tensor::kernels::wide

@@ -88,8 +88,7 @@ add(const Tensor &a, const Tensor &b, AllocationObserver *observer)
     float *pc = c.data();
     kernels::parallelRows(a.size(), a.size(),
                           [&](std::size_t lo, std::size_t hi) {
-                              for (std::size_t i = lo; i < hi; ++i)
-                                  pc[i] = pa[i] + pb[i];
+                              kernels::ewAdd(pa, pb, pc, lo, hi);
                           });
     return c;
 }
@@ -104,8 +103,7 @@ subtract(const Tensor &a, const Tensor &b, AllocationObserver *observer)
     float *pc = c.data();
     kernels::parallelRows(a.size(), a.size(),
                           [&](std::size_t lo, std::size_t hi) {
-                              for (std::size_t i = lo; i < hi; ++i)
-                                  pc[i] = pa[i] - pb[i];
+                              kernels::ewSubtract(pa, pb, pc, lo, hi);
                           });
     return c;
 }
@@ -120,8 +118,7 @@ multiply(const Tensor &a, const Tensor &b, AllocationObserver *observer)
     float *pc = c.data();
     kernels::parallelRows(a.size(), a.size(),
                           [&](std::size_t lo, std::size_t hi) {
-                              for (std::size_t i = lo; i < hi; ++i)
-                                  pc[i] = pa[i] * pb[i];
+                              kernels::ewMultiply(pa, pb, pc, lo, hi);
                           });
     return c;
 }
@@ -135,8 +132,7 @@ scale(const Tensor &a, float s, AllocationObserver *observer)
     float *pc = c.data();
     kernels::parallelRows(a.size(), a.size(),
                           [&](std::size_t lo, std::size_t hi) {
-                              for (std::size_t i = lo; i < hi; ++i)
-                                  pc[i] = pa[i] * s;
+                              kernels::ewScale(pa, s, pc, lo, hi);
                           });
     return c;
 }
@@ -150,8 +146,7 @@ addInPlace(Tensor &a, const Tensor &b)
     const float *pb = b.data();
     kernels::parallelRows(a.size(), a.size(),
                           [&](std::size_t lo, std::size_t hi) {
-                              for (std::size_t i = lo; i < hi; ++i)
-                                  pa[i] += pb[i];
+                              kernels::ewAddInPlace(pa, pb, lo, hi);
                           });
 }
 
@@ -162,8 +157,7 @@ scaleInPlace(Tensor &a, float s)
     float *pa = a.data();
     kernels::parallelRows(a.size(), a.size(),
                           [&](std::size_t lo, std::size_t hi) {
-                              for (std::size_t i = lo; i < hi; ++i)
-                                  pa[i] *= s;
+                              kernels::ewScaleInPlace(pa, s, lo, hi);
                           });
 }
 
@@ -186,12 +180,7 @@ addRowBroadcast(const Tensor &a, const Tensor &bias,
     float *pc = c.data();
     kernels::parallelRows(
         a.rows(), a.size(), [&](std::size_t r0, std::size_t r1) {
-            for (std::size_t i = r0; i < r1; ++i) {
-                const float *arow = pa + i * n;
-                float *crow = pc + i * n;
-                for (std::size_t j = 0; j < n; ++j)
-                    crow[j] = arow[j] + pbias[j];
-            }
+            kernels::ewAddRowBroadcast(pa, pbias, pc, r0, r1, n);
         });
     return c;
 }
@@ -208,12 +197,7 @@ columnSum(const Tensor &a, AllocationObserver *observer)
     // row-ascending exactly like the serial i-j loop.
     kernels::parallelRows(
         n, a.size(), [&](std::size_t c0, std::size_t c1) {
-            std::fill(pc + c0, pc + c1, 0.0f);
-            for (std::size_t i = 0; i < rows; ++i) {
-                const float *arow = pa + i * n;
-                for (std::size_t j = c0; j < c1; ++j)
-                    pc[j] += arow[j];
-            }
+            kernels::ewColumnSum(pa, pc, rows, n, c0, c1);
         });
     return c;
 }
@@ -227,8 +211,7 @@ relu(const Tensor &a, AllocationObserver *observer)
     float *pc = c.data();
     kernels::parallelRows(
         a.size(), a.size(), [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i)
-                pc[i] = std::max(0.0f, pa[i]);
+            kernels::ewRelu(pa, pc, lo, hi);
         });
     return c;
 }
@@ -244,8 +227,7 @@ reluBackward(const Tensor &grad, const Tensor &pre_activation,
     float *pc = c.data();
     kernels::parallelRows(
         grad.size(), grad.size(), [&](std::size_t lo, std::size_t hi) {
-            for (std::size_t i = lo; i < hi; ++i)
-                pc[i] = pp[i] > 0.0f ? pg[i] : 0.0f;
+            kernels::ewReluBackward(pg, pp, pc, lo, hi);
         });
     return c;
 }

@@ -23,8 +23,9 @@ namespace {
 using buffalo::tools::CacheCliOptions;
 using buffalo::tools::parseCacheFlags;
 using buffalo::tools::parseFanouts;
-using buffalo::tools::parseKernelThreads;
+using buffalo::tools::parseKernelConfig;
 using buffalo::util::Flags;
+namespace kernels = buffalo::tensor::kernels;
 
 Flags
 makeFlags(const std::vector<std::string> &args)
@@ -169,12 +170,106 @@ TEST(CliCommonTest, CacheFlagNamesCoverEveryConsumedFlag)
             << flag;
 }
 
-TEST(CliCommonTest, ParsesKernelThreads)
+TEST(CliCommonTest, KernelFlagDefaultsMatchKernelConfig)
 {
-    EXPECT_EQ(parseKernelThreads(makeFlags({})), 0u);
+    const kernels::KernelConfig defaults;
+    const kernels::KernelConfig cfg = parseKernelConfig(makeFlags({}));
+    EXPECT_EQ(cfg.threads, defaults.threads);
+    EXPECT_EQ(cfg.tile_n, defaults.tile_n);
+    EXPECT_EQ(cfg.tile_k, defaults.tile_k);
+    EXPECT_EQ(cfg.simd, kernels::SimdMode::Auto);
+}
+
+TEST(CliCommonTest, ParsesKernelThreadsAndTiles)
+{
+    const kernels::KernelConfig cfg = parseKernelConfig(
+        makeFlags({"--kernel-threads", "4", "--kernel-tile-n", "32",
+                   "--kernel-tile-k", "256"}));
+    EXPECT_EQ(cfg.threads, 4u);
+    EXPECT_EQ(cfg.tile_n, 32u);
+    EXPECT_EQ(cfg.tile_k, 256u);
+}
+
+TEST(CliCommonTest, RejectsOutOfRangeKernelFlags)
+{
+    using buffalo::InvalidArgument;
+    EXPECT_THROW(
+        parseKernelConfig(makeFlags({"--kernel-threads", "-1"})),
+        InvalidArgument);
+    EXPECT_THROW(
+        parseKernelConfig(makeFlags({"--kernel-tile-n", "0"})),
+        InvalidArgument);
+    EXPECT_THROW(
+        parseKernelConfig(makeFlags({"--kernel-tile-n", "4097"})),
+        InvalidArgument);
+    EXPECT_THROW(
+        parseKernelConfig(makeFlags({"--kernel-tile-k", "0"})),
+        InvalidArgument);
+    EXPECT_THROW(
+        parseKernelConfig(makeFlags({"--kernel-tile-k", "4097"})),
+        InvalidArgument);
+    // Bounds are inclusive: the extremes themselves parse.
+    EXPECT_EQ(parseKernelConfig(makeFlags({"--kernel-tile-n", "1"}))
+                  .tile_n,
+              1u);
     EXPECT_EQ(
-        parseKernelThreads(makeFlags({"--kernel-threads", "4"})),
-        4u);
+        parseKernelConfig(makeFlags({"--kernel-tile-k", "4096"}))
+            .tile_k,
+        4096u);
+}
+
+TEST(CliCommonTest, ParsesEverySimdModeName)
+{
+    EXPECT_EQ(parseKernelConfig(makeFlags({"--kernel-simd", "auto"}))
+                  .simd,
+              kernels::SimdMode::Auto);
+    EXPECT_EQ(parseKernelConfig(makeFlags({"--kernel-simd", "off"}))
+                  .simd,
+              kernels::SimdMode::Off);
+    EXPECT_EQ(
+        parseKernelConfig(makeFlags({"--kernel-simd", "on"})).simd,
+        kernels::SimdMode::On);
+}
+
+TEST(CliCommonTest, RejectsUnknownSimdModeNames)
+{
+    using buffalo::InvalidArgument;
+    EXPECT_THROW(
+        parseKernelConfig(makeFlags({"--kernel-simd", "avx2"})),
+        InvalidArgument);
+    EXPECT_THROW(
+        parseKernelConfig(makeFlags({"--kernel-simd", "ON"})),
+        InvalidArgument);
+    EXPECT_THROW(parseKernelConfig(makeFlags({"--kernel-simd", ""})),
+                 InvalidArgument);
+}
+
+TEST(CliCommonTest, SimdOnIsRejectedAtSetConfigWhenUnavailable)
+{
+    // "on" always *parses*; applying it is what requires the wide
+    // build + CPU. On a capable host the round-trip must succeed, and
+    // the guard must reject it where the ISA is missing.
+    const kernels::KernelConfig cfg =
+        parseKernelConfig(makeFlags({"--kernel-simd", "on"}));
+    const kernels::KernelConfig before = kernels::config();
+    if (kernels::simdAvailable()) {
+        kernels::setConfig(cfg);
+        EXPECT_EQ(kernels::config().simd, kernels::SimdMode::On);
+        kernels::setConfig(before);
+    } else {
+        EXPECT_THROW(kernels::setConfig(cfg),
+                     buffalo::InvalidArgument);
+    }
+}
+
+TEST(CliCommonTest, KernelFlagNamesCoverEveryConsumedFlag)
+{
+    const auto &names = buffalo::tools::kernelFlagNames();
+    for (const char *flag : {"kernel-threads", "kernel-tile-n",
+                             "kernel-tile-k", "kernel-simd"})
+        EXPECT_NE(std::find(names.begin(), names.end(), flag),
+                  names.end())
+            << flag;
 }
 
 } // namespace

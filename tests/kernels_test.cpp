@@ -44,6 +44,22 @@ parallelConfig(std::size_t threads = 4)
     return cfg;
 }
 
+/**
+ * SIMD modes the sweeps cover: the scalar path always, plus the wide
+ * path (Auto and a forced On) whenever this build/CPU has it. On a
+ * scalar-only host the sweep degenerates to Off/Auto, both scalar —
+ * the widths that do exist are still pinned bit-for-bit.
+ */
+std::vector<kernels::SimdMode>
+sweepSimdModes()
+{
+    std::vector<kernels::SimdMode> modes = {kernels::SimdMode::Off,
+                                            kernels::SimdMode::Auto};
+    if (kernels::simdAvailable())
+        modes.push_back(kernels::SimdMode::On);
+    return modes;
+}
+
 Tensor
 randomTensor(std::size_t rows, std::size_t cols, util::Rng &rng)
 {
@@ -142,34 +158,42 @@ TEST_F(KernelsTest, GemmBitwiseAcrossShapesTilesAndThreads)
                 const Tensor at = randomTensor(k, m, rng);
                 const Tensor bt = randomTensor(n, k, rng);
 
-                kernels::setConfig(serialConfig());
+                // The baseline every width and thread count must
+                // reproduce: serial scalar lanes.
+                kernels::KernelConfig base = serialConfig();
+                base.simd = kernels::SimdMode::Off;
+                kernels::setConfig(base);
                 const Tensor c1 = ops::matmul(a, b);
                 const Tensor ta1 = ops::matmulTransposeA(at, b);
                 const Tensor tb1 = ops::matmulTransposeB(a, bt);
 
-                kernels::setConfig(parallelConfig());
-                EXPECT_TRUE(bitwiseEqual(c1, ops::matmul(a, b)))
-                    << m << "x" << k << "x" << n;
-                EXPECT_TRUE(bitwiseEqual(
-                    ta1, ops::matmulTransposeA(at, b)))
-                    << m << "x" << k << "x" << n;
-                EXPECT_TRUE(bitwiseEqual(
-                    tb1, ops::matmulTransposeB(a, bt)))
-                    << m << "x" << k << "x" << n;
-
-                // Oddball tiles change nothing but iteration shape.
-                kernels::KernelConfig tiny = parallelConfig(3);
-                tiny.tile_n = 16;
-                tiny.tile_k = 8;
-                kernels::setConfig(tiny);
-                EXPECT_TRUE(bitwiseEqual(c1, ops::matmul(a, b)))
-                    << m << "x" << k << "x" << n << " tiled";
-                EXPECT_TRUE(bitwiseEqual(
-                    ta1, ops::matmulTransposeA(at, b)))
-                    << m << "x" << k << "x" << n << " tiled";
-                EXPECT_TRUE(bitwiseEqual(
-                    tb1, ops::matmulTransposeB(a, bt)))
-                    << m << "x" << k << "x" << n << " tiled";
+                for (kernels::SimdMode mode : sweepSimdModes()) {
+                    // Oddball tiles change nothing but iteration
+                    // shape.
+                    kernels::KernelConfig tiny = parallelConfig(3);
+                    tiny.tile_n = 16;
+                    tiny.tile_k = 8;
+                    for (kernels::KernelConfig cfg :
+                         {serialConfig(), parallelConfig(), tiny}) {
+                        cfg.simd = mode;
+                        kernels::setConfig(cfg);
+                        EXPECT_TRUE(
+                            bitwiseEqual(c1, ops::matmul(a, b)))
+                            << m << "x" << k << "x" << n << " simd="
+                            << kernels::simdModeName(mode)
+                            << " threads=" << cfg.threads;
+                        EXPECT_TRUE(bitwiseEqual(
+                            ta1, ops::matmulTransposeA(at, b)))
+                            << m << "x" << k << "x" << n << " simd="
+                            << kernels::simdModeName(mode)
+                            << " threads=" << cfg.threads;
+                        EXPECT_TRUE(bitwiseEqual(
+                            tb1, ops::matmulTransposeB(a, bt)))
+                            << m << "x" << k << "x" << n << " simd="
+                            << kernels::simdModeName(mode)
+                            << " threads=" << cfg.threads;
+                    }
+                }
 
                 // And serial matches the naive i-k-j reference.
                 EXPECT_TRUE(bitwiseEqual(c1, refMatmul(a, b)));
@@ -195,7 +219,9 @@ TEST_F(KernelsTest, ElementwiseAndGatherBitwiseParallelVsSerial)
             idx.push_back(
                 static_cast<std::uint32_t>((i * 13) % rows));
 
-        kernels::setConfig(serialConfig());
+        kernels::KernelConfig base = serialConfig();
+        base.simd = kernels::SimdMode::Off;
+        kernels::setConfig(base);
         const Tensor sums = ops::add(a, b);
         const Tensor relus = ops::relu(a);
         const Tensor sig = ops::sigmoid(a);
@@ -208,23 +234,43 @@ TEST_F(KernelsTest, ElementwiseAndGatherBitwiseParallelVsSerial)
         Tensor scatter_serial = Tensor::zeros(rows, cols);
         ops::scatterAddRows(scatter_serial, gathered, idx);
 
-        kernels::setConfig(parallelConfig());
-        EXPECT_TRUE(bitwiseEqual(sums, ops::add(a, b)));
-        EXPECT_TRUE(bitwiseEqual(relus, ops::relu(a)));
-        EXPECT_TRUE(bitwiseEqual(sig, ops::sigmoid(a)));
-        EXPECT_TRUE(bitwiseEqual(th, ops::tanh(a)));
-        EXPECT_TRUE(bitwiseEqual(bc, ops::addRowBroadcast(a, bias)));
-        EXPECT_TRUE(bitwiseEqual(csum, ops::columnSum(a)));
-        EXPECT_TRUE(bitwiseEqual(cat, ops::concatColumns(a, b)));
-        EXPECT_TRUE(
-            bitwiseEqual(slice, ops::sliceColumns(a, 1, cols - 1)));
-        const Tensor gathered_par = ops::gatherRows(a, idx);
-        EXPECT_TRUE(bitwiseEqual(gathered, gathered_par));
-        // Duplicate indices: owner-partitioned scatter must keep the
-        // serial input-ascending accumulation order per output row.
-        Tensor scatter_par = Tensor::zeros(rows, cols);
-        ops::scatterAddRows(scatter_par, gathered_par, idx);
-        EXPECT_TRUE(bitwiseEqual(scatter_serial, scatter_par));
+        for (kernels::SimdMode mode : sweepSimdModes()) {
+            for (kernels::KernelConfig cfg :
+                 {serialConfig(), parallelConfig()}) {
+                cfg.simd = mode;
+                kernels::setConfig(cfg);
+                const char *tag = kernels::simdModeName(mode);
+                EXPECT_TRUE(bitwiseEqual(sums, ops::add(a, b)))
+                    << tag;
+                EXPECT_TRUE(bitwiseEqual(relus, ops::relu(a)))
+                    << tag;
+                EXPECT_TRUE(bitwiseEqual(sig, ops::sigmoid(a)))
+                    << tag;
+                EXPECT_TRUE(bitwiseEqual(th, ops::tanh(a))) << tag;
+                EXPECT_TRUE(
+                    bitwiseEqual(bc, ops::addRowBroadcast(a, bias)))
+                    << tag;
+                EXPECT_TRUE(bitwiseEqual(csum, ops::columnSum(a)))
+                    << tag;
+                EXPECT_TRUE(
+                    bitwiseEqual(cat, ops::concatColumns(a, b)))
+                    << tag;
+                EXPECT_TRUE(bitwiseEqual(
+                    slice, ops::sliceColumns(a, 1, cols - 1)))
+                    << tag;
+                const Tensor gathered_par = ops::gatherRows(a, idx);
+                EXPECT_TRUE(bitwiseEqual(gathered, gathered_par))
+                    << tag;
+                // Duplicate indices: owner-partitioned scatter must
+                // keep the serial input-ascending accumulation order
+                // per output row.
+                Tensor scatter_par = Tensor::zeros(rows, cols);
+                ops::scatterAddRows(scatter_par, gathered_par, idx);
+                EXPECT_TRUE(
+                    bitwiseEqual(scatter_serial, scatter_par))
+                    << tag;
+            }
+        }
     }
 }
 
@@ -244,7 +290,9 @@ TEST_F(KernelsTest, AggregatorsBitwiseParallelVsSerial)
 
             // Identical parameter init on both sides via a fixed
             // seed; ops inside fwd/bwd follow the active config.
-            kernels::setConfig(serialConfig());
+            kernels::KernelConfig base = serialConfig();
+            base.simd = kernels::SimdMode::Off;
+            kernels::setConfig(base);
             util::Rng rng_a(23);
             auto agg_a =
                 nn::makeAggregator(kind, "t", dim, rng_a);
@@ -252,22 +300,33 @@ TEST_F(KernelsTest, AggregatorsBitwiseParallelVsSerial)
             const Tensor out_a =
                 agg_a->forward(feats, n, d, cache_a);
             const Tensor gin_a = agg_a->backward(*cache_a, grad);
-
-            kernels::setConfig(parallelConfig());
-            util::Rng rng_b(23);
-            auto agg_b =
-                nn::makeAggregator(kind, "t", dim, rng_b);
-            std::unique_ptr<nn::AggregatorCache> cache_b;
-            const Tensor out_b =
-                agg_b->forward(feats, n, d, cache_b);
-            const Tensor gin_b = agg_b->backward(*cache_b, grad);
-
-            EXPECT_TRUE(bitwiseEqual(out_a, out_b))
-                << nn::aggregatorName(kind) << " fwd n=" << n;
-            EXPECT_TRUE(bitwiseEqual(gin_a, gin_b))
-                << nn::aggregatorName(kind) << " bwd n=" << n;
             EXPECT_EQ(out_a.rows(), n);
             EXPECT_EQ(gin_a.rows(), n * d);
+
+            for (kernels::SimdMode mode : sweepSimdModes()) {
+                for (kernels::KernelConfig cfg :
+                     {serialConfig(), parallelConfig()}) {
+                    cfg.simd = mode;
+                    kernels::setConfig(cfg);
+                    util::Rng rng_b(23);
+                    auto agg_b =
+                        nn::makeAggregator(kind, "t", dim, rng_b);
+                    std::unique_ptr<nn::AggregatorCache> cache_b;
+                    const Tensor out_b =
+                        agg_b->forward(feats, n, d, cache_b);
+                    const Tensor gin_b =
+                        agg_b->backward(*cache_b, grad);
+
+                    EXPECT_TRUE(bitwiseEqual(out_a, out_b))
+                        << nn::aggregatorName(kind) << " fwd n=" << n
+                        << " simd=" << kernels::simdModeName(mode)
+                        << " threads=" << cfg.threads;
+                    EXPECT_TRUE(bitwiseEqual(gin_a, gin_b))
+                        << nn::aggregatorName(kind) << " bwd n=" << n
+                        << " simd=" << kernels::simdModeName(mode)
+                        << " threads=" << cfg.threads;
+                }
+            }
         }
     }
 }
@@ -384,6 +443,120 @@ TEST_F(KernelsTest, GrainPolicyKeepsMicroBucketsSerial)
     const std::uint64_t par0 = parallel_ops.value();
     ops::matmul(a, b); // 128 scalar ops — far below the grain
     EXPECT_EQ(parallel_ops.value(), par0);
+}
+
+TEST_F(KernelsTest, SimdQueriesReflectActiveMode)
+{
+    kernels::KernelConfig off;
+    off.simd = kernels::SimdMode::Off;
+    kernels::setConfig(off);
+    EXPECT_EQ(kernels::simdWidth(), 1u);
+
+    kernels::setConfig({}); // Auto
+    if (kernels::simdAvailable()) {
+        EXPECT_GT(kernels::simdWidth(), 1u);
+        EXPECT_STRNE(kernels::simdIsaName(), "scalar");
+    } else {
+        EXPECT_EQ(kernels::simdWidth(), 1u);
+    }
+
+    EXPECT_EQ(kernels::simdModeFromName("auto"),
+              kernels::SimdMode::Auto);
+    EXPECT_EQ(kernels::simdModeFromName("off"),
+              kernels::SimdMode::Off);
+    EXPECT_EQ(kernels::simdModeFromName("on"),
+              kernels::SimdMode::On);
+    EXPECT_THROW(kernels::simdModeFromName("wide"),
+                 InvalidArgument);
+    EXPECT_STREQ(kernels::simdModeName(kernels::SimdMode::Off),
+                 "off");
+    EXPECT_STREQ(kernels::simdModeName(kernels::SimdMode::Auto),
+                 "auto");
+}
+
+TEST_F(KernelsTest, FusedAggregateKernelsMatchScalarComposition)
+{
+    // The fused gather->reduce->scatter entry points against plain
+    // scalar references written with the exact same expression
+    // forms, across every SIMD mode x thread count.
+    const std::size_t n = 67, d = 3, dim = 21;
+    util::Rng rng(29);
+    const Tensor x = randomTensor(n * d, dim, rng);
+    const Tensor grad = randomTensor(n, dim, rng);
+    std::vector<std::uint32_t> gather(n * d);
+    std::vector<std::uint32_t> out_rows(n);
+    for (std::size_t i = 0; i < n * d; ++i)
+        gather[i] = static_cast<std::uint32_t>((i * 29) % (n * d));
+    for (std::size_t i = 0; i < n; ++i)
+        out_rows[i] = static_cast<std::uint32_t>((i * 31) % n);
+    const float norm = 1.0f / static_cast<float>(d);
+
+    // References: t-ascending accumulate, then scale (sum-scale);
+    // two-rounding multiply-accumulate (scaled-add / scatter).
+    Tensor ref_sum = Tensor::zeros(n, dim);
+    Tensor ref_add = Tensor::zeros(n, dim);
+    Tensor ref_scatter = Tensor::zeros(n * d, dim);
+    for (std::size_t i = 0; i < n; ++i) {
+        float *sum_row = ref_sum.data() + out_rows[i] * dim;
+        float *add_row = ref_add.data() + out_rows[i] * dim;
+        std::memset(sum_row, 0, dim * sizeof(float));
+        for (std::size_t t = 0; t < d; ++t) {
+            const float *src =
+                x.data() + gather[i * d + t] * dim;
+            for (std::size_t j = 0; j < dim; ++j)
+                sum_row[j] += src[j];
+        }
+        for (std::size_t j = 0; j < dim; ++j)
+            sum_row[j] *= norm;
+        for (std::size_t t = 0; t < d; ++t) {
+            const float *src =
+                x.data() + gather[i * d + t] * dim;
+            for (std::size_t j = 0; j < dim; ++j)
+                add_row[j] += src[j] * norm;
+        }
+        const float *grow = grad.data() + out_rows[i] * dim;
+        for (std::size_t t = 0; t < d; ++t) {
+            float *dst =
+                ref_scatter.data() + gather[i * d + t] * dim;
+            for (std::size_t j = 0; j < dim; ++j) {
+                const float g = grow[j] * norm;
+                dst[j] += g;
+            }
+        }
+    }
+    // The scaled-add reference accumulated in out_rows order per i;
+    // fusedGatherScaledAdd also walks i ascending with dst[out_rows]
+    // — out_rows here is a permutation, so each output row is built
+    // by exactly one i on both sides.
+
+    for (kernels::SimdMode mode : sweepSimdModes()) {
+        for (kernels::KernelConfig cfg :
+             {serialConfig(), parallelConfig()}) {
+            cfg.simd = mode;
+            kernels::setConfig(cfg);
+            const char *tag = kernels::simdModeName(mode);
+
+            Tensor out_sum = Tensor::zeros(n, dim);
+            kernels::fusedGatherSumScale(x.data(), gather.data(),
+                                         out_rows.data(), n, d, dim,
+                                         norm, out_sum.data());
+            EXPECT_TRUE(bitwiseEqual(ref_sum, out_sum)) << tag;
+
+            Tensor out_add = Tensor::zeros(n, dim);
+            kernels::fusedGatherScaledAdd(x.data(), gather.data(),
+                                          out_rows.data(), n, d,
+                                          dim, norm,
+                                          out_add.data());
+            EXPECT_TRUE(bitwiseEqual(ref_add, out_add)) << tag;
+
+            Tensor out_scatter = Tensor::zeros(n * d, dim);
+            kernels::fusedScatterScaledAdd(
+                grad.data(), out_rows.data(), gather.data(), n, d,
+                dim, norm, out_scatter.data(), n * d);
+            EXPECT_TRUE(bitwiseEqual(ref_scatter, out_scatter))
+                << tag;
+        }
+    }
 }
 
 } // namespace

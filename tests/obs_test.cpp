@@ -226,8 +226,13 @@ TEST(Trace, ItemAttributedSpansExportArgsItem)
 {
     Tracer tracer;
     tracer.enable();
+    // toJson() sorts by start time and the scoped span's start is
+    // real-clock microseconds since tracer construction, so the
+    // explicit timestamps must bracket it: 0.0 sorts first and the
+    // far-future start sorts last no matter how quickly the scoped
+    // span opens (2.0 µs used to race the clock and flake).
     tracer.record("attributed", 0.0, 1.0, /*item=*/7);
-    tracer.record("plain", 2.0, 1.0);
+    tracer.record("plain", 1e15, 1.0);
     {
         Span span(tracer, "scoped", /*item=*/9);
     }
@@ -236,9 +241,9 @@ TEST(Trace, ItemAttributedSpansExportArgsItem)
     const JsonValue doc = JsonValue::parse(tracer.toJson());
     ASSERT_EQ(doc.size(), 3u);
     EXPECT_EQ(doc.at(0u).at("args").at("item").asNumber(), 7.0);
+    EXPECT_EQ(doc.at(1u).at("args").at("item").asNumber(), 9.0);
     // Unattributed spans carry no args block at all.
-    EXPECT_FALSE(doc.at(1u).has("args"));
-    EXPECT_EQ(doc.at(2u).at("args").at("item").asNumber(), 9.0);
+    EXPECT_FALSE(doc.at(2u).has("args"));
 }
 
 TEST(Trace, SetRingCapacityTakesEffectAndReportsDrops)

@@ -218,8 +218,10 @@ TEST_F(BlockGeneration, PhaseTimerReceivesBothPhases)
 
 TEST_F(BlockGeneration, ParallelPoolMatchesSerial)
 {
-    // A multi-worker pool must produce exactly the serial result
-    // (the parallel path only computes per-destination degrees).
+    // A multi-worker pool must produce exactly the serial result.
+    // (This batch sits below the default fan-out threshold, so only
+    // the degree fill parallelizes; the chunked-construction case is
+    // ParallelConstructionIsByteIdenticalAtAnyGrain below.)
     util::ThreadPool pool(4);
     FastBlockGenerator parallel_gen(&pool);
     FastBlockGenerator serial_gen;
@@ -236,6 +238,59 @@ TEST_F(BlockGeneration, ParallelPoolMatchesSerial)
         EXPECT_EQ(a.blocks[layer].neighbors,
                   b.blocks[layer].neighbors);
     }
+}
+
+TEST_F(BlockGeneration, ParallelConstructionIsByteIdenticalAtAnyGrain)
+{
+    // The three-phase parallel construction must reproduce the serial
+    // first-seen source order byte for byte, whatever the chunking.
+    // Tiny grain settings force the parallel path (and many chunks)
+    // even on this small batch, so the stitch is exercised for real:
+    // chunk boundaries cut through CSR rows' source sets, and the
+    // same source appears as a candidate in several chunks.
+    FastBlockGenerator serial_gen;
+    NodeList all(sg_->numSeeds());
+    for (NodeId i = 0; i < sg_->numSeeds(); ++i)
+        all[i] = i;
+    const MicroBatch want = serial_gen.generate(*sg_, all);
+
+    for (const std::size_t workers : {2u, 4u, 7u}) {
+        util::ThreadPool pool(workers);
+        for (const std::size_t min_chunk : {1u, 3u, 16u, 64u}) {
+            FastBlockGenerator::Grain grain;
+            grain.parallel_dst_threshold = 1;
+            grain.min_chunk = min_chunk;
+            grain.degree_grain = 1;
+            FastBlockGenerator parallel_gen(&pool, grain);
+            const MicroBatch got = parallel_gen.generate(*sg_, all);
+            ASSERT_EQ(got.numLayers(), want.numLayers());
+            for (int layer = 0; layer < want.numLayers(); ++layer) {
+                const Block &w = want.blocks[layer];
+                const Block &g = got.blocks[layer];
+                EXPECT_EQ(g.num_dst, w.num_dst)
+                    << "workers=" << workers
+                    << " min_chunk=" << min_chunk;
+                EXPECT_EQ(g.src_nodes, w.src_nodes)
+                    << "workers=" << workers
+                    << " min_chunk=" << min_chunk;
+                EXPECT_EQ(g.offsets, w.offsets)
+                    << "workers=" << workers
+                    << " min_chunk=" << min_chunk;
+                EXPECT_EQ(g.neighbors, w.neighbors)
+                    << "workers=" << workers
+                    << " min_chunk=" << min_chunk;
+            }
+            got.validateChain();
+        }
+    }
+}
+
+TEST_F(BlockGeneration, RejectsDegenerateGrain)
+{
+    FastBlockGenerator::Grain grain;
+    grain.min_chunk = 0;
+    EXPECT_THROW(FastBlockGenerator(nullptr, grain),
+                 InvalidArgument);
 }
 
 TEST_F(BlockGeneration, DstPrefixInvariant)

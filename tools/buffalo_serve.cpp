@@ -77,6 +77,10 @@ serving:
   --prepared-depth N    prepared batches buffered ahead      [4]
   --kernel-threads N    compute-kernel worker threads; 0 uses
                         hardware concurrency, 1 forces serial [0]
+  --kernel-tile-n N     GEMM tile width (columns), [1,4096]  [64]
+  --kernel-tile-k N     GEMM tile depth (k), [1,4096]       [128]
+  --kernel-simd NAME    wide-ISA kernels: auto | off | on
+                        (on fails fast without AVX2/NEON) [auto]
   --seed N              RNG seed (model init + sampling)     [42]
 observability:
   --trace-out P         write a Chrome trace-event JSON
@@ -121,12 +125,14 @@ main(int argc, char **argv)
             "qps", "clients", "duration-s", "requests",
             "deadline-ms", "queue-capacity", "max-batch",
             "byte-budget", "prep-threads", "workers",
-            "prepared-depth", "kernel-threads", "seed",
+            "prepared-depth", "seed",
             "trace-out", "trace-ring", "metrics-json", "run-log",
             "require-goodput", "verbose", "help",
         };
         known.insert(tools::cacheFlagNames().begin(),
                      tools::cacheFlagNames().end());
+        known.insert(tools::kernelFlagNames().begin(),
+                     tools::kernelFlagNames().end());
         flags.checkKnown(known);
         if (flags.getBool("verbose"))
             util::setLogLevel(util::LogLevel::Info);
@@ -182,7 +188,7 @@ main(int argc, char **argv)
             flags.getInt("prepared-depth", 4));
         options.seed =
             static_cast<std::uint64_t>(flags.getInt("seed", 42));
-        options.kernels.threads = tools::parseKernelThreads(flags);
+        options.kernels = tools::parseKernelConfig(flags);
         tensor::kernels::setConfig(options.kernels);
 
         const double qps = flags.getDouble("qps", 100.0);

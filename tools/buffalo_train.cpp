@@ -69,6 +69,10 @@ training:
   --cost-model          analytic execution (no numeric math)
   --kernel-threads N    compute-kernel worker threads; 0 uses
                         hardware concurrency, 1 forces serial [0]
+  --kernel-tile-n N     GEMM tile width (columns), [1,4096]  [64]
+  --kernel-tile-k N     GEMM tile depth (k), [1,4096]       [128]
+  --kernel-simd NAME    wide-ISA kernels: auto | off | on
+                        (on fails fast without AVX2/NEON) [auto]
 pipeline (requires --system buffalo):
   --pipeline            prefetch batches while training
   --prefetch-depth N    batches prepared ahead               [2]
@@ -150,7 +154,6 @@ main(int argc, char **argv)
             "feature-dim", "model", "aggregator", "layers", "hidden",
             "heads", "fanouts", "budget-mb", "epochs", "batch-size",
             "lr", "seed", "system", "betty-k", "cost-model",
-            "kernel-threads",
             "pipeline", "prefetch-depth", "host-budget-mb",
             "trace-out", "trace-ring", "metrics-json",
             "metrics-table", "run-log", "audit-json",
@@ -159,6 +162,8 @@ main(int argc, char **argv)
         };
         known.insert(tools::cacheFlagNames().begin(),
                      tools::cacheFlagNames().end());
+        known.insert(tools::kernelFlagNames().begin(),
+                     tools::kernelFlagNames().end());
         flags.checkKnown(known);
         if (flags.getBool("verbose"))
             util::setLogLevel(util::LogLevel::Info);
@@ -209,7 +214,7 @@ main(int argc, char **argv)
         options.mode = flags.getBool("cost-model")
                            ? train::ExecutionMode::CostModel
                            : train::ExecutionMode::Numeric;
-        options.kernels.threads = tools::parseKernelThreads(flags);
+        options.kernels = tools::parseKernelConfig(flags);
 
         options.pipeline.enabled = flags.getBool("pipeline");
         options.pipeline.prefetch_depth =

@@ -10,20 +10,28 @@
 #      gated by obs_validate `@serve`) + buffalo_profile critical-
 #      path gates over both smokes' artifacts (all stages present,
 #      dominant stage identified, overlap efficiency in (0, 1]) +
-#      bench-smoke, bench-kernels,
+#      bench-smoke, bench-kernels, bench-fig12,
 #      bench-serve and bench-pipeline regression legs gated by
 #      bench_diff against the committed baselines. Both smokes enable
 #      the feature cache with the presample policy and expect the
 #      `@cache` observability names.
-#   2. ThreadSanitizer build + tests (cheap races in
+#   2. Scalar build + tests with -DBUFFALO_SIMD=OFF: the wide-ISA
+#      kernel path is compiled out, so the dispatch must fall back to
+#      scalar lanes and every bitwise-determinism sweep must still
+#      hold (the SIMD and scalar paths promise identical bytes).
+#   3. ThreadSanitizer build + tests (cheap races in
 #      StageQueue/Prefetcher show up here long before they show up in
 #      production runs).
-#   3. AddressSanitizer+UBSan build + tests (lifetime and
+#   4. AddressSanitizer+UBSan build + tests (lifetime and
 #      undefined-behavior bugs in the tensor/graph kernels).
 #
-# Sanitizer legs exclude the `perf` CTest label: those tests compare
-# measured wall-clock between runs, which sanitizer interception
-# slows too unevenly to keep meaningful.
+# Sanitizer legs build at the widest SIMD the target has (the
+# BUFFALO_SIMD=ON default) so lane loads/stores and the pack-buffer
+# indexing run under both tools, and exclude the `perf` CTest label:
+# those tests compare measured wall-clock between runs, which
+# sanitizer interception slows too unevenly to keep meaningful. The
+# scalar leg also skips `perf` — its bench baselines were recorded
+# with SIMD on.
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 set -euo pipefail
@@ -151,17 +159,40 @@ BUFFALO_BENCH_DIR="${bench_dir}" \
 "${prefix}-release/tools/bench_diff" \
     bench/baselines/BENCH_pipeline.json \
     "${bench_dir}/BENCH_pipeline.json"
+# Block-generation gate: the in-run parallel-construction speedup
+# (flat-table generator on a 4-worker pool vs the pre-rewrite
+# hash-map reference) plus the Figure-12 summary. The empty filter
+# skips the google-benchmark loops; the gated numbers come from the
+# direct measurements.
+BUFFALO_BENCH_DIR="${bench_dir}" \
+    "${prefix}-release/bench/bench_fig12_blockgen" \
+    --benchmark_filter='^$'
+"${prefix}-release/tools/bench_diff" \
+    bench/baselines/BENCH_fig12.json \
+    "${bench_dir}/BENCH_fig12.json"
+
+echo "=== Scalar (BUFFALO_SIMD=OFF) build + tests ==="
+# The same tree with the wide-ISA TU compiled as scalar lanes: the
+# dispatch layer must route every kernel to the scalar path and the
+# full determinism suite must pass untouched. --kernel-simd on is
+# rejected in this configuration (covered by the unit tests, which
+# key off kernels::simdAvailable()).
+cmake -B "${prefix}-scalar" -S . -DCMAKE_BUILD_TYPE=Release \
+    -DBUFFALO_SIMD=OFF
+cmake --build "${prefix}-scalar" -j "${jobs}"
+ctest --test-dir "${prefix}-scalar" --output-on-failure \
+    -j "${jobs}" -LE perf
 
 echo "=== ThreadSanitizer build + tests ==="
 cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DBUFFALO_SANITIZE=thread
+    -DBUFFALO_SANITIZE=thread -DBUFFALO_SIMD=ON
 cmake --build "${prefix}-tsan" -j "${jobs}"
 ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" \
     -LE perf
 
 echo "=== AddressSanitizer+UBSan build + tests ==="
 cmake -B "${prefix}-asan" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DBUFFALO_SANITIZE=address,undefined
+    -DBUFFALO_SANITIZE=address,undefined -DBUFFALO_SIMD=ON
 cmake --build "${prefix}-asan" -j "${jobs}"
 ctest --test-dir "${prefix}-asan" --output-on-failure -j "${jobs}" \
     -LE perf

@@ -5,19 +5,22 @@
  * The two CLIs accept the same vocabulary for fanouts, built-in
  * dataset names, the feature-cache knobs (--feature-cache-mb,
  * --cache-policy, --pinned-hot, --presample-batches), and the kernel
- * knobs (--kernel-threads). Parsing them here once means a policy
+ * knobs (--kernel-threads, --kernel-tile-n, --kernel-tile-k,
+ * --kernel-simd). Parsing them here once means a policy
  * name or a fanout list is guaranteed to mean the same thing in both
  * tools — the API-consistency contract the serving tier relies on
  * when it reuses a training cache configuration.
  */
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "graph/datasets.h"
 #include "pipeline/cache_policy.h"
+#include "tensor/kernels.h"
 #include "train/report.h"
 #include "util/errors.h"
 #include "util/flags.h"
@@ -107,12 +110,49 @@ cacheFlagNames()
     return names;
 }
 
-/** Decodes --kernel-threads (0 = hardware concurrency). */
-inline std::size_t
-parseKernelThreads(const util::Flags &flags)
+/**
+ * Decodes the kernel knobs both CLIs accept: --kernel-threads
+ * (0 = hardware concurrency), --kernel-tile-n / --kernel-tile-k
+ * (GEMM tile shape, bounded so a typo cannot silently serialize or
+ * blow the pack buffer), and --kernel-simd (auto | off | on; "on"
+ * fails fast at setConfig() when the build or CPU lacks the wide
+ * ISA). Defaults match KernelConfig's field initializers, so running
+ * without flags is identical to never calling setConfig.
+ */
+inline tensor::kernels::KernelConfig
+parseKernelConfig(const util::Flags &flags)
 {
-    return static_cast<std::size_t>(
-        flags.getInt("kernel-threads", 0));
+    namespace kernels = tensor::kernels;
+    kernels::KernelConfig cfg;
+    const std::int64_t threads = flags.getInt("kernel-threads", 0);
+    checkArgument(threads >= 0, "--kernel-threads must be >= 0");
+    cfg.threads = static_cast<std::size_t>(threads);
+    const std::int64_t tile_n = flags.getInt(
+        "kernel-tile-n", static_cast<std::int64_t>(cfg.tile_n));
+    const std::int64_t tile_k = flags.getInt(
+        "kernel-tile-k", static_cast<std::int64_t>(cfg.tile_k));
+    checkArgument(tile_n >= 1 && tile_n <= 4096,
+                  "--kernel-tile-n must be in [1, 4096]");
+    checkArgument(tile_k >= 1 && tile_k <= 4096,
+                  "--kernel-tile-k must be in [1, 4096]");
+    cfg.tile_n = static_cast<std::size_t>(tile_n);
+    cfg.tile_k = static_cast<std::size_t>(tile_k);
+    cfg.simd = kernels::simdModeFromName(
+        flags.getString("kernel-simd", "auto"));
+    return cfg;
+}
+
+/** Flag names parseKernelConfig() consumes (for Flags::checkKnown). */
+inline const std::vector<std::string> &
+kernelFlagNames()
+{
+    static const std::vector<std::string> names = {
+        "kernel-threads",
+        "kernel-tile-n",
+        "kernel-tile-k",
+        "kernel-simd",
+    };
+    return names;
 }
 
 } // namespace buffalo::tools
